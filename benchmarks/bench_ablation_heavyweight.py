@@ -1,0 +1,53 @@
+"""Ablation: the 2^k cost of heavyweight winner determination (III-F).
+
+The layout-enumeration algorithm solves 2^k pairs of matchings; this
+bench measures the growth in k at fixed n and records the layout counts,
+demonstrating both the exponential serial cost and why the paper notes
+the layouts can be farmed out to 2^k processors (critical path = one
+layout's two matchings, see ``stats.parallel_critical_matchings``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.heavyweight_wd import determine_winners_heavyweight
+from repro.lang.bids import BidsTable
+from repro.probability.click_models import TabularClickModel
+from repro.probability.heavyweight import PenaltyHeavyweightClickModel
+from repro.probability.purchase_models import no_purchases
+
+N = 30
+SLOT_COUNTS = (2, 4, 6)
+
+
+def _instance(k):
+    rng = np.random.default_rng(k)
+    base = TabularClickModel(rng.uniform(0.1, 0.9, size=(N, k)))
+    heavy = frozenset(range(N // 3))
+    model = PenaltyHeavyweightClickModel(base=base, penalty=0.7,
+                                         exempt=heavy)
+    tables = {}
+    for advertiser in range(N):
+        table = BidsTable()
+        table.add("Click", float(rng.uniform(1, 50)))
+        if advertiser % 3 == 0:
+            table.add("Slot1 & !HeavyInSlot2" if k >= 2 else "Slot1",
+                      float(rng.uniform(0, 10)))
+        tables[advertiser] = table
+    return tables, heavy, model, no_purchases(N, k)
+
+
+@pytest.mark.parametrize("k", SLOT_COUNTS)
+def test_heavyweight_wd_scales_exponentially_in_k(benchmark, k):
+    tables, heavy, model, purchase_model = _instance(k)
+    result = benchmark.pedantic(
+        lambda: determine_winners_heavyweight(tables, heavy, model,
+                                              purchase_model),
+        rounds=3, iterations=1)
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["layouts"] = result.stats.layouts_considered
+    benchmark.extra_info["serial_matchings"] = \
+        result.stats.serial_matchings
+    benchmark.extra_info["parallel_critical_matchings"] = \
+        result.stats.parallel_critical_matchings
+    assert result.stats.layouts_considered == 2 ** k

@@ -1,0 +1,50 @@
+"""Ablation: LP backends — from-scratch simplex vs HiGHS.
+
+The paper solved the winner-determination LP with GLPK's simplex; we
+ship scipy's HiGHS for benchmark scale plus a from-scratch dense tableau
+simplex.  This bench compares them on small assignment LPs (the dense
+tableau is O((n k)^2) memory, so it caps out early — which is itself the
+finding: method LP needs an industrial solver long before n gets
+interesting, while RH needs nothing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.matching.lp import lp_matching
+
+SIZES = (10, 30, 60)
+
+
+def _weights(n, k=5, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 50.0, size=(n, k))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scipy_highs(benchmark, n):
+    weights = _weights(n)
+    solution = benchmark.pedantic(
+        lambda: lp_matching(weights, backend="scipy"),
+        rounds=5, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["objective"] = solution.matching.total_weight
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_from_scratch_simplex(benchmark, n):
+    weights = _weights(n)
+    solution = benchmark.pedantic(
+        lambda: lp_matching(weights, backend="simplex"),
+        rounds=3, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["objective"] = solution.matching.total_weight
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_backends_agree(n):
+    weights = _weights(n)
+    scipy_total = lp_matching(weights, backend="scipy").matching.total_weight
+    simplex_total = lp_matching(weights,
+                                backend="simplex").matching.total_weight
+    assert np.isclose(scipy_total, simplex_total)

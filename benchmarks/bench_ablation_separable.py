@@ -1,0 +1,53 @@
+"""Ablation: the incumbent separable allocator vs the general solvers.
+
+Section III-C: when click probabilities are separable, the incumbent
+O(n log k) sort-based allocator is optimal.  This bench quantifies what
+the generality of RH costs on instances where the old fast path would
+have sufficed — and hence what the paper's algorithm gives up (nothing
+asymptotically; a constant factor in exchange for correctness on
+non-separable instances).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import click_bid_revenue_matrix, solve
+from repro.workloads.generators import random_separable_model
+
+N = 5000
+K = 15
+
+
+@pytest.fixture(scope="module")
+def revenue():
+    rng = np.random.default_rng(3)
+    model = random_separable_model(N, K, rng)
+    bids = rng.uniform(0.0, 50.0, size=N)
+    return click_bid_revenue_matrix(bids, model)
+
+
+def test_separable_fast_path(benchmark, revenue):
+    result = benchmark.pedantic(lambda: solve(revenue, method="separable"),
+                                rounds=10, iterations=1)
+    benchmark.extra_info["expected_revenue"] = result.expected_revenue
+
+
+def test_rh_on_separable(benchmark, revenue):
+    result = benchmark.pedantic(lambda: solve(revenue, method="rh"),
+                                rounds=10, iterations=1)
+    benchmark.extra_info["expected_revenue"] = result.expected_revenue
+
+
+def test_hungarian_on_separable(benchmark, revenue):
+    result = benchmark.pedantic(
+        lambda: solve(revenue, method="hungarian"),
+        rounds=5, iterations=1)
+    benchmark.extra_info["expected_revenue"] = result.expected_revenue
+
+
+def test_all_agree(revenue):
+    values = {method: solve(revenue, method=method).expected_revenue
+              for method in ("separable", "rh", "hungarian")}
+    baseline = values["hungarian"]
+    for method, value in values.items():
+        assert np.isclose(value, baseline), (method, value, baseline)

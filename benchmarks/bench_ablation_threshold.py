@@ -1,0 +1,61 @@
+"""Ablation: threshold-algorithm accesses vs a full scan (IV-A).
+
+Measures, as n grows, both wall-clock and the number of sorted/random
+accesses TA performs to find the top-k products w_ij x bid_i, against
+the full scan touching every advertiser.  Instance optimality shows up
+as access counts growing far slower than n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.sorted_index import SortedIndex
+from repro.evaluation.threshold import (
+    full_scan_top_k,
+    product_aggregate,
+    threshold_top_k,
+)
+
+SIZES = (1000, 10000, 40000)
+K = 15
+
+
+def _sources(n, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(0.4, 0.9, size=n)     # one slot's click column
+    bids = rng.uniform(0.0, 50.0, size=n)
+    return [SortedIndex({i: float(w[i]) for i in range(n)}),
+            SortedIndex({i: float(bids[i]) for i in range(n)})]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_threshold_algorithm(benchmark, n):
+    sources = _sources(n)
+    result = benchmark.pedantic(
+        lambda: threshold_top_k(sources, product_aggregate, K),
+        rounds=5, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["sequential_accesses"] = \
+        result.sequential_accesses
+    benchmark.extra_info["random_accesses"] = result.random_accesses
+    assert result.sequential_accesses < 2 * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_full_scan_baseline(benchmark, n):
+    sources = _sources(n)
+    result = benchmark.pedantic(
+        lambda: full_scan_top_k(sources, product_aggregate, K,
+                                universe=range(n)),
+        rounds=5, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["random_accesses"] = result.random_accesses
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_results_agree(n):
+    sources = _sources(n)
+    ta = threshold_top_k(sources, product_aggregate, K)
+    scan = full_scan_top_k(sources, product_aggregate, K,
+                           universe=range(n))
+    assert ta.ids() == scan.ids()

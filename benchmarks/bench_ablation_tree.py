@@ -1,0 +1,49 @@
+"""Ablation: the simulated parallel tree network (III-E).
+
+The paper's parallel RH aggregates per-slot top-k lists up a binary tree
+of p machines in O((n/p) k log k + k log p + k^5).  The simulation can't
+show wall-clock speedup in one process, so this bench reports the model
+quantities instead: the *critical-path work* (max leaf work + per-level
+merge work) shrinking as p grows, alongside the single-process cost of
+running the whole simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matching.tree_network import tree_aggregate, tree_matching
+
+N = 20000
+K = 15
+LEAVES = (1, 16, 256)
+
+
+@pytest.fixture(scope="module")
+def weights():
+    rng = np.random.default_rng(5)
+    return rng.uniform(0.0, 50.0, size=(N, K))
+
+
+@pytest.mark.parametrize("leaves", LEAVES)
+def test_tree_aggregation(benchmark, weights, leaves):
+    result = benchmark.pedantic(
+        lambda: tree_aggregate(weights, num_leaves=leaves),
+        rounds=3, iterations=1)
+    benchmark.extra_info["leaves"] = leaves
+    benchmark.extra_info["height"] = result.stats.height
+    benchmark.extra_info["critical_path_work"] = \
+        result.stats.critical_path_work
+    benchmark.extra_info["leaf_work_max"] = result.stats.leaf_work_max
+
+
+def test_critical_path_shrinks_with_parallelism(weights):
+    work = [tree_aggregate(weights, num_leaves=p).stats.critical_path_work
+            for p in LEAVES]
+    assert work[0] > work[1] > work[2]
+
+
+def test_tree_matching_end_to_end(benchmark, weights):
+    result = benchmark.pedantic(
+        lambda: tree_matching(weights, num_leaves=16),
+        rounds=3, iterations=1)
+    benchmark.extra_info["total_weight"] = result.total_weight

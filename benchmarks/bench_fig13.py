@@ -1,0 +1,35 @@
+"""Figure 13: reducing program evaluation — RH vs RHTALU at large n.
+
+Paper setup: same workload as Figure 12, advertiser counts up to 20000,
+average over 1000 auctions, linear time axis.  RH re-runs every bidding
+program each auction, so its per-auction cost grows linearly in n even
+though its WD phase is cheap; RHTALU's logical updates + threshold
+algorithm keep the whole auction near-flat.
+
+Run: ``pytest benchmarks/bench_fig13.py --benchmark-only``; full series
+via ``python benchmarks/harness.py fig13``.
+"""
+
+import pytest
+
+from common import build_engine
+
+SIZES = (2000, 10000, 20000)
+
+
+def _bench(benchmark, method, num_advertisers):
+    engine = build_engine(method, num_advertisers)
+    engine.run(2)
+    benchmark.pedantic(engine.run_auction, rounds=5, iterations=1)
+    benchmark.extra_info["num_advertisers"] = num_advertisers
+    benchmark.extra_info["method"] = method
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig13_rh(benchmark, n):
+    _bench(benchmark, "rh", n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig13_rhtalu(benchmark, n):
+    _bench(benchmark, "rhtalu", n)

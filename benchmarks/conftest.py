@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable as a test root."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

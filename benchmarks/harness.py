@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Regenerate the paper's figures as printed series.
+
+Usage::
+
+    python benchmarks/harness.py fig12            # quick scale
+    python benchmarks/harness.py fig12 --paper    # the paper's axes
+    python benchmarks/harness.py fig13 --csv out.csv
+    python benchmarks/harness.py all
+
+``fig12`` prints average time per auction for LP / H / RH / RHTALU as
+the number of advertisers grows (paper: up to 5000, 100 auctions per
+point, log-scale).  ``fig13`` prints RH vs RHTALU up to 20000
+advertisers (paper: 1000 auctions per point).  The quick scale trims
+sizes and auction counts so a laptop run finishes in a couple of
+minutes; ``--paper`` restores the full axes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from dataclasses import dataclass  # noqa: E402
+
+from common import build_engine  # noqa: E402
+from repro.bench import FigureSeries, ordering_holds, speedup  # noqa: E402
+from repro.bench.timing import time_auction_run  # noqa: E402
+
+QUICK_FIG12 = {"sizes": (250, 500, 1000, 2000, 3500),
+               "auctions": {"lp": 8, "hungarian": 20, "rh": 20,
+                            "rhtalu": 20}}
+PAPER_FIG12 = {"sizes": (500, 1000, 2000, 3000, 4000, 5000),
+               "auctions": {"lp": 20, "hungarian": 100, "rh": 100,
+                            "rhtalu": 100}}
+QUICK_FIG13 = {"sizes": (1000, 4000, 8000, 14000, 20000),
+               "auctions": {"rh": 15, "rhtalu": 30}}
+PAPER_FIG13 = {"sizes": (2000, 6000, 10000, 14000, 20000),
+               "auctions": {"rh": 200, "rhtalu": 1000}}
+
+FIG12_METHODS = ["lp", "hungarian", "rh", "rhtalu"]
+FIG13_METHODS = ["rh", "rhtalu"]
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Per-auction timing of one (method, n) cell, split by phase."""
+
+    total_ms: float
+    eval_ms: float
+    wd_ms: float
+
+
+def measure_cell(method: str, num_advertisers: int,
+                 auctions: int) -> CellTiming:
+    """Average per-auction latency of one (method, n) cell."""
+    engine = build_engine(method, num_advertisers)
+    engine.run(2)  # warmup: caches, first trigger wave
+    records = []
+    timing = time_auction_run(lambda: records.append(engine.run_auction()),
+                              auctions=auctions)
+    eval_ms = 1e3 * sum(r.eval_seconds for r in records) / len(records)
+    wd_ms = 1e3 * sum(r.wd_seconds for r in records) / len(records)
+    return CellTiming(total_ms=timing.mean_ms, eval_ms=eval_ms,
+                      wd_ms=wd_ms)
+
+
+def run_figure(name: str, methods: list[str], sizes, auctions,
+               verbose: bool = True
+               ) -> tuple[FigureSeries, FigureSeries]:
+    """Measure a figure; returns (total, WD-phase-only) series."""
+    total = FigureSeries(name=name, x_label="Number of advertisers",
+                         y_label="Time per auction (ms)",
+                         methods=list(methods))
+    wd_only = FigureSeries(name=f"{name} [winner-determination phase]",
+                           x_label="Number of advertisers",
+                           y_label="WD time per auction (ms)",
+                           methods=list(methods))
+    for n in sizes:
+        for method in methods:
+            cell = measure_cell(method, n, auctions[method])
+            total.record(n, method, cell.total_ms)
+            wd_only.record(n, method, cell.wd_ms)
+            if verbose:
+                print(f"  measured {method:>9s} @ n={n:<6d} "
+                      f"{cell.total_ms:9.2f} ms/auction "
+                      f"(wd {cell.wd_ms:8.2f})", file=sys.stderr)
+    return total, wd_only
+
+
+def print_report(series: FigureSeries, slow_to_fast: list[str]) -> None:
+    print()
+    print(series.to_table())
+    print()
+    for baseline, contender in zip(slow_to_fast, slow_to_fast[1:]):
+        for line in speedup(series, baseline, contender).to_lines():
+            print(line)
+    shape = "HOLDS" if ordering_holds(series, slow_to_fast) else "BROKEN"
+    print(f"paper ordering {' > '.join(slow_to_fast)} (slow to fast): "
+          f"{shape}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", choices=["fig12", "fig13", "all"])
+    parser.add_argument("--paper", action="store_true",
+                        help="use the paper's full axes (slow)")
+    parser.add_argument("--csv", type=Path, default=None,
+                        help="also write the series as CSV")
+    args = parser.parse_args(argv)
+
+    wanted = ["fig12", "fig13"] if args.figure == "all" else [args.figure]
+    csv_chunks = []
+    for figure in wanted:
+        if figure == "fig12":
+            scale = PAPER_FIG12 if args.paper else QUICK_FIG12
+            total, wd_only = run_figure(
+                "Figure 12: winner determination performance",
+                FIG12_METHODS, scale["sizes"], scale["auctions"])
+            print_report(total, ["lp", "hungarian", "rh"])
+            print()
+            print(wd_only.to_table())
+            for baseline, contender in (("lp", "hungarian"),
+                                        ("hungarian", "rh")):
+                for line in speedup(wd_only, baseline,
+                                    contender).to_lines():
+                    print(line)
+        else:
+            scale = PAPER_FIG13 if args.paper else QUICK_FIG13
+            total, wd_only = run_figure(
+                "Figure 13: reducing program evaluation",
+                FIG13_METHODS, scale["sizes"], scale["auctions"])
+            print_report(total, ["rh", "rhtalu"])
+        csv_chunks.append(total.to_csv())
+        csv_chunks.append(wd_only.to_csv())
+
+    if args.csv is not None:
+        args.csv.write_text("\n".join(csv_chunks))
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""A day in a mixed marketplace: heterogeneous dynamic strategies.
+
+Where the other examples isolate one mechanism, this one runs a whole
+ecosystem for a simulated day (1440 auctions ≈ one per minute):
+
+* dayparting rampers (Section IV-A's worked example) that start low and
+  bid up as the day progresses;
+* a budget-capped advertiser that drops out when his daily budget is
+  spent;
+* a position targeter chasing slot 2 by feedback control;
+* a purchase-focused advertiser whose value rides on conversions;
+* plain fixed bidders as the competitive fringe.
+
+Prints an hourly timeline of who holds slot 1, the budget advertiser's
+exhaustion point, and the targeter's hit rate — the kinds of goals the
+paper says advertisers hire third-party bid managers for, expressed
+directly as programs.
+
+Run: ``python examples/marketplace_day.py``
+"""
+
+import numpy as np
+
+from repro.auction import AuctionEngine, EngineConfig
+from repro.probability import (
+    ConstantRatePurchaseModel,
+    TabularClickModel,
+)
+from repro.strategies import (
+    BudgetPacedProgram,
+    DaypartingRampProgram,
+    FixedBidProgram,
+    PositionTargetProgram,
+    PurchaseFocusedProgram,
+    Query,
+)
+
+NUM_SLOTS = 3
+AUCTIONS = 1440  # one per simulated minute
+NAMES = {0: "Ramp-A", 1: "Ramp-B", 2: "Budgeted", 3: "Targeter",
+         4: "Converter", 5: "Fringe-1", 6: "Fringe-2"}
+
+
+def build_programs():
+    # time is the auction index; one "day" = 1440 minutes.
+    return [
+        DaypartingRampProgram(0, start=0.5, rate=0.006,
+                              day_length=AUCTIONS, cap=9.0),
+        DaypartingRampProgram(1, start=2.0, rate=0.003,
+                              day_length=AUCTIONS, cap=8.0),
+        BudgetPacedProgram(2, FixedBidProgram(2, value_per_click=7.0),
+                           budget=220.0),
+        PositionTargetProgram(3, target_slot=2, initial_bid=2.0,
+                              max_bid=12.0, adjust_factor=1.15),
+        PurchaseFocusedProgram(4, purchase_value=40.0,
+                               prominent_slots=2, impression_value=0.3),
+        FixedBidProgram(5, value_per_click=4.0),
+        FixedBidProgram(6, value_per_click=3.0),
+    ]
+
+
+def main() -> None:
+    # Uniform CTRs across advertisers so the *strategies* drive the
+    # story (who outbids whom when), not CTR luck.
+    click_model = TabularClickModel(
+        np.tile(np.array([0.55, 0.35, 0.2]), (7, 1)))
+    purchase_model = ConstantRatePurchaseModel(7, NUM_SLOTS,
+                                               rate_given_click=0.15)
+
+    def query_source(rng: np.random.Generator) -> Query:
+        return Query(text="market", relevance={"market": 1.0})
+
+    programs = build_programs()
+    engine = AuctionEngine(
+        click_model=click_model,
+        purchase_model=purchase_model,
+        query_source=query_source,
+        config=EngineConfig(num_slots=NUM_SLOTS, method="rh", seed=22),
+        programs=programs)
+
+    top_by_hour: list[dict[str, int]] = [dict() for _ in range(24)]
+    budget_out_at = None
+    targeter_hits = 0
+    targeter_in = 0
+    for minute in range(AUCTIONS):
+        record = engine.run_auction()
+        hour = minute // 60
+        top = record.allocation.advertiser_in(1)
+        if top is not None:
+            name = NAMES[top]
+            top_by_hour[hour][name] = top_by_hour[hour].get(name, 0) + 1
+        budgeted: BudgetPacedProgram = programs[2]
+        if budget_out_at is None and budgeted.remaining <= 0:
+            budget_out_at = minute
+        slot = record.allocation.slot_for(3)
+        if slot is not None:
+            targeter_in += 1
+            if slot == 2:
+                targeter_hits += 1
+
+    print("hour | dominant slot-1 occupant (share)")
+    print("-----+----------------------------------")
+    for hour in range(0, 24, 2):
+        counts = top_by_hour[hour]
+        if not counts:
+            print(f" {hour:02d}  | (slot empty)")
+            continue
+        name, wins = max(counts.items(), key=lambda kv: kv[1])
+        share = wins / sum(counts.values())
+        print(f" {hour:02d}  | {name:9s} {100 * share:5.1f}%")
+
+    print()
+    if budget_out_at is not None:
+        print(f"Budgeted exhausted its 220.0 budget at minute "
+              f"{budget_out_at} (hour {budget_out_at // 60})")
+    else:
+        print(f"Budgeted ended the day with "
+              f"{programs[2].remaining:.2f} unspent")
+    if targeter_in:
+        print(f"Targeter held a slot {targeter_in} times; "
+              f"hit slot 2 {100 * targeter_hits / targeter_in:.1f}% "
+              "of those")
+    accounts = engine.accounts
+    print(f"provider revenue for the day: "
+          f"{accounts.provider_revenue:.2f} over "
+          f"{accounts.total_clicks()} clicks")
+
+    # The ramps should own the evening: their bids peak late.
+    evening = {}
+    for hour in range(20, 24):
+        for name, wins in top_by_hour[hour].items():
+            evening[name] = evening.get(name, 0) + wins
+    if evening:
+        leader = max(evening.items(), key=lambda kv: kv[1])[0]
+        print(f"evening (20:00-24:00) slot-1 leader: {leader}")
+
+
+if __name__ == "__main__":
+    main()

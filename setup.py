@@ -1,0 +1,5 @@
+"""Setup shim so environments without PEP 660 wheel support can still do
+an editable install via ``python setup.py develop``."""
+from setuptools import setup
+
+setup()

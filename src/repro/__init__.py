@@ -1,0 +1,39 @@
+"""repro: expressive and scalable sponsored-search auctions.
+
+A production-quality reproduction of Martin, Gehrke & Halpern, *Toward
+Expressive and Scalable Sponsored Search Auctions* (ICDE 2008;
+arXiv:0809.0116).
+
+Subpackages
+-----------
+``repro.lang``
+    The multi-feature bidding language: predicates, Boolean formulas,
+    OR-bid tables, outcomes, m-dependence analysis (Section II).
+``repro.sqlmini``
+    A from-scratch mini SQL engine with triggers -- the substrate bidding
+    programs run on (Section II-B, Figure 5).
+``repro.probability``
+    Click/purchase models, separability, heavyweight layouts, formula
+    pricing, estimation (Sections III-A/C/F).
+``repro.matching``
+    Assignment solvers: Hungarian, LP (+ from-scratch simplex), top-k
+    reduction, tree-network parallel simulation, brute force, the
+    Theorem 3 gadget (Section III).
+``repro.core``
+    Winner determination: revenue matrices, the LP/H/RH/separable/brute
+    methods, 2^k heavyweight decomposition, validation (Section III).
+``repro.strategies``
+    Bidding programs: the ROI equalizer (native and SQL-hosted) and an
+    expressive strategy library (Sections I-A, II-B/C).
+``repro.evaluation``
+    Reduced program evaluation: threshold algorithm, delta lists,
+    trigger queues, the RHTALU evaluator (Section IV).
+``repro.auction``
+    The end-to-end auction engine with GSP/VCG pricing and accounting.
+``repro.workloads``
+    The Section V benchmark workload and random generators.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,69 @@
+"""The auction engine: the six-step sponsored-search protocol.
+
+Query arrival, program evaluation (eager or RHTALU-lazy), winner
+determination, simulated user actions, pricing (generalised second price
+/ VCG / pay-your-bid), and provider-side accounting.
+"""
+
+from repro.auction.accounts import AccountBook, AdvertiserAccount
+from repro.auction.analysis import (
+    AdvertiserReport,
+    PacingAudit,
+    RevenueCurvePoint,
+    advertiser_reports,
+    keyword_mix,
+    pacing_audit,
+    revenue_curve,
+    slot_fill_rate,
+)
+from repro.auction.engine import (
+    AuctionEngine,
+    EngineConfig,
+    extract_click_bids,
+)
+from repro.auction.events import AuctionRecord
+from repro.auction.metrics import RunSummary, summarize
+from repro.auction.pricing import (
+    GeneralizedSecondPrice,
+    PayYourBid,
+    PriceQuote,
+    PricingRule,
+    VickreyPricing,
+)
+from repro.auction.trace import (
+    read_trace,
+    record_from_dict,
+    record_to_dict,
+    write_trace,
+)
+from repro.auction.user_model import HeavyweightUserModel, UserModel
+
+__all__ = [
+    "AccountBook",
+    "AdvertiserAccount",
+    "AdvertiserReport",
+    "AuctionEngine",
+    "AuctionRecord",
+    "EngineConfig",
+    "GeneralizedSecondPrice",
+    "HeavyweightUserModel",
+    "PacingAudit",
+    "PayYourBid",
+    "PriceQuote",
+    "PricingRule",
+    "RevenueCurvePoint",
+    "RunSummary",
+    "UserModel",
+    "VickreyPricing",
+    "advertiser_reports",
+    "extract_click_bids",
+    "keyword_mix",
+    "pacing_audit",
+    "read_trace",
+    "revenue_curve",
+    "slot_fill_rate",
+    "record_from_dict",
+    "record_to_dict",
+    "summarize",
+    "write_trace",
+]

@@ -1,0 +1,72 @@
+"""Provider-side advertiser accounts (Step 5: pricing and payment).
+
+The provider tracks, per advertiser, impressions, clicks, purchases, and
+money charged — the inputs to the automatically-maintained program
+variables of Section II-B (amount spent, ROI) and to the probability
+estimation pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AdvertiserAccount:
+    """Lifetime counters for one advertiser."""
+
+    advertiser: int
+    impressions: int = 0
+    clicks: int = 0
+    purchases: int = 0
+    auctions_won: int = 0
+    charged: float = 0.0
+
+    def click_through_rate(self) -> float:
+        """Observed clicks per impression (0 before any impression)."""
+        if self.impressions == 0:
+            return 0.0
+        return self.clicks / self.impressions
+
+    def average_cost_per_click(self) -> float:
+        """Money charged per click received (0 before any click)."""
+        if self.clicks == 0:
+            return 0.0
+        return self.charged / self.clicks
+
+
+@dataclass
+class AccountBook:
+    """All advertiser accounts plus provider revenue."""
+
+    accounts: dict[int, AdvertiserAccount] = field(default_factory=dict)
+    provider_revenue: float = 0.0
+
+    def account(self, advertiser: int) -> AdvertiserAccount:
+        if advertiser not in self.accounts:
+            self.accounts[advertiser] = AdvertiserAccount(advertiser)
+        return self.accounts[advertiser]
+
+    def record_impression(self, advertiser: int) -> None:
+        account = self.account(advertiser)
+        account.impressions += 1
+        account.auctions_won += 1
+
+    def record_click(self, advertiser: int) -> None:
+        self.account(advertiser).clicks += 1
+
+    def record_purchase(self, advertiser: int) -> None:
+        self.account(advertiser).purchases += 1
+
+    def charge(self, advertiser: int, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"cannot charge a negative amount {amount}")
+        self.account(advertiser).charged += amount
+        self.provider_revenue += amount
+
+    def total_clicks(self) -> int:
+        return sum(account.clicks for account in self.accounts.values())
+
+    def total_impressions(self) -> int:
+        return sum(account.impressions
+                   for account in self.accounts.values())

@@ -1,0 +1,168 @@
+"""Offline analysis over auction traces.
+
+A provider's analytics jobs run against the auction journal, not the
+live engine.  These pure functions consume :class:`AuctionRecord`
+streams (live, or read back via :mod:`repro.auction.trace`) and produce
+the reports the paper's setting calls for: revenue over time, per-
+advertiser spend/exposure reports, keyword mix, pacing audits against
+target spend rates, and slot-occupancy statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.auction.events import AuctionRecord
+
+
+@dataclass(frozen=True)
+class AdvertiserReport:
+    """One advertiser's lifetime view of a trace."""
+
+    advertiser: int
+    impressions: int
+    clicks: int
+    purchases: int
+    spend: float
+    slots_held: dict[int, int]
+
+    @property
+    def click_through_rate(self) -> float:
+        if self.impressions == 0:
+            return 0.0
+        return self.clicks / self.impressions
+
+    @property
+    def average_position(self) -> float:
+        """Mean slot index over impressions (1 = top); 0 if never shown."""
+        if not self.slots_held:
+            return 0.0
+        weighted = sum(slot * count
+                       for slot, count in self.slots_held.items())
+        return weighted / sum(self.slots_held.values())
+
+
+def advertiser_reports(
+        records: Iterable[AuctionRecord]) -> dict[int, AdvertiserReport]:
+    """Aggregate a trace into per-advertiser reports."""
+    impressions: dict[int, int] = {}
+    clicks: dict[int, int] = {}
+    purchases: dict[int, int] = {}
+    spend: dict[int, float] = {}
+    slots: dict[int, dict[int, int]] = {}
+    for record in records:
+        for advertiser, slot in record.allocation.slot_of.items():
+            impressions[advertiser] = impressions.get(advertiser, 0) + 1
+            held = slots.setdefault(advertiser, {})
+            held[slot] = held.get(slot, 0) + 1
+        for advertiser in record.outcome.clicked:
+            clicks[advertiser] = clicks.get(advertiser, 0) + 1
+        for advertiser in record.outcome.purchased:
+            purchases[advertiser] = purchases.get(advertiser, 0) + 1
+        for advertiser, price in record.prices.items():
+            spend[advertiser] = spend.get(advertiser, 0.0) + price
+    return {
+        advertiser: AdvertiserReport(
+            advertiser=advertiser,
+            impressions=impressions.get(advertiser, 0),
+            clicks=clicks.get(advertiser, 0),
+            purchases=purchases.get(advertiser, 0),
+            spend=spend.get(advertiser, 0.0),
+            slots_held=slots.get(advertiser, {}),
+        )
+        for advertiser in impressions
+    }
+
+
+@dataclass(frozen=True)
+class RevenueCurvePoint:
+    """Provider revenue accumulated up to (and including) an auction."""
+
+    auction_id: int
+    cumulative_expected: float
+    cumulative_realized: float
+
+
+def revenue_curve(records: Iterable[AuctionRecord],
+                  every: int = 1) -> list[RevenueCurvePoint]:
+    """Cumulative revenue sampled every ``every`` auctions."""
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    points = []
+    expected = 0.0
+    realized = 0.0
+    for index, record in enumerate(records, start=1):
+        expected += record.expected_revenue
+        realized += record.realized_revenue
+        if index % every == 0:
+            points.append(RevenueCurvePoint(
+                auction_id=record.auction_id,
+                cumulative_expected=expected,
+                cumulative_realized=realized))
+    return points
+
+
+def keyword_mix(records: Iterable[AuctionRecord]) -> dict[str, int]:
+    """How many auctions each keyword received."""
+    counts: dict[str, int] = {}
+    for record in records:
+        counts[record.keyword] = counts.get(record.keyword, 0) + 1
+    return counts
+
+
+def slot_fill_rate(records: Iterable[AuctionRecord]) -> dict[int, float]:
+    """Fraction of auctions in which each slot was occupied."""
+    total = 0
+    filled: dict[int, int] = {}
+    num_slots = 0
+    for record in records:
+        total += 1
+        num_slots = max(num_slots, record.allocation.num_slots)
+        for slot in record.allocation.occupied_slots():
+            filled[slot] = filled.get(slot, 0) + 1
+    if total == 0:
+        return {}
+    return {slot: filled.get(slot, 0) / total
+            for slot in range(1, num_slots + 1)}
+
+
+@dataclass(frozen=True)
+class PacingAudit:
+    """How advertiser spend rates compare with their targets."""
+
+    advertiser: int
+    spend_rate: float
+    target: float
+
+    @property
+    def overspending(self) -> bool:
+        return self.spend_rate > self.target
+
+    @property
+    def utilisation(self) -> float:
+        """Spend rate as a fraction of target (1.0 = on target)."""
+        if self.target <= 0:
+            return 0.0
+        return self.spend_rate / self.target
+
+
+def pacing_audit(records: list[AuctionRecord],
+                 targets: Mapping[int, float]) -> list[PacingAudit]:
+    """Audit final spend rates against target spend rates.
+
+    ``targets`` maps advertiser to target rate; spend rate is total
+    spend divided by the trace's final auction time (auction count).
+    """
+    if not records:
+        return []
+    horizon = records[-1].auction_id
+    reports = advertiser_reports(records)
+    audits = []
+    for advertiser, target in sorted(targets.items()):
+        report = reports.get(advertiser)
+        spend = report.spend if report is not None else 0.0
+        audits.append(PacingAudit(advertiser=advertiser,
+                                  spend_rate=spend / horizon,
+                                  target=float(target)))
+    return audits

@@ -1,0 +1,277 @@
+"""The end-to-end auction engine (the six-step protocol of Section I-B).
+
+Per auction: a query arrives, bidding programs are evaluated (eagerly, or
+lazily via RHTALU), winners are determined by the configured method, the
+simulated user clicks/purchases, the pricing rule charges winners, and
+programs are notified — closing the loop that drives dynamic strategies.
+
+Methods:
+
+* ``"lp"`` / ``"hungarian"`` / ``"rh"`` / ``"separable"`` / ``"brute"`` —
+  eager: every program runs, then the revenue matrix is solved by
+  :func:`repro.core.solve`;
+* ``"rhtalu"`` — lazy: program state advances by logical updates and only
+  the threshold algorithm's candidates are touched (requires a
+  :class:`~repro.evaluation.evaluator.RhtaluEvaluator`).
+
+The engine keeps per-phase wall-clock timings in every
+:class:`~repro.auction.events.AuctionRecord`; the Figure 12/13 benchmark
+harness is a thin loop over :meth:`AuctionEngine.run_auction`.
+"""
+
+from __future__ import annotations
+
+import time as time_module
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.auction.accounts import AccountBook
+from repro.auction.events import AuctionRecord
+from repro.auction.pricing import GeneralizedSecondPrice, PricingRule
+from repro.auction.user_model import UserModel
+from repro.core.revenue import build_revenue_matrix, click_bid_revenue_matrix
+from repro.core.winner_determination import Method, solve
+from repro.evaluation.evaluator import RhtaluEvaluator
+from repro.lang.bids import BidsTable
+from repro.lang.formula import Atom
+from repro.lang.outcome import Allocation
+from repro.lang.predicates import ClickPredicate
+from repro.matching.types import MatchingResult
+from repro.probability.click_models import ClickModel
+from repro.probability.estimation import InteractionLog
+from repro.probability.purchase_models import PurchaseModel
+from repro.strategies.base import (
+    AuctionContext,
+    BiddingProgram,
+    ProgramNotification,
+    Query,
+)
+
+EngineMethod = Method | str  # core methods plus "rhtalu"
+
+
+@dataclass
+class EngineConfig:
+    """Engine knobs.
+
+    ``record_log`` additionally feeds an :class:`InteractionLog` for the
+    probability-estimation pipeline.
+    """
+
+    num_slots: int
+    method: EngineMethod = "rh"
+    seed: int = 0
+    record_log: bool = False
+
+
+class AuctionEngine:
+    """Runs auctions for a fixed advertiser population."""
+
+    def __init__(self,
+                 click_model: ClickModel,
+                 purchase_model: PurchaseModel,
+                 query_source: Callable[[np.random.Generator], Query],
+                 config: EngineConfig,
+                 programs: list[BiddingProgram] | None = None,
+                 rhtalu: RhtaluEvaluator | None = None,
+                 pricing: PricingRule | None = None):
+        if config.method == "rhtalu":
+            if rhtalu is None:
+                raise ValueError(
+                    "method 'rhtalu' requires an RhtaluEvaluator")
+        elif not programs:
+            raise ValueError(
+                f"method {config.method!r} requires bidding programs")
+        self.click_model = click_model
+        self.purchase_model = purchase_model
+        self.query_source = query_source
+        self.config = config
+        self.programs = programs or []
+        self.rhtalu = rhtalu
+        self.pricing = pricing or GeneralizedSecondPrice()
+        self.rng = np.random.default_rng(config.seed)
+        self.user_model = UserModel(click_model, purchase_model)
+        self.accounts = AccountBook()
+        self.auction_id = 0
+        self.interaction_log = (
+            InteractionLog(click_model.num_advertisers,
+                           click_model.num_slots)
+            if config.record_log else None)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, count: int) -> list[AuctionRecord]:
+        """Run ``count`` auctions and return their records."""
+        return [self.run_auction() for _ in range(count)]
+
+    def run_auction(self) -> AuctionRecord:
+        """One full pass through the six-step protocol."""
+        self.auction_id += 1
+        now = float(self.auction_id)
+        query = self.query_source(self.rng)
+
+        if self.config.method == "rhtalu":
+            record = self._run_rhtalu(query, now)
+        else:
+            record = self._run_eager(query, now)
+
+        if self.interaction_log is not None:
+            self.interaction_log.record_outcome(record.outcome)
+        return record
+
+    # -- eager path ------------------------------------------------------------
+
+    def _run_eager(self, query: Query, now: float) -> AuctionRecord:
+        ctx = AuctionContext(auction_id=self.auction_id, time=now,
+                             query=query,
+                             num_slots=self.config.num_slots)
+        start = time_module.perf_counter()
+        tables = {program.advertiser_id: program.bid(ctx)
+                  for program in self.programs}
+        eval_seconds = time_module.perf_counter() - start
+
+        start = time_module.perf_counter()
+        bids = extract_click_bids(tables, self.click_model.num_advertisers)
+        if bids is not None:
+            revenue = click_bid_revenue_matrix(bids, self.click_model)
+        else:
+            revenue = build_revenue_matrix(tables, self.click_model,
+                                           self.purchase_model)
+        result = solve(revenue, method=self.config.method)
+        wd_seconds = time_module.perf_counter() - start
+
+        weights = revenue.adjusted()
+        if bids is None:
+            bids = np.array([tables[i].total_declared_value()
+                             if i in tables else 0.0
+                             for i in range(weights.shape[0])])
+        return self._settle(query, now, result.allocation.slot_of,
+                            result.matching, result.expected_revenue,
+                            weights, bids, eval_seconds, wd_seconds,
+                            num_candidates=weights.shape[0])
+
+    # -- RHTALU path -------------------------------------------------------------
+
+    def _run_rhtalu(self, query: Query, now: float) -> AuctionRecord:
+        assert self.rhtalu is not None
+        start = time_module.perf_counter()
+        result = self.rhtalu.run_auction(query.text, now)
+        wd_seconds = time_module.perf_counter() - start
+
+        candidates = list(result.candidates)
+        local_index = {advertiser: row
+                       for row, advertiser in enumerate(candidates)}
+        bids = np.array([self.rhtalu.state.effective_bid(a, query.text)
+                         for a in candidates])
+        clicks = self.rhtalu.click_matrix[candidates, :]
+        weights = clicks * bids[:, None]
+        local_pairs = tuple((local_index[a], col)
+                            for a, col in result.matching.pairs)
+        local_matching = MatchingResult(
+            pairs=local_pairs, total_weight=result.matching.total_weight)
+
+        record = self._settle(
+            query, now, result.allocation.slot_of, local_matching,
+            result.expected_revenue, weights, bids,
+            eval_seconds=0.0, wd_seconds=wd_seconds,
+            num_candidates=len(candidates),
+            id_map=candidates)
+        return record
+
+    # -- settlement (user action, pricing, notification) -------------------------
+
+    def _settle(self, query: Query, now: float,
+                slot_of: dict[int, int], matching: MatchingResult,
+                expected_revenue: float, weights: np.ndarray,
+                bids: np.ndarray, eval_seconds: float,
+                wd_seconds: float, num_candidates: int,
+                id_map: list[int] | None = None) -> AuctionRecord:
+        allocation = Allocation(num_slots=self.config.num_slots,
+                                slot_of=dict(slot_of))
+        outcome = self.user_model.sample(allocation, self.rng)
+
+        click_probs = (self.click_model.as_matrix()[id_map, :]
+                       if id_map is not None
+                       else self.click_model.as_matrix())
+        quotes = self.pricing.quote(weights, bids, click_probs, matching)
+
+        realized = 0.0
+        prices: dict[int, float] = {}
+        notified: set[int] = set()
+        for quote in quotes:
+            advertiser = (id_map[quote.advertiser] if id_map is not None
+                          else quote.advertiser)
+            self.accounts.record_impression(advertiser)
+            charge = quote.per_impression
+            clicked = advertiser in outcome.clicked
+            purchased = advertiser in outcome.purchased
+            if clicked:
+                self.accounts.record_click(advertiser)
+                charge += quote.per_click
+            if purchased:
+                self.accounts.record_purchase(advertiser)
+            if charge > 0:
+                self.accounts.charge(advertiser, charge)
+                realized += charge
+            prices[advertiser] = charge
+            self._notify(advertiser, query, now, allocation, clicked,
+                         purchased, charge)
+            notified.add(advertiser)
+
+        # Losing programs are not notified: nothing observable happened
+        # to them (Section IV's premise that only winners change state).
+        return AuctionRecord(
+            auction_id=self.auction_id,
+            keyword=query.text,
+            allocation=allocation,
+            outcome=outcome,
+            expected_revenue=expected_revenue,
+            realized_revenue=realized,
+            eval_seconds=eval_seconds,
+            wd_seconds=wd_seconds,
+            num_candidates=num_candidates,
+            prices=prices,
+        )
+
+    def _notify(self, advertiser: int, query: Query, now: float,
+                allocation, clicked: bool, purchased: bool,
+                charge: float) -> None:
+        notification = ProgramNotification(
+            auction_id=self.auction_id,
+            keyword=query.text,
+            slot=allocation.slot_for(advertiser),
+            clicked=clicked,
+            purchased=purchased,
+            price_paid=charge,
+        )
+        if self.config.method == "rhtalu":
+            assert self.rhtalu is not None
+            self.rhtalu.record_win(advertiser, charge, now)
+            return
+        for program in self.programs:
+            if program.advertiser_id == advertiser:
+                program.notify(notification)
+                return
+
+
+def extract_click_bids(tables: dict[int, BidsTable],
+                       num_advertisers: int) -> np.ndarray | None:
+    """Detect the single-value-Click-bid special case.
+
+    Returns a dense per-advertiser bid vector when every non-empty table
+    consists solely of rows on the bare ``Click`` formula; otherwise
+    ``None`` (callers fall back to the general revenue builder).
+    """
+    bids = np.zeros(num_advertisers)
+    for advertiser, table in tables.items():
+        for row in table:
+            formula = row.formula
+            if (isinstance(formula, Atom)
+                    and isinstance(formula.predicate, ClickPredicate)
+                    and formula.predicate.advertiser is None):
+                bids[advertiser] += row.value
+            else:
+                return None
+    return bids

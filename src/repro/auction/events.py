@@ -1,0 +1,34 @@
+"""Auction records: what one pass through the protocol produced."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.outcome import Allocation, Outcome
+
+
+@dataclass(frozen=True)
+class AuctionRecord:
+    """Full trace of a single auction.
+
+    Timing is split the way the paper's experiments report it:
+    ``eval_seconds`` covers bidding-program evaluation (Section IV's
+    target) and ``wd_seconds`` covers winner determination (Section III's
+    target); their sum is the per-auction latency plotted in Figures
+    12-13.
+    """
+
+    auction_id: int
+    keyword: str
+    allocation: Allocation
+    outcome: Outcome
+    expected_revenue: float
+    realized_revenue: float
+    eval_seconds: float
+    wd_seconds: float
+    num_candidates: int
+    prices: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.eval_seconds + self.wd_seconds

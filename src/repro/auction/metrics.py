@@ -1,0 +1,49 @@
+"""Aggregate metrics over auction traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.auction.events import AuctionRecord
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Summary statistics of a run of auctions."""
+
+    auctions: int
+    total_expected_revenue: float
+    total_realized_revenue: float
+    total_clicks: int
+    total_impressions: int
+    mean_eval_ms: float
+    mean_wd_ms: float
+    mean_total_ms: float
+    mean_candidates: float
+
+    def __str__(self) -> str:
+        return (
+            f"auctions={self.auctions} "
+            f"expected_rev={self.total_expected_revenue:.2f} "
+            f"realized_rev={self.total_realized_revenue:.2f} "
+            f"clicks={self.total_clicks} "
+            f"eval={self.mean_eval_ms:.3f}ms wd={self.mean_wd_ms:.3f}ms "
+            f"total={self.mean_total_ms:.3f}ms")
+
+
+def summarize(records: list[AuctionRecord]) -> RunSummary:
+    """Collapse a trace into a :class:`RunSummary`."""
+    if not records:
+        return RunSummary(0, 0.0, 0.0, 0, 0, 0.0, 0.0, 0.0, 0.0)
+    return RunSummary(
+        auctions=len(records),
+        total_expected_revenue=sum(r.expected_revenue for r in records),
+        total_realized_revenue=sum(r.realized_revenue for r in records),
+        total_clicks=sum(len(r.outcome.clicked) for r in records),
+        total_impressions=sum(len(r.allocation.slot_of) for r in records),
+        mean_eval_ms=1e3 * mean(r.eval_seconds for r in records),
+        mean_wd_ms=1e3 * mean(r.wd_seconds for r in records),
+        mean_total_ms=1e3 * mean(r.total_seconds for r in records),
+        mean_candidates=mean(r.num_candidates for r in records),
+    )

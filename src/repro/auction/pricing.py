@@ -1,0 +1,131 @@
+"""Pricing rules (Section III's framing: WD first, then price).
+
+Winner determination fixes the allocation; the pricing rule then decides
+what winners actually pay.  The paper's experiments use "a slight
+generalization of generalized second-pricing"; it also discusses Vickrey
+(VCG) pricing.  Both are provided:
+
+* :class:`GeneralizedSecondPrice` — per-click prices.  The advertiser in
+  slot j pays, per click, the smallest amount that would have kept his
+  expected-revenue score at or above the best score achievable for his
+  slot by anyone placed below him or unassigned:
+  ``price_i = max_score_of_others(j) / w_ij``, capped at his own
+  per-click bid.  In the classic separable single-feature setting this
+  reduces exactly to next-bidder GSP.
+* :class:`VickreyPricing` — per-impression expected payments via the VCG
+  formula ``p_i = OPT(without i) − (OPT − gain_i)``; requires re-solving
+  a matching per winner, so it is priced per auction, not per click.
+
+Pricing operates on the *adjusted* expected-revenue weights used by
+winner determination, so multi-feature bids are priced consistently with
+how they won.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matching.reduction import reduced_matching
+from repro.matching.types import MatchingResult
+
+
+@dataclass(frozen=True)
+class PriceQuote:
+    """What one winner will be charged.
+
+    ``per_click`` — charged each time his ad is clicked (GSP);
+    ``per_impression`` — charged once per auction won (VCG).  Exactly one
+    is non-zero for a given rule.
+    """
+
+    advertiser: int
+    slot: int  # 1-based
+    per_click: float = 0.0
+    per_impression: float = 0.0
+
+
+class PricingRule:
+    """Interface: quote prices for a winner-determination result."""
+
+    def quote(self, weights: np.ndarray, bids: np.ndarray,
+              click_probs: np.ndarray,
+              matching: MatchingResult) -> list[PriceQuote]:
+        """Compute quotes.
+
+        Parameters
+        ----------
+        weights:
+            (n x k) adjusted expected-revenue matrix WD ran on.
+        bids:
+            per-advertiser per-click bid (the cap for GSP quotes).
+        click_probs:
+            (n x k) click probabilities (to convert scores to per-click).
+        matching:
+            the winning matching ((advertiser, slot_col) pairs).
+        """
+        raise NotImplementedError
+
+
+class GeneralizedSecondPrice(PricingRule):
+    """Next-best-score GSP, generalised to matching allocations."""
+
+    def quote(self, weights: np.ndarray, bids: np.ndarray,
+              click_probs: np.ndarray,
+              matching: MatchingResult) -> list[PriceQuote]:
+        weights = np.asarray(weights, dtype=float)
+        num_advertisers = weights.shape[0]
+        # Order winners by slot so "below" is well defined.
+        winners = sorted(matching.pairs, key=lambda pair: pair[1])
+        winner_ids = [advertiser for advertiser, _ in winners]
+        quotes = []
+        excluded = np.zeros(num_advertisers, dtype=bool)
+        for rank, (advertiser, col) in enumerate(winners):
+            # Rivals: everyone not placed in this slot or above.
+            excluded[winner_ids[rank]] = True
+            rivals = np.where(excluded, -np.inf, weights[:, col])
+            rival_best = max(float(rivals.max(initial=-np.inf)), 0.0)
+            w = float(click_probs[advertiser, col])
+            if w <= 0.0:
+                per_click = 0.0
+            else:
+                per_click = min(rival_best / w, float(bids[advertiser]))
+            quotes.append(PriceQuote(advertiser=advertiser, slot=col + 1,
+                                     per_click=max(per_click, 0.0)))
+        return quotes
+
+
+class VickreyPricing(PricingRule):
+    """VCG payments: each winner pays his externality on the others."""
+
+    def quote(self, weights: np.ndarray, bids: np.ndarray,
+              click_probs: np.ndarray,
+              matching: MatchingResult) -> list[PriceQuote]:
+        weights = np.asarray(weights, dtype=float)
+        total = matching.total_weight
+        quotes = []
+        for advertiser, col in matching.pairs:
+            gain = float(weights[advertiser, col])
+            others_with = total - gain
+            without = reduced_matching(
+                np.delete(weights, advertiser, axis=0)).total_weight
+            payment = max(without - others_with, 0.0)
+            quotes.append(PriceQuote(advertiser=advertiser, slot=col + 1,
+                                     per_impression=payment))
+        return quotes
+
+
+class PayYourBid(PricingRule):
+    """First-price rule: pay your own per-click bid on every click.
+
+    The accounting winner determination itself assumes; useful as a
+    baseline and for tests that need revenue == matching weight.
+    """
+
+    def quote(self, weights: np.ndarray, bids: np.ndarray,
+              click_probs: np.ndarray,
+              matching: MatchingResult) -> list[PriceQuote]:
+        return [PriceQuote(advertiser=advertiser, slot=col + 1,
+                           per_click=float(bids[advertiser]))
+                for advertiser, col in matching.pairs]

@@ -1,0 +1,86 @@
+"""Auction-trace persistence: JSONL export/import of auction records.
+
+A production auction system journals every auction; analyses (revenue
+curves, pacing audits, probability estimation) run off the journal, not
+the live engine.  This module serialises :class:`AuctionRecord` streams
+to JSON lines and back.  Outcomes round-trip exactly; timing fields are
+preserved as floats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.auction.events import AuctionRecord
+from repro.lang.outcome import Allocation, Outcome
+
+
+def record_to_dict(record: AuctionRecord) -> dict:
+    """A JSON-ready dictionary for one auction record."""
+    return {
+        "auction_id": record.auction_id,
+        "keyword": record.keyword,
+        "num_slots": record.allocation.num_slots,
+        "slot_of": {str(adv): slot
+                    for adv, slot in record.allocation.slot_of.items()},
+        "clicked": sorted(record.outcome.clicked),
+        "purchased": sorted(record.outcome.purchased),
+        "heavyweights": sorted(record.outcome.heavyweights),
+        "expected_revenue": record.expected_revenue,
+        "realized_revenue": record.realized_revenue,
+        "eval_seconds": record.eval_seconds,
+        "wd_seconds": record.wd_seconds,
+        "num_candidates": record.num_candidates,
+        "prices": {str(adv): price
+                   for adv, price in record.prices.items()},
+    }
+
+
+def record_from_dict(data: dict) -> AuctionRecord:
+    """Rebuild an auction record from its dictionary form."""
+    allocation = Allocation(
+        num_slots=int(data["num_slots"]),
+        slot_of={int(adv): int(slot)
+                 for adv, slot in data["slot_of"].items()})
+    outcome = Outcome(
+        allocation=allocation,
+        clicked=frozenset(int(a) for a in data["clicked"]),
+        purchased=frozenset(int(a) for a in data["purchased"]),
+        heavyweights=frozenset(int(a) for a in data["heavyweights"]))
+    return AuctionRecord(
+        auction_id=int(data["auction_id"]),
+        keyword=str(data["keyword"]),
+        allocation=allocation,
+        outcome=outcome,
+        expected_revenue=float(data["expected_revenue"]),
+        realized_revenue=float(data["realized_revenue"]),
+        eval_seconds=float(data["eval_seconds"]),
+        wd_seconds=float(data["wd_seconds"]),
+        num_candidates=int(data["num_candidates"]),
+        prices={int(adv): float(price)
+                for adv, price in data["prices"].items()},
+    )
+
+
+def write_trace(path: str | Path,
+                records: Iterable[AuctionRecord]) -> int:
+    """Write records as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record),
+                                    sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> Iterator[AuctionRecord]:
+    """Stream records back from a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield record_from_dict(json.loads(line))

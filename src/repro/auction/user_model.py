@@ -1,0 +1,73 @@
+"""User behaviour simulation (Step 4 of the auction protocol).
+
+After the slots are filled, the (simulated) user clicks and purchases
+according to the very click/purchase models winner determination priced
+bids with — the self-consistency that makes expected and realized
+revenue converge over many auctions (a property the integration tests
+check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lang.outcome import Allocation, Outcome
+from repro.probability.click_models import ClickModel
+from repro.probability.heavyweight import HeavyweightClickModel
+from repro.probability.purchase_models import PurchaseModel
+
+
+@dataclass
+class UserModel:
+    """Samples clicks and purchases for a realized allocation."""
+
+    click_model: ClickModel
+    purchase_model: PurchaseModel
+
+    def sample(self, allocation: Allocation,
+               rng: np.random.Generator) -> Outcome:
+        clicked = set()
+        purchased = set()
+        for advertiser, slot_index in allocation.slot_of.items():
+            if rng.random() < self.click_model.p_click(advertiser,
+                                                       slot_index):
+                clicked.add(advertiser)
+                q = self.purchase_model.p_purchase_given_click(
+                    advertiser, slot_index)
+                if q > 0 and rng.random() < q:
+                    purchased.add(advertiser)
+        return Outcome(allocation=allocation,
+                       clicked=frozenset(clicked),
+                       purchased=frozenset(purchased))
+
+
+@dataclass
+class HeavyweightUserModel:
+    """User model under the Section III-F layout-dependent click model."""
+
+    click_model: HeavyweightClickModel
+    purchase_model: PurchaseModel
+    heavyweights: frozenset[int]
+
+    def sample(self, allocation: Allocation,
+               rng: np.random.Generator) -> Outcome:
+        layout = frozenset(
+            slot_index
+            for advertiser, slot_index in allocation.slot_of.items()
+            if advertiser in self.heavyweights)
+        clicked = set()
+        purchased = set()
+        for advertiser, slot_index in allocation.slot_of.items():
+            p = self.click_model.p_click(advertiser, slot_index, layout)
+            if rng.random() < p:
+                clicked.add(advertiser)
+                q = self.purchase_model.p_purchase_given_click(
+                    advertiser, slot_index)
+                if q > 0 and rng.random() < q:
+                    purchased.add(advertiser)
+        return Outcome(allocation=allocation,
+                       clicked=frozenset(clicked),
+                       purchased=frozenset(purchased),
+                       heavyweights=self.heavyweights)

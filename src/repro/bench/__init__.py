@@ -1,0 +1,15 @@
+"""Benchmark harness utilities: timing, figure series, reporting."""
+
+from repro.bench.reporting import SpeedupReport, ordering_holds, speedup
+from repro.bench.series import FigureSeries
+from repro.bench.timing import TimingResult, time_auction_run, time_callable
+
+__all__ = [
+    "FigureSeries",
+    "SpeedupReport",
+    "TimingResult",
+    "ordering_holds",
+    "speedup",
+    "time_auction_run",
+    "time_callable",
+]

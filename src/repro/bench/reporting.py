@@ -1,0 +1,62 @@
+"""Report helpers: cross-method comparisons in paper-like terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.series import FigureSeries
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Pairwise speedups between methods at each x of a series."""
+
+    baseline: str
+    contender: str
+    rows: tuple[tuple[float, float], ...]  # (x, speedup factor)
+
+    def to_lines(self) -> list[str]:
+        lines = [f"speedup of {self.contender} over {self.baseline}:"]
+        for x, factor in self.rows:
+            lines.append(f"  x={x:g}: {factor:.1f}x")
+        return lines
+
+
+def speedup(series: FigureSeries, baseline: str,
+            contender: str) -> SpeedupReport:
+    """How many times faster ``contender`` is than ``baseline``.
+
+    This is how the paper words its findings ("roughly an order of
+    magnitude improvement ... and further order of magnitude ...").
+    """
+    rows = []
+    for x in series.xs():
+        base = series.value(x, baseline)
+        other = series.value(x, contender)
+        if base is None or other is None or other == 0:
+            continue
+        rows.append((x, base / other))
+    return SpeedupReport(baseline=baseline, contender=contender,
+                         rows=tuple(rows))
+
+
+def ordering_holds(series: FigureSeries, slow_to_fast: list[str],
+                   at_x: float | None = None) -> bool:
+    """Whether methods rank in the expected order (slowest first).
+
+    The reproduction's acceptance criterion is the *shape* of the paper's
+    figures: who wins, not absolute milliseconds.  Checked at the largest
+    x by default, where the asymptotics dominate.
+    """
+    xs = series.xs()
+    if not xs:
+        return False
+    x = xs[-1] if at_x is None else at_x
+    values = []
+    for method in slow_to_fast:
+        value = series.value(x, method)
+        if value is None:
+            return False
+        values.append(value)
+    return all(earlier >= later for earlier, later in zip(values,
+                                                          values[1:]))

@@ -1,0 +1,87 @@
+"""Figure series: the (x, method) -> value grids the paper plots."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: per-method curves over a shared x axis.
+
+    ``x_label`` is the abscissa ("Number of advertisers"), ``y_label``
+    the ordinate ("Time per auction (ms)").  Cells may be missing (a
+    method skipped at a size); rendering shows a dash.
+    """
+
+    name: str
+    x_label: str
+    y_label: str
+    methods: list[str]
+    cells: dict[tuple[float, str], float] = field(default_factory=dict)
+
+    def record(self, x: float, method: str, value: float) -> None:
+        if method not in self.methods:
+            raise ValueError(f"unknown method {method!r}; expected one of "
+                             f"{self.methods}")
+        self.cells[(float(x), method)] = float(value)
+
+    def xs(self) -> list[float]:
+        return sorted({x for x, _ in self.cells})
+
+    def value(self, x: float, method: str) -> float | None:
+        return self.cells.get((float(x), method))
+
+    def series_for(self, method: str) -> list[tuple[float, float]]:
+        return [(x, self.cells[(x, method)]) for x in self.xs()
+                if (x, method) in self.cells]
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_rows(self) -> list[list[str]]:
+        """Rows ready for printing: header plus one row per x value."""
+        header = [self.x_label] + list(self.methods)
+        rows = [header]
+        for x in self.xs():
+            row = [_format_number(x)]
+            for method in self.methods:
+                value = self.value(x, method)
+                row.append("-" if value is None
+                           else _format_number(value))
+            rows.append(row)
+        return rows
+
+    def to_table(self) -> str:
+        """An aligned ASCII table (what the harness prints)."""
+        rows = self.to_rows()
+        widths = [max(len(row[i]) for row in rows)
+                  for i in range(len(rows[0]))]
+        lines = []
+        for index, row in enumerate(rows):
+            line = "  ".join(cell.rjust(width)
+                             for cell, width in zip(row, widths))
+            lines.append(line)
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        title = f"{self.name}  ({self.y_label})"
+        return title + "\n" + "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV export for external plotting."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        for row in self.to_rows():
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) >= 1:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"

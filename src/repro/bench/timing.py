@@ -1,0 +1,72 @@
+"""Timing utilities for the experiment harness.
+
+``pytest-benchmark`` drives the per-figure benchmark modules; this module
+serves the standalone series harness (``benchmarks/harness.py``), which
+regenerates whole figures — many (n, method) cells — in one process,
+where pytest-benchmark's one-benchmark-per-test model is too rigid.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock samples of repeated calls (seconds)."""
+
+    samples: tuple[float, ...]
+
+    @property
+    def mean_s(self) -> float:
+        return mean(self.samples)
+
+    @property
+    def median_s(self) -> float:
+        return median(self.samples)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean_ms(self) -> float:
+        return 1e3 * self.mean_s
+
+    @property
+    def median_ms(self) -> float:
+        return 1e3 * self.median_s
+
+
+def time_callable(fn: Callable[[], object], repeats: int,
+                  warmup: int = 1) -> TimingResult:
+    """Time ``fn`` ``repeats`` times after ``warmup`` unmeasured calls.
+
+    Each call is timed individually (the harness measures per-auction
+    latency, and successive auctions legitimately differ as program state
+    evolves — which is also why we never re-run a "round" on reset
+    state).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(samples=tuple(samples))
+
+
+def time_auction_run(run_auction: Callable[[], object],
+                     auctions: int) -> TimingResult:
+    """Average per-auction latency over a run (the paper's metric).
+
+    The paper reports "average time taken per auction (over 100
+    auctions)"; this helper times each auction of a single evolving run.
+    """
+    return time_callable(run_auction, repeats=auctions, warmup=0)

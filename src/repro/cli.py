@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Run the Section V workload through the auction engine and print a
+    run summary (optionally writing a JSONL trace).
+``validate``
+    Self-check: solve random instances with every exact method and
+    verify they agree (the Theorem 2 equivalence, as a smoke test).
+``sql``
+    Execute sqlmini statements from the command line or stdin — handy
+    for exploring the bidding-program dialect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.auction import AuctionEngine, EngineConfig, summarize
+    from repro.auction.trace import write_trace
+    from repro.workloads import PaperWorkload, PaperWorkloadConfig
+
+    workload = PaperWorkload(PaperWorkloadConfig(
+        num_advertisers=args.advertisers, num_slots=args.slots,
+        num_keywords=args.keywords, seed=args.seed))
+    kwargs = dict(click_model=workload.click_model(),
+                  purchase_model=workload.purchase_model(),
+                  query_source=workload.query_source(),
+                  config=EngineConfig(num_slots=args.slots,
+                                      method=args.method,
+                                      seed=args.seed + 1))
+    if args.method == "rhtalu":
+        engine = AuctionEngine(rhtalu=workload.build_rhtalu(), **kwargs)
+    else:
+        engine = AuctionEngine(programs=workload.build_programs(),
+                               **kwargs)
+    records = engine.run(args.auctions)
+    print(summarize(records))
+    print(f"provider revenue: {engine.accounts.provider_revenue:.2f} "
+          f"over {engine.accounts.total_clicks()} clicks")
+    if args.trace:
+        count = write_trace(args.trace, records)
+        print(f"wrote {count} records to {args.trace}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core import determine_winners, results_agree
+    from repro.probability import ConstantRatePurchaseModel
+    from repro.workloads.generators import (
+        random_bid_population,
+        random_click_model,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    failures = 0
+    for trial in range(args.trials):
+        n = int(rng.integers(1, 7))
+        k = int(rng.integers(1, 4))
+        click_model = random_click_model(n, k, rng)
+        purchase_model = ConstantRatePurchaseModel(n, k,
+                                                   rate_given_click=0.2)
+        tables = random_bid_population(n, rng)
+        results = [determine_winners(tables, click_model, purchase_model,
+                                     method=method)
+                   for method in ("lp", "hungarian", "rh", "brute")]
+        if not all(results_agree(results[0], other)
+                   for other in results[1:]):
+            failures += 1
+            print(f"trial {trial}: METHOD DISAGREEMENT "
+                  f"{[r.expected_revenue for r in results]}")
+    verdict = "OK" if failures == 0 else f"{failures} FAILURES"
+    print(f"validate: {args.trials} random instances, "
+          f"4 methods each: {verdict}")
+    return 1 if failures else 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.sqlmini import Database, SelectResult, SqlError
+
+    database = Database()
+    source = " ".join(args.statements) if args.statements \
+        else sys.stdin.read()
+    try:
+        from repro.sqlmini.parser import parse_script
+        script = parse_script(source)
+        for statement in script.statements:
+            result = database.execute(statement)
+            if isinstance(result, SelectResult):
+                print("\t".join(result.columns))
+                for row in result.rows:
+                    print("\t".join("NULL" if value is None else str(value)
+                                    for value in row))
+            elif isinstance(result, int):
+                print(f"-- {result} row(s) affected")
+    except SqlError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Expressive and scalable sponsored-search auctions "
+                    "(Martin, Gehrke & Halpern, ICDE 2008)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run the Section V workload")
+    simulate.add_argument("--advertisers", type=int, default=200)
+    simulate.add_argument("--auctions", type=int, default=200)
+    simulate.add_argument("--slots", type=int, default=15)
+    simulate.add_argument("--keywords", type=int, default=10)
+    simulate.add_argument("--method", default="rh",
+                          choices=["lp", "hungarian", "rh", "rhtalu"])
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--trace", default=None,
+                          help="write a JSONL auction trace here")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    validate = commands.add_parser(
+        "validate", help="cross-method agreement self-check")
+    validate.add_argument("--trials", type=int, default=25)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(func=_cmd_validate)
+
+    sql = commands.add_parser(
+        "sql", help="execute sqlmini statements (args or stdin)")
+    sql.add_argument("statements", nargs="*",
+                     help="SQL text; omit to read stdin")
+    sql.set_defaults(func=_cmd_sql)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,60 @@
+"""The intractable side of the frontier (Theorem 3) at the core API level.
+
+Winner determination rejects non-1-dependent bids
+(:class:`repro.lang.NotOneDependentError`).  For *tiny* instances this
+module still lets you solve them exactly, so that examples and tests can
+demonstrate both what 2-dependent bids express and why they cannot scale:
+the only general solver is enumeration over all C(n,k)·k! allocations.
+
+Only slot-predicate bids are supported here (clicks/purchases of multiple
+interacting advertisers would need a joint user model the paper does not
+define); the Theorem 3 gadget is exactly of this shape.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lang.bids import BidsTable
+from repro.lang.formula import Formula
+from repro.lang.outcome import Allocation, Outcome
+from repro.lang.predicates import AdvertiserId, SlotPredicate
+from repro.matching.brute_force import brute_force_allocation
+
+
+class UnsupportedHardBidError(ValueError):
+    """A bid uses non-slot predicates in the exact hard-case solver."""
+
+
+def slot_only(tables: Mapping[AdvertiserId, BidsTable]) -> bool:
+    """Whether every bid formula uses slot predicates only."""
+    for table in tables.values():
+        for row in table:
+            if not _is_slot_only(row.formula):
+                return False
+    return True
+
+
+def exact_slot_only_wd(tables: Mapping[AdvertiserId, BidsTable],
+                       num_advertisers: int,
+                       num_slots: int) -> tuple[Allocation, float]:
+    """Exact winner determination for arbitrary-dependence slot bids.
+
+    Revenue of an allocation is deterministic (no clicks involved), so
+    the objective is the summed OR-bid payment.  Exponential; guarded by
+    the brute-force size cap.
+    """
+    if not slot_only(tables):
+        raise UnsupportedHardBidError(
+            "exact_slot_only_wd handles slot-predicate bids only")
+
+    def revenue_of(allocation: Allocation) -> float:
+        outcome = Outcome(allocation=allocation)
+        return sum(table.payment(outcome, owner)
+                   for owner, table in tables.items())
+
+    return brute_force_allocation(num_advertisers, num_slots, revenue_of)
+
+
+def _is_slot_only(formula: Formula) -> bool:
+    return all(isinstance(atom, SlotPredicate) for atom in formula.atoms())

@@ -1,0 +1,213 @@
+"""Winner determination beyond 1-dependence (Section III-F).
+
+Advertisers are classified heavyweight or lightweight; click
+probabilities and bids may condition on *which slots hold heavyweights*
+(``HeavyInSlot_j`` predicates).  The paper's algorithm enumerates the 2^k
+heavyweight layouts; for each layout S it solves two disjoint matchings —
+heavyweights onto the slots of S, lightweights onto the rest — and keeps
+the best layout.  Serial cost O(2^k (n log k + k^5)); the per-layout
+problems are independent, so 2^k processors solve it in the time of one
+(we report both via :class:`HeavyweightWdStats`).
+
+Layout semantics: solving layout S *requires* every slot in S to be
+filled by a heavyweight and forbids heavyweights elsewhere.  Every
+allocation realises exactly one layout (the set of slots its heavyweights
+occupy), so the per-layout optima partition the search space and the
+maximum over layouts is the global optimum — the property the tests
+verify against brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.lang.bids import BidsTable
+from repro.lang.dependence import analyze_formula
+from repro.lang.outcome import Allocation
+from repro.lang.predicates import AdvertiserId
+from repro.matching.hungarian import max_weight_matching
+from repro.matching.reduction import reduced_matching
+from repro.probability.formula_prob import heavy_expected_table_value
+from repro.probability.heavyweight import HeavyweightClickModel, all_layouts
+from repro.probability.purchase_models import PurchaseModel
+
+
+@dataclass(frozen=True)
+class HeavyweightWdStats:
+    """Work accounting for the 2^k layout enumeration."""
+
+    layouts_considered: int
+    layouts_feasible: int
+    serial_matchings: int
+    parallel_critical_matchings: int
+
+
+@dataclass(frozen=True)
+class HeavyweightWdResult:
+    """The revenue-maximising allocation and its realized layout."""
+
+    allocation: Allocation
+    heavy_slots: frozenset[int]
+    expected_revenue: float
+    stats: HeavyweightWdStats
+
+
+class HeavyweightBidError(ValueError):
+    """A bid is not solvable by the layout decomposition.
+
+    Bids may mention the bidder's own slot, clicks, purchases, and the
+    heavyweight layout — but not other advertisers directly.
+    """
+
+
+def determine_winners_heavyweight(
+        tables: Mapping[AdvertiserId, BidsTable],
+        heavyweights: frozenset[AdvertiserId],
+        click_model: HeavyweightClickModel,
+        purchase_model: PurchaseModel) -> HeavyweightWdResult:
+    """The 2^k-layout winner-determination algorithm of Section III-F."""
+    num_advertisers = click_model.num_advertisers
+    num_slots = click_model.num_slots
+    _validate_bids(tables)
+
+    heavy_ids = sorted(adv for adv in range(num_advertisers)
+                       if adv in heavyweights)
+    light_ids = sorted(adv for adv in range(num_advertisers)
+                       if adv not in heavyweights)
+
+    best_revenue = -np.inf
+    best_allocation: Allocation | None = None
+    best_layout: frozenset[int] = frozenset()
+    layouts_considered = 0
+    layouts_feasible = 0
+
+    for layout in all_layouts(num_slots):
+        layouts_considered += 1
+        if len(layout) > len(heavy_ids):
+            continue  # not enough heavyweights to realise this layout
+        layouts_feasible += 1
+
+        baseline, heavy_pairs, light_pairs, gain = _solve_layout(
+            tables, layout, heavy_ids, light_ids, num_slots,
+            click_model, purchase_model)
+        if heavy_pairs is None:
+            continue  # heavy side could not fill every layout slot
+        revenue = baseline + gain
+        if revenue > best_revenue + 1e-12:
+            best_revenue = revenue
+            best_layout = layout
+            slot_of = dict(heavy_pairs)
+            slot_of.update(light_pairs)
+            best_allocation = Allocation(num_slots=num_slots,
+                                         slot_of=slot_of)
+
+    if best_allocation is None:  # pragma: no cover - layout () always works
+        raise RuntimeError("no feasible layout; this cannot happen since "
+                           "the empty layout is always feasible")
+    stats = HeavyweightWdStats(
+        layouts_considered=layouts_considered,
+        layouts_feasible=layouts_feasible,
+        serial_matchings=2 * layouts_feasible,
+        parallel_critical_matchings=2,
+    )
+    return HeavyweightWdResult(allocation=best_allocation,
+                               heavy_slots=best_layout,
+                               expected_revenue=float(best_revenue),
+                               stats=stats)
+
+
+def expected_revenue_of_allocation(
+        tables: Mapping[AdvertiserId, BidsTable],
+        allocation: Allocation,
+        heavyweights: frozenset[AdvertiserId],
+        click_model: HeavyweightClickModel,
+        purchase_model: PurchaseModel) -> float:
+    """Expected pay-what-you-bid revenue of a concrete allocation.
+
+    The layout is the one the allocation itself realises.  This is the
+    objective the brute-force oracle maximises in tests.
+    """
+    layout = frozenset(slot_index
+                       for adv, slot_index in allocation.slot_of.items()
+                       if adv in heavyweights)
+    total = 0.0
+    for advertiser, table in tables.items():
+        slot_index = allocation.slot_for(advertiser)
+        total += heavy_expected_table_value(
+            table, advertiser, slot_index, layout, click_model,
+            purchase_model)
+    return total
+
+
+def _solve_layout(tables, layout, heavy_ids, light_ids, num_slots,
+                  click_model, purchase_model):
+    """Solve the two disjoint matchings for one heavyweight layout.
+
+    Returns ``(baseline, heavy_pairs, light_pairs, matching_gain)``;
+    ``heavy_pairs`` is ``None`` when the layout cannot be realised.
+    """
+    heavy_slots = sorted(layout)
+    light_slots = [j for j in range(1, num_slots + 1) if j not in layout]
+
+    baseline = 0.0
+    values: dict[AdvertiserId, dict[int | None, float]] = {}
+    for advertiser, table in tables.items():
+        per_slot: dict[int | None, float] = {}
+        own_slots = (heavy_slots if advertiser in set(heavy_ids)
+                     else light_slots)
+        for slot_index in own_slots:
+            per_slot[slot_index] = heavy_expected_table_value(
+                table, advertiser, slot_index, layout, click_model,
+                purchase_model)
+        per_slot[None] = heavy_expected_table_value(
+            table, advertiser, None, layout, click_model, purchase_model)
+        values[advertiser] = per_slot
+        baseline += per_slot[None]
+
+    gain = 0.0
+    heavy_pairs: list[tuple[AdvertiserId, int]] = []
+    if heavy_slots:
+        weights = np.array(
+            [[values.get(adv, {None: 0.0}).get(slot_index, 0.0)
+              - values.get(adv, {None: 0.0})[None]
+              for slot_index in heavy_slots]
+             for adv in heavy_ids])
+        # Every layout slot must be filled: perfect matching on the slot
+        # side, so orient slots as rows and forbid unmatched rows.
+        matching = max_weight_matching(weights.T, allow_unmatched=False,
+                                       backend="python")
+        if len(matching.pairs) < len(heavy_slots):
+            return baseline, None, [], 0.0
+        for slot_row, adv_col in matching.pairs:
+            heavy_pairs.append((heavy_ids[adv_col], heavy_slots[slot_row]))
+        gain += matching.total_weight
+
+    light_pairs: list[tuple[AdvertiserId, int]] = []
+    if light_slots and light_ids:
+        weights = np.array(
+            [[values.get(adv, {None: 0.0}).get(slot_index, 0.0)
+              - values.get(adv, {None: 0.0})[None]
+              for slot_index in light_slots]
+             for adv in light_ids])
+        matching = reduced_matching(weights, select_backend="heap",
+                                    hungarian_backend="python")
+        for adv_row, slot_col in matching.pairs:
+            light_pairs.append((light_ids[adv_row], light_slots[slot_col]))
+        gain += matching.total_weight
+
+    return baseline, heavy_pairs, light_pairs, gain
+
+
+def _validate_bids(tables: Mapping[AdvertiserId, BidsTable]) -> None:
+    for owner, table in tables.items():
+        for row in table:
+            profile = analyze_formula(row.formula, owner)
+            if profile.advertisers - {owner}:
+                raise HeavyweightBidError(
+                    f"bid {row.formula} by advertiser {owner} references "
+                    f"other advertisers {sorted(profile.advertisers - {owner})}; "
+                    "the layout decomposition only supports own-slot, "
+                    "click, purchase, and HeavyInSlot predicates")

@@ -1,0 +1,67 @@
+"""Invariant checks over winner-determination results.
+
+These are the assertions the test suite leans on, factored into library
+code so examples and the auction engine can also run them cheaply after
+every auction (a production system would call this its shadow auditor).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.revenue import RevenueMatrix
+from repro.core.winner_determination import WdResult
+
+
+class WdInvariantError(AssertionError):
+    """A winner-determination result violates a structural invariant."""
+
+
+def check_result(result: WdResult, revenue: RevenueMatrix,
+                 tolerance: float = 1e-9) -> None:
+    """Validate a WD result against its revenue matrix.
+
+    Checks: allocation consistency with the matching; slot bounds and
+    uniqueness (already enforced by :class:`Allocation`, re-checked for
+    defence in depth); the reported expected revenue matches an
+    independent recomputation; and no matched edge has negative adjusted
+    weight (it would be better left unmatched).
+    """
+    allocation = result.allocation
+    pairs = dict(result.matching.pairs)
+
+    if set(allocation.slot_of) != set(pairs):
+        raise WdInvariantError(
+            "allocation advertisers differ from matching advertisers")
+    for advertiser, col in pairs.items():
+        if allocation.slot_of[advertiser] != col + 1:
+            raise WdInvariantError(
+                f"advertiser {advertiser}: allocation says slot "
+                f"{allocation.slot_of[advertiser]}, matching says {col + 1}")
+
+    recomputed = revenue.total_for(result.matching.pairs)
+    if not math.isclose(recomputed, result.expected_revenue,
+                        rel_tol=0.0, abs_tol=max(tolerance,
+                                                 tolerance * abs(recomputed))):
+        raise WdInvariantError(
+            f"expected revenue {result.expected_revenue} != recomputed "
+            f"{recomputed}")
+
+    adjusted = revenue.adjusted()
+    for advertiser, col in result.matching.pairs:
+        if adjusted[advertiser, col] < -tolerance:
+            raise WdInvariantError(
+                f"matched edge ({advertiser}, slot {col + 1}) has negative "
+                f"adjusted weight {adjusted[advertiser, col]}")
+
+
+def results_agree(first: WdResult, second: WdResult,
+                  tolerance: float = 1e-6) -> bool:
+    """Whether two methods found equally good allocations.
+
+    Allocations may differ (ties), but the objective must match — this is
+    the cross-method equivalence property (LP == H == RH) the paper's
+    correctness rests on.
+    """
+    return math.isclose(first.expected_revenue, second.expected_revenue,
+                        rel_tol=tolerance, abs_tol=tolerance)

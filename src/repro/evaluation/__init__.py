@@ -1,0 +1,35 @@
+"""Reduced program evaluation (Section IV): TA + logical updates.
+
+The sorted per-parameter indexes and the threshold algorithm of
+Section IV-A; the delta lists, adjustment variables, and trigger queues
+of Section IV-B; and the RHTALU evaluator that combines them with the
+reduced Hungarian matching.
+"""
+
+from repro.evaluation.delta_list import DeltaList, MergedDeltaSource
+from repro.evaluation.evaluator import RhtaluAuctionResult, RhtaluEvaluator
+from repro.evaluation.pacer_state import LazyPacerState
+from repro.evaluation.sorted_index import SortedIndex
+from repro.evaluation.threshold import (
+    TopKResult,
+    full_scan_top_k,
+    make_index,
+    product_aggregate,
+    threshold_top_k,
+)
+from repro.evaluation.trigger_queue import TriggerQueue
+
+__all__ = [
+    "DeltaList",
+    "LazyPacerState",
+    "MergedDeltaSource",
+    "RhtaluAuctionResult",
+    "RhtaluEvaluator",
+    "SortedIndex",
+    "TopKResult",
+    "TriggerQueue",
+    "full_scan_top_k",
+    "make_index",
+    "product_aggregate",
+    "threshold_top_k",
+]

@@ -1,0 +1,113 @@
+"""Delta lists: the logical-update structure of Section IV-B.
+
+A delta list holds bidding programs whose bids all move by the same
+amount at the same moments (e.g. every ROI pacer currently decrementing
+its bid for keyword "shoe").  Instead of updating every member, the list
+keeps a single *adjustment variable*: a member's effective bid is its
+stored bid plus the list's adjustment, so decrementing everyone is one
+``adjust(-step)`` in O(1).  Sorted order is preserved because all members
+move together.
+
+The delta list also serves as a TA :class:`~repro.evaluation.threshold.
+RankedSource` (descending iteration and random access are by effective
+value), and :class:`MergedDeltaSource` lazily merges several delta lists
+into one descending stream — the bid-sorted input TA needs when a
+keyword's bidders are spread across increment/decrement/constant lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Sequence
+
+from repro.evaluation.sorted_index import SortedIndex
+
+
+class DeltaList:
+    """A sorted set of ids whose values share one adjustment variable."""
+
+    def __init__(self):
+        self._stored = SortedIndex()
+        self.adjustment = 0.0
+
+    def __len__(self) -> int:
+        return len(self._stored)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._stored
+
+    def insert(self, item: int, effective: float) -> None:
+        """Add a member at a given *effective* value."""
+        self._stored.insert(item, effective - self.adjustment)
+
+    def remove(self, item: int) -> float:
+        """Remove a member, returning its effective value."""
+        return self._stored.remove(item) + self.adjustment
+
+    def key(self, item: int) -> float:
+        """Random access: the member's effective value."""
+        return self._stored.key(item) + self.adjustment
+
+    def adjust(self, delta: float) -> None:
+        """Logically add ``delta`` to every member in O(1)."""
+        self.adjustment += delta
+
+    def descending(self) -> Iterator[tuple[int, float]]:
+        """Yield (id, effective value), best first."""
+        adjustment = self.adjustment
+        for item, stored in self._stored.descending():
+            yield item, stored + adjustment
+
+    def max_effective(self) -> float | None:
+        """The largest effective value, or None when empty."""
+        stored_max = self._stored.max_key()
+        if stored_max is None:
+            return None
+        return stored_max + self.adjustment
+
+    def items(self) -> dict[int, float]:
+        """Snapshot of id -> effective value."""
+        return {item: stored + self.adjustment
+                for item, stored in self._stored.items().items()}
+
+
+class MergedDeltaSource:
+    """A lazy k-way merge of delta lists, by descending effective value.
+
+    Presents several delta lists (increment, decrement, constant) as one
+    TA source.  Random access probes the lists in order; ids must live in
+    exactly one list at a time (the pacer-state invariant).
+    """
+
+    def __init__(self, lists: Sequence[DeltaList]):
+        self.lists = list(lists)
+
+    def descending(self) -> Iterator[tuple[int, float]]:
+        iterators = [lst.descending() for lst in self.lists]
+        heap: list[tuple[float, int, int, int]] = []
+        for index, iterator in enumerate(iterators):
+            entry = next(iterator, None)
+            if entry is not None:
+                item, value = entry
+                # Negated value for a max-merge via the min-heap; ties
+                # break toward the lower id.
+                heapq.heappush(heap, (-value, item, index, 0))
+        while heap:
+            neg_value, item, index, _ = heapq.heappop(heap)
+            yield item, -neg_value
+            entry = next(iterators[index], None)
+            if entry is not None:
+                next_item, next_value = entry
+                heapq.heappush(heap, (-next_value, next_item, index, 0))
+
+    def key(self, item: int) -> float:
+        for lst in self.lists:
+            if item in lst:
+                return lst.key(item)
+        raise KeyError(f"id {item} is in none of the merged lists")
+
+    def __contains__(self, item: int) -> bool:
+        return any(item in lst for lst in self.lists)
+
+    def __len__(self) -> int:
+        return sum(len(lst) for lst in self.lists)

@@ -1,0 +1,79 @@
+"""Sorted per-parameter indexes for the threshold algorithm (IV-A).
+
+The paper keeps, for each slot and each advertiser-specific parameter, a
+list of bidders sorted by that parameter, maintained incrementally as
+winners update their state.  :class:`SortedIndex` is that structure: ids
+sorted by a float key, supporting descending sequential access (what TA's
+sorted access needs), random access by id, and incremental repositioning.
+
+Implementation: a bisect-maintained array of ``(key, id)`` pairs plus an
+``id -> key`` map.  Updates are O(log n) search + O(n) memmove — the
+memmove is C-speed and only the k winners per auction ever move, which
+matches the paper's O(|Y_j| k log n) maintenance budget in spirit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator
+
+
+class SortedIndex:
+    """Ids ordered by a float key (descending iteration order)."""
+
+    def __init__(self, items: dict[int, float] | None = None):
+        self._key_of: dict[int, float] = {}
+        self._entries: list[tuple[float, int]] = []
+        if items:
+            self._key_of = {int(i): float(k) for i, k in items.items()}
+            self._entries = sorted(
+                (key, item) for item, key in self._key_of.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._key_of
+
+    def key(self, item: int) -> float:
+        """Random access: the key currently stored for ``item``."""
+        return self._key_of[item]
+
+    def insert(self, item: int, key: float) -> None:
+        """Add a new id (must not be present)."""
+        if item in self._key_of:
+            raise KeyError(f"id {item} already present")
+        self._key_of[item] = float(key)
+        insort(self._entries, (float(key), item))
+
+    def remove(self, item: int) -> float:
+        """Remove an id, returning its key."""
+        key = self._key_of.pop(item)
+        index = bisect_left(self._entries, (key, item))
+        assert self._entries[index] == (key, item)
+        del self._entries[index]
+        return key
+
+    def update(self, item: int, new_key: float) -> None:
+        """Reposition an id under a new key."""
+        self.remove(item)
+        self.insert(item, new_key)
+
+    def descending(self) -> Iterator[tuple[int, float]]:
+        """Yield (id, key) pairs from the highest key downward.
+
+        The iterator reflects the index at call time; do not mutate the
+        index while consuming it.
+        """
+        for key, item in reversed(self._entries):
+            yield item, key
+
+    def max_key(self) -> float | None:
+        """The largest key, or None when empty."""
+        if not self._entries:
+            return None
+        return self._entries[-1][0]
+
+    def items(self) -> dict[int, float]:
+        """A snapshot copy of the id -> key mapping."""
+        return dict(self._key_of)

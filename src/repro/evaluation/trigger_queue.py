@@ -1,0 +1,74 @@
+"""Trigger queues on shared monotonic variables (Section IV-B).
+
+Mode changes of lazily-maintained programs ("stop decrementing when the
+spending rate drops below target", "the bid reaches zero after 7 more
+auctions for this keyword") reduce to waiting for a shared monotonic
+variable — time, or a keyword's auction counter — to reach a critical
+value.  A :class:`TriggerQueue` keeps pending triggers in a heap per
+variable, sorted by critical value, and releases exactly the due ones as
+the variable advances.
+
+Because eager events (an advertiser winning) can invalidate scheduled
+triggers, every trigger carries an opaque ``token``; the consumer is
+expected to check the token's liveness (generation counters in
+:mod:`repro.evaluation.pacer_state`) and drop stale firings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, TypeVar
+
+Payload = TypeVar("Payload")
+
+
+@dataclass(order=True)
+class _Entry(Generic[Payload]):
+    critical: float
+    sequence: int
+    payload: Payload = field(compare=False)
+
+
+class TriggerQueue(Generic[Payload]):
+    """Min-heaps of pending triggers, one per named monotonic variable."""
+
+    def __init__(self):
+        self._heaps: dict[Hashable, list[_Entry[Payload]]] = {}
+        self._sequence = 0
+        self.scheduled_total = 0
+        self.fired_total = 0
+
+    def schedule(self, variable: Hashable, critical: float,
+                 payload: Payload) -> None:
+        """Fire ``payload`` once ``variable`` exceeds ``critical``."""
+        heap = self._heaps.setdefault(variable, [])
+        self._sequence += 1
+        self.scheduled_total += 1
+        heapq.heappush(heap, _Entry(critical, self._sequence, payload))
+
+    def advance(self, variable: Hashable,
+                value: float) -> list[Payload]:
+        """Release all triggers with ``critical < value`` (strict).
+
+        Strict comparison matches the pacing semantics: at the exact
+        crossing point the spending rate equals the target and the
+        heuristic holds still, so the flip happens at the first moment
+        strictly past the critical value.
+        """
+        heap = self._heaps.get(variable)
+        if not heap:
+            return []
+        due = []
+        while heap and heap[0].critical < value:
+            due.append(heapq.heappop(heap).payload)
+            self.fired_total += 1
+        return due
+
+    def pending(self, variable: Hashable) -> int:
+        """Number of triggers still scheduled on a variable."""
+        return len(self._heaps.get(variable, []))
+
+    def pending_total(self) -> int:
+        """Number of triggers still scheduled across all variables."""
+        return sum(len(heap) for heap in self._heaps.values())

@@ -1,0 +1,103 @@
+"""The expressive bidding language (Section II of the paper).
+
+Public surface:
+
+* predicates — :func:`slot`, :func:`click`, :func:`purchase`,
+  :func:`heavy_in_slot` and their classes;
+* formulas — :class:`Atom`, :class:`Not`, :class:`And`, :class:`Or`,
+  :data:`TRUE`, :data:`FALSE`, plus :func:`parse_formula` for the textual
+  syntax of the paper's figures;
+* bids — :class:`BidRow`, :class:`BidsTable` (OR-bid semantics),
+  :class:`SingleFeatureBid` (the legacy Figure 1 bid);
+* outcomes — :class:`Allocation`, :class:`Outcome`;
+* dependence analysis — :func:`analyze_formula`,
+  :func:`analyze_bids_table`, :class:`DependenceProfile`,
+  :class:`NotOneDependentError`.
+"""
+
+from repro.lang.bids import BidRow, BidsTable, SingleFeatureBid
+from repro.lang.dependence import (
+    DependenceProfile,
+    NotOneDependentError,
+    analyze_bids_table,
+    analyze_formula,
+    max_dependence,
+    require_one_dependent,
+)
+from repro.lang.errors import (
+    BiddingLanguageError,
+    FormulaParseError,
+    InvalidBidError,
+    SlotOutOfRangeError,
+    UnknownPredicateError,
+)
+from repro.lang.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Formula,
+    Not,
+    Or,
+    and_all,
+    equivalent,
+    or_all,
+    truth_assignments,
+)
+from repro.lang.outcome import Allocation, InvalidAllocationError, Outcome
+from repro.lang.parser import format_formula, parse_formula
+from repro.lang.predicates import (
+    AdvertiserId,
+    ClickPredicate,
+    HeavyInSlotPredicate,
+    Predicate,
+    PurchasePredicate,
+    SlotPredicate,
+    click,
+    heavy_in_slot,
+    purchase,
+    slot,
+)
+
+__all__ = [
+    "AdvertiserId",
+    "Allocation",
+    "And",
+    "Atom",
+    "BidRow",
+    "BiddingLanguageError",
+    "BidsTable",
+    "ClickPredicate",
+    "DependenceProfile",
+    "FALSE",
+    "Formula",
+    "FormulaParseError",
+    "HeavyInSlotPredicate",
+    "InvalidAllocationError",
+    "InvalidBidError",
+    "Not",
+    "NotOneDependentError",
+    "Or",
+    "Outcome",
+    "Predicate",
+    "PurchasePredicate",
+    "SingleFeatureBid",
+    "SlotOutOfRangeError",
+    "SlotPredicate",
+    "TRUE",
+    "UnknownPredicateError",
+    "analyze_bids_table",
+    "analyze_formula",
+    "and_all",
+    "click",
+    "equivalent",
+    "format_formula",
+    "heavy_in_slot",
+    "max_dependence",
+    "or_all",
+    "parse_formula",
+    "purchase",
+    "require_one_dependent",
+    "slot",
+    "truth_assignments",
+]

@@ -1,0 +1,142 @@
+"""Bids tables with OR-bid semantics (Section II-A, Figure 3).
+
+A :class:`BidsTable` is the paper's per-advertiser ``Bids`` relation: each
+row pairs a Boolean formula over outcome predicates with the amount (in
+the paper's examples, cents) the advertiser is willing to pay should the
+formula be true.  Under OR-bid semantics, the advertiser pays the **sum**
+of the values of all rows whose formula holds in the realized outcome —
+this is what makes the representation polynomial even though the full
+valuation over truth assignments (Figure 2) is exponential.
+
+The module also provides :class:`SingleFeatureBid`, the degenerate
+Figure 1 case (one value on ``Click``), to make the "current auctions are
+a special case" relationship explicit and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lang.errors import InvalidBidError
+from repro.lang.formula import Atom, Formula
+from repro.lang.outcome import Outcome
+from repro.lang.parser import parse_formula
+from repro.lang.predicates import AdvertiserId, click
+
+
+@dataclass(frozen=True)
+class BidRow:
+    """One row of a Bids table: pay ``value`` if ``formula`` is true."""
+
+    formula: Formula
+    value: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.value):
+            raise InvalidBidError(f"bid value must be finite, got {self.value}")
+        if self.value < 0:
+            raise InvalidBidError(f"bid value must be >= 0, got {self.value}")
+
+    def __str__(self) -> str:
+        return f"{self.formula} -> {self.value:g}"
+
+
+@dataclass
+class BidsTable:
+    """An advertiser's OR-bid: a list of (formula, value) rows.
+
+    The table is mutable because bidding programs rewrite it on every
+    auction (Section II-B); rows themselves are immutable.
+    """
+
+    rows: list[BidRow] = field(default_factory=list)
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[tuple[Formula | str, float]]) -> "BidsTable":
+        """Build from (formula-or-text, value) pairs.
+
+        >>> table = BidsTable.from_pairs([("Purchase", 5), ("Slot1 | Slot2", 2)])
+        >>> len(table)
+        2
+        """
+        rows = []
+        for formula, value in pairs:
+            if isinstance(formula, str):
+                formula = parse_formula(formula)
+            rows.append(BidRow(formula, float(value)))
+        return BidsTable(rows)
+
+    def add(self, formula: Formula | str, value: float) -> None:
+        """Append a row; textual formulas are parsed."""
+        if isinstance(formula, str):
+            formula = parse_formula(formula)
+        self.rows.append(BidRow(formula, float(value)))
+
+    def set_value(self, formula: Formula, value: float) -> None:
+        """Replace the value of every row with exactly this formula.
+
+        Mirrors the ``UPDATE Bids SET value = ...`` statements bidding
+        programs issue (Figure 5, lines 22-27).  Rows are matched by
+        structural equality of their formula ASTs.
+        """
+        self.rows = [
+            BidRow(row.formula, float(value)) if row.formula == formula
+            else row
+            for row in self.rows
+        ]
+
+    def payment(self, outcome: Outcome, owner: AdvertiserId) -> float:
+        """Total payment owed by ``owner`` in ``outcome`` (OR-bid sum).
+
+        This is the "advertisers pay what they bid" accounting used
+        throughout the winner-determination analysis; actual pricing rules
+        (GSP/VCG) discount it afterwards.
+        """
+        return sum(row.value for row in self.rows
+                   if outcome.satisfies(row.formula, owner))
+
+    def satisfied_rows(self, outcome: Outcome,
+                       owner: AdvertiserId) -> list[BidRow]:
+        """The rows whose formulas hold in ``outcome``."""
+        return [row for row in self.rows
+                if outcome.satisfies(row.formula, owner)]
+
+    def total_declared_value(self) -> float:
+        """Sum of all row values — an upper bound on any payment."""
+        return sum(row.value for row in self.rows)
+
+    def __iter__(self) -> Iterator[BidRow]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        if not self.rows:
+            return "BidsTable(empty)"
+        body = "; ".join(str(row) for row in self.rows)
+        return f"BidsTable({body})"
+
+
+@dataclass(frozen=True)
+class SingleFeatureBid:
+    """The legacy single-feature bid of Figure 1: one value on ``Click``.
+
+    Provided to make the backwards-compatibility claim of the paper
+    concrete: :meth:`as_bids_table` embeds it into the expressive
+    language, and the winner-determination tests verify both give the
+    same allocations.
+    """
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.value) or self.value < 0:
+            raise InvalidBidError(
+                f"bid value must be finite and >= 0, got {self.value}")
+
+    def as_bids_table(self) -> BidsTable:
+        """Embed into the multi-feature language as a one-row table."""
+        return BidsTable([BidRow(Atom(click()), self.value)])

@@ -1,0 +1,130 @@
+"""m-dependence analysis of bid formulas (Definition 1, Theorems 2-3).
+
+An event is *m-dependent* when its probability under any allocation
+depends on the placement of at most *m* advertisers.  The paper's
+tractability frontier runs exactly here: winner determination is
+polynomial for OR-bids on 1-dependent events (Theorem 2) and APX-hard
+already for 2-dependent events (Theorem 3).
+
+For formulas in our language the analysis is syntactic: every atom is
+attributed to an advertiser (the bid owner for self-referential atoms),
+and the dependence set of a formula is the set of advertisers whose slot
+placement its truth value can hinge on.  ``Click``/``Purchase`` atoms are
+1-dependent by the Section III-A probability assumptions (they depend only
+on their advertiser's own slot).  ``HeavyInSlot`` atoms depend on the
+heavyweight *layout* rather than on any single advertiser; they are flagged
+separately because the Section III-F algorithm handles them by enumerating
+layouts, not by growing the dependence set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.bids import BidsTable
+from repro.lang.formula import Formula
+from repro.lang.predicates import (
+    AdvertiserId,
+    HeavyInSlotPredicate,
+    Predicate,
+)
+
+
+@dataclass(frozen=True)
+class DependenceProfile:
+    """Result of analysing one formula.
+
+    Attributes
+    ----------
+    advertisers:
+        Advertisers whose slot placement the event depends on.
+    uses_heavy_layout:
+        Whether the formula mentions any ``HeavyInSlot`` predicate and so
+        additionally depends on the page's heavyweight layout
+        (Section III-F model).
+    """
+
+    advertisers: frozenset[AdvertiserId]
+    uses_heavy_layout: bool
+
+    @property
+    def m(self) -> int:
+        """The dependence degree: ``|advertisers|``."""
+        return len(self.advertisers)
+
+    def is_one_dependent(self) -> bool:
+        """Whether the event qualifies for the Theorem 2 fast path."""
+        return self.m <= 1 and not self.uses_heavy_layout
+
+
+def analyze_formula(formula: Formula,
+                    owner: AdvertiserId) -> DependenceProfile:
+    """Compute the dependence profile of ``formula`` bid by ``owner``."""
+    advertisers: set[AdvertiserId] = set()
+    uses_heavy = False
+    for atom in formula.atoms():
+        if isinstance(atom, HeavyInSlotPredicate):
+            uses_heavy = True
+            continue
+        advertisers.add(_owner_of(atom, owner))
+    return DependenceProfile(frozenset(advertisers), uses_heavy)
+
+
+def analyze_bids_table(table: BidsTable,
+                       owner: AdvertiserId) -> DependenceProfile:
+    """Dependence profile of an entire Bids table (union over rows)."""
+    advertisers: set[AdvertiserId] = set()
+    uses_heavy = False
+    for row in table:
+        profile = analyze_formula(row.formula, owner)
+        advertisers.update(profile.advertisers)
+        uses_heavy = uses_heavy or profile.uses_heavy_layout
+    return DependenceProfile(frozenset(advertisers), uses_heavy)
+
+
+def max_dependence(tables: dict[AdvertiserId, BidsTable]) -> int:
+    """The largest per-row dependence degree across all advertisers.
+
+    Winner determination dispatches on this: ``<= 1`` takes the
+    polynomial matching path; anything larger is rejected (or routed to
+    the exponential brute-force solver for tiny instances).
+    """
+    worst = 0
+    for owner, table in tables.items():
+        for row in table:
+            worst = max(worst, analyze_formula(row.formula, owner).m)
+    return worst
+
+
+def require_one_dependent(tables: dict[AdvertiserId, BidsTable]) -> None:
+    """Raise :class:`NotOneDependentError` unless all bids are 1-dependent.
+
+    The error message names the first offending advertiser and formula so
+    submission-time validation can point at the culprit.
+    """
+    for owner, table in tables.items():
+        for row in table:
+            profile = analyze_formula(row.formula, owner)
+            if not profile.is_one_dependent():
+                raise NotOneDependentError(owner, str(row.formula), profile)
+
+
+class NotOneDependentError(ValueError):
+    """A bid falls outside the tractable 1-dependent fragment."""
+
+    def __init__(self, owner: AdvertiserId, formula_text: str,
+                 profile: DependenceProfile):
+        self.owner = owner
+        self.formula_text = formula_text
+        self.profile = profile
+        reason = (f"depends on advertisers {sorted(profile.advertisers)}"
+                  if profile.m > 1 else "depends on the heavyweight layout")
+        super().__init__(
+            f"bid {formula_text!r} by advertiser {owner} is not "
+            f"1-dependent: {reason}; winner determination for such bids "
+            "is APX-hard (Theorem 3)")
+
+
+def _owner_of(atom: Predicate, owner: AdvertiserId) -> AdvertiserId:
+    """The advertiser an atom talks about, resolving self-references."""
+    return owner if atom.advertiser is None else atom.advertiser

@@ -1,0 +1,51 @@
+"""Exceptions raised by the bidding-language layer.
+
+The bidding language (Section II of the paper) is the entry point for
+everything an advertiser submits, so its error types are deliberately
+specific: a malformed formula, a reference to a slot that does not exist,
+and a malformed bids table each get their own exception so that callers
+(e.g. the auction engine validating advertiser submissions) can react
+differently to each.
+"""
+
+from __future__ import annotations
+
+
+class BiddingLanguageError(Exception):
+    """Base class for all bidding-language errors."""
+
+
+class FormulaParseError(BiddingLanguageError):
+    """A textual bid formula could not be parsed.
+
+    Carries the offending source text and the position of the failure so
+    that an advertiser-facing API can produce a useful diagnostic.
+    """
+
+    def __init__(self, message: str, source: str = "", position: int = -1):
+        self.source = source
+        self.position = position
+        if source and position >= 0:
+            message = f"{message} (at position {position} in {source!r})"
+        super().__init__(message)
+
+
+class UnknownPredicateError(BiddingLanguageError):
+    """A formula references a predicate name the language does not define."""
+
+
+class SlotOutOfRangeError(BiddingLanguageError):
+    """A formula references ``Slot_j`` for a slot index outside ``1..k``."""
+
+    def __init__(self, slot: int, num_slots: int | None = None):
+        self.slot = slot
+        self.num_slots = num_slots
+        if num_slots is None:
+            message = f"slot index must be >= 1, got {slot}"
+        else:
+            message = f"slot index {slot} outside 1..{num_slots}"
+        super().__init__(message)
+
+
+class InvalidBidError(BiddingLanguageError):
+    """A bids-table row is malformed (e.g. negative or non-finite value)."""

@@ -1,0 +1,311 @@
+"""Boolean formula AST over outcome predicates (Section II-A).
+
+Advertisers bid on Boolean combinations of :class:`~repro.lang.predicates.
+Predicate` atoms.  Formulas are immutable trees built from :class:`Atom`,
+:class:`Not`, :class:`And`, :class:`Or` and the constants :data:`TRUE` and
+:data:`FALSE`.  Python's ``&``, ``|`` and ``~`` operators are overloaded so
+bids read naturally::
+
+    from repro.lang import click, slot
+    f = Atom(click()) & (Atom(slot(1)) | Atom(slot(2)))
+
+Evaluation is performed against an :class:`~repro.lang.outcome.Outcome`
+through :meth:`Formula.evaluate`, with the bidding advertiser supplied so
+that unbound (self-referential) predicates resolve to him.
+
+The module also provides structural helpers used throughout the library:
+atom collection, substitution of atoms by constants (used when
+marginalising slot atoms in probability computations), simplification by
+constant folding, and truth-table enumeration over a chosen set of atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Iterator, Mapping
+
+from repro.lang.predicates import (
+    AdvertiserId,
+    ClickPredicate,
+    HeavyInSlotPredicate,
+    Predicate,
+    PurchasePredicate,
+    SlotPredicate,
+)
+
+
+class Formula:
+    """Abstract base of the formula AST.
+
+    Subclasses are immutable; all combinators return new trees.
+    """
+
+    def evaluate(self, assignment: Callable[[Predicate], bool],
+                 owner: AdvertiserId | None = None) -> bool:
+        """Evaluate against a truth assignment for resolved atoms.
+
+        Parameters
+        ----------
+        assignment:
+            Callable mapping a *resolved* predicate (no ``None``
+            advertiser) to its truth value.
+        owner:
+            The bidding advertiser; required if the formula contains any
+            self-referential atom.
+        """
+        raise NotImplementedError
+
+    def atoms(self) -> frozenset[Predicate]:
+        """All predicate atoms occurring in the formula (unresolved)."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[Predicate, bool]) -> "Formula":
+        """Replace the given atoms by boolean constants and fold."""
+        raise NotImplementedError
+
+    def resolve(self, owner: AdvertiserId) -> "Formula":
+        """Bind all self-referential atoms to ``owner``."""
+        raise NotImplementedError
+
+    # -- operator sugar ---------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    # -- structural helpers ------------------------------------------------
+
+    def simplify(self) -> "Formula":
+        """Constant-fold the formula (no atom reordering)."""
+        return self.substitute({})
+
+    def is_constant(self) -> bool:
+        """Whether the formula contains no atoms."""
+        return not self.atoms()
+
+
+@dataclass(frozen=True)
+class _Constant(Formula):
+    value: bool
+
+    def evaluate(self, assignment, owner=None) -> bool:
+        return self.value
+
+    def atoms(self) -> frozenset[Predicate]:
+        return frozenset()
+
+    def substitute(self, mapping) -> Formula:
+        return self
+
+    def resolve(self, owner: AdvertiserId) -> Formula:
+        return self
+
+    def __str__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = _Constant(True)
+"""The formula that is true in every outcome."""
+
+FALSE = _Constant(False)
+"""The formula that is false in every outcome."""
+
+
+def _const(value: bool) -> _Constant:
+    return TRUE if value else FALSE
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A single predicate as a formula."""
+
+    predicate: Predicate
+
+    def evaluate(self, assignment, owner=None) -> bool:
+        pred = self.predicate
+        if pred.is_self_referential():
+            if owner is None:
+                raise ValueError(
+                    f"cannot evaluate self-referential atom {pred} "
+                    "without a bidding advertiser")
+            pred = pred.resolved(owner)
+        return bool(assignment(pred))
+
+    def atoms(self) -> frozenset[Predicate]:
+        return frozenset({self.predicate})
+
+    def substitute(self, mapping) -> Formula:
+        if self.predicate in mapping:
+            return _const(mapping[self.predicate])
+        return self
+
+    def resolve(self, owner: AdvertiserId) -> Formula:
+        return Atom(self.predicate.resolved(owner))
+
+    def __str__(self) -> str:
+        return str(self.predicate)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Logical negation."""
+
+    operand: Formula
+
+    def evaluate(self, assignment, owner=None) -> bool:
+        return not self.operand.evaluate(assignment, owner)
+
+    def atoms(self) -> frozenset[Predicate]:
+        return self.operand.atoms()
+
+    def substitute(self, mapping) -> Formula:
+        inner = self.operand.substitute(mapping)
+        if inner is TRUE:
+            return FALSE
+        if inner is FALSE:
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+
+    def resolve(self, owner: AdvertiserId) -> Formula:
+        return Not(self.operand.resolve(owner))
+
+    def __str__(self) -> str:
+        return f"!{_parenthesize(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Logical conjunction (binary; chains associate left)."""
+
+    left: Formula
+    right: Formula
+
+    def evaluate(self, assignment, owner=None) -> bool:
+        return (self.left.evaluate(assignment, owner)
+                and self.right.evaluate(assignment, owner))
+
+    def atoms(self) -> frozenset[Predicate]:
+        return self.left.atoms() | self.right.atoms()
+
+    def substitute(self, mapping) -> Formula:
+        left = self.left.substitute(mapping)
+        right = self.right.substitute(mapping)
+        if left is FALSE or right is FALSE:
+            return FALSE
+        if left is TRUE:
+            return right
+        if right is TRUE:
+            return left
+        return And(left, right)
+
+    def resolve(self, owner: AdvertiserId) -> Formula:
+        return And(self.left.resolve(owner), self.right.resolve(owner))
+
+    def __str__(self) -> str:
+        return f"{_parenthesize(self.left)} & {_parenthesize(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Logical disjunction (binary; chains associate left)."""
+
+    left: Formula
+    right: Formula
+
+    def evaluate(self, assignment, owner=None) -> bool:
+        return (self.left.evaluate(assignment, owner)
+                or self.right.evaluate(assignment, owner))
+
+    def atoms(self) -> frozenset[Predicate]:
+        return self.left.atoms() | self.right.atoms()
+
+    def substitute(self, mapping) -> Formula:
+        left = self.left.substitute(mapping)
+        right = self.right.substitute(mapping)
+        if left is TRUE or right is TRUE:
+            return TRUE
+        if left is FALSE:
+            return right
+        if right is FALSE:
+            return left
+        return Or(left, right)
+
+    def resolve(self, owner: AdvertiserId) -> Formula:
+        return Or(self.left.resolve(owner), self.right.resolve(owner))
+
+    def __str__(self) -> str:
+        return f"{_parenthesize(self.left)} | {_parenthesize(self.right)}"
+
+
+def _parenthesize(formula: Formula) -> str:
+    """Render a sub-formula, wrapping composites in parentheses."""
+    if isinstance(formula, (Atom, _Constant, Not)):
+        return str(formula)
+    return f"({formula})"
+
+
+def and_all(formulas: list[Formula]) -> Formula:
+    """Conjunction of a list of formulas (``TRUE`` for the empty list)."""
+    result: Formula = TRUE
+    for f in formulas:
+        result = f if result is TRUE else And(result, f)
+    return result
+
+
+def or_all(formulas: list[Formula]) -> Formula:
+    """Disjunction of a list of formulas (``FALSE`` for the empty list)."""
+    result: Formula = FALSE
+    for f in formulas:
+        result = f if result is FALSE else Or(result, f)
+    return result
+
+
+def truth_assignments(
+        atoms: list[Predicate]) -> Iterator[dict[Predicate, bool]]:
+    """Yield every truth assignment over ``atoms`` (2^len(atoms) of them).
+
+    The order is deterministic: the first atom varies slowest.  Used by
+    probability computations and by brute-force equivalence checks in the
+    test suite.
+    """
+    for values in product([False, True], repeat=len(atoms)):
+        yield dict(zip(atoms, values))
+
+
+def equivalent(f: Formula, g: Formula) -> bool:
+    """Semantic equivalence by truth-table enumeration.
+
+    Exponential in the number of distinct atoms; intended for formulas of
+    the size advertisers actually write (a handful of atoms) and for
+    tests.
+    """
+    atoms = sorted(f.atoms() | g.atoms(), key=str)
+    for assignment in truth_assignments(atoms):
+        fv = f.substitute(assignment)
+        gv = g.substitute(assignment)
+        if (fv is TRUE) != (gv is TRUE):
+            return False
+    return True
+
+
+def formula_kind_counts(formula: Formula) -> dict[str, int]:
+    """Count atoms per predicate family; used by diagnostics and tests."""
+    counts = {"slot": 0, "click": 0, "purchase": 0, "heavy": 0}
+    for atom in formula.atoms():
+        if isinstance(atom, SlotPredicate):
+            counts["slot"] += 1
+        elif isinstance(atom, ClickPredicate):
+            counts["click"] += 1
+        elif isinstance(atom, PurchasePredicate):
+            counts["purchase"] += 1
+        elif isinstance(atom, HeavyInSlotPredicate):
+            counts["heavy"] += 1
+    return counts

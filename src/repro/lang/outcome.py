@@ -1,0 +1,168 @@
+"""Allocations and auction outcomes (Section III-A).
+
+An :class:`Allocation` assigns at most one slot to each advertiser and at
+most one advertiser to each slot (the paper follows Google/Yahoo policy:
+no advertiser may hold more than one slot; slots may stay empty).
+
+An :class:`Outcome` augments an allocation with the realized user actions
+— which advertisers were clicked and which produced a purchase — and,
+under the Section III-F model, which advertisers are heavyweights.  An
+outcome supplies truth values for every resolved predicate, which is what
+bid formulas are evaluated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.predicates import (
+    AdvertiserId,
+    ClickPredicate,
+    HeavyInSlotPredicate,
+    Predicate,
+    PurchasePredicate,
+    SlotPredicate,
+)
+
+
+class InvalidAllocationError(ValueError):
+    """Raised when an allocation violates the one-slot-per-advertiser or
+    one-advertiser-per-slot constraints."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """An assignment of advertisers to slots.
+
+    Parameters
+    ----------
+    num_slots:
+        Number of slots ``k`` on the result page; slots are ``1..k``.
+    slot_of:
+        Mapping from advertiser id to the slot he holds.  Advertisers
+        absent from the mapping are unassigned.
+    """
+
+    num_slots: int
+    slot_of: dict[AdvertiserId, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 0:
+            raise InvalidAllocationError(
+                f"num_slots must be >= 0, got {self.num_slots}")
+        seen_slots: set[int] = set()
+        for advertiser, slot_index in self.slot_of.items():
+            if not 1 <= slot_index <= self.num_slots:
+                raise InvalidAllocationError(
+                    f"advertiser {advertiser} assigned slot {slot_index} "
+                    f"outside 1..{self.num_slots}")
+            if slot_index in seen_slots:
+                raise InvalidAllocationError(
+                    f"slot {slot_index} assigned to multiple advertisers")
+            seen_slots.add(slot_index)
+
+    # -- queries -----------------------------------------------------------
+
+    def slot_for(self, advertiser: AdvertiserId) -> int | None:
+        """The slot held by ``advertiser``, or ``None`` if unassigned."""
+        return self.slot_of.get(advertiser)
+
+    def advertiser_in(self, slot_index: int) -> AdvertiserId | None:
+        """The advertiser occupying ``slot_index``, or ``None`` if empty."""
+        for advertiser, assigned in self.slot_of.items():
+            if assigned == slot_index:
+                return advertiser
+        return None
+
+    def assigned_advertisers(self) -> frozenset[AdvertiserId]:
+        """The set of advertisers holding a slot."""
+        return frozenset(self.slot_of)
+
+    def occupied_slots(self) -> frozenset[int]:
+        """The set of non-empty slots."""
+        return frozenset(self.slot_of.values())
+
+    def as_slot_list(self) -> list[AdvertiserId | None]:
+        """Slot-indexed view: element ``j-1`` is the occupant of slot j."""
+        by_slot: list[AdvertiserId | None] = [None] * self.num_slots
+        for advertiser, slot_index in self.slot_of.items():
+            by_slot[slot_index - 1] = advertiser
+        return by_slot
+
+    def is_above(self, upper: AdvertiserId, lower: AdvertiserId) -> bool:
+        """Whether ``upper`` holds a slot strictly above ``lower``.
+
+        Follows the Theorem 3 convention: true when ``upper`` is assigned
+        and ``lower`` is either assigned to a numerically larger slot or
+        unassigned.
+        """
+        upper_slot = self.slot_for(upper)
+        if upper_slot is None:
+            return False
+        lower_slot = self.slot_for(lower)
+        return lower_slot is None or lower_slot > upper_slot
+
+    @staticmethod
+    def from_slot_list(
+            occupants: list[AdvertiserId | None]) -> "Allocation":
+        """Build from a slot-indexed occupant list (``None`` = empty)."""
+        slot_of = {advertiser: j + 1
+                   for j, advertiser in enumerate(occupants)
+                   if advertiser is not None}
+        return Allocation(num_slots=len(occupants), slot_of=slot_of)
+
+    def __str__(self) -> str:
+        cells = ", ".join(
+            f"slot{j + 1}={occupant if occupant is not None else '-'}"
+            for j, occupant in enumerate(self.as_slot_list()))
+        return f"Allocation({cells})"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """A fully realized auction outcome.
+
+    Combines the provider's allocation with the user's actions.  The
+    ``heavyweights`` set is only consulted by ``HeavyInSlot`` predicates
+    and may be left empty in the basic (Section II/III-A) model.
+    """
+
+    allocation: Allocation
+    clicked: frozenset[AdvertiserId] = frozenset()
+    purchased: frozenset[AdvertiserId] = frozenset()
+    heavyweights: frozenset[AdvertiserId] = frozenset()
+
+    def __post_init__(self) -> None:
+        unassigned_clicks = self.clicked - self.allocation.assigned_advertisers()
+        if unassigned_clicks:
+            raise InvalidAllocationError(
+                f"advertisers {sorted(unassigned_clicks)} clicked but "
+                "hold no slot")
+        purchases_without_clicks = self.purchased - self.clicked
+        if purchases_without_clicks:
+            raise InvalidAllocationError(
+                f"advertisers {sorted(purchases_without_clicks)} purchased "
+                "without a click; purchases require a click-through")
+
+    def truth(self, predicate: Predicate) -> bool:
+        """Truth value of a *resolved* predicate in this outcome."""
+        if isinstance(predicate, SlotPredicate):
+            if predicate.advertiser is None:
+                raise ValueError(f"unresolved predicate {predicate}")
+            return self.allocation.slot_for(predicate.advertiser) == predicate.slot
+        if isinstance(predicate, ClickPredicate):
+            if predicate.advertiser is None:
+                raise ValueError(f"unresolved predicate {predicate}")
+            return predicate.advertiser in self.clicked
+        if isinstance(predicate, PurchasePredicate):
+            if predicate.advertiser is None:
+                raise ValueError(f"unresolved predicate {predicate}")
+            return predicate.advertiser in self.purchased
+        if isinstance(predicate, HeavyInSlotPredicate):
+            occupant = self.allocation.advertiser_in(predicate.slot)
+            return occupant is not None and occupant in self.heavyweights
+        raise TypeError(f"unknown predicate type {type(predicate).__name__}")
+
+    def satisfies(self, formula, owner: AdvertiserId) -> bool:
+        """Whether ``formula`` (bid by ``owner``) holds in this outcome."""
+        return formula.evaluate(self.truth, owner)

@@ -1,0 +1,194 @@
+"""Parser for the textual bid-formula language (Section II-A, Figures 3-6).
+
+The paper writes bid formulas like ``Purchase``, ``Slot1 ∨ Slot2`` and
+``Click ∧ Slot1``.  This module parses exactly that surface syntax (plus
+ASCII spellings) into the :mod:`repro.lang.formula` AST.
+
+Grammar (precedence: ``NOT`` > ``AND`` > ``OR``; both binary operators are
+left-associative)::
+
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | primary
+    primary   := '(' or_expr ')' | atom | 'TRUE' | 'FALSE'
+    atom      := 'Click' | 'Purchase' | 'Slot' INT | 'HeavyInSlot' INT
+
+Operator spellings accepted: ``∧ & AND and`` for conjunction, ``∨ | OR
+or`` for disjunction, ``¬ ! ~ NOT not`` for negation.  Atom names are
+case-insensitive; ``Slot1`` and ``Slot 1`` are both accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lang.errors import FormulaParseError, UnknownPredicateError
+from repro.lang.formula import FALSE, TRUE, And, Atom, Formula, Not, Or
+from repro.lang.predicates import (
+    click,
+    heavy_in_slot,
+    purchase,
+    slot,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<and>∧|&&?|\bAND\b|\band\b)
+  | (?P<or>∨|\|\|?|\bOR\b|\bor\b)
+  | (?P<not>¬|!|~|\bNOT\b|\bnot\b)
+  | (?P<name>[A-Za-z_][A-Za-z_]*)
+  | (?P<int>\d+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[_Token]:
+    """Split formula source into tokens, raising on unknown characters."""
+    tokens = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise FormulaParseError(
+                f"unexpected character {source[pos]!r}", source, pos)
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    def parse(self) -> Formula:
+        formula = self._or_expr()
+        if self.index != len(self.tokens):
+            token = self.tokens[self.index]
+            raise FormulaParseError(
+                f"unexpected trailing token {token.text!r}",
+                self.source, token.position)
+        return formula
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise FormulaParseError(
+                "unexpected end of formula", self.source, len(self.source))
+        self.index += 1
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar ----------------------------------------------------------
+
+    def _or_expr(self) -> Formula:
+        left = self._and_expr()
+        while self._accept("or"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Formula:
+        left = self._not_expr()
+        while self._accept("and"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Formula:
+        if self._accept("not"):
+            return Not(self._not_expr()).substitute({})
+        return self._primary()
+
+    def _primary(self) -> Formula:
+        if self._accept("lparen"):
+            inner = self._or_expr()
+            token = self._peek()
+            if not self._accept("rparen"):
+                raise FormulaParseError(
+                    "expected closing parenthesis", self.source,
+                    token.position if token else len(self.source))
+            return inner
+        token = self._advance()
+        if token.kind != "name":
+            raise FormulaParseError(
+                f"expected predicate, got {token.text!r}",
+                self.source, token.position)
+        return self._atom(token)
+
+    def _atom(self, token: _Token) -> Formula:
+        name = token.text
+        lower = name.lower()
+        if lower == "true":
+            return TRUE
+        if lower == "false":
+            return FALSE
+        if lower == "click":
+            return Atom(click())
+        if lower == "purchase":
+            return Atom(purchase())
+        # Slot atoms: the index may be glued to the name ("Slot1") or be a
+        # separate integer token ("Slot 1").
+        slot_match = re.fullmatch(r"(?i)(slot|heavyinslot)(\d*)", name)
+        if slot_match is not None:
+            family = slot_match.group(1).lower()
+            digits = slot_match.group(2)
+            if not digits:
+                int_token = self._accept("int")
+                if int_token is None:
+                    raise FormulaParseError(
+                        f"{name} requires a slot index",
+                        self.source, token.position)
+                digits = int_token.text
+            index = int(digits)
+            if family == "slot":
+                return Atom(slot(index))
+            return Atom(heavy_in_slot(index))
+        raise UnknownPredicateError(
+            f"unknown predicate {name!r} at position {token.position} "
+            f"in {self.source!r}")
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse formula text into an AST.
+
+    >>> str(parse_formula("Click ∧ Slot1"))
+    'Click & Slot1'
+    >>> str(parse_formula("Slot1 or Slot2"))
+    'Slot1 | Slot2'
+    """
+    return _Parser(source).parse()
+
+
+def format_formula(formula: Formula) -> str:
+    """Render a formula in the parser's ASCII syntax (round-trippable)."""
+    return str(formula)

@@ -1,0 +1,145 @@
+"""Outcome predicates of the bidding language (Section II-A).
+
+The paper exposes three families of predicates to each advertiser:
+
+* ``Slot_j`` — the advertiser's ad is shown in slot *j* (slots are numbered
+  from 1 = topmost);
+* ``Click`` — the user clicked the advertiser's ad;
+* ``Purchase`` — the user made a purchase via the advertiser's ad.
+
+Section III-F extends the language with predicates over the
+heavyweight/lightweight layout of the result page: ``HeavyInSlot_j`` is
+true when the advertiser occupying slot *j* is a *heavyweight* (famous)
+advertiser.
+
+Predicates are value objects: immutable, hashable, and comparable, so they
+can serve as atoms in formula ASTs, keys of probability tables, and members
+of frozensets.
+
+Every predicate carries an optional ``advertiser`` field.  ``None`` means
+"the advertiser submitting the bid" and is resolved at evaluation time;
+this is the only form the core 1-dependent language needs.  A concrete
+advertiser id produces predicates *about other advertisers* — exactly the
+ingredient of the 2-dependent events of Theorem 3 (e.g. "competitor c holds
+slot 1"), which the hardness gadget in :mod:`repro.matching.feedback_arc`
+uses and which the tractable winner-determination path rejects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import SlotOutOfRangeError
+
+AdvertiserId = int
+"""Advertisers are identified by a non-negative integer id."""
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class for all outcome predicates.
+
+    Attributes
+    ----------
+    advertiser:
+        The advertiser the predicate talks about. ``None`` (the default in
+        subclasses) denotes the bidding advertiser and is resolved when a
+        formula is evaluated.
+    """
+
+    advertiser: AdvertiserId | None
+
+    def resolved(self, owner: AdvertiserId) -> "Predicate":
+        """Return a copy with ``advertiser=None`` replaced by ``owner``."""
+        if self.advertiser is not None:
+            return self
+        return type(self)(**{**self.__dict__, "advertiser": owner})
+
+    def is_self_referential(self) -> bool:
+        """Whether the predicate refers to the bidding advertiser."""
+        return self.advertiser is None
+
+
+@dataclass(frozen=True)
+class SlotPredicate(Predicate):
+    """``Slot_j`` — the advertiser occupies slot ``slot`` (1-based)."""
+
+    slot: int = 0
+    advertiser: AdvertiserId | None = None
+
+    def __post_init__(self) -> None:
+        if self.slot < 1:
+            raise SlotOutOfRangeError(self.slot)
+
+    def __str__(self) -> str:
+        suffix = "" if self.advertiser is None else f"@{self.advertiser}"
+        return f"Slot{self.slot}{suffix}"
+
+
+@dataclass(frozen=True)
+class ClickPredicate(Predicate):
+    """``Click`` — the user clicked on the advertiser's ad."""
+
+    advertiser: AdvertiserId | None = None
+
+    def __str__(self) -> str:
+        suffix = "" if self.advertiser is None else f"@{self.advertiser}"
+        return f"Click{suffix}"
+
+
+@dataclass(frozen=True)
+class PurchasePredicate(Predicate):
+    """``Purchase`` — the user purchased via the advertiser's ad."""
+
+    advertiser: AdvertiserId | None = None
+
+    def __str__(self) -> str:
+        suffix = "" if self.advertiser is None else f"@{self.advertiser}"
+        return f"Purchase{suffix}"
+
+
+@dataclass(frozen=True)
+class HeavyInSlotPredicate(Predicate):
+    """``HeavyInSlot_j`` — slot ``slot`` is occupied by a heavyweight.
+
+    This predicate is about the *layout* of the page, not about a specific
+    advertiser, so its ``advertiser`` field is always ``None`` and it never
+    needs resolution.  It is only meaningful under the Section III-F model
+    where every advertiser is classified heavyweight or lightweight.
+    """
+
+    slot: int = 0
+    advertiser: AdvertiserId | None = None
+
+    def __post_init__(self) -> None:
+        if self.slot < 1:
+            raise SlotOutOfRangeError(self.slot)
+        if self.advertiser is not None:
+            raise ValueError("HeavyInSlot is a layout predicate; it cannot "
+                             "be bound to an advertiser")
+
+    def resolved(self, owner: AdvertiserId) -> "HeavyInSlotPredicate":
+        return self
+
+    def __str__(self) -> str:
+        return f"HeavyInSlot{self.slot}"
+
+
+def slot(j: int, advertiser: AdvertiserId | None = None) -> SlotPredicate:
+    """Convenience constructor for ``Slot_j``."""
+    return SlotPredicate(slot=j, advertiser=advertiser)
+
+
+def click(advertiser: AdvertiserId | None = None) -> ClickPredicate:
+    """Convenience constructor for ``Click``."""
+    return ClickPredicate(advertiser=advertiser)
+
+
+def purchase(advertiser: AdvertiserId | None = None) -> PurchasePredicate:
+    """Convenience constructor for ``Purchase``."""
+    return PurchasePredicate(advertiser=advertiser)
+
+
+def heavy_in_slot(j: int) -> HeavyInSlotPredicate:
+    """Convenience constructor for ``HeavyInSlot_j``."""
+    return HeavyInSlotPredicate(slot=j)

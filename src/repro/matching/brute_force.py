@@ -1,0 +1,138 @@
+"""Brute-force winner determination oracles.
+
+Section III-F notes that, conceptually, winners can always be determined
+by enumerating each of the C(n, k) * k! slot assignments.  That is what
+this module does — both for plain weight matrices (the oracle the
+Hungarian implementations are validated against) and for arbitrary
+outcome valuations (the oracle for heavyweight winner determination and
+the Theorem 3 hardness gadget, where expected revenue is not a sum of
+independent per-edge weights).
+
+Everything here is exponential and guarded by instance-size checks; it
+exists for tests, examples, and tiny-instance verification, never for the
+benchmark path.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.lang.outcome import Allocation
+from repro.matching.types import MatchingResult
+
+MAX_BRUTE_FORCE_CELLS = 2_000_000
+"""Safety cap on (number of assignments) x (slots) explored."""
+
+
+class InstanceTooLargeError(ValueError):
+    """The instance is too large for exhaustive enumeration."""
+
+
+def _check_size(num_advertisers: int, num_slots: int) -> None:
+    count = 1.0
+    for offset in range(min(num_slots, num_advertisers)):
+        count *= (num_advertisers - offset + 1)
+    if count * max(num_slots, 1) > MAX_BRUTE_FORCE_CELLS:
+        raise InstanceTooLargeError(
+            f"{num_advertisers} advertisers x {num_slots} slots is too "
+            "large for brute force")
+
+
+def brute_force_matching(weights: Sequence[Sequence[float]] | np.ndarray,
+                         allow_unmatched: bool = True) -> MatchingResult:
+    """Exhaustive maximum-weight matching (oracle for the Hungarian).
+
+    Enumerates every assignment of column-distinct partners (or ``None``)
+    to rows.
+    """
+    matrix = np.asarray(weights, dtype=float)
+    num_left, num_right = matrix.shape
+    _check_size(max(num_left, num_right), min(num_left, num_right))
+
+    transposed = num_left > num_right
+    oriented = matrix.T if transposed else matrix
+    rows, cols = oriented.shape
+
+    best_pairs: tuple[tuple[int, int], ...] = ()
+    best_total = -np.inf
+
+    options = list(range(cols)) + ([None] * rows if allow_unmatched else [])
+
+    def search(row: int, used: set[int], pairs: list[tuple[int, int]],
+               total: float) -> None:
+        nonlocal best_pairs, best_total
+        if row == rows:
+            if total > best_total:
+                best_total = total
+                best_pairs = tuple(sorted(pairs))
+            return
+        if allow_unmatched:
+            search(row + 1, used, pairs, total)
+        for col in range(cols):
+            if col in used:
+                continue
+            used.add(col)
+            pairs.append((row, col))
+            search(row + 1, used, pairs, total + oriented[row, col])
+            pairs.pop()
+            used.remove(col)
+
+    search(0, set(), [], 0.0)
+    if not allow_unmatched and rows > cols:
+        raise ValueError("perfect matching impossible: rows > cols")
+
+    if best_total == -np.inf:
+        best_total = 0.0
+    pairs = tuple(sorted((col, row) if transposed else (row, col)
+                         for row, col in best_pairs))
+    total = float(sum(matrix[left, right] for left, right in pairs))
+    return MatchingResult(pairs=pairs, total_weight=total)
+
+
+def enumerate_allocations(num_advertisers: int,
+                          num_slots: int,
+                          allow_empty_slots: bool = True):
+    """Yield every valid :class:`Allocation` of advertisers to slots.
+
+    With ``allow_empty_slots`` (the default), slots may stay unfilled —
+    the general winner-determination search space.  Without it, only
+    assignments filling min(n, k) slots are produced.
+    """
+    _check_size(num_advertisers, num_slots)
+    advertisers = list(range(num_advertisers))
+    fill = min(num_slots, num_advertisers)
+    sizes = range(0, fill + 1) if allow_empty_slots else [fill]
+    for size in sizes:
+        for slot_subset in _combinations(range(1, num_slots + 1), size):
+            for chosen in permutations(advertisers, size):
+                yield Allocation(
+                    num_slots=num_slots,
+                    slot_of=dict(zip(chosen, slot_subset)))
+
+
+def brute_force_allocation(
+        num_advertisers: int,
+        num_slots: int,
+        revenue_of: Callable[[Allocation], float]) -> tuple[Allocation, float]:
+    """Maximise an arbitrary allocation valuation by enumeration.
+
+    This is the only correct general solver once bids stop being
+    1-dependent (Theorem 3); the heavyweight tests use it as ground
+    truth.
+    """
+    best_allocation = Allocation(num_slots=num_slots, slot_of={})
+    best_revenue = revenue_of(best_allocation)
+    for allocation in enumerate_allocations(num_advertisers, num_slots):
+        revenue = revenue_of(allocation)
+        if revenue > best_revenue + 1e-12:
+            best_allocation = allocation
+            best_revenue = revenue
+    return best_allocation, float(best_revenue)
+
+
+def _combinations(iterable, size):
+    from itertools import combinations
+    return combinations(iterable, size)

@@ -1,0 +1,167 @@
+"""The Theorem 3 hardness gadget: 2-dependent bids encode digraphs.
+
+Theorem 3 shows winner determination is APX-hard once advertisers may bid
+on 2-dependent events, by reduction from the maximum-weighted feedback
+arc set problem: given a weighted digraph on advertisers, let advertiser
+*i* bid the weight of edge (i, i') on the event
+
+    E_{i>i'} = "i gets a slot and sits above i'
+               (who may or may not get a slot)"
+
+so that total revenue of an allocation equals the weight of forward edges
+under the slot order — maximising it over allocations is exactly
+maximising a feedback arc set over size-k subgraphs.
+
+This module constructs the gadget *inside our bidding language* (the
+event formula really is built from cross-advertiser ``Slot`` atoms, and
+really is 2-dependent per the analyser), evaluates its revenue, and
+provides the exponential exact solvers used to verify the equivalence on
+small instances.  Nothing here is, or could be, on the fast path — that
+is the theorem's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from repro.lang.bids import BidsTable
+from repro.lang.dependence import analyze_formula
+from repro.lang.formula import Atom, Formula, and_all, or_all
+from repro.lang.outcome import Allocation
+from repro.lang.predicates import AdvertiserId, slot
+
+
+def above_event(advertiser: AdvertiserId, other: AdvertiserId,
+                num_slots: int) -> Formula:
+    """The 2-dependent event ``E_{advertiser > other}`` of Theorem 3.
+
+    Built exactly as in the paper's proof:
+    ``∨_j (Slot_j^i ∧ ((∨_{j'>j} Slot_{j'}^{i'}) ∨ (∧_{j'} ¬Slot_{j'}^{i'})))``.
+    """
+    if advertiser == other:
+        raise ValueError("an advertiser cannot be above himself")
+    disjuncts = []
+    other_unassigned = and_all(
+        [~Atom(slot(j, advertiser=other)) for j in range(1, num_slots + 1)])
+    for j in range(1, num_slots + 1):
+        other_below = or_all(
+            [Atom(slot(j2, advertiser=other))
+             for j2 in range(j + 1, num_slots + 1)])
+        disjuncts.append(Atom(slot(j, advertiser=advertiser))
+                         & (other_below | other_unassigned))
+    return or_all(disjuncts)
+
+
+@dataclass(frozen=True)
+class FeedbackArcInstance:
+    """A weighted digraph encoded as 2-dependent bids.
+
+    ``weights[i, i']`` is the weight advertiser *i* bids on being above
+    *i'*; the diagonal must be zero.
+    """
+
+    weights: np.ndarray
+    num_slots: int
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.weights, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                f"weights must be square, got shape {matrix.shape}")
+        if np.any(np.diag(matrix) != 0):
+            raise ValueError("self-edges are not allowed")
+        if np.any(matrix < 0):
+            raise ValueError("edge weights must be non-negative")
+        object.__setattr__(self, "weights", matrix)
+
+    @property
+    def num_advertisers(self) -> int:
+        return self.weights.shape[0]
+
+    def bids_tables(self) -> dict[AdvertiserId, BidsTable]:
+        """The per-advertiser Bids tables of the reduction."""
+        tables: dict[AdvertiserId, BidsTable] = {}
+        n = self.num_advertisers
+        for i in range(n):
+            table = BidsTable()
+            for other in range(n):
+                weight = float(self.weights[i, other])
+                if other != i and weight > 0.0:
+                    table.add(above_event(i, other, self.num_slots), weight)
+            tables[i] = table
+        return tables
+
+    def revenue(self, allocation: Allocation) -> float:
+        """Revenue of an allocation under pay-what-you-bid semantics.
+
+        Equals the total weight of edges (i, i') with *i* placed above
+        *i'* — the quantity Theorem 3's reduction preserves.
+        """
+        total = 0.0
+        n = self.num_advertisers
+        for i in range(n):
+            for other in range(n):
+                if (i != other and self.weights[i, other] > 0.0
+                        and allocation.is_above(i, other)):
+                    total += float(self.weights[i, other])
+        return total
+
+    def all_bids_are_two_dependent(self) -> bool:
+        """Sanity check: every gadget bid has dependence degree exactly 2."""
+        for owner, table in self.bids_tables().items():
+            for row in table:
+                if analyze_formula(row.formula, owner).m != 2:
+                    return False
+        return True
+
+
+def best_allocation_by_enumeration(
+        instance: FeedbackArcInstance) -> tuple[Allocation, float]:
+    """Exact winner determination for the gadget (exponential).
+
+    Enumerates ordered selections of up to k advertisers into the top
+    slots.  Because revenue only depends on relative order (and being
+    assigned at all), it suffices to consider prefixes of slots.
+    """
+    n, k = instance.num_advertisers, instance.num_slots
+    best = Allocation(num_slots=k, slot_of={})
+    best_revenue = 0.0
+    for size in range(1, min(n, k) + 1):
+        for chosen in permutations(range(n), size):
+            allocation = Allocation(
+                num_slots=k,
+                slot_of={adv: j + 1 for j, adv in enumerate(chosen)})
+            revenue = instance.revenue(allocation)
+            if revenue > best_revenue + 1e-12:
+                best = allocation
+                best_revenue = revenue
+    return best, best_revenue
+
+
+def max_weighted_forward_edges(weights: np.ndarray, k: int) -> float:
+    """Max total weight of forward edges over orderings of ≤k vertices.
+
+    The graph-side objective of the reduction ("maximum-weighted feedback
+    arc set over all size-k subgraphs").  Exponential enumeration; for
+    verification only.
+    """
+    matrix = np.asarray(weights, dtype=float)
+    n = matrix.shape[0]
+    best = 0.0
+    for size in range(1, min(n, k) + 1):
+        for order in permutations(range(n), size):
+            selected = set(order)
+            total = 0.0
+            for pos, i in enumerate(order):
+                for other in range(n):
+                    if other == i:
+                        continue
+                    # Forward edge if other is later in the order, or not
+                    # selected at all (matches E_{i>i'} semantics).
+                    if other not in selected or order.index(other) > pos:
+                        total += matrix[i, other]
+            best = max(best, total)
+    return float(best)

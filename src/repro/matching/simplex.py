@@ -1,0 +1,135 @@
+"""A from-scratch dense primal simplex solver.
+
+The paper solves the winner-determination LP with the GNU Linear
+Programming Kit's simplex method.  We cannot ship GLPK, so the library
+carries two LP backends: :mod:`scipy`'s HiGHS (used at benchmark scale)
+and this module — a self-contained tableau simplex used to validate the
+LP formulation independently and exercised by the LP-solver ablation
+bench on small instances.
+
+Scope: maximisation over ``A_ub x <= b_ub``, ``x >= 0`` with
+``b_ub >= 0`` (slack variables give an immediate feasible basis, which is
+all the assignment polytope needs).  Bland's anti-cycling rule keeps the
+highly degenerate assignment LPs terminating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class SimplexError(ValueError):
+    """Raised for malformed or unsupported LP inputs."""
+
+
+class UnboundedError(SimplexError):
+    """The LP is unbounded above (cannot happen for assignment LPs)."""
+
+
+@dataclass(frozen=True)
+class SimplexResult:
+    """Solution of a maximisation LP."""
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+
+
+def solve_lp_maximize(c: np.ndarray,
+                      a_ub: np.ndarray,
+                      b_ub: np.ndarray,
+                      max_iterations: int | None = None) -> SimplexResult:
+    """Maximise ``c @ x`` subject to ``a_ub @ x <= b_ub``, ``x >= 0``.
+
+    ``b_ub`` must be non-negative so the slack basis is feasible; the
+    assignment LP (all right-hand sides are 1) satisfies this by
+    construction.
+    """
+    c = np.asarray(c, dtype=float)
+    a_ub = np.asarray(a_ub, dtype=float)
+    b_ub = np.asarray(b_ub, dtype=float)
+    if a_ub.ndim != 2:
+        raise SimplexError(f"A_ub must be 2-D, got shape {a_ub.shape}")
+    num_constraints, num_vars = a_ub.shape
+    if c.shape != (num_vars,):
+        raise SimplexError(
+            f"c has shape {c.shape}, expected ({num_vars},)")
+    if b_ub.shape != (num_constraints,):
+        raise SimplexError(
+            f"b_ub has shape {b_ub.shape}, expected ({num_constraints},)")
+    if np.any(b_ub < 0):
+        raise SimplexError(
+            "b_ub must be non-negative (slack basis must be feasible)")
+    if max_iterations is None:
+        max_iterations = 50 * (num_constraints + num_vars + 10)
+
+    # Tableau layout: columns = [original vars | slacks | rhs].
+    tableau = np.zeros((num_constraints + 1,
+                        num_vars + num_constraints + 1))
+    tableau[:-1, :num_vars] = a_ub
+    tableau[:-1, num_vars:num_vars + num_constraints] = np.eye(
+        num_constraints)
+    tableau[:-1, -1] = b_ub
+    tableau[-1, :num_vars] = -c  # objective row (minimised form)
+
+    basis = list(range(num_vars, num_vars + num_constraints))
+    iterations = 0
+    while True:
+        reduced = tableau[-1, :-1]
+        # Bland's rule: the lowest-index improving column.
+        entering = -1
+        for j in range(num_vars + num_constraints):
+            if reduced[j] < -1e-9:
+                entering = j
+                break
+        if entering < 0:
+            break  # optimal
+        iterations += 1
+        if iterations > max_iterations:
+            raise SimplexError(
+                f"simplex exceeded {max_iterations} iterations")
+
+        column = tableau[:-1, entering]
+        rhs = tableau[:-1, -1]
+        ratios = np.full(num_constraints, np.inf)
+        positive = column > 1e-9
+        ratios[positive] = rhs[positive] / column[positive]
+        if not np.any(positive):
+            raise UnboundedError("LP is unbounded above")
+        # Bland again: smallest ratio, ties by lowest basis variable.
+        best = np.inf
+        leaving_row = -1
+        for row in range(num_constraints):
+            if not positive[row]:
+                continue
+            ratio = ratios[row]
+            if (ratio < best - 1e-12
+                    or (abs(ratio - best) <= 1e-12
+                        and (leaving_row < 0
+                             or basis[row] < basis[leaving_row]))):
+                best = ratio
+                leaving_row = row
+
+        _pivot(tableau, leaving_row, entering)
+        basis[leaving_row] = entering
+
+    x = np.zeros(num_vars)
+    for row, variable in enumerate(basis):
+        if variable < num_vars:
+            x[variable] = tableau[row, -1]
+    objective = float(c @ x)
+    return SimplexResult(x=x, objective=objective, iterations=iterations)
+
+
+def _pivot(tableau: np.ndarray, pivot_row: int, pivot_col: int) -> None:
+    """Gauss-Jordan pivot on (pivot_row, pivot_col)."""
+    pivot = tableau[pivot_row, pivot_col]
+    tableau[pivot_row] /= pivot
+    for row in range(tableau.shape[0]):
+        if row == pivot_row:
+            continue
+        factor = tableau[row, pivot_col]
+        if factor != 0.0:
+            tableau[row] -= factor * tableau[pivot_row]

@@ -1,0 +1,53 @@
+"""Shared result types for the matching substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MatchingResult:
+    """A maximum-weight bipartite matching.
+
+    Attributes
+    ----------
+    pairs:
+        Matched (left, right) index pairs, in increasing left order.
+        Indices refer to the weight matrix handed to the matcher.
+    total_weight:
+        Sum of the weights of the matched pairs.
+    """
+
+    pairs: tuple[tuple[int, int], ...]
+    total_weight: float
+
+    def left_to_right(self) -> dict[int, int]:
+        """Mapping from matched left index to its right partner."""
+        return {left: right for left, right in self.pairs}
+
+    def right_to_left(self) -> dict[int, int]:
+        """Mapping from matched right index to its left partner."""
+        return {right: left for left, right in self.pairs}
+
+    def matched_lefts(self) -> frozenset[int]:
+        """The set of matched left indices."""
+        return frozenset(left for left, _ in self.pairs)
+
+    def matched_rights(self) -> frozenset[int]:
+        """The set of matched right indices."""
+        return frozenset(right for _, right in self.pairs)
+
+
+@dataclass
+class MatcherStats:
+    """Operation counters a matcher may fill in (used by ablations).
+
+    All fields default to zero so matchers only report what they track.
+    """
+
+    phases: int = 0
+    relaxations: int = 0
+    comparisons: int = 0
+    heap_operations: int = 0
+    candidates_considered: int = 0
+    extra: dict[str, float] = field(default_factory=dict)

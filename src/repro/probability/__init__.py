@@ -1,0 +1,92 @@
+"""Probability substrate: click/purchase models and formula pricing.
+
+Implements Section III-A's outcome-distribution assumptions (clicks depend
+only on the advertiser's own slot; purchases depend on the click and the
+slot), the separability analysis of Section III-C, the heavyweight layout
+models of Section III-F, and the estimation pipeline the provider would
+run over its logs.
+"""
+
+from repro.probability.click_models import (
+    ClickModel,
+    ClickModelError,
+    SeparableClickModel,
+    TabularClickModel,
+    figure7_model,
+    figure8_model,
+)
+from repro.probability.estimation import (
+    InteractionLog,
+    SmoothingPrior,
+    estimate_click_model,
+    estimate_purchase_model,
+    estimation_error,
+)
+from repro.probability.formula_prob import (
+    NotSupportedFormulaError,
+    expected_table_value,
+    formula_probability,
+    heavy_expected_table_value,
+    heavy_formula_probability,
+)
+from repro.probability.heavyweight import (
+    AdvertiserClassifier,
+    HeavyweightClickModel,
+    PenaltyHeavyweightClickModel,
+    TabularHeavyweightClickModel,
+    all_layouts,
+    layout_from_key,
+    layout_key,
+    random_heavyweight_model,
+)
+from repro.probability.purchase_models import (
+    ConstantRatePurchaseModel,
+    PurchaseModel,
+    PurchaseModelError,
+    TabularPurchaseModel,
+    no_purchases,
+)
+from repro.probability.separable import (
+    Factorization,
+    NotSeparableError,
+    factorize,
+    is_separable,
+    separability_gap,
+)
+
+__all__ = [
+    "AdvertiserClassifier",
+    "ClickModel",
+    "ClickModelError",
+    "ConstantRatePurchaseModel",
+    "Factorization",
+    "HeavyweightClickModel",
+    "InteractionLog",
+    "NotSeparableError",
+    "NotSupportedFormulaError",
+    "PenaltyHeavyweightClickModel",
+    "PurchaseModel",
+    "PurchaseModelError",
+    "SeparableClickModel",
+    "SmoothingPrior",
+    "TabularClickModel",
+    "TabularHeavyweightClickModel",
+    "TabularPurchaseModel",
+    "all_layouts",
+    "estimate_click_model",
+    "estimate_purchase_model",
+    "estimation_error",
+    "expected_table_value",
+    "factorize",
+    "figure7_model",
+    "figure8_model",
+    "formula_probability",
+    "heavy_expected_table_value",
+    "heavy_formula_probability",
+    "is_separable",
+    "layout_from_key",
+    "layout_key",
+    "no_purchases",
+    "random_heavyweight_model",
+    "separability_gap",
+]

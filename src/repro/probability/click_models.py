@@ -1,0 +1,149 @@
+"""Click-probability models (Section III-A).
+
+The paper's first-order approximation: the probability that advertiser *i*
+receives a click depends only on the slot assigned to *i*.  The provider
+estimates these probabilities from its logs; here they are represented by
+a :class:`ClickModel`, of which two concrete families matter:
+
+* :class:`TabularClickModel` — an arbitrary n-by-k matrix
+  ``P(click | advertiser i in slot j)`` (the general, possibly
+  *non-separable* case of Figure 7);
+* :class:`SeparableClickModel` — the restricted case assumed by the
+  existing Google/Yahoo allocators (Section III-C, Figure 8), where the
+  matrix is a rank-1 product of an advertiser factor and a slot factor.
+
+An advertiser who receives no slot receives no click: every model returns
+0 for ``slot_index=None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lang.predicates import AdvertiserId
+
+
+class ClickModelError(ValueError):
+    """Raised for malformed click-probability inputs."""
+
+
+class ClickModel:
+    """Interface: click probability conditioned on the advertiser's slot."""
+
+    num_advertisers: int
+    num_slots: int
+
+    def p_click(self, advertiser: AdvertiserId,
+                slot_index: int | None) -> float:
+        """``P(Click_i | advertiser i holds slot_index)``.
+
+        ``slot_index`` is 1-based; ``None`` means unassigned and always
+        yields 0.
+        """
+        raise NotImplementedError
+
+    def as_matrix(self) -> np.ndarray:
+        """Dense ``(num_advertisers, num_slots)`` matrix view."""
+        matrix = np.empty((self.num_advertisers, self.num_slots))
+        for i in range(self.num_advertisers):
+            for j in range(1, self.num_slots + 1):
+                matrix[i, j - 1] = self.p_click(i, j)
+        return matrix
+
+    def _check_advertiser(self, advertiser: AdvertiserId) -> None:
+        if not 0 <= advertiser < self.num_advertisers:
+            raise ClickModelError(
+                f"advertiser {advertiser} outside 0..{self.num_advertisers - 1}")
+
+    def _check_slot(self, slot_index: int) -> None:
+        if not 1 <= slot_index <= self.num_slots:
+            raise ClickModelError(
+                f"slot {slot_index} outside 1..{self.num_slots}")
+
+
+@dataclass
+class TabularClickModel(ClickModel):
+    """Click probabilities from an explicit n-by-k matrix.
+
+    ``matrix[i, j-1]`` is ``P(click | advertiser i in slot j)``.
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix, dtype=float)
+        if self.matrix.ndim != 2:
+            raise ClickModelError(
+                f"click matrix must be 2-D, got shape {self.matrix.shape}")
+        if np.any(~np.isfinite(self.matrix)):
+            raise ClickModelError("click matrix contains non-finite entries")
+        if np.any((self.matrix < 0) | (self.matrix > 1)):
+            raise ClickModelError(
+                "click probabilities must lie in [0, 1]")
+        self.num_advertisers, self.num_slots = self.matrix.shape
+
+    def p_click(self, advertiser: AdvertiserId,
+                slot_index: int | None) -> float:
+        if slot_index is None:
+            return 0.0
+        self._check_advertiser(advertiser)
+        self._check_slot(slot_index)
+        return float(self.matrix[advertiser, slot_index - 1])
+
+    def as_matrix(self) -> np.ndarray:
+        return self.matrix
+
+
+@dataclass
+class SeparableClickModel(ClickModel):
+    """Rank-1 click probabilities: ``P = advertiser_factor x slot_factor``.
+
+    This is the separability assumption of the incumbent allocators
+    (Section III-C): the ratio of two advertisers' click rates is the same
+    in every slot.  Products must land in [0, 1].
+    """
+
+    advertiser_factors: np.ndarray
+    slot_factors: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.advertiser_factors = np.asarray(self.advertiser_factors,
+                                             dtype=float)
+        self.slot_factors = np.asarray(self.slot_factors, dtype=float)
+        if self.advertiser_factors.ndim != 1 or self.slot_factors.ndim != 1:
+            raise ClickModelError("factors must be 1-D arrays")
+        if (np.any(self.advertiser_factors < 0)
+                or np.any(self.slot_factors < 0)):
+            raise ClickModelError("factors must be non-negative")
+        products = np.outer(self.advertiser_factors, self.slot_factors)
+        if np.any(products > 1.0 + 1e-12):
+            raise ClickModelError(
+                "factor products exceed 1; not a probability model")
+        self.num_advertisers = len(self.advertiser_factors)
+        self.num_slots = len(self.slot_factors)
+
+    def p_click(self, advertiser: AdvertiserId,
+                slot_index: int | None) -> float:
+        if slot_index is None:
+            return 0.0
+        self._check_advertiser(advertiser)
+        self._check_slot(slot_index)
+        return float(self.advertiser_factors[advertiser]
+                     * self.slot_factors[slot_index - 1])
+
+    def as_matrix(self) -> np.ndarray:
+        return np.outer(self.advertiser_factors, self.slot_factors)
+
+
+def figure7_model() -> TabularClickModel:
+    """The non-separable example of Figure 7 (Nike/Adidas, 2 slots)."""
+    return TabularClickModel(np.array([[0.7, 0.4],
+                                       [0.6, 0.3]]))
+
+
+def figure8_model() -> TabularClickModel:
+    """The separable example of Figure 8 (factors 4, 3 x 0.2, 0.1)."""
+    return TabularClickModel(np.array([[0.8, 0.4],
+                                       [0.6, 0.3]]))

@@ -1,0 +1,122 @@
+"""Estimating click/purchase probabilities from auction history.
+
+Section III-A assumes the search provider "has (or can estimate, using
+data it has collected)" the per-(advertiser, slot) click and purchase
+probabilities.  This module is that estimator: it consumes impression /
+click / purchase counts — the by-product of running the auction engine —
+and produces tabular models with additive (Laplace) smoothing so unseen
+cells get sensible priors instead of zeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lang.predicates import AdvertiserId
+from repro.probability.click_models import TabularClickModel
+from repro.probability.purchase_models import TabularPurchaseModel
+
+
+@dataclass
+class InteractionLog:
+    """Per-(advertiser, slot) impression, click, and purchase counters."""
+
+    num_advertisers: int
+    num_slots: int
+    impressions: np.ndarray = field(init=False)
+    clicks: np.ndarray = field(init=False)
+    purchases: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        shape = (self.num_advertisers, self.num_slots)
+        self.impressions = np.zeros(shape, dtype=np.int64)
+        self.clicks = np.zeros(shape, dtype=np.int64)
+        self.purchases = np.zeros(shape, dtype=np.int64)
+
+    def record(self, advertiser: AdvertiserId, slot_index: int,
+               clicked: bool, purchased: bool) -> None:
+        """Record one impression and its user actions.
+
+        Purchases without clicks are rejected, matching the outcome
+        model's invariant.
+        """
+        if purchased and not clicked:
+            raise ValueError("a purchase requires a click-through")
+        row, col = advertiser, slot_index - 1
+        self.impressions[row, col] += 1
+        if clicked:
+            self.clicks[row, col] += 1
+        if purchased:
+            self.purchases[row, col] += 1
+
+    def record_outcome(self, outcome) -> None:
+        """Record every impression of an :class:`~repro.lang.Outcome`."""
+        for advertiser, slot_index in outcome.allocation.slot_of.items():
+            self.record(advertiser, slot_index,
+                        clicked=advertiser in outcome.clicked,
+                        purchased=advertiser in outcome.purchased)
+
+    def merge(self, other: "InteractionLog") -> None:
+        """Fold another log's counters into this one (e.g. per-shard logs
+        from the paper's distributed program evaluation)."""
+        if (other.num_advertisers != self.num_advertisers
+                or other.num_slots != self.num_slots):
+            raise ValueError("cannot merge logs of different shapes")
+        self.impressions += other.impressions
+        self.clicks += other.clicks
+        self.purchases += other.purchases
+
+
+@dataclass(frozen=True)
+class SmoothingPrior:
+    """Additive smoothing pseudo-counts for estimation.
+
+    ``click_alpha`` successes and ``click_beta`` failures are added to
+    every click cell (and analogously for purchases given clicks).  The
+    defaults encode a weak prior centred on low click-through rates.
+    """
+
+    click_alpha: float = 1.0
+    click_beta: float = 9.0
+    purchase_alpha: float = 1.0
+    purchase_beta: float = 9.0
+
+    def __post_init__(self) -> None:
+        for name in ("click_alpha", "click_beta",
+                     "purchase_alpha", "purchase_beta"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+def estimate_click_model(log: InteractionLog,
+                         prior: SmoothingPrior = SmoothingPrior()
+                         ) -> TabularClickModel:
+    """Smoothed MAP estimate of ``P(click | advertiser, slot)``."""
+    numerator = log.clicks + prior.click_alpha
+    denominator = log.impressions + prior.click_alpha + prior.click_beta
+    with np.errstate(invalid="ignore"):
+        matrix = np.where(denominator > 0, numerator / denominator, 0.0)
+    return TabularClickModel(np.clip(matrix, 0.0, 1.0))
+
+
+def estimate_purchase_model(log: InteractionLog,
+                            prior: SmoothingPrior = SmoothingPrior()
+                            ) -> TabularPurchaseModel:
+    """Smoothed MAP estimate of ``P(purchase | click, advertiser, slot)``."""
+    numerator = log.purchases + prior.purchase_alpha
+    denominator = log.clicks + prior.purchase_alpha + prior.purchase_beta
+    with np.errstate(invalid="ignore"):
+        matrix = np.where(denominator > 0, numerator / denominator, 0.0)
+    return TabularPurchaseModel(np.clip(matrix, 0.0, 1.0))
+
+
+def estimation_error(estimated: TabularClickModel,
+                     truth: TabularClickModel) -> float:
+    """Max absolute cellwise error between two click models.
+
+    Used by tests to check the estimator converges to the generating
+    model as the log grows.
+    """
+    return float(np.max(np.abs(estimated.matrix - truth.matrix)))

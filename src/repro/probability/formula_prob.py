@@ -1,0 +1,197 @@
+"""Probability that a bid formula holds, conditioned on an assignment.
+
+This is the computational heart of Theorem 2's proof: for a 1-dependent
+formula bid by advertiser *i*, once we fix the slot *j* assigned to *i*
+(or fix that *i* is unassigned), every ``Slot`` atom becomes a constant
+and only the ``Click``/``Purchase`` atoms remain random.  Their joint
+distribution is given by the click and purchase models::
+
+    P(Click)                 = w_ij
+    P(Purchase | Click)      = q_ij
+    P(Purchase | no Click)   = r_ij      (0 by default)
+
+so the formula probability is a sum over at most four joint branches.
+The expected value of a whole Bids table entry for cell (i, j) — used to
+fill the winner-determination revenue matrix — is ``value x P(formula)``.
+
+The heavyweight variants additionally condition on the page's heavyweight
+layout (Section III-F): ``HeavyInSlot`` atoms become constants of the
+layout and the click model may itself depend on the layout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lang.bids import BidsTable
+from repro.lang.dependence import analyze_formula
+from repro.lang.formula import FALSE, TRUE, Formula
+from repro.lang.predicates import (
+    AdvertiserId,
+    ClickPredicate,
+    HeavyInSlotPredicate,
+    Predicate,
+    PurchasePredicate,
+    SlotPredicate,
+)
+from repro.probability.click_models import ClickModel
+from repro.probability.purchase_models import PurchaseModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.probability.heavyweight import HeavyweightClickModel
+
+
+class NotSupportedFormulaError(ValueError):
+    """The formula falls outside what the probability model can price.
+
+    Raised for formulas that mention other advertisers (2-dependent; see
+    Theorem 3) or that mention the heavyweight layout when a plain
+    (non-layout) model is in use.
+    """
+
+
+def formula_probability(formula: Formula,
+                        owner: AdvertiserId,
+                        slot_index: int | None,
+                        click_model: ClickModel,
+                        purchase_model: PurchaseModel) -> float:
+    """``P(formula | advertiser `owner` holds `slot_index`)``.
+
+    ``slot_index=None`` conditions on the owner being unassigned, in which
+    case clicks and purchases are impossible and only the slot atoms'
+    (all-false) truth matters — this prices the Theorem 2 proof's
+    ``E ∧ ⋀_j ¬Slot_j`` rows.
+    """
+    profile = analyze_formula(formula, owner)
+    if profile.uses_heavy_layout:
+        raise NotSupportedFormulaError(
+            f"formula {formula} mentions the heavyweight layout; use "
+            "heavy_formula_probability with a HeavyweightClickModel")
+    if profile.advertisers - {owner}:
+        raise NotSupportedFormulaError(
+            f"formula {formula} depends on advertisers "
+            f"{sorted(profile.advertisers - {owner})}; only 1-dependent "
+            "bids can be priced (Theorem 3)")
+
+    resolved = formula.resolve(owner)
+    fixed = _fix_slot_atoms(resolved, owner, slot_index)
+    if fixed is TRUE:
+        return 1.0
+    if fixed is FALSE:
+        return 0.0
+
+    w = click_model.p_click(owner, slot_index)
+    q = purchase_model.p_purchase_given_click(owner, slot_index)
+    r = purchase_model.p_purchase_given_no_click(owner, slot_index)
+    return _marginalise_user_atoms(fixed, owner, w, q, r)
+
+
+def heavy_formula_probability(formula: Formula,
+                              owner: AdvertiserId,
+                              slot_index: int | None,
+                              heavy_slots: frozenset[int],
+                              click_model: "HeavyweightClickModel",
+                              purchase_model: PurchaseModel) -> float:
+    """``P(formula | owner holds slot, heavyweight layout heavy_slots)``.
+
+    ``heavy_slots`` is the set of slots occupied by heavyweight
+    advertisers in the layout under consideration (the Section III-F
+    enumeration variable).
+    """
+    profile = analyze_formula(formula, owner)
+    if profile.advertisers - {owner}:
+        raise NotSupportedFormulaError(
+            f"formula {formula} depends on advertisers "
+            f"{sorted(profile.advertisers - {owner})}; only 1-dependent "
+            "bids can be priced (Theorem 3)")
+
+    resolved = formula.resolve(owner)
+    layout_fixed = resolved.substitute({
+        atom: atom.slot in heavy_slots
+        for atom in resolved.atoms()
+        if isinstance(atom, HeavyInSlotPredicate)
+    })
+    fixed = _fix_slot_atoms(layout_fixed, owner, slot_index)
+    if fixed is TRUE:
+        return 1.0
+    if fixed is FALSE:
+        return 0.0
+
+    w = click_model.p_click(owner, slot_index, heavy_slots)
+    q = purchase_model.p_purchase_given_click(owner, slot_index)
+    r = purchase_model.p_purchase_given_no_click(owner, slot_index)
+    return _marginalise_user_atoms(fixed, owner, w, q, r)
+
+
+def expected_table_value(table: BidsTable,
+                         owner: AdvertiserId,
+                         slot_index: int | None,
+                         click_model: ClickModel,
+                         purchase_model: PurchaseModel) -> float:
+    """Expected payment of ``owner`` in ``slot_index``, summed over rows.
+
+    Assumes advertisers pay what they bid (the winner-determination
+    objective); OR-bid semantics make the expectation a plain sum of
+    per-row expectations by linearity.
+    """
+    return sum(
+        row.value * formula_probability(row.formula, owner, slot_index,
+                                        click_model, purchase_model)
+        for row in table)
+
+
+def heavy_expected_table_value(table: BidsTable,
+                               owner: AdvertiserId,
+                               slot_index: int | None,
+                               heavy_slots: frozenset[int],
+                               click_model: "HeavyweightClickModel",
+                               purchase_model: PurchaseModel) -> float:
+    """Layout-conditioned expected payment (Section III-F)."""
+    return sum(
+        row.value * heavy_formula_probability(row.formula, owner,
+                                              slot_index, heavy_slots,
+                                              click_model, purchase_model)
+        for row in table)
+
+
+def _fix_slot_atoms(formula: Formula, owner: AdvertiserId,
+                    slot_index: int | None) -> Formula:
+    """Substitute the owner's ``Slot`` atoms given his assignment."""
+    substitution: dict[Predicate, bool] = {}
+    for atom in formula.atoms():
+        if isinstance(atom, SlotPredicate):
+            substitution[atom] = (atom.slot == slot_index)
+    return formula.substitute(substitution)
+
+
+def _marginalise_user_atoms(formula: Formula, owner: AdvertiserId,
+                            w: float, q: float, r: float) -> float:
+    """Sum P(click, purchase branches) over branches satisfying formula."""
+    atoms = sorted(formula.atoms(), key=str)
+    for atom in atoms:
+        if not isinstance(atom, (ClickPredicate, PurchasePredicate)):
+            raise AssertionError(
+                f"unexpected residual atom {atom} after slot substitution")
+
+    total = 0.0
+    click_atom = ClickPredicate(advertiser=owner)
+    purchase_atom = PurchasePredicate(advertiser=owner)
+    for clicked in (False, True):
+        p_click_branch = w if clicked else 1.0 - w
+        if p_click_branch == 0.0:
+            continue
+        p_purchase = q if clicked else r
+        for purchased in (False, True):
+            p_branch = p_click_branch * (p_purchase if purchased
+                                         else 1.0 - p_purchase)
+            if p_branch == 0.0:
+                continue
+            value = formula.substitute({click_atom: clicked,
+                                        purchase_atom: purchased})
+            if value is TRUE:
+                total += p_branch
+            elif value is not FALSE:
+                raise AssertionError(
+                    f"formula {formula} did not reduce to a constant; "
+                    f"residual atoms {sorted(map(str, value.atoms()))}")
+    return total

@@ -1,0 +1,131 @@
+"""Purchase-probability models (Section III-A).
+
+The paper assumes "the probability that he gets a purchase depends only on
+whether he got a click and on the slot allocated to him".  A
+:class:`PurchaseModel` therefore exposes two conditionals:
+
+* ``p_purchase_given_click(i, j)``   — purchase probability after a click;
+* ``p_purchase_given_no_click(i, j)`` — purchase probability without one.
+
+The no-click conditional defaults to 0 everywhere (a purchase "via a link
+from the advertiser's ad" requires following the link), but the interface
+keeps it explicit because the paper's model formally allows it and the
+formula-probability computation must marginalise over both branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lang.predicates import AdvertiserId
+
+
+class PurchaseModelError(ValueError):
+    """Raised for malformed purchase-probability inputs."""
+
+
+class PurchaseModel:
+    """Interface: purchase probability conditioned on click and slot."""
+
+    num_advertisers: int
+    num_slots: int
+
+    def p_purchase_given_click(self, advertiser: AdvertiserId,
+                               slot_index: int | None) -> float:
+        """``P(Purchase | Click, slot)``; 0 when unassigned."""
+        raise NotImplementedError
+
+    def p_purchase_given_no_click(self, advertiser: AdvertiserId,
+                                  slot_index: int | None) -> float:
+        """``P(Purchase | no Click, slot)``; 0 when unassigned."""
+        raise NotImplementedError
+
+
+@dataclass
+class TabularPurchaseModel(PurchaseModel):
+    """Purchase conditionals from explicit n-by-k matrices.
+
+    ``given_click[i, j-1]`` is ``P(Purchase | Click, advertiser i, slot j)``.
+    ``given_no_click`` may be ``None`` for the default all-zeros model.
+    """
+
+    given_click: np.ndarray
+    given_no_click: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.given_click = _validated("given_click", self.given_click)
+        self.num_advertisers, self.num_slots = self.given_click.shape
+        if self.given_no_click is None:
+            self.given_no_click = np.zeros_like(self.given_click)
+        else:
+            self.given_no_click = _validated("given_no_click",
+                                             self.given_no_click)
+            if self.given_no_click.shape != self.given_click.shape:
+                raise PurchaseModelError(
+                    "given_click and given_no_click shapes differ: "
+                    f"{self.given_click.shape} vs {self.given_no_click.shape}")
+
+    def p_purchase_given_click(self, advertiser: AdvertiserId,
+                               slot_index: int | None) -> float:
+        if slot_index is None:
+            return 0.0
+        return float(self.given_click[advertiser, slot_index - 1])
+
+    def p_purchase_given_no_click(self, advertiser: AdvertiserId,
+                                  slot_index: int | None) -> float:
+        if slot_index is None:
+            return 0.0
+        return float(self.given_no_click[advertiser, slot_index - 1])
+
+
+@dataclass
+class ConstantRatePurchaseModel(PurchaseModel):
+    """A single conversion rate shared by all advertisers and slots.
+
+    Handy for workloads where purchases matter but per-cell estimates do
+    not (e.g. the quickstart example).
+    """
+
+    num_advertisers: int
+    num_slots: int
+    rate_given_click: float = 0.1
+    rate_given_no_click: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("rate_given_click", "rate_given_no_click"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise PurchaseModelError(
+                    f"{name} must lie in [0, 1], got {rate}")
+
+    def p_purchase_given_click(self, advertiser: AdvertiserId,
+                               slot_index: int | None) -> float:
+        return 0.0 if slot_index is None else self.rate_given_click
+
+    def p_purchase_given_no_click(self, advertiser: AdvertiserId,
+                                  slot_index: int | None) -> float:
+        return 0.0 if slot_index is None else self.rate_given_no_click
+
+
+def no_purchases(num_advertisers: int, num_slots: int) -> PurchaseModel:
+    """The trivial model where purchases never happen.
+
+    This matches the Section V experiments, which exercise click bids
+    only.
+    """
+    return ConstantRatePurchaseModel(num_advertisers, num_slots,
+                                     rate_given_click=0.0)
+
+
+def _validated(name: str, matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise PurchaseModelError(
+            f"{name} must be 2-D, got shape {matrix.shape}")
+    if np.any(~np.isfinite(matrix)):
+        raise PurchaseModelError(f"{name} contains non-finite entries")
+    if np.any((matrix < 0) | (matrix > 1)):
+        raise PurchaseModelError(f"{name} entries must lie in [0, 1]")
+    return matrix

@@ -1,0 +1,50 @@
+"""sqlmini: the from-scratch mini SQL engine bidding programs run on.
+
+Implements exactly the fragment Section II-B of the paper requires —
+"simple SQL updates without recursion and side-effects" plus AFTER INSERT
+triggers — with tables, typed schemas, scalar subqueries (including
+correlated ones), whole-table aggregates, IF blocks, and program
+variables.  Figure 5's ROI-equalizing program runs verbatim; see
+``tests/sqlmini/test_figure5_program.py``.
+"""
+
+from repro.sqlmini.database import Database, Trigger
+from repro.sqlmini.errors import (
+    SqlError,
+    SqlLexError,
+    SqlNameError,
+    SqlParseError,
+    SqlRuntimeError,
+    SqlSchemaError,
+    SqlTypeError,
+)
+from repro.sqlmini.executor import Scope, SelectResult
+from repro.sqlmini.lexer import Token, tokenize
+from repro.sqlmini.parser import (
+    parse_expression,
+    parse_script,
+    parse_statement,
+)
+from repro.sqlmini.table import Column, Schema, Table
+
+__all__ = [
+    "Column",
+    "Database",
+    "Schema",
+    "Scope",
+    "SelectResult",
+    "SqlError",
+    "SqlLexError",
+    "SqlNameError",
+    "SqlParseError",
+    "SqlRuntimeError",
+    "SqlSchemaError",
+    "SqlTypeError",
+    "Table",
+    "Token",
+    "Trigger",
+    "parse_expression",
+    "parse_script",
+    "parse_statement",
+    "tokenize",
+]

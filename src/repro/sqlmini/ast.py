@@ -1,0 +1,193 @@
+"""Abstract syntax tree of the sqlmini dialect.
+
+Plain frozen dataclasses; the parser builds them, the executor walks
+them.  Expressions and statements are separate hierarchies rooted at
+:class:`Expr` and :class:`Statement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Expr:
+    """Base class of expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL (value ``None``)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified name: ``roi`` or ``K.roi``.
+
+    Unqualified names resolve through the scope chain (innermost row
+    first, then enclosing rows, then program variables).
+    """
+
+    name: str
+    qualifier: str | None = None
+
+    def display(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operator: ``-`` or ``NOT``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operator: arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function or aggregate call: ``MAX(K.roi)``, ``COUNT(*)``.
+
+    ``star`` marks ``COUNT(*)``; in that case ``args`` is empty.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A parenthesised SELECT used as a scalar value."""
+
+    select: "Select"
+
+
+class Statement:
+    """Base class of statement nodes."""
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a CREATE TABLE: name and declared type."""
+
+    name: str
+    type_name: str  # "INT", "REAL", "TEXT", "BOOL"
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class CreateTrigger(Statement):
+    """``CREATE TRIGGER name AFTER INSERT ON table { body }``."""
+
+    name: str
+    table: str
+    body: tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``INSERT INTO t [cols] VALUES ...`` or ``INSERT INTO t SELECT ...``.
+
+    Exactly one of ``values`` (non-empty) and ``select`` is used.
+    """
+
+    table: str
+    columns: tuple[str, ...] | None  # None = positional
+    values: tuple[tuple[Expr, ...], ...] = ()  # one tuple per row
+    select: "Select | None" = None
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = expr`` of an UPDATE's SET list."""
+
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: expression plus optional alias; star marks ``*``."""
+
+    expr: Expr | None
+    alias: str | None = None
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """Single-table SELECT with optional WHERE / GROUP BY / HAVING /
+    ORDER BY / LIMIT.
+
+    Aggregation comes in two forms: whole-table (any projection contains
+    an aggregate, no GROUP BY — a single result row) and grouped (one
+    result row per distinct GROUP BY key; non-aggregate projections must
+    be group-by expressions).
+    """
+
+    items: tuple[SelectItem, ...]
+    table: str | None = None
+    alias: str | None = None
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class IfBranch:
+    condition: Expr
+    body: tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """``IF ... THEN ... [ELSEIF ... THEN ...]* [ELSE ...] ENDIF``."""
+
+    branches: tuple[IfBranch, ...]
+    else_body: tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class Script(Statement):
+    """A sequence of statements (a parsed source file or trigger body)."""
+
+    statements: tuple[Statement, ...] = field(default_factory=tuple)

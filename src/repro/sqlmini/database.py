@@ -1,0 +1,143 @@
+"""The sqlmini database: tables, triggers, and program variables.
+
+One :class:`Database` instance corresponds to one bidding program's
+private universe (Section II-B): its private tables (``Keywords``,
+``Bids``), any shared read-only tables the provider mirrors in
+(``Query``), its registered triggers, and its scalar variables
+(``amtSpent``, ``time``, ``targetSpendRate`` ...), which the paper says
+the search provider maintains automatically.
+
+Typical use by the auction engine::
+
+    db = Database()
+    db.execute(PROGRAM_SOURCE)            # CREATE TABLE/TRIGGER statements
+    db.set_variable("amtSpent", 0.0)
+    ...
+    db.execute("INSERT INTO Query VALUES ('boot')")   # fires the trigger
+    bids = db.execute("SELECT formula, value FROM Bids")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlNameError, SqlSchemaError
+from repro.sqlmini.executor import Executor, Scope, SelectResult
+from repro.sqlmini.parser import parse_script
+from repro.sqlmini.table import Column, Schema, Table, Value
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A registered AFTER INSERT trigger."""
+
+    name: str
+    table_key: str
+    body: tuple[ast.Statement, ...]
+
+
+class Database:
+    """An in-memory database with AFTER INSERT triggers and variables."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._triggers: dict[str, list[Trigger]] = {}
+        self._variables: dict[str, Value] = {}
+        self._executor = Executor(self)
+
+    # -- schema ------------------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: list[tuple[str, str]]) -> Table:
+        """Create a table from (column, type) pairs (Python-side DDL)."""
+        key = name.lower()
+        if key in self._tables:
+            raise SqlSchemaError(f"table {name!r} already exists")
+        schema = Schema(tuple(Column(col, type_name.upper())
+                              for col, type_name in columns))
+        table = Table(name=name, schema=schema)
+        self._tables[key] = table
+        return table
+
+    def create_table_from_ast(self, statement: ast.CreateTable) -> Table:
+        return self.create_table(
+            statement.table,
+            [(col.name, col.type_name) for col in statement.columns])
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise SqlNameError(f"no table {name!r}; available: "
+                               f"{sorted(t.name for t in self._tables.values())}")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise SqlNameError(f"no table {name!r}")
+        del self._tables[key]
+        self._triggers.pop(key, None)
+
+    # -- triggers ------------------------------------------------------------
+
+    def register_trigger(self, statement: ast.CreateTrigger) -> None:
+        table = self.table(statement.table)  # must exist
+        trigger = Trigger(name=statement.name,
+                          table_key=table.name.lower(),
+                          body=statement.body)
+        existing = self._triggers.setdefault(trigger.table_key, [])
+        if any(t.name.lower() == trigger.name.lower() for t in existing):
+            raise SqlSchemaError(
+                f"trigger {statement.name!r} already exists on "
+                f"{statement.table!r}")
+        existing.append(trigger)
+
+    def triggers_for(self, table_name: str) -> list[Trigger]:
+        return self._triggers.get(table_name.lower(), [])
+
+    # -- variables ------------------------------------------------------------
+
+    def set_variable(self, name: str, value: Value) -> None:
+        """Set a scalar program variable (case-insensitive name)."""
+        self._variables[name.lower()] = value
+
+    def get_variable(self, name: str) -> Value:
+        key = name.lower()
+        if key not in self._variables:
+            raise SqlNameError(f"no variable {name!r}")
+        return self._variables[key]
+
+    @property
+    def variables(self) -> dict[str, Value]:
+        """The live variables mapping (keys are lower-case)."""
+        return self._variables
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, source: str | ast.Statement):
+        """Execute SQL text (possibly several statements) or an AST node.
+
+        Returns the last statement's result: a :class:`SelectResult` for
+        SELECT, an affected-row count for DML, ``None`` for DDL.
+        """
+        if isinstance(source, str):
+            statement: ast.Statement = parse_script(source)
+        else:
+            statement = source
+        scope = Scope(frames=(), variables=self._variables)
+        return self._executor.execute(statement, scope)
+
+    def query(self, source: str) -> SelectResult:
+        """Execute a SELECT and insist on a result set."""
+        result = self.execute(source)
+        if not isinstance(result, SelectResult):
+            raise SqlNameError("query() requires a SELECT statement")
+        return result
+
+    def rows(self, table_name: str) -> list[dict[str, Value]]:
+        """Snapshot of a table's rows (copied, safe to mutate)."""
+        return self.table(table_name).copy_rows()

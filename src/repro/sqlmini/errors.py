@@ -1,0 +1,53 @@
+"""Error hierarchy of the sqlmini engine.
+
+Every failure mode an advertiser-submitted bidding program can trigger is
+a subclass of :class:`SqlError`, so the auction engine can sandbox a
+misbehaving program (catch, disqualify, continue) without ever catching
+unrelated bugs by accident.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all sqlmini errors."""
+
+
+class SqlLexError(SqlError):
+    """The source text contains a character sequence that is not a token."""
+
+    def __init__(self, message: str, line: int, column: int):
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} (line {line}, column {column})")
+
+
+class SqlParseError(SqlError):
+    """The token stream does not form a valid statement."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1):
+        self.line = line
+        self.column = column
+        if line >= 0:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SqlNameError(SqlError):
+    """An identifier (table, column, variable) cannot be resolved."""
+
+
+class SqlTypeError(SqlError):
+    """A value has the wrong type for the operation or column."""
+
+
+class SqlRuntimeError(SqlError):
+    """A well-formed statement failed during execution.
+
+    Examples: division by zero, a scalar subquery returning more than one
+    row, inserting a row of the wrong arity.
+    """
+
+
+class SqlSchemaError(SqlError):
+    """A DDL statement conflicts with the existing schema."""

@@ -1,0 +1,628 @@
+"""Expression evaluation and statement execution for sqlmini.
+
+Semantics notes (the fragment is small; the corners are spelled out):
+
+* **Scopes.** Names resolve through a chain: the innermost row frame
+  first (e.g. the subquery's alias), then enclosing row frames (enabling
+  correlated subqueries like ``K.formula = Bids.formula`` in Figure 5),
+  then the program's scalar variables (``amtSpent``, ``time``, ...).
+* **NULL.** Arithmetic with NULL yields NULL; comparisons with NULL yield
+  NULL; AND/OR/NOT follow Kleene three-valued logic; WHERE and IF treat
+  anything but TRUE as not-satisfied.
+* **Snapshot updates.** UPDATE evaluates every affected row's new values
+  against the pre-statement table state, so self-referential statements
+  like ``SET bid = bid + 1 WHERE roi = (SELECT MAX(K.roi) FROM
+  Keywords K)`` behave deterministically.
+* **Division by zero** raises :class:`SqlRuntimeError` — bidding
+  programs are expected to guard their denominators (the auction engine
+  starts the clock at 1 for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import (
+    SqlNameError,
+    SqlRuntimeError,
+    SqlTypeError,
+)
+from repro.sqlmini.functions import (
+    evaluate_aggregate,
+    evaluate_scalar_function,
+    is_aggregate,
+)
+from repro.sqlmini.table import Table, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sqlmini.database import Database
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One row visible under a set of names (table name and/or alias)."""
+
+    names: frozenset[str]
+    row: Mapping[str, Value]
+
+
+@dataclass
+class Scope:
+    """A chain of row frames plus the program's scalar variables."""
+
+    frames: tuple[Frame, ...] = ()
+    variables: Mapping[str, Value] = field(default_factory=dict)
+
+    def child(self, names: frozenset[str], row: Mapping[str, Value]) -> "Scope":
+        """A new scope with ``row`` as the innermost frame."""
+        return Scope(frames=(Frame(names, row),) + self.frames,
+                     variables=self.variables)
+
+    def resolve(self, name: str, qualifier: str | None) -> Value:
+        key = name.lower()
+        if qualifier is not None:
+            qualifier_key = qualifier.lower()
+            for frame in self.frames:
+                if qualifier_key in frame.names:
+                    if key in frame.row:
+                        return frame.row[key]
+                    raise SqlNameError(
+                        f"{qualifier}.{name}: no column {name!r}")
+            raise SqlNameError(f"unknown table or alias {qualifier!r}")
+        for frame in self.frames:
+            if key in frame.row:
+                return frame.row[key]
+        if key in self.variables:
+            return self.variables[key]
+        raise SqlNameError(f"cannot resolve name {name!r}")
+
+
+@dataclass(frozen=True)
+class SelectResult:
+    """Rows produced by a SELECT, with projection column names."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Value, ...], ...]
+
+    def scalar(self) -> Value:
+        """The single value of a 1x1 result (scalar-subquery contract)."""
+        if len(self.rows) > 1:
+            raise SqlRuntimeError(
+                f"scalar subquery returned {len(self.rows)} rows")
+        if len(self.columns) != 1:
+            raise SqlRuntimeError(
+                f"scalar subquery returned {len(self.columns)} columns")
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def single_column(self) -> list[Value]:
+        """All values of a one-column result."""
+        if len(self.columns) != 1:
+            raise SqlRuntimeError(
+                f"expected one column, got {len(self.columns)}")
+        return [row[0] for row in self.rows]
+
+
+class Executor:
+    """Walks statement/expression ASTs against a database."""
+
+    MAX_TRIGGER_DEPTH = 16
+
+    def __init__(self, database: "Database"):
+        self.database = database
+        self._trigger_depth = 0
+
+    # -- statements ---------------------------------------------------------
+
+    def execute(self, statement: ast.Statement, scope: Scope):
+        """Execute one statement; returns a :class:`SelectResult` for
+        SELECT, an affected-row count for DML, ``None`` for DDL/IF."""
+        if isinstance(statement, ast.Script):
+            result = None
+            for child in statement.statements:
+                result = self.execute(child, scope)
+            return result
+        if isinstance(statement, ast.CreateTable):
+            self.database.create_table_from_ast(statement)
+            return None
+        if isinstance(statement, ast.CreateTrigger):
+            self.database.register_trigger(statement)
+            return None
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement, scope)
+        if isinstance(statement, ast.Update):
+            return self._update(statement, scope)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement, scope)
+        if isinstance(statement, ast.Select):
+            return self._select(statement, scope)
+        if isinstance(statement, ast.If):
+            return self._if(statement, scope)
+        raise SqlRuntimeError(
+            f"cannot execute {type(statement).__name__}")
+
+    def _insert(self, statement: ast.Insert, scope: Scope) -> int:
+        table = self.database.table(statement.table)
+        inserted = []
+        if statement.select is not None:
+            result = self._select(statement.select, scope)
+            for row in result.rows:
+                inserted.append(table.insert(list(row),
+                                             statement.columns))
+        else:
+            for value_tuple in statement.values:
+                values = [self.eval(expr, scope) for expr in value_tuple]
+                inserted.append(table.insert(values, statement.columns))
+        for row in inserted:
+            self._fire_triggers(table, row, scope)
+        return len(inserted)
+
+    def _fire_triggers(self, table: Table, row: Mapping[str, Value],
+                       scope: Scope) -> None:
+        triggers = self.database.triggers_for(table.name)
+        if not triggers:
+            return
+        if self._trigger_depth >= self.MAX_TRIGGER_DEPTH:
+            raise SqlRuntimeError(
+                f"trigger recursion deeper than {self.MAX_TRIGGER_DEPTH}")
+        self._trigger_depth += 1
+        try:
+            for trigger in triggers:
+                trigger_scope = scope.child(frozenset({"new"}), row)
+                for child in trigger.body:
+                    self.execute(child, trigger_scope)
+        finally:
+            self._trigger_depth -= 1
+
+    def _update(self, statement: ast.Update, scope: Scope) -> int:
+        table = self.database.table(statement.table)
+        names = frozenset({table.name.lower()})
+        # Snapshot semantics: decide matches and new values first.
+        pending: list[tuple[dict[str, Value], dict[str, Value]]] = []
+        for row in table.rows:
+            row_scope = scope.child(names, row)
+            if statement.where is not None:
+                if self.eval(statement.where, row_scope) is not True:
+                    continue
+            new_values = {}
+            for assignment in statement.assignments:
+                column = table.schema.column(assignment.column)
+                value = self.eval(assignment.value, row_scope)
+                new_values[column.key] = column.coerce(value)
+            pending.append((row, new_values))
+        for row, new_values in pending:
+            row.update(new_values)
+        return len(pending)
+
+    def _delete(self, statement: ast.Delete, scope: Scope) -> int:
+        table = self.database.table(statement.table)
+        names = frozenset({table.name.lower()})
+        kept = []
+        removed = 0
+        for row in table.rows:
+            row_scope = scope.child(names, row)
+            matches = (statement.where is None
+                       or self.eval(statement.where, row_scope) is True)
+            if matches:
+                removed += 1
+            else:
+                kept.append(row)
+        table.rows[:] = kept
+        return removed
+
+    def _if(self, statement: ast.If, scope: Scope) -> None:
+        for branch in statement.branches:
+            if self.eval(branch.condition, scope) is True:
+                for child in branch.body:
+                    self.execute(child, scope)
+                return
+        for child in statement.else_body:
+            self.execute(child, scope)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _select(self, statement: ast.Select, scope: Scope) -> SelectResult:
+        if statement.table is None:
+            scopes = [scope]
+        else:
+            table = self.database.table(statement.table)
+            names = {table.name.lower()}
+            if statement.alias:
+                names = {statement.alias.lower()}
+            frozen = frozenset(names)
+            scopes = [scope.child(frozen, row) for row in table.rows]
+
+        if statement.where is not None:
+            scopes = [row_scope for row_scope in scopes
+                      if self.eval(statement.where, row_scope) is True]
+
+        if statement.group_by:
+            return self._select_grouped(statement, scopes)
+
+        has_aggregate = any(
+            item.expr is not None and _contains_aggregate(item.expr)
+            for item in statement.items)
+        if has_aggregate:
+            return self._select_aggregate(statement, scopes)
+
+        columns = self._projection_names(statement)
+        ordered_scopes = self._order_scopes(statement, scopes)
+        rows = []
+        for row_scope in ordered_scopes:
+            rows.append(tuple(self._project(item, row_scope)
+                              for item in statement.items))
+        rows = _flatten_star(statement, rows)
+        if statement.distinct:
+            rows = _distinct(rows)
+        if statement.limit is not None:
+            rows = rows[:statement.limit]
+        return SelectResult(columns=columns, rows=tuple(rows))
+
+    def _select_grouped(self, statement: ast.Select,
+                        scopes: list[Scope]) -> SelectResult:
+        """GROUP BY execution: one result row per distinct key tuple.
+
+        Non-aggregate (sub)expressions in projections, HAVING, and ORDER
+        BY must be group-by expressions (matched structurally); rows
+        within a group supply aggregates, the group's first row supplies
+        the key values.  Groups appear in first-occurrence order unless
+        ORDER BY says otherwise.
+        """
+        group_by = statement.group_by
+        groups: dict[tuple, list[Scope]] = {}
+        for row_scope in scopes:
+            key = tuple(_group_key_part(self.eval(expr, row_scope))
+                        for expr in group_by)
+            groups.setdefault(key, []).append(row_scope)
+
+        names = []
+        for index, item in enumerate(statement.items):
+            if item.star or item.expr is None:
+                raise SqlRuntimeError("SELECT * is not allowed with "
+                                      "GROUP BY")
+            names.append(item.alias or _default_name(item.expr, index))
+
+        produced: list[tuple[tuple, list[Scope]]] = []
+        for key, members in groups.items():
+            if statement.having is not None:
+                verdict = self._eval_grouped(statement.having, members,
+                                             group_by)
+                if verdict is not True:
+                    continue
+            row = tuple(self._eval_grouped(item.expr, members, group_by)
+                        for item in statement.items)
+            produced.append((row, members))
+
+        if statement.order_by:
+            def sort_key(entry):
+                row, members = entry
+                keys = []
+                for order in statement.order_by:
+                    value = self._eval_grouped(order.expr, members,
+                                               group_by)
+                    keys.append(_OrderKey(value, order.descending))
+                return tuple(keys)
+
+            produced.sort(key=sort_key)
+
+        rows = [row for row, _ in produced]
+        if statement.distinct:
+            rows = _distinct(rows)
+        if statement.limit is not None:
+            rows = rows[:statement.limit]
+        return SelectResult(columns=tuple(names), rows=tuple(rows))
+
+    def _eval_grouped(self, expr: ast.Expr, members: list[Scope],
+                      group_by: tuple[ast.Expr, ...]) -> Value:
+        """Evaluate an expression in grouped context.
+
+        Group-by expressions resolve against the group's first row;
+        aggregates fold over all member rows; anything else recurses.
+        """
+        if expr in group_by:
+            return self.eval(expr, members[0])
+        if isinstance(expr, ast.FuncCall) and is_aggregate(expr.name):
+            if expr.star:
+                return evaluate_aggregate(expr.name,
+                                          [None] * len(members),
+                                          count_star=True)
+            if len(expr.args) != 1:
+                raise SqlRuntimeError(
+                    f"{expr.name} takes exactly one argument")
+            column = [self.eval(expr.args[0], member)
+                      for member in members]
+            return evaluate_aggregate(expr.name, column)
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Unary):
+            return _apply_unary(expr.op,
+                                self._eval_grouped(expr.operand, members,
+                                                   group_by))
+        if isinstance(expr, ast.Binary):
+            left = self._eval_grouped(expr.left, members, group_by)
+            right = self._eval_grouped(expr.right, members, group_by)
+            return _apply_binary(expr.op, left, right)
+        if isinstance(expr, ast.ColumnRef):
+            raise SqlRuntimeError(
+                f"column {expr.display()!r} is neither aggregated nor in "
+                "GROUP BY")
+        raise SqlRuntimeError(
+            f"unsupported expression in GROUP BY query: "
+            f"{type(expr).__name__}")
+
+    def _select_aggregate(self, statement: ast.Select,
+                          scopes: list[Scope]) -> SelectResult:
+        values = []
+        names = []
+        for index, item in enumerate(statement.items):
+            if item.star or item.expr is None:
+                raise SqlRuntimeError(
+                    "cannot mix * with aggregates (no GROUP BY support)")
+            if not _contains_aggregate(item.expr):
+                raise SqlRuntimeError(
+                    "non-aggregate projection in an aggregate query "
+                    "(GROUP BY is not supported)")
+            values.append(self._eval_with_aggregates(item.expr, scopes))
+            names.append(item.alias or _default_name(item.expr, index))
+        return SelectResult(columns=tuple(names), rows=(tuple(values),))
+
+    def _eval_with_aggregates(self, expr: ast.Expr,
+                              scopes: list[Scope]) -> Value:
+        if isinstance(expr, ast.FuncCall) and is_aggregate(expr.name):
+            if expr.star:
+                return evaluate_aggregate(expr.name, [None] * len(scopes),
+                                          count_star=True)
+            if len(expr.args) != 1:
+                raise SqlRuntimeError(
+                    f"{expr.name} takes exactly one argument")
+            column = [self.eval(expr.args[0], row_scope)
+                      for row_scope in scopes]
+            return evaluate_aggregate(expr.name, column)
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Unary):
+            return _apply_unary(expr.op,
+                                self._eval_with_aggregates(expr.operand,
+                                                           scopes))
+        if isinstance(expr, ast.Binary):
+            left = self._eval_with_aggregates(expr.left, scopes)
+            right = self._eval_with_aggregates(expr.right, scopes)
+            return _apply_binary(expr.op, left, right)
+        if isinstance(expr, ast.ColumnRef):
+            raise SqlRuntimeError(
+                f"bare column {expr.display()!r} in an aggregate query "
+                "(GROUP BY is not supported)")
+        raise SqlRuntimeError(
+            f"unsupported expression in aggregate query: "
+            f"{type(expr).__name__}")
+
+    def _order_scopes(self, statement: ast.Select,
+                      scopes: list[Scope]) -> list[Scope]:
+        if not statement.order_by:
+            return scopes
+
+        def sort_key(row_scope: Scope):
+            keys = []
+            for item in statement.order_by:
+                value = self.eval(item.expr, row_scope)
+                keys.append(_OrderKey(value, item.descending))
+            return tuple(keys)
+
+        return sorted(scopes, key=sort_key)
+
+    def _project(self, item: ast.SelectItem, row_scope: Scope):
+        if item.star:
+            frame = row_scope.frames[0]
+            return tuple(frame.row.values())
+        return self.eval(item.expr, row_scope)
+
+    def _projection_names(self, statement: ast.Select) -> tuple[str, ...]:
+        names = []
+        for index, item in enumerate(statement.items):
+            if item.star:
+                if statement.table is None:
+                    raise SqlRuntimeError("SELECT * requires a FROM table")
+                table = self.database.table(statement.table)
+                names.extend(table.schema.keys())
+            else:
+                names.append(item.alias or _default_name(item.expr, index))
+        return tuple(names)
+
+    # -- expressions ----------------------------------------------------------
+
+    def eval(self, expr: ast.Expr, scope: Scope) -> Value:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ColumnRef):
+            return scope.resolve(expr.name, expr.qualifier)
+        if isinstance(expr, ast.Unary):
+            return _apply_unary(expr.op, self.eval(expr.operand, scope))
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, scope)
+        if isinstance(expr, ast.FuncCall):
+            if is_aggregate(expr.name):
+                raise SqlRuntimeError(
+                    f"aggregate {expr.name} outside a SELECT")
+            args = [self.eval(arg, scope) for arg in expr.args]
+            return evaluate_scalar_function(expr.name, args)
+        if isinstance(expr, ast.ScalarSubquery):
+            return self._select(expr.select, scope).scalar()
+        raise SqlRuntimeError(
+            f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_binary(self, expr: ast.Binary, scope: Scope) -> Value:
+        if expr.op in ("AND", "OR"):
+            left = _as_tristate(self.eval(expr.left, scope))
+            # Short-circuit where three-valued logic allows it.
+            if expr.op == "AND" and left is False:
+                return False
+            if expr.op == "OR" and left is True:
+                return True
+            right = _as_tristate(self.eval(expr.right, scope))
+            if expr.op == "AND":
+                if left is True and right is True:
+                    return True
+                if left is False or right is False:
+                    return False
+                return None
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+            return None
+        left = self.eval(expr.left, scope)
+        right = self.eval(expr.right, scope)
+        return _apply_binary(expr.op, left, right)
+
+
+@dataclass(frozen=True)
+class _OrderKey:
+    """Sort key wrapper: NULL first, descending handled by inversion."""
+
+    value: Value
+    descending: bool
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        a, b = self.value, other.value
+        if self.descending:
+            a, b = b, a
+        if a is None:
+            return b is not None
+        if b is None:
+            return False
+        try:
+            return a < b
+        except TypeError as exc:
+            raise SqlTypeError(
+                f"cannot order {a!r} against {b!r}") from exc
+
+
+def _as_tristate(value: Value) -> bool | None:
+    if value is None or isinstance(value, bool):
+        return value
+    raise SqlTypeError(f"expected a boolean, got {value!r}")
+
+
+def _apply_unary(op: str, value: Value) -> Value:
+    if op == "NOT":
+        state = _as_tristate(value)
+        return None if state is None else not state
+    if op == "-":
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SqlTypeError(f"cannot negate {value!r}")
+        return -value
+    raise SqlRuntimeError(f"unknown unary operator {op!r}")
+
+
+def _apply_binary(op: str, left: Value, right: Value) -> Value:
+    if op in ("+", "-", "*", "/"):
+        if left is None or right is None:
+            return None
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            return left + right
+        _require_number(op, left)
+        _require_number(op, right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise SqlRuntimeError("division by zero")
+        return left / right
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        if left is None or right is None:
+            return None
+        _check_comparable(left, right)
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    raise SqlRuntimeError(f"unknown binary operator {op!r}")
+
+
+def _require_number(op: str, value: Value) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SqlTypeError(f"operator {op!r} requires numbers, "
+                           f"got {value!r}")
+
+
+def _check_comparable(left: Value, right: Value) -> None:
+    numeric = (int, float)
+    if isinstance(left, bool) or isinstance(right, bool):
+        if type(left) is not bool or type(right) is not bool:
+            raise SqlTypeError(f"cannot compare {left!r} with {right!r}")
+        return
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return
+    if isinstance(left, str) and isinstance(right, str):
+        return
+    raise SqlTypeError(f"cannot compare {left!r} with {right!r}")
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.FuncCall):
+        if is_aggregate(expr.name):
+            return True
+        return any(_contains_aggregate(arg) for arg in expr.args)
+    if isinstance(expr, ast.Unary):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return (_contains_aggregate(expr.left)
+                or _contains_aggregate(expr.right))
+    return False
+
+
+def _default_name(expr: ast.Expr | None, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name.lower()
+    if isinstance(expr, ast.FuncCall):
+        return expr.name.lower()
+    return f"column{index + 1}"
+
+
+def _flatten_star(statement: ast.Select,
+                  rows: list[tuple]) -> list[tuple]:
+    """Expand tuples produced by * items into flat rows."""
+    if not any(item.star for item in statement.items):
+        return rows
+    flattened = []
+    for row in rows:
+        flat: list[Value] = []
+        for item, value in zip(statement.items, row):
+            if item.star:
+                flat.extend(value)
+            else:
+                flat.append(value)
+        flattened.append(tuple(flat))
+    return flattened
+
+
+def _group_key_part(value: Value) -> Value:
+    """Make one component of a group key hashable and NULL-safe."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)  # 2.0 and 2 group together
+    return value
+
+
+def _distinct(rows: list[tuple]) -> list[tuple]:
+    seen = set()
+    unique = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return unique

@@ -1,0 +1,137 @@
+"""Aggregate and scalar functions of the sqlmini dialect.
+
+Aggregates: ``MAX``, ``MIN``, ``SUM``, ``AVG``, ``COUNT``.  NULL inputs
+are skipped, as in standard SQL.  One deliberate divergence, documented
+in DESIGN.md: ``SUM`` over the empty set is **0**, not NULL — Figure 6 of
+the paper shows the ROI program writing a value of 0 for a formula whose
+relevant-keyword set is empty, which requires this convention.
+
+Scalars: ``ABS``, ``ROUND``, ``COALESCE``, ``LEAST``, ``GREATEST`` — the
+small toolkit realistic bidding programs (budget clamping, bid capping)
+need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sqlmini.errors import SqlNameError, SqlRuntimeError, SqlTypeError
+
+Value = object
+
+AGGREGATE_NAMES = frozenset({"MAX", "MIN", "SUM", "AVG", "COUNT"})
+
+
+def is_aggregate(name: str) -> bool:
+    return name.upper() in AGGREGATE_NAMES
+
+
+def evaluate_aggregate(name: str, values: Sequence[Value],
+                       count_star: bool = False) -> Value:
+    """Apply an aggregate to the (already-evaluated) input column.
+
+    ``count_star`` marks ``COUNT(*)``: rows are counted whether or not
+    their value is NULL.
+    """
+    name = name.upper()
+    if name == "COUNT":
+        if count_star:
+            return len(values)
+        return sum(1 for value in values if value is not None)
+    non_null = [value for value in values if value is not None]
+    if name == "SUM":
+        return _numeric_sum(non_null) if non_null else 0
+    if not non_null:
+        return None
+    if name == "MAX":
+        return max(non_null)
+    if name == "MIN":
+        return min(non_null)
+    if name == "AVG":
+        return _numeric_sum(non_null) / len(non_null)
+    raise SqlNameError(f"unknown aggregate {name!r}")
+
+
+def _numeric_sum(values: Sequence[Value]) -> Value:
+    total: float | int = 0
+    for value in values:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SqlTypeError(f"cannot sum non-numeric value {value!r}")
+        total = total + value
+    return total
+
+
+def _scalar_abs(args: Sequence[Value]) -> Value:
+    _arity("ABS", args, 1)
+    if args[0] is None:
+        return None
+    _require_number("ABS", args[0])
+    return abs(args[0])
+
+
+def _scalar_round(args: Sequence[Value]) -> Value:
+    if len(args) not in (1, 2):
+        raise SqlRuntimeError("ROUND takes 1 or 2 arguments")
+    if args[0] is None:
+        return None
+    _require_number("ROUND", args[0])
+    digits = 0
+    if len(args) == 2:
+        _require_number("ROUND", args[1])
+        digits = int(args[1])
+    return round(float(args[0]), digits)
+
+
+def _scalar_coalesce(args: Sequence[Value]) -> Value:
+    if not args:
+        raise SqlRuntimeError("COALESCE needs at least one argument")
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _scalar_least(args: Sequence[Value]) -> Value:
+    return _extreme("LEAST", args, min)
+
+
+def _scalar_greatest(args: Sequence[Value]) -> Value:
+    return _extreme("GREATEST", args, max)
+
+
+def _extreme(name: str, args: Sequence[Value],
+             pick: Callable[..., Value]) -> Value:
+    if not args:
+        raise SqlRuntimeError(f"{name} needs at least one argument")
+    if any(value is None for value in args):
+        return None
+    return pick(args)
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[[Sequence[Value]], Value]] = {
+    "ABS": _scalar_abs,
+    "ROUND": _scalar_round,
+    "COALESCE": _scalar_coalesce,
+    "LEAST": _scalar_least,
+    "GREATEST": _scalar_greatest,
+}
+
+
+def evaluate_scalar_function(name: str, args: Sequence[Value]) -> Value:
+    """Apply a scalar function by name (case-insensitive)."""
+    function = SCALAR_FUNCTIONS.get(name.upper())
+    if function is None:
+        raise SqlNameError(f"unknown function {name!r}")
+    return function(args)
+
+
+def _arity(name: str, args: Sequence[Value], expected: int) -> None:
+    if len(args) != expected:
+        raise SqlRuntimeError(
+            f"{name} takes {expected} argument(s), got {len(args)}")
+
+
+def _require_number(name: str, value: Value) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SqlTypeError(f"{name} requires a numeric argument, "
+                           f"got {value!r}")

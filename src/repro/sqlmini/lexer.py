@@ -1,0 +1,132 @@
+"""Tokenizer for the sqlmini dialect.
+
+The dialect is the fragment the paper's bidding programs need
+(Section II-B, Figure 5): DDL for tables and triggers, INSERT / UPDATE /
+DELETE / SELECT, IF blocks inside trigger bodies, arithmetic and boolean
+expressions, and scalar subqueries.  Keywords are case-insensitive;
+identifiers preserve case but compare case-insensitively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlmini.errors import SqlLexError
+
+KEYWORDS = frozenset({
+    "AFTER", "AND", "AS", "ASC", "BEGIN", "BOOL", "BY", "CREATE",
+    "DELETE", "DESC", "DISTINCT", "ELSE", "ELSEIF", "END", "ENDIF",
+    "FALSE", "FROM", "GROUP", "HAVING", "IF", "INSERT", "INT", "INTO",
+    "LIMIT", "NOT", "NULL", "ON", "OR", "ORDER", "REAL", "SELECT",
+    "SET", "TABLE", "TEXT", "THEN", "TRIGGER", "TRUE", "UPDATE",
+    "VALUES", "WHERE",
+})
+
+# Multi-character operators first so maximal munch works.
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/",
+              "(", ")", "{", "}", ",", ";", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # "keyword", "ident", "number", "string", "op", "eof"
+    text: str
+    line: int
+    column: int
+
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, column
+        for _ in range(count):
+            if pos < length and source[pos] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            pos += 1
+
+    while pos < length:
+        char = source[pos]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("--", pos):
+            # Line comment.
+            while pos < length and source[pos] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        if char.isdigit() or (char == "." and pos + 1 < length
+                              and source[pos + 1].isdigit()):
+            end = pos
+            seen_dot = False
+            while end < length and (source[end].isdigit()
+                                    or (source[end] == "." and not seen_dot)):
+                if source[end] == ".":
+                    # A dot not followed by a digit is a qualifier, not a
+                    # decimal point (e.g. "1.x" never appears; "K.roi"
+                    # starts with a letter so we never get here for it).
+                    if end + 1 >= length or not source[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            text = source[pos:end]
+            tokens.append(Token("number", text, start_line, start_column))
+            advance(end - pos)
+            continue
+        if char.isalpha() or char == "_":
+            end = pos
+            while end < length and (source[end].isalnum()
+                                    or source[end] == "_"):
+                end += 1
+            text = source[pos:end]
+            kind = "keyword" if text.upper() in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_column))
+            advance(end - pos)
+            continue
+        if char == "'":
+            end = pos + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise SqlLexError("unterminated string literal",
+                                      start_line, start_column)
+                if source[end] == "'":
+                    if end + 1 < length and source[end + 1] == "'":
+                        chunks.append("'")  # escaped quote
+                        end += 2
+                        continue
+                    break
+                chunks.append(source[end])
+                end += 1
+            tokens.append(Token("string", "".join(chunks),
+                                start_line, start_column))
+            advance(end + 1 - pos)
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if source.startswith(operator, pos):
+                tokens.append(Token("op", operator,
+                                    start_line, start_column))
+                advance(len(operator))
+                matched = True
+                break
+        if not matched:
+            raise SqlLexError(f"unexpected character {char!r}",
+                              start_line, start_column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,459 @@
+"""Recursive-descent parser for the sqlmini dialect.
+
+Grammar summary (keywords case-insensitive, ``;`` terminates statements
+and is optional before ``}`` / end of input)::
+
+    script     := statement*
+    statement  := create_table | create_trigger | insert | update
+                | delete | select | if
+    create_table   := CREATE TABLE ident '(' coldef (',' coldef)* ')'
+    coldef         := ident (INT | REAL | TEXT | BOOL)
+    create_trigger := CREATE TRIGGER ident AFTER INSERT ON ident
+                      '{' statement* '}'
+    insert     := INSERT INTO ident ['(' ident (',' ident)* ')']
+                  VALUES tuple (',' tuple)*
+    update     := UPDATE ident SET assign (',' assign)* [WHERE expr]
+    delete     := DELETE FROM ident [WHERE expr]
+    select     := SELECT [DISTINCT] items [FROM ident [ident]]
+                  [WHERE expr] [ORDER BY order (',' order)*] [LIMIT num]
+    if         := IF expr THEN statement*
+                  (ELSEIF expr THEN statement*)*
+                  [ELSE statement*] ENDIF
+
+    expr       := or ;  or := and (OR and)* ;  and := not (AND not)*
+    not        := NOT not | cmp
+    cmp        := add [( = | <> | != | < | <= | > | >= ) add]
+    add        := mul (( + | - ) mul)*
+    mul        := unary (( * | / ) unary)*
+    unary      := - unary | primary
+    primary    := literal | ident['.'ident] | func '(' args ')'
+                | '(' select ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlParseError
+from repro.sqlmini.lexer import Token, tokenize
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_TYPES = {"INT", "REAL", "TEXT", "BOOL"}
+
+# Keywords that may double as identifiers when one is expected.  The
+# paper's own Keywords table has a column named ``text``, so at least the
+# type names must be usable as column names.
+_SOFT_IDENTIFIERS = frozenset(_TYPES)
+
+
+def parse_script(source: str) -> ast.Script:
+    """Parse a source string into a script (list of statements)."""
+    return _Parser(tokenize(source)).parse_script()
+
+
+def parse_statement(source: str) -> ast.Statement:
+    """Parse exactly one statement; raises if there are more."""
+    script = parse_script(source)
+    if len(script.statements) != 1:
+        raise SqlParseError(
+            f"expected exactly one statement, got {len(script.statements)}")
+    return script.statements[0]
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a standalone expression (used by tests and the REPL)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expr()
+    parser._expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.upper() in words
+
+    def _accept_keyword(self, *words: str) -> Token | None:
+        if self._check_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._accept_keyword(word)
+        if token is None:
+            actual = self._peek()
+            raise SqlParseError(f"expected {word}, got {actual.text!r}",
+                                actual.line, actual.column)
+        return token
+
+    def _check_op(self, op: str) -> bool:
+        token = self._peek()
+        return token.kind == "op" and token.text == op
+
+    def _accept_op(self, op: str) -> Token | None:
+        if self._check_op(op):
+            return self._advance()
+        return None
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._accept_op(op)
+        if token is None:
+            actual = self._peek()
+            raise SqlParseError(f"expected {op!r}, got {actual.text!r}",
+                                actual.line, actual.column)
+        return token
+
+    def _check_ident(self) -> bool:
+        token = self._peek()
+        if token.kind == "ident":
+            return True
+        return (token.kind == "keyword"
+                and token.upper() in _SOFT_IDENTIFIERS)
+
+    def _expect_ident(self) -> str:
+        if not self._check_ident():
+            token = self._peek()
+            raise SqlParseError(f"expected identifier, got {token.text!r}",
+                                token.line, token.column)
+        return self._advance().text
+
+    def _expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind != "eof":
+            raise SqlParseError(f"unexpected trailing input {token.text!r}",
+                                token.line, token.column)
+
+    def _skip_semicolons(self) -> None:
+        while self._accept_op(";"):
+            pass
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_script(self) -> ast.Script:
+        statements = []
+        self._skip_semicolons()
+        while self._peek().kind != "eof":
+            statements.append(self._statement())
+            self._skip_semicolons()
+        return ast.Script(statements=tuple(statements))
+
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.kind == "keyword":
+            word = token.upper()
+            if word == "CREATE":
+                return self._create()
+            if word == "INSERT":
+                return self._insert()
+            if word == "UPDATE":
+                return self._update()
+            if word == "DELETE":
+                return self._delete()
+            if word == "SELECT":
+                return self._select()
+            if word == "IF":
+                return self._if()
+        raise SqlParseError(f"unexpected token {token.text!r} at start of "
+                            "statement", token.line, token.column)
+
+    def _create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("TABLE"):
+            table = self._expect_ident()
+            self._expect_op("(")
+            columns = [self._column_def()]
+            while self._accept_op(","):
+                columns.append(self._column_def())
+            self._expect_op(")")
+            return ast.CreateTable(table=table, columns=tuple(columns))
+        if self._accept_keyword("TRIGGER"):
+            name = self._expect_ident()
+            self._expect_keyword("AFTER")
+            self._expect_keyword("INSERT")
+            self._expect_keyword("ON")
+            table = self._expect_ident()
+            self._expect_op("{")
+            body = []
+            self._skip_semicolons()
+            while not self._check_op("}"):
+                body.append(self._statement())
+                self._skip_semicolons()
+            self._expect_op("}")
+            return ast.CreateTrigger(name=name, table=table,
+                                     body=tuple(body))
+        token = self._peek()
+        raise SqlParseError(f"expected TABLE or TRIGGER after CREATE, got "
+                            f"{token.text!r}", token.line, token.column)
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._expect_ident()
+        token = self._peek()
+        if token.kind == "keyword" and token.upper() in _TYPES:
+            self._advance()
+            return ast.ColumnDef(name=name, type_name=token.upper())
+        raise SqlParseError(
+            f"expected column type (INT/REAL/TEXT/BOOL), got {token.text!r}",
+            token.line, token.column)
+
+    def _insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        columns: tuple[str, ...] | None = None
+        if self._accept_op("("):
+            names = [self._expect_ident()]
+            while self._accept_op(","):
+                names.append(self._expect_ident())
+            self._expect_op(")")
+            columns = tuple(names)
+        if self._check_keyword("SELECT"):
+            return ast.Insert(table=table, columns=columns,
+                              select=self._select())
+        self._expect_keyword("VALUES")
+        rows = [self._value_tuple()]
+        while self._accept_op(","):
+            rows.append(self._value_tuple())
+        return ast.Insert(table=table, columns=columns, values=tuple(rows))
+
+    def _value_tuple(self) -> tuple[ast.Expr, ...]:
+        self._expect_op("(")
+        values = [self._expr()]
+        while self._accept_op(","):
+            values.append(self._expr())
+        self._expect_op(")")
+        return tuple(values)
+
+    def _update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_op(","):
+            assignments.append(self._assignment())
+        where = self._expr() if self._accept_keyword("WHERE") else None
+        return ast.Update(table=table, assignments=tuple(assignments),
+                          where=where)
+
+    def _assignment(self) -> ast.Assignment:
+        column = self._expect_ident()
+        self._expect_op("=")
+        return ast.Assignment(column=column, value=self._expr())
+
+    def _delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self._expr() if self._accept_keyword("WHERE") else None
+        return ast.Delete(table=table, where=where)
+
+    def _select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT") is not None
+        items = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+        table = None
+        alias = None
+        if self._accept_keyword("FROM"):
+            table = self._expect_ident()
+            if self._check_ident():
+                alias = self._advance().text
+        where = self._expr() if self._accept_keyword("WHERE") else None
+        group_by: list[ast.Expr] = []
+        having = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expr())
+            while self._accept_op(","):
+                group_by.append(self._expr())
+            if self._accept_keyword("HAVING"):
+                having = self._expr()
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._accept_op(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._peek()
+            if token.kind != "number":
+                raise SqlParseError(f"expected number after LIMIT, got "
+                                    f"{token.text!r}", token.line,
+                                    token.column)
+            self._advance()
+            limit = int(token.text)
+        return ast.Select(items=tuple(items), table=table, alias=alias,
+                          where=where, group_by=tuple(group_by),
+                          having=having, order_by=tuple(order_by),
+                          limit=limit, distinct=distinct)
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._accept_op("*"):
+            return ast.SelectItem(expr=None, star=True)
+        expr = self._expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._check_ident():
+            alias = self._advance().text
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expr()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expr=expr, descending=descending)
+
+    def _if(self) -> ast.If:
+        self._expect_keyword("IF")
+        branches = [self._if_branch()]
+        while self._accept_keyword("ELSEIF"):
+            branches.append(self._if_branch())
+        else_body: tuple[ast.Statement, ...] = ()
+        if self._accept_keyword("ELSE"):
+            else_body = self._branch_body()
+        self._expect_keyword("ENDIF")
+        return ast.If(branches=tuple(branches), else_body=else_body)
+
+    def _if_branch(self) -> ast.IfBranch:
+        condition = self._expr()
+        self._expect_keyword("THEN")
+        return ast.IfBranch(condition=condition, body=self._branch_body())
+
+    def _branch_body(self) -> tuple[ast.Statement, ...]:
+        body = []
+        self._skip_semicolons()
+        while not self._check_keyword("ELSEIF", "ELSE", "ENDIF"):
+            body.append(self._statement())
+            self._skip_semicolons()
+        return tuple(body)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or()
+
+    def _or(self) -> ast.Expr:
+        left = self._and()
+        while self._accept_keyword("OR"):
+            left = ast.Binary("OR", left, self._and())
+        return left
+
+    def _and(self) -> ast.Expr:
+        left = self._not()
+        while self._accept_keyword("AND"):
+            left = ast.Binary("AND", left, self._not())
+        return left
+
+    def _not(self) -> ast.Expr:
+        if self._accept_keyword("NOT"):
+            return ast.Unary("NOT", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "op" and token.text in _COMPARISONS:
+            self._advance()
+            op = "<>" if token.text == "!=" else token.text
+            return ast.Binary(op, left, self._additive())
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            if self._accept_op("+"):
+                left = ast.Binary("+", left, self._multiplicative())
+            elif self._accept_op("-"):
+                left = ast.Binary("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            if self._accept_op("*"):
+                left = ast.Binary("*", left, self._unary())
+            elif self._accept_op("/"):
+                left = ast.Binary("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        if self._accept_op("-"):
+            return ast.Unary("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            value: object = float(text) if "." in text else int(text)
+            return ast.Literal(value)
+        if token.kind == "string":
+            self._advance()
+            return ast.Literal(token.text)
+        if token.kind == "keyword" and token.upper() not in _SOFT_IDENTIFIERS:
+            word = token.upper()
+            if word == "TRUE":
+                self._advance()
+                return ast.Literal(True)
+            if word == "FALSE":
+                self._advance()
+                return ast.Literal(False)
+            if word == "NULL":
+                self._advance()
+                return ast.Literal(None)
+            raise SqlParseError(f"unexpected keyword {token.text!r} in "
+                                "expression", token.line, token.column)
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            if self._check_keyword("SELECT"):
+                select = self._select()
+                self._expect_op(")")
+                return ast.ScalarSubquery(select=select)
+            inner = self._expr()
+            self._expect_op(")")
+            return inner
+        if self._check_ident():
+            name = self._advance().text
+            if self._check_op("("):
+                return self._call(name)
+            if self._accept_op("."):
+                member = self._expect_ident()
+                return ast.ColumnRef(name=member, qualifier=name)
+            return ast.ColumnRef(name=name)
+        raise SqlParseError(f"unexpected token {token.text!r} in expression",
+                            token.line, token.column)
+
+    def _call(self, name: str) -> ast.FuncCall:
+        self._expect_op("(")
+        if self._accept_op("*"):
+            self._expect_op(")")
+            return ast.FuncCall(name=name.upper(), args=(), star=True)
+        args = []
+        if not self._check_op(")"):
+            args.append(self._expr())
+            while self._accept_op(","):
+                args.append(self._expr())
+        self._expect_op(")")
+        return ast.FuncCall(name=name.upper(), args=tuple(args))

@@ -1,0 +1,141 @@
+"""In-memory tables of the sqlmini engine.
+
+Rows are dictionaries keyed by canonical (lower-case) column names; the
+:class:`Schema` carries the declared types and performs coercion on
+write, so a column declared ``INT`` never holds ``2.5`` and a ``TEXT``
+column never holds a number.  NULL (Python ``None``) is allowed in every
+column, as the paper's programs rely on aggregate results that may be
+absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.sqlmini.errors import SqlNameError, SqlSchemaError, SqlTypeError
+
+Value = object  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type_name: str  # "INT" | "REAL" | "TEXT" | "BOOL"
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+    def coerce(self, value: Value) -> Value:
+        """Coerce a value to the column's type, or raise SqlTypeError."""
+        if value is None:
+            return None
+        if self.type_name == "INT":
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and float(value).is_integer():
+                return int(value)
+            raise SqlTypeError(
+                f"column {self.name!r} is INT; cannot store {value!r}")
+        if self.type_name == "REAL":
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            raise SqlTypeError(
+                f"column {self.name!r} is REAL; cannot store {value!r}")
+        if self.type_name == "TEXT":
+            if isinstance(value, str):
+                return value
+            raise SqlTypeError(
+                f"column {self.name!r} is TEXT; cannot store {value!r}")
+        if self.type_name == "BOOL":
+            if isinstance(value, bool):
+                return value
+            raise SqlTypeError(
+                f"column {self.name!r} is BOOL; cannot store {value!r}")
+        raise SqlSchemaError(f"unknown column type {self.type_name!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of columns with canonical-name lookup."""
+
+    columns: tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for column in self.columns:
+            if column.key in seen:
+                raise SqlSchemaError(
+                    f"duplicate column name {column.name!r}")
+            seen.add(column.key)
+
+    def column(self, name: str) -> Column:
+        key = name.lower()
+        for column in self.columns:
+            if column.key == key:
+                return column
+        raise SqlNameError(f"no column {name!r}; available: "
+                           f"{[c.name for c in self.columns]}")
+
+    def has_column(self, name: str) -> bool:
+        key = name.lower()
+        return any(column.key == key for column in self.columns)
+
+    def keys(self) -> list[str]:
+        return [column.key for column in self.columns]
+
+
+@dataclass
+class Table:
+    """A named, schema-checked bag of rows."""
+
+    name: str
+    schema: Schema
+    rows: list[dict[str, Value]] = field(default_factory=list)
+
+    def insert(self, values: Iterable[Value],
+               columns: Iterable[str] | None = None) -> dict[str, Value]:
+        """Insert one row; unnamed columns default to NULL.
+
+        Returns the stored row (the executor hands it to triggers as the
+        NEW row).
+        """
+        values = list(values)
+        if columns is None:
+            names = self.schema.keys()
+            if len(values) != len(names):
+                raise SqlTypeError(
+                    f"table {self.name!r} has {len(names)} columns; got "
+                    f"{len(values)} values")
+        else:
+            names = [self.schema.column(name).key for name in columns]
+            if len(values) != len(names):
+                raise SqlTypeError(
+                    f"INSERT names {len(names)} columns but provides "
+                    f"{len(values)} values")
+        row = {key: None for key in self.schema.keys()}
+        for name, value in zip(names, values):
+            row[name] = self.schema.column(name).coerce(value)
+        self.rows.append(row)
+        return row
+
+    def clear(self) -> None:
+        """Remove all rows (used when re-initialising program state)."""
+        self.rows.clear()
+
+    def copy_rows(self) -> list[dict[str, Value]]:
+        """A defensive copy of all rows (for snapshots in tests)."""
+        return [dict(row) for row in self.rows]
+
+    def __iter__(self) -> Iterator[dict[str, Value]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)

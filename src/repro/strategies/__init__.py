@@ -1,0 +1,52 @@
+"""Dynamic bidding strategies as programs (Section II).
+
+The abstract :class:`BiddingProgram` interface, the ROI-equalizing
+heuristic in native and SQL-hosted forms, and a library of expressive
+strategies realising the paper's motivating advertiser goals.
+"""
+
+from repro.strategies.base import (
+    AuctionContext,
+    BiddingProgram,
+    ProgramNotification,
+    Query,
+)
+from repro.strategies.library import (
+    BudgetPacedProgram,
+    DaypartingRampProgram,
+    FixedBidProgram,
+    PositionTargetProgram,
+    PurchaseFocusedProgram,
+    TopOrBottomProgram,
+    TopOrNothingProgram,
+)
+from repro.strategies.roi_equalizer import (
+    RELEVANCE_THRESHOLD,
+    ROIEqualizerProgram,
+    SimpleROIPacer,
+    make_roi_state,
+)
+from repro.strategies.sql_program import FIGURE5_PROGRAM, SqlBiddingProgram
+from repro.strategies.state import KeywordRecord, ProgramState
+
+__all__ = [
+    "AuctionContext",
+    "BiddingProgram",
+    "BudgetPacedProgram",
+    "DaypartingRampProgram",
+    "FIGURE5_PROGRAM",
+    "FixedBidProgram",
+    "KeywordRecord",
+    "PositionTargetProgram",
+    "ProgramNotification",
+    "ProgramState",
+    "PurchaseFocusedProgram",
+    "Query",
+    "RELEVANCE_THRESHOLD",
+    "ROIEqualizerProgram",
+    "SimpleROIPacer",
+    "SqlBiddingProgram",
+    "TopOrBottomProgram",
+    "TopOrNothingProgram",
+    "make_roi_state",
+]

@@ -1,0 +1,94 @@
+"""The bidding-program interface (Section II-B).
+
+A bidding program is triggered on every auction: it sees the query and
+some shared read-only state, consults and updates its private state, and
+emits a Bids table.  After winner determination and the user's actions,
+the provider notifies the program of what happened to it (slot, click,
+purchase, price), which is how quantities like amount-spent and per-
+keyword ROI evolve.
+
+This module defines the context/notification records and the abstract
+:class:`BiddingProgram`; concrete strategies live in
+:mod:`repro.strategies.roi_equalizer`, :mod:`repro.strategies.library`,
+and (running real SQL on the sqlmini engine)
+:mod:`repro.strategies.sql_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.lang.bids import BidsTable
+from repro.lang.predicates import AdvertiserId
+
+
+@dataclass(frozen=True)
+class Query:
+    """A user search query as programs see it.
+
+    ``relevance`` maps keyword text to its relevance score in this query
+    (the paper's experiments use 1.0 for the chosen keyword and 0.0
+    elsewhere, but any scores in [0, 1] are allowed).
+    Keywords absent from the mapping have relevance 0.
+    """
+
+    text: str
+    relevance: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType({}))
+
+    def relevance_of(self, keyword: str) -> float:
+        return float(self.relevance.get(keyword, 0.0))
+
+
+@dataclass(frozen=True)
+class AuctionContext:
+    """Everything a program may read when bidding (shared, read-only)."""
+
+    auction_id: int
+    time: float
+    query: Query
+    num_slots: int
+    shared: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType({}))
+
+
+@dataclass(frozen=True)
+class ProgramNotification:
+    """What the provider tells a program after an auction resolves.
+
+    ``value_gained`` is the advertiser's own realized value (used for ROI
+    accounting); ``price_paid`` is what the pricing rule charged him.
+    A program that lost receives ``slot=None`` and zeros.
+    """
+
+    auction_id: int
+    keyword: str
+    slot: int | None = None
+    clicked: bool = False
+    purchased: bool = False
+    price_paid: float = 0.0
+    value_gained: float = 0.0
+
+
+class BiddingProgram:
+    """Abstract dynamic bidding strategy.
+
+    Subclasses implement :meth:`bid` (produce a Bids table for the
+    current auction, updating private state as a side effect) and may
+    override :meth:`notify` to react to wins, clicks, and purchases.
+    """
+
+    def __init__(self, advertiser_id: AdvertiserId):
+        self.advertiser_id = advertiser_id
+
+    def bid(self, ctx: AuctionContext) -> BidsTable:
+        """Produce this auction's Bids table."""
+        raise NotImplementedError
+
+    def notify(self, notification: ProgramNotification) -> None:
+        """React to the auction's outcome (default: ignore)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(advertiser={self.advertiser_id})"

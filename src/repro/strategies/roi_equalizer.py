@@ -1,0 +1,177 @@
+"""The ROI-equalizing heuristic (Section II-C, Figures 4-6).
+
+Two faithful variants are provided:
+
+* :class:`ROIEqualizerProgram` — the full Figure 5 semantics: when
+  underspending, raise the bids of the *globally highest-ROI* keywords
+  (if relevant to the query and below their cap); when overspending,
+  lower the *lowest-ROI* ones (if relevant and above zero); then write
+  the Bids table as the sum of tentative bids of sufficiently relevant
+  keywords per formula.  Note: the paper's Figure 5 has a typo on line
+  11 (the overspending branch repeats ``<``); we implement the evidently
+  intended ``>``.
+
+* :class:`SimpleROIPacer` — the per-keyword simplification Section IV-B
+  reasons about ("as long as the bid is above zero and the spending rate
+  is above the target, the heuristic will decrement its bid for a given
+  keyword"): on each auction, the *queried* keyword's bid steps up by 1
+  when underspending and down by 1 when overspending, clamped to
+  [0, maxbid].  This is the strategy the Section V benchmark runs for
+  every method, because its update rule is exactly what the
+  logical-update machinery (:mod:`repro.evaluation.delta_list`) tracks
+  lazily — RH and RHTALU must produce identical bid trajectories, a
+  property the tests verify.
+"""
+
+from __future__ import annotations
+
+from repro.lang.bids import BidsTable
+from repro.strategies.base import (
+    AuctionContext,
+    BiddingProgram,
+    ProgramNotification,
+)
+from repro.strategies.state import KeywordRecord, ProgramState
+
+RELEVANCE_THRESHOLD = 0.7
+"""Figure 5's relevance cut-off for contributing to the Bids table."""
+
+_ROI_TIE_TOL = 1e-12
+
+
+class ROIEqualizerProgram(BiddingProgram):
+    """The full Figure 5 strategy, implemented natively.
+
+    ``tests/strategies/test_roi_equalizer.py`` locks this implementation
+    against the verbatim SQL program running on the sqlmini engine.
+    """
+
+    def __init__(self, advertiser_id: int, state: ProgramState,
+                 step: float = 1.0):
+        super().__init__(advertiser_id)
+        if step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        self.state = state
+        self.step = step
+
+    def bid(self, ctx: AuctionContext) -> BidsTable:
+        state = self.state
+        state.auctions_seen += 1
+        rate = state.spend_rate(ctx.time)
+
+        if rate < state.target_spend_rate:
+            top = state.max_roi()
+            for record in state.keywords:
+                if (abs(record.roi - top) <= _ROI_TIE_TOL
+                        and ctx.query.relevance_of(record.text) > 0
+                        and record.bid < record.maxbid):
+                    record.bid = min(record.bid + self.step, record.maxbid)
+        elif rate > state.target_spend_rate:
+            bottom = state.min_roi()
+            for record in state.keywords:
+                if (abs(record.roi - bottom) <= _ROI_TIE_TOL
+                        and ctx.query.relevance_of(record.text) > 0
+                        and record.bid > 0):
+                    record.bid = max(record.bid - self.step, 0.0)
+
+        return self._bids_table(ctx)
+
+    def _bids_table(self, ctx: AuctionContext) -> BidsTable:
+        """Sum tentative bids per formula over sufficiently relevant
+        keywords (Figure 5 lines 22-27)."""
+        totals: dict[object, float] = {}
+        order: list[object] = []
+        for record in self.state.keywords:
+            if record.formula not in totals:
+                totals[record.formula] = 0.0
+                order.append(record.formula)
+            if ctx.query.relevance_of(record.text) > RELEVANCE_THRESHOLD:
+                totals[record.formula] += record.bid
+        table = BidsTable()
+        for formula in order:
+            table.add(formula, totals[formula])
+        return table
+
+    def notify(self, notification: ProgramNotification) -> None:
+        _fold_notification(self.state, notification)
+
+
+class SimpleROIPacer(BiddingProgram):
+    """The Section IV-B per-keyword pacing rule (benchmark strategy).
+
+    State per keyword: ``bid`` in [0, maxbid].  On an auction for keyword
+    ``q``:
+
+    * underspending (``amt_spent / time < target``) → ``bid_q += step``;
+    * overspending → ``bid_q -= step``;
+    * clamped to [0, maxbid]; other keywords untouched.
+
+    The emitted Bids table has a single row: the queried keyword's
+    formula with its current bid (its relevance is 1 > 0.7; all others
+    are 0).  Equivalently, for the all-``Click`` workload, this program
+    bids ``bid_q`` per click.
+    """
+
+    def __init__(self, advertiser_id: int, state: ProgramState,
+                 step: float = 1.0):
+        super().__init__(advertiser_id)
+        if step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        self.state = state
+        self.step = step
+
+    def bid(self, ctx: AuctionContext) -> BidsTable:
+        state = self.state
+        state.auctions_seen += 1
+        record = state.keyword(ctx.query.text)
+        table = BidsTable()
+        if record is None:
+            return table  # not interested in this keyword
+        rate = state.spend_rate(ctx.time)
+        if rate < state.target_spend_rate:
+            record.bid = min(record.bid + self.step, record.maxbid)
+        elif rate > state.target_spend_rate:
+            record.bid = max(record.bid - self.step, 0.0)
+        table.add(record.formula, record.bid)
+        return table
+
+    def notify(self, notification: ProgramNotification) -> None:
+        _fold_notification(self.state, notification)
+
+
+def _fold_notification(state: ProgramState,
+                       notification: ProgramNotification) -> None:
+    """Shared accounting: update spend and per-keyword ROI inputs.
+
+    The realized value of a click defaults to the keyword's private
+    value-per-click when the provider does not supply one — the
+    advertiser values what he said he values.
+    """
+    if notification.price_paid <= 0 and not notification.clicked:
+        return
+    state.amt_spent += notification.price_paid
+    record = state.keyword(notification.keyword)
+    if record is None:
+        return
+    gained = notification.value_gained
+    if gained == 0.0 and notification.clicked:
+        gained = record.value_per_click
+    record.record_spend(notification.price_paid, gained)
+
+
+def make_roi_state(keywords: list[tuple[str, object, float, float]],
+                   target_spend_rate: float,
+                   initial_bid_fraction: float = 0.5) -> ProgramState:
+    """Convenience builder: (text, formula, maxbid, value_per_click) specs.
+
+    Initial bids start at ``initial_bid_fraction * maxbid`` so programs
+    neither start silent nor saturated.
+    """
+    records = [
+        KeywordRecord(text=text, formula=formula, maxbid=maxbid,
+                      bid=initial_bid_fraction * maxbid,
+                      value_per_click=value)
+        for text, formula, maxbid, value in keywords
+    ]
+    return ProgramState(target_spend_rate=target_spend_rate,
+                        keywords=records)

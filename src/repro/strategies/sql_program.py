@@ -1,0 +1,159 @@
+"""Bidding programs written in SQL, run on the sqlmini engine.
+
+This is the paper's actual programming model (Section II-B): the
+advertiser submits SQL — ``CREATE TRIGGER ... AFTER INSERT ON Query`` —
+and the provider hosts it next to the program's private ``Keywords`` and
+``Bids`` tables.  Before each auction the provider refreshes the shared
+inputs (query relevance scores, time, amount spent, per-keyword ROI) and
+inserts the query row, firing the trigger; afterwards it reads the
+``Bids`` table back as the program's bid.
+
+:data:`FIGURE5_PROGRAM` is the paper's Figure 5 program verbatim modulo
+one fix: line 11 of the figure repeats the underspending test (``<``)
+where the overspending branch obviously intends ``>``; we reproduce the
+intended semantics and record the typo here.
+"""
+
+from __future__ import annotations
+
+from repro.lang.bids import BidsTable
+from repro.sqlmini.database import Database
+from repro.strategies.base import (
+    AuctionContext,
+    BiddingProgram,
+    ProgramNotification,
+)
+from repro.strategies.state import KeywordRecord
+
+FIGURE5_PROGRAM = """
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent / time < targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid + 1
+    WHERE roi = ( SELECT MAX( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid < maxbid;
+  ELSEIF amtSpent / time > targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid - 1
+    WHERE roi = ( SELECT MIN( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid > 0;
+  ENDIF;
+
+  UPDATE Bids
+  SET value = ( SELECT SUM( K.bid )
+                FROM Keywords K
+                WHERE K.relevance > 0.7
+                  AND K.formula = Bids.formula );
+}
+"""
+
+_SCHEMA = """
+CREATE TABLE Query (text TEXT);
+CREATE TABLE Keywords (text TEXT, formula TEXT, maxbid REAL, roi REAL,
+                       bid REAL, relevance REAL);
+CREATE TABLE Bids (formula TEXT, value REAL);
+"""
+
+
+class SqlBiddingProgram(BiddingProgram):
+    """Host one advertiser's SQL bidding program on a private database.
+
+    Parameters
+    ----------
+    advertiser_id:
+        Dense advertiser id.
+    keywords:
+        The advertiser's keyword records; their ``formula``/``maxbid``/
+        ``bid`` fields seed the Keywords table and their accounting
+        drives the provider-maintained ``roi`` column.
+    target_spend_rate:
+        The pacing target exposed to the program as ``targetSpendRate``.
+    program_source:
+        The SQL text to install (defaults to the Figure 5 program).
+    """
+
+    def __init__(self, advertiser_id: int,
+                 keywords: list[KeywordRecord],
+                 target_spend_rate: float,
+                 program_source: str = FIGURE5_PROGRAM):
+        super().__init__(advertiser_id)
+        self.keywords = keywords
+        self.target_spend_rate = float(target_spend_rate)
+        self.amt_spent = 0.0
+        self.database = Database()
+        self.database.execute(_SCHEMA)
+        for record in keywords:
+            self.database.execute(
+                "INSERT INTO Keywords (text, formula, maxbid, roi, bid, "
+                "relevance) VALUES "
+                f"('{_escape(record.text)}', "
+                f"'{_escape(str(record.formula))}', {record.maxbid}, "
+                f"{record.roi}, {record.bid}, 0.0)")
+        for formula in _distinct_formulas(keywords):
+            self.database.execute(
+                f"INSERT INTO Bids VALUES ('{_escape(formula)}', 0.0)")
+        self.database.execute(program_source)
+
+    # -- the provider-side refresh/run/read cycle --------------------------
+
+    def bid(self, ctx: AuctionContext) -> BidsTable:
+        self._refresh_inputs(ctx)
+        self.database.execute(
+            f"INSERT INTO Query VALUES ('{_escape(ctx.query.text)}')")
+        return self._read_bids()
+
+    def notify(self, notification: ProgramNotification) -> None:
+        if notification.price_paid <= 0 and not notification.clicked:
+            return
+        self.amt_spent += notification.price_paid
+        for record in self.keywords:
+            if record.text == notification.keyword:
+                gained = notification.value_gained
+                if gained == 0.0 and notification.clicked:
+                    gained = record.value_per_click
+                record.record_spend(notification.price_paid, gained)
+
+    def _refresh_inputs(self, ctx: AuctionContext) -> None:
+        db = self.database
+        db.set_variable("amtSpent", self.amt_spent)
+        db.set_variable("time", ctx.time)
+        db.set_variable("targetSpendRate", self.target_spend_rate)
+        # The provider maintains relevance and ROI (Section II-B).
+        for record in self.keywords:
+            relevance = ctx.query.relevance_of(record.text)
+            db.execute(
+                f"UPDATE Keywords SET relevance = {relevance}, "
+                f"roi = {record.roi} "
+                f"WHERE text = '{_escape(record.text)}'")
+
+    def _read_bids(self) -> BidsTable:
+        table = BidsTable()
+        for row in self.database.rows("Bids"):
+            value = row["value"]
+            table.add(str(row["formula"]),
+                      0.0 if value is None else float(value))
+        # Mirror the engine-visible bids back into the Python-side
+        # records so notify() accounting and SQL state stay consistent.
+        by_text = {str(row["text"]): row["bid"]
+                   for row in self.database.rows("Keywords")}
+        for record in self.keywords:
+            stored = by_text.get(record.text)
+            if stored is not None:
+                record.bid = float(stored)
+        return table
+
+
+def _distinct_formulas(keywords: list[KeywordRecord]) -> list[str]:
+    seen: list[str] = []
+    for record in keywords:
+        text = str(record.formula)
+        if text not in seen:
+            seen.append(text)
+    return seen
+
+
+def _escape(text: str) -> str:
+    return text.replace("'", "''")

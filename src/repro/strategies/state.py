@@ -1,0 +1,103 @@
+"""Per-program private state: the Keywords table and spend accounting.
+
+Mirrors the paper's Figure 4 Keywords relation — one record per keyword
+the advertiser cares about, holding the bid formula, current tentative
+bid, bid cap, and the running return-on-investment bookkeeping the
+provider maintains automatically (Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.formula import Formula
+from repro.lang.parser import parse_formula
+
+
+@dataclass
+class KeywordRecord:
+    """One row of a program's Keywords table.
+
+    Attributes mirror Figure 4: ``text``, ``formula``, ``maxbid``,
+    ``bid``; plus the accounting that produces ``roi``:
+    ``value_per_click`` (the advertiser's private value of a click for
+    this keyword), ``gained`` (total realized value), ``spent`` (total
+    charged).
+    """
+
+    text: str
+    formula: Formula
+    maxbid: float
+    bid: float
+    value_per_click: float
+    gained: float = 0.0
+    spent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.formula, str):
+            self.formula = parse_formula(self.formula)
+        if self.maxbid < 0:
+            raise ValueError(f"maxbid must be >= 0, got {self.maxbid}")
+        if not 0 <= self.bid:
+            raise ValueError(f"bid must be >= 0, got {self.bid}")
+        self.bid = min(self.bid, self.maxbid)
+
+    @property
+    def roi(self) -> float:
+        """Return on investment: value gained per unit spent.
+
+        Before any money is spent the keyword's ROI is its value per
+        click — an optimistic prior that makes unexplored keywords
+        attractive, and keeps the max/min selections of the ROI heuristic
+        deterministic from the first auction.
+        """
+        if self.spent > 0.0:
+            return self.gained / self.spent
+        return self.value_per_click
+
+    def record_spend(self, price: float, value: float) -> None:
+        """Fold one charged click (or purchase) into the accounting."""
+        if price < 0 or value < 0:
+            raise ValueError("price and value must be >= 0")
+        self.spent += price
+        self.gained += value
+
+
+@dataclass
+class ProgramState:
+    """Scalar program variables plus the Keywords table.
+
+    ``amt_spent`` and per-keyword accounting are updated by
+    notifications; ``target_spend_rate`` is the advertiser's pacing
+    parameter (Section II-C).
+    """
+
+    target_spend_rate: float
+    keywords: list[KeywordRecord] = field(default_factory=list)
+    amt_spent: float = 0.0
+    auctions_seen: int = 0
+
+    def keyword(self, text: str) -> KeywordRecord | None:
+        """The record for ``text``, or None if the program ignores it."""
+        for record in self.keywords:
+            if record.text == text:
+                return record
+        return None
+
+    def spend_rate(self, time: float) -> float:
+        """Current spending rate ``amt_spent / time`` (time must be > 0)."""
+        if time <= 0:
+            raise ValueError(f"time must be > 0, got {time}")
+        return self.amt_spent / time
+
+    def max_roi(self) -> float:
+        """Highest ROI over all keywords (the increment target set)."""
+        if not self.keywords:
+            raise ValueError("program has no keywords")
+        return max(record.roi for record in self.keywords)
+
+    def min_roi(self) -> float:
+        """Lowest ROI over all keywords (the decrement target set)."""
+        if not self.keywords:
+            raise ValueError("program has no keywords")
+        return min(record.roi for record in self.keywords)

@@ -1,0 +1,33 @@
+"""Workload generators: the Section V benchmark workload and random
+instance builders for tests and ablations."""
+
+from repro.workloads.distributions import (
+    interval_click_matrix,
+    keyword_click_values,
+    slot_probability_intervals,
+    target_spend_rates,
+)
+from repro.workloads.generators import (
+    random_bid_population,
+    random_bids_table,
+    random_click_model,
+    random_revenue_matrix,
+    random_separable_model,
+    random_weighted_digraph,
+)
+from repro.workloads.paper_workload import PaperWorkload, PaperWorkloadConfig
+
+__all__ = [
+    "PaperWorkload",
+    "PaperWorkloadConfig",
+    "interval_click_matrix",
+    "keyword_click_values",
+    "random_bid_population",
+    "random_bids_table",
+    "random_click_model",
+    "random_revenue_matrix",
+    "random_separable_model",
+    "random_weighted_digraph",
+    "slot_probability_intervals",
+    "target_spend_rates",
+]

@@ -1,0 +1,75 @@
+"""Distribution helpers shared by workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def slot_probability_intervals(num_slots: int,
+                               low: float = 0.1,
+                               high: float = 0.9
+                               ) -> list[tuple[float, float]]:
+    """Partition [low, high] into per-slot click-probability intervals.
+
+    Section V: "The interval [0.1, 0.9] was partitioned into 15 disjoint
+    intervals, with the (j+1)-highest interval associated with slot j" —
+    i.e. higher slots get higher click-probability ranges.  (Read
+    literally the off-by-one runs out of intervals at slot 15; we assign
+    slot j the j-th highest interval, the evident intent.)  Element j-1
+    of the returned list is slot j's (low, high) interval.
+    """
+    if num_slots < 1:
+        raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+    if not 0.0 <= low < high <= 1.0:
+        raise ValueError(f"need 0 <= low < high <= 1, got [{low}, {high}]")
+    edges = np.linspace(low, high, num_slots + 1)
+    # edges ascend; slot 1 takes the topmost interval.
+    return [(float(edges[num_slots - j]), float(edges[num_slots - j + 1]))
+            for j in range(1, num_slots + 1)]
+
+
+def interval_click_matrix(num_advertisers: int, num_slots: int,
+                          rng: np.random.Generator,
+                          low: float = 0.1,
+                          high: float = 0.9) -> np.ndarray:
+    """The Section V click-probability matrix.
+
+    Each advertiser's probability for slot j is uniform within slot j's
+    interval — so probabilities strictly decrease down the page for
+    everyone, but the matrix is non-separable in general.
+    """
+    intervals = slot_probability_intervals(num_slots, low, high)
+    matrix = np.empty((num_advertisers, num_slots))
+    for j, (lo, hi) in enumerate(intervals):
+        matrix[:, j] = rng.uniform(lo, hi, size=num_advertisers)
+    return matrix
+
+
+def keyword_click_values(num_advertisers: int, num_keywords: int,
+                         rng: np.random.Generator,
+                         high: float = 50.0) -> np.ndarray:
+    """Per-(advertiser, keyword) click values, uniform on [0, high].
+
+    Section V: "each bidder having at least one non-zero click value";
+    uniform draws are non-zero almost surely, but we enforce the
+    invariant anyway for robustness against degenerate ranges.
+    """
+    values = rng.uniform(0.0, high, size=(num_advertisers, num_keywords))
+    for i in range(num_advertisers):
+        while not np.any(values[i] > 0):  # pragma: no cover - measure zero
+            values[i] = rng.uniform(0.0, high, size=num_keywords)
+    return values
+
+
+def target_spend_rates(values: np.ndarray,
+                       rng: np.random.Generator,
+                       low: float = 1.0) -> np.ndarray:
+    """Per-advertiser pacing targets, uniform on [low, max keyword value].
+
+    Section V: "target spending rates were chosen uniformly at random
+    between 1 and the bidder's maximum value over all keywords".  When an
+    advertiser's maximum value falls below ``low``, the target pins at
+    ``low`` (keeps the rate strictly positive).
+    """
+    maxima = np.maximum(values.max(axis=1), low)
+    return rng.uniform(low, maxima)

@@ -1,0 +1,93 @@
+"""Generic random-instance generators for tests, examples, and ablations.
+
+Everything takes an explicit ``numpy.random.Generator`` so instances are
+reproducible; nothing here depends on the auction engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang.bids import BidsTable
+from repro.probability.click_models import (
+    SeparableClickModel,
+    TabularClickModel,
+)
+
+_FORMULA_POOL = (
+    "Click",
+    "Purchase",
+    "Click & Slot1",
+    "Slot1 | Slot2",
+    "Click & (Slot1 | Slot2)",
+    "Purchase & Slot1",
+    "!Slot1 & Click",
+    "Slot1 | !Slot2",
+)
+
+
+def random_click_model(num_advertisers: int, num_slots: int,
+                       rng: np.random.Generator) -> TabularClickModel:
+    """A dense, generally non-separable click model."""
+    return TabularClickModel(rng.uniform(0.0, 1.0,
+                                         size=(num_advertisers, num_slots)))
+
+
+def random_separable_model(num_advertisers: int, num_slots: int,
+                           rng: np.random.Generator
+                           ) -> SeparableClickModel:
+    """A separable click model with factor products inside [0, 1]."""
+    advertiser_factors = rng.uniform(0.1, 1.0, size=num_advertisers)
+    slot_factors = rng.uniform(0.05, 0.9, size=num_slots)
+    scale = float(np.max(np.outer(advertiser_factors, slot_factors)))
+    if scale > 1.0:
+        slot_factors = slot_factors / scale
+    return SeparableClickModel(advertiser_factors=advertiser_factors,
+                               slot_factors=slot_factors)
+
+
+def random_bids_table(rng: np.random.Generator,
+                      max_rows: int = 3,
+                      max_value: float = 10.0,
+                      formulas: tuple[str, ...] = _FORMULA_POOL
+                      ) -> BidsTable:
+    """A random multi-feature Bids table from a formula pool.
+
+    Formulas only mention slots 1-2, Click, and Purchase, so tables work
+    with any instance of >= 2 slots.
+    """
+    table = BidsTable()
+    for _ in range(int(rng.integers(1, max_rows + 1))):
+        formula = str(rng.choice(list(formulas)))
+        table.add(formula, float(rng.uniform(0.0, max_value)))
+    return table
+
+
+def random_bid_population(num_advertisers: int,
+                          rng: np.random.Generator,
+                          max_rows: int = 3) -> dict[int, BidsTable]:
+    """One random Bids table per advertiser (dense ids)."""
+    return {advertiser: random_bids_table(rng, max_rows=max_rows)
+            for advertiser in range(num_advertisers)}
+
+
+def random_weighted_digraph(num_vertices: int,
+                            rng: np.random.Generator,
+                            edge_probability: float = 0.5,
+                            max_weight: float = 5.0) -> np.ndarray:
+    """A random weighted digraph matrix for the Theorem 3 gadget."""
+    weights = np.zeros((num_vertices, num_vertices))
+    for i in range(num_vertices):
+        for j in range(num_vertices):
+            if i != j and rng.random() < edge_probability:
+                weights[i, j] = float(rng.uniform(0.5, max_weight))
+    return weights
+
+
+def random_revenue_matrix(num_advertisers: int, num_slots: int,
+                          rng: np.random.Generator,
+                          allow_negative: bool = False) -> np.ndarray:
+    """Raw adjusted-weight matrices for matcher-level tests."""
+    if allow_negative:
+        return rng.normal(0.0, 5.0, size=(num_advertisers, num_slots))
+    return rng.uniform(0.0, 10.0, size=(num_advertisers, num_slots))

@@ -1,0 +1,136 @@
+"""The Section V experimental workload, reproduced verbatim.
+
+15 slots; 10 keywords; queries arrive uniformly over keywords with
+relevance 1 for the chosen keyword and 0 elsewhere; every bidder runs the
+ROI pacing heuristic; per-keyword click values ~ U(0, 50); target spend
+rates ~ U(1, bidder's max value); click probabilities drawn per slot from
+the [0.1, 0.9] interval partition; a generalisation of GSP charges
+clicked winners.
+
+One :class:`PaperWorkload` instance materialises all of it from a seed
+and can build every artifact the four methods need: eager program
+ensembles (LP/H/RH), the lazy RHTALU state, click models, and the query
+stream — all deterministic given the seed, so methods can be compared on
+identical auction sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evaluation.evaluator import RhtaluEvaluator
+from repro.evaluation.pacer_state import LazyPacerState
+from repro.probability.click_models import TabularClickModel
+from repro.probability.purchase_models import PurchaseModel, no_purchases
+from repro.strategies.base import Query
+from repro.strategies.roi_equalizer import SimpleROIPacer
+from repro.strategies.state import KeywordRecord, ProgramState
+from repro.workloads.distributions import (
+    interval_click_matrix,
+    keyword_click_values,
+    target_spend_rates,
+)
+
+
+@dataclass(frozen=True)
+class PaperWorkloadConfig:
+    """Knobs of the Section V workload (defaults are the paper's)."""
+
+    num_advertisers: int
+    num_slots: int = 15
+    num_keywords: int = 10
+    value_high: float = 50.0
+    initial_bid_fraction: float = 0.5
+    step: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_advertisers < 1:
+            raise ValueError("need at least one advertiser")
+        if not 0.0 <= self.initial_bid_fraction <= 1.0:
+            raise ValueError("initial_bid_fraction must lie in [0, 1]")
+
+
+@dataclass
+class PaperWorkload:
+    """Materialised workload: values, targets, click matrix, keywords."""
+
+    config: PaperWorkloadConfig
+    keywords: list[str] = field(init=False)
+    values: np.ndarray = field(init=False)
+    targets: np.ndarray = field(init=False)
+    click_matrix: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.keywords = [f"kw{index}" for index in range(cfg.num_keywords)]
+        self.values = keyword_click_values(cfg.num_advertisers,
+                                           cfg.num_keywords, rng,
+                                           high=cfg.value_high)
+        self.targets = target_spend_rates(self.values, rng)
+        self.click_matrix = interval_click_matrix(cfg.num_advertisers,
+                                                  cfg.num_slots, rng)
+
+    # -- builders ---------------------------------------------------------
+
+    def click_model(self) -> TabularClickModel:
+        return TabularClickModel(self.click_matrix)
+
+    def purchase_model(self) -> PurchaseModel:
+        """Section V exercises click bids only: no purchases."""
+        return no_purchases(self.config.num_advertisers,
+                            self.config.num_slots)
+
+    def initial_bid(self, advertiser: int, keyword_index: int) -> float:
+        return (self.config.initial_bid_fraction
+                * float(self.values[advertiser, keyword_index]))
+
+    def build_programs(self) -> list[SimpleROIPacer]:
+        """The eager ROI-pacer ensemble (methods LP / H / RH)."""
+        programs = []
+        for advertiser in range(self.config.num_advertisers):
+            records = [
+                KeywordRecord(
+                    text=self.keywords[index],
+                    formula="Click",
+                    maxbid=float(self.values[advertiser, index]),
+                    bid=self.initial_bid(advertiser, index),
+                    value_per_click=float(self.values[advertiser, index]),
+                )
+                for index in range(self.config.num_keywords)
+            ]
+            state = ProgramState(
+                target_spend_rate=float(self.targets[advertiser]),
+                keywords=records)
+            programs.append(SimpleROIPacer(advertiser, state,
+                                           step=self.config.step))
+        return programs
+
+    def build_lazy_state(self) -> LazyPacerState:
+        """The logical-update state (method RHTALU)."""
+        state = LazyPacerState(step=self.config.step)
+        for advertiser in range(self.config.num_advertisers):
+            state.add_advertiser(advertiser,
+                                 float(self.targets[advertiser]))
+            for index, keyword in enumerate(self.keywords):
+                state.add_keyword_bid(
+                    advertiser, keyword,
+                    initial_bid=self.initial_bid(advertiser, index),
+                    maxbid=float(self.values[advertiser, index]))
+        return state
+
+    def build_rhtalu(self) -> RhtaluEvaluator:
+        return RhtaluEvaluator(self.click_matrix, self.build_lazy_state())
+
+    def query_source(self):
+        """Uniform keyword queries, relevance 1/0 (Section V)."""
+        keywords = self.keywords
+
+        def next_query(rng: np.random.Generator) -> Query:
+            keyword = keywords[int(rng.integers(len(keywords)))]
+            return Query(text=keyword, relevance={keyword: 1.0})
+
+        return next_query

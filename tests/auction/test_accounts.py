@@ -1,0 +1,101 @@
+"""Tests for advertiser accounts and the user model."""
+
+import numpy as np
+import pytest
+
+from repro.auction.accounts import AccountBook
+from repro.auction.user_model import HeavyweightUserModel, UserModel
+from repro.lang.outcome import Allocation
+from repro.probability.click_models import TabularClickModel
+from repro.probability.heavyweight import PenaltyHeavyweightClickModel
+from repro.probability.purchase_models import (
+    ConstantRatePurchaseModel,
+    no_purchases,
+)
+
+
+class TestAccountBook:
+    def test_charges_accumulate(self):
+        book = AccountBook()
+        book.charge(0, 2.0)
+        book.charge(0, 3.0)
+        book.charge(1, 1.0)
+        assert book.account(0).charged == 5.0
+        assert book.provider_revenue == 6.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            AccountBook().charge(0, -1.0)
+
+    def test_rates(self):
+        book = AccountBook()
+        assert book.account(0).click_through_rate() == 0.0
+        book.record_impression(0)
+        book.record_impression(0)
+        book.record_click(0)
+        book.charge(0, 4.0)
+        account = book.account(0)
+        assert account.click_through_rate() == 0.5
+        assert account.average_cost_per_click() == 4.0
+
+    def test_totals(self):
+        book = AccountBook()
+        book.record_impression(0)
+        book.record_impression(1)
+        book.record_click(1)
+        assert book.total_impressions() == 2
+        assert book.total_clicks() == 1
+
+
+class TestUserModel:
+    def test_click_frequency_matches_model(self):
+        click_model = TabularClickModel(np.array([[0.7]]))
+        model = UserModel(click_model, no_purchases(1, 1))
+        allocation = Allocation(num_slots=1, slot_of={0: 1})
+        rng = np.random.default_rng(0)
+        clicks = sum(0 in model.sample(allocation, rng).clicked
+                     for _ in range(4000))
+        assert clicks / 4000 == pytest.approx(0.7, abs=0.03)
+
+    def test_purchases_require_clicks(self):
+        click_model = TabularClickModel(np.array([[0.5]]))
+        purchase_model = ConstantRatePurchaseModel(1, 1,
+                                                   rate_given_click=0.8)
+        model = UserModel(click_model, purchase_model)
+        allocation = Allocation(num_slots=1, slot_of={0: 1})
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            outcome = model.sample(allocation, rng)
+            assert outcome.purchased <= outcome.clicked
+
+    def test_empty_allocation(self):
+        model = UserModel(TabularClickModel(np.array([[0.5]])),
+                          no_purchases(1, 1))
+        outcome = model.sample(Allocation(num_slots=1),
+                               np.random.default_rng(0))
+        assert outcome.clicked == frozenset()
+
+
+class TestHeavyweightUserModel:
+    def test_layout_depresses_clicks(self):
+        base = TabularClickModel(np.full((2, 2), 0.8))
+        click_model = PenaltyHeavyweightClickModel(base=base, penalty=0.2,
+                                                   exempt=frozenset({0}))
+        model = HeavyweightUserModel(click_model, no_purchases(2, 2),
+                                     heavyweights=frozenset({0}))
+        allocation = Allocation(num_slots=2, slot_of={0: 1, 1: 2})
+        rng = np.random.default_rng(2)
+        light_clicks = sum(
+            1 in model.sample(allocation, rng).clicked
+            for _ in range(3000))
+        # Advertiser 1 sits below a heavyweight: 0.8 * 0.2 = 0.16.
+        assert light_clicks / 3000 == pytest.approx(0.16, abs=0.03)
+
+    def test_outcome_carries_heavyweights(self):
+        base = TabularClickModel(np.full((1, 1), 0.5))
+        click_model = PenaltyHeavyweightClickModel(base=base)
+        model = HeavyweightUserModel(click_model, no_purchases(1, 1),
+                                     heavyweights=frozenset({0}))
+        outcome = model.sample(Allocation(num_slots=1, slot_of={0: 1}),
+                               np.random.default_rng(0))
+        assert outcome.heavyweights == frozenset({0})

@@ -1,0 +1,103 @@
+"""Tests for offline trace analysis."""
+
+import pytest
+
+from repro.auction import AuctionEngine, EngineConfig
+from repro.auction.analysis import (
+    advertiser_reports,
+    keyword_mix,
+    pacing_audit,
+    revenue_curve,
+    slot_fill_rate,
+)
+from repro.workloads import PaperWorkload, PaperWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    workload = PaperWorkload(PaperWorkloadConfig(
+        num_advertisers=20, num_slots=4, num_keywords=3, seed=17))
+    engine = AuctionEngine(
+        click_model=workload.click_model(),
+        purchase_model=workload.purchase_model(),
+        query_source=workload.query_source(),
+        config=EngineConfig(num_slots=4, method="rh", seed=18),
+        programs=workload.build_programs())
+    records = engine.run(150)
+    return workload, engine, records
+
+
+class TestAdvertiserReports:
+    def test_matches_engine_accounts(self, trace):
+        _, engine, records = trace
+        reports = advertiser_reports(records)
+        for advertiser, report in reports.items():
+            account = engine.accounts.account(advertiser)
+            assert report.impressions == account.impressions
+            assert report.clicks == account.clicks
+            assert report.spend == pytest.approx(account.charged)
+
+    def test_slot_histogram_sums_to_impressions(self, trace):
+        _, _, records = trace
+        for report in advertiser_reports(records).values():
+            assert sum(report.slots_held.values()) == report.impressions
+
+    def test_derived_rates(self, trace):
+        _, _, records = trace
+        for report in advertiser_reports(records).values():
+            assert 0.0 <= report.click_through_rate <= 1.0
+            if report.impressions:
+                assert 1.0 <= report.average_position <= 4.0
+
+
+class TestRevenueCurve:
+    def test_cumulative_and_monotone(self, trace):
+        _, _, records = trace
+        points = revenue_curve(records, every=10)
+        assert len(points) == 15
+        realized = [point.cumulative_realized for point in points]
+        assert realized == sorted(realized)
+        assert points[-1].cumulative_expected == pytest.approx(
+            sum(r.expected_revenue for r in records))
+
+    def test_every_validation(self, trace):
+        _, _, records = trace
+        with pytest.raises(ValueError):
+            revenue_curve(records, every=0)
+
+
+class TestMixAndFill:
+    def test_keyword_mix_counts_all_auctions(self, trace):
+        workload, _, records = trace
+        mix = keyword_mix(records)
+        assert sum(mix.values()) == len(records)
+        assert set(mix) <= set(workload.keywords)
+
+    def test_slot_fill_rates(self, trace):
+        _, _, records = trace
+        fill = slot_fill_rate(records)
+        assert set(fill) == {1, 2, 3, 4}
+        for rate in fill.values():
+            assert 0.0 <= rate <= 1.0
+        # The top slot is essentially always worth filling.
+        assert fill[1] > 0.9
+
+    def test_empty_trace(self):
+        assert slot_fill_rate([]) == {}
+        assert keyword_mix([]) == {}
+        assert pacing_audit([], {0: 1.0}) == []
+
+
+class TestPacingAudit:
+    def test_audit_against_workload_targets(self, trace):
+        workload, _, records = trace
+        targets = {advertiser: float(workload.targets[advertiser])
+                   for advertiser in range(20)}
+        audits = pacing_audit(records, targets)
+        assert len(audits) == 20
+        for audit in audits:
+            assert audit.spend_rate >= 0.0
+            assert (audit.utilisation > 1.0) == audit.overspending
+        # The pacing heuristic keeps most advertisers at or below target.
+        overspenders = sum(1 for audit in audits if audit.overspending)
+        assert overspenders <= len(audits) // 2

@@ -1,0 +1,52 @@
+"""Tests for run summaries and auction records."""
+
+import pytest
+
+from repro.auction.events import AuctionRecord
+from repro.auction.metrics import summarize
+from repro.lang.outcome import Allocation, Outcome
+
+
+def _record(auction_id, expected, realized, eval_s, wd_s,
+            clicked=frozenset()):
+    allocation = Allocation(num_slots=2, slot_of={0: 1})
+    return AuctionRecord(
+        auction_id=auction_id, keyword="kw", allocation=allocation,
+        outcome=Outcome(allocation=allocation, clicked=clicked),
+        expected_revenue=expected, realized_revenue=realized,
+        eval_seconds=eval_s, wd_seconds=wd_s, num_candidates=1)
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.auctions == 0
+        assert summary.total_expected_revenue == 0.0
+
+    def test_aggregation(self):
+        records = [
+            _record(1, 10.0, 8.0, 0.001, 0.002,
+                    clicked=frozenset({0})),
+            _record(2, 20.0, 0.0, 0.003, 0.004),
+        ]
+        summary = summarize(records)
+        assert summary.auctions == 2
+        assert summary.total_expected_revenue == 30.0
+        assert summary.total_realized_revenue == 8.0
+        assert summary.total_clicks == 1
+        assert summary.total_impressions == 2
+        assert summary.mean_eval_ms == pytest.approx(2.0)
+        assert summary.mean_wd_ms == pytest.approx(3.0)
+        assert summary.mean_total_ms == pytest.approx(5.0)
+
+    def test_str_is_informative(self):
+        summary = summarize([_record(1, 10.0, 8.0, 0.001, 0.002)])
+        text = str(summary)
+        assert "auctions=1" in text
+        assert "expected_rev=10.00" in text
+
+
+class TestAuctionRecord:
+    def test_total_seconds(self):
+        record = _record(1, 1.0, 1.0, 0.25, 0.5)
+        assert record.total_seconds == pytest.approx(0.75)

@@ -1,0 +1,94 @@
+"""Tests for pricing rules (GSP generalisation, VCG, pay-your-bid)."""
+
+import numpy as np
+import pytest
+
+from repro.auction.pricing import (
+    GeneralizedSecondPrice,
+    PayYourBid,
+    VickreyPricing,
+)
+from repro.matching.hungarian import max_weight_matching
+
+
+def _setup(bids, click_probs):
+    bids = np.asarray(bids, dtype=float)
+    click_probs = np.asarray(click_probs, dtype=float)
+    weights = click_probs * bids[:, None]
+    matching = max_weight_matching(weights)
+    return weights, bids, click_probs, matching
+
+
+class TestGsp:
+    def test_classic_separable_case(self):
+        # Separable CTRs + click bids: GSP price of slot j is the next
+        # bidder's score / own CTR — the textbook formula.
+        bids = [10.0, 6.0, 4.0]
+        ctr = np.outer([1.0, 1.0, 1.0], [0.5, 0.25])
+        weights, bid_vec, probs, matching = _setup(bids, ctr)
+        quotes = GeneralizedSecondPrice().quote(weights, bid_vec, probs,
+                                                matching)
+        by_slot = {quote.slot: quote for quote in quotes}
+        # Slot 1 (advertiser 0): rival best is advertiser 1's score in
+        # slot 1: 6 * 0.5 = 3 -> price 3 / 0.5 = 6 = next bid.
+        assert by_slot[1].per_click == pytest.approx(6.0)
+        # Slot 2 (advertiser 1): rival is advertiser 2: 4*0.25/0.25 = 4.
+        assert by_slot[2].per_click == pytest.approx(4.0)
+
+    def test_price_never_exceeds_bid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            n, k = int(rng.integers(2, 8)), int(rng.integers(1, 4))
+            bids = rng.uniform(0, 10, size=n)
+            probs = rng.uniform(0.1, 0.9, size=(n, k))
+            weights, bid_vec, probs, matching = _setup(bids, probs)
+            for quote in GeneralizedSecondPrice().quote(
+                    weights, bid_vec, probs, matching):
+                assert 0.0 <= quote.per_click <= bids[quote.advertiser] + 1e-9
+
+    def test_no_rival_means_free(self):
+        weights, bids, probs, matching = _setup([5.0], [[0.5]])
+        quotes = GeneralizedSecondPrice().quote(weights, bids, probs,
+                                                matching)
+        assert quotes[0].per_click == 0.0
+
+    def test_zero_ctr_charges_nothing(self):
+        quotes = GeneralizedSecondPrice().quote(
+            np.array([[1.0]]), np.array([2.0]), np.array([[0.0]]),
+            max_weight_matching(np.array([[1.0]])))
+        assert quotes[0].per_click == 0.0
+
+
+class TestVcg:
+    def test_payments_bounded_by_gain(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            n, k = int(rng.integers(2, 7)), int(rng.integers(1, 4))
+            bids = rng.uniform(0, 10, size=n)
+            probs = rng.uniform(0.1, 0.9, size=(n, k))
+            weights, bid_vec, probs, matching = _setup(bids, probs)
+            for quote in VickreyPricing().quote(weights, bid_vec, probs,
+                                                matching):
+                gain = weights[quote.advertiser, quote.slot - 1]
+                assert 0.0 <= quote.per_impression <= gain + 1e-9
+
+    def test_lone_bidder_pays_nothing(self):
+        weights, bids, probs, matching = _setup([5.0], [[0.5]])
+        quotes = VickreyPricing().quote(weights, bids, probs, matching)
+        assert quotes[0].per_impression == 0.0
+
+    def test_externality_formula_two_bidders_one_slot(self):
+        # Winner displaces the loser entirely: pays the loser's value.
+        weights, bids, probs, matching = _setup([10.0, 4.0],
+                                                [[0.5], [0.5]])
+        quotes = VickreyPricing().quote(weights, bids, probs, matching)
+        assert len(quotes) == 1
+        assert quotes[0].per_impression == pytest.approx(2.0)  # 4 * 0.5
+
+
+class TestPayYourBid:
+    def test_quotes_own_bid(self):
+        weights, bids, probs, matching = _setup([10.0, 4.0],
+                                                [[0.5], [0.4]])
+        quotes = PayYourBid().quote(weights, bids, probs, matching)
+        assert quotes[0].per_click == 10.0

@@ -1,0 +1,67 @@
+"""Tests for auction-trace persistence."""
+
+import pytest
+
+from repro.auction import (
+    AuctionEngine,
+    EngineConfig,
+    read_trace,
+    record_from_dict,
+    record_to_dict,
+    summarize,
+    write_trace,
+)
+from repro.workloads import PaperWorkload, PaperWorkloadConfig
+
+
+def _run(tmp_path, auctions=25):
+    workload = PaperWorkload(PaperWorkloadConfig(
+        num_advertisers=15, num_slots=3, num_keywords=2, seed=3))
+    engine = AuctionEngine(
+        click_model=workload.click_model(),
+        purchase_model=workload.purchase_model(),
+        query_source=workload.query_source(),
+        config=EngineConfig(num_slots=3, method="rh", seed=4),
+        programs=workload.build_programs())
+    records = engine.run(auctions)
+    path = tmp_path / "trace.jsonl"
+    assert write_trace(path, records) == auctions
+    return records, path
+
+
+class TestRoundTrip:
+    def test_records_round_trip(self, tmp_path):
+        records, path = _run(tmp_path)
+        loaded = list(read_trace(path))
+        assert len(loaded) == len(records)
+        for original, restored in zip(records, loaded):
+            assert restored.auction_id == original.auction_id
+            assert restored.keyword == original.keyword
+            assert restored.allocation == original.allocation
+            assert restored.outcome.clicked == original.outcome.clicked
+            assert restored.outcome.purchased == \
+                original.outcome.purchased
+            assert restored.expected_revenue == pytest.approx(
+                original.expected_revenue)
+            assert restored.prices == pytest.approx(original.prices)
+
+    def test_summaries_match(self, tmp_path):
+        records, path = _run(tmp_path)
+        original = summarize(records)
+        restored = summarize(list(read_trace(path)))
+        assert restored.total_expected_revenue == pytest.approx(
+            original.total_expected_revenue)
+        assert restored.total_clicks == original.total_clicks
+
+    def test_dict_round_trip_is_stable(self, tmp_path):
+        records, _ = _run(tmp_path, auctions=3)
+        for record in records:
+            once = record_to_dict(record)
+            twice = record_to_dict(record_from_dict(once))
+            assert once == twice
+
+    def test_blank_lines_ignored(self, tmp_path):
+        records, path = _run(tmp_path, auctions=2)
+        content = path.read_text()
+        path.write_text("\n" + content.replace("\n", "\n\n"))
+        assert len(list(read_trace(path))) == 2

@@ -1,0 +1,68 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.lang.bids import BidsTable
+from repro.lang.formula import Atom, Formula
+from repro.lang.predicates import click, purchase, slot
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; reseed per test for reproducibility."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+# -- hypothesis strategies ----------------------------------------------------
+
+MAX_SLOTS = 3
+"""Formulas generated below only mention slots 1..MAX_SLOTS."""
+
+
+def atoms() -> st.SearchStrategy[Formula]:
+    return st.one_of(
+        st.just(Atom(click())),
+        st.just(Atom(purchase())),
+        st.integers(min_value=1, max_value=MAX_SLOTS).map(
+            lambda j: Atom(slot(j))),
+    )
+
+
+def formulas(max_leaves: int = 6) -> st.SearchStrategy[Formula]:
+    """Random Boolean combinations of Click/Purchase/Slot atoms."""
+    return st.recursive(
+        atoms(),
+        lambda children: st.one_of(
+            children.map(lambda f: ~f),
+            st.tuples(children, children).map(lambda pair: pair[0] & pair[1]),
+            st.tuples(children, children).map(lambda pair: pair[0] | pair[1]),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def bid_values() -> st.SearchStrategy[float]:
+    return st.floats(min_value=0.0, max_value=100.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+def bids_tables(max_rows: int = 4) -> st.SearchStrategy[BidsTable]:
+    return st.lists(
+        st.tuples(formulas(), bid_values()),
+        min_size=0, max_size=max_rows,
+    ).map(lambda rows: BidsTable.from_pairs(rows))
+
+
+def probability_matrices(max_advertisers: int = 5,
+                         num_slots: int = MAX_SLOTS):
+    """Random (n x MAX_SLOTS) click-probability matrices as lists."""
+    return st.integers(min_value=1, max_value=max_advertisers).flatmap(
+        lambda n: st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=1.0,
+                               allow_nan=False),
+                     min_size=num_slots, max_size=num_slots),
+            min_size=n, max_size=n))

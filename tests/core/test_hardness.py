@@ -1,0 +1,50 @@
+"""Tests for the exact hard-case solver (Theorem 3 at the core API)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hardness import (
+    UnsupportedHardBidError,
+    exact_slot_only_wd,
+    slot_only,
+)
+from repro.lang.bids import BidsTable
+from repro.matching.feedback_arc import (
+    FeedbackArcInstance,
+    best_allocation_by_enumeration,
+)
+
+
+class TestSlotOnlyPredicate:
+    def test_slot_bids_qualify(self):
+        tables = {0: BidsTable.from_pairs([("Slot1 | Slot2", 2)])}
+        assert slot_only(tables)
+
+    def test_click_bids_do_not(self):
+        tables = {0: BidsTable.from_pairs([("Click", 2)])}
+        assert not slot_only(tables)
+
+
+class TestExactSolver:
+    def test_matches_gadget_enumeration(self):
+        weights = np.array([[0.0, 3.0, 1.0],
+                            [2.0, 0.0, 0.0],
+                            [0.0, 4.0, 0.0]])
+        instance = FeedbackArcInstance(weights=weights, num_slots=2)
+        allocation, revenue = exact_slot_only_wd(instance.bids_tables(),
+                                                 3, 2)
+        _, expected = best_allocation_by_enumeration(instance)
+        assert revenue == pytest.approx(expected)
+        assert instance.revenue(allocation) == pytest.approx(expected)
+
+    def test_plain_slot_bids(self):
+        tables = {0: BidsTable.from_pairs([("Slot1", 5)]),
+                  1: BidsTable.from_pairs([("Slot1", 3), ("Slot2", 2)])}
+        allocation, revenue = exact_slot_only_wd(tables, 2, 2)
+        assert revenue == pytest.approx(7.0)
+        assert allocation.slot_of == {0: 1, 1: 2}
+
+    def test_rejects_click_bids(self):
+        tables = {0: BidsTable.from_pairs([("Click", 5)])}
+        with pytest.raises(UnsupportedHardBidError):
+            exact_slot_only_wd(tables, 1, 1)

@@ -1,0 +1,128 @@
+"""Tests for the 2^k heavyweight layout algorithm (Section III-F)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heavyweight_wd import (
+    HeavyweightBidError,
+    determine_winners_heavyweight,
+    expected_revenue_of_allocation,
+)
+from repro.lang.bids import BidsTable
+from repro.lang.formula import Atom
+from repro.lang.predicates import slot
+from repro.matching.brute_force import brute_force_allocation
+from repro.probability.click_models import TabularClickModel
+from repro.probability.heavyweight import PenaltyHeavyweightClickModel
+from repro.probability.purchase_models import no_purchases
+from repro.workloads.generators import random_bids_table
+
+
+def _random_heavy_instance(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 5))
+    k = int(rng.integers(1, 4))
+    base = TabularClickModel(rng.uniform(0.1, 0.9, size=(n, k)))
+    heavy_count = int(rng.integers(1, n))
+    heavy = frozenset(
+        int(x) for x in rng.choice(n, size=heavy_count, replace=False))
+    model = PenaltyHeavyweightClickModel(base=base, penalty=0.6,
+                                         exempt=heavy)
+    purchase_model = no_purchases(n, k)
+    tables = {}
+    for advertiser in range(n):
+        table = BidsTable()
+        table.add("Click", float(rng.integers(1, 10)))
+        if k >= 2 and rng.random() < 0.5:
+            table.add("Slot1 & !HeavyInSlot2", float(rng.integers(0, 5)))
+        if rng.random() < 0.3:
+            table.add("HeavyInSlot1", float(rng.integers(0, 3)))
+        tables[advertiser] = table
+    return tables, heavy, model, purchase_model, n, k
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_layout_decomposition_is_exact(self, seed):
+        tables, heavy, model, purchase_model, n, k = \
+            _random_heavy_instance(seed)
+        result = determine_winners_heavyweight(tables, heavy, model,
+                                               purchase_model)
+
+        def objective(allocation):
+            return expected_revenue_of_allocation(
+                tables, allocation, heavy, model, purchase_model)
+
+        _, oracle = brute_force_allocation(n, k, objective)
+        assert result.expected_revenue == pytest.approx(oracle, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_reported_layout_matches_allocation(self, seed):
+        tables, heavy, model, purchase_model, _, _ = \
+            _random_heavy_instance(seed)
+        result = determine_winners_heavyweight(tables, heavy, model,
+                                               purchase_model)
+        realized = frozenset(
+            slot_index
+            for advertiser, slot_index in result.allocation.slot_of.items()
+            if advertiser in heavy)
+        assert realized == result.heavy_slots
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_revenue_recomputes(self, seed):
+        tables, heavy, model, purchase_model, _, _ = \
+            _random_heavy_instance(seed)
+        result = determine_winners_heavyweight(tables, heavy, model,
+                                               purchase_model)
+        recomputed = expected_revenue_of_allocation(
+            tables, result.allocation, heavy, model, purchase_model)
+        assert result.expected_revenue == pytest.approx(recomputed)
+
+
+class TestStats:
+    def test_layout_counts(self):
+        rng = np.random.default_rng(3)
+        base = TabularClickModel(rng.uniform(0.1, 0.9, size=(3, 2)))
+        model = PenaltyHeavyweightClickModel(base=base)
+        tables = {i: BidsTable.from_pairs([("Click", 5)])
+                  for i in range(3)}
+        result = determine_winners_heavyweight(
+            tables, frozenset({0}), model, no_purchases(3, 2))
+        assert result.stats.layouts_considered == 4  # 2^2
+        # Layout {1, 2} needs two heavyweights; only one exists.
+        assert result.stats.layouts_feasible == 3
+        assert result.stats.parallel_critical_matchings == 2
+
+    def test_no_heavyweights_degenerates_to_plain_wd(self):
+        rng = np.random.default_rng(4)
+        base = TabularClickModel(rng.uniform(0.1, 0.9, size=(3, 2)))
+        model = PenaltyHeavyweightClickModel(base=base, penalty=0.5)
+        tables = {i: BidsTable.from_pairs([("Click", float(i + 1))])
+                  for i in range(3)}
+        result = determine_winners_heavyweight(
+            tables, frozenset(), model, no_purchases(3, 2))
+        # With no heavyweights only the empty layout is feasible and the
+        # penalty never applies.
+        assert result.heavy_slots == frozenset()
+        from repro.core import determine_winners
+        plain = determine_winners(tables, base, no_purchases(3, 2),
+                                  method="hungarian")
+        assert result.expected_revenue == pytest.approx(
+            plain.expected_revenue)
+
+
+class TestValidation:
+    def test_cross_advertiser_bids_rejected(self):
+        rng = np.random.default_rng(5)
+        base = TabularClickModel(rng.uniform(0.1, 0.9, size=(2, 2)))
+        model = PenaltyHeavyweightClickModel(base=base)
+        tables = {0: BidsTable([]), 1: BidsTable([])}
+        tables[0].add(Atom(slot(1, advertiser=1)), 5)
+        with pytest.raises(HeavyweightBidError):
+            determine_winners_heavyweight(tables, frozenset({0}), model,
+                                          no_purchases(2, 2))

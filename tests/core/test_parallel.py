@@ -1,0 +1,59 @@
+"""Tests for parallel winner determination (Section III-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel import parallel_speedup_model, solve_parallel
+from repro.core.revenue import RevenueMatrix
+from repro.core.winner_determination import solve
+
+
+def _random_revenue(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 40))
+    k = int(rng.integers(1, 5))
+    assigned = rng.uniform(0, 10, size=(n, k))
+    unassigned = rng.uniform(0, 2, size=n)
+    return RevenueMatrix(assigned=assigned, unassigned=unassigned)
+
+
+class TestEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 12))
+    def test_matches_serial_rh(self, seed, leaves):
+        revenue = _random_revenue(seed)
+        serial = solve(revenue, method="rh")
+        parallel = solve_parallel(revenue, num_leaves=leaves)
+        assert parallel.result.expected_revenue == pytest.approx(
+            serial.expected_revenue, abs=1e-9)
+
+    def test_stats_present(self):
+        revenue = _random_revenue(3)
+        parallel = solve_parallel(revenue, num_leaves=4)
+        assert parallel.stats.num_leaves >= 1
+        assert parallel.stats.critical_path_work > 0
+
+    def test_empty_population(self):
+        revenue = RevenueMatrix(assigned=np.empty((0, 3)),
+                                unassigned=np.empty(0))
+        parallel = solve_parallel(revenue, num_leaves=4)
+        assert parallel.result.allocation.slot_of == {}
+        assert parallel.result.expected_revenue == 0.0
+
+
+class TestSpeedupModel:
+    def test_more_leaves_help_until_merge_dominates(self):
+        speedups = [parallel_speedup_model(100_000, 15, p)
+                    for p in (1, 8, 64, 512)]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[1] > speedups[0]
+        assert speedups[2] > speedups[1]
+
+    def test_tiny_population_gains_nothing(self):
+        assert parallel_speedup_model(16, 15, 1024) < 2.0
+
+    def test_invalid_leaves(self):
+        with pytest.raises(ValueError):
+            parallel_speedup_model(10, 2, 0)

@@ -1,0 +1,116 @@
+"""Tests for expected-revenue matrices."""
+
+import numpy as np
+import pytest
+
+from repro.lang.bids import BidsTable
+from repro.lang.dependence import NotOneDependentError
+from repro.matching.feedback_arc import above_event
+from repro.core.revenue import (
+    RevenueMatrix,
+    build_revenue_matrix,
+    click_bid_revenue_matrix,
+    slot_click_bid_revenue_matrix,
+)
+from repro.probability.click_models import TabularClickModel
+from repro.probability.purchase_models import (
+    ConstantRatePurchaseModel,
+    no_purchases,
+)
+
+
+@pytest.fixture
+def click_model():
+    return TabularClickModel(np.array([[0.8, 0.4],
+                                       [0.6, 0.3]]))
+
+
+class TestBuilders:
+    def test_click_bids_cellwise(self, click_model):
+        tables = {0: BidsTable.from_pairs([("Click", 10)]),
+                  1: BidsTable.from_pairs([("Click", 20)])}
+        revenue = build_revenue_matrix(tables, click_model,
+                                       no_purchases(2, 2))
+        assert revenue.assigned == pytest.approx(
+            np.array([[8.0, 4.0], [12.0, 6.0]]))
+        assert revenue.unassigned == pytest.approx(np.zeros(2))
+
+    def test_fast_path_matches_general(self, click_model):
+        tables = {0: BidsTable.from_pairs([("Click", 10)]),
+                  1: BidsTable.from_pairs([("Click", 20)])}
+        general = build_revenue_matrix(tables, click_model,
+                                       no_purchases(2, 2))
+        fast = click_bid_revenue_matrix([10.0, 20.0], click_model)
+        assert np.allclose(general.assigned, fast.assigned)
+        assert np.allclose(general.unassigned, fast.unassigned)
+
+    def test_slot_click_fast_path(self, click_model):
+        bids = np.array([[10.0, 0.0], [0.0, 20.0]])
+        tables = {0: BidsTable.from_pairs([("Click & Slot1", 10)]),
+                  1: BidsTable.from_pairs([("Click & Slot2", 20)])}
+        general = build_revenue_matrix(tables, click_model,
+                                       no_purchases(2, 2))
+        fast = slot_click_bid_revenue_matrix(bids, click_model)
+        assert np.allclose(general.assigned, fast.assigned)
+
+    def test_unassigned_column_priced(self, click_model):
+        # A bid that pays off when NOT shown in slot 1.
+        tables = {0: BidsTable.from_pairs([("!Slot1", 6)]),
+                  1: BidsTable()}
+        revenue = build_revenue_matrix(tables, click_model,
+                                       no_purchases(2, 2))
+        assert revenue.assigned[0] == pytest.approx([0.0, 6.0])
+        assert revenue.unassigned[0] == pytest.approx(6.0)
+        # Adjusted weights: slot 1 costs the advertiser his 6.
+        assert revenue.adjusted()[0] == pytest.approx([-6.0, 0.0])
+
+    def test_purchase_bids(self, click_model):
+        purchase_model = ConstantRatePurchaseModel(2, 2,
+                                                   rate_given_click=0.5)
+        tables = {0: BidsTable.from_pairs([("Purchase", 10)]),
+                  1: BidsTable()}
+        revenue = build_revenue_matrix(tables, click_model, purchase_model)
+        assert revenue.assigned[0, 0] == pytest.approx(0.8 * 0.5 * 10)
+
+    def test_two_dependent_bids_rejected(self, click_model):
+        tables = {0: BidsTable(), 1: BidsTable()}
+        tables[0].add(above_event(0, 1, 2), 5)
+        with pytest.raises(NotOneDependentError):
+            build_revenue_matrix(tables, click_model, no_purchases(2, 2))
+
+    def test_validation_can_be_disabled_for_trusted_bids(self, click_model):
+        tables = {0: BidsTable.from_pairs([("Click", 1)])}
+        revenue = build_revenue_matrix(tables, click_model,
+                                       no_purchases(2, 2), validate=False)
+        assert revenue.num_advertisers == 2
+
+    def test_out_of_range_ids_rejected(self, click_model):
+        tables = {5: BidsTable.from_pairs([("Click", 1)])}
+        with pytest.raises(ValueError):
+            build_revenue_matrix(tables, click_model, no_purchases(2, 2))
+
+    def test_bid_vector_length_checked(self, click_model):
+        with pytest.raises(ValueError):
+            click_bid_revenue_matrix([1.0], click_model)
+
+
+class TestRevenueMatrix:
+    def test_total_for_includes_unmatched_baseline(self):
+        revenue = RevenueMatrix(assigned=np.array([[5.0], [3.0]]),
+                                unassigned=np.array([1.0, 2.0]))
+        # advertiser 0 matched to slot 1; advertiser 1 unassigned.
+        assert revenue.total_for([(0, 0)]) == pytest.approx(5.0 + 2.0)
+        assert revenue.total_for([]) == pytest.approx(3.0)
+
+    def test_adjusted_and_baseline(self):
+        revenue = RevenueMatrix(assigned=np.array([[5.0]]),
+                                unassigned=np.array([2.0]))
+        assert revenue.adjusted() == pytest.approx(np.array([[3.0]]))
+        assert revenue.baseline() == pytest.approx(2.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RevenueMatrix(assigned=np.ones(3), unassigned=np.ones(3))
+        with pytest.raises(ValueError):
+            RevenueMatrix(assigned=np.ones((2, 2)),
+                          unassigned=np.ones(3))

@@ -1,0 +1,116 @@
+"""Tests for delta lists and the merged descending source (IV-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.delta_list import DeltaList, MergedDeltaSource
+
+
+class TestDeltaList:
+    def test_adjust_shifts_everyone(self):
+        lst = DeltaList()
+        lst.insert(1, 5.0)
+        lst.insert(2, 3.0)
+        lst.adjust(-1.0)
+        assert lst.key(1) == 4.0
+        assert lst.key(2) == 2.0
+
+    def test_insert_after_adjust_uses_effective_value(self):
+        lst = DeltaList()
+        lst.adjust(10.0)
+        lst.insert(1, 5.0)
+        assert lst.key(1) == 5.0
+        lst.adjust(1.0)
+        assert lst.key(1) == 6.0
+
+    def test_remove_returns_effective(self):
+        lst = DeltaList()
+        lst.insert(1, 5.0)
+        lst.adjust(2.0)
+        assert lst.remove(1) == 7.0
+        assert 1 not in lst
+
+    def test_descending_order_preserved_under_adjustment(self):
+        lst = DeltaList()
+        for item, value in [(1, 5.0), (2, 9.0), (3, 1.0)]:
+            lst.insert(item, value)
+        lst.adjust(-3.0)
+        assert [item for item, _ in lst.descending()] == [2, 1, 3]
+
+    def test_max_effective(self):
+        lst = DeltaList()
+        assert lst.max_effective() is None
+        lst.insert(1, 5.0)
+        lst.adjust(1.0)
+        assert lst.max_effective() == 6.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(st.integers(0, 30),
+                           st.floats(-50, 50, allow_nan=False),
+                           max_size=20),
+           st.lists(st.floats(-5, 5, allow_nan=False), max_size=10))
+    def test_logical_equals_eager(self, items, adjustments):
+        lazy = DeltaList()
+        eager = dict(items)
+        for item, value in items.items():
+            lazy.insert(item, value)
+        for delta in adjustments:
+            lazy.adjust(delta)
+            eager = {item: value + delta for item, value in eager.items()}
+        assert lazy.items() == pytest.approx(eager)
+
+
+class TestMergedSource:
+    def test_merge_is_globally_descending(self):
+        a, b, c = DeltaList(), DeltaList(), DeltaList()
+        a.insert(1, 5.0)
+        a.insert(2, 1.0)
+        b.insert(3, 4.0)
+        c.insert(4, 9.0)
+        b.adjust(1.0)  # 3 -> 5.0: ties with 1; lower id first
+        merged = MergedDeltaSource([a, b, c])
+        assert [item for item, _ in merged.descending()] == [4, 1, 3, 2]
+
+    def test_random_access_probes_all_lists(self):
+        a, b = DeltaList(), DeltaList()
+        a.insert(1, 5.0)
+        b.insert(2, 3.0)
+        merged = MergedDeltaSource([a, b])
+        assert merged.key(1) == 5.0
+        assert merged.key(2) == 3.0
+        with pytest.raises(KeyError):
+            merged.key(99)
+
+    def test_len_and_contains(self):
+        a, b = DeltaList(), DeltaList()
+        a.insert(1, 5.0)
+        merged = MergedDeltaSource([a, b])
+        assert len(merged) == 1
+        assert 1 in merged
+        assert 2 not in merged
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.dictionaries(st.integers(0, 100),
+                                    st.floats(-10, 10, allow_nan=False),
+                                    max_size=10),
+                    min_size=1, max_size=4))
+    def test_merge_matches_concatenated_sort(self, list_contents):
+        # Assign ids to a single list each (the pacer-state invariant).
+        seen: set[int] = set()
+        lists = []
+        expected = {}
+        for contents in list_contents:
+            lst = DeltaList()
+            for item, value in contents.items():
+                if item in seen:
+                    continue
+                seen.add(item)
+                lst.insert(item, value)
+                expected[item] = value
+            lists.append(lst)
+        merged = MergedDeltaSource(lists)
+        stream = list(merged.descending())
+        values = [value for _, value in stream]
+        assert values == sorted(values, reverse=True)
+        assert {item for item, _ in stream} == set(expected)

@@ -1,0 +1,201 @@
+"""The Section IV-B invariant: lazy state == eager pacer ensemble.
+
+These tests drive a :class:`LazyPacerState` and an eager
+:class:`SimpleROIPacer` population through identical auction/win
+sequences — including pacing-mode flips in both directions and bid
+saturation at both bounds — and require bid-for-bid agreement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.pacer_state import LazyPacerState
+from repro.strategies.base import AuctionContext, ProgramNotification, Query
+from repro.strategies.roi_equalizer import SimpleROIPacer
+from repro.strategies.state import KeywordRecord, ProgramState
+
+
+class Harness:
+    """Drives eager programs and lazy state through the same history."""
+
+    def __init__(self, n, keywords, values, targets, initial_fraction=0.5):
+        self.keywords = keywords
+        self.programs = []
+        for i in range(n):
+            records = [
+                KeywordRecord(text=kw, formula="Click",
+                              maxbid=float(values[i, j]),
+                              bid=initial_fraction * float(values[i, j]),
+                              value_per_click=float(values[i, j]))
+                for j, kw in enumerate(keywords)
+            ]
+            state = ProgramState(target_spend_rate=float(targets[i]),
+                                 keywords=records)
+            self.programs.append(SimpleROIPacer(i, state))
+        self.lazy = LazyPacerState()
+        for i in range(n):
+            self.lazy.add_advertiser(i, float(targets[i]))
+            for j, kw in enumerate(keywords):
+                self.lazy.add_keyword_bid(
+                    i, kw, initial_bid=initial_fraction * float(values[i, j]),
+                    maxbid=float(values[i, j]))
+
+    def auction(self, keyword, time):
+        query = Query(text=keyword, relevance={keyword: 1.0})
+        ctx = AuctionContext(auction_id=int(time), time=time, query=query,
+                             num_slots=3)
+        eager_bids = {}
+        for program in self.programs:
+            table = program.bid(ctx)
+            eager_bids[program.advertiser_id] = sum(r.value for r in table)
+        self.lazy.begin_auction(keyword, time)
+        return eager_bids
+
+    def win(self, advertiser, keyword, price, time):
+        self.programs[advertiser].notify(ProgramNotification(
+            auction_id=int(time), keyword=keyword, slot=1, clicked=True,
+            price_paid=price))
+        self.lazy.record_win(advertiser, price, time)
+
+    def assert_parity(self, keyword):
+        lazy_bids = self.lazy.bids_for_keyword(keyword)
+        for program in self.programs:
+            record = program.state.keyword(keyword)
+            assert lazy_bids[program.advertiser_id] == pytest.approx(
+                record.bid, abs=1e-9), (keyword, program.advertiser_id)
+
+
+def make_harness(seed, n=12, n_keywords=3):
+    rng = np.random.default_rng(seed)
+    keywords = [f"kw{j}" for j in range(n_keywords)]
+    values = rng.uniform(0.5, 20.0, size=(n, n_keywords))
+    targets = rng.uniform(0.5, 5.0, size=n)
+    return Harness(n, keywords, values, targets), rng, keywords
+
+
+class TestRandomTrajectories:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_bids_agree_with_random_wins(self, seed):
+        harness, rng, keywords = make_harness(seed)
+        for t in range(1, 120):
+            keyword = keywords[int(rng.integers(len(keywords)))]
+            eager_bids = harness.auction(keyword, float(t))
+            harness.assert_parity(keyword)
+            # Aggressive prices force overspending -> DEC crossings.
+            if rng.random() < 0.4:
+                winner = int(rng.integers(len(harness.programs)))
+                price = float(rng.uniform(1.0, 15.0))
+                if eager_bids[winner] > 0:
+                    harness.win(winner, keyword, price, float(t))
+        for keyword in keywords:
+            harness.assert_parity(keyword)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_modes_agree(self, seed):
+        harness, rng, keywords = make_harness(seed, n=8)
+        for t in range(1, 80):
+            keyword = keywords[int(rng.integers(len(keywords)))]
+            harness.auction(keyword, float(t))
+            if rng.random() < 0.5:
+                winner = int(rng.integers(len(harness.programs)))
+                harness.win(winner, keyword,
+                            float(rng.uniform(2.0, 20.0)), float(t))
+            for program in harness.programs:
+                state = program.state
+                rate = state.amt_spent / t
+                expected = ("inc" if rate < state.target_spend_rate
+                            else "dec" if rate > state.target_spend_rate
+                            else None)
+                if expected is not None:
+                    assert harness.lazy.mode_of(
+                        program.advertiser_id) == expected, (t, program)
+
+
+class TestSaturation:
+    def test_bids_saturate_at_cap_without_wins(self):
+        # Everyone underspends forever: all bids climb to maxbid and stay.
+        harness, _, keywords = make_harness(3, n=6, n_keywords=2)
+        for t in range(1, 60):
+            harness.auction(keywords[t % 2], float(t))
+        for keyword in keywords:
+            lazy_bids = harness.lazy.bids_for_keyword(keyword)
+            for program in harness.programs:
+                record = program.state.keyword(keyword)
+                assert record.bid == pytest.approx(record.maxbid)
+                assert lazy_bids[program.advertiser_id] == pytest.approx(
+                    record.maxbid)
+
+    def test_bids_floor_at_zero_under_heavy_spending(self):
+        harness, _, keywords = make_harness(5, n=4, n_keywords=1)
+        keyword = keywords[0]
+        # Massive spend at t=1 -> overspending for a long horizon.
+        harness.auction(keyword, 1.0)
+        for advertiser in range(4):
+            harness.win(advertiser, keyword, 500.0, 1.0)
+        for t in range(2, 40):
+            harness.auction(keyword, float(t))
+            harness.assert_parity(keyword)
+        lazy_bids = harness.lazy.bids_for_keyword(keyword)
+        assert all(bid == pytest.approx(0.0)
+                   for bid in lazy_bids.values())
+
+    def test_mode_flip_back_to_increment(self):
+        # One big win, then a long quiet stretch: the critical time
+        # t* = spent/target passes and bids climb again.
+        harness, _, keywords = make_harness(9, n=3, n_keywords=1)
+        keyword = keywords[0]
+        harness.auction(keyword, 1.0)
+        harness.win(0, keyword, 20.0, 1.0)
+        assert harness.lazy.mode_of(0) == "dec"
+        horizon = int(20.0 / min(p.state.target_spend_rate
+                                 for p in harness.programs)) + 10
+        for t in range(2, horizon):
+            harness.auction(keyword, float(t))
+            harness.assert_parity(keyword)
+        assert harness.lazy.mode_of(0) == "inc"
+
+
+class TestAccounting:
+    def test_physical_moves_stay_sublinear(self):
+        # The whole point of logical updates: per-auction touched
+        # programs ≪ population.
+        harness, rng, keywords = make_harness(17, n=60, n_keywords=2)
+        for t in range(1, 200):
+            harness.auction(keywords[t % 2], float(t))
+        total_updates_eager = 200 * 60  # every program, every auction
+        assert harness.lazy.physical_moves < total_updates_eager / 10
+
+    def test_trigger_stats_exposed(self):
+        harness, _, _ = make_harness(21, n=4, n_keywords=1)
+        scheduled, fired, pending = harness.lazy.trigger_stats()
+        assert scheduled >= 4  # one bound trigger per placed bid
+        assert fired == 0
+        assert pending == scheduled
+
+
+class TestValidation:
+    def test_duplicate_advertiser_rejected(self):
+        state = LazyPacerState()
+        state.add_advertiser(0, 1.0)
+        with pytest.raises(KeyError):
+            state.add_advertiser(0, 1.0)
+
+    def test_bad_target_rejected(self):
+        state = LazyPacerState()
+        with pytest.raises(ValueError):
+            state.add_advertiser(0, 0.0)
+
+    def test_bad_initial_bid_rejected(self):
+        state = LazyPacerState()
+        state.add_advertiser(0, 1.0)
+        with pytest.raises(ValueError):
+            state.add_keyword_bid(0, "kw", initial_bid=5.0, maxbid=2.0)
+
+    def test_unknown_keyword_rejected(self):
+        state = LazyPacerState()
+        with pytest.raises(KeyError):
+            state.begin_auction("missing", 1.0)

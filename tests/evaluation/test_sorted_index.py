@@ -1,0 +1,79 @@
+"""Tests for the sorted per-parameter index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.sorted_index import SortedIndex
+
+
+class TestBasics:
+    def test_build_and_iterate_descending(self):
+        index = SortedIndex({1: 5.0, 2: 9.0, 3: 1.0})
+        assert list(index.descending()) == [(2, 9.0), (1, 5.0), (3, 1.0)]
+
+    def test_insert_remove(self):
+        index = SortedIndex()
+        index.insert(7, 3.0)
+        assert 7 in index
+        assert index.key(7) == 3.0
+        assert index.remove(7) == 3.0
+        assert 7 not in index
+        assert len(index) == 0
+
+    def test_duplicate_insert_rejected(self):
+        index = SortedIndex({1: 1.0})
+        with pytest.raises(KeyError):
+            index.insert(1, 2.0)
+
+    def test_update_repositions(self):
+        index = SortedIndex({1: 5.0, 2: 9.0})
+        index.update(1, 10.0)
+        assert list(index.descending())[0] == (1, 10.0)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            SortedIndex().key(1)
+
+    def test_max_key(self):
+        assert SortedIndex().max_key() is None
+        assert SortedIndex({1: 2.0, 2: 3.0}).max_key() == 3.0
+
+    def test_equal_keys_coexist(self):
+        index = SortedIndex({1: 5.0, 2: 5.0})
+        items = list(index.descending())
+        assert {item for item, _ in items} == {1, 2}
+        assert index.remove(1) == 5.0
+        assert index.key(2) == 5.0
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(st.integers(0, 50),
+                           st.floats(-100, 100, allow_nan=False),
+                           max_size=30))
+    def test_descending_matches_sorted(self, items):
+        index = SortedIndex(items)
+        keys = [key for _, key in index.descending()]
+        assert keys == sorted(keys, reverse=True)
+        assert {item for item, _ in index.descending()} == set(items)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(st.integers(0, 20),
+                           st.floats(-10, 10, allow_nan=False),
+                           min_size=1, max_size=15),
+           st.lists(st.tuples(st.integers(0, 20),
+                              st.floats(-10, 10, allow_nan=False)),
+                    max_size=20))
+    def test_random_update_sequences(self, items, updates):
+        index = SortedIndex(items)
+        mirror = dict(items)
+        for item, key in updates:
+            if item in mirror:
+                index.update(item, key)
+            else:
+                index.insert(item, key)
+            mirror[item] = key
+        assert index.items() == pytest.approx(mirror)
+        keys = [key for _, key in index.descending()]
+        assert keys == sorted(keys, reverse=True)

@@ -1,0 +1,43 @@
+"""Tests for the trigger queue on monotonic variables."""
+
+from repro.evaluation.trigger_queue import TriggerQueue
+
+
+class TestTriggerQueue:
+    def test_strict_threshold(self):
+        queue = TriggerQueue()
+        queue.schedule("time", 5.0, "a")
+        assert queue.advance("time", 5.0) == []  # strict: 5 is not past 5
+        assert queue.advance("time", 5.0001) == ["a"]
+
+    def test_ordering_by_critical_value(self):
+        queue = TriggerQueue()
+        queue.schedule("time", 3.0, "late")
+        queue.schedule("time", 1.0, "early")
+        assert queue.advance("time", 10.0) == ["early", "late"]
+
+    def test_fifo_within_equal_critical(self):
+        queue = TriggerQueue()
+        queue.schedule("time", 1.0, "first")
+        queue.schedule("time", 1.0, "second")
+        assert queue.advance("time", 2.0) == ["first", "second"]
+
+    def test_variables_are_independent(self):
+        queue = TriggerQueue()
+        queue.schedule("time", 1.0, "t")
+        queue.schedule(("count", "kw"), 1.0, "c")
+        assert queue.advance("time", 5.0) == ["t"]
+        assert queue.pending(("count", "kw")) == 1
+
+    def test_advance_unknown_variable(self):
+        queue = TriggerQueue()
+        assert queue.advance("nothing", 1.0) == []
+
+    def test_stats(self):
+        queue = TriggerQueue()
+        queue.schedule("x", 1.0, "a")
+        queue.schedule("x", 9.0, "b")
+        queue.advance("x", 2.0)
+        assert queue.scheduled_total == 2
+        assert queue.fired_total == 1
+        assert queue.pending_total() == 1

@@ -1,0 +1,197 @@
+"""Cross-module integration tests: the whole system working together.
+
+Each test exercises a path that no single package covers: SQL-hosted
+programs inside a live engine, the estimation feedback loop, heavyweight
+auctions end to end, pricing parity between eager and lazy evaluation,
+and the hardness guard at the engine boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.auction import AuctionEngine, EngineConfig, PayYourBid
+from repro.core import determine_winners
+from repro.core.heavyweight_wd import determine_winners_heavyweight
+from repro.auction.user_model import HeavyweightUserModel
+from repro.lang import BidsTable, NotOneDependentError
+from repro.matching.feedback_arc import above_event
+from repro.probability import (
+    PenaltyHeavyweightClickModel,
+    TabularClickModel,
+    estimate_click_model,
+    no_purchases,
+)
+from repro.strategies import (
+    KeywordRecord,
+    Query,
+    SqlBiddingProgram,
+)
+from repro.workloads import PaperWorkload, PaperWorkloadConfig
+
+
+class TestSqlProgramsInEngine:
+    def test_figure5_programs_drive_real_auctions(self):
+        """A population of verbatim Figure 5 SQL programs runs auctions
+        through the engine, spends money, and stays consistent."""
+        num_advertisers = 4
+        rng = np.random.default_rng(0)
+        programs = []
+        for advertiser in range(num_advertisers):
+            keywords = [
+                KeywordRecord(text="boot", formula="Click",
+                              maxbid=float(rng.uniform(4, 10)), bid=2,
+                              value_per_click=float(rng.uniform(4, 10))),
+                KeywordRecord(text="shoe", formula="Click",
+                              maxbid=float(rng.uniform(4, 10)), bid=2,
+                              value_per_click=float(rng.uniform(4, 10))),
+            ]
+            programs.append(SqlBiddingProgram(
+                advertiser, keywords,
+                target_spend_rate=float(rng.uniform(1, 3))))
+
+        click_model = TabularClickModel(
+            rng.uniform(0.3, 0.8, size=(num_advertisers, 2)))
+
+        def query_source(generator):
+            text = "boot" if generator.random() < 0.5 else "shoe"
+            return Query(text=text, relevance={text: 1.0})
+
+        engine = AuctionEngine(
+            click_model=click_model,
+            purchase_model=no_purchases(num_advertisers, 2),
+            query_source=query_source,
+            config=EngineConfig(num_slots=2, method="rh", seed=1),
+            programs=programs)
+        records = engine.run(30)
+
+        assert engine.accounts.provider_revenue == pytest.approx(
+            sum(r.realized_revenue for r in records))
+        total_spent = sum(program.amt_spent for program in programs)
+        assert total_spent == pytest.approx(
+            engine.accounts.provider_revenue)
+        # Figure 5's guard is `bid < maxbid` *before* adding the step,
+        # so a bid may legitimately end up to one step past its cap (the
+        # verbatim semantics); it can never run away further, and never
+        # below zero.
+        for program in programs:
+            for row in program.database.rows("Keywords"):
+                assert 0.0 <= row["bid"] <= row["maxbid"] + 1.0 + 1e-9
+
+
+class TestEstimationFeedbackLoop:
+    def test_provider_relearns_its_click_model(self):
+        """Run auctions, estimate the click model from the log, and
+        check the estimate converges on well-observed cells."""
+        workload = PaperWorkload(PaperWorkloadConfig(
+            num_advertisers=12, num_slots=3, num_keywords=2, seed=5))
+        engine = AuctionEngine(
+            click_model=workload.click_model(),
+            purchase_model=workload.purchase_model(),
+            query_source=workload.query_source(),
+            config=EngineConfig(num_slots=3, method="rh", seed=6,
+                                record_log=True),
+            programs=workload.build_programs())
+        engine.run(4000)
+        estimated = estimate_click_model(engine.interaction_log)
+        truth = workload.click_matrix
+        impressions = engine.interaction_log.impressions
+        observed = impressions >= 100
+        assert observed.sum() >= 3  # the workload concentrates winners
+        errors = np.abs(estimated.matrix - truth)[observed]
+        assert errors.max() < 0.15
+
+
+class TestHeavyweightEndToEnd:
+    def test_layout_aware_auction_loop(self):
+        """Heavyweight WD + layout-dependent user model, repeatedly."""
+        rng = np.random.default_rng(7)
+        n, k = 5, 2
+        base = TabularClickModel(rng.uniform(0.3, 0.8, size=(n, k)))
+        heavy = frozenset({0, 1})
+        model = PenaltyHeavyweightClickModel(base=base, penalty=0.5,
+                                             exempt=heavy)
+        purchase_model = no_purchases(n, k)
+        tables = {
+            advertiser: BidsTable.from_pairs(
+                [("Click", float(rng.uniform(2, 9)))])
+            for advertiser in range(n)
+        }
+        tables[3].add("Slot1 & !HeavyInSlot2", 2.0)
+        user_model = HeavyweightUserModel(model, purchase_model, heavy)
+
+        result = determine_winners_heavyweight(tables, heavy, model,
+                                               purchase_model)
+        clicks = 0
+        trials = 800
+        for _ in range(trials):
+            outcome = user_model.sample(result.allocation, rng)
+            clicks += len(outcome.clicked)
+            # Realized payments never exceed declared totals.
+            for advertiser, table in tables.items():
+                assert table.payment(outcome, advertiser) <= \
+                    table.total_declared_value() + 1e-9
+        # Expected clicks under the layout-aware model:
+        layout = result.heavy_slots
+        expected_clicks = sum(
+            model.p_click(advertiser, slot_index, layout)
+            for advertiser, slot_index in result.allocation.slot_of.items())
+        assert clicks / trials == pytest.approx(expected_clicks,
+                                                rel=0.15)
+
+
+class TestPriceParityEagerVsLazy:
+    def test_gsp_prices_identical(self):
+        """RHTALU's candidate set must include every price-setting
+        runner-up, so per-advertiser charges match eager RH exactly."""
+        def build(method):
+            workload = PaperWorkload(PaperWorkloadConfig(
+                num_advertisers=50, num_slots=4, num_keywords=3,
+                seed=8))
+            kwargs = dict(
+                click_model=workload.click_model(),
+                purchase_model=workload.purchase_model(),
+                query_source=workload.query_source(),
+                config=EngineConfig(num_slots=4, method=method, seed=9))
+            if method == "rhtalu":
+                return AuctionEngine(rhtalu=workload.build_rhtalu(),
+                                     **kwargs)
+            return AuctionEngine(programs=workload.build_programs(),
+                                 **kwargs)
+
+        eager = build("rh")
+        lazy = build("rhtalu")
+        for _ in range(120):
+            eager_record = eager.run_auction()
+            lazy_record = lazy.run_auction()
+            assert eager_record.prices == pytest.approx(
+                lazy_record.prices), eager_record.auction_id
+
+
+class TestHardnessGuardAtTheBoundary:
+    def test_cross_advertiser_bid_rejected_before_solving(self):
+        rng = np.random.default_rng(10)
+        click_model = TabularClickModel(rng.uniform(0.2, 0.8,
+                                                    size=(3, 2)))
+        tables = {i: BidsTable.from_pairs([("Click", 5)])
+                  for i in range(3)}
+        tables[0].add(above_event(0, 1, 2), 10.0)
+        with pytest.raises(NotOneDependentError):
+            determine_winners(tables, click_model, no_purchases(3, 2))
+
+
+class TestPayYourBidConservation:
+    def test_expected_equals_mean_realized(self):
+        workload = PaperWorkload(PaperWorkloadConfig(
+            num_advertisers=15, num_slots=3, num_keywords=2, seed=13))
+        engine = AuctionEngine(
+            click_model=workload.click_model(),
+            purchase_model=workload.purchase_model(),
+            query_source=workload.query_source(),
+            config=EngineConfig(num_slots=3, method="hungarian",
+                                seed=14),
+            programs=workload.build_programs(),
+            pricing=PayYourBid())
+        records = engine.run(2500)
+        expected = sum(r.expected_revenue for r in records)
+        realized = sum(r.realized_revenue for r in records)
+        assert realized == pytest.approx(expected, rel=0.08)

@@ -1,0 +1,120 @@
+"""Tests for Bids tables: OR-bid semantics and the paper's figures."""
+
+import pytest
+from hypothesis import given
+
+from tests.conftest import bids_tables
+
+from repro.lang.bids import BidRow, BidsTable, SingleFeatureBid
+from repro.lang.errors import InvalidBidError
+from repro.lang.formula import Atom
+from repro.lang.outcome import Allocation, Outcome
+from repro.lang.parser import parse_formula
+from repro.lang.predicates import click
+
+
+def _outcome(slot_of, clicked=(), purchased=(), num_slots=3):
+    return Outcome(allocation=Allocation(num_slots=num_slots,
+                                         slot_of=dict(slot_of)),
+                   clicked=frozenset(clicked),
+                   purchased=frozenset(purchased))
+
+
+class TestFigure3:
+    """Figure 3: Purchase -> 5, Slot1 ∨ Slot2 -> 2."""
+
+    @pytest.fixture
+    def table(self):
+        return BidsTable.from_pairs([("Purchase", 5),
+                                     ("Slot1 ∨ Slot2", 2)])
+
+    def test_figure3_or_bid_sum(self, table):
+        # Purchase while in slot 2: both rows true -> pays 5 + 2 = 7,
+        # exactly the "7 cents" the paper's prose derives.
+        outcome = _outcome({0: 2}, clicked={0}, purchased={0})
+        assert table.payment(outcome, owner=0) == 7
+
+    def test_purchase_only_is_impossible_without_click(self):
+        # The outcome model enforces purchase => click, so the "5 only"
+        # case arises via slot 3 with a purchase.
+        table = BidsTable.from_pairs([("Purchase", 5),
+                                      ("Slot1 | Slot2", 2)])
+        outcome = _outcome({0: 3}, clicked={0}, purchased={0})
+        assert table.payment(outcome, 0) == 5
+
+    def test_impression_only(self, table):
+        outcome = _outcome({0: 1})
+        assert table.payment(outcome, 0) == 2
+
+    def test_nothing_satisfied(self, table):
+        outcome = _outcome({0: 3})
+        assert table.payment(outcome, 0) == 0
+
+
+class TestBidRowValidation:
+    def test_negative_value_rejected(self):
+        with pytest.raises(InvalidBidError):
+            BidRow(Atom(click()), -1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidBidError):
+            BidRow(Atom(click()), float("nan"))
+
+    def test_infinity_rejected(self):
+        with pytest.raises(InvalidBidError):
+            BidRow(Atom(click()), float("inf"))
+
+
+class TestTableOperations:
+    def test_add_parses_text(self):
+        table = BidsTable()
+        table.add("Click & Slot1", 3)
+        assert len(table) == 1
+        assert str(table.rows[0].formula) == "Click & Slot1"
+
+    def test_set_value_replaces_matching_rows(self):
+        formula = parse_formula("Click")
+        table = BidsTable.from_pairs([("Click", 1), ("Purchase", 2)])
+        table.set_value(formula, 9)
+        assert [row.value for row in table] == [9, 2]
+
+    def test_satisfied_rows(self):
+        table = BidsTable.from_pairs([("Click", 1), ("Purchase", 2)])
+        outcome = _outcome({0: 1}, clicked={0})
+        satisfied = table.satisfied_rows(outcome, 0)
+        assert [str(row.formula) for row in satisfied] == ["Click"]
+
+    def test_total_declared_value(self):
+        table = BidsTable.from_pairs([("Click", 1.5), ("Purchase", 2.5)])
+        assert table.total_declared_value() == 4.0
+
+
+class TestSingleFeatureEmbedding:
+    """Figure 1 embeds into the multi-feature language."""
+
+    def test_single_feature_bid_pays_on_click(self):
+        legacy = SingleFeatureBid(value=3.0)
+        table = legacy.as_bids_table()
+        clicked = _outcome({0: 1}, clicked={0})
+        not_clicked = _outcome({0: 1})
+        assert table.payment(clicked, 0) == 3.0
+        assert table.payment(not_clicked, 0) == 0.0
+
+    def test_negative_single_feature_rejected(self):
+        with pytest.raises(InvalidBidError):
+            SingleFeatureBid(value=-1)
+
+
+class TestPaymentProperties:
+    @given(bids_tables())
+    def test_payment_bounded_by_declared_total(self, table):
+        outcome = _outcome({0: 1}, clicked={0}, purchased={0})
+        payment = table.payment(outcome, 0)
+        assert 0.0 <= payment <= table.total_declared_value() + 1e-9
+
+    @given(bids_tables())
+    def test_payment_is_sum_of_satisfied_rows(self, table):
+        outcome = _outcome({0: 2}, clicked={0})
+        satisfied = table.satisfied_rows(outcome, 0)
+        assert table.payment(outcome, 0) == pytest.approx(
+            sum(row.value for row in satisfied))

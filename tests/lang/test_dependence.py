@@ -1,0 +1,96 @@
+"""Tests for m-dependence analysis (Definition 1)."""
+
+import pytest
+from hypothesis import given
+
+from tests.conftest import formulas
+
+from repro.lang.bids import BidsTable
+from repro.lang.dependence import (
+    NotOneDependentError,
+    analyze_bids_table,
+    analyze_formula,
+    max_dependence,
+    require_one_dependent,
+)
+from repro.lang.formula import Atom
+from repro.lang.parser import parse_formula
+from repro.lang.predicates import click, heavy_in_slot, slot
+from repro.matching.feedback_arc import above_event
+
+
+class TestSelfReferentialFormulas:
+    def test_click_is_one_dependent(self):
+        profile = analyze_formula(parse_formula("Click"), owner=3)
+        assert profile.advertisers == frozenset({3})
+        assert profile.m == 1
+        assert profile.is_one_dependent()
+
+    def test_top_or_bottom_is_one_dependent(self):
+        # The paper's Section I-A example events are 1-dependent.
+        profile = analyze_formula(parse_formula("Slot1 | Slot3"), owner=0)
+        assert profile.is_one_dependent()
+
+    def test_constant_is_zero_dependent(self):
+        profile = analyze_formula(parse_formula("TRUE"), owner=0)
+        assert profile.m == 0
+        assert profile.is_one_dependent()
+
+    @given(formulas())
+    def test_every_language_formula_is_one_dependent(self, formula):
+        # Anything advertisers can write with unbound atoms qualifies for
+        # the Theorem 2 fast path.
+        assert analyze_formula(formula, owner=5).is_one_dependent()
+
+
+class TestCrossAdvertiserFormulas:
+    def test_two_dependent_event(self):
+        f = Atom(slot(1)) & Atom(slot(2, advertiser=9))
+        profile = analyze_formula(f, owner=3)
+        assert profile.advertisers == frozenset({3, 9})
+        assert profile.m == 2
+        assert not profile.is_one_dependent()
+
+    def test_above_event_is_two_dependent(self):
+        f = above_event(1, 2, num_slots=3)
+        assert analyze_formula(f, owner=1).m == 2
+
+    def test_heavy_layout_flagged(self):
+        f = Atom(slot(1)) & Atom(heavy_in_slot(2))
+        profile = analyze_formula(f, owner=0)
+        assert profile.uses_heavy_layout
+        assert not profile.is_one_dependent()
+
+
+class TestTableLevel:
+    def test_analyze_bids_table_unions_rows(self):
+        table = BidsTable.from_pairs([("Click", 1)])
+        table.add(Atom(slot(1, advertiser=7)), 2)
+        profile = analyze_bids_table(table, owner=0)
+        assert profile.advertisers == frozenset({0, 7})
+
+    def test_max_dependence(self):
+        tables = {
+            0: BidsTable.from_pairs([("Click", 1)]),
+            1: BidsTable([]),
+        }
+        assert max_dependence(tables) == 1
+        tables[1].add(above_event(1, 0, 2), 3)
+        assert max_dependence(tables) == 2
+
+    def test_require_one_dependent_accepts_language_bids(self):
+        tables = {0: BidsTable.from_pairs([("Click & Slot1", 4)])}
+        require_one_dependent(tables)  # no exception
+
+    def test_require_one_dependent_rejects_gadget(self):
+        tables = {0: BidsTable([])}
+        tables[0].add(above_event(0, 1, 2), 3)
+        with pytest.raises(NotOneDependentError) as exc_info:
+            require_one_dependent(tables)
+        assert exc_info.value.owner == 0
+        assert "APX-hard" in str(exc_info.value)
+
+    def test_require_one_dependent_rejects_heavy_without_model(self):
+        tables = {0: BidsTable.from_pairs([("HeavyInSlot1", 2)])}
+        with pytest.raises(NotOneDependentError):
+            require_one_dependent(tables)

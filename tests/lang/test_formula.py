@@ -1,0 +1,138 @@
+"""Unit and property tests for the formula AST."""
+
+from hypothesis import given
+
+from tests.conftest import formulas
+
+from repro.lang.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Not,
+    Or,
+    and_all,
+    equivalent,
+    or_all,
+    truth_assignments,
+)
+from repro.lang.outcome import Allocation, Outcome
+from repro.lang.predicates import click, purchase, slot
+
+
+def _outcome(slot_of, clicked=(), purchased=(), num_slots=3):
+    return Outcome(allocation=Allocation(num_slots=num_slots,
+                                         slot_of=dict(slot_of)),
+                   clicked=frozenset(clicked),
+                   purchased=frozenset(purchased))
+
+
+class TestEvaluation:
+    def test_atom_truth_from_outcome(self):
+        outcome = _outcome({5: 1}, clicked={5}, purchased={5})
+        assert outcome.satisfies(Atom(slot(1)), owner=5)
+        assert not outcome.satisfies(Atom(slot(2)), owner=5)
+        assert outcome.satisfies(Atom(click()), owner=5)
+        assert outcome.satisfies(Atom(purchase()), owner=5)
+
+    def test_connectives(self):
+        outcome = _outcome({5: 1}, clicked={5})
+        f_and = Atom(click()) & Atom(slot(1))
+        f_or = Atom(purchase()) | Atom(slot(1))
+        f_not = ~Atom(purchase())
+        assert outcome.satisfies(f_and, 5)
+        assert outcome.satisfies(f_or, 5)
+        assert outcome.satisfies(f_not, 5)
+        assert not outcome.satisfies(f_and & Atom(purchase()), 5)
+
+    def test_cross_advertiser_atom(self):
+        outcome = _outcome({5: 1, 6: 2})
+        competitor_on_top = Atom(slot(1, advertiser=6))
+        assert not outcome.satisfies(competitor_on_top, 5)
+        assert outcome.satisfies(Atom(slot(2, advertiser=6)), 5)
+
+    def test_constants(self):
+        outcome = _outcome({})
+        assert outcome.satisfies(TRUE, 0)
+        assert not outcome.satisfies(FALSE, 0)
+
+    def test_unassigned_advertiser_fails_slot_atoms(self):
+        outcome = _outcome({})
+        assert not outcome.satisfies(Atom(slot(1)), 5)
+        assert outcome.satisfies(~Atom(slot(1)), 5)
+
+
+class TestSubstitution:
+    def test_substitute_folds_constants(self):
+        f = Atom(click()) & Atom(slot(1))
+        assert f.substitute({click(): True, slot(1): True}) is TRUE
+        assert f.substitute({click(): False}) is FALSE
+        partial = f.substitute({click(): True})
+        assert partial == Atom(slot(1))
+
+    def test_double_negation_folds(self):
+        f = Not(Not(Atom(click())))
+        assert f.substitute({}) == Atom(click())
+
+    def test_or_absorbs_true(self):
+        f = Atom(click()) | Atom(slot(1))
+        assert f.substitute({slot(1): True}) is TRUE
+
+    def test_resolve_binds_all_atoms(self):
+        f = Atom(click()) & ~Atom(slot(2))
+        resolved = f.resolve(9)
+        assert resolved.atoms() == {click(advertiser=9),
+                                    slot(2, advertiser=9)}
+
+
+class TestHelpers:
+    def test_and_all_empty_is_true(self):
+        assert and_all([]) is TRUE
+
+    def test_or_all_empty_is_false(self):
+        assert or_all([]) is FALSE
+
+    def test_and_all_chains(self):
+        f = and_all([Atom(click()), Atom(slot(1)), Atom(purchase())])
+        assert isinstance(f, And)
+        assert f.atoms() == {click(), slot(1), purchase()}
+
+    def test_truth_assignments_count(self):
+        atoms = [click(), purchase(), slot(1)]
+        assignments = list(truth_assignments(atoms))
+        assert len(assignments) == 8
+        assert len({tuple(sorted(a.items(), key=lambda kv: str(kv[0])))
+                    for a in assignments}) == 8
+
+    def test_equivalent_de_morgan(self):
+        f = ~(Atom(click()) & Atom(slot(1)))
+        g = ~Atom(click()) | ~Atom(slot(1))
+        assert equivalent(f, g)
+
+    def test_not_equivalent(self):
+        assert not equivalent(Atom(click()), Atom(purchase()))
+
+    def test_str_round_trip_structure(self):
+        f = (Atom(click()) | Atom(slot(1))) & ~Atom(purchase())
+        assert str(f) == "(Click | Slot1) & !Purchase"
+
+
+class TestProperties:
+    @given(formulas())
+    def test_substitute_with_full_assignment_is_constant(self, formula):
+        assignment = {atom: True for atom in formula.atoms()}
+        folded = formula.substitute(assignment)
+        assert folded in (TRUE, FALSE)
+
+    @given(formulas())
+    def test_simplify_preserves_semantics(self, formula):
+        assert equivalent(formula, formula.simplify())
+
+    @given(formulas())
+    def test_double_negation_preserves_semantics(self, formula):
+        assert equivalent(formula, Not(Not(formula)).simplify())
+
+    @given(formulas(), formulas())
+    def test_commutativity(self, f, g):
+        assert equivalent(And(f, g), And(g, f))
+        assert equivalent(Or(f, g), Or(g, f))

@@ -1,0 +1,96 @@
+"""Tests for allocations and outcomes."""
+
+import pytest
+
+from repro.lang.outcome import Allocation, InvalidAllocationError, Outcome
+from repro.lang.predicates import heavy_in_slot, slot
+
+
+class TestAllocationValidation:
+    def test_slot_out_of_range(self):
+        with pytest.raises(InvalidAllocationError):
+            Allocation(num_slots=2, slot_of={0: 3})
+        with pytest.raises(InvalidAllocationError):
+            Allocation(num_slots=2, slot_of={0: 0})
+
+    def test_duplicate_slot(self):
+        with pytest.raises(InvalidAllocationError):
+            Allocation(num_slots=3, slot_of={0: 1, 1: 1})
+
+    def test_negative_num_slots(self):
+        with pytest.raises(InvalidAllocationError):
+            Allocation(num_slots=-1)
+
+    def test_empty_allocation_is_valid(self):
+        allocation = Allocation(num_slots=4)
+        assert allocation.assigned_advertisers() == frozenset()
+        assert allocation.occupied_slots() == frozenset()
+
+
+class TestAllocationQueries:
+    @pytest.fixture
+    def allocation(self):
+        return Allocation(num_slots=4, slot_of={10: 1, 20: 3})
+
+    def test_slot_for(self, allocation):
+        assert allocation.slot_for(10) == 1
+        assert allocation.slot_for(20) == 3
+        assert allocation.slot_for(99) is None
+
+    def test_advertiser_in(self, allocation):
+        assert allocation.advertiser_in(1) == 10
+        assert allocation.advertiser_in(2) is None
+        assert allocation.advertiser_in(3) == 20
+
+    def test_as_slot_list(self, allocation):
+        assert allocation.as_slot_list() == [10, None, 20, None]
+
+    def test_from_slot_list_round_trip(self, allocation):
+        rebuilt = Allocation.from_slot_list(allocation.as_slot_list())
+        assert rebuilt == allocation
+
+    def test_is_above_assigned_pair(self, allocation):
+        assert allocation.is_above(10, 20)
+        assert not allocation.is_above(20, 10)
+
+    def test_is_above_with_unassigned_other(self, allocation):
+        # Theorem 3 convention: above an advertiser who got nothing.
+        assert allocation.is_above(10, 99)
+        assert not allocation.is_above(99, 10)
+
+
+class TestOutcomeValidation:
+    def test_click_requires_slot(self):
+        with pytest.raises(InvalidAllocationError):
+            Outcome(allocation=Allocation(num_slots=2, slot_of={0: 1}),
+                    clicked=frozenset({1}))
+
+    def test_purchase_requires_click(self):
+        with pytest.raises(InvalidAllocationError):
+            Outcome(allocation=Allocation(num_slots=2, slot_of={0: 1}),
+                    purchased=frozenset({0}))
+
+    def test_valid_outcome(self):
+        outcome = Outcome(
+            allocation=Allocation(num_slots=2, slot_of={0: 1}),
+            clicked=frozenset({0}), purchased=frozenset({0}))
+        assert outcome.truth(slot(1, advertiser=0))
+
+
+class TestHeavyInSlotTruth:
+    def test_heavy_occupant(self):
+        outcome = Outcome(
+            allocation=Allocation(num_slots=2, slot_of={0: 1, 1: 2}),
+            heavyweights=frozenset({0}))
+        assert outcome.truth(heavy_in_slot(1))
+        assert not outcome.truth(heavy_in_slot(2))
+
+    def test_empty_slot_is_not_heavy(self):
+        outcome = Outcome(allocation=Allocation(num_slots=2, slot_of={}),
+                          heavyweights=frozenset({0}))
+        assert not outcome.truth(heavy_in_slot(1))
+
+    def test_unresolved_predicate_rejected(self):
+        outcome = Outcome(allocation=Allocation(num_slots=2, slot_of={0: 1}))
+        with pytest.raises(ValueError):
+            outcome.truth(slot(1))

@@ -1,0 +1,104 @@
+"""Tests for the bid-formula parser."""
+
+import pytest
+from hypothesis import given
+
+from tests.conftest import formulas
+
+from repro.lang.errors import FormulaParseError, UnknownPredicateError
+from repro.lang.formula import FALSE, TRUE, And, Atom, Not, Or, equivalent
+from repro.lang.parser import format_formula, parse_formula
+from repro.lang.predicates import click, heavy_in_slot, purchase, slot
+
+
+class TestAtoms:
+    def test_click(self):
+        assert parse_formula("Click") == Atom(click())
+        assert parse_formula("click") == Atom(click())
+
+    def test_purchase(self):
+        assert parse_formula("Purchase") == Atom(purchase())
+
+    def test_slot_glued_and_spaced(self):
+        assert parse_formula("Slot1") == Atom(slot(1))
+        assert parse_formula("Slot 12") == Atom(slot(12))
+
+    def test_heavy_in_slot(self):
+        assert parse_formula("HeavyInSlot3") == Atom(heavy_in_slot(3))
+
+    def test_constants(self):
+        assert parse_formula("TRUE") is TRUE
+        assert parse_formula("false") is FALSE
+
+
+class TestOperators:
+    def test_unicode_and_ascii_spellings(self):
+        expected = And(Atom(click()), Atom(slot(1)))
+        for text in ("Click ∧ Slot1", "Click & Slot1", "Click AND Slot1",
+                     "Click and Slot1", "Click && Slot1"):
+            assert parse_formula(text) == expected
+
+    def test_or_spellings(self):
+        expected = Or(Atom(slot(1)), Atom(slot(2)))
+        for text in ("Slot1 ∨ Slot2", "Slot1 | Slot2", "Slot1 OR Slot2",
+                     "Slot1 || Slot2"):
+            assert parse_formula(text) == expected
+
+    def test_not_spellings(self):
+        expected = Not(Atom(click()))
+        for text in ("¬Click", "!Click", "~Click", "NOT Click"):
+            assert parse_formula(text) == expected
+
+    def test_precedence_not_over_and_over_or(self):
+        f = parse_formula("!Click & Slot1 | Purchase")
+        assert f == Or(And(Not(Atom(click())), Atom(slot(1))),
+                       Atom(purchase()))
+
+    def test_parentheses_override(self):
+        f = parse_formula("!(Click & (Slot1 | Purchase))")
+        assert f == Not(And(Atom(click()),
+                            Or(Atom(slot(1)), Atom(purchase()))))
+
+    def test_left_associativity(self):
+        f = parse_formula("Slot1 | Slot2 | Slot3")
+        assert f == Or(Or(Atom(slot(1)), Atom(slot(2))), Atom(slot(3)))
+
+
+class TestErrors:
+    def test_unknown_predicate(self):
+        with pytest.raises(UnknownPredicateError):
+            parse_formula("Banana")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("Click Click")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("(Click & Slot1")
+
+    def test_empty_input(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("")
+
+    def test_slot_without_index(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("Slot & Click")
+
+    def test_bad_character(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("Click @ Slot1")
+
+
+class TestRoundTrip:
+    @given(formulas())
+    def test_format_parse_round_trip(self, formula):
+        folded = formula.simplify()
+        reparsed = parse_formula(format_formula(folded))
+        assert equivalent(folded, reparsed)
+
+    def test_paper_figure_formulas(self):
+        # Every formula appearing in the paper's figures parses.
+        for text in ("Purchase", "Slot1 ∨ Slot2", "Click ∧ Slot1",
+                     "Click"):
+            parse_formula(text)

@@ -1,0 +1,73 @@
+"""Unit tests for outcome predicates."""
+
+import pytest
+
+from repro.lang.errors import SlotOutOfRangeError
+from repro.lang.predicates import (
+    ClickPredicate,
+    HeavyInSlotPredicate,
+    PurchasePredicate,
+    SlotPredicate,
+    click,
+    heavy_in_slot,
+    purchase,
+    slot,
+)
+
+
+class TestConstruction:
+    def test_slot_requires_positive_index(self):
+        with pytest.raises(SlotOutOfRangeError):
+            slot(0)
+        with pytest.raises(SlotOutOfRangeError):
+            slot(-3)
+
+    def test_heavy_in_slot_requires_positive_index(self):
+        with pytest.raises(SlotOutOfRangeError):
+            heavy_in_slot(0)
+
+    def test_heavy_in_slot_rejects_advertiser_binding(self):
+        with pytest.raises(ValueError):
+            HeavyInSlotPredicate(slot=1, advertiser=3)
+
+    def test_convenience_constructors(self):
+        assert slot(2) == SlotPredicate(slot=2)
+        assert click() == ClickPredicate()
+        assert purchase(advertiser=4) == PurchasePredicate(advertiser=4)
+
+
+class TestResolution:
+    def test_unbound_predicate_resolves_to_owner(self):
+        assert slot(1).resolved(7) == slot(1, advertiser=7)
+        assert click().resolved(7) == click(advertiser=7)
+        assert purchase().resolved(7) == purchase(advertiser=7)
+
+    def test_bound_predicate_is_unchanged(self):
+        bound = slot(1, advertiser=3)
+        assert bound.resolved(7) is bound
+
+    def test_heavy_in_slot_never_binds(self):
+        pred = heavy_in_slot(2)
+        assert pred.resolved(7) is pred
+
+    def test_self_referential_flag(self):
+        assert slot(1).is_self_referential()
+        assert not slot(1, advertiser=0).is_self_referential()
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert slot(1) == slot(1)
+        assert slot(1) != slot(2)
+        assert slot(1) != slot(1, advertiser=0)
+        assert len({slot(1), slot(1), slot(2)}) == 2
+
+    def test_click_and_slot_never_equal(self):
+        assert click() != slot(1)
+
+    def test_str_forms(self):
+        assert str(slot(3)) == "Slot3"
+        assert str(slot(3, advertiser=9)) == "Slot3@9"
+        assert str(click()) == "Click"
+        assert str(purchase()) == "Purchase"
+        assert str(heavy_in_slot(2)) == "HeavyInSlot2"

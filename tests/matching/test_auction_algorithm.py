@@ -1,0 +1,72 @@
+"""Tests for the Bertsekas auction-algorithm matcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.auction_algorithm import (
+    auction_matching,
+    optimality_slack,
+)
+from repro.matching.hungarian import max_weight_matching
+
+
+def matrices(max_n=12, max_k=4):
+    return st.tuples(st.integers(1, max_n), st.integers(1, max_k)).flatmap(
+        lambda shape: st.lists(
+            st.lists(st.floats(-10.0, 10.0, allow_nan=False, width=32),
+                     min_size=shape[1], max_size=shape[1]),
+            min_size=shape[0], max_size=shape[0]))
+
+
+class TestOptimality:
+    @settings(max_examples=150, deadline=None)
+    @given(matrices())
+    def test_within_epsilon_of_hungarian(self, rows):
+        weights = np.array(rows)
+        auction = auction_matching(weights)
+        exact = max_weight_matching(weights)
+        slack = optimality_slack(weights) + 1e-9
+        assert auction.total_weight >= exact.total_weight - slack
+        assert auction.total_weight <= exact.total_weight + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(matrices())
+    def test_matching_is_valid(self, rows):
+        weights = np.array(rows)
+        result = auction_matching(weights)
+        lefts = [left for left, _ in result.pairs]
+        rights = [right for _, right in result.pairs]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+        recomputed = sum(weights[left, right]
+                         for left, right in result.pairs)
+        assert result.total_weight == pytest.approx(recomputed)
+
+    def test_figure9_exact(self):
+        weights = np.array([[9, 5], [8, 7], [7, 6], [7, 4]], dtype=float)
+        result = auction_matching(weights)
+        assert result.total_weight == pytest.approx(16.0)
+
+    def test_all_negative_stays_empty(self):
+        assert auction_matching(-np.ones((3, 2))).pairs == ()
+
+    def test_empty(self):
+        assert auction_matching(np.empty((0, 2))).pairs == ()
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            auction_matching(np.ones(3))
+
+
+class TestOnReducedGraphs:
+    def test_reduced_graph_root_solver(self, rng):
+        """The auction algorithm works as RH's root solver."""
+        from repro.matching.reduction import reduce_graph
+        weights = rng.uniform(0, 50, size=(500, 8))
+        reduced = reduce_graph(weights, backend="numpy")
+        auction = auction_matching(reduced.weights)
+        exact = max_weight_matching(reduced.weights)
+        assert auction.total_weight == pytest.approx(exact.total_weight,
+                                                     abs=1e-3)

@@ -1,0 +1,72 @@
+"""Tests for the brute-force oracles themselves."""
+
+import numpy as np
+import pytest
+
+from repro.lang.outcome import Allocation
+from repro.matching.brute_force import (
+    InstanceTooLargeError,
+    brute_force_allocation,
+    brute_force_matching,
+    enumerate_allocations,
+)
+
+
+class TestEnumeration:
+    def test_counts_small_case(self):
+        # n=2 advertisers, k=2 slots: allocations = empty (1)
+        # + size-1 (2 advertisers x 2 slots = 4) + size-2 (2! x 1 = 2
+        # slot subsets of size 2... C(2,2)=1, 2 orderings) = 1+4+2 = 7.
+        allocations = list(enumerate_allocations(2, 2))
+        assert len(allocations) == 7
+        assert len({tuple(sorted(a.slot_of.items()))
+                    for a in allocations}) == 7
+
+    def test_no_empty_slots_mode(self):
+        allocations = list(enumerate_allocations(3, 2,
+                                                 allow_empty_slots=False))
+        assert all(len(a.slot_of) == 2 for a in allocations)
+        assert len(allocations) == 6  # 3P2
+
+    def test_too_large_guard(self):
+        with pytest.raises(InstanceTooLargeError):
+            list(enumerate_allocations(50, 10))
+
+
+class TestBruteForceMatching:
+    def test_known_optimum(self):
+        weights = np.array([[1.0, 9.0], [8.0, 2.0]])
+        result = brute_force_matching(weights)
+        assert result.total_weight == 17.0
+        assert result.pairs == ((0, 1), (1, 0))
+
+    def test_all_negative_stays_empty(self):
+        weights = -np.ones((2, 2))
+        assert brute_force_matching(weights).pairs == ()
+
+    def test_transposed_orientation(self):
+        weights = np.array([[1.0], [2.0], [3.0]])  # 3 left, 1 right
+        result = brute_force_matching(weights)
+        assert result.pairs == ((2, 0),)
+
+
+class TestBruteForceAllocation:
+    def test_maximises_arbitrary_objective(self):
+        # Objective: +10 if advertiser 0 holds slot 2, else count of
+        # assigned advertisers.
+        def revenue(allocation: Allocation) -> float:
+            if allocation.slot_for(0) == 2:
+                return 10.0
+            return float(len(allocation.slot_of))
+
+        best, value = brute_force_allocation(3, 2, revenue)
+        assert value == 10.0
+        assert best.slot_for(0) == 2
+
+    def test_empty_allocation_can_win(self):
+        def revenue(allocation: Allocation) -> float:
+            return -float(len(allocation.slot_of))
+
+        best, value = brute_force_allocation(2, 2, revenue)
+        assert best.slot_of == {}
+        assert value == 0.0

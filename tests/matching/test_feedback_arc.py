@@ -1,0 +1,98 @@
+"""Tests for the Theorem 3 hardness gadget."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.dependence import analyze_formula
+from repro.lang.outcome import Allocation, Outcome
+from repro.matching.feedback_arc import (
+    FeedbackArcInstance,
+    above_event,
+    best_allocation_by_enumeration,
+    max_weighted_forward_edges,
+)
+from repro.workloads.generators import random_weighted_digraph
+
+
+class TestAboveEvent:
+    def test_is_two_dependent(self):
+        event = above_event(0, 1, num_slots=3)
+        assert analyze_formula(event, owner=0).m == 2
+
+    def test_truth_matches_is_above(self):
+        event = above_event(0, 1, num_slots=3)
+        for slot_of in ({0: 1, 1: 2}, {0: 2, 1: 1}, {0: 1}, {1: 1}, {}):
+            allocation = Allocation(num_slots=3, slot_of=dict(slot_of))
+            outcome = Outcome(allocation=allocation)
+            assert (outcome.satisfies(event, 0)
+                    == allocation.is_above(0, 1)), slot_of
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            above_event(2, 2, num_slots=2)
+
+
+class TestInstanceValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackArcInstance(weights=np.ones((2, 3)), num_slots=2)
+
+    def test_self_edges_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackArcInstance(weights=np.eye(2), num_slots=2)
+
+    def test_negative_weights_rejected(self):
+        weights = np.array([[0.0, -1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            FeedbackArcInstance(weights=weights, num_slots=2)
+
+
+class TestReduction:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 4), st.integers(1, 3),
+           st.integers(0, 2**31 - 1))
+    def test_wd_equals_forward_edge_maximisation(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        weights = random_weighted_digraph(n, rng)
+        instance = FeedbackArcInstance(weights=weights, num_slots=k)
+        _, wd_revenue = best_allocation_by_enumeration(instance)
+        graph_optimum = max_weighted_forward_edges(weights, k)
+        assert wd_revenue == pytest.approx(graph_optimum, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 3), st.integers(0, 2**31 - 1))
+    def test_payment_semantics_match_revenue(self, n, seed):
+        rng = np.random.default_rng(seed)
+        weights = random_weighted_digraph(n, rng)
+        instance = FeedbackArcInstance(weights=weights, num_slots=2)
+        tables = instance.bids_tables()
+        from repro.matching.brute_force import enumerate_allocations
+        for allocation in enumerate_allocations(n, 2):
+            outcome = Outcome(allocation=allocation)
+            paid = sum(table.payment(outcome, owner)
+                       for owner, table in tables.items())
+            assert paid == pytest.approx(instance.revenue(allocation))
+
+    def test_all_bids_two_dependent(self, rng):
+        weights = random_weighted_digraph(3, rng)
+        instance = FeedbackArcInstance(weights=weights, num_slots=2)
+        assert instance.all_bids_are_two_dependent()
+
+    def test_acyclic_graph_fully_captured(self):
+        # For a DAG whose vertices all fit on the page, the optimum
+        # collects every edge (place a topological order).
+        weights = np.array([[0.0, 2.0, 3.0],
+                            [0.0, 0.0, 4.0],
+                            [0.0, 0.0, 0.0]])
+        instance = FeedbackArcInstance(weights=weights, num_slots=3)
+        _, revenue = best_allocation_by_enumeration(instance)
+        assert revenue == pytest.approx(9.0)
+
+    def test_two_cycle_forces_a_choice(self):
+        weights = np.array([[0.0, 5.0],
+                            [3.0, 0.0]])
+        instance = FeedbackArcInstance(weights=weights, num_slots=2)
+        _, revenue = best_allocation_by_enumeration(instance)
+        assert revenue == pytest.approx(5.0)

@@ -1,0 +1,80 @@
+"""Tests for the incumbent separable allocator (Section III-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.greedy_separable import separable_matching, top_advertisers
+from repro.matching.hungarian import max_weight_matching
+
+non_negative = st.floats(0.0, 10.0, allow_nan=False, width=32)
+
+
+class TestSeparableMatching:
+    def test_sorted_pairing(self):
+        result = separable_matching([4.0, 3.0, 5.0], [0.2, 0.1])
+        # advertiser 2 (score 5) -> slot 0 (factor 0.2),
+        # advertiser 0 (score 4) -> slot 1 (factor 0.1)
+        assert result.pairs == ((0, 1), (2, 0))
+        assert result.total_weight == pytest.approx(5 * 0.2 + 4 * 0.1)
+
+    def test_zero_products_unmatched(self):
+        result = separable_matching([0.0, 0.0], [0.5, 0.3])
+        assert result.pairs == ()
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            separable_matching([-1.0], [0.5])
+        with pytest.raises(ValueError):
+            separable_matching([1.0], [-0.5])
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            separable_matching(np.ones((2, 2)), [0.5])
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(non_negative, min_size=1, max_size=12),
+           st.lists(non_negative, min_size=1, max_size=4))
+    def test_optimal_on_rank_one_matrices(self, scores, factors):
+        # The incumbent allocator is provably optimal exactly when the
+        # weight matrix is separable: compare against the Hungarian on
+        # the outer product.
+        greedy = separable_matching(scores, factors)
+        exact = max_weight_matching(np.outer(scores, factors))
+        assert greedy.total_weight == pytest.approx(exact.total_weight,
+                                                    abs=1e-6)
+
+    def test_suboptimal_on_non_separable(self):
+        # Figure 7's point: sorting by any advertiser score cannot
+        # reproduce the optimum of a non-separable matrix in general.
+        weights = np.array([[0.7, 0.1],
+                            [0.6, 0.6]])
+        exact = max_weight_matching(weights)
+        assert exact.total_weight == pytest.approx(1.3)  # 0->1, 1->2 swap
+        # Sorting by row maximum (0.7 > 0.6) puts advertiser 0 on top:
+        greedy_like = weights[0, 0] + weights[1, 1]
+        assert greedy_like == pytest.approx(1.3)
+        # but sorting by the other natural score (row sums) inverts it:
+        inverted = weights[1, 0] + weights[0, 1]
+        assert inverted < exact.total_weight
+
+
+class TestTopAdvertisers:
+    def test_descending_order(self):
+        assert top_advertisers(np.array([1.0, 9.0, 5.0]), 2) == [1, 2]
+
+    def test_ties_prefer_lower_index(self):
+        assert top_advertisers(np.array([5.0, 5.0, 5.0]), 2) == [0, 1]
+
+    def test_k_zero(self):
+        assert top_advertisers(np.array([1.0]), 0) == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(non_negative, min_size=1, max_size=30),
+           st.integers(1, 6))
+    def test_matches_full_sort(self, scores, k):
+        scores_array = np.asarray(scores)
+        expected = sorted(range(len(scores)),
+                          key=lambda i: (-scores_array[i], i))[:k]
+        assert top_advertisers(scores_array, k) == expected

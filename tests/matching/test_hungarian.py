@@ -1,0 +1,137 @@
+"""Tests for the from-scratch Hungarian algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.matching.brute_force import brute_force_matching
+from repro.matching.hungarian import (
+    HungarianError,
+    max_weight_matching,
+    min_cost_assignment,
+)
+
+
+def weight_matrices(max_left=6, max_right=4, negatives=True):
+    low = -10.0 if negatives else 0.0
+    return st.tuples(
+        st.integers(1, max_left), st.integers(1, max_right)
+    ).flatmap(lambda shape: st.lists(
+        st.lists(st.floats(low, 10.0, allow_nan=False, width=32),
+                 min_size=shape[1], max_size=shape[1]),
+        min_size=shape[0], max_size=shape[0]))
+
+
+class TestMinCostAssignment:
+    def test_identity_case(self):
+        cost = [[0.0, 1.0], [1.0, 0.0]]
+        assignment, total = min_cost_assignment(cost)
+        assert assignment == [0, 1]
+        assert total == 0.0
+
+    def test_rectangular(self):
+        cost = [[5.0, 1.0, 9.0]]
+        assignment, total = min_cost_assignment(cost)
+        assert assignment == [1]
+        assert total == 1.0
+
+    def test_rows_exceed_cols_rejected(self):
+        with pytest.raises(HungarianError):
+            min_cost_assignment([[1.0], [2.0]])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(HungarianError):
+            min_cost_assignment([[float("inf")]])
+
+    def test_empty(self):
+        assignment, total = min_cost_assignment(np.empty((0, 3)))
+        assert assignment == []
+        assert total == 0.0
+
+    @settings(max_examples=150, deadline=None)
+    @given(weight_matrices(max_left=4, max_right=6))
+    def test_against_scipy(self, rows):
+        cost = np.array(rows)
+        if cost.shape[0] > cost.shape[1]:
+            cost = cost.T  # the kernel requires rows <= cols
+        _, total = min_cost_assignment(cost, backend="python")
+        row_ind, col_ind = linear_sum_assignment(cost)
+        assert total == pytest.approx(cost[row_ind, col_ind].sum(),
+                                      abs=1e-6)
+
+    @settings(max_examples=100, deadline=None)
+    @given(weight_matrices(max_left=4, max_right=6))
+    def test_backends_agree(self, rows):
+        cost = np.array(rows)
+        if cost.shape[0] > cost.shape[1]:
+            cost = cost.T
+        _, total_py = min_cost_assignment(cost, backend="python")
+        _, total_np = min_cost_assignment(cost, backend="numpy")
+        assert total_py == pytest.approx(total_np, abs=1e-6)
+
+
+class TestMaxWeightMatching:
+    def test_figure9_matrix(self):
+        # Nike/Adidas/Reebok/Sketchers example: optimum is Nike->1,
+        # Adidas->2 (9 + 7 = 16).
+        weights = np.array([[9, 5], [8, 7], [7, 6], [7, 4]], dtype=float)
+        result = max_weight_matching(weights)
+        assert result.pairs == ((0, 0), (1, 1))
+        assert result.total_weight == 16.0
+
+    def test_negative_edges_skipped(self):
+        weights = np.array([[-5.0, -2.0]])
+        result = max_weight_matching(weights)
+        assert result.pairs == ()
+        assert result.total_weight == 0.0
+
+    def test_perfect_matching_takes_negative_edges(self):
+        weights = np.array([[-5.0, -2.0]])
+        result = max_weight_matching(weights, allow_unmatched=False)
+        assert result.pairs == ((0, 1),)
+        assert result.total_weight == -2.0
+
+    def test_empty_matrix(self):
+        assert max_weight_matching(np.empty((0, 3))).pairs == ()
+        assert max_weight_matching(np.empty((3, 0))).pairs == ()
+
+    def test_result_accessors(self):
+        weights = np.array([[9, 5], [8, 7], [7, 6], [7, 4]], dtype=float)
+        result = max_weight_matching(weights)
+        assert result.left_to_right() == {0: 0, 1: 1}
+        assert result.right_to_left() == {0: 0, 1: 1}
+        assert result.matched_lefts() == frozenset({0, 1})
+        assert result.matched_rights() == frozenset({0, 1})
+
+    @settings(max_examples=200, deadline=None)
+    @given(weight_matrices())
+    def test_optimal_vs_brute_force(self, rows):
+        weights = np.array(rows)
+        fast = max_weight_matching(weights, backend="python")
+        oracle = brute_force_matching(weights)
+        assert fast.total_weight == pytest.approx(oracle.total_weight,
+                                                  abs=1e-6)
+
+    @settings(max_examples=100, deadline=None)
+    @given(weight_matrices())
+    def test_matching_is_valid(self, rows):
+        weights = np.array(rows)
+        result = max_weight_matching(weights)
+        lefts = [left for left, _ in result.pairs]
+        rights = [right for _, right in result.pairs]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+        recomputed = sum(weights[left, right]
+                         for left, right in result.pairs)
+        assert result.total_weight == pytest.approx(recomputed)
+
+    @settings(max_examples=100, deadline=None)
+    @given(weight_matrices())
+    def test_transpose_invariance(self, rows):
+        weights = np.array(rows)
+        direct = max_weight_matching(weights)
+        transposed = max_weight_matching(weights.T)
+        assert direct.total_weight == pytest.approx(
+            transposed.total_weight, abs=1e-6)

@@ -1,0 +1,106 @@
+"""Tests for the winner-determination LP and the from-scratch simplex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.hungarian import max_weight_matching
+from repro.matching.lp import build_constraints, lp_matching
+from repro.matching.simplex import (
+    SimplexError,
+    UnboundedError,
+    solve_lp_maximize,
+)
+
+
+def matrices(max_n=6, max_k=3):
+    return st.tuples(st.integers(1, max_n), st.integers(1, max_k)).flatmap(
+        lambda shape: st.lists(
+            st.lists(st.floats(-5.0, 10.0, allow_nan=False, width=32),
+                     min_size=shape[1], max_size=shape[1]),
+            min_size=shape[0], max_size=shape[0]))
+
+
+class TestConstraints:
+    def test_shapes(self):
+        a_ub, b_ub = build_constraints(3, 2)
+        assert a_ub.shape == (5, 6)
+        assert b_ub.shape == (5,)
+        assert np.all(b_ub == 1.0)
+
+    def test_every_variable_in_two_constraints(self):
+        a_ub, _ = build_constraints(3, 2)
+        dense = a_ub.toarray()
+        assert np.all(dense.sum(axis=0) == 2.0)
+
+
+class TestLpMatching:
+    @settings(max_examples=100, deadline=None)
+    @given(matrices())
+    def test_lp_equals_hungarian(self, rows):
+        weights = np.array(rows)
+        lp = lp_matching(weights)
+        hungarian = max_weight_matching(weights)
+        assert lp.matching.total_weight == pytest.approx(
+            hungarian.total_weight, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(matrices())
+    def test_lp_relaxation_is_integral(self, rows):
+        # Chvátal's theorem in action: the assignment polytope has
+        # integral optima.
+        assert lp_matching(np.array(rows)).is_integral
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices(max_n=4, max_k=2))
+    def test_simplex_backend_agrees_with_scipy(self, rows):
+        weights = np.array(rows)
+        scipy_solution = lp_matching(weights, backend="scipy")
+        simplex_solution = lp_matching(weights, backend="simplex")
+        assert simplex_solution.matching.total_weight == pytest.approx(
+            scipy_solution.matching.total_weight, abs=1e-6)
+
+    def test_empty(self):
+        solution = lp_matching(np.empty((0, 0)))
+        assert solution.matching.pairs == ()
+
+
+class TestSimplexKernel:
+    def test_simple_lp(self):
+        # max x + y st x <= 2, y <= 3, x + y <= 4
+        result = solve_lp_maximize(
+            np.array([1.0, 1.0]),
+            np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]),
+            np.array([2.0, 3.0, 4.0]))
+        assert result.objective == pytest.approx(4.0)
+
+    def test_unbounded_detected(self):
+        with pytest.raises(UnboundedError):
+            solve_lp_maximize(np.array([1.0]),
+                              np.array([[-1.0]]),
+                              np.array([1.0]))
+
+    def test_negative_rhs_rejected(self):
+        with pytest.raises(SimplexError):
+            solve_lp_maximize(np.array([1.0]), np.array([[1.0]]),
+                              np.array([-1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimplexError):
+            solve_lp_maximize(np.array([1.0, 2.0]), np.array([[1.0]]),
+                              np.array([1.0]))
+
+    def test_degenerate_lp_terminates(self):
+        # Highly degenerate: many ties — Bland's rule must not cycle.
+        c = np.ones(4)
+        a = np.vstack([np.eye(4), np.ones((1, 4))])
+        b = np.array([1.0, 1.0, 1.0, 1.0, 1.0])
+        result = solve_lp_maximize(c, a, b)
+        assert result.objective == pytest.approx(1.0)
+
+    def test_zero_objective(self):
+        result = solve_lp_maximize(np.zeros(2),
+                                   np.eye(2), np.ones(2))
+        assert result.objective == 0.0
+        assert result.iterations == 0

@@ -1,0 +1,88 @@
+"""Tests for the simulated parallel tree-network aggregation (III-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.hungarian import max_weight_matching
+from repro.matching.reduction import reduce_graph
+from repro.matching.tree_network import (
+    merge_top_k,
+    tree_aggregate,
+    tree_matching,
+)
+
+
+class TestMergeTopK:
+    def test_basic_merge(self):
+        left = [(9.0, 0), (7.0, 2)]
+        right = [(8.0, 1), (6.0, 3)]
+        assert merge_top_k(left, right, 3) == [(9.0, 0), (8.0, 1), (7.0, 2)]
+
+    def test_ties_prefer_lower_id(self):
+        left = [(5.0, 3)]
+        right = [(5.0, 1)]
+        assert merge_top_k(left, right, 2) == [(5.0, 1), (5.0, 3)]
+
+    def test_k_truncates(self):
+        left = [(3.0, 0), (2.0, 1)]
+        right = [(1.0, 2)]
+        assert len(merge_top_k(left, right, 2)) == 2
+
+    def test_empty_inputs(self):
+        assert merge_top_k([], [], 3) == []
+        assert merge_top_k([(1.0, 0)], [], 3) == [(1.0, 0)]
+
+
+class TestTreeAggregation:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 4), st.integers(1, 16),
+           st.integers(0, 2**31 - 1))
+    def test_equals_centralized_reduction(self, n, k, leaves, seed):
+        weights = np.random.default_rng(seed).normal(size=(n, k))
+        tree = tree_aggregate(weights, num_leaves=leaves)
+        central = reduce_graph(weights)
+        assert tree.per_slot == central.per_slot
+
+    def test_height_is_logarithmic(self):
+        weights = np.zeros((64, 2))
+        result = tree_aggregate(weights, num_leaves=64)
+        assert result.stats.height == 6  # log2(64)
+
+    def test_single_leaf_no_merges(self):
+        weights = np.ones((10, 2))
+        result = tree_aggregate(weights, num_leaves=1)
+        assert result.stats.height == 0
+        assert result.stats.messages == 0
+
+    def test_leaf_work_drops_with_parallelism(self):
+        weights = np.random.default_rng(0).random((128, 3))
+        serial = tree_aggregate(weights, num_leaves=1)
+        parallel = tree_aggregate(weights, num_leaves=16)
+        assert parallel.stats.leaf_work_max < serial.stats.leaf_work_max
+        # Critical-path work (the parallel-time model) must shrink too.
+        assert (parallel.stats.critical_path_work
+                < serial.stats.critical_path_work)
+
+    def test_more_leaves_than_advertisers(self):
+        weights = np.random.default_rng(1).random((3, 2))
+        result = tree_aggregate(weights, num_leaves=100)
+        central = reduce_graph(weights)
+        assert result.per_slot == central.per_slot
+
+    def test_invalid_leaves(self):
+        with pytest.raises(ValueError):
+            tree_aggregate(np.ones((2, 2)), num_leaves=0)
+
+
+class TestTreeMatching:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 4), st.integers(1, 8),
+           st.integers(0, 2**31 - 1))
+    def test_end_to_end_optimality(self, n, k, leaves, seed):
+        weights = np.random.default_rng(seed).normal(size=(n, k))
+        parallel = tree_matching(weights, num_leaves=leaves)
+        exact = max_weight_matching(weights)
+        assert parallel.total_weight == pytest.approx(exact.total_weight,
+                                                      abs=1e-6)

@@ -1,0 +1,82 @@
+"""Tests for click-probability models."""
+
+import numpy as np
+import pytest
+
+from repro.probability.click_models import (
+    ClickModelError,
+    SeparableClickModel,
+    TabularClickModel,
+    figure7_model,
+    figure8_model,
+)
+
+
+class TestTabular:
+    def test_lookup_is_one_based(self):
+        model = TabularClickModel(np.array([[0.2, 0.5]]))
+        assert model.p_click(0, 1) == 0.2
+        assert model.p_click(0, 2) == 0.5
+
+    def test_unassigned_yields_zero(self):
+        model = TabularClickModel(np.array([[0.2, 0.5]]))
+        assert model.p_click(0, None) == 0.0
+
+    def test_out_of_range_rejected(self):
+        model = TabularClickModel(np.array([[0.2, 0.5]]))
+        with pytest.raises(ClickModelError):
+            model.p_click(0, 3)
+        with pytest.raises(ClickModelError):
+            model.p_click(1, 1)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ClickModelError):
+            TabularClickModel(np.array([[1.2]]))
+        with pytest.raises(ClickModelError):
+            TabularClickModel(np.array([[-0.1]]))
+        with pytest.raises(ClickModelError):
+            TabularClickModel(np.array([[np.nan]]))
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ClickModelError):
+            TabularClickModel(np.array([0.5, 0.5]))
+
+    def test_as_matrix_round_trip(self):
+        matrix = np.array([[0.2, 0.5], [0.3, 0.1]])
+        model = TabularClickModel(matrix)
+        assert np.array_equal(model.as_matrix(), matrix)
+
+
+class TestSeparable:
+    def test_product_form(self):
+        model = SeparableClickModel(advertiser_factors=np.array([4.0, 3.0]),
+                                    slot_factors=np.array([0.2, 0.1]))
+        assert model.p_click(0, 1) == pytest.approx(0.8)
+        assert model.p_click(1, 2) == pytest.approx(0.3)
+
+    def test_matches_figure8(self):
+        model = SeparableClickModel(advertiser_factors=np.array([4.0, 3.0]),
+                                    slot_factors=np.array([0.2, 0.1]))
+        assert np.allclose(model.as_matrix(), figure8_model().matrix)
+
+    def test_products_above_one_rejected(self):
+        with pytest.raises(ClickModelError):
+            SeparableClickModel(advertiser_factors=np.array([4.0]),
+                                slot_factors=np.array([0.5]))
+
+    def test_negative_factors_rejected(self):
+        with pytest.raises(ClickModelError):
+            SeparableClickModel(advertiser_factors=np.array([-1.0]),
+                                slot_factors=np.array([0.5]))
+
+
+class TestPaperFigures:
+    def test_figure7_values(self):
+        model = figure7_model()
+        assert model.p_click(0, 1) == 0.7  # Nike slot 1
+        assert model.p_click(1, 2) == 0.3  # Adidas slot 2
+
+    def test_figure8_values(self):
+        model = figure8_model()
+        assert model.p_click(0, 1) == 0.8
+        assert model.p_click(0, 2) == 0.4

@@ -1,0 +1,91 @@
+"""Tests for probability estimation from interaction logs."""
+
+import numpy as np
+import pytest
+
+from repro.lang.outcome import Allocation, Outcome
+from repro.probability.click_models import TabularClickModel
+from repro.probability.estimation import (
+    InteractionLog,
+    SmoothingPrior,
+    estimate_click_model,
+    estimate_purchase_model,
+    estimation_error,
+)
+
+
+class TestLog:
+    def test_record_counts(self):
+        log = InteractionLog(2, 3)
+        log.record(0, 1, clicked=True, purchased=True)
+        log.record(0, 1, clicked=False, purchased=False)
+        assert log.impressions[0, 0] == 2
+        assert log.clicks[0, 0] == 1
+        assert log.purchases[0, 0] == 1
+
+    def test_purchase_without_click_rejected(self):
+        log = InteractionLog(1, 1)
+        with pytest.raises(ValueError):
+            log.record(0, 1, clicked=False, purchased=True)
+
+    def test_record_outcome(self):
+        log = InteractionLog(3, 2)
+        outcome = Outcome(
+            allocation=Allocation(num_slots=2, slot_of={0: 1, 2: 2}),
+            clicked=frozenset({2}))
+        log.record_outcome(outcome)
+        assert log.impressions[0, 0] == 1
+        assert log.impressions[2, 1] == 1
+        assert log.clicks[2, 1] == 1
+
+    def test_merge(self):
+        a = InteractionLog(1, 1)
+        b = InteractionLog(1, 1)
+        a.record(0, 1, clicked=True, purchased=False)
+        b.record(0, 1, clicked=False, purchased=False)
+        a.merge(b)
+        assert a.impressions[0, 0] == 2
+        assert a.clicks[0, 0] == 1
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            InteractionLog(1, 1).merge(InteractionLog(2, 1))
+
+
+class TestEstimation:
+    def test_converges_to_truth(self, rng):
+        truth = TabularClickModel(rng.uniform(0.2, 0.8, size=(3, 2)))
+        log = InteractionLog(3, 2)
+        for _ in range(6000):
+            for advertiser in range(3):
+                slot_index = int(rng.integers(1, 3))
+                clicked = rng.random() < truth.p_click(advertiser,
+                                                       slot_index)
+                log.record(advertiser, slot_index, clicked, False)
+        estimated = estimate_click_model(log)
+        assert estimation_error(estimated, truth) < 0.06
+
+    def test_unseen_cells_get_prior(self):
+        log = InteractionLog(1, 1)
+        prior = SmoothingPrior(click_alpha=1, click_beta=9)
+        model = estimate_click_model(log, prior)
+        assert model.p_click(0, 1) == pytest.approx(0.1)
+
+    def test_purchase_estimation(self):
+        log = InteractionLog(1, 1)
+        for _ in range(100):
+            log.record(0, 1, clicked=True, purchased=True)
+        model = estimate_purchase_model(log)
+        assert model.p_purchase_given_click(0, 1) > 0.9
+
+    def test_negative_prior_rejected(self):
+        with pytest.raises(ValueError):
+            SmoothingPrior(click_alpha=-1)
+
+    def test_estimates_are_valid_probabilities(self, rng):
+        log = InteractionLog(2, 2)
+        for _ in range(50):
+            log.record(int(rng.integers(2)), int(rng.integers(1, 3)),
+                       clicked=bool(rng.random() < 0.5), purchased=False)
+        model = estimate_click_model(log)
+        assert np.all((model.matrix >= 0) & (model.matrix <= 1))

@@ -1,0 +1,146 @@
+"""Tests for formula pricing: analytic probability vs Monte Carlo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import formulas
+
+from repro.lang.bids import BidsTable
+from repro.lang.formula import Atom
+from repro.lang.outcome import Allocation, Outcome
+from repro.lang.parser import parse_formula
+from repro.lang.predicates import slot
+from repro.probability.click_models import TabularClickModel
+from repro.probability.formula_prob import (
+    NotSupportedFormulaError,
+    expected_table_value,
+    formula_probability,
+)
+from repro.probability.purchase_models import (
+    ConstantRatePurchaseModel,
+    TabularPurchaseModel,
+    no_purchases,
+)
+
+W = 0.6   # click probability used in closed-form cases
+Q = 0.25  # purchase-given-click
+
+
+@pytest.fixture
+def click_model():
+    return TabularClickModel(np.full((2, 3), W))
+
+
+@pytest.fixture
+def purchase_model():
+    return ConstantRatePurchaseModel(2, 3, rate_given_click=Q)
+
+
+class TestClosedForms:
+    def test_click(self, click_model, purchase_model):
+        p = formula_probability(parse_formula("Click"), 0, 1,
+                                click_model, purchase_model)
+        assert p == pytest.approx(W)
+
+    def test_purchase(self, click_model, purchase_model):
+        p = formula_probability(parse_formula("Purchase"), 0, 2,
+                                click_model, purchase_model)
+        assert p == pytest.approx(W * Q)
+
+    def test_click_and_not_purchase(self, click_model, purchase_model):
+        p = formula_probability(parse_formula("Click & !Purchase"), 0, 1,
+                                click_model, purchase_model)
+        assert p == pytest.approx(W * (1 - Q))
+
+    def test_slot_atom_in_matching_slot(self, click_model, purchase_model):
+        p = formula_probability(parse_formula("Click & Slot2"), 0, 2,
+                                click_model, purchase_model)
+        assert p == pytest.approx(W)
+
+    def test_slot_atom_in_other_slot(self, click_model, purchase_model):
+        p = formula_probability(parse_formula("Click & Slot2"), 0, 1,
+                                click_model, purchase_model)
+        assert p == 0.0
+
+    def test_unassigned_negative_slot_row(self, click_model,
+                                          purchase_model):
+        # The Theorem 2 proof's E ∧ ⋀_j ¬Slot_j decomposition: bids can
+        # pay off without a slot.
+        p = formula_probability(parse_formula("!Slot1 & !Slot2 & !Slot3"),
+                                0, None, click_model, purchase_model)
+        assert p == 1.0
+
+    def test_unassigned_click_impossible(self, click_model,
+                                         purchase_model):
+        p = formula_probability(parse_formula("Click"), 0, None,
+                                click_model, purchase_model)
+        assert p == 0.0
+
+    def test_purchase_without_click_channel(self):
+        click_model = TabularClickModel(np.array([[0.5]]))
+        purchase_model = TabularPurchaseModel(
+            given_click=np.array([[0.4]]),
+            given_no_click=np.array([[0.1]]))
+        p = formula_probability(parse_formula("Purchase"), 0, 1,
+                                click_model, purchase_model)
+        assert p == pytest.approx(0.5 * 0.4 + 0.5 * 0.1)
+
+
+class TestRejections:
+    def test_cross_advertiser_formula_rejected(self, click_model,
+                                               purchase_model):
+        f = Atom(slot(1, advertiser=1)) & Atom(slot(2))
+        with pytest.raises(NotSupportedFormulaError):
+            formula_probability(f, 0, 1, click_model, purchase_model)
+
+    def test_heavy_layout_formula_rejected(self, click_model,
+                                           purchase_model):
+        with pytest.raises(NotSupportedFormulaError):
+            formula_probability(parse_formula("HeavyInSlot1"), 0, 1,
+                                click_model, purchase_model)
+
+
+class TestExpectedTableValue:
+    def test_linearity_over_rows(self, click_model, purchase_model):
+        table = BidsTable.from_pairs([("Click", 10), ("Purchase", 4)])
+        value = expected_table_value(table, 0, 1, click_model,
+                                     purchase_model)
+        assert value == pytest.approx(10 * W + 4 * W * Q)
+
+    def test_empty_table_is_zero(self, click_model, purchase_model):
+        assert expected_table_value(BidsTable(), 0, 1, click_model,
+                                    purchase_model) == 0.0
+
+
+class TestMonteCarloAgreement:
+    """The analytic probability matches simulation of the outcome model."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(formulas(max_leaves=4))
+    def test_formula_probability_matches_simulation(self, formula):
+        rng = np.random.default_rng(7)
+        click_model = TabularClickModel(np.full((1, 3), W))
+        purchase_model = ConstantRatePurchaseModel(1, 3,
+                                                   rate_given_click=Q)
+        slot_index = 2
+        analytic = formula_probability(formula, 0, slot_index,
+                                       click_model, purchase_model)
+        trials = 4000
+        hits = 0
+        for _ in range(trials):
+            clicked = rng.random() < W
+            purchased = clicked and rng.random() < Q
+            outcome = Outcome(
+                allocation=Allocation(num_slots=3,
+                                      slot_of={0: slot_index}),
+                clicked=frozenset({0} if clicked else ()),
+                purchased=frozenset({0} if purchased else ()))
+            if outcome.satisfies(formula, 0):
+                hits += 1
+        assert hits / trials == pytest.approx(analytic, abs=0.035)
+
+    def test_no_purchase_model_helper(self):
+        model = no_purchases(3, 2)
+        assert model.p_purchase_given_click(0, 1) == 0.0
+        assert model.p_purchase_given_no_click(2, 2) == 0.0

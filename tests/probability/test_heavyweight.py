@@ -1,0 +1,128 @@
+"""Tests for heavyweight layout models (Section III-F)."""
+
+import numpy as np
+import pytest
+
+from repro.lang.parser import parse_formula
+from repro.probability.click_models import ClickModelError, TabularClickModel
+from repro.probability.formula_prob import heavy_formula_probability
+from repro.probability.heavyweight import (
+    AdvertiserClassifier,
+    PenaltyHeavyweightClickModel,
+    TabularHeavyweightClickModel,
+    all_layouts,
+    layout_from_key,
+    layout_key,
+    random_heavyweight_model,
+)
+from repro.probability.purchase_models import no_purchases
+
+
+class TestLayoutEncoding:
+    def test_round_trip(self):
+        for mask in range(8):
+            layout = layout_from_key(mask, 3)
+            assert layout_key(layout) == mask
+
+    def test_all_layouts_count(self):
+        layouts = list(all_layouts(3))
+        assert len(layouts) == 8
+        assert frozenset() in layouts
+        assert frozenset({1, 2, 3}) in layouts
+
+
+class TestPenaltyModel:
+    @pytest.fixture
+    def model(self):
+        base = TabularClickModel(np.full((2, 3), 0.6))
+        return PenaltyHeavyweightClickModel(base=base, penalty=0.5,
+                                            exempt=frozenset({1}))
+
+    def test_no_heavies_no_penalty(self, model):
+        assert model.p_click(0, 2, frozenset()) == pytest.approx(0.6)
+
+    def test_heavy_above_halves(self, model):
+        assert model.p_click(0, 2, frozenset({1})) == pytest.approx(0.3)
+
+    def test_heavy_below_is_harmless(self, model):
+        assert model.p_click(0, 2, frozenset({3})) == pytest.approx(0.6)
+
+    def test_two_heavies_above_compound(self, model):
+        assert model.p_click(0, 3, frozenset({1, 2})) == pytest.approx(0.15)
+
+    def test_exempt_advertiser_ignores_layout(self, model):
+        assert model.p_click(1, 3, frozenset({1, 2})) == pytest.approx(0.6)
+
+    def test_unassigned_is_zero(self, model):
+        assert model.p_click(0, None, frozenset({1})) == 0.0
+
+    def test_invalid_penalty(self):
+        base = TabularClickModel(np.full((1, 1), 0.5))
+        with pytest.raises(ClickModelError):
+            PenaltyHeavyweightClickModel(base=base, penalty=0.0)
+
+
+class TestTabularHeavyModel:
+    def test_override_and_fallback(self):
+        base = TabularClickModel(np.full((1, 2), 0.4))
+        model = TabularHeavyweightClickModel(base=base)
+        model.set_probability(0, 1, frozenset({2}), 0.1)
+        assert model.p_click(0, 1, frozenset({2})) == 0.1
+        assert model.p_click(0, 1, frozenset()) == 0.4  # fallback
+
+    def test_invalid_probability_rejected(self):
+        base = TabularClickModel(np.full((1, 2), 0.4))
+        model = TabularHeavyweightClickModel(base=base)
+        with pytest.raises(ClickModelError):
+            model.set_probability(0, 1, frozenset(), 1.5)
+
+    def test_random_model_probabilities_valid(self, rng):
+        base = TabularClickModel(rng.uniform(0, 1, size=(3, 2)))
+        model = random_heavyweight_model(base, rng, spread=0.5)
+        for advertiser in range(3):
+            for slot_index in (1, 2):
+                for mask in range(4):
+                    p = model.p_click(advertiser, slot_index,
+                                      layout_from_key(mask, 2))
+                    assert 0.0 <= p <= 1.0
+
+
+class TestClassifier:
+    def test_top_clicks_win(self):
+        classifier = AdvertiserClassifier(click_counts=(5, 9, 1, 9),
+                                          num_heavyweights=2)
+        assert classifier.heavyweights() == frozenset({1, 3})
+        assert classifier.lightweights() == frozenset({0, 2})
+
+    def test_tie_breaks_toward_lower_id(self):
+        classifier = AdvertiserClassifier(click_counts=(4, 4, 4),
+                                          num_heavyweights=1)
+        assert classifier.heavyweights() == frozenset({0})
+
+    def test_too_many_heavyweights_rejected(self):
+        with pytest.raises(ValueError):
+            AdvertiserClassifier(click_counts=(1,), num_heavyweights=2)
+
+
+class TestHeavyFormulaProbability:
+    def test_heavy_in_slot_atom_resolves_from_layout(self):
+        base = TabularClickModel(np.full((1, 2), 0.5))
+        model = PenaltyHeavyweightClickModel(base=base, penalty=0.8)
+        pm = no_purchases(1, 2)
+        f = parse_formula("Slot2 & HeavyInSlot1")
+        p_with = heavy_formula_probability(f, 0, 2, frozenset({1}),
+                                           model, pm)
+        p_without = heavy_formula_probability(f, 0, 2, frozenset(),
+                                              model, pm)
+        assert p_with == 1.0
+        assert p_without == 0.0
+
+    def test_click_probability_is_layout_conditioned(self):
+        base = TabularClickModel(np.full((1, 2), 0.5))
+        model = PenaltyHeavyweightClickModel(base=base, penalty=0.5)
+        pm = no_purchases(1, 2)
+        f = parse_formula("Click")
+        assert heavy_formula_probability(
+            f, 0, 2, frozenset({1}), model, pm) == pytest.approx(0.25)
+        assert heavy_formula_probability(
+            f, 0, 2, frozenset(), model, pm) == pytest.approx(0.5)

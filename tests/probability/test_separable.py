@@ -1,0 +1,93 @@
+"""Tests for separability detection (Section III-C, Figures 7-8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.probability.click_models import figure7_model, figure8_model
+from repro.probability.separable import (
+    NotSeparableError,
+    factorize,
+    is_separable,
+    separability_gap,
+)
+
+
+class TestPaperExamples:
+    def test_figure7_not_separable(self):
+        assert not is_separable(figure7_model().matrix)
+
+    def test_figure8_separable(self):
+        assert is_separable(figure8_model().matrix)
+
+    def test_figure8_factors_match_papers(self):
+        # Paper: advertiser factors 4 (Nike), 3 (Adidas); slot factors
+        # 0.2, 0.1.  The factorization is unique up to a scalar, so check
+        # the ratios the paper's factors imply.
+        factors = factorize(figure8_model().matrix)
+        adv = factors.advertiser_factors
+        slots = factors.slot_factors
+        assert adv[0] / adv[1] == pytest.approx(4.0 / 3.0)
+        assert slots[0] / slots[1] == pytest.approx(0.2 / 0.1)
+
+
+class TestFactorize:
+    def test_reconstruction(self):
+        matrix = np.outer([1.0, 2.0, 0.5], [0.3, 0.2, 0.1, 0.05])
+        factors = factorize(matrix)
+        assert np.allclose(factors.reconstruct(), matrix)
+
+    def test_zero_matrix(self):
+        factors = factorize(np.zeros((3, 2)))
+        assert np.allclose(factors.reconstruct(), 0.0)
+
+    def test_zero_rows_allowed(self):
+        matrix = np.outer([1.0, 0.0, 0.5], [0.4, 0.2])
+        factors = factorize(matrix)
+        assert np.allclose(factors.reconstruct(), matrix)
+
+    def test_rank_two_rejected(self):
+        with pytest.raises(NotSeparableError):
+            factorize(np.array([[1.0, 0.0], [0.0, 1.0]]))
+
+    def test_single_row_always_separable(self):
+        assert is_separable(np.array([[0.3, 0.1, 0.7]]))
+
+    def test_single_column_always_separable(self):
+        assert is_separable(np.array([[0.3], [0.1]]))
+
+
+class TestGap:
+    def test_gap_zero_for_rank_one(self):
+        matrix = np.outer([1.0, 2.0], [0.3, 0.1])
+        assert separability_gap(matrix) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gap_positive_for_figure7(self):
+        assert separability_gap(figure7_model().matrix) > 1e-3
+
+    def test_gap_zero_for_vectors(self):
+        assert separability_gap(np.array([[0.1, 0.2]])) == 0.0
+
+
+class TestProperties:
+    @given(
+        npst.arrays(np.float64, st.tuples(st.integers(1, 5),
+                                          st.integers(1, 4)),
+                    elements=st.floats(0.0, 1.0, allow_nan=False)),
+    )
+    def test_is_separable_consistent_with_factorize(self, matrix):
+        if is_separable(matrix):
+            factors = factorize(matrix)
+            assert np.allclose(factors.reconstruct(), matrix, atol=1e-8)
+
+    @given(
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1,
+                 max_size=5),
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1,
+                 max_size=4),
+    )
+    def test_outer_products_are_separable(self, left, right):
+        matrix = np.outer(left, right)
+        assert is_separable(matrix)

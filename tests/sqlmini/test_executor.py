@@ -1,0 +1,201 @@
+"""Tests for sqlmini statement execution and expression semantics."""
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import (
+    SqlNameError,
+    SqlRuntimeError,
+    SqlSchemaError,
+    SqlTypeError,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE T (name TEXT, score REAL, n INT)")
+    database.execute("INSERT INTO T VALUES ('a', 1.5, 1), "
+                     "('b', 2.5, 2), ('c', 0.5, 3)")
+    return database
+
+
+class TestSelect:
+    def test_projection_and_where(self, db):
+        result = db.query("SELECT name FROM T WHERE score > 1")
+        assert result.single_column() == ["a", "b"]
+
+    def test_order_by_desc_and_limit(self, db):
+        result = db.query("SELECT name FROM T ORDER BY score DESC LIMIT 2")
+        assert result.single_column() == ["b", "a"]
+
+    def test_star(self, db):
+        result = db.query("SELECT * FROM T WHERE n = 2")
+        assert result.columns == ("name", "score", "n")
+        assert result.rows == (("b", 2.5, 2),)
+
+    def test_expression_projection(self, db):
+        result = db.query("SELECT score * 2 doubled FROM T WHERE n = 1")
+        assert result.columns == ("doubled",)
+        assert result.rows == ((3.0,),)
+
+    def test_distinct(self, db):
+        db.execute("INSERT INTO T VALUES ('a', 1.5, 9)")
+        result = db.query("SELECT DISTINCT name FROM T ORDER BY name")
+        assert result.single_column() == ["a", "b", "c"]
+
+    def test_aggregates(self, db):
+        result = db.query(
+            "SELECT COUNT(*), SUM(score), MAX(score), MIN(n), AVG(score) "
+            "FROM T")
+        assert result.rows == ((3, 4.5, 2.5, 1, 1.5),)
+
+    def test_aggregate_with_where(self, db):
+        result = db.query("SELECT SUM(n) FROM T WHERE score > 1")
+        assert result.scalar() == 3
+
+    def test_sum_over_empty_is_zero(self, db):
+        # Deliberate divergence from SQL NULL: Figure 6 requires 0.
+        result = db.query("SELECT SUM(score) FROM T WHERE n > 99")
+        assert result.scalar() == 0
+
+    def test_max_over_empty_is_null(self, db):
+        assert db.query("SELECT MAX(score) FROM T WHERE n > 99").scalar() \
+            is None
+
+    def test_count_star_vs_count_column(self, db):
+        db.execute("INSERT INTO T (name) VALUES ('d')")  # score NULL
+        result = db.query("SELECT COUNT(*), COUNT(score) FROM T")
+        assert result.rows == ((4, 3),)
+
+    def test_mixed_aggregate_and_bare_column_rejected(self, db):
+        with pytest.raises(SqlRuntimeError):
+            db.query("SELECT name, MAX(score) FROM T")
+
+    def test_aggregate_arithmetic(self, db):
+        result = db.query("SELECT MAX(score) - MIN(score) FROM T")
+        assert result.scalar() == 2.0
+
+    def test_select_without_from(self, db):
+        assert db.query("SELECT 1 + 2").scalar() == 3
+
+
+class TestUpdateDelete:
+    def test_update_where(self, db):
+        count = db.execute("UPDATE T SET score = 0 WHERE n >= 2")
+        assert count == 2
+        assert db.query("SELECT SUM(score) FROM T").scalar() == 1.5
+
+    def test_snapshot_semantics(self, db):
+        # Incrementing the max: the subquery must see pre-update values,
+        # so exactly one row (the old max) moves.
+        db.execute("UPDATE T SET score = score + 10 "
+                   "WHERE score = (SELECT MAX(score) FROM T)")
+        result = db.query("SELECT name FROM T WHERE score > 10")
+        assert result.single_column() == ["b"]
+
+    def test_update_type_coercion(self, db):
+        db.execute("UPDATE T SET n = 2.0 WHERE name = 'a'")
+        assert db.query("SELECT n FROM T WHERE name = 'a'").scalar() == 2
+
+    def test_update_type_error(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("UPDATE T SET n = 'x'")
+
+    def test_delete(self, db):
+        removed = db.execute("DELETE FROM T WHERE score < 1")
+        assert removed == 1
+        assert db.query("SELECT COUNT(*) FROM T").scalar() == 2
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM T") == 3
+
+
+class TestCorrelatedSubqueries:
+    def test_outer_row_visible_by_table_name(self, db):
+        db.execute("CREATE TABLE S (name TEXT, bonus REAL)")
+        db.execute("INSERT INTO S VALUES ('a', 10), ('b', 20)")
+        db.execute("UPDATE T SET score = "
+                   "(SELECT X.bonus FROM S X WHERE X.name = T.name)")
+        result = db.query("SELECT score FROM T ORDER BY name")
+        assert result.single_column() == [10.0, 20.0, None]
+
+
+class TestNullSemantics:
+    def test_arithmetic_propagates_null(self, db):
+        assert db.query("SELECT NULL + 1").scalar() is None
+
+    def test_comparison_with_null_is_unknown(self, db):
+        # WHERE treats unknown as not-satisfied.
+        db.execute("INSERT INTO T (name) VALUES ('d')")
+        result = db.query("SELECT name FROM T WHERE score > 0")
+        assert "d" not in result.single_column()
+
+    def test_kleene_and_or(self, db):
+        assert db.query("SELECT NULL AND FALSE").scalar() is False
+        assert db.query("SELECT NULL AND TRUE").scalar() is None
+        assert db.query("SELECT NULL OR TRUE").scalar() is True
+        assert db.query("SELECT NOT NULL").scalar() is None
+
+    def test_null_sorts_first(self, db):
+        db.execute("INSERT INTO T (name) VALUES ('d')")
+        result = db.query("SELECT name FROM T ORDER BY score")
+        assert result.single_column()[0] == "d"
+
+
+class TestErrors:
+    def test_division_by_zero(self, db):
+        with pytest.raises(SqlRuntimeError):
+            db.query("SELECT 1 / 0")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlNameError):
+            db.query("SELECT wat FROM T")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlNameError):
+            db.query("SELECT 1 FROM Missing")
+
+    def test_scalar_subquery_multiple_rows(self, db):
+        with pytest.raises(SqlRuntimeError):
+            db.query("SELECT (SELECT name FROM T)")
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(SqlSchemaError):
+            db.execute("CREATE TABLE T (x INT)")
+
+    def test_boolean_context_type_error(self, db):
+        with pytest.raises(SqlTypeError):
+            db.query("SELECT 1 AND TRUE")
+
+    def test_incomparable_types(self, db):
+        with pytest.raises(SqlTypeError):
+            db.query("SELECT name FROM T WHERE name > 1")
+
+    def test_aggregate_outside_select(self, db):
+        with pytest.raises(SqlRuntimeError):
+            db.execute("UPDATE T SET score = MAX(score)")
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("INSERT INTO T VALUES (1)")
+
+
+class TestScalarFunctions:
+    def test_abs_round(self, db):
+        assert db.query("SELECT ABS(0 - 5)").scalar() == 5
+        assert db.query("SELECT ROUND(2.567, 1)").scalar() == 2.6
+
+    def test_coalesce(self, db):
+        assert db.query("SELECT COALESCE(NULL, NULL, 7)").scalar() == 7
+
+    def test_least_greatest(self, db):
+        assert db.query("SELECT LEAST(3, 1, 2)").scalar() == 1
+        assert db.query("SELECT GREATEST(3, 1, 2)").scalar() == 3
+
+    def test_unknown_function(self, db):
+        with pytest.raises(SqlNameError):
+            db.query("SELECT FROBNICATE(1)")
+
+    def test_string_concatenation(self, db):
+        assert db.query("SELECT 'a' + 'b'").scalar() == "ab"

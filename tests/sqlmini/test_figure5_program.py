@@ -1,0 +1,156 @@
+"""Fidelity test: the paper's Figure 5 program runs verbatim on sqlmini.
+
+The only edit to the figure's text is on its line 11, where the paper
+repeats the underspending comparison (``<``) in the overspending branch —
+an evident typo; the intended ``>`` is used (recorded in DESIGN.md).
+"""
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.strategies.sql_program import FIGURE5_PROGRAM
+
+FIGURE4_KEYWORDS = [
+    # text, formula, maxbid, roi, bid, relevance — exactly Figure 4.
+    ("boot", "Click & Slot1", 5.0, 2.0, 4.0, 0.8),
+    ("shoe", "Click", 6.0, 1.0, 8.0, 0.2),
+]
+
+
+def make_database():
+    db = Database()
+    db.execute("""
+        CREATE TABLE Query (text TEXT);
+        CREATE TABLE Keywords (text TEXT, formula TEXT, maxbid REAL,
+                               roi REAL, bid REAL, relevance REAL);
+        CREATE TABLE Bids (formula TEXT, value REAL);
+    """)
+    for row in FIGURE4_KEYWORDS:
+        placeholders = ", ".join(
+            f"'{value}'" if isinstance(value, str) else str(value)
+            for value in row)
+        db.execute(f"INSERT INTO Keywords VALUES ({placeholders})")
+    db.execute("INSERT INTO Bids VALUES ('Click & Slot1', 0), "
+               "('Click', 0)")
+    db.execute(FIGURE5_PROGRAM)
+    return db
+
+
+def bids_of(db):
+    return {row["formula"]: row["value"] for row in db.rows("Bids")}
+
+
+def keywords_bid(db, text):
+    result = db.query(f"SELECT bid FROM Keywords WHERE text = '{text}'")
+    return result.scalar()
+
+
+class TestFigure4ToFigure6:
+    def test_neutral_spending_reproduces_figure6(self):
+        # With the spending rate exactly on target neither branch fires;
+        # the Bids update alone must produce Figure 6: Click & Slot1 -> 4
+        # (boot's bid; relevance 0.8 > 0.7) and Click -> 0 (shoe's
+        # relevance 0.2 fails the filter).
+        db = make_database()
+        db.set_variable("amtSpent", 6.0)
+        db.set_variable("time", 2.0)
+        db.set_variable("targetSpendRate", 3.0)
+        db.execute("INSERT INTO Query VALUES ('boot')")
+        assert bids_of(db) == {"Click & Slot1": 4.0, "Click": 0.0}
+
+
+class TestUnderspendingBranch:
+    def test_max_roi_keyword_incremented(self):
+        db = make_database()
+        db.set_variable("amtSpent", 2.0)
+        db.set_variable("time", 2.0)   # rate 1 < target 3
+        db.set_variable("targetSpendRate", 3.0)
+        db.execute("INSERT INTO Query VALUES ('boot')")
+        # boot has the max ROI (2 > 1), relevance 0.8 > 0, bid 4 < 5.
+        assert keywords_bid(db, "boot") == 5.0
+        assert keywords_bid(db, "shoe") == 8.0  # untouched
+        assert bids_of(db)["Click & Slot1"] == 5.0
+
+    def test_bid_cap_respected(self):
+        db = make_database()
+        db.set_variable("amtSpent", 0.0)
+        db.set_variable("time", 1.0)
+        db.set_variable("targetSpendRate", 3.0)
+        db.execute("INSERT INTO Query VALUES ('boot')")   # 4 -> 5 = maxbid
+        db.execute("INSERT INTO Query VALUES ('boot')")   # bid < maxbid fails
+        assert keywords_bid(db, "boot") == 5.0
+
+
+class TestOverspendingBranch:
+    def test_min_roi_keyword_decremented(self):
+        db = make_database()
+        db.set_variable("amtSpent", 20.0)
+        db.set_variable("time", 2.0)   # rate 10 > target 3
+        db.set_variable("targetSpendRate", 3.0)
+        # Make shoe relevant so the min-ROI row qualifies.
+        db.execute("UPDATE Keywords SET relevance = 0.9 "
+                   "WHERE text = 'shoe'")
+        db.execute("INSERT INTO Query VALUES ('shoe')")
+        assert keywords_bid(db, "shoe") == 7.0
+        assert keywords_bid(db, "boot") == 4.0  # max-ROI row untouched
+        # shoe is now sufficiently relevant, so Bids carries its bid.
+        assert bids_of(db)["Click"] == 7.0
+
+    def test_irrelevant_min_roi_keyword_not_decremented(self):
+        db = make_database()
+        db.set_variable("amtSpent", 20.0)
+        db.set_variable("time", 2.0)
+        db.set_variable("targetSpendRate", 3.0)
+        # Query 'boot': shoe (min ROI) has relevance 0.2 > 0, so it IS
+        # decremented per Figure 5's WHERE clause (relevance > 0, not
+        # > 0.7).
+        db.execute("INSERT INTO Query VALUES ('boot')")
+        assert keywords_bid(db, "shoe") == 7.0
+
+
+class TestNativeSqlEquivalence:
+    """The native ROIEqualizerProgram tracks the SQL program exactly."""
+
+    @pytest.mark.parametrize("spend,time,target", [
+        (0.0, 1.0, 3.0),    # underspending
+        (20.0, 2.0, 3.0),   # overspending
+        (6.0, 2.0, 3.0),    # on target
+    ])
+    def test_one_auction_parity(self, spend, time, target):
+        from repro.strategies import (
+            AuctionContext,
+            KeywordRecord,
+            ProgramState,
+            Query,
+            ROIEqualizerProgram,
+        )
+
+        db = make_database()
+        db.set_variable("amtSpent", spend)
+        db.set_variable("time", time)
+        db.set_variable("targetSpendRate", target)
+        # Mirror relevance scores used by the SQL path.
+        query = Query(text="boot", relevance={"boot": 0.8, "shoe": 0.2})
+
+        records = [
+            KeywordRecord(text="boot", formula="Click & Slot1", maxbid=5,
+                          bid=4, value_per_click=1.0),
+            KeywordRecord(text="shoe", formula="Click", maxbid=6,
+                          bid=6, value_per_click=1.0),
+        ]
+        # Pin the ROI columns to Figure 4's values (2 and 1): gained/spent.
+        records[0].gained, records[0].spent = 2.0, 1.0
+        records[1].gained, records[1].spent = 1.0, 1.0
+        state = ProgramState(target_spend_rate=target, keywords=records)
+        state.amt_spent = spend
+        program = ROIEqualizerProgram(0, state)
+        ctx = AuctionContext(auction_id=1, time=time, query=query,
+                             num_slots=3)
+        native_bids = {str(row.formula): row.value
+                       for row in program.bid(ctx)}
+
+        # SQL path with the same clamped initial bids (shoe: 6 = maxbid).
+        db.execute("UPDATE Keywords SET bid = 6 WHERE text = 'shoe'")
+        db.execute("INSERT INTO Query VALUES ('boot')")
+        sql_bids = bids_of(db)
+        assert native_bids == sql_bids

@@ -1,0 +1,130 @@
+"""Tests for GROUP BY / HAVING (sqlmini extension).
+
+Per-formula aggregation is exactly what Figure 5's Bids update does with
+a correlated subquery; GROUP BY expresses it directly, so the extension
+is squarely inside the dialect's intended use.
+"""
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlRuntimeError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE Keywords (text TEXT, formula TEXT, bid REAL, "
+        "relevance REAL)")
+    database.execute("""
+        INSERT INTO Keywords VALUES
+            ('boot',   'Click & Slot1', 4, 0.8),
+            ('boots',  'Click & Slot1', 2, 0.9),
+            ('shoe',   'Click',         8, 0.2),
+            ('shoes',  'Click',         1, 0.95)
+    """)
+    return database
+
+
+class TestBasics:
+    def test_group_with_aggregates(self, db):
+        result = db.query(
+            "SELECT formula, SUM(bid), COUNT(*) FROM Keywords "
+            "GROUP BY formula")
+        assert result.columns == ("formula", "sum", "count")
+        assert set(result.rows) == {("Click & Slot1", 6.0, 2),
+                                    ("Click", 9.0, 2)}
+
+    def test_group_order_is_first_occurrence(self, db):
+        result = db.query(
+            "SELECT formula, MAX(bid) FROM Keywords GROUP BY formula")
+        assert [row[0] for row in result.rows] == ["Click & Slot1",
+                                                   "Click"]
+
+    def test_where_filters_before_grouping(self, db):
+        # The Figure 5 semantics, GROUP BY style: sum bids of
+        # sufficiently relevant keywords per formula.
+        result = db.query(
+            "SELECT formula, SUM(bid) FROM Keywords "
+            "WHERE relevance > 0.7 GROUP BY formula")
+        assert set(result.rows) == {("Click & Slot1", 6.0),
+                                    ("Click", 1.0)}
+
+    def test_having_filters_groups(self, db):
+        result = db.query(
+            "SELECT formula FROM Keywords GROUP BY formula "
+            "HAVING SUM(bid) > 7")
+        assert result.rows == (("Click",),)
+
+    def test_order_by_aggregate(self, db):
+        result = db.query(
+            "SELECT formula, SUM(bid) s FROM Keywords "
+            "GROUP BY formula ORDER BY SUM(bid) DESC")
+        assert [row[1] for row in result.rows] == [9.0, 6.0]
+
+    def test_arithmetic_over_aggregates_and_keys(self, db):
+        result = db.query(
+            "SELECT formula, SUM(bid) / COUNT(*) FROM Keywords "
+            "GROUP BY formula ORDER BY formula")
+        by_formula = dict(result.rows)
+        assert by_formula["Click"] == pytest.approx(4.5)
+        assert by_formula["Click & Slot1"] == pytest.approx(3.0)
+
+    def test_limit(self, db):
+        result = db.query(
+            "SELECT formula FROM Keywords GROUP BY formula LIMIT 1")
+        assert len(result.rows) == 1
+
+
+class TestKeys:
+    def test_expression_keys(self, db):
+        result = db.query(
+            "SELECT relevance > 0.7, COUNT(*) FROM Keywords "
+            "GROUP BY relevance > 0.7")
+        assert set(result.rows) == {(True, 3), (False, 1)}
+
+    def test_numeric_keys_unify_int_and_float(self, db):
+        db.execute("CREATE TABLE T (x REAL)")
+        db.execute("INSERT INTO T VALUES (2), (2.0), (3)")
+        result = db.query("SELECT x, COUNT(*) FROM T GROUP BY x")
+        assert set(result.rows) == {(2.0, 2), (3.0, 1)}
+
+    def test_null_keys_group_together(self, db):
+        db.execute("CREATE TABLE T (x TEXT)")
+        db.execute("INSERT INTO T (x) VALUES (NULL), (NULL), ('a')")
+        result = db.query("SELECT COUNT(*) FROM T GROUP BY x "
+                          "ORDER BY COUNT(*) DESC")
+        assert result.rows == ((2,), (1,))
+
+
+class TestErrors:
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(SqlRuntimeError):
+            db.query("SELECT text, SUM(bid) FROM Keywords "
+                     "GROUP BY formula")
+
+    def test_star_with_group_by_rejected(self, db):
+        with pytest.raises(SqlRuntimeError):
+            db.query("SELECT * FROM Keywords GROUP BY formula")
+
+    def test_having_with_non_grouped_column_rejected(self, db):
+        with pytest.raises(SqlRuntimeError):
+            db.query("SELECT formula FROM Keywords GROUP BY formula "
+                     "HAVING bid > 1")
+
+
+class TestEquivalenceWithFigure5Subquery:
+    def test_group_by_matches_correlated_subquery(self, db):
+        grouped = dict(db.query(
+            "SELECT formula, SUM(bid) FROM Keywords "
+            "WHERE relevance > 0.7 GROUP BY formula").rows)
+        db.execute("CREATE TABLE Bids (formula TEXT, value REAL)")
+        db.execute("INSERT INTO Bids VALUES ('Click & Slot1', 0), "
+                   "('Click', 0)")
+        db.execute(
+            "UPDATE Bids SET value = ( SELECT SUM(K.bid) FROM Keywords K "
+            "WHERE K.relevance > 0.7 AND K.formula = Bids.formula )")
+        subquery = {row["formula"]: row["value"]
+                    for row in db.rows("Bids")}
+        assert grouped == subquery

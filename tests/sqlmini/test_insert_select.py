@@ -1,0 +1,68 @@
+"""Tests for INSERT INTO ... SELECT (sqlmini extension).
+
+Lets bidding programs *rebuild* their Bids table from Keywords in one
+statement (DELETE + INSERT...SELECT...GROUP BY) instead of updating rows
+in place — a natural pattern the paper's Figure 5 approximates with a
+correlated-subquery UPDATE.
+"""
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlTypeError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE Keywords (formula TEXT, bid REAL, relevance REAL)")
+    database.execute("""
+        INSERT INTO Keywords VALUES
+            ('Click & Slot1', 4, 0.8),
+            ('Click & Slot1', 2, 0.9),
+            ('Click',         8, 0.2)
+    """)
+    database.execute("CREATE TABLE Bids (formula TEXT, value REAL)")
+    return database
+
+
+class TestInsertSelect:
+    def test_plain_copy(self, db):
+        count = db.execute(
+            "INSERT INTO Bids SELECT formula, bid FROM Keywords")
+        assert count == 3
+        assert len(db.rows("Bids")) == 3
+
+    def test_rebuild_bids_with_group_by(self, db):
+        db.execute("DELETE FROM Bids")
+        db.execute(
+            "INSERT INTO Bids "
+            "SELECT formula, SUM(bid) FROM Keywords "
+            "WHERE relevance > 0.7 GROUP BY formula")
+        bids = {row["formula"]: row["value"] for row in db.rows("Bids")}
+        assert bids == {"Click & Slot1": 6.0}
+
+    def test_named_columns(self, db):
+        db.execute("INSERT INTO Bids (formula) "
+                   "SELECT DISTINCT formula FROM Keywords")
+        rows = db.rows("Bids")
+        assert {row["formula"] for row in rows} == {"Click & Slot1",
+                                                    "Click"}
+        assert all(row["value"] is None for row in rows)
+
+    def test_triggers_fire_per_inserted_row(self, db):
+        db.execute("CREATE TABLE Log (formula TEXT)")
+        db.execute("CREATE TRIGGER t AFTER INSERT ON Bids "
+                   "{ INSERT INTO Log VALUES (NEW.formula); }")
+        db.execute("INSERT INTO Bids SELECT formula, bid FROM Keywords")
+        assert db.query("SELECT COUNT(*) FROM Log").scalar() == 3
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("INSERT INTO Bids SELECT formula FROM Keywords")
+
+    def test_type_checking_applies(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute(
+                "INSERT INTO Bids SELECT bid, bid FROM Keywords")

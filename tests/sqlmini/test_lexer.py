@@ -1,0 +1,65 @@
+"""Tests for the sqlmini tokenizer."""
+
+import pytest
+
+from repro.sqlmini.errors import SqlLexError
+from repro.sqlmini.lexer import tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select SELECT SeLeCt")
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("Keywords amtSpent _x k1")
+        assert all(t.kind == "ident" for t in tokens[:-1])
+
+    def test_numbers(self):
+        assert texts("1 42 0.7 3.14") == ["1", "42", "0.7", "3.14"]
+        assert kinds("0.7")[:-1] == ["number"]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'boot' 'don''t'")
+        assert tokens[0].text == "boot"
+        assert tokens[1].text == "don't"
+
+    def test_operators_maximal_munch(self):
+        assert texts("<= >= <> != < > =") == ["<=", ">=", "<>", "!=",
+                                              "<", ">", "="]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("SELECT -- the projection\n 1")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlLexError) as exc_info:
+            tokenize("SELECT @")
+        assert exc_info.value.column == 8
+
+    def test_qualified_name_tokenizes_as_three_tokens(self):
+        assert texts("K.roi") == ["K", ".", "roi"]

@@ -1,0 +1,162 @@
+"""Tests for the sqlmini parser."""
+
+import pytest
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlParseError
+from repro.sqlmini.parser import (
+    parse_expression,
+    parse_script,
+    parse_statement,
+)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3 < 10 AND NOT flag")
+        assert isinstance(expr, ast.Binary)
+        assert expr.op == "AND"
+        left, right = expr.left, expr.right
+        assert isinstance(left, ast.Binary) and left.op == "<"
+        assert isinstance(right, ast.Unary) and right.op == "NOT"
+
+    def test_qualified_column(self):
+        expr = parse_expression("K.roi")
+        assert expr == ast.ColumnRef(name="roi", qualifier="K")
+
+    def test_function_call(self):
+        expr = parse_expression("MAX(K.roi)")
+        assert expr == ast.FuncCall(
+            name="MAX", args=(ast.ColumnRef("roi", "K"),))
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr == ast.FuncCall(name="COUNT", args=(), star=True)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5 + 1")
+        assert isinstance(expr, ast.Binary)
+        assert expr.left == ast.Unary("-", ast.Literal(5))
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("( SELECT MAX(roi) FROM Keywords )")
+        assert isinstance(expr, ast.ScalarSubquery)
+        assert expr.select.table == "Keywords"
+
+    def test_literals(self):
+        assert parse_expression("NULL") == ast.Literal(None)
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("'x'") == ast.Literal("x")
+        assert parse_expression("2.5") == ast.Literal(2.5)
+
+    def test_not_equal_normalised(self):
+        assert parse_expression("a != b").op == "<>"
+
+
+class TestStatements:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE Bids (formula TEXT, value REAL)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.type_name for c in stmt.columns] == ["TEXT", "REAL"]
+
+    def test_soft_keyword_column_name(self):
+        # The paper's Keywords table has a column named "text".
+        stmt = parse_statement("CREATE TABLE Query (text TEXT)")
+        assert stmt.columns[0].name == "text"
+
+    def test_insert_positional_multi_row(self):
+        stmt = parse_statement(
+            "INSERT INTO Bids VALUES ('Click', 0), ('Purchase', 1)")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns is None
+        assert len(stmt.values) == 2
+
+    def test_insert_named_columns(self):
+        stmt = parse_statement(
+            "INSERT INTO Bids (formula) VALUES ('Click')")
+        assert stmt.columns == ("formula",)
+
+    def test_update_with_where(self):
+        stmt = parse_statement(
+            "UPDATE Keywords SET bid = bid + 1, roi = 0 WHERE bid < maxbid")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM Query WHERE text = 'boot'")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_select_full_clause_set(self):
+        stmt = parse_statement(
+            "SELECT DISTINCT text, bid b FROM Keywords K "
+            "WHERE bid > 0 ORDER BY bid DESC, text LIMIT 5")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.distinct
+        assert stmt.alias == "K"
+        assert stmt.items[1].alias == "b"
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 5
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM Keywords")
+        assert stmt.items[0].star
+
+    def test_if_elseif_else(self):
+        stmt = parse_statement("""
+            IF a < b THEN
+              UPDATE T SET x = 1;
+            ELSEIF a > b THEN
+              UPDATE T SET x = 2;
+            ELSE
+              UPDATE T SET x = 3;
+            ENDIF
+        """)
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.branches) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_create_trigger(self):
+        stmt = parse_statement("""
+            CREATE TRIGGER bid AFTER INSERT ON Query
+            {
+              UPDATE Bids SET value = 0;
+            }
+        """)
+        assert isinstance(stmt, ast.CreateTrigger)
+        assert stmt.table == "Query"
+        assert len(stmt.body) == 1
+
+    def test_script_multiple_statements(self):
+        script = parse_script(
+            "CREATE TABLE T (x INT); INSERT INTO T VALUES (1);")
+        assert len(script.statements) == 2
+
+
+class TestErrors:
+    def test_missing_then(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("IF a < b UPDATE T SET x = 1; ENDIF")
+
+    def test_unterminated_trigger_body(self):
+        with pytest.raises(SqlParseError):
+            parse_statement(
+                "CREATE TRIGGER t AFTER INSERT ON Q { UPDATE T SET x = 1;")
+
+    def test_garbage_statement(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("FROB THE KNOB")
+
+    def test_multiple_statements_rejected_by_parse_statement(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT 1; SELECT 2;")
+
+    def test_missing_column_type(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("CREATE TABLE T (x)")
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT 1 FROM T LIMIT x")

@@ -1,0 +1,106 @@
+"""Tests for AFTER INSERT triggers and program variables."""
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlNameError, SqlRuntimeError, SqlSchemaError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE Log (event TEXT); "
+                     "CREATE TABLE Query (text TEXT)")
+    return database
+
+
+class TestTriggers:
+    def test_trigger_fires_per_inserted_row(self, db):
+        db.execute("""
+            CREATE TRIGGER t AFTER INSERT ON Query
+            { INSERT INTO Log VALUES ('fired'); }
+        """)
+        db.execute("INSERT INTO Query VALUES ('a'), ('b')")
+        assert db.query("SELECT COUNT(*) FROM Log").scalar() == 2
+
+    def test_new_row_visible(self, db):
+        db.execute("""
+            CREATE TRIGGER t AFTER INSERT ON Query
+            { INSERT INTO Log VALUES (NEW.text); }
+        """)
+        db.execute("INSERT INTO Query VALUES ('boot')")
+        assert db.query("SELECT event FROM Log").scalar() == "boot"
+
+    def test_multiple_triggers_fire_in_order(self, db):
+        db.execute("CREATE TRIGGER t1 AFTER INSERT ON Query "
+                   "{ INSERT INTO Log VALUES ('one'); }")
+        db.execute("CREATE TRIGGER t2 AFTER INSERT ON Query "
+                   "{ INSERT INTO Log VALUES ('two'); }")
+        db.execute("INSERT INTO Query VALUES ('x')")
+        result = db.query("SELECT event FROM Log")
+        assert result.single_column() == ["one", "two"]
+
+    def test_trigger_on_missing_table_rejected(self, db):
+        with pytest.raises(SqlNameError):
+            db.execute("CREATE TRIGGER t AFTER INSERT ON Missing "
+                       "{ INSERT INTO Log VALUES ('x'); }")
+
+    def test_duplicate_trigger_name_rejected(self, db):
+        db.execute("CREATE TRIGGER t AFTER INSERT ON Query "
+                   "{ INSERT INTO Log VALUES ('x'); }")
+        with pytest.raises(SqlSchemaError):
+            db.execute("CREATE TRIGGER t AFTER INSERT ON Query "
+                       "{ INSERT INTO Log VALUES ('y'); }")
+
+    def test_runaway_recursion_detected(self, db):
+        db.execute("""
+            CREATE TRIGGER loop AFTER INSERT ON Log
+            { INSERT INTO Log VALUES ('again'); }
+        """)
+        with pytest.raises(SqlRuntimeError):
+            db.execute("INSERT INTO Log VALUES ('start')")
+
+
+class TestVariables:
+    def test_variables_visible_in_expressions(self, db):
+        db.set_variable("amtSpent", 10.0)
+        db.set_variable("time", 4.0)
+        assert db.query("SELECT amtSpent / time").scalar() == 2.5
+
+    def test_variable_names_case_insensitive(self, db):
+        db.set_variable("TargetSpendRate", 3.0)
+        assert db.query("SELECT targetspendrate").scalar() == 3.0
+
+    def test_row_columns_shadow_variables(self, db):
+        db.set_variable("event", "shadowed")
+        db.execute("INSERT INTO Log VALUES ('row-value')")
+        result = db.query("SELECT event FROM Log")
+        assert result.single_column() == ["row-value"]
+
+    def test_missing_variable_is_name_error(self, db):
+        with pytest.raises(SqlNameError):
+            db.query("SELECT nonexistent")
+
+    def test_get_variable(self, db):
+        db.set_variable("x", 1)
+        assert db.get_variable("X") == 1
+        with pytest.raises(SqlNameError):
+            db.get_variable("y")
+
+
+class TestDatabaseApi:
+    def test_rows_snapshot_is_a_copy(self, db):
+        db.execute("INSERT INTO Log VALUES ('x')")
+        snapshot = db.rows("Log")
+        snapshot[0]["event"] = "mutated"
+        assert db.query("SELECT event FROM Log").scalar() == "x"
+
+    def test_drop_table(self, db):
+        db.drop_table("Log")
+        assert not db.has_table("Log")
+        with pytest.raises(SqlNameError):
+            db.table("Log")
+
+    def test_query_rejects_non_select(self, db):
+        with pytest.raises(SqlNameError):
+            db.query("INSERT INTO Log VALUES ('x')")

@@ -1,0 +1,138 @@
+"""Tests for the expressive strategy library (Section I-A goals)."""
+
+import pytest
+
+from repro.lang.outcome import Allocation, Outcome
+from repro.strategies.base import AuctionContext, ProgramNotification, Query
+from repro.strategies.library import (
+    BudgetPacedProgram,
+    DaypartingRampProgram,
+    FixedBidProgram,
+    PositionTargetProgram,
+    PurchaseFocusedProgram,
+    TopOrBottomProgram,
+    TopOrNothingProgram,
+)
+
+
+def ctx(time=1.0, text="kw", num_slots=5, auction_id=1):
+    return AuctionContext(auction_id=auction_id, time=time,
+                          query=Query(text=text, relevance={text: 1.0}),
+                          num_slots=num_slots)
+
+
+def outcome(slot_of, clicked=(), purchased=(), num_slots=5):
+    return Outcome(
+        allocation=Allocation(num_slots=num_slots, slot_of=dict(slot_of)),
+        clicked=frozenset(clicked), purchased=frozenset(purchased))
+
+
+class TestFixedBid:
+    def test_constant_click_bid(self):
+        program = FixedBidProgram(0, value_per_click=4.0)
+        table = program.bid(ctx())
+        assert table.payment(outcome({0: 3}, clicked={0}), 0) == 4.0
+        assert table.payment(outcome({0: 3}), 0) == 0.0
+
+    def test_keyword_filter(self):
+        program = FixedBidProgram(0, 4.0, keywords=frozenset({"shoes"}))
+        assert len(program.bid(ctx(text="hats"))) == 0
+        assert len(program.bid(ctx(text="shoes"))) == 1
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBidProgram(0, -1.0)
+
+
+class TestTopOrNothing:
+    def test_pays_only_for_top_clicks(self):
+        program = TopOrNothingProgram(0, value_per_top_click=9.0,
+                                      impression_value=1.0)
+        table = program.bid(ctx())
+        assert table.payment(outcome({0: 1}, clicked={0}), 0) == 10.0
+        assert table.payment(outcome({0: 1}), 0) == 1.0
+        assert table.payment(outcome({0: 2}, clicked={0}), 0) == 0.0
+
+
+class TestTopOrBottom:
+    def test_values_edges_not_middle(self):
+        program = TopOrBottomProgram(0, impression_value=3.0)
+        table = program.bid(ctx(num_slots=5))
+        assert table.payment(outcome({0: 1}), 0) == 3.0
+        assert table.payment(outcome({0: 5}), 0) == 3.0
+        assert table.payment(outcome({0: 3}), 0) == 0.0
+
+
+class TestPurchaseFocused:
+    def test_or_bid_composition(self):
+        program = PurchaseFocusedProgram(0, purchase_value=5.0,
+                                         prominent_slots=2,
+                                         impression_value=2.0)
+        table = program.bid(ctx())
+        # Figure 3's worked example: purchase + top-2 impression pays 7.
+        full = outcome({0: 1}, clicked={0}, purchased={0})
+        assert table.payment(full, 0) == 7.0
+        assert table.payment(outcome({0: 2}), 0) == 2.0
+
+
+class TestDayparting:
+    def test_ramp_is_monotone_within_day(self):
+        program = DaypartingRampProgram(0, start=1.0, rate=0.5)
+        bids = [program.current_bid(t) for t in (0.0, 6.0, 12.0, 23.0)]
+        assert bids == sorted(bids)
+
+    def test_wraps_at_day_boundary(self):
+        program = DaypartingRampProgram(0, start=1.0, rate=0.5,
+                                        day_length=24.0)
+        assert program.current_bid(25.0) == program.current_bid(1.0)
+
+    def test_cap(self):
+        program = DaypartingRampProgram(0, start=1.0, rate=10.0, cap=5.0)
+        assert program.current_bid(23.0) == 5.0
+
+
+class TestBudgetPacing:
+    def test_stops_bidding_when_exhausted(self):
+        inner = FixedBidProgram(0, 4.0)
+        program = BudgetPacedProgram(0, inner, budget=5.0)
+        assert len(program.bid(ctx())) == 1
+        program.notify(ProgramNotification(auction_id=1, keyword="kw",
+                                           slot=1, clicked=True,
+                                           price_paid=5.0))
+        assert program.remaining == 0.0
+        assert len(program.bid(ctx(auction_id=2))) == 0
+
+    def test_caps_bids_at_remaining(self):
+        inner = FixedBidProgram(0, 4.0)
+        program = BudgetPacedProgram(0, inner, budget=2.5)
+        table = program.bid(ctx())
+        assert table.rows[0].value == 2.5
+
+
+class TestPositionTargeting:
+    def test_raises_after_losing(self):
+        program = PositionTargetProgram(0, target_slot=2,
+                                        initial_bid=1.0, max_bid=10.0)
+        program.notify(ProgramNotification(auction_id=1, keyword="kw"))
+        assert program.current_bid == 1.25
+
+    def test_lowers_when_above_target(self):
+        program = PositionTargetProgram(0, target_slot=2,
+                                        initial_bid=2.0, max_bid=10.0)
+        program.notify(ProgramNotification(auction_id=1, keyword="kw",
+                                           slot=1))
+        assert program.current_bid == 1.6
+
+    def test_holds_at_target(self):
+        program = PositionTargetProgram(0, target_slot=2,
+                                        initial_bid=2.0, max_bid=10.0)
+        program.notify(ProgramNotification(auction_id=1, keyword="kw",
+                                           slot=2))
+        assert program.current_bid == 2.0
+
+    def test_capped_at_max(self):
+        program = PositionTargetProgram(0, target_slot=1,
+                                        initial_bid=9.0, max_bid=10.0,
+                                        adjust_factor=2.0)
+        program.notify(ProgramNotification(auction_id=1, keyword="kw"))
+        assert program.current_bid == 10.0

@@ -1,0 +1,160 @@
+"""Tests for the ROI-equalizing strategies (Section II-C, Figures 4-6)."""
+
+import pytest
+
+from repro.strategies.base import AuctionContext, ProgramNotification, Query
+from repro.strategies.roi_equalizer import (
+    ROIEqualizerProgram,
+    SimpleROIPacer,
+    make_roi_state,
+)
+from repro.strategies.state import KeywordRecord, ProgramState
+
+
+def figure4_state(target=3.0):
+    records = [
+        KeywordRecord(text="boot", formula="Click & Slot1", maxbid=5,
+                      bid=4, value_per_click=1.0),
+        KeywordRecord(text="shoe", formula="Click", maxbid=6, bid=6,
+                      value_per_click=1.0),
+    ]
+    records[0].gained, records[0].spent = 2.0, 1.0  # roi 2
+    records[1].gained, records[1].spent = 1.0, 1.0  # roi 1
+    return ProgramState(target_spend_rate=target, keywords=records)
+
+
+def ctx(time, text="boot", relevance=None, auction_id=1):
+    relevance = relevance or {"boot": 0.8, "shoe": 0.2}
+    return AuctionContext(auction_id=auction_id, time=time,
+                          query=Query(text=text, relevance=relevance),
+                          num_slots=3)
+
+
+class TestFigure4ToFigure6:
+    def test_figure4_to_figure6(self):
+        # On-target spending: no adjustment; Bids table is Figure 6.
+        state = figure4_state()
+        state.amt_spent = 6.0
+        program = ROIEqualizerProgram(0, state)
+        bids = {str(row.formula): row.value for row in program.bid(ctx(2.0))}
+        assert bids == {"Click & Slot1": 4.0, "Click": 0.0}
+
+
+class TestAdjustments:
+    def test_underspending_increments_max_roi(self):
+        state = figure4_state()
+        program = ROIEqualizerProgram(0, state)
+        program.bid(ctx(2.0))  # rate 0 < 3
+        assert state.keyword("boot").bid == 5.0
+        assert state.keyword("shoe").bid == 6.0
+
+    def test_overspending_decrements_min_roi(self):
+        state = figure4_state()
+        state.amt_spent = 20.0
+        program = ROIEqualizerProgram(0, state)
+        program.bid(ctx(2.0))
+        assert state.keyword("shoe").bid == 5.0
+        assert state.keyword("boot").bid == 4.0
+
+    def test_increment_respects_cap(self):
+        state = figure4_state()
+        state.keyword("boot").bid = 5.0  # at maxbid
+        program = ROIEqualizerProgram(0, state)
+        program.bid(ctx(2.0))
+        assert state.keyword("boot").bid == 5.0
+
+    def test_decrement_floors_at_zero(self):
+        state = figure4_state()
+        state.amt_spent = 20.0
+        state.keyword("shoe").bid = 0.5
+        program = ROIEqualizerProgram(0, state, step=1.0)
+        program.bid(ctx(2.0))
+        assert state.keyword("shoe").bid == 0.0
+
+    def test_irrelevant_keywords_not_adjusted(self):
+        state = figure4_state()
+        program = ROIEqualizerProgram(0, state)
+        program.bid(ctx(2.0, relevance={"shoe": 0.2}))  # boot irrelevant
+        assert state.keyword("boot").bid == 4.0
+
+
+class TestNotify:
+    def test_spend_and_roi_accounting(self):
+        state = figure4_state()
+        program = ROIEqualizerProgram(0, state)
+        program.notify(ProgramNotification(
+            auction_id=1, keyword="boot", slot=1, clicked=True,
+            price_paid=2.0))
+        assert state.amt_spent == 2.0
+        record = state.keyword("boot")
+        assert record.spent == 3.0  # 1 (seeded) + 2
+        assert record.gained == 3.0  # 2 (seeded) + value_per_click 1
+
+    def test_losing_notification_is_noop(self):
+        state = figure4_state()
+        program = ROIEqualizerProgram(0, state)
+        program.notify(ProgramNotification(auction_id=1, keyword="boot"))
+        assert state.amt_spent == 0.0
+
+
+class TestSimplePacer:
+    def test_only_queried_keyword_moves(self):
+        state = figure4_state()
+        pacer = SimpleROIPacer(0, state)
+        pacer.bid(ctx(2.0, text="boot"))
+        assert state.keyword("boot").bid == 5.0
+        assert state.keyword("shoe").bid == 6.0
+
+    def test_bid_table_is_single_row(self):
+        state = figure4_state()
+        pacer = SimpleROIPacer(0, state)
+        table = pacer.bid(ctx(2.0, text="shoe"))
+        assert len(table) == 1
+        assert str(table.rows[0].formula) == "Click"
+
+    def test_unknown_keyword_yields_empty_table(self):
+        state = figure4_state()
+        pacer = SimpleROIPacer(0, state)
+        assert len(pacer.bid(ctx(2.0, text="hat",
+                                 relevance={"hat": 1.0}))) == 0
+
+    def test_clamping_both_ends(self):
+        state = make_roi_state([("kw", "Click", 2.0, 2.0)],
+                               target_spend_rate=1.0,
+                               initial_bid_fraction=0.5)
+        pacer = SimpleROIPacer(0, state)
+        query = Query(text="kw", relevance={"kw": 1.0})
+        for t in range(1, 6):  # underspending: 1 -> 2 (cap)
+            pacer.bid(AuctionContext(auction_id=t, time=float(t),
+                                     query=query, num_slots=2))
+        assert state.keyword("kw").bid == 2.0
+        state.amt_spent = 1000.0  # overspending: decrement to 0
+        for t in range(6, 12):
+            pacer.bid(AuctionContext(auction_id=t, time=float(t),
+                                     query=query, num_slots=2))
+        assert state.keyword("kw").bid == 0.0
+
+
+class TestStateValidation:
+    def test_roi_prior_before_spend(self):
+        record = KeywordRecord(text="k", formula="Click", maxbid=5, bid=1,
+                               value_per_click=7.0)
+        assert record.roi == 7.0
+        record.record_spend(2.0, 3.0)
+        assert record.roi == 1.5
+
+    def test_bid_clamped_to_maxbid(self):
+        record = KeywordRecord(text="k", formula="Click", maxbid=5, bid=9,
+                               value_per_click=1.0)
+        assert record.bid == 5.0
+
+    def test_spend_rate_requires_positive_time(self):
+        state = figure4_state()
+        with pytest.raises(ValueError):
+            state.spend_rate(0.0)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            ROIEqualizerProgram(0, figure4_state(), step=0.0)
+        with pytest.raises(ValueError):
+            SimpleROIPacer(0, figure4_state(), step=-1.0)

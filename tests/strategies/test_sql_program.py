@@ -1,0 +1,96 @@
+"""Tests for SQL-hosted bidding programs: native/SQL lockstep."""
+
+import numpy as np
+import pytest
+
+from repro.strategies.base import AuctionContext, ProgramNotification, Query
+from repro.strategies.roi_equalizer import ROIEqualizerProgram
+from repro.strategies.sql_program import SqlBiddingProgram
+from repro.strategies.state import KeywordRecord, ProgramState
+
+
+def make_keywords():
+    return [
+        KeywordRecord(text="boot", formula="Click & Slot1", maxbid=5,
+                      bid=4, value_per_click=2.0),
+        KeywordRecord(text="shoe", formula="Click", maxbid=6, bid=3,
+                      value_per_click=1.0),
+    ]
+
+
+def table_dict(table):
+    return {str(row.formula): row.value for row in table}
+
+
+class TestLockstep:
+    def test_many_auctions_with_wins(self):
+        """Native and SQL programs agree bid-for-bid over a random run."""
+        rng = np.random.default_rng(11)
+        native = ROIEqualizerProgram(
+            0, ProgramState(target_spend_rate=3.0,
+                            keywords=make_keywords()))
+        hosted = SqlBiddingProgram(1, make_keywords(),
+                                   target_spend_rate=3.0)
+        for auction_id in range(1, 40):
+            keyword = "boot" if rng.random() < 0.5 else "shoe"
+            query = Query(text=keyword,
+                          relevance={keyword: 1.0})
+            ctx = AuctionContext(auction_id=auction_id,
+                                 time=float(auction_id), query=query,
+                                 num_slots=3)
+            native_bids = table_dict(native.bid(ctx))
+            hosted_bids = table_dict(hosted.bid(ctx))
+            assert native_bids == pytest.approx(hosted_bids), auction_id
+            if rng.random() < 0.4:
+                price = float(rng.uniform(0.5, 4.0))
+                note = ProgramNotification(
+                    auction_id=auction_id, keyword=keyword, slot=1,
+                    clicked=True, price_paid=price)
+                native.notify(note)
+                hosted.notify(note)
+
+
+class TestHostedProgram:
+    def test_bids_read_back_from_bids_table(self):
+        hosted = SqlBiddingProgram(0, make_keywords(),
+                                   target_spend_rate=3.0)
+        query = Query(text="boot", relevance={"boot": 1.0})
+        ctx = AuctionContext(auction_id=1, time=1.0, query=query,
+                             num_slots=3)
+        bids = table_dict(hosted.bid(ctx))
+        assert set(bids) == {"Click & Slot1", "Click"}
+
+    def test_quoted_keyword_text_escaped(self):
+        keywords = [KeywordRecord(text="bo'ot", formula="Click", maxbid=5,
+                                  bid=1, value_per_click=1.0)]
+        hosted = SqlBiddingProgram(0, keywords, target_spend_rate=2.0)
+        query = Query(text="bo'ot", relevance={"bo'ot": 1.0})
+        ctx = AuctionContext(auction_id=1, time=1.0, query=query,
+                             num_slots=2)
+        bids = table_dict(hosted.bid(ctx))
+        assert bids["Click"] == 2.0  # 1 + underspending increment
+
+    def test_notify_updates_accounting(self):
+        hosted = SqlBiddingProgram(0, make_keywords(),
+                                   target_spend_rate=3.0)
+        hosted.notify(ProgramNotification(
+            auction_id=1, keyword="boot", slot=1, clicked=True,
+            price_paid=2.5))
+        assert hosted.amt_spent == 2.5
+        boot = next(r for r in hosted.keywords if r.text == "boot")
+        assert boot.spent == 2.5
+        assert boot.gained == 2.0  # value_per_click
+
+    def test_custom_program_source(self):
+        source = """
+        CREATE TRIGGER bid AFTER INSERT ON Query
+        { UPDATE Bids SET value = 42; }
+        """
+        hosted = SqlBiddingProgram(0, make_keywords(),
+                                   target_spend_rate=3.0,
+                                   program_source=source)
+        query = Query(text="boot", relevance={"boot": 1.0})
+        ctx = AuctionContext(auction_id=1, time=1.0, query=query,
+                             num_slots=2)
+        bids = table_dict(hosted.bid(ctx))
+        assert all(value == 42.0 for value in bids.values())

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_prints_summary(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code = main(["simulate", "--advertisers", "20",
+                     "--auctions", "10", "--slots", "3",
+                     "--keywords", "2", "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auctions=10" in out
+        assert "provider revenue" in out
+        assert trace.exists()
+        assert len(trace.read_text().strip().splitlines()) == 10
+
+    def test_rhtalu_method(self, capsys):
+        code = main(["simulate", "--advertisers", "20",
+                     "--auctions", "5", "--slots", "3",
+                     "--keywords", "2", "--method", "rhtalu"])
+        assert code == 0
+        assert "auctions=5" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_agreement_self_check(self, capsys):
+        code = main(["validate", "--trials", "5"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestSql:
+    def test_executes_statements(self, capsys):
+        code = main(["sql",
+                     "CREATE TABLE T (x INT);"
+                     "INSERT INTO T VALUES (2), (1);"
+                     "SELECT x FROM T ORDER BY x;"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- 2 row(s) affected" in out
+        assert out.strip().endswith("1\n2".replace("\n", "\n"))
+
+    def test_reports_errors(self, capsys):
+        code = main(["sql", "SELECT nope FROM missing;"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_null_rendering(self, capsys):
+        code = main(["sql",
+                     "CREATE TABLE T (x INT); "
+                     "INSERT INTO T (x) VALUES (NULL); "
+                     "SELECT x FROM T;"])
+        assert code == 0
+        assert "NULL" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

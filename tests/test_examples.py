@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are part of the public deliverable; these tests keep them
+working as the library evolves. Each is executed in-process (importing
+as a module and calling main()) with stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_expected_examples_present():
+    # The deliverable: a quickstart plus domain scenarios.
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
