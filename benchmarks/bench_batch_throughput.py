@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Batched vs sequential throughput on the Figure-12 workload.
+
+The acceptance benchmark for the batched pipeline: build two engines
+from identical seeds on the Section V workload (15 slots, 10 keywords,
+ROI pacing bidders — the Figure 12 configuration), run the same auction
+stream through ``AuctionEngine.run`` and ``AuctionEngine.run_batch``,
+and report auctions/second, the per-phase split, and an exact
+(bit-identical) equivalence verdict.  Per-phase JSON profile artifacts
+are written for both pipelines plus a combined summary.
+
+Run::
+
+    python benchmarks/bench_batch_throughput.py
+    python benchmarks/bench_batch_throughput.py --advertisers 5000 \
+        --auctions 200 --profile-dir /tmp/profiles
+
+Exits non-zero if the batched results are not identical to the
+sequential ones or the speedup falls below ``--min-speedup`` (default
+2.0, the acceptance bar; pass 0 to only report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import build_engine  # noqa: E402
+from repro.bench import (  # noqa: E402
+    compare_throughput,
+    write_report_artifacts,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--advertisers", type=int, default=2000)
+    parser.add_argument("--auctions", type=int, default=300)
+    parser.add_argument("--slots", type=int, default=15)
+    parser.add_argument("--keywords", type=int, default=10)
+    parser.add_argument("--method", default="rh",
+                        choices=["lp", "hungarian", "rh"])
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail below this speedup (0 = report only)")
+    parser.add_argument("--profile-dir", type=Path,
+                        default=Path(__file__).parent / "profiles",
+                        help="where the JSON profile artifacts go")
+    args = parser.parse_args(argv)
+
+    sequential = build_engine(args.method, args.advertisers,
+                              num_slots=args.slots,
+                              num_keywords=args.keywords)
+    batched = build_engine(args.method, args.advertisers,
+                           num_slots=args.slots,
+                           num_keywords=args.keywords)
+    report = compare_throughput(sequential, batched, args.auctions,
+                                num_advertisers=args.advertisers,
+                                num_slots=args.slots,
+                                num_keywords=args.keywords)
+
+    write_report_artifacts(report, args.profile_dir,
+                           stem=f"{args.method}_n{args.advertisers}")
+
+    print(f"batch throughput: method={args.method} "
+          f"n={args.advertisers} k={args.slots} "
+          f"keywords={args.keywords} auctions={args.auctions}")
+    for line in report.to_lines():
+        print(line)
+    print(f"profiles written to {args.profile_dir}/")
+
+    if not report.identical:
+        print("FAIL: batched results differ from sequential",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and report.speedup < args.min_speedup:
+        print(f"FAIL: speedup {report.speedup:.2f}x below "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

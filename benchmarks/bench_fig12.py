@@ -20,7 +20,7 @@ the full figure with ``python benchmarks/harness.py fig12``.
 
 import pytest
 
-from common import build_engine
+from common import bench_with_profile, build_engine
 
 SIZES = (500, 2000, 5000)
 ROUNDS = {"lp": 3, "hungarian": 8, "rh": 10, "rhtalu": 10}
@@ -28,11 +28,8 @@ ROUNDS = {"lp": 3, "hungarian": 8, "rh": 10, "rhtalu": 10}
 
 def _bench(benchmark, method, num_advertisers):
     engine = build_engine(method, num_advertisers)
-    engine.run(2)  # warm caches and the first trigger wave
-    benchmark.pedantic(engine.run_auction, rounds=ROUNDS[method],
-                       iterations=1)
-    benchmark.extra_info["num_advertisers"] = num_advertisers
-    benchmark.extra_info["method"] = method
+    bench_with_profile(benchmark, engine, rounds=ROUNDS[method],
+                       label=f"fig12_{method}_n{num_advertisers}")
 
 
 @pytest.mark.parametrize("n", SIZES)

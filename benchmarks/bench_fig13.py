@@ -12,17 +12,15 @@ via ``python benchmarks/harness.py fig13``.
 
 import pytest
 
-from common import build_engine
+from common import bench_with_profile, build_engine
 
 SIZES = (2000, 10000, 20000)
 
 
 def _bench(benchmark, method, num_advertisers):
     engine = build_engine(method, num_advertisers)
-    engine.run(2)
-    benchmark.pedantic(engine.run_auction, rounds=5, iterations=1)
-    benchmark.extra_info["num_advertisers"] = num_advertisers
-    benchmark.extra_info["method"] = method
+    bench_with_profile(benchmark, engine, rounds=5,
+                       label=f"fig13_{method}_n{num_advertisers}")
 
 
 @pytest.mark.parametrize("n", SIZES)

@@ -28,6 +28,7 @@ from dataclasses import dataclass  # noqa: E402
 
 from common import build_engine  # noqa: E402
 from repro.bench import FigureSeries, ordering_holds, speedup  # noqa: E402
+from repro.bench.profiles import profile_from_records  # noqa: E402
 from repro.bench.timing import time_auction_run  # noqa: E402
 
 QUICK_FIG12 = {"sizes": (250, 500, 1000, 2000, 3500),
@@ -52,24 +53,38 @@ class CellTiming:
     total_ms: float
     eval_ms: float
     wd_ms: float
+    price_ms: float
+    settle_ms: float
 
 
-def measure_cell(method: str, num_advertisers: int,
-                 auctions: int) -> CellTiming:
-    """Average per-auction latency of one (method, n) cell."""
+def measure_cell(method: str, num_advertisers: int, auctions: int,
+                 profile_dir: Path | None = None,
+                 figure: str = "cell") -> CellTiming:
+    """Average per-auction latency of one (method, n) cell.
+
+    With ``profile_dir``, the cell's per-phase timings are additionally
+    written as a JSON profile artifact (see ``docs/benchmarks.md``).
+    """
     engine = build_engine(method, num_advertisers)
     engine.run(2)  # warmup: caches, first trigger wave
     records = []
     timing = time_auction_run(lambda: records.append(engine.run_auction()),
                               auctions=auctions)
-    eval_ms = 1e3 * sum(r.eval_seconds for r in records) / len(records)
-    wd_ms = 1e3 * sum(r.wd_seconds for r in records) / len(records)
-    return CellTiming(total_ms=timing.mean_ms, eval_ms=eval_ms,
-                      wd_ms=wd_ms)
+    profile = profile_from_records(
+        f"{figure}_{method}_n{num_advertisers}", method, records,
+        wall_seconds=sum(timing.samples),
+        num_advertisers=num_advertisers)
+    if profile_dir is not None:
+        profile.write(profile_dir / f"{profile.label}.json")
+    phases = profile.phase_ms()
+    return CellTiming(total_ms=timing.mean_ms, eval_ms=phases["eval"],
+                      wd_ms=phases["wd"], price_ms=phases["price"],
+                      settle_ms=phases["settle"])
 
 
 def run_figure(name: str, methods: list[str], sizes, auctions,
-               verbose: bool = True
+               verbose: bool = True, profile_dir: Path | None = None,
+               figure: str = "fig"
                ) -> tuple[FigureSeries, FigureSeries]:
     """Measure a figure; returns (total, WD-phase-only) series."""
     total = FigureSeries(name=name, x_label="Number of advertisers",
@@ -81,7 +96,8 @@ def run_figure(name: str, methods: list[str], sizes, auctions,
                            methods=list(methods))
     for n in sizes:
         for method in methods:
-            cell = measure_cell(method, n, auctions[method])
+            cell = measure_cell(method, n, auctions[method],
+                                profile_dir=profile_dir, figure=figure)
             total.record(n, method, cell.total_ms)
             wd_only.record(n, method, cell.wd_ms)
             if verbose:
@@ -110,6 +126,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="use the paper's full axes (slow)")
     parser.add_argument("--csv", type=Path, default=None,
                         help="also write the series as CSV")
+    parser.add_argument("--profile-dir", type=Path, default=None,
+                        help="write per-cell phase-profile JSON here")
     args = parser.parse_args(argv)
 
     wanted = ["fig12", "fig13"] if args.figure == "all" else [args.figure]
@@ -119,7 +137,8 @@ def main(argv: list[str] | None = None) -> int:
             scale = PAPER_FIG12 if args.paper else QUICK_FIG12
             total, wd_only = run_figure(
                 "Figure 12: winner determination performance",
-                FIG12_METHODS, scale["sizes"], scale["auctions"])
+                FIG12_METHODS, scale["sizes"], scale["auctions"],
+                profile_dir=args.profile_dir, figure="fig12")
             print_report(total, ["lp", "hungarian", "rh"])
             print()
             print(wd_only.to_table())
@@ -132,7 +151,8 @@ def main(argv: list[str] | None = None) -> int:
             scale = PAPER_FIG13 if args.paper else QUICK_FIG13
             total, wd_only = run_figure(
                 "Figure 13: reducing program evaluation",
-                FIG13_METHODS, scale["sizes"], scale["auctions"])
+                FIG13_METHODS, scale["sizes"], scale["auctions"],
+                profile_dir=args.profile_dir, figure="fig13")
             print_report(total, ["rh", "rhtalu"])
         csv_chunks.append(total.to_csv())
         csv_chunks.append(wd_only.to_csv())

@@ -6,6 +6,12 @@ determination, simulated user actions, pricing (generalised second price
 """
 
 from repro.auction.accounts import AccountBook, AdvertiserAccount
+from repro.auction.batch import (
+    BatchPlanner,
+    BatchStats,
+    GroupPlan,
+    PacerArrays,
+)
 from repro.auction.analysis import (
     AdvertiserReport,
     PacingAudit,
@@ -44,7 +50,11 @@ __all__ = [
     "AdvertiserReport",
     "AuctionEngine",
     "AuctionRecord",
+    "BatchPlanner",
+    "BatchStats",
     "EngineConfig",
+    "GroupPlan",
+    "PacerArrays",
     "GeneralizedSecondPrice",
     "HeavyweightUserModel",
     "PacingAudit",

@@ -1,0 +1,290 @@
+"""The batched auction pipeline: amortizing per-auction overhead.
+
+The sequential engine (:meth:`repro.auction.engine.AuctionEngine.run`)
+spends most of its time in pure-Python per-auction loops: ``n`` program
+``bid()`` calls, an O(n) bid-extraction scan, and an O(n) program scan
+per notified winner.  For the Section V workload — every bidder a
+:class:`~repro.strategies.roi_equalizer.SimpleROIPacer` bidding a single
+value on ``Click`` — all of that is data-parallel across the population,
+so a batch run can keep the *entire* population's private state in NumPy
+arrays and advance it with a handful of vectorized kernels per auction.
+
+Three pieces cooperate:
+
+* :class:`PacerArrays` — the array mirror of a pacer population.  It
+  replays the exact per-auction semantics of ``SimpleROIPacer.bid`` and
+  the notification fold (same IEEE-754 operations in the same order), so
+  batched runs are *bit-identical* to sequential runs under a fixed
+  seed.  State is copied in from the program objects when a batch
+  starts and written back when it ends, so sequential and batched runs
+  can be interleaved freely.
+* :class:`GroupPlan` — preallocated per-signature buffers (bid vector,
+  revenue matrix, adjusted-weight matrix).  Auctions are grouped by
+  their keyword/candidate-set signature; every auction of a group reuses
+  the group's buffers, so the revenue matrix is allocated once per group
+  rather than once per auction.
+* :class:`BatchPlanner` — detects whether an engine's population is
+  vectorizable, owns the arrays and the plan cache, and tracks grouping
+  statistics for the phase profiler.
+
+Engines whose populations are not vectorizable (arbitrary
+:class:`~repro.strategies.base.BiddingProgram` mixes, multi-row tables,
+non-``Click`` formulas, or the RHTALU path) simply fall back to the
+sequential per-auction loop inside ``run_batch`` — the batch API is
+always available, only the speedup is conditional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.revenue import RevenueMatrix
+from repro.lang.formula import Atom
+from repro.lang.predicates import ClickPredicate
+from repro.strategies.roi_equalizer import SimpleROIPacer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.auction.engine import AuctionEngine
+
+
+def is_bare_click(formula: object) -> bool:
+    """Whether ``formula`` is the unresolved single-atom ``Click``."""
+    return (isinstance(formula, Atom)
+            and isinstance(formula.predicate, ClickPredicate)
+            and formula.predicate.advertiser is None)
+
+
+class PacerArrays:
+    """NumPy mirror of a ``SimpleROIPacer`` population.
+
+    Rows are advertiser ids (``0..num_advertisers-1``); columns are the
+    union of keyword texts across the population, in first-seen order.
+    ``evaluate`` and ``fold_notification`` replicate, operation for
+    operation, what the sequential engine does through ``bid()`` and
+    ``notify()`` — the equivalence tests in
+    ``tests/auction/test_batch.py`` hold this to bit-identity.
+    """
+
+    def __init__(self, programs: list[SimpleROIPacer],
+                 num_advertisers: int, keywords: list[str]):
+        self.programs = programs
+        self.num_advertisers = num_advertisers
+        self.keywords = keywords
+        self.kw_index = {text: col for col, text in enumerate(keywords)}
+        n, width = num_advertisers, len(keywords)
+        self.bids = np.zeros((n, width))
+        self.maxbids = np.zeros((n, width))
+        self.value_per_click = np.zeros((n, width))
+        self.gained = np.zeros((n, width))
+        self.spent = np.zeros((n, width))
+        self.has_kw = np.zeros((n, width), dtype=bool)
+        self.step = np.zeros(n)
+        self.target = np.zeros(n)
+        self.amt_spent = np.zeros(n)
+        self.auctions_seen = np.zeros(n, dtype=np.int64)
+        self.present = np.zeros(n, dtype=bool)
+        self.sync_from_programs()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_programs(cls, programs: list, num_advertisers: int
+                      ) -> "PacerArrays | None":
+        """Build the mirror, or ``None`` if the population does not fit.
+
+        The vectorized pipeline requires: every program a
+        ``SimpleROIPacer``; unique in-range advertiser ids; per program,
+        unique keyword texts; every record a bare ``Click`` bid.
+        """
+        seen_ids: set[int] = set()
+        keywords: list[str] = []
+        known: set[str] = set()
+        for program in programs:
+            if not isinstance(program, SimpleROIPacer):
+                return None
+            advertiser = program.advertiser_id
+            if (not isinstance(advertiser, int)
+                    or not 0 <= advertiser < num_advertisers
+                    or advertiser in seen_ids):
+                return None
+            seen_ids.add(advertiser)
+            texts: set[str] = set()
+            for record in program.state.keywords:
+                if record.text in texts or not is_bare_click(record.formula):
+                    return None
+                texts.add(record.text)
+                if record.text not in known:
+                    known.add(record.text)
+                    keywords.append(record.text)
+        return cls(programs, num_advertisers, keywords)
+
+    # -- state transfer ----------------------------------------------------
+
+    def sync_from_programs(self) -> None:
+        """Copy mutable program state into the arrays (batch start)."""
+        for program in self.programs:
+            row = program.advertiser_id
+            state = program.state
+            self.present[row] = True
+            self.step[row] = program.step
+            self.target[row] = state.target_spend_rate
+            self.amt_spent[row] = state.amt_spent
+            self.auctions_seen[row] = state.auctions_seen
+            for record in state.keywords:
+                col = self.kw_index[record.text]
+                self.has_kw[row, col] = True
+                self.bids[row, col] = record.bid
+                self.maxbids[row, col] = record.maxbid
+                self.value_per_click[row, col] = record.value_per_click
+                self.gained[row, col] = record.gained
+                self.spent[row, col] = record.spent
+
+    def sync_to_programs(self) -> None:
+        """Write the arrays back into the program objects (batch end)."""
+        for program in self.programs:
+            row = program.advertiser_id
+            state = program.state
+            state.amt_spent = float(self.amt_spent[row])
+            state.auctions_seen = int(self.auctions_seen[row])
+            for record in state.keywords:
+                col = self.kw_index[record.text]
+                record.bid = float(self.bids[row, col])
+                record.gained = float(self.gained[row, col])
+                record.spent = float(self.spent[row, col])
+
+    # -- the vectorized kernels --------------------------------------------
+
+    def evaluate(self, keyword: str, time: float,
+                 out: np.ndarray) -> np.ndarray:
+        """One auction's program evaluation, whole population at once.
+
+        Mirrors ``SimpleROIPacer.bid``: every program sees the auction
+        (``auctions_seen`` advances), programs holding the queried
+        keyword step its bid by ±``step`` against the spend-rate target
+        (clamped to ``[0, maxbid]``), and ``out`` receives the dense
+        per-advertiser ``Click`` bid vector the eager extraction would
+        have produced.
+        """
+        self.auctions_seen[self.present] += 1
+        col = self.kw_index.get(keyword)
+        if col is None:
+            out[:] = 0.0
+            return out
+        rate = self.amt_spent / time
+        holds = self.has_kw[:, col]
+        under = holds & (rate < self.target)
+        over = holds & (rate > self.target)
+        column = self.bids[:, col]
+        column[under] = np.minimum(column[under] + self.step[under],
+                                   self.maxbids[under, col])
+        column[over] = np.maximum(column[over] - self.step[over], 0.0)
+        np.multiply(column, holds, out=out)
+        return out
+
+    def fold_notification(self, advertiser: int, keyword: str,
+                          clicked: bool, price: float) -> None:
+        """One winner's notification, folded straight into the arrays.
+
+        Mirrors ``repro.strategies.roi_equalizer._fold_notification``
+        (with the engine's ``value_gained=0`` convention): no-op unless
+        charged or clicked; spend accrues to the program; ROI accounting
+        accrues to the keyword record when the program holds it.
+        """
+        if price <= 0 and not clicked:
+            return
+        self.amt_spent[advertiser] += price
+        col = self.kw_index.get(keyword)
+        if col is None or not self.has_kw[advertiser, col]:
+            return
+        gained = self.value_per_click[advertiser, col] if clicked else 0.0
+        self.spent[advertiser, col] += price
+        self.gained[advertiser, col] += gained
+
+
+@dataclass
+class GroupPlan:
+    """Preallocated buffers for one keyword/candidate-set signature.
+
+    The revenue matrix (and its zero unassigned column) is built *once*
+    per group; each auction of the group refills ``revenue.assigned``
+    and ``adjusted`` in place via the ``out=`` kernels of
+    :mod:`repro.core.revenue`.
+    """
+
+    signature: str
+    bid_out: np.ndarray
+    revenue: RevenueMatrix
+    adjusted: np.ndarray
+    auctions: int = 0
+
+    @classmethod
+    def allocate(cls, signature: str, num_advertisers: int,
+                 num_slots: int) -> "GroupPlan":
+        return cls(
+            signature=signature,
+            bid_out=np.zeros(num_advertisers),
+            revenue=RevenueMatrix(
+                assigned=np.zeros((num_advertisers, num_slots)),
+                unassigned=np.zeros(num_advertisers)),
+            adjusted=np.zeros((num_advertisers, num_slots)),
+        )
+
+
+@dataclass
+class BatchStats:
+    """What the planner saw during one ``run_batch`` call."""
+
+    auctions: int = 0
+    groups: int = 0
+    signatures: int = 0
+
+    @property
+    def mean_group_length(self) -> float:
+        return self.auctions / self.groups if self.groups else 0.0
+
+
+class BatchPlanner:
+    """Plans batched auctions for one engine's population."""
+
+    def __init__(self, arrays: PacerArrays, num_slots: int):
+        self.arrays = arrays
+        self.num_slots = num_slots
+        self._plans: dict[str, GroupPlan] = {}
+        self._last_signature: str | None = None
+        self.stats = BatchStats()
+
+    @classmethod
+    def for_engine(cls, engine: "AuctionEngine") -> "BatchPlanner | None":
+        """A planner for ``engine``, or ``None`` if it must fall back."""
+        if engine.config.method == "rhtalu" or not engine.programs:
+            return None
+        arrays = PacerArrays.from_programs(
+            engine.programs, engine.click_model.num_advertisers)
+        if arrays is None:
+            return None
+        return cls(arrays, engine.config.num_slots)
+
+    def plan_for(self, keyword: str) -> GroupPlan:
+        """The buffer set for this auction's signature.
+
+        The signature is the keyword (which, for keyword-relevance
+        workloads, determines the candidate set); consecutive auctions
+        with the same signature form a group and share buffers that are
+        already warm in cache.
+        """
+        plan = self._plans.get(keyword)
+        if plan is None:
+            plan = GroupPlan.allocate(keyword,
+                                      self.arrays.num_advertisers,
+                                      self.num_slots)
+            self._plans[keyword] = plan
+            self.stats.signatures += 1
+        if keyword != self._last_signature:
+            self.stats.groups += 1
+            self._last_signature = keyword
+        self.stats.auctions += 1
+        plan.auctions += 1
+        return plan

@@ -95,6 +95,7 @@ class AuctionEngine:
         self.user_model = UserModel(click_model, purchase_model)
         self.accounts = AccountBook()
         self.auction_id = 0
+        self.last_batch_stats = None
         self.interaction_log = (
             InteractionLog(click_model.num_advertisers,
                            click_model.num_slots)
@@ -105,6 +106,73 @@ class AuctionEngine:
     def run(self, count: int) -> list[AuctionRecord]:
         """Run ``count`` auctions and return their records."""
         return [self.run_auction() for _ in range(count)]
+
+    def run_batch(self, count: int) -> list[AuctionRecord]:
+        """Run ``count`` auctions through the batched pipeline.
+
+        Produces records bit-identical to :meth:`run` from the same
+        engine state and seed (the equivalence the batch tests assert),
+        but amortizes per-auction overhead across the stream: program
+        evaluation and notification folding run as vectorized kernels
+        over the whole population (:class:`~repro.auction.batch
+        .PacerArrays`), and revenue/weight buffers are allocated once
+        per keyword/candidate-set group and refilled in place.
+
+        Populations the planner cannot vectorize (non-pacer programs,
+        multi-row or non-``Click`` bids, or the RHTALU path) fall back
+        to the sequential per-auction loop.  Grouping statistics of the
+        last call are kept in :attr:`last_batch_stats`.
+        """
+        from repro.auction.batch import BatchPlanner
+
+        planner = BatchPlanner.for_engine(self)
+        self.last_batch_stats = planner.stats if planner else None
+        if planner is None:
+            return [self.run_auction() for _ in range(count)]
+        records = []
+        try:
+            for _ in range(count):
+                record = self._run_batched_auction(planner)
+                if self.interaction_log is not None:
+                    self.interaction_log.record_outcome(record.outcome)
+                records.append(record)
+        finally:
+            # Keep program objects authoritative even on mid-batch
+            # errors, so sequential runs can always resume.
+            planner.arrays.sync_to_programs()
+        return records
+
+    def _run_batched_auction(self, planner) -> AuctionRecord:
+        """One auction through the vectorized eager pipeline."""
+        self.auction_id += 1
+        now = float(self.auction_id)
+        query = self.query_source(self.rng)
+        plan = planner.plan_for(query.text)
+
+        start = time_module.perf_counter()
+        bids = planner.arrays.evaluate(query.text, now, out=plan.bid_out)
+        eval_seconds = time_module.perf_counter() - start
+
+        start = time_module.perf_counter()
+        revenue = click_bid_revenue_matrix(bids, self.click_model,
+                                           out=plan.revenue)
+        weights = revenue.adjusted(out=plan.adjusted)
+        result = solve(revenue, method=self.config.method,
+                       adjusted=weights)
+        wd_seconds = time_module.perf_counter() - start
+
+        arrays = planner.arrays
+
+        def notify(advertiser: int, clicked: bool, purchased: bool,
+                   charge: float) -> None:
+            arrays.fold_notification(advertiser, query.text, clicked,
+                                     charge)
+
+        return self._settle(query, now, result.allocation.slot_of,
+                            result.matching, result.expected_revenue,
+                            weights, bids, eval_seconds, wd_seconds,
+                            num_candidates=weights.shape[0],
+                            notify_fn=notify)
 
     def run_auction(self) -> AuctionRecord:
         """One full pass through the six-step protocol."""
@@ -139,10 +207,10 @@ class AuctionEngine:
         else:
             revenue = build_revenue_matrix(tables, self.click_model,
                                            self.purchase_model)
-        result = solve(revenue, method=self.config.method)
-        wd_seconds = time_module.perf_counter() - start
-
         weights = revenue.adjusted()
+        result = solve(revenue, method=self.config.method,
+                       adjusted=weights)
+        wd_seconds = time_module.perf_counter() - start
         if bids is None:
             bids = np.array([tables[i].total_declared_value()
                              if i in tables else 0.0
@@ -187,7 +255,10 @@ class AuctionEngine:
                 expected_revenue: float, weights: np.ndarray,
                 bids: np.ndarray, eval_seconds: float,
                 wd_seconds: float, num_candidates: int,
-                id_map: list[int] | None = None) -> AuctionRecord:
+                id_map: list[int] | None = None,
+                notify_fn: Callable[[int, bool, bool, float], None]
+                | None = None) -> AuctionRecord:
+        settle_start = time_module.perf_counter()
         allocation = Allocation(num_slots=self.config.num_slots,
                                 slot_of=dict(slot_of))
         outcome = self.user_model.sample(allocation, self.rng)
@@ -195,7 +266,9 @@ class AuctionEngine:
         click_probs = (self.click_model.as_matrix()[id_map, :]
                        if id_map is not None
                        else self.click_model.as_matrix())
+        price_start = time_module.perf_counter()
         quotes = self.pricing.quote(weights, bids, click_probs, matching)
+        price_seconds = time_module.perf_counter() - price_start
 
         realized = 0.0
         prices: dict[int, float] = {}
@@ -216,10 +289,15 @@ class AuctionEngine:
                 self.accounts.charge(advertiser, charge)
                 realized += charge
             prices[advertiser] = charge
-            self._notify(advertiser, query, now, allocation, clicked,
-                         purchased, charge)
+            if notify_fn is not None:
+                notify_fn(advertiser, clicked, purchased, charge)
+            else:
+                self._notify(advertiser, query, now, allocation, clicked,
+                             purchased, charge)
             notified.add(advertiser)
 
+        settle_seconds = (time_module.perf_counter() - settle_start
+                          - price_seconds)
         # Losing programs are not notified: nothing observable happened
         # to them (Section IV's premise that only winners change state).
         return AuctionRecord(
@@ -233,6 +311,8 @@ class AuctionEngine:
             wd_seconds=wd_seconds,
             num_candidates=num_candidates,
             prices=prices,
+            price_seconds=price_seconds,
+            settle_seconds=settle_seconds,
         )
 
     def _notify(self, advertiser: int, query: Query, now: float,

@@ -28,7 +28,15 @@ class AuctionRecord:
     wd_seconds: float
     num_candidates: int
     prices: dict[int, float] = field(default_factory=dict)
+    price_seconds: float = 0.0
+    settle_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         return self.eval_seconds + self.wd_seconds
+
+    @property
+    def pipeline_seconds(self) -> float:
+        """All four phases: eval + WD + pricing + settlement."""
+        return (self.eval_seconds + self.wd_seconds
+                + self.price_seconds + self.settle_seconds)

@@ -69,7 +69,27 @@ class PricingRule:
 
 
 class GeneralizedSecondPrice(PricingRule):
-    """Next-best-score GSP, generalised to matching allocations."""
+    """Next-best-score GSP, generalised to matching allocations.
+
+    Each instance keeps scratch buffers (the exclusion mask and the
+    rival-score column) sized to the largest population quoted so far,
+    handing out per-call views — quoting a stream of auctions (the
+    batch pipeline quotes thousands against one rule instance, and the
+    RHTALU path varies the candidate count per auction) allocates
+    nothing per winner.
+    """
+
+    def __init__(self) -> None:
+        self._excluded = np.zeros(0, dtype=bool)
+        self._rivals = np.zeros(0)
+
+    def _buffers(self, num_advertisers: int
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        if len(self._excluded) < num_advertisers:
+            self._excluded = np.zeros(num_advertisers, dtype=bool)
+            self._rivals = np.zeros(num_advertisers)
+        return (self._excluded[:num_advertisers],
+                self._rivals[:num_advertisers])
 
     def quote(self, weights: np.ndarray, bids: np.ndarray,
               click_probs: np.ndarray,
@@ -80,11 +100,13 @@ class GeneralizedSecondPrice(PricingRule):
         winners = sorted(matching.pairs, key=lambda pair: pair[1])
         winner_ids = [advertiser for advertiser, _ in winners]
         quotes = []
-        excluded = np.zeros(num_advertisers, dtype=bool)
+        excluded, rivals = self._buffers(num_advertisers)
+        excluded[:] = False
         for rank, (advertiser, col) in enumerate(winners):
             # Rivals: everyone not placed in this slot or above.
             excluded[winner_ids[rank]] = True
-            rivals = np.where(excluded, -np.inf, weights[:, col])
+            np.copyto(rivals, weights[:, col])
+            rivals[excluded] = -np.inf
             rival_best = max(float(rivals.max(initial=-np.inf)), 0.0)
             w = float(click_probs[advertiser, col])
             if w <= 0.0:

@@ -32,6 +32,8 @@ def record_to_dict(record: AuctionRecord) -> dict:
         "realized_revenue": record.realized_revenue,
         "eval_seconds": record.eval_seconds,
         "wd_seconds": record.wd_seconds,
+        "price_seconds": record.price_seconds,
+        "settle_seconds": record.settle_seconds,
         "num_candidates": record.num_candidates,
         "prices": {str(adv): price
                    for adv, price in record.prices.items()},
@@ -58,6 +60,8 @@ def record_from_dict(data: dict) -> AuctionRecord:
         realized_revenue=float(data["realized_revenue"]),
         eval_seconds=float(data["eval_seconds"]),
         wd_seconds=float(data["wd_seconds"]),
+        price_seconds=float(data.get("price_seconds", 0.0)),
+        settle_seconds=float(data.get("settle_seconds", 0.0)),
         num_candidates=int(data["num_candidates"]),
         prices={int(adv): float(price)
                 for adv, price in data["prices"].items()},

@@ -28,9 +28,26 @@ class UserModel:
 
     def sample(self, allocation: Allocation,
                rng: np.random.Generator) -> Outcome:
+        assigned = list(allocation.slot_of.items())
+        if assigned and all(
+                self.purchase_model.p_purchase_given_click(a, s) == 0.0
+                for a, s in assigned):
+            # Purchase-free allocations (the Section V workload) consume
+            # exactly one uniform per winner, so the draws batch into a
+            # single vectorized call.  numpy Generators fill arrays from
+            # the same double stream as repeated scalar draws, so this
+            # path is bit-identical to the loop below.
+            draws = rng.random(len(assigned))
+            clicked = {
+                advertiser
+                for (advertiser, slot_index), draw in zip(assigned, draws)
+                if draw < self.click_model.p_click(advertiser, slot_index)}
+            return Outcome(allocation=allocation,
+                           clicked=frozenset(clicked),
+                           purchased=frozenset())
         clicked = set()
         purchased = set()
-        for advertiser, slot_index in allocation.slot_of.items():
+        for advertiser, slot_index in assigned:
             if rng.random() < self.click_model.p_click(advertiser,
                                                        slot_index):
                 clicked.add(advertiser)

@@ -1,15 +1,33 @@
-"""Benchmark harness utilities: timing, figure series, reporting."""
+"""Benchmark harness utilities: timing, profiling, series, reporting."""
 
+from repro.bench.profiles import (
+    PHASES,
+    PhaseProfile,
+    ThroughputReport,
+    compare_throughput,
+    profile_from_records,
+    profile_run,
+    records_identical,
+    write_report_artifacts,
+)
 from repro.bench.reporting import SpeedupReport, ordering_holds, speedup
 from repro.bench.series import FigureSeries
 from repro.bench.timing import TimingResult, time_auction_run, time_callable
 
 __all__ = [
     "FigureSeries",
+    "PHASES",
+    "PhaseProfile",
     "SpeedupReport",
+    "ThroughputReport",
     "TimingResult",
+    "compare_throughput",
     "ordering_holds",
+    "profile_from_records",
+    "profile_run",
+    "records_identical",
     "speedup",
     "time_auction_run",
     "time_callable",
+    "write_report_artifacts",
 ]

@@ -1,0 +1,249 @@
+"""Per-phase profiling of auction runs, with JSON artifacts.
+
+The engine stamps every :class:`~repro.auction.events.AuctionRecord`
+with the wall-clock cost of the four pipeline phases — program
+**eval**uation, **wd** (winner determination), **price** quoting, and
+**settle**ment (user simulation, accounting, notification).  This module
+aggregates those stamps over a run into a :class:`PhaseProfile`, writes
+profiles as JSON artifacts the benchmark harness and CI can archive, and
+drives the sequential-vs-batched throughput comparison
+(:func:`compare_throughput`) behind ``benchmarks/bench_batch_throughput
+.py`` and the ``repro bench-throughput`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.auction.events import AuctionRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.auction.engine import AuctionEngine
+
+PHASES = ("eval", "wd", "price", "settle")
+"""The four pipeline phases, in execution order."""
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Aggregate per-phase timings of one run of auctions."""
+
+    label: str
+    method: str
+    auctions: int
+    wall_seconds: float
+    eval_seconds: float
+    wd_seconds: float
+    price_seconds: float
+    settle_seconds: float
+    batched: bool = False
+    groups: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def auctions_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.auctions / self.wall_seconds
+
+    def phase_ms(self) -> dict[str, float]:
+        """Mean per-auction milliseconds by phase."""
+        if self.auctions == 0:
+            return {phase: 0.0 for phase in PHASES}
+        scale = 1e3 / self.auctions
+        return {
+            "eval": self.eval_seconds * scale,
+            "wd": self.wd_seconds * scale,
+            "price": self.price_seconds * scale,
+            "settle": self.settle_seconds * scale,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "method": self.method,
+            "auctions": self.auctions,
+            "batched": self.batched,
+            "groups": self.groups,
+            "wall_seconds": self.wall_seconds,
+            "auctions_per_second": self.auctions_per_second,
+            "phase_seconds": {
+                "eval": self.eval_seconds,
+                "wd": self.wd_seconds,
+                "price": self.price_seconds,
+                "settle": self.settle_seconds,
+            },
+            "phase_ms_per_auction": self.phase_ms(),
+            **self.extra,
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the profile as a JSON artifact; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+
+def profile_from_records(label: str, method: str,
+                         records: Sequence[AuctionRecord],
+                         wall_seconds: float, batched: bool = False,
+                         groups: int | None = None,
+                         **extra) -> PhaseProfile:
+    """Fold a run's records into a :class:`PhaseProfile`."""
+    return PhaseProfile(
+        label=label,
+        method=method,
+        auctions=len(records),
+        wall_seconds=wall_seconds,
+        eval_seconds=sum(r.eval_seconds for r in records),
+        wd_seconds=sum(r.wd_seconds for r in records),
+        price_seconds=sum(r.price_seconds for r in records),
+        settle_seconds=sum(r.settle_seconds for r in records),
+        batched=batched,
+        groups=groups,
+        extra=dict(extra),
+    )
+
+
+def profile_run(engine: "AuctionEngine", auctions: int,
+                batch: bool = False, label: str | None = None,
+                **extra) -> tuple[list[AuctionRecord], PhaseProfile]:
+    """Run ``auctions`` auctions and profile them.
+
+    ``batch`` selects :meth:`~repro.auction.engine.AuctionEngine
+    .run_batch` over the sequential loop; the profile notes which path
+    ran and, for batched runs, how many signature groups the planner
+    formed.
+    """
+    runner = engine.run_batch if batch else engine.run
+    start = time.perf_counter()
+    records = runner(auctions)
+    wall = time.perf_counter() - start
+    stats = engine.last_batch_stats if batch else None
+    # ``batched`` reports what actually ran: run_batch falls back to
+    # the sequential loop for populations the planner can't vectorize
+    # (then last_batch_stats is None), and claiming "batched" for that
+    # would misattribute the resulting ~1x speedup.
+    if batch and stats is None:
+        extra.setdefault("batch_fallback", True)
+    profile = profile_from_records(
+        label or ("batched" if batch else "sequential"),
+        str(engine.config.method), records, wall,
+        batched=batch and stats is not None,
+        groups=stats.groups if stats else None, **extra)
+    return records, profile
+
+
+def records_identical(left: Sequence[AuctionRecord],
+                      right: Sequence[AuctionRecord]) -> bool:
+    """Exact (float-equality) equivalence of two auction-record streams.
+
+    Compares everything the auction *decided* — allocations, outcomes,
+    revenues, prices — and ignores the timing stamps, which legitimately
+    differ between runs.
+    """
+    if len(left) != len(right):
+        return False
+    return all(
+        a.auction_id == b.auction_id
+        and a.keyword == b.keyword
+        and a.allocation.slot_of == b.allocation.slot_of
+        and a.outcome.clicked == b.outcome.clicked
+        and a.outcome.purchased == b.outcome.purchased
+        and a.expected_revenue == b.expected_revenue
+        and a.realized_revenue == b.realized_revenue
+        and a.prices == b.prices
+        for a, b in zip(left, right))
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Sequential vs batched throughput on identical auction streams."""
+
+    sequential: PhaseProfile
+    batched: PhaseProfile
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.sequential.wall_seconds <= 0.0:
+            return 0.0
+        return (self.sequential.wall_seconds
+                / max(self.batched.wall_seconds, 1e-12))
+
+    def to_dict(self) -> dict:
+        return {
+            "identical": self.identical,
+            "speedup": self.speedup,
+            "sequential": self.sequential.to_dict(),
+            "batched": self.batched.to_dict(),
+        }
+
+    def to_lines(self) -> list[str]:
+        lines = []
+        for profile in (self.sequential, self.batched):
+            phases = profile.phase_ms()
+            phase_text = "  ".join(
+                f"{phase}={phases[phase]:.3f}ms" for phase in PHASES)
+            lines.append(
+                f"{profile.label:>10s}: {profile.auctions_per_second:8.1f} "
+                f"auctions/s over {profile.auctions} auctions  "
+                f"[{phase_text}]")
+        lines.append(
+            f"   speedup: {self.speedup:.2f}x  "
+            f"(results identical: {self.identical})")
+        return lines
+
+
+def write_report_artifacts(report: "ThroughputReport",
+                           directory: str | Path,
+                           stem: str) -> list[Path]:
+    """Write a throughput report's JSON artifacts under ``directory``.
+
+    One profile file per pipeline plus a ``<stem>_throughput.json``
+    summary — the shared artifact layout of
+    ``benchmarks/bench_batch_throughput.py`` and the
+    ``repro bench-throughput`` CLI command.
+    """
+    directory = Path(directory)
+    paths = [report.sequential.write(
+                 directory / f"{stem}_{report.sequential.label}.json"),
+             report.batched.write(
+                 directory / f"{stem}_{report.batched.label}.json")]
+    summary = directory / f"{stem}_throughput.json"
+    summary.write_text(json.dumps(report.to_dict(), indent=2,
+                                  sort_keys=True) + "\n",
+                       encoding="utf-8")
+    paths.append(summary)
+    return paths
+
+
+def compare_throughput(sequential_engine: "AuctionEngine",
+                       batched_engine: "AuctionEngine",
+                       auctions: int, warmup: int = 2,
+                       **extra) -> ThroughputReport:
+    """Measure both pipelines on the same auction stream.
+
+    Both engines must be freshly built from identical seeds.  Warmup
+    auctions run through each engine's respective path (keeping the two
+    in lockstep) before the measured segment; the report carries the
+    measured profiles plus an exact-equivalence verdict.
+    """
+    if warmup:
+        sequential_engine.run(warmup)
+        batched_engine.run_batch(warmup)
+    seq_records, seq_profile = profile_run(
+        sequential_engine, auctions, batch=False, **extra)
+    batch_records, batch_profile = profile_run(
+        batched_engine, auctions, batch=True, **extra)
+    return ThroughputReport(
+        sequential=seq_profile,
+        batched=batch_profile,
+        identical=records_identical(seq_records, batch_records))

@@ -8,6 +8,10 @@ Commands
 ``validate``
     Self-check: solve random instances with every exact method and
     verify they agree (the Theorem 2 equivalence, as a smoke test).
+``bench-throughput``
+    Compare the sequential and batched pipelines on the Section V
+    workload: auctions/sec, per-phase split, exact-equivalence verdict,
+    optional per-phase JSON profile artifacts.
 ``sql``
     Execute sqlmini statements from the command line or stdin — handy
     for exploring the bidding-program dialect.
@@ -22,25 +26,16 @@ import numpy as np
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.auction import AuctionEngine, EngineConfig, summarize
+    from repro.auction import summarize
     from repro.auction.trace import write_trace
     from repro.workloads import PaperWorkload, PaperWorkloadConfig
 
     workload = PaperWorkload(PaperWorkloadConfig(
         num_advertisers=args.advertisers, num_slots=args.slots,
         num_keywords=args.keywords, seed=args.seed))
-    kwargs = dict(click_model=workload.click_model(),
-                  purchase_model=workload.purchase_model(),
-                  query_source=workload.query_source(),
-                  config=EngineConfig(num_slots=args.slots,
-                                      method=args.method,
-                                      seed=args.seed + 1))
-    if args.method == "rhtalu":
-        engine = AuctionEngine(rhtalu=workload.build_rhtalu(), **kwargs)
-    else:
-        engine = AuctionEngine(programs=workload.build_programs(),
-                               **kwargs)
-    records = engine.run(args.auctions)
+    engine = workload.build_engine(args.method, engine_seed=args.seed + 1)
+    records = (engine.run_batch(args.auctions) if args.batch
+               else engine.run(args.auctions))
     print(summarize(records))
     print(f"provider revenue: {engine.accounts.provider_revenue:.2f} "
           f"over {engine.accounts.total_clicks()} clicks")
@@ -79,6 +74,44 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print(f"validate: {args.trials} random instances, "
           f"4 methods each: {verdict}")
     return 1 if failures else 0
+
+
+def _cmd_bench_throughput(args: argparse.Namespace) -> int:
+    from repro.bench import compare_throughput, write_report_artifacts
+    from repro.workloads import PaperWorkload, PaperWorkloadConfig
+
+    def fresh_engine():
+        workload = PaperWorkload(PaperWorkloadConfig(
+            num_advertisers=args.advertisers, num_slots=args.slots,
+            num_keywords=args.keywords, seed=args.seed))
+        return workload.build_engine(args.method,
+                                     engine_seed=args.seed + 1)
+
+    report = compare_throughput(fresh_engine(), fresh_engine(),
+                                args.auctions,
+                                num_advertisers=args.advertisers,
+                                num_slots=args.slots,
+                                num_keywords=args.keywords)
+    print(f"bench-throughput: method={args.method} "
+          f"n={args.advertisers} k={args.slots} "
+          f"keywords={args.keywords} auctions={args.auctions}")
+    for line in report.to_lines():
+        print(line)
+
+    if args.profile_dir is not None:
+        write_report_artifacts(report, args.profile_dir,
+                               stem=f"{args.method}_n{args.advertisers}")
+        print(f"profiles written to {args.profile_dir}/")
+
+    if not report.identical:
+        print("error: batched results differ from sequential",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and report.speedup < args.min_speedup:
+        print(f"error: speedup {report.speedup:.2f}x below "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_sql(args: argparse.Namespace) -> int:
@@ -123,7 +156,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--trace", default=None,
                           help="write a JSONL auction trace here")
+    simulate.add_argument("--batch", action="store_true",
+                          help="run through the batched pipeline")
     simulate.set_defaults(func=_cmd_simulate)
+
+    bench = commands.add_parser(
+        "bench-throughput",
+        help="sequential vs batched pipeline throughput")
+    bench.add_argument("--advertisers", type=int, default=500)
+    bench.add_argument("--auctions", type=int, default=100)
+    bench.add_argument("--slots", type=int, default=15)
+    bench.add_argument("--keywords", type=int, default=10)
+    bench.add_argument("--method", default="rh",
+                       choices=["lp", "hungarian", "rh"])
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--min-speedup", type=float, default=0.0,
+                       help="fail below this speedup (0 = report only)")
+    bench.add_argument("--profile-dir", default=None,
+                       help="write per-phase JSON profiles here")
+    bench.set_defaults(func=_cmd_bench_throughput)
 
     validate = commands.add_parser(
         "validate", help="cross-method agreement self-check")

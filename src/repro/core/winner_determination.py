@@ -61,9 +61,17 @@ class WdResult:
     method: Method
 
 
-def solve(revenue: RevenueMatrix, method: Method = "rh") -> WdResult:
-    """Run one winner-determination method on a revenue matrix."""
-    adjusted = revenue.adjusted()
+def solve(revenue: RevenueMatrix, method: Method = "rh",
+          adjusted: np.ndarray | None = None) -> WdResult:
+    """Run one winner-determination method on a revenue matrix.
+
+    ``adjusted``, when given, must equal ``revenue.adjusted()`` — callers
+    that already hold the adjusted weights (the batch pipeline keeps them
+    in a per-group buffer) pass them in to skip recomputing the n-by-k
+    subtraction.  Solvers treat it as read-only.
+    """
+    if adjusted is None:
+        adjusted = revenue.adjusted()
     if method == "lp":
         matching = lp_matching(adjusted).matching
     elif method == "hungarian":

@@ -125,6 +125,28 @@ class PaperWorkload:
     def build_rhtalu(self) -> RhtaluEvaluator:
         return RhtaluEvaluator(self.click_matrix, self.build_lazy_state())
 
+    def build_engine(self, method: str, engine_seed: int = 0,
+                     record_log: bool = False):
+        """A ready-to-run :class:`~repro.auction.engine.AuctionEngine`.
+
+        Wires up the right evaluation artifact for ``method`` — the
+        eager program ensemble for LP/H/RH/separable/brute, the lazy
+        evaluator for RHTALU — so the CLI, the benchmark suite, and the
+        batch-throughput comparison all build engines the same way.
+        """
+        from repro.auction.engine import AuctionEngine, EngineConfig
+
+        kwargs = dict(
+            click_model=self.click_model(),
+            purchase_model=self.purchase_model(),
+            query_source=self.query_source(),
+            config=EngineConfig(num_slots=self.config.num_slots,
+                                method=method, seed=engine_seed,
+                                record_log=record_log))
+        if method == "rhtalu":
+            return AuctionEngine(rhtalu=self.build_rhtalu(), **kwargs)
+        return AuctionEngine(programs=self.build_programs(), **kwargs)
+
     def query_source(self):
         """Uniform keyword queries, relevance 1/0 (Section V)."""
         keywords = self.keywords

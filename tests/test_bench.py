@@ -95,3 +95,57 @@ class TestTiming:
         result = time_auction_run(lambda: calls.append(1), auctions=3)
         assert len(calls) == 3
         assert len(result.samples) == 3
+
+
+class TestPhaseProfiles:
+    def _engine(self):
+        from repro.workloads import PaperWorkload, PaperWorkloadConfig
+        workload = PaperWorkload(PaperWorkloadConfig(
+            num_advertisers=15, num_slots=3, num_keywords=2, seed=1))
+        return workload.build_engine("rh", engine_seed=2)
+
+    def test_profile_run_aggregates_phases(self):
+        from repro.bench import PHASES, profile_run
+        records, profile = profile_run(self._engine(), 12, batch=True,
+                                       num_advertisers=15)
+        assert len(records) == 12
+        assert profile.auctions == 12
+        assert profile.batched
+        assert profile.groups is not None
+        assert profile.auctions_per_second > 0
+        phases = profile.phase_ms()
+        assert set(phases) == set(PHASES)
+        assert all(value >= 0.0 for value in phases.values())
+        assert profile.to_dict()["num_advertisers"] == 15
+
+    def test_profile_write_roundtrip(self, tmp_path):
+        import json
+
+        from repro.bench import profile_run
+        _, profile = profile_run(self._engine(), 4)
+        path = profile.write(tmp_path / "deep" / "cell.json")
+        data = json.loads(path.read_text())
+        assert data["auctions"] == 4
+        assert data["batched"] is False
+        assert set(data["phase_seconds"]) == {"eval", "wd", "price",
+                                              "settle"}
+
+    def test_records_identical_detects_differences(self):
+        from repro.bench import records_identical
+        engine_a, engine_b = self._engine(), self._engine()
+        records_a = engine_a.run(6)
+        records_b = engine_b.run_batch(6)
+        assert records_identical(records_a, records_b)
+        assert not records_identical(records_a, records_b[:-1])
+        assert not records_identical(records_a[:3], records_b[3:])
+
+    def test_compare_throughput_verdict(self):
+        from repro.bench import compare_throughput
+        report = compare_throughput(self._engine(), self._engine(),
+                                    auctions=10, warmup=1)
+        assert report.identical
+        assert report.speedup > 0
+        assert report.sequential.auctions == 10
+        assert report.batched.auctions == 10
+        assert any("speedup" in line for line in report.to_lines())
+        assert report.to_dict()["identical"] is True

@@ -26,6 +26,47 @@ class TestSimulate:
         assert "auctions=5" in capsys.readouterr().out
 
 
+class TestSimulateBatch:
+    def test_batch_matches_sequential(self, capsys):
+        code = main(["simulate", "--advertisers", "20",
+                     "--auctions", "10", "--slots", "3",
+                     "--keywords", "2"])
+        assert code == 0
+        sequential_out = capsys.readouterr().out
+        code = main(["simulate", "--advertisers", "20",
+                     "--auctions", "10", "--slots", "3",
+                     "--keywords", "2", "--batch"])
+        assert code == 0
+        batch_out = capsys.readouterr().out
+        # Same revenue/click totals; timing lines legitimately differ.
+        assert (sequential_out.split("eval=")[0]
+                == batch_out.split("eval=")[0])
+
+
+class TestBenchThroughput:
+    def test_reports_and_writes_profiles(self, capsys, tmp_path):
+        code = main(["bench-throughput", "--advertisers", "30",
+                     "--auctions", "20", "--slots", "3",
+                     "--keywords", "2", "--profile-dir",
+                     str(tmp_path / "profiles")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "results identical: True" in out
+        written = sorted(p.name for p in (tmp_path / "profiles").iterdir())
+        assert written == ["rh_n30_batched.json",
+                           "rh_n30_sequential.json",
+                           "rh_n30_throughput.json"]
+
+    def test_min_speedup_can_fail(self, capsys, tmp_path):
+        # An absurd bar must trip the failure exit path.
+        code = main(["bench-throughput", "--advertisers", "10",
+                     "--auctions", "5", "--slots", "2",
+                     "--keywords", "2", "--min-speedup", "1e9"])
+        assert code == 1
+        assert "below" in capsys.readouterr().err
+
+
 class TestValidate:
     def test_agreement_self_check(self, capsys):
         code = main(["validate", "--trials", "5"])
