@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""RHTALU scaling: the Figure-13-shaped n-sweep, sequential vs batched.
+
+The acceptance benchmark for the vectorized RHTALU hot path: for each
+advertiser count, build sequential and batched engines from identical
+seeds on the Section V workload, run the same auction stream through
+``AuctionEngine.run`` and ``AuctionEngine.run_batch`` (both drive the
+same array-backed evaluator), and report auctions/second, the speedup
+over the PR-1 pure-Python RHTALU baseline, and the flatness of the
+per-auction cost curve in n (the paper's Figure 13 effect).
+
+Writes a combined ``BENCH_rhtalu.json`` artifact (PhaseProfile dicts
+per cell plus the sweep summary) so the perf trajectory is tracked in
+the repo from this PR on.
+
+Run::
+
+    python benchmarks/bench_rhtalu_scaling.py
+    python benchmarks/bench_rhtalu_scaling.py --sizes 500,5000 \
+        --auctions 200 --min-speedup 5 --out BENCH_rhtalu.json
+
+Exits non-zero if batched records are not bit-identical to sequential
+ones, or if the batched speedup over the PR-1 baseline at the largest
+benchmarked PR-1 size falls below ``--min-speedup`` (0 = report only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import build_engine  # noqa: E402
+from repro.bench import profile_run, records_identical  # noqa: E402
+
+# PR-1 sequential RHTALU throughput (auctions/second) on the Section V
+# workload (15 slots, 10 keywords, 120 auctions after warmup), measured
+# on the reference container before the array rewrite.  The acceptance
+# bar for this PR is >= 5x at n=5000.
+PR1_SEQUENTIAL_BASELINE = {500: 250.9, 1000: 182.6, 2000: 135.4,
+                           5000: 78.2}
+
+
+def run_cell(method: str, n: int, auctions: int, slots: int,
+             keywords: int, batch: bool):
+    engine = build_engine(method, n, num_slots=slots,
+                          num_keywords=keywords)
+    (engine.run_batch if batch else engine.run)(2)  # warm
+    label = f"rhtalu_n{n}_{'batched' if batch else 'sequential'}"
+    return profile_run(engine, auctions, batch=batch, label=label,
+                       num_advertisers=n, num_slots=slots,
+                       num_keywords=keywords)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="500,1000,2000,5000",
+                        help="comma-separated advertiser counts")
+    parser.add_argument("--auctions", type=int, default=150)
+    parser.add_argument("--slots", type=int, default=15)
+    parser.add_argument("--keywords", type=int, default=10)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail if batched RHTALU at the largest "
+                             "baselined size is below this multiple of "
+                             "the PR-1 sequential baseline (0 = report)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent.parent
+                        / "BENCH_rhtalu.json",
+                        help="where the combined JSON artifact goes")
+    args = parser.parse_args(argv)
+    sizes = [int(size) for size in args.sizes.split(",")]
+
+    cells = []
+    identical = True
+    print(f"rhtalu scaling: k={args.slots} keywords={args.keywords} "
+          f"auctions={args.auctions}")
+    for n in sizes:
+        seq_records, seq_profile = run_cell(
+            "rhtalu", n, args.auctions, args.slots, args.keywords,
+            batch=False)
+        batch_records, batch_profile = run_cell(
+            "rhtalu", n, args.auctions, args.slots, args.keywords,
+            batch=True)
+        same = records_identical(seq_records, batch_records)
+        identical = identical and same
+        baseline = PR1_SEQUENTIAL_BASELINE.get(n)
+        vs_pr1 = (batch_profile.auctions_per_second / baseline
+                  if baseline else None)
+        cells.append({
+            "num_advertisers": n,
+            "sequential": seq_profile.to_dict(),
+            "batched": batch_profile.to_dict(),
+            "identical": same,
+            "pr1_sequential_baseline": baseline,
+            "speedup_vs_pr1_sequential": vs_pr1,
+        })
+        vs_text = f"  {vs_pr1:.2f}x vs PR-1" if vs_pr1 else ""
+        print(f"  n={n:>6}: seq {seq_profile.auctions_per_second:8.1f}/s"
+              f"  batch {batch_profile.auctions_per_second:8.1f}/s"
+              f"  identical={same}{vs_text}")
+
+    per_auction_ms = [1e3 / cell["batched"]["auctions_per_second"]
+                      for cell in cells]
+    flatness = (max(per_auction_ms) / min(per_auction_ms)
+                if len(per_auction_ms) > 1 else 1.0)
+    baselined = [cell for cell in cells
+                 if cell["speedup_vs_pr1_sequential"] is not None]
+    headline = baselined[-1] if baselined else None
+    report = {
+        "workload": {"num_slots": args.slots,
+                     "num_keywords": args.keywords,
+                     "auctions": args.auctions},
+        "pr1_sequential_baseline": PR1_SEQUENTIAL_BASELINE,
+        "cells": cells,
+        "identical": identical,
+        "cost_growth_over_sweep": flatness,
+        "headline_speedup_vs_pr1": (
+            headline["speedup_vs_pr1_sequential"] if headline else None),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+    print(f"per-auction cost grows {flatness:.2f}x over the sweep "
+          f"(PR-1 sequential grew "
+          f"{PR1_SEQUENTIAL_BASELINE[500] / PR1_SEQUENTIAL_BASELINE[5000]:.2f}x "
+          f"over 500->5000)")
+    print(f"artifact written to {args.out}")
+
+    if not identical:
+        print("FAIL: batched RHTALU differs from sequential",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and headline and \
+            headline["speedup_vs_pr1_sequential"] < args.min_speedup:
+        print(f"FAIL: {headline['speedup_vs_pr1_sequential']:.2f}x at "
+              f"n={headline['num_advertisers']} below "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,11 +27,19 @@ Three pieces cooperate:
   vectorizable, owns the arrays and the plan cache, and tracks grouping
   statistics for the phase profiler.
 
+The RHTALU path plans through :class:`RhtaluBatchPlanner` instead: the
+lazy evaluator already holds its whole state (pacer mirror, argsorted
+click index, TA score histories, matching buffers) in preallocated
+arrays shared by the sequential and batched paths, so the planner's job
+is the keyword-signature grouping accounting; bit-identity with the
+sequential path is structural rather than replayed.
+:func:`planner_for_engine` picks the right planner per engine.
+
 Engines whose populations are not vectorizable (arbitrary
 :class:`~repro.strategies.base.BiddingProgram` mixes, multi-row tables,
-non-``Click`` formulas, or the RHTALU path) simply fall back to the
-sequential per-auction loop inside ``run_batch`` — the batch API is
-always available, only the speedup is conditional.
+non-``Click`` formulas) simply fall back to the sequential per-auction
+loop inside ``run_batch`` — the batch API is always available, only the
+speedup is conditional.
 """
 
 from __future__ import annotations
@@ -288,3 +296,47 @@ class BatchPlanner:
         self.stats.auctions += 1
         plan.auctions += 1
         return plan
+
+
+class RhtaluBatchPlanner:
+    """Plans batched RHTALU auctions for one engine's evaluator.
+
+    The heavy lifting — the pacer-array state, the shared argsorted
+    click index, the TA score histories, the candidate/weight/solver
+    buffers — lives inside the :class:`~repro.evaluation.evaluator.
+    RhtaluEvaluator` and is reused by sequential runs too, which is
+    precisely what makes batched and sequential RHTALU bit-identical.
+    The planner tracks the same keyword-signature grouping statistics
+    the eager planner reports, so phase profiles stay comparable.
+    """
+
+    def __init__(self, evaluator):
+        self.evaluator = evaluator
+        self._signatures: set[str] = set()
+        self._last_signature: str | None = None
+        self.stats = BatchStats()
+
+    @classmethod
+    def for_engine(cls, engine: "AuctionEngine"
+                   ) -> "RhtaluBatchPlanner | None":
+        if engine.config.method != "rhtalu" or engine.rhtalu is None:
+            return None
+        return cls(engine.rhtalu)
+
+    def plan_for(self, keyword: str) -> None:
+        """Record this auction's signature for the grouping stats."""
+        if keyword not in self._signatures:
+            self._signatures.add(keyword)
+            self.stats.signatures += 1
+        if keyword != self._last_signature:
+            self.stats.groups += 1
+            self._last_signature = keyword
+        self.stats.auctions += 1
+
+
+def planner_for_engine(engine: "AuctionEngine"
+                       ) -> "BatchPlanner | RhtaluBatchPlanner | None":
+    """The right batch planner for ``engine``, or ``None`` to fall back."""
+    if engine.config.method == "rhtalu":
+        return RhtaluBatchPlanner.for_engine(engine)
+    return BatchPlanner.for_engine(engine)

@@ -115,21 +115,30 @@ class AuctionEngine:
         but amortizes per-auction overhead across the stream: program
         evaluation and notification folding run as vectorized kernels
         over the whole population (:class:`~repro.auction.batch
-        .PacerArrays`), and revenue/weight buffers are allocated once
-        per keyword/candidate-set group and refilled in place.
+        .PacerArrays` for eager pacer populations, the evaluator's
+        array state for RHTALU), and revenue/weight buffers are
+        allocated once per keyword/candidate-set group and refilled in
+        place.
 
         Populations the planner cannot vectorize (non-pacer programs,
-        multi-row or non-``Click`` bids, or the RHTALU path) fall back
-        to the sequential per-auction loop.  Grouping statistics of the
-        last call are kept in :attr:`last_batch_stats`.
+        multi-row or non-``Click`` bids) fall back to the sequential
+        per-auction loop.  Grouping statistics of the last call are
+        kept in :attr:`last_batch_stats`.
         """
-        from repro.auction.batch import BatchPlanner
+        from repro.auction.batch import RhtaluBatchPlanner, planner_for_engine
 
-        planner = BatchPlanner.for_engine(self)
+        planner = planner_for_engine(self)
         self.last_batch_stats = planner.stats if planner else None
         if planner is None:
             return [self.run_auction() for _ in range(count)]
         records = []
+        if isinstance(planner, RhtaluBatchPlanner):
+            for _ in range(count):
+                record = self._run_batched_rhtalu(planner)
+                if self.interaction_log is not None:
+                    self.interaction_log.record_outcome(record.outcome)
+                records.append(record)
+            return records
         try:
             for _ in range(count):
                 record = self._run_batched_auction(planner)
@@ -141,6 +150,21 @@ class AuctionEngine:
             # errors, so sequential runs can always resume.
             planner.arrays.sync_to_programs()
         return records
+
+    def _run_batched_rhtalu(self, planner) -> AuctionRecord:
+        """One RHTALU auction inside a planned batch.
+
+        The lazy evaluator's array state is the live state for the
+        sequential path too, so the batched stream is the *same* code
+        path — bit-identity with :meth:`run` is structural.  The
+        planner contributes the keyword-signature grouping statistics
+        the phase profiler reports.
+        """
+        self.auction_id += 1
+        now = float(self.auction_id)
+        query = self.query_source(self.rng)
+        planner.plan_for(query.text)
+        return self._run_rhtalu(query, now)
 
     def _run_batched_auction(self, planner) -> AuctionRecord:
         """One auction through the vectorized eager pipeline."""
@@ -228,13 +252,11 @@ class AuctionEngine:
         result = self.rhtalu.run_auction(query.text, now)
         wd_seconds = time_module.perf_counter() - start
 
+        # The evaluator hands back its candidate-aligned buffers (bids,
+        # click rows, weights) — nothing is recomputed per candidate.
         candidates = list(result.candidates)
         local_index = {advertiser: row
                        for row, advertiser in enumerate(candidates)}
-        bids = np.array([self.rhtalu.state.effective_bid(a, query.text)
-                         for a in candidates])
-        clicks = self.rhtalu.click_matrix[candidates, :]
-        weights = clicks * bids[:, None]
         local_pairs = tuple((local_index[a], col)
                             for a, col in result.matching.pairs)
         local_matching = MatchingResult(
@@ -242,10 +264,12 @@ class AuctionEngine:
 
         record = self._settle(
             query, now, result.allocation.slot_of, local_matching,
-            result.expected_revenue, weights, bids,
+            result.expected_revenue, result.weights,
+            result.candidate_bids,
             eval_seconds=0.0, wd_seconds=wd_seconds,
             num_candidates=len(candidates),
-            id_map=candidates)
+            id_map=candidates,
+            click_rows=result.candidate_clicks)
         return record
 
     # -- settlement (user action, pricing, notification) -------------------------
@@ -257,15 +281,19 @@ class AuctionEngine:
                 wd_seconds: float, num_candidates: int,
                 id_map: list[int] | None = None,
                 notify_fn: Callable[[int, bool, bool, float], None]
-                | None = None) -> AuctionRecord:
+                | None = None,
+                click_rows: np.ndarray | None = None) -> AuctionRecord:
         settle_start = time_module.perf_counter()
         allocation = Allocation(num_slots=self.config.num_slots,
                                 slot_of=dict(slot_of))
         outcome = self.user_model.sample(allocation, self.rng)
 
-        click_probs = (self.click_model.as_matrix()[id_map, :]
-                       if id_map is not None
-                       else self.click_model.as_matrix())
+        if click_rows is not None:
+            click_probs = click_rows
+        elif id_map is not None:
+            click_probs = self.click_model.as_matrix()[id_map, :]
+        else:
+            click_probs = self.click_model.as_matrix()
         price_start = time_module.perf_counter()
         quotes = self.pricing.quote(weights, bids, click_probs, matching)
         price_seconds = time_module.perf_counter() - price_start

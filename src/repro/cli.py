@@ -168,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--slots", type=int, default=15)
     bench.add_argument("--keywords", type=int, default=10)
     bench.add_argument("--method", default="rh",
-                       choices=["lp", "hungarian", "rh"])
+                       choices=["lp", "hungarian", "rh", "rhtalu"])
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--min-speedup", type=float, default=0.0,
                        help="fail below this speedup (0 = report only)")

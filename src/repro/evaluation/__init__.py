@@ -3,33 +3,53 @@
 The sorted per-parameter indexes and the threshold algorithm of
 Section IV-A; the delta lists, adjustment variables, and trigger queues
 of Section IV-B; and the RHTALU evaluator that combines them with the
-reduced Hungarian matching.
+reduced Hungarian matching.  Each structure exists twice: a dict-backed
+reference implementation (the semantic spec, unit-tested on its own)
+and the array-backed kernels the vectorized evaluator actually runs —
+``ColumnArgsortIndex``, ``ArrayDeltaList``, ``DeadlineArray``,
+``LazyPacerArrays``, and the fused ``product_top_k_all_slots``.
 """
 
-from repro.evaluation.delta_list import DeltaList, MergedDeltaSource
+from repro.evaluation.delta_list import (
+    ArrayDeltaList,
+    DeltaList,
+    MergedDeltaSource,
+    merged_descending,
+)
 from repro.evaluation.evaluator import RhtaluAuctionResult, RhtaluEvaluator
+from repro.evaluation.pacer_arrays import KeywordBidSource, LazyPacerArrays
 from repro.evaluation.pacer_state import LazyPacerState
-from repro.evaluation.sorted_index import SortedIndex
+from repro.evaluation.sorted_index import ColumnArgsortIndex, SortedIndex
 from repro.evaluation.threshold import (
+    SlotTopKResult,
     TopKResult,
     full_scan_top_k,
     make_index,
     product_aggregate,
+    product_top_k_all_slots,
     threshold_top_k,
 )
-from repro.evaluation.trigger_queue import TriggerQueue
+from repro.evaluation.trigger_queue import DeadlineArray, TriggerQueue
 
 __all__ = [
+    "ArrayDeltaList",
+    "ColumnArgsortIndex",
+    "DeadlineArray",
     "DeltaList",
+    "KeywordBidSource",
+    "LazyPacerArrays",
     "LazyPacerState",
     "MergedDeltaSource",
     "RhtaluAuctionResult",
     "RhtaluEvaluator",
+    "SlotTopKResult",
     "SortedIndex",
     "TopKResult",
     "TriggerQueue",
     "full_scan_top_k",
     "make_index",
+    "merged_descending",
     "product_aggregate",
+    "product_top_k_all_slots",
     "threshold_top_k",
 ]

@@ -1,20 +1,26 @@
-"""Method RHTALU: the full Section IV per-auction pipeline.
+"""Method RHTALU: the full Section IV per-auction pipeline, vectorized.
 
 Per auction, instead of running all n bidding programs and scanning all
 n·k expected revenues (method RH), RHTALU:
 
 1. advances the lazily-maintained program state
-   (:class:`~repro.evaluation.pacer_state.LazyPacerState`) — O(1) logical
-   updates plus eager work only for due triggers and past winners;
+   (:class:`~repro.evaluation.pacer_arrays.LazyPacerArrays`, the array
+   mirror of the dict-backed reference state) — O(1) logical updates
+   plus masked kernels only for due triggers and past winners;
 2. finds each slot's top-k bidders with the threshold algorithm over two
-   sorted sources — the slot's static click-probability index and the
-   keyword's merged bid lists — touching only a prefix of each;
-3. runs the Hungarian algorithm on the union of the per-slot top-k lists
-   (the same reduced matching RH uses).
+   sorted sources — a column of the shared argsorted click matrix
+   (:class:`~repro.evaluation.sorted_index.ColumnArgsortIndex`) and the
+   keyword's merged bid walk — touching only a prefix of each, all
+   slots fused into one block kernel
+   (:func:`~repro.evaluation.threshold.product_top_k_all_slots`);
+3. runs the Hungarian algorithm on the union of the per-slot top-k
+   lists (the same reduced matching RH uses), refilling preallocated
+   weight and solver buffers in place.
 
 The result is equivalent to RH on eagerly-evaluated programs (same
 expected revenue; tests verify), at a per-auction cost that barely grows
-with n — the Figure 13 effect.
+with n — the Figure 13 effect, now with the constant factor of array
+kernels instead of per-item Python.
 """
 
 from __future__ import annotations
@@ -24,24 +30,35 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.winner_determination import allocation_from_matching
+from repro.evaluation.pacer_arrays import LazyPacerArrays
 from repro.evaluation.pacer_state import LazyPacerState
-from repro.evaluation.sorted_index import SortedIndex
-from repro.evaluation.threshold import product_aggregate, threshold_top_k
+from repro.evaluation.sorted_index import ColumnArgsortIndex
+from repro.evaluation.threshold import product_top_k_all_slots
 from repro.lang.outcome import Allocation
-from repro.matching.hungarian import max_weight_matching
+from repro.matching.hungarian import HungarianScratch, max_weight_matching
 from repro.matching.types import MatchingResult
 
 
 @dataclass(frozen=True)
 class RhtaluAuctionResult:
-    """One auction's outcome under RHTALU, with work accounting."""
+    """One auction's outcome under RHTALU, with work accounting.
+
+    ``candidate_bids`` / ``candidate_clicks`` / ``weights`` are the
+    candidate-aligned arrays the reduced matching was solved on (rows
+    follow ``candidates``); they alias evaluator-owned buffers and are
+    valid until the next ``run_auction`` call — callers that need them
+    longer must copy.
+    """
 
     allocation: Allocation
     matching: MatchingResult  # pairs are (advertiser, slot_col)
     expected_revenue: float
     candidates: tuple[int, ...]
-    sequential_accesses: int
-    random_accesses: int
+    sequential_count: int
+    random_count: int
+    candidate_bids: np.ndarray
+    candidate_clicks: np.ndarray
+    weights: np.ndarray
 
 
 class RhtaluEvaluator:
@@ -50,54 +67,84 @@ class RhtaluEvaluator:
     Parameters
     ----------
     click_matrix:
-        The (n x k) click-probability matrix; column j becomes the static
-        sorted index for slot j+1.
+        The (n x k) click-probability matrix; its shared argsort becomes
+        every slot's static sorted index.
     state:
-        The lazily-maintained pacing programs.  Callers must register
-        every advertiser and keyword bid before the first auction.
+        The lazily-maintained pacing programs.  A dict-backed
+        :class:`LazyPacerState` is mirrored into arrays at construction
+        (register every advertiser and keyword bid *before* building the
+        evaluator); a prebuilt :class:`LazyPacerArrays` is used as-is.
+    top_depth:
+        Per-slot candidate depth.  k is what matching correctness
+        needs; k+1 (the default) additionally guarantees every slot's
+        price-setting runner-up is among the candidates, so GSP quotes
+        match the eager methods'.
+    block_size:
+        Sorted-access rounds per kernel step (see
+        :func:`~repro.evaluation.threshold.product_top_k_all_slots`).
     """
 
-    def __init__(self, click_matrix: np.ndarray, state: LazyPacerState,
-                 top_depth: int | None = None):
+    def __init__(self, click_matrix: np.ndarray,
+                 state: LazyPacerState | LazyPacerArrays,
+                 top_depth: int | None = None,
+                 block_size: int = 96):
         matrix = np.asarray(click_matrix, dtype=float)
         if matrix.ndim != 2:
             raise ValueError(
                 f"click matrix must be 2-D, got shape {matrix.shape}")
         self.click_matrix = matrix
         self.num_advertisers, self.num_slots = matrix.shape
+        if isinstance(state, LazyPacerState):
+            state = LazyPacerArrays.from_state(state,
+                                               self.num_advertisers)
+        if state.num_advertisers != self.num_advertisers:
+            raise ValueError(
+                f"state covers {state.num_advertisers} advertisers, "
+                f"click matrix {self.num_advertisers}")
         self.state = state
-        # Depth k is what matching correctness needs; k+1 (the default)
-        # additionally guarantees every slot's price-setting runner-up is
-        # among the candidates, so GSP quotes match the eager methods'.
         self.top_depth = (self.num_slots + 1 if top_depth is None
                           else top_depth)
-        self.slot_indexes = [
-            SortedIndex({i: float(matrix[i, j])
-                         for i in range(self.num_advertisers)})
-            for j in range(self.num_slots)
-        ]
+        self.block_size = block_size
+        self.slot_index = ColumnArgsortIndex(matrix)
+        # Preallocated per-auction buffers: TA score histories, the
+        # candidate mask, and the candidate-aligned matching inputs.
+        n, k = matrix.shape
+        capacity = max(1, min(n, k * self.top_depth))
+        self._a_scores = np.empty((n, k))
+        self._b_scores = np.empty((n, k))
+        self._candidate_mask = np.zeros(n, dtype=bool)
+        self._clicks = np.empty((capacity, k))
+        self._bids = np.empty(capacity)
+        self._weights = np.empty((capacity, k))
+        self._scratch = HungarianScratch(min(capacity, k),
+                                         max(capacity, k))
 
     def run_auction(self, keyword: str, time: float) -> RhtaluAuctionResult:
         """Advance state, select candidates by TA, and match."""
-        bid_source = self.state.begin_auction(keyword, time)
-        candidates: set[int] = set()
-        sequential = 0
-        random = 0
-        for slot_index in self.slot_indexes:
-            result = threshold_top_k([slot_index, bid_source],
-                                     product_aggregate, self.top_depth)
-            sequential += result.sequential_accesses
-            random += result.random_accesses
-            candidates.update(result.ids())
+        source = self.state.begin_auction(keyword, time)
+        selection = product_top_k_all_slots(
+            self.slot_index, source.ids_desc, source.values_desc,
+            source.rank, source.eff, self.top_depth, self.block_size,
+            self._a_scores, self._b_scores)
 
-        ordered = sorted(candidates)
-        weights = np.empty((len(ordered), self.num_slots))
-        for row, advertiser in enumerate(ordered):
-            bid = bid_source.key(advertiser)
-            weights[row, :] = self.click_matrix[advertiser, :] * bid
+        mask = self._candidate_mask
+        for slot_winners in selection.slot_ids:
+            mask[slot_winners] = True
+        ordered = np.flatnonzero(mask)
+        mask[ordered] = False
+        count = len(ordered)
+
+        clicks = self._clicks[:count]
+        np.take(self.click_matrix, ordered, axis=0, out=clicks)
+        bids = self._bids[:count]
+        np.take(source.eff, ordered, out=bids)
+        weights = self._weights[:count]
+        np.multiply(clicks, bids[:, None], out=weights)
+
         matching = max_weight_matching(weights, allow_unmatched=True,
-                                       backend="auto")
-        pairs = tuple(sorted((ordered[row], col)
+                                       backend="auto",
+                                       scratch=self._scratch)
+        pairs = tuple(sorted((int(ordered[row]), col)
                              for row, col in matching.pairs))
         global_matching = MatchingResult(pairs=pairs,
                                          total_weight=matching.total_weight)
@@ -107,9 +154,12 @@ class RhtaluEvaluator:
             allocation=allocation,
             matching=global_matching,
             expected_revenue=matching.total_weight,
-            candidates=tuple(ordered),
-            sequential_accesses=sequential,
-            random_accesses=random,
+            candidates=tuple(int(advertiser) for advertiser in ordered),
+            sequential_count=selection.sequential_count,
+            random_count=selection.random_count,
+            candidate_bids=bids,
+            candidate_clicks=clicks,
+            weights=weights,
         )
 
     def record_win(self, advertiser: int, price: float,

@@ -1,0 +1,350 @@
+"""Array mirror of the lazily-maintained pacer state (Section IV-B).
+
+:class:`LazyPacerArrays` is to :class:`~repro.evaluation.pacer_state.
+LazyPacerState` what ``PacerArrays`` (PR 1) is to the eager program
+objects: the same semantics, operation for operation, but held in flat
+NumPy arrays so the per-auction protocol runs as boolean-mask kernels
+instead of per-program Python.  The dict-backed ``LazyPacerState``
+remains the reference implementation (its tests lock the Section IV-B
+invariant); the mirror is built from it once, at evaluator construction,
+and is the single live state from then on.
+
+Layout — ``n`` advertisers x ``K`` keywords, dense (every advertiser
+must bid on every keyword, which the threshold algorithm's shared-id
+requirement already imposed):
+
+* ``stored[i, c]`` / ``cls[i, c]`` — each bid's stored value and its
+  delta-list membership (increment / decrement / constant); the
+  effective bid is ``stored + adjustment[cls]``, exactly the
+  :class:`~repro.evaluation.delta_list.DeltaList` convention.
+* per keyword, three :class:`~repro.evaluation.delta_list.
+  ArrayDeltaList` objects keep the same memberships in ascending stored
+  order — the sorted-walk mirror the TA kernel merges per auction.
+* ``count_deadlines`` / ``time_deadlines`` — :class:`~repro.evaluation.
+  trigger_queue.DeadlineArray` banks holding each bid's saturation
+  auction and each overspender's decay-crossing time, so "fire the due
+  triggers" is one strict-inequality mask per auction.
+
+The per-auction protocol (`begin_auction`) therefore costs a handful of
+O(n) vectorized operations plus work proportional to the members that
+actually move — the logical-update guarantee, with the constant factor
+of C loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.evaluation.delta_list import ArrayDeltaList, merged_descending
+from repro.evaluation.pacer_state import LazyPacerState
+from repro.evaluation.trigger_queue import DeadlineArray
+
+INC, DEC, CONST = 0, 1, 2
+_MODE_NAMES = ("inc", "dec")
+
+
+@dataclass
+class KeywordBidSource:
+    """One auction's merged bid view over a keyword (a TA input).
+
+    ``ids_desc`` / ``values_desc`` are the keyword's bidders by
+    descending effective bid; ``eff`` and ``rank`` are the dense
+    random-access mirrors (``eff[i]`` = advertiser *i*'s effective
+    bid, ``rank[i]`` = *i*'s position in the descending walk).  The
+    arrays alias per-state scratch buffers and are valid until the
+    next ``begin_auction`` call.
+
+    The object also satisfies the generic
+    :class:`~repro.evaluation.threshold.RankedSource` protocol, so the
+    scalar ``threshold_top_k`` accepts it unchanged.
+    """
+
+    keyword: str
+    col: int
+    ids_desc: np.ndarray
+    values_desc: np.ndarray
+    eff: np.ndarray
+    rank: np.ndarray
+
+    def descending(self) -> Iterator[tuple[int, float]]:
+        for item, value in zip(self.ids_desc, self.values_desc):
+            yield int(item), float(value)
+
+    def key(self, item: int) -> float:
+        return float(self.eff[item])
+
+    def __contains__(self, item: int) -> bool:
+        return 0 <= item < len(self.eff)
+
+    def __len__(self) -> int:
+        return len(self.ids_desc)
+
+
+class LazyPacerArrays:
+    """All n pacing programs as arrays, maintained by masked kernels."""
+
+    def __init__(self, targets: np.ndarray, keywords: list[str],
+                 step: float = 1.0):
+        if step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim != 1 or np.any(targets <= 0):
+            raise ValueError("targets must be a 1-D array of positives")
+        self.step = float(step)
+        self.keywords = list(keywords)
+        self.kw_index = {text: col for col, text in enumerate(keywords)}
+        n, width = len(targets), len(keywords)
+        self.num_advertisers = n
+        self.target = targets
+        self.amt_spent = np.zeros(n)
+        self.mode = np.full(n, INC, dtype=np.int8)
+        self.cls = np.full((n, width), INC, dtype=np.int8)
+        self.stored = np.zeros((n, width))
+        self.maxbid = np.zeros((n, width))
+        self.counts = np.zeros(width, dtype=np.int64)
+        self.count_deadlines = DeadlineArray((n, width))
+        self.time_deadlines = DeadlineArray(n)
+        self.lists = [[ArrayDeltaList() for _ in range(3)]
+                      for _ in range(width)]
+        self.physical_moves = 0  # list insert/removes, for the ablation
+        # Per-auction scratch (aliased by KeywordBidSource views).
+        self._eff = np.empty(n)
+        self._rank = np.empty(n, dtype=np.int64)
+        self._member_mask = np.zeros(n, dtype=bool)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_state(cls, state: LazyPacerState,
+                   num_advertisers: int) -> "LazyPacerArrays":
+        """Mirror a registered ``LazyPacerState`` into arrays.
+
+        Reads the reference state's registrations (targets, max bids,
+        effective bids, modes, keyword counters) and re-derives the
+        delta-list memberships and trigger deadlines through the same
+        placement rules the dict state uses, so the mirror starts bid-
+        for-bid equal.  Requires dense ids ``0..n-1`` with every
+        advertiser bidding on every keyword — the shape the threshold
+        algorithm needs anyway.
+        """
+        keywords = list(state._keywords)
+        advertisers = sorted(state._advertisers)
+        if advertisers != list(range(num_advertisers)):
+            raise ValueError(
+                "vectorized RHTALU needs dense advertiser ids 0..n-1; "
+                f"got {len(advertisers)} registered for n={num_advertisers}")
+        if not keywords:
+            raise ValueError("no keyword bids registered")
+        targets = np.array([state._advertisers[a].target
+                            for a in range(num_advertisers)])
+        mirror = cls(targets, keywords, step=state.step)
+        mirror.amt_spent[:] = [state._advertisers[a].amt_spent
+                               for a in range(num_advertisers)]
+        mirror.mode[:] = [INC if state.mode_of(a) == "inc" else DEC
+                          for a in range(num_advertisers)]
+        mirror.counts[:] = [state.keyword_count(text) for text in keywords]
+        dec_mask = mirror.mode == DEC
+        if dec_mask.any():
+            mirror.time_deadlines.schedule(
+                dec_mask,
+                mirror.amt_spent[dec_mask] / mirror.target[dec_mask])
+        everyone = np.arange(num_advertisers)
+        for col, text in enumerate(keywords):
+            bids = state.bids_for_keyword(text)
+            if len(bids) != num_advertisers:
+                raise ValueError(
+                    f"keyword {text!r} has {len(bids)} bidders; the "
+                    "vectorized path needs every advertiser on every "
+                    "keyword")
+            effective = np.array([bids[a]
+                                  for a in range(num_advertisers)])
+            mirror.maxbid[:, col] = [
+                state._advertisers[a].keywords[text].maxbid
+                for a in range(num_advertisers)]
+            mirror._place_batch(everyone, col, effective)
+        mirror.physical_moves = 0  # construction is not churn
+        return mirror
+
+    # -- the per-auction protocol --------------------------------------------
+
+    def begin_auction(self, keyword: str, time: float) -> KeywordBidSource:
+        """Advance lazily to this auction and apply the logical update.
+
+        Same contract as :meth:`LazyPacerState.begin_auction`, returning
+        the keyword's merged descending bid view.
+        """
+        self._advance_time(time)
+        col = self.kw_index.get(keyword)
+        if col is None:
+            raise KeyError(f"no bids registered for keyword {keyword!r}")
+        self.counts[col] += 1
+        self._fire_count_triggers(col)
+        lists = self.lists[col]
+        lists[INC].adjust(self.step)
+        lists[DEC].adjust(-self.step)
+        return self._bid_source(keyword, col)
+
+    def record_win(self, advertiser: int, price: float,
+                   time: float) -> None:
+        """Eagerly fold a winner's charge into his state (Section IV-A)."""
+        if price < 0:
+            raise ValueError(f"price must be >= 0, got {price}")
+        if price == 0:
+            return
+        spent = float(self.amt_spent[advertiser]) + price
+        self.amt_spent[advertiser] = spent
+        new_mode = INC if spent / time < self.target[advertiser] else DEC
+        if new_mode != self.mode[advertiser]:
+            self.mode[advertiser] = new_mode
+            if new_mode == INC:
+                self.time_deadlines.cancel(advertiser)
+            self._rebuild_memberships(np.array([advertiser]))
+        if new_mode == DEC:
+            # (Re)schedule the decay crossing; the cell holds only the
+            # latest generation, so older schedules simply vanish.
+            self.time_deadlines.schedule(
+                advertiser, spent / self.target[advertiser])
+
+    # -- accessors -----------------------------------------------------------
+
+    def effective_bid(self, advertiser: int, keyword: str) -> float:
+        col = self._column(keyword)
+        return float(self.stored[advertiser, col]
+                     + self._adjustment(col, self.cls[advertiser, col]))
+
+    def bids_for_keyword(self, keyword: str) -> dict[int, float]:
+        """Snapshot of every advertiser's effective bid on a keyword."""
+        col = self._column(keyword)
+        effective = self.stored[:, col] + \
+            self._adjustment_vector(col)[self.cls[:, col]]
+        return {advertiser: float(bid)
+                for advertiser, bid in enumerate(effective)}
+
+    def mode_of(self, advertiser: int) -> str:
+        """The advertiser's current pacing mode ("inc" or "dec")."""
+        return _MODE_NAMES[self.mode[advertiser]]
+
+    def keyword_count(self, keyword: str) -> int:
+        return int(self.counts[self._column(keyword)])
+
+    def trigger_stats(self) -> tuple[int, int, int]:
+        """(scheduled, fired, pending) trigger counts, for the ablation."""
+        banks = (self.count_deadlines, self.time_deadlines)
+        return (sum(bank.scheduled_total for bank in banks),
+                sum(bank.fired_total for bank in banks),
+                sum(bank.pending_total() for bank in banks))
+
+    # -- internals -----------------------------------------------------------
+
+    def _column(self, keyword: str) -> int:
+        col = self.kw_index.get(keyword)
+        if col is None:
+            raise KeyError(f"no bids registered for keyword {keyword!r}")
+        return col
+
+    def _adjustment(self, col: int, membership: int) -> float:
+        if membership == CONST:
+            return 0.0
+        return self.lists[col][membership].adjustment
+
+    def _adjustment_vector(self, col: int) -> np.ndarray:
+        lists = self.lists[col]
+        return np.array([lists[INC].adjustment, lists[DEC].adjustment,
+                         0.0])
+
+    def _advance_time(self, time: float) -> None:
+        """Flip overspenders whose spending rate decayed past target."""
+        due = self.time_deadlines.due_mask(time)
+        if not due.any():
+            return
+        self.time_deadlines.fire(due)
+        flipped = np.flatnonzero(due)
+        self.mode[flipped] = INC
+        self._rebuild_memberships(flipped)
+
+    def _fire_count_triggers(self, col: int) -> None:
+        """Pin every bid that saturates at its bound on this auction."""
+        due = self.count_deadlines.due_mask(self.counts[col] + 0.5, col)
+        if not due.any():
+            return
+        self.count_deadlines.fire(due, col)
+        saturated = np.flatnonzero(due)
+        lists = self.lists[col]
+        mask = self._member_mask
+        mask[saturated] = True
+        lists[INC].remove_mask(mask)
+        lists[DEC].remove_mask(mask)
+        mask[saturated] = False
+        bound = np.where(self.cls[saturated, col] == INC,
+                         self.maxbid[saturated, col], 0.0)
+        lists[CONST].insert_batch(saturated, bound)
+        self.cls[saturated, col] = CONST
+        self.stored[saturated, col] = bound
+        self.physical_moves += 2 * len(saturated)
+
+    def _rebuild_memberships(self, advertisers: np.ndarray) -> None:
+        """Re-place some advertisers' bids (after a mode change)."""
+        mask = self._member_mask
+        mask[advertisers] = True
+        for col in range(len(self.keywords)):
+            adjustments = self._adjustment_vector(col)
+            effective = (self.stored[advertisers, col]
+                         + adjustments[self.cls[advertisers, col]])
+            for lst in self.lists[col]:
+                lst.remove_mask(mask)
+            self.count_deadlines.cancel((advertisers, col))
+            self.physical_moves += len(advertisers)
+            self._place_batch(advertisers, col, effective)
+        mask[advertisers] = False
+
+    def _place_batch(self, advertisers: np.ndarray, col: int,
+                     effective: np.ndarray) -> None:
+        """Insert bids into the lists matching each advertiser's mode,
+        scheduling the bound-saturation count triggers (the vectorized
+        ``LazyPacerState._place``).  Callers remove the ids first."""
+        lists = self.lists[col]
+        cap = self.maxbid[advertisers, col]
+        bid = np.clip(effective, 0.0, cap)
+        incs = self.mode[advertisers] == INC
+        sat_high = incs & (bid >= cap)
+        sat_low = ~incs & (bid <= 0.0)
+        pinned = sat_high | sat_low
+        moving_inc = incs & ~sat_high
+        moving_dec = ~incs & ~sat_low
+
+        if pinned.any():
+            ids = advertisers[pinned]
+            value = np.where(sat_high[pinned], cap[pinned], 0.0)
+            lists[CONST].insert_batch(ids, value)
+            self.cls[ids, col] = CONST
+            self.stored[ids, col] = value
+            self.count_deadlines.cancel((ids, col))
+        for membership, moving, remaining in (
+                (INC, moving_inc, cap - bid),
+                (DEC, moving_dec, bid)):
+            if not moving.any():
+                continue
+            ids = advertisers[moving]
+            value = bid[moving]
+            lists[membership].insert_batch(ids, value)
+            self.cls[ids, col] = membership
+            self.stored[ids, col] = \
+                value - lists[membership].adjustment
+            steps = np.ceil(remaining[moving] / self.step)
+            self.count_deadlines.schedule((ids, col),
+                                          self.counts[col] + steps)
+        self.physical_moves += len(advertisers)
+
+    def _bid_source(self, keyword: str, col: int) -> KeywordBidSource:
+        """Materialize the merged descending walk plus dense mirrors."""
+        ids_desc, values_desc = merged_descending(self.lists[col])
+        eff, rank = self._eff, self._rank
+        eff[ids_desc] = values_desc
+        rank[ids_desc] = np.arange(len(ids_desc))
+        return KeywordBidSource(keyword=keyword, col=col,
+                                ids_desc=ids_desc,
+                                values_desc=values_desc,
+                                eff=eff, rank=rank)

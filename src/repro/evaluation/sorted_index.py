@@ -17,6 +17,8 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Iterator
 
+import numpy as np
+
 
 class SortedIndex:
     """Ids ordered by a float key (descending iteration order)."""
@@ -77,3 +79,80 @@ class SortedIndex:
     def items(self) -> dict[int, float]:
         """A snapshot copy of the id -> key mapping."""
         return dict(self._key_of)
+
+
+class ColumnArgsortIndex:
+    """All columns' descending orders as slices of one shared argsort.
+
+    The vectorized RHTALU path replaces the k per-slot
+    :class:`SortedIndex` objects with this structure: one ``(n, k)``
+    argsort of the click matrix, so every slot's sorted source is a
+    column view of a single allocation instead of its own dict-backed
+    index.  Three aligned arrays:
+
+    * ``order[r, j]`` — the id at descending rank ``r`` of column ``j``
+      (ties between equal values fall to the higher id first, matching
+      ``SortedIndex.descending()``);
+    * ``sorted_values[r, j]`` — ``matrix[order[r, j], j]``, the value
+      stream a sorted access at rank ``r`` would read;
+    * ``rank[i, j]`` — the inverse permutation: the descending rank of
+      id ``i`` in column ``j``.  The threshold kernel uses it to decide
+      in O(1) whether an id surfaced by the other source already lies
+      inside a column's walked prefix.
+
+    The matrix is static per evaluator (click probabilities do not move
+    between auctions), so the index is built once.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"matrix must be 2-D, got shape {matrix.shape}")
+        self.matrix = matrix
+        num_ids, num_cols = matrix.shape
+        # Stable ascending argsort reversed: descending by value, ties
+        # descending by id — the SortedIndex iteration order.
+        ascending = np.argsort(matrix, axis=0, kind="stable")
+        self.order = np.ascontiguousarray(ascending[::-1, :])
+        self.sorted_values = np.take_along_axis(matrix, self.order,
+                                                axis=0)
+        self.rank = np.empty_like(self.order)
+        np.put_along_axis(
+            self.rank, self.order,
+            np.arange(num_ids)[:, None].repeat(num_cols, axis=1), axis=0)
+
+    @property
+    def num_ids(self) -> int:
+        return self.order.shape[0]
+
+    @property
+    def num_columns(self) -> int:
+        return self.order.shape[1]
+
+    def column(self, col: int) -> "_ColumnView":
+        """A per-column :class:`RankedSource`-compatible view."""
+        return _ColumnView(self, col)
+
+
+class _ColumnView:
+    """RankedSource adapter over one column of a ColumnArgsortIndex."""
+
+    def __init__(self, index: ColumnArgsortIndex, col: int):
+        self._index = index
+        self._col = col
+
+    def __len__(self) -> int:
+        return self._index.num_ids
+
+    def __contains__(self, item: int) -> bool:
+        return 0 <= item < self._index.num_ids
+
+    def key(self, item: int) -> float:
+        return float(self._index.matrix[item, self._col])
+
+    def descending(self) -> Iterator[tuple[int, float]]:
+        order = self._index.order[:, self._col]
+        values = self._index.sorted_values[:, self._col]
+        for item, value in zip(order, values):
+            yield int(item), float(value)

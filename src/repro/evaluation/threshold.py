@@ -27,7 +27,9 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Iterator, Protocol, Sequence
 
-from repro.evaluation.sorted_index import SortedIndex
+import numpy as np
+
+from repro.evaluation.sorted_index import ColumnArgsortIndex, SortedIndex
 
 
 class RankedSource(Protocol):
@@ -150,6 +152,150 @@ def product_aggregate(attributes: Sequence[float]) -> float:
     for value in attributes:
         result *= value
     return result
+
+
+@dataclass(frozen=True)
+class SlotTopKResult:
+    """Fused-kernel output: per-slot winners plus access accounting."""
+
+    slot_ids: list  # per slot, an int array of the top-k ids
+    stop_depth: np.ndarray  # rounds of sorted access walked per slot
+    sequential_count: int
+    random_count: int
+
+
+def product_top_k_all_slots(click_index: ColumnArgsortIndex,
+                            bid_ids: np.ndarray,
+                            bid_values: np.ndarray,
+                            bid_rank: np.ndarray,
+                            effective_bids: np.ndarray,
+                            k: int,
+                            block: int = 64,
+                            a_scores: np.ndarray | None = None,
+                            b_scores: np.ndarray | None = None
+                            ) -> SlotTopKResult:
+    """TA over (click index, bid list) for *every* slot in one sweep.
+
+    The vectorized replacement for k per-slot :func:`threshold_top_k`
+    calls on the product aggregate.  Each slot's two sources are flat
+    arrays — a column view of the shared argsorted click matrix, and
+    the keyword's merged descending bid walk (shared by all slots) —
+    and the kernel advances every still-live slot ``block`` sorted-
+    access rounds at a time: gather the block's ids, score them against
+    the dense random-access mirrors (``effective_bids`` for ids
+    surfaced by the click walk, the click matrix for ids surfaced by
+    the bid walk), fold them into each slot's running top-k, and retire
+    slots whose k-th best score has reached the TA threshold.
+
+    Semantics: identical to per-round TA except that the stop rule is
+    checked every ``block`` rounds, so a slot may walk up to
+    ``block - 1`` rounds past its exact stopping point.  By TA's
+    guarantee the extra rounds cannot change the top-k *scores*; among
+    equal scores the kernel resolves ties toward the lower id (the
+    full-scan convention).  Access counts report the pulls actually
+    performed — sequential accesses at block granularity, one random
+    access per distinct id scored — so the ablation's sublinearity
+    measurements stay honest.
+
+    ``bid_rank`` is the bid walk's inverse permutation
+    (``bid_rank[bid_ids[r]] == r``); together with the click index's
+    ``rank`` it lets the kernel keep exactly one running copy of an id
+    that both walks surface, whichever block each copy arrives in.
+    ``a_scores`` / ``b_scores`` are optional caller-owned ``(n, k)``
+    score-history buffers (the evaluator preallocates them once and
+    reuses them every auction).
+    """
+    num_ids, num_slots = click_index.order.shape
+    if len(bid_ids) != num_ids:
+        raise ValueError(
+            f"bid walk covers {len(bid_ids)} ids, click index {num_ids}; "
+            "the threshold algorithm needs every id in every source")
+    if k <= 0:
+        return SlotTopKResult([np.empty(0, dtype=np.int64)] * num_slots,
+                              np.zeros(num_slots, dtype=np.int64), 0, 0)
+    depth = min(k, num_ids)
+    block = max(block, depth)
+    if a_scores is None:
+        a_scores = np.empty((num_ids, num_slots))
+    if b_scores is None:
+        b_scores = np.empty((num_ids, num_slots))
+
+    matrix = click_index.matrix
+    order = click_index.order
+    sorted_values = click_index.sorted_values
+    click_rank = click_index.rank
+
+    live = np.ones(num_slots, dtype=bool)
+    stop_depth = np.full(num_slots, num_ids, dtype=np.int64)
+    running = np.full((depth, num_slots), -np.inf)
+    rounds = 0
+    while rounds < num_ids and live.any():
+        upto = min(rounds + block, num_ids)
+        cols = np.flatnonzero(live)
+        a_ids = order[rounds:upto][:, cols]
+        a_block = sorted_values[rounds:upto][:, cols] \
+            * effective_bids[a_ids]
+        b_ids = bid_ids[rounds:upto]
+        b_block = bid_values[rounds:upto, None] \
+            * matrix[np.ix_(b_ids, cols)]
+        a_scores[rounds:upto, cols] = a_block
+        b_scores[rounds:upto, cols] = b_block
+        # Ids surfaced by both walks must occupy exactly one running
+        # slot — a duplicated high score would inflate the k-th best
+        # and fire the stop check *early*, dropping a qualifying
+        # unseen id.  Keep the click-walk copy unless the bid walk
+        # already delivered the id in an earlier block, and suppress
+        # the bid-walk copy whenever the click walk covers the id
+        # within this prefix.
+        a_duplicate = bid_rank[a_ids] < rounds
+        b_duplicate = click_rank[b_ids][:, cols] < upto
+        stacked = np.concatenate(
+            [running[:, cols],
+             np.where(a_duplicate, -np.inf, a_block),
+             np.where(b_duplicate, -np.inf, b_block)], axis=0)
+        running[:, cols] = np.partition(stacked, -depth, axis=0)[-depth:]
+        rounds = upto
+        thresholds = sorted_values[rounds - 1, cols] \
+            * bid_values[rounds - 1]
+        done = running[0, cols] >= thresholds
+        if done.any():
+            stop_depth[cols[done]] = rounds
+            live[cols[done]] = False
+
+    # Final selection, vectorized across slots that stopped at the same
+    # depth (the block-granular stop rule quantizes depths, so most
+    # slots share one): stack each group's click-walk and bid-walk
+    # prefixes, mask bid-walk duplicates to -inf, and take every
+    # column's top ids with one lexsort over (score desc, id asc).
+    slot_ids: list[np.ndarray | None] = [None] * num_slots
+    sequential_count = 0
+    random_count = 0
+    for walked in np.unique(stop_depth):
+        walked = int(walked)
+        cols = np.flatnonzero(stop_depth == walked)
+        b_prefix = bid_ids[:walked]
+        fresh = click_rank[b_prefix][:, cols] >= walked
+        ids_all = np.concatenate(
+            [order[:walked, :][:, cols],
+             np.broadcast_to(b_prefix[:, None],
+                             (walked, len(cols)))], axis=0)
+        scores_all = np.concatenate(
+            [a_scores[:walked, :][:, cols],
+             np.where(fresh, b_scores[:walked, :][:, cols], -np.inf)],
+            axis=0)
+        best = np.lexsort((ids_all, -scores_all), axis=0)[:depth]
+        winners = np.take_along_axis(ids_all, best, axis=0)
+        # Duplicates were masked to -inf; with fewer than ``depth``
+        # distinct positive-or-zero scores they can still surface, so
+        # trim them per column (rare: only when walked < depth).
+        kept = np.take_along_axis(scores_all, best, axis=0) > -np.inf
+        for slot, col in enumerate(cols):
+            slot_ids[col] = winners[kept[:, slot], slot]
+        sequential_count += 2 * walked * len(cols)
+        random_count += walked * len(cols) + int(np.count_nonzero(fresh))
+    return SlotTopKResult(slot_ids=slot_ids, stop_depth=stop_depth,
+                          sequential_count=sequential_count,
+                          random_count=random_count)
 
 
 def make_index(items: dict[int, float]) -> SortedIndex:

@@ -20,6 +20,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Generic, Hashable, TypeVar
 
+import numpy as np
+
 Payload = TypeVar("Payload")
 
 
@@ -72,3 +74,58 @@ class TriggerQueue(Generic[Payload]):
     def pending_total(self) -> int:
         """Number of triggers still scheduled across all variables."""
         return sum(len(heap) for heap in self._heaps.values())
+
+
+class DeadlineArray:
+    """A vectorized trigger bank: at most one pending trigger per slot.
+
+    The array-backed pacer state stores each program's next critical
+    value directly in a dense array (one cell per advertiser, or per
+    advertiser x keyword), so "release all due triggers" is a single
+    boolean mask instead of heap pops.  Rescheduling a slot simply
+    overwrites its critical value — the array cell *is* the latest
+    generation, which subsumes the ``TriggerQueue`` staleness protocol
+    for states (like the ROI pacers') that keep one live trigger per
+    slot.
+
+    ``critical < value`` is strict, matching :meth:`TriggerQueue
+    .advance`: at the exact crossing point the heuristic holds still.
+    """
+
+    _NEVER = np.inf
+
+    def __init__(self, shape: int | tuple[int, ...]):
+        self.critical = np.full(shape, self._NEVER)
+        self.scheduled_total = 0
+        self.fired_total = 0
+
+    def schedule(self, index, critical) -> None:
+        """(Re)schedule the given cells at the given critical values."""
+        self.critical[index] = critical
+        self.scheduled_total += int(np.size(self.critical[index]))
+
+    def cancel(self, index) -> None:
+        """Clear any pending trigger in the given cells."""
+        self.critical[index] = self._NEVER
+
+    def due_mask(self, value: float, column=None) -> np.ndarray:
+        """Boolean mask of cells whose trigger fires strictly below
+        ``value``; ``column`` restricts a 2-D bank to one column."""
+        cells = self.critical if column is None \
+            else self.critical[:, column]
+        return cells < value
+
+    def fire(self, mask: np.ndarray, column=None) -> None:
+        """Consume the triggers flagged by ``mask`` (from due_mask)."""
+        fired = int(np.count_nonzero(mask))
+        if not fired:
+            return
+        if column is None:
+            self.critical[mask] = self._NEVER
+        else:
+            self.critical[mask, column] = self._NEVER
+        self.fired_total += fired
+
+    def pending_total(self) -> int:
+        """Number of cells with a live trigger."""
+        return int(np.count_nonzero(np.isfinite(self.critical)))

@@ -5,7 +5,7 @@ and seeds, a batched run produces *exactly* the records a sequential
 run would — same allocations, same outcomes, same prices, same account
 balances, down to float equality — and leaves the programs in the same
 state, so sequential and batched runs interleave freely.  These tests
-hold it to that across the eager methods and the RHTALU fallback.
+hold it to that across the eager methods and the planned RHTALU path.
 """
 
 from __future__ import annotations
@@ -123,10 +123,47 @@ def test_batch_records_interaction_log_identically():
                                   batched.interaction_log.clicks)
 
 
-def test_rhtalu_falls_back_but_matches():
+def test_rhtalu_batches_with_planner_stats():
+    """RHTALU no longer falls back: the planner groups by keyword."""
     engine = build_engine("rhtalu")
-    engine.run_batch(5)
-    assert engine.last_batch_stats is None  # sequential fallback
+    engine.run_batch(AUCTIONS)
+    stats = engine.last_batch_stats
+    assert stats is not None
+    assert stats.auctions == AUCTIONS
+    assert 1 <= stats.groups <= AUCTIONS
+    assert stats.signatures <= NUM_KEYWORDS
+
+
+def test_rhtalu_access_counts_identical_across_paths():
+    """Sequential and batched RHTALU do the same TA work, access for
+    access — the kernel is shared, so the counts must agree exactly."""
+    def access_trace(engine, batched):
+        trace = []
+        original = engine.rhtalu.run_auction
+
+        def spy(keyword, time):
+            result = original(keyword, time)
+            trace.append((result.sequential_count, result.random_count,
+                          result.candidates))
+            return result
+
+        engine.rhtalu.run_auction = spy
+        (engine.run_batch if batched else engine.run)(AUCTIONS)
+        return trace
+
+    assert access_trace(build_engine("rhtalu"), False) == \
+        access_trace(build_engine("rhtalu"), True)
+
+
+def test_rhtalu_batch_then_sequential_continuation():
+    """The evaluator state is shared by both paths, so segments
+    interleave freely and stay in lockstep."""
+    sequential = build_engine("rhtalu")
+    batched = build_engine("rhtalu")
+    assert snapshot(sequential.run(20)) == snapshot(batched.run_batch(20))
+    assert snapshot(sequential.run(15)) == snapshot(batched.run(15))
+    assert snapshot(sequential.run(10)) == snapshot(batched.run_batch(10))
+    assert account_state(sequential) == account_state(batched)
 
 
 def _equalizer_engine() -> AuctionEngine:

@@ -1,10 +1,16 @@
 """Tests for delta lists and the merged descending source (IV-B)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.evaluation.delta_list import DeltaList, MergedDeltaSource
+from repro.evaluation.delta_list import (
+    ArrayDeltaList,
+    DeltaList,
+    MergedDeltaSource,
+    merged_descending,
+)
 
 
 class TestDeltaList:
@@ -114,3 +120,173 @@ class TestMergedSource:
         values = [value for _, value in stream]
         assert values == sorted(values, reverse=True)
         assert {item for item, _ in stream} == set(expected)
+
+    def test_empty_sources_merge_cleanly(self):
+        assert list(MergedDeltaSource([]).descending()) == []
+        empty, full = DeltaList(), DeltaList()
+        full.insert(1, 4.0)
+        merged = MergedDeltaSource([empty, full, DeltaList()])
+        assert list(merged.descending()) == [(1, 4.0)]
+        assert len(merged) == 1
+
+
+class TestAdversarialDeltaList:
+    """Update paths under equal keys, repeated churn, empty lists."""
+
+    def test_equal_effective_values_coexist_and_remove_exactly(self):
+        lst = DeltaList()
+        lst.insert(1, 5.0)
+        lst.adjust(2.0)
+        lst.insert(2, 5.0)  # stored 3.0 vs stored 5.0: same effective
+        assert lst.key(1) == 7.0 and lst.key(2) == 5.0
+        lst.adjust(-2.0)
+        assert lst.remove(1) == 5.0
+        assert lst.key(2) == 3.0
+
+    def test_reinsert_after_remove_under_drifted_adjustment(self):
+        lst = DeltaList()
+        for _ in range(5):
+            lst.insert(7, 2.5)
+            lst.adjust(-1.0)
+            assert lst.remove(7) == 1.5
+        assert len(lst) == 0
+        assert lst.adjustment == -5.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "remove",
+                                               "adjust"]),
+                              st.integers(0, 6),
+                              st.sampled_from([0.0, 0.5, 1.0])),
+                    max_size=40))
+    def test_churn_matches_eager_mirror(self, ops):
+        lst = DeltaList()
+        mirror: dict[int, float] = {}
+        for op, item, value in ops:
+            if op == "insert" and item not in mirror:
+                lst.insert(item, value)
+                mirror[item] = value
+            elif op == "remove" and item in mirror:
+                assert lst.remove(item) == pytest.approx(
+                    mirror.pop(item), abs=1e-12)
+            elif op == "adjust":
+                lst.adjust(value - 0.5)
+                mirror = {k: v + (value - 0.5)
+                          for k, v in mirror.items()}
+        assert lst.items() == pytest.approx(mirror)
+        stream = [value for _, value in lst.descending()]
+        assert stream == sorted(stream, reverse=True)
+
+
+class TestArrayDeltaList:
+    def test_batch_insert_keeps_ascending_stored_order(self):
+        lst = ArrayDeltaList()
+        lst.insert_batch(np.array([3, 1, 2]), np.array([5.0, 9.0, 5.0]))
+        assert list(lst.stored) == sorted(lst.stored)
+        assert lst.items() == {3: 5.0, 2: 5.0, 1: 9.0}
+
+    def test_adjust_shifts_effective_only(self):
+        lst = ArrayDeltaList()
+        lst.insert_batch(np.array([1]), np.array([5.0]))
+        lst.adjust(-2.0)
+        assert lst.items() == {1: 3.0}
+        lst.insert_batch(np.array([2]), np.array([3.0]))
+        assert lst.remove_id(2) == 3.0
+        assert lst.remove_id(1) == 3.0
+
+    def test_remove_mask_compresses_members_only(self):
+        lst = ArrayDeltaList()
+        lst.insert_batch(np.array([0, 2, 4]),
+                         np.array([1.0, 2.0, 3.0]))
+        mask = np.zeros(6, dtype=bool)
+        mask[[2, 3]] = True  # 3 is not a member: no effect
+        lst.remove_mask(mask)
+        assert lst.items() == {0: 1.0, 4: 3.0}
+
+    def test_remove_missing_id_raises(self):
+        with pytest.raises(KeyError):
+            ArrayDeltaList().remove_id(3)
+
+    def test_empty_batch_is_a_noop(self):
+        lst = ArrayDeltaList()
+        lst.insert_batch(np.empty(0, dtype=np.int64), np.empty(0))
+        lst.remove_mask(np.ones(4, dtype=bool))
+        assert len(lst) == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "remove",
+                                               "adjust"]),
+                              st.lists(st.integers(0, 9), min_size=1,
+                                       max_size=4, unique=True),
+                              st.sampled_from([0.0, 0.5, 1.0, 2.0])),
+                    max_size=30))
+    def test_array_list_matches_dict_delta_list(self, ops):
+        array_list, reference = ArrayDeltaList(), DeltaList()
+        for op, ids, value in ops:
+            members = [item for item in ids if item in reference]
+            if op == "insert":
+                fresh = [item for item in ids
+                         if item not in reference]
+                array_list.insert_batch(
+                    np.array(fresh, dtype=np.int64),
+                    np.full(len(fresh), value))
+                for item in fresh:
+                    reference.insert(item, value)
+            elif op == "remove" and members:
+                mask = np.zeros(10, dtype=bool)
+                mask[members] = True
+                array_list.remove_mask(mask)
+                for item in members:
+                    reference.remove(item)
+            elif op == "adjust":
+                array_list.adjust(value - 1.0)
+                reference.adjust(value - 1.0)
+        assert array_list.items() == pytest.approx(reference.items())
+        assert list(array_list.stored) == sorted(array_list.stored)
+
+
+class TestMergedDescendingArrays:
+    def test_merge_is_globally_descending_with_all_ids(self):
+        lists = [ArrayDeltaList() for _ in range(3)]
+        lists[0].insert_batch(np.array([1, 2]), np.array([5.0, 1.0]))
+        lists[1].insert_batch(np.array([3]), np.array([4.0]))
+        lists[1].adjust(1.0)  # 3 -> 5.0, tying with 1
+        lists[2].insert_batch(np.array([4]), np.array([9.0]))
+        ids, values = merged_descending(lists)
+        assert list(values) == sorted(values, reverse=True)
+        assert set(ids.tolist()) == {1, 2, 3, 4}
+        assert ids[0] == 4 and ids[-1] == 2
+
+    def test_empty_lists_are_skipped(self):
+        ids, values = merged_descending([ArrayDeltaList()])
+        assert len(ids) == 0 and len(values) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.lists(st.tuples(st.integers(0, 50),
+                                       st.floats(0, 20,
+                                                 allow_nan=False)),
+                             max_size=12),
+                    min_size=1, max_size=3),
+           st.lists(st.floats(-3, 3, allow_nan=False), max_size=3))
+    def test_matches_concatenated_sort(self, contents, adjustments):
+        seen: set[int] = set()
+        lists = []
+        expected: dict[int, float] = {}
+        for index, pairs in enumerate(contents):
+            lst = ArrayDeltaList()
+            if index < len(adjustments):
+                lst.adjust(adjustments[index])
+            fresh_ids, fresh_vals = [], []
+            for item, value in pairs:
+                if item in seen:
+                    continue
+                seen.add(item)
+                fresh_ids.append(item)
+                fresh_vals.append(value)
+                expected[item] = value
+            lst.insert_batch(np.array(fresh_ids, dtype=np.int64),
+                             np.array(fresh_vals))
+            lists.append(lst)
+        ids, values = merged_descending(lists)
+        assert list(values) == sorted(values, reverse=True)
+        assert {int(i): float(v) for i, v in zip(ids, values)} \
+            == pytest.approx(expected)

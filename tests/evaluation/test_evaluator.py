@@ -79,7 +79,7 @@ class TestWorkAccounting:
         result = evaluator.run_auction(workload.keywords[0], 1.0)
         # Union of per-slot top-(k+1) lists: at most k * (k+1).
         assert len(result.candidates) <= 5 * 6
-        assert result.sequential_accesses < 2 * 300 * 5
+        assert result.sequential_count < 2 * 300 * 5
 
     def test_accesses_shrink_relative_to_population(self):
         small = PaperWorkload(PaperWorkloadConfig(
@@ -93,7 +93,7 @@ class TestWorkAccounting:
             for t in range(1, 20):
                 keyword = workload.keywords[t % 2]
                 result = evaluator.run_auction(keyword, float(t))
-                total += result.sequential_accesses
+                total += result.sequential_count
             accesses[name] = total
         # 20x the advertisers must NOT cost 20x the accesses.
         assert accesses["large"] < 8 * accesses["small"]

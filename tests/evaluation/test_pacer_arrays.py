@@ -1,0 +1,182 @@
+"""The array mirror's contract: LazyPacerArrays == LazyPacerState.
+
+The vectorized RHTALU path replaces the dict-backed lazy state with
+:class:`~repro.evaluation.pacer_arrays.LazyPacerArrays`.  These tests
+drive both implementations through identical auction/win sequences —
+mode flips in both directions, bid saturation at both bounds, trigger
+storms — and require bid-for-bid and mode-for-mode agreement, plus the
+merged-walk invariants the TA kernel relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.pacer_arrays import LazyPacerArrays
+from repro.evaluation.pacer_state import LazyPacerState
+
+
+def build_states(seed, n=15, n_keywords=3, initial_fraction=0.5):
+    rng = np.random.default_rng(seed)
+    keywords = [f"kw{j}" for j in range(n_keywords)]
+    values = rng.uniform(0.5, 20.0, size=(n, n_keywords))
+    targets = rng.uniform(0.5, 5.0, size=n)
+    reference = LazyPacerState()
+    for i in range(n):
+        reference.add_advertiser(i, float(targets[i]))
+        for j, text in enumerate(keywords):
+            reference.add_keyword_bid(
+                i, text,
+                initial_bid=initial_fraction * float(values[i, j]),
+                maxbid=float(values[i, j]))
+    mirror = LazyPacerArrays.from_state(reference, n)
+    return reference, mirror, keywords, rng
+
+
+def assert_parity(reference, mirror, keywords, context):
+    for text in keywords:
+        expected = reference.bids_for_keyword(text)
+        actual = mirror.bids_for_keyword(text)
+        for advertiser, bid in expected.items():
+            assert actual[advertiser] == pytest.approx(bid, abs=1e-9), \
+                (context, text, advertiser)
+    for advertiser in range(mirror.num_advertisers):
+        assert reference.mode_of(advertiser) \
+            == mirror.mode_of(advertiser), (context, advertiser)
+
+
+class TestMirrorParity:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_random_trajectories_agree(self, seed):
+        reference, mirror, keywords, rng = build_states(seed)
+        for t in range(1, 100):
+            text = keywords[int(rng.integers(len(keywords)))]
+            reference.begin_auction(text, float(t))
+            source = mirror.begin_auction(text, float(t))
+            walk = list(source.descending())
+            assert len(walk) == mirror.num_advertisers
+            values = [value for _, value in walk]
+            assert values == sorted(values, reverse=True)
+            if rng.random() < 0.4:
+                winner = int(rng.integers(mirror.num_advertisers))
+                price = float(rng.uniform(1.0, 15.0))
+                reference.record_win(winner, price, float(t))
+                mirror.record_win(winner, price, float(t))
+        assert_parity(reference, mirror, keywords, seed)
+
+    def test_saturation_at_cap_without_wins(self):
+        reference, mirror, keywords, _ = build_states(3, n=6,
+                                                      n_keywords=2)
+        for t in range(1, 60):
+            text = keywords[t % 2]
+            reference.begin_auction(text, float(t))
+            mirror.begin_auction(text, float(t))
+        assert_parity(reference, mirror, keywords, "cap")
+        for text in keywords:
+            bids = mirror.bids_for_keyword(text)
+            col = mirror.kw_index[text]
+            for advertiser, bid in bids.items():
+                assert bid == pytest.approx(
+                    mirror.maxbid[advertiser, col])
+
+    def test_floor_at_zero_and_mode_flip_back(self):
+        reference, mirror, keywords, _ = build_states(9, n=4,
+                                                      n_keywords=1)
+        text = keywords[0]
+        reference.begin_auction(text, 1.0)
+        mirror.begin_auction(text, 1.0)
+        for advertiser in range(4):
+            reference.record_win(advertiser, 300.0, 1.0)
+            mirror.record_win(advertiser, 300.0, 1.0)
+        assert all(mirror.mode_of(a) == "dec" for a in range(4))
+        horizon = int(300.0 * 4 / float(mirror.target.min())) + 10
+        stride = max(horizon // 80, 1)
+        for t in range(2, horizon, stride):
+            reference.begin_auction(text, float(t))
+            mirror.begin_auction(text, float(t))
+            assert_parity(reference, mirror, keywords, t)
+        assert all(mirror.mode_of(a) == "inc" for a in range(4))
+
+    def test_effective_bid_matches_snapshot(self):
+        _, mirror, keywords, _ = build_states(5)
+        mirror.begin_auction(keywords[0], 1.0)
+        snapshot = mirror.bids_for_keyword(keywords[0])
+        for advertiser, bid in snapshot.items():
+            assert mirror.effective_bid(advertiser, keywords[0]) == bid
+
+
+class TestBidSourceView:
+    def test_dense_mirror_matches_walk(self):
+        _, mirror, keywords, _ = build_states(7)
+        source = mirror.begin_auction(keywords[0], 1.0)
+        for item, value in source.descending():
+            assert source.eff[item] == value
+            assert source.key(item) == value
+        assert 0 in source
+        assert mirror.num_advertisers not in source
+
+    def test_view_is_invalidated_by_next_auction(self):
+        # Documented lifetime: the eff buffer is per-state scratch.
+        _, mirror, keywords, _ = build_states(8, n_keywords=2)
+        first = mirror.begin_auction(keywords[0], 1.0)
+        second = mirror.begin_auction(keywords[1], 2.0)
+        assert first.eff is second.eff
+
+
+class TestAccounting:
+    def test_physical_moves_stay_sublinear(self):
+        reference, mirror, keywords, _ = build_states(17, n=40,
+                                                      n_keywords=2)
+        for t in range(1, 150):
+            text = keywords[t % 2]
+            reference.begin_auction(text, float(t))
+            mirror.begin_auction(text, float(t))
+        eager_updates = 150 * 40
+        assert mirror.physical_moves < eager_updates / 10
+        assert mirror.keyword_count(keywords[0]) \
+            == reference.keyword_count(keywords[0])
+
+    def test_trigger_stats_exposed(self):
+        _, mirror, _, _ = build_states(21, n=4, n_keywords=1)
+        scheduled, fired, pending = mirror.trigger_stats()
+        assert scheduled >= 4  # one bound trigger per unsaturated bid
+        assert fired == 0
+        assert pending == scheduled
+
+
+class TestValidation:
+    def test_sparse_registration_rejected(self):
+        state = LazyPacerState()
+        state.add_advertiser(0, 1.0)
+        state.add_advertiser(1, 1.0)
+        state.add_keyword_bid(0, "kw", initial_bid=1.0, maxbid=2.0)
+        with pytest.raises(ValueError):
+            LazyPacerArrays.from_state(state, 2)
+
+    def test_non_dense_ids_rejected(self):
+        state = LazyPacerState()
+        state.add_advertiser(3, 1.0)
+        state.add_keyword_bid(3, "kw", initial_bid=1.0, maxbid=2.0)
+        with pytest.raises(ValueError):
+            LazyPacerArrays.from_state(state, 2)
+
+    def test_no_keywords_rejected(self):
+        state = LazyPacerState()
+        with pytest.raises(ValueError):
+            LazyPacerArrays.from_state(state, 0)
+
+    def test_unknown_keyword_rejected(self):
+        _, mirror, _, _ = build_states(1)
+        with pytest.raises(KeyError):
+            mirror.begin_auction("missing", 1.0)
+
+    def test_negative_price_rejected(self):
+        _, mirror, _, _ = build_states(2)
+        with pytest.raises(ValueError):
+            mirror.record_win(0, -1.0, 1.0)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError):
+            LazyPacerArrays(np.array([1.0]), ["kw"], step=0.0)

@@ -1,10 +1,11 @@
 """Tests for the sorted per-parameter index."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.evaluation.sorted_index import SortedIndex
+from repro.evaluation.sorted_index import ColumnArgsortIndex, SortedIndex
 
 
 class TestBasics:
@@ -77,3 +78,93 @@ class TestProperties:
         assert index.items() == pytest.approx(mirror)
         keys = [key for _, key in index.descending()]
         assert keys == sorted(keys, reverse=True)
+
+
+class TestAdversarialUpdates:
+    """Update paths under equal keys and repeated churn."""
+
+    def test_equal_keys_iterate_higher_id_first(self):
+        index = SortedIndex({3: 5.0, 1: 5.0, 2: 5.0})
+        assert [item for item, _ in index.descending()] == [3, 2, 1]
+
+    def test_remove_specific_id_among_equal_keys(self):
+        index = SortedIndex({1: 5.0, 2: 5.0, 3: 5.0})
+        assert index.remove(2) == 5.0
+        assert [item for item, _ in index.descending()] == [3, 1]
+        index.insert(2, 5.0)
+        assert [item for item, _ in index.descending()] == [3, 2, 1]
+
+    def test_update_within_a_tie_class_is_stable(self):
+        index = SortedIndex({1: 5.0, 2: 5.0, 3: 5.0})
+        index.update(3, 5.0)  # no-op reposition among equals
+        assert [item for item, _ in index.descending()] == [3, 2, 1]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "remove",
+                                               "update"]),
+                              st.integers(0, 8),
+                              st.sampled_from([0.0, 1.0, 1.0, 2.0])),
+                    max_size=40))
+    def test_churn_with_heavy_ties_matches_mirror(self, ops):
+        # Keys drawn from {0, 1, 2} force dense tie classes; every op
+        # must keep the (key, id) order exact and never corrupt the
+        # entry list (the internal assert in remove() would fire).
+        index = SortedIndex()
+        mirror: dict[int, float] = {}
+        for op, item, key in ops:
+            if op == "insert" and item not in mirror:
+                index.insert(item, key)
+                mirror[item] = key
+            elif op == "remove" and item in mirror:
+                assert index.remove(item) == mirror.pop(item)
+            elif op == "update" and item in mirror:
+                index.update(item, key)
+                mirror[item] = key
+        assert index.items() == mirror
+        stream = list(index.descending())
+        assert [key for _, key in stream] \
+            == sorted(mirror.values(), reverse=True)
+        # Within a tie class, ids descend (the reversed (key, id) sort).
+        for (id_a, key_a), (id_b, key_b) in zip(stream, stream[1:]):
+            if key_a == key_b:
+                assert id_a > id_b
+
+
+class TestColumnArgsortIndex:
+    def test_columns_match_per_slot_sorted_indexes(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.uniform(0.1, 0.9, size=(40, 4))
+        matrix[rng.random((40, 4)) < 0.2] = 0.5  # tie classes
+        shared = ColumnArgsortIndex(matrix)
+        for col in range(4):
+            reference = SortedIndex({i: float(matrix[i, col])
+                                     for i in range(40)})
+            assert list(shared.column(col).descending()) \
+                == list(reference.descending())
+
+    def test_rank_is_the_inverse_of_order(self):
+        matrix = np.random.default_rng(6).uniform(size=(25, 3))
+        shared = ColumnArgsortIndex(matrix)
+        for col in range(3):
+            order = shared.order[:, col]
+            assert (shared.rank[order, col]
+                    == np.arange(len(order))).all()
+
+    def test_sorted_values_align_with_order(self):
+        matrix = np.random.default_rng(7).uniform(size=(10, 2))
+        shared = ColumnArgsortIndex(matrix)
+        np.testing.assert_array_equal(
+            shared.sorted_values,
+            np.take_along_axis(matrix, shared.order, axis=0))
+
+    def test_column_view_random_access(self):
+        matrix = np.array([[0.3, 0.6], [0.9, 0.1]])
+        shared = ColumnArgsortIndex(matrix)
+        view = shared.column(1)
+        assert view.key(0) == 0.6
+        assert len(view) == 2
+        assert 1 in view and 5 not in view
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnArgsortIndex(np.ones(3))

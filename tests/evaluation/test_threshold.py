@@ -5,10 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.evaluation.sorted_index import SortedIndex
+from repro.evaluation.sorted_index import ColumnArgsortIndex, SortedIndex
 from repro.evaluation.threshold import (
     full_scan_top_k,
     product_aggregate,
+    product_top_k_all_slots,
     threshold_top_k,
 )
 
@@ -98,3 +99,176 @@ class TestInstanceOptimalityInPractice:
         sources = _sources_from_arrays([1.0, 0.5], [1.0, 0.5])
         result = threshold_top_k(sources, product_aggregate, 1)
         assert result.threshold_at_stop <= 1.0
+
+
+class TestTieBreaking:
+    """Lock TA's tie semantics before/under the array rewrite.
+
+    TA's contract is *score* exactness: among items it has seen, equal
+    scores resolve toward the lower id (the ``(score, -id)`` heap
+    order), but sorted access surfaces equal keys higher-id first
+    (``SortedIndex.descending()``), and TA legitimately stops without
+    seeing every member of a tie class — so tie *identity* depends on
+    the walk, and these tests pin the exact current outcomes.
+    """
+
+    def test_all_equal_scores_stop_at_first_seen(self):
+        # Equal keys walk 7, 6, 5, ...; TA stops once the heap fills
+        # and the threshold matches, never seeing ids 0-4.
+        sources = _sources_from_arrays([2.0] * 8, [3.0] * 8)
+        result = threshold_top_k(sources, product_aggregate, 3)
+        assert result.ids() == [5, 6, 7]
+        assert result.threshold_at_stop == 6.0
+
+    def test_tie_at_the_cut_prefers_lower_seen_ids(self):
+        # id0 scores 8; ids 1-4 tie at 6.  The walk surfaces 4, 3 (and
+        # 0) before stopping; among the seen tie class the lower ids
+        # win the remaining heap slots.
+        sources = _sources_from_arrays([4.0, 3.0, 3.0, 3.0, 3.0],
+                                       [2.0, 2.0, 2.0, 2.0, 2.0])
+        result = threshold_top_k(sources, product_aggregate, 3)
+        assert result.ids() == [0, 3, 4]
+
+    def test_zero_score_ties(self):
+        # The zero-bid source yields id 3 first; both seen zeros tie
+        # and survive, lower id ordered first in the result.
+        sources = _sources_from_arrays([0.5, 0.4, 0.3, 0.2],
+                                       [0.0, 0.0, 0.0, 0.0])
+        result = threshold_top_k(sources, product_aggregate, 2)
+        assert result.ids() == [0, 3]
+        assert [score for _, score in result.items] == [0.0, 0.0]
+
+    def test_fully_walked_ties_break_toward_lower_ids(self):
+        # k = n forces TA to exhaust both sources: with everything
+        # seen, tie-breaking is purely the (score, -id) heap order.
+        sources = _sources_from_arrays([1.0, 1.0, 1.0, 2.0],
+                                       [1.0, 1.0, 1.0, 0.5])
+        result = threshold_top_k(sources, product_aggregate, 4)
+        assert result.ids() == [0, 1, 2, 3]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 30), st.integers(1, 6),
+           st.integers(0, 2**31 - 1))
+    def test_tied_universes_match_full_scan_scores(self, n, k, seed):
+        # Draw attributes from a tiny value set so exact ties abound:
+        # identities may differ across the seen boundary, but the
+        # score multiset must match the full scan exactly.
+        rng = np.random.default_rng(seed)
+        attributes = rng.choice([0.0, 0.25, 0.5, 1.0], size=(2, n))
+        sources = _sources_from_arrays(*attributes)
+        ta = threshold_top_k(sources, product_aggregate, k)
+        scan = full_scan_top_k(sources, product_aggregate, k,
+                               universe=range(n))
+        assert [score for _, score in ta.items] \
+            == [score for _, score in scan.items]
+
+
+class TestFusedKernel:
+    """product_top_k_all_slots against the per-slot reference."""
+
+    @staticmethod
+    def _run(matrix, bids, depth, block=16):
+        index = ColumnArgsortIndex(matrix)
+        walk = np.argsort(-bids, kind="stable").astype(np.int64)
+        rank = np.empty_like(walk)
+        rank[walk] = np.arange(len(walk))
+        return product_top_k_all_slots(index, walk, bids[walk], rank,
+                                       bids, depth, block=block)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 120), st.integers(1, 6), st.integers(1, 9),
+           st.integers(0, 2**31 - 1))
+    def test_matches_full_scan_scores_per_slot(self, n, k, depth, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(0.05, 0.95, size=(n, k))
+        bids = rng.uniform(0, 50, size=n)
+        bids[rng.random(n) < 0.2] = 0.0  # zero-score ties
+        result = self._run(matrix, bids, depth)
+        for col in range(k):
+            scan = full_scan_top_k(
+                [SortedIndex({i: float(matrix[i, col])
+                              for i in range(n)}),
+                 SortedIndex({i: float(bids[i]) for i in range(n)})],
+                product_aggregate, depth, universe=range(n))
+            got = sorted((float(matrix[i, col] * bids[i])
+                          for i in result.slot_ids[col]), reverse=True)
+            want = sorted((score for _, score in scan.items),
+                          reverse=True)
+            assert got == pytest.approx(want, abs=1e-12)
+            ids = [int(i) for i in result.slot_ids[col]]
+            assert len(set(ids)) == len(ids)  # dedup across sources
+
+    def test_ties_resolve_toward_lower_ids(self):
+        matrix = np.full((6, 2), 0.5)
+        bids = np.full(6, 3.0)
+        result = self._run(matrix, bids, depth=3)
+        for col in range(2):
+            assert sorted(int(i) for i in result.slot_ids[col]) \
+                == [0, 1, 2]
+
+    def test_depth_beyond_universe_returns_everyone(self):
+        matrix = np.array([[0.2], [0.8]])
+        bids = np.array([1.0, 2.0])
+        result = self._run(matrix, bids, depth=10)
+        assert sorted(int(i) for i in result.slot_ids[0]) == [0, 1]
+
+    def test_depth_zero(self):
+        result = self._run(np.ones((3, 2)), np.ones(3), depth=0)
+        assert all(len(ids) == 0 for ids in result.slot_ids)
+        assert result.sequential_count == 0
+
+    def test_mismatched_walk_rejected(self):
+        index = ColumnArgsortIndex(np.ones((3, 1)))
+        with pytest.raises(ValueError):
+            product_top_k_all_slots(index, np.arange(2), np.ones(2),
+                                    np.arange(2), np.ones(3), 1)
+
+    def _scores_match_scan(self, matrix, bids, depth, block):
+        result = self._run(matrix, bids, depth, block=block)
+        n, k = matrix.shape
+        for col in range(k):
+            scan = full_scan_top_k(
+                [SortedIndex({i: float(matrix[i, col])
+                              for i in range(n)}),
+                 SortedIndex({i: float(bids[i]) for i in range(n)})],
+                product_aggregate, depth, universe=range(n))
+            got = sorted((float(matrix[i, col] * bids[i])
+                          for i in result.slot_ids[col]), reverse=True)
+            want = sorted((score for _, score in scan.items),
+                          reverse=True)
+            assert got == pytest.approx(want, abs=1e-12), (col, block)
+
+    def test_cross_block_duplicate_cannot_stop_early(self):
+        # Regression: an id surfaced by the bid walk in an early block
+        # and by the click walk in a later one must not occupy two
+        # running top-k slots — the duplicated high score would
+        # inflate the k-th best and fire the threshold stop before a
+        # qualifying unseen id is reached.  Discrete values make such
+        # cross-block overlaps common; block=1 maximizes block skew.
+        rng = np.random.default_rng(0)
+        for _ in range(123):
+            matrix = rng.choice([0.1, 0.3, 0.5, 0.7, 0.9],
+                                size=(48, 2))
+            bids = rng.choice([0.0, 1.0, 2.0, 5.0, 10.0], size=48)
+        for block in (1, 2, 5, 16):
+            self._scores_match_scan(matrix, bids, 4, block)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(2, 60), st.integers(1, 4), st.integers(1, 6),
+           st.integers(1, 7), st.integers(0, 2**31 - 1))
+    def test_discrete_values_match_scan_at_any_block(self, n, k, depth,
+                                                     block, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.choice([0.1, 0.3, 0.5, 0.7, 0.9], size=(n, k))
+        bids = rng.choice([0.0, 1.0, 2.0, 5.0, 10.0], size=n)
+        self._scores_match_scan(matrix, bids, depth, block)
+
+    def test_accesses_stay_sublinear_on_correlated_inputs(self):
+        # Both sources rank identically: the kernel stops after the
+        # first block even though n is large.
+        n = 4000
+        values = np.linspace(1.0, 2.0, n)
+        matrix = values[:, None] * np.ones((1, 3))
+        result = self._run(matrix, values.copy(), depth=4, block=16)
+        assert result.sequential_count <= 3 * 2 * 16
+        assert result.random_count < 3 * 2 * 16

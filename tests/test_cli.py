@@ -25,6 +25,16 @@ class TestSimulate:
         assert code == 0
         assert "auctions=5" in capsys.readouterr().out
 
+    def test_rhtalu_batch_matches_sequential(self, capsys):
+        args = ["simulate", "--advertisers", "20", "--auctions", "10",
+                "--slots", "3", "--keywords", "2", "--method", "rhtalu"]
+        assert main(args) == 0
+        sequential_out = capsys.readouterr().out
+        assert main(args + ["--batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert (sequential_out.split("eval=")[0]
+                == batch_out.split("eval=")[0])
+
 
 class TestSimulateBatch:
     def test_batch_matches_sequential(self, capsys):
@@ -57,6 +67,22 @@ class TestBenchThroughput:
         assert written == ["rh_n30_batched.json",
                            "rh_n30_sequential.json",
                            "rh_n30_throughput.json"]
+
+    def test_rhtalu_method_batches(self, capsys, tmp_path):
+        """The lazy path is a first-class bench-throughput method."""
+        code = main(["bench-throughput", "--advertisers", "30",
+                     "--auctions", "20", "--slots", "3",
+                     "--keywords", "2", "--method", "rhtalu",
+                     "--profile-dir", str(tmp_path / "profiles")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "method=rhtalu" in out
+        assert "results identical: True" in out
+        written = sorted(p.name
+                         for p in (tmp_path / "profiles").iterdir())
+        assert written == ["rhtalu_n30_batched.json",
+                           "rhtalu_n30_sequential.json",
+                           "rhtalu_n30_throughput.json"]
 
     def test_min_speedup_can_fail(self, capsys, tmp_path):
         # An absurd bar must trip the failure exit path.
