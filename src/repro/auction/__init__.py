@@ -2,7 +2,13 @@
 
 Query arrival, program evaluation (eager or RHTALU-lazy), winner
 determination, simulated user actions, pricing (generalised second price
-/ VCG / pay-your-bid), and provider-side accounting.
+/ VCG / pay-your-bid / the distributed slot-list GSP), and
+provider-side accounting.  Settlement — everything after winner
+determination — is factored into :class:`~repro.auction.settlement
+.AuctionSettler`, shared by the engine, the batched pipeline, and the
+multi-process sharded runtime (:mod:`repro.runtime`); the per-shard
+half of the batch kernels lives in :class:`~repro.auction.batch
+.ShardEvalState`.
 """
 
 from repro.auction.accounts import AccountBook, AdvertiserAccount
@@ -11,6 +17,7 @@ from repro.auction.batch import (
     BatchStats,
     GroupPlan,
     PacerArrays,
+    ShardEvalState,
 )
 from repro.auction.analysis import (
     AdvertiserReport,
@@ -34,8 +41,10 @@ from repro.auction.pricing import (
     PayYourBid,
     PriceQuote,
     PricingRule,
+    SlotListSecondPrice,
     VickreyPricing,
 )
+from repro.auction.settlement import AuctionSettler, NotifyFn
 from repro.auction.trace import (
     read_trace,
     record_from_dict,
@@ -49,6 +58,7 @@ __all__ = [
     "AdvertiserAccount",
     "AdvertiserReport",
     "AuctionEngine",
+    "AuctionSettler",
     "AuctionRecord",
     "BatchPlanner",
     "BatchStats",
@@ -57,12 +67,15 @@ __all__ = [
     "PacerArrays",
     "GeneralizedSecondPrice",
     "HeavyweightUserModel",
+    "NotifyFn",
     "PacingAudit",
     "PayYourBid",
     "PriceQuote",
     "PricingRule",
     "RevenueCurvePoint",
     "RunSummary",
+    "ShardEvalState",
+    "SlotListSecondPrice",
     "UserModel",
     "VickreyPricing",
     "advertiser_reports",

@@ -49,9 +49,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.revenue import RevenueMatrix
+from repro.core.revenue import RevenueMatrix, click_bid_revenue_matrix
 from repro.lang.formula import Atom
 from repro.lang.predicates import ClickPredicate
+from repro.matching.reduction import ReducedGraph, reduce_graph
+from repro.probability.click_models import TabularClickModel
 from repro.strategies.roi_equalizer import SimpleROIPacer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -210,6 +212,74 @@ class PacerArrays:
         gained = self.value_per_click[advertiser, col] if clicked else 0.0
         self.spent[advertiser, col] += price
         self.gained[advertiser, col] += gained
+
+
+class ShardEvalState:
+    """One advertiser shard's eager evaluation state, self-contained.
+
+    The separation the multi-process runtime (:mod:`repro.runtime`)
+    builds on: everything *per-advertiser* — pacer state, click rows,
+    revenue/weight buffers, the per-slot top-k scan — lives here and
+    needs no view of the rest of the population; everything *global* —
+    the merged reduction, matching, user, pricing, accounts — lives
+    with the coordinator's :class:`~repro.auction.settlement
+    .AuctionSettler`.  Advertiser ids are shard-local (``0..m-1``);
+    callers translate with the shard's offset.
+
+    The kernels are the exact per-row operations of the single-process
+    batched pipeline (:class:`PacerArrays` evaluation and notification
+    folds, ``click_bid_revenue_matrix`` rows, ``reduce_graph``'s
+    per-slot selection restricted to the shard), so a row of a shard
+    computes the same floats it would compute inside the full arrays —
+    the per-shard half of the runtime's bit-identity argument.
+    """
+
+    def __init__(self, programs: list[SimpleROIPacer],
+                 click_rows: np.ndarray, top_depth: int):
+        num_local = len(programs)
+        if click_rows.shape[0] != num_local:
+            raise ValueError(
+                f"{num_local} programs but {click_rows.shape[0]} click "
+                f"rows")
+        arrays = PacerArrays.from_programs(programs, num_local)
+        if arrays is None:
+            raise ValueError(
+                "shard population is not vectorizable (the sharded "
+                "runtime supports single-Click-bid pacer populations)")
+        self.arrays = arrays
+        self.click_model = TabularClickModel(click_rows)
+        self.num_slots = click_rows.shape[1]
+        self.top_depth = top_depth
+        self.bid_out = np.zeros(num_local)
+        self.revenue = RevenueMatrix(
+            assigned=np.zeros((num_local, self.num_slots)),
+            unassigned=np.zeros(num_local))
+        self.adjusted = np.zeros((num_local, self.num_slots))
+
+    def fold_win(self, advertiser: int, keyword: str, clicked: bool,
+                 charge: float) -> None:
+        """Apply one past win to the shard (local advertiser id)."""
+        self.arrays.fold_notification(advertiser, keyword, clicked,
+                                      charge)
+
+    def evaluate(self, keyword: str, time: float) -> np.ndarray:
+        """The shard's slice of the population-wide bid vector."""
+        return self.arrays.evaluate(keyword, time, out=self.bid_out)
+
+    def scan(self) -> ReducedGraph:
+        """Revenue rows plus the shard-local per-slot top-list scan.
+
+        The returned graph's per-slot lists have ``top_depth`` entries
+        (``num_slots + 1`` in the runtime, so the coordinator can both
+        pick global top-k candidates and GSP-price from the merged
+        lists); its ``weights`` rows are fresh copies safe to ship
+        across a process boundary.
+        """
+        click_bid_revenue_matrix(self.bid_out, self.click_model,
+                                 out=self.revenue)
+        self.revenue.adjusted(out=self.adjusted)
+        return reduce_graph(self.adjusted, backend="numpy",
+                            top_k=self.top_depth)
 
 
 @dataclass

@@ -30,13 +30,18 @@ import numpy as np
 from repro.auction.accounts import AccountBook
 from repro.auction.events import AuctionRecord
 from repro.auction.pricing import GeneralizedSecondPrice, PricingRule
+from repro.auction.settlement import AuctionSettler, NotifyFn
 from repro.auction.user_model import UserModel
-from repro.core.revenue import build_revenue_matrix, click_bid_revenue_matrix
-from repro.core.winner_determination import Method, solve
+from repro.core.parallel import solve_parallel
+from repro.core.revenue import (
+    RevenueMatrix,
+    build_revenue_matrix,
+    click_bid_revenue_matrix,
+)
+from repro.core.winner_determination import Method, WdResult, solve
 from repro.evaluation.evaluator import RhtaluEvaluator
 from repro.lang.bids import BidsTable
 from repro.lang.formula import Atom
-from repro.lang.outcome import Allocation
 from repro.lang.predicates import ClickPredicate
 from repro.matching.types import MatchingResult
 from repro.probability.click_models import ClickModel
@@ -58,12 +63,33 @@ class EngineConfig:
 
     ``record_log`` additionally feeds an :class:`InteractionLog` for the
     probability-estimation pipeline.
+
+    ``wd_leaves``, when set (method ``rh`` only), routes winner
+    determination through the Section III-E tree network
+    (:func:`repro.core.parallel.solve_parallel`): the top-k scan runs
+    over that many simulated leaf shards and the per-auction parallel
+    accounting (max leaf work, critical-path work) lands on
+    ``AuctionRecord.wd_stats`` for the phase profiler.  The allocation
+    is bit-identical to plain ``rh``.
     """
 
     num_slots: int
     method: EngineMethod = "rh"
     seed: int = 0
     record_log: bool = False
+    wd_leaves: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.wd_leaves is None:
+            return
+        if self.method != "rh":
+            raise ValueError(
+                f"wd_leaves applies to method 'rh' only (the tree "
+                f"network shards the RH top-k scan), got method "
+                f"{self.method!r}")
+        if self.wd_leaves < 1:
+            raise ValueError(
+                f"wd_leaves must be >= 1, got {self.wd_leaves}")
 
 
 class AuctionEngine:
@@ -94,6 +120,9 @@ class AuctionEngine:
         self.rng = np.random.default_rng(config.seed)
         self.user_model = UserModel(click_model, purchase_model)
         self.accounts = AccountBook()
+        self.settler = AuctionSettler(self.user_model, self.pricing,
+                                      self.accounts, config.num_slots,
+                                      self.rng)
         self.auction_id = 0
         self.last_batch_stats = None
         self.interaction_log = (
@@ -181,14 +210,13 @@ class AuctionEngine:
         revenue = click_bid_revenue_matrix(bids, self.click_model,
                                            out=plan.revenue)
         weights = revenue.adjusted(out=plan.adjusted)
-        result = solve(revenue, method=self.config.method,
-                       adjusted=weights)
+        result, wd_stats = self._solve_eager(revenue, weights)
         wd_seconds = time_module.perf_counter() - start
 
         arrays = planner.arrays
 
-        def notify(advertiser: int, clicked: bool, purchased: bool,
-                   charge: float) -> None:
+        def notify(advertiser: int, slot: int | None, clicked: bool,
+                   purchased: bool, charge: float) -> None:
             arrays.fold_notification(advertiser, query.text, clicked,
                                      charge)
 
@@ -196,7 +224,7 @@ class AuctionEngine:
                             result.matching, result.expected_revenue,
                             weights, bids, eval_seconds, wd_seconds,
                             num_candidates=weights.shape[0],
-                            notify_fn=notify)
+                            notify_fn=notify, wd_stats=wd_stats)
 
     def run_auction(self) -> AuctionRecord:
         """One full pass through the six-step protocol."""
@@ -215,6 +243,23 @@ class AuctionEngine:
 
     # -- eager path ------------------------------------------------------------
 
+    def _solve_eager(self, revenue: RevenueMatrix,
+                     adjusted: np.ndarray
+                     ) -> tuple[WdResult, dict | None]:
+        """Winner determination, optionally over the tree network.
+
+        With ``wd_leaves`` configured (method ``rh``), the top-k scan
+        runs sharded over the simulated tree and the run's parallel
+        accounting is returned alongside the (identical) result.
+        """
+        if (self.config.wd_leaves is not None
+                and self.config.method == "rh"):
+            parallel = solve_parallel(revenue, self.config.wd_leaves,
+                                      adjusted=adjusted)
+            return parallel.result, parallel.stats.as_dict()
+        return solve(revenue, method=self.config.method,
+                     adjusted=adjusted), None
+
     def _run_eager(self, query: Query, now: float) -> AuctionRecord:
         ctx = AuctionContext(auction_id=self.auction_id, time=now,
                              query=query,
@@ -232,8 +277,7 @@ class AuctionEngine:
             revenue = build_revenue_matrix(tables, self.click_model,
                                            self.purchase_model)
         weights = revenue.adjusted()
-        result = solve(revenue, method=self.config.method,
-                       adjusted=weights)
+        result, wd_stats = self._solve_eager(revenue, weights)
         wd_seconds = time_module.perf_counter() - start
         if bids is None:
             bids = np.array([tables[i].total_declared_value()
@@ -242,7 +286,8 @@ class AuctionEngine:
         return self._settle(query, now, result.allocation.slot_of,
                             result.matching, result.expected_revenue,
                             weights, bids, eval_seconds, wd_seconds,
-                            num_candidates=weights.shape[0])
+                            num_candidates=weights.shape[0],
+                            wd_stats=wd_stats)
 
     # -- RHTALU path -------------------------------------------------------------
 
@@ -280,84 +325,43 @@ class AuctionEngine:
                 bids: np.ndarray, eval_seconds: float,
                 wd_seconds: float, num_candidates: int,
                 id_map: list[int] | None = None,
-                notify_fn: Callable[[int, bool, bool, float], None]
-                | None = None,
-                click_rows: np.ndarray | None = None) -> AuctionRecord:
-        settle_start = time_module.perf_counter()
-        allocation = Allocation(num_slots=self.config.num_slots,
-                                slot_of=dict(slot_of))
-        outcome = self.user_model.sample(allocation, self.rng)
+                notify_fn: NotifyFn | None = None,
+                click_rows: np.ndarray | None = None,
+                wd_stats: dict | None = None) -> AuctionRecord:
+        """Delegate to the shared :class:`AuctionSettler`.
 
-        if click_rows is not None:
-            click_probs = click_rows
-        elif id_map is not None:
-            click_probs = self.click_model.as_matrix()[id_map, :]
-        else:
-            click_probs = self.click_model.as_matrix()
-        price_start = time_module.perf_counter()
-        quotes = self.pricing.quote(weights, bids, click_probs, matching)
-        price_seconds = time_module.perf_counter() - price_start
-
-        realized = 0.0
-        prices: dict[int, float] = {}
-        notified: set[int] = set()
-        for quote in quotes:
-            advertiser = (id_map[quote.advertiser] if id_map is not None
-                          else quote.advertiser)
-            self.accounts.record_impression(advertiser)
-            charge = quote.per_impression
-            clicked = advertiser in outcome.clicked
-            purchased = advertiser in outcome.purchased
-            if clicked:
-                self.accounts.record_click(advertiser)
-                charge += quote.per_click
-            if purchased:
-                self.accounts.record_purchase(advertiser)
-            if charge > 0:
-                self.accounts.charge(advertiser, charge)
-                realized += charge
-            prices[advertiser] = charge
-            if notify_fn is not None:
-                notify_fn(advertiser, clicked, purchased, charge)
-            else:
-                self._notify(advertiser, query, now, allocation, clicked,
+        The engine's contribution is the notification default: fold the
+        win back into its own programs (or the lazy evaluator).  The
+        settler itself is execution-strategy agnostic — the sharded
+        runtime drives the very same one with a routing ``notify_fn``.
+        """
+        if notify_fn is None:
+            def notify_fn(advertiser: int, slot: int | None,
+                          clicked: bool, purchased: bool,
+                          charge: float) -> None:
+                self._notify(advertiser, query, now, slot, clicked,
                              purchased, charge)
-            notified.add(advertiser)
-
-        settle_seconds = (time_module.perf_counter() - settle_start
-                          - price_seconds)
-        # Losing programs are not notified: nothing observable happened
-        # to them (Section IV's premise that only winners change state).
-        return AuctionRecord(
-            auction_id=self.auction_id,
-            keyword=query.text,
-            allocation=allocation,
-            outcome=outcome,
-            expected_revenue=expected_revenue,
-            realized_revenue=realized,
-            eval_seconds=eval_seconds,
-            wd_seconds=wd_seconds,
-            num_candidates=num_candidates,
-            prices=prices,
-            price_seconds=price_seconds,
-            settle_seconds=settle_seconds,
-        )
+        return self.settler.settle(
+            self.auction_id, query, slot_of, matching, expected_revenue,
+            weights, bids, eval_seconds, wd_seconds, num_candidates,
+            notify_fn=notify_fn, id_map=id_map, click_rows=click_rows,
+            wd_stats=wd_stats)
 
     def _notify(self, advertiser: int, query: Query, now: float,
-                allocation, clicked: bool, purchased: bool,
+                slot: int | None, clicked: bool, purchased: bool,
                 charge: float) -> None:
-        notification = ProgramNotification(
-            auction_id=self.auction_id,
-            keyword=query.text,
-            slot=allocation.slot_for(advertiser),
-            clicked=clicked,
-            purchased=purchased,
-            price_paid=charge,
-        )
         if self.config.method == "rhtalu":
             assert self.rhtalu is not None
             self.rhtalu.record_win(advertiser, charge, now)
             return
+        notification = ProgramNotification(
+            auction_id=self.auction_id,
+            keyword=query.text,
+            slot=slot,
+            clicked=clicked,
+            purchased=purchased,
+            price_paid=charge,
+        )
         for program in self.programs:
             if program.advertiser_id == advertiser:
                 program.notify(notification)

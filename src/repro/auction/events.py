@@ -30,6 +30,16 @@ class AuctionRecord:
     prices: dict[int, float] = field(default_factory=dict)
     price_seconds: float = 0.0
     settle_seconds: float = 0.0
+    wd_stats: dict | None = None
+    """Parallel winner-determination accounting, when WD ran sharded.
+
+    Populated by the tree-network path (``EngineConfig.wd_leaves``) and
+    by the multi-process sharded runtime: keys are
+    ``num_leaves`` / ``leaf_work_max`` / ``merge_work_total`` /
+    ``critical_path_work`` (see
+    :class:`repro.matching.tree_network.TreeAggregationStats`).  Work
+    accounting, not auction outcome — ignored by record-equality
+    checks."""
 
     @property
     def total_seconds(self) -> float:

@@ -24,6 +24,7 @@ how they won.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -108,6 +109,57 @@ class GeneralizedSecondPrice(PricingRule):
             np.copyto(rivals, weights[:, col])
             rivals[excluded] = -np.inf
             rival_best = max(float(rivals.max(initial=-np.inf)), 0.0)
+            w = float(click_probs[advertiser, col])
+            if w <= 0.0:
+                per_click = 0.0
+            else:
+                per_click = min(rival_best / w, float(bids[advertiser]))
+            quotes.append(PriceQuote(advertiser=advertiser, slot=col + 1,
+                                     per_click=max(per_click, 0.0)))
+        return quotes
+
+
+class SlotListSecondPrice:
+    """GSP quoted from per-slot rival lists instead of a full matrix.
+
+    The distributed form of :class:`GeneralizedSecondPrice`: when
+    winner determination runs sharded (the Section III-E tree made real
+    by :mod:`repro.runtime`), no node holds the full n-by-k weight
+    matrix — but the coordinator *does* hold each slot's merged
+    descending top list.  Since at most ``k`` winners are ever excluded
+    from a rival scan, the best non-excluded weight of a column is
+    always among that column's top ``k + 1`` entries, so quoting from
+    lists of depth >= ``min(n, k + 1)`` reproduces the full-matrix GSP
+    quote *exactly* (same floats — the rival score is an element of the
+    column either way).  ``tests/auction/test_pricing.py`` holds the
+    two implementations to equality on random instances.
+    """
+
+    @staticmethod
+    def quote_from_lists(slot_values: Sequence[np.ndarray],
+                         slot_ids: Sequence[np.ndarray],
+                         bids: np.ndarray,
+                         click_probs: np.ndarray,
+                         matching: MatchingResult) -> list[PriceQuote]:
+        """Quote winners against per-slot descending rival lists.
+
+        ``slot_values[j]`` / ``slot_ids[j]`` are slot ``j``'s top
+        weights and the advertisers holding them, descending (ties
+        toward the lower id), depth >= ``min(n, k + 1)``.  ``bids`` and
+        ``click_probs`` are indexed by the same advertiser ids the
+        lists and ``matching`` use.
+        """
+        winners = sorted(matching.pairs, key=lambda pair: pair[1])
+        excluded: set[int] = set()
+        quotes = []
+        for advertiser, col in winners:
+            # Rivals: everyone not placed in this slot or above.
+            excluded.add(advertiser)
+            rival_best = 0.0
+            for value, rival in zip(slot_values[col], slot_ids[col]):
+                if int(rival) not in excluded:
+                    rival_best = max(float(value), 0.0)
+                    break
             w = float(click_probs[advertiser, col])
             if w <= 0.0:
                 per_click = 0.0

@@ -37,6 +37,7 @@ def record_to_dict(record: AuctionRecord) -> dict:
         "num_candidates": record.num_candidates,
         "prices": {str(adv): price
                    for adv, price in record.prices.items()},
+        "wd_stats": record.wd_stats,
     }
 
 
@@ -65,6 +66,7 @@ def record_from_dict(data: dict) -> AuctionRecord:
         num_candidates=int(data["num_candidates"]),
         prices={int(adv): float(price)
                 for adv, price in data["prices"].items()},
+        wd_stats=data.get("wd_stats"),
     )
 
 

@@ -4,6 +4,7 @@ from repro.bench.profiles import (
     PHASES,
     PhaseProfile,
     ThroughputReport,
+    aggregate_wd_stats,
     compare_throughput,
     profile_from_records,
     profile_run,
@@ -21,6 +22,7 @@ __all__ = [
     "SpeedupReport",
     "ThroughputReport",
     "TimingResult",
+    "aggregate_wd_stats",
     "compare_throughput",
     "ordering_holds",
     "profile_from_records",

@@ -50,6 +50,28 @@ class PhaseProfile:
             return 0.0
         return self.auctions / self.wall_seconds
 
+    @property
+    def pipeline_seconds(self) -> float:
+        """Summed per-phase busy time (the records' critical path).
+
+        For single-process runs this tracks ``wall_seconds`` minus
+        loop overhead.  For the sharded runtime the phase stamps are
+        critical-path quantities (max over workers per phase, plus the
+        coordinator), so this is the run's modeled parallel time — on
+        a host with at least ``workers`` free cores, wall-clock
+        converges to it; on a core-starved host (CI pins one CPU) it
+        is the scaling signal wall-clock cannot show.
+        """
+        return (self.eval_seconds + self.wd_seconds
+                + self.price_seconds + self.settle_seconds)
+
+    @property
+    def pipeline_auctions_per_second(self) -> float:
+        """Auctions/second over :attr:`pipeline_seconds`."""
+        if self.pipeline_seconds <= 0.0:
+            return 0.0
+        return self.auctions / self.pipeline_seconds
+
     def phase_ms(self) -> dict[str, float]:
         """Mean per-auction milliseconds by phase."""
         if self.auctions == 0:
@@ -71,6 +93,9 @@ class PhaseProfile:
             "groups": self.groups,
             "wall_seconds": self.wall_seconds,
             "auctions_per_second": self.auctions_per_second,
+            "pipeline_seconds": self.pipeline_seconds,
+            "pipeline_auctions_per_second":
+                self.pipeline_auctions_per_second,
             "phase_seconds": {
                 "eval": self.eval_seconds,
                 "wd": self.wd_seconds,
@@ -91,12 +116,47 @@ class PhaseProfile:
         return path
 
 
+def aggregate_wd_stats(records: Sequence[AuctionRecord]
+                       ) -> dict | None:
+    """Fold per-auction parallel-WD accounting over a run.
+
+    Returns ``None`` when no record carries ``wd_stats`` (winner
+    determination ran serially).  Otherwise: how many auctions ran
+    sharded, the shard count, and the mean/max of the two quantities
+    the Section III-E analysis cares about — the heaviest leaf's scan
+    work and the root-to-leaf critical-path work that stands in for
+    parallel wall-clock.
+    """
+    stats = [r.wd_stats for r in records if r.wd_stats is not None]
+    if not stats:
+        return None
+    leaf = [s["leaf_work_max"] for s in stats]
+    path = [s["critical_path_work"] for s in stats]
+    return {
+        "auctions": len(stats),
+        "num_leaves": max(s["num_leaves"] for s in stats),
+        "leaf_work_max": max(leaf),
+        "leaf_work_mean": sum(leaf) / len(leaf),
+        "critical_path_max": max(path),
+        "critical_path_mean": sum(path) / len(path),
+        "merge_work_total": sum(s["merge_work_total"] for s in stats),
+    }
+
+
 def profile_from_records(label: str, method: str,
                          records: Sequence[AuctionRecord],
                          wall_seconds: float, batched: bool = False,
                          groups: int | None = None,
                          **extra) -> PhaseProfile:
-    """Fold a run's records into a :class:`PhaseProfile`."""
+    """Fold a run's records into a :class:`PhaseProfile`.
+
+    Parallel winner-determination accounting, when the records carry
+    it, lands in ``extra["parallel_wd"]`` (see
+    :func:`aggregate_wd_stats`) and flows into the JSON artifacts.
+    """
+    parallel_wd = aggregate_wd_stats(records)
+    if parallel_wd is not None:
+        extra = {"parallel_wd": parallel_wd, **extra}
     return PhaseProfile(
         label=label,
         method=method,
@@ -192,10 +252,18 @@ class ThroughputReport:
             phases = profile.phase_ms()
             phase_text = "  ".join(
                 f"{phase}={phases[phase]:.3f}ms" for phase in PHASES)
+            parallel = ""
+            if "parallel_wd" in profile.extra:
+                # Sharded run: phase stamps are critical-path times, so
+                # also report the modeled parallel throughput (what
+                # wall-clock becomes with enough free cores).
+                parallel = (" critical-path "
+                            f"{profile.pipeline_auctions_per_second:.1f}"
+                            "/s")
             lines.append(
                 f"{profile.label:>10s}: {profile.auctions_per_second:8.1f} "
                 f"auctions/s over {profile.auctions} auctions  "
-                f"[{phase_text}]")
+                f"[{phase_text}]{parallel}")
         lines.append(
             f"   speedup: {self.speedup:.2f}x  "
             f"(results identical: {self.identical})")
@@ -228,6 +296,7 @@ def write_report_artifacts(report: "ThroughputReport",
 def compare_throughput(sequential_engine: "AuctionEngine",
                        batched_engine: "AuctionEngine",
                        auctions: int, warmup: int = 2,
+                       labels: tuple[str, str] | None = None,
                        **extra) -> ThroughputReport:
     """Measure both pipelines on the same auction stream.
 
@@ -235,14 +304,21 @@ def compare_throughput(sequential_engine: "AuctionEngine",
     auctions run through each engine's respective path (keeping the two
     in lockstep) before the measured segment; the report carries the
     measured profiles plus an exact-equivalence verdict.
+
+    ``batched_engine`` may be any engine-shaped runner — the CLI passes
+    a :class:`~repro.runtime.executor.ShardedAuctionRuntime` for
+    ``--workers`` comparisons, with ``labels`` naming the two sides.
     """
     if warmup:
         sequential_engine.run(warmup)
         batched_engine.run_batch(warmup)
+    seq_label, batch_label = labels or ("sequential", "batched")
     seq_records, seq_profile = profile_run(
-        sequential_engine, auctions, batch=False, **extra)
+        sequential_engine, auctions, batch=False, label=seq_label,
+        **extra)
     batch_records, batch_profile = profile_run(
-        batched_engine, auctions, batch=True, **extra)
+        batched_engine, auctions, batch=True, label=batch_label,
+        **extra)
     return ThroughputReport(
         sequential=seq_profile,
         batched=batch_profile,

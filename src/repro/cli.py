@@ -30,15 +30,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.auction.trace import write_trace
     from repro.workloads import PaperWorkload, PaperWorkloadConfig
 
-    workload = PaperWorkload(PaperWorkloadConfig(
+    config = PaperWorkloadConfig(
         num_advertisers=args.advertisers, num_slots=args.slots,
-        num_keywords=args.keywords, seed=args.seed))
-    engine = workload.build_engine(args.method, engine_seed=args.seed + 1)
-    records = (engine.run_batch(args.auctions) if args.batch
-               else engine.run(args.auctions))
+        num_keywords=args.keywords, seed=args.seed)
+    if args.workers:
+        from repro.runtime import ShardedAuctionRuntime
+
+        with ShardedAuctionRuntime(
+                config, method=args.method, workers=args.workers,
+                engine_seed=args.seed + 1) as engine:
+            records = engine.run_batch(args.auctions)
+            accounts = engine.accounts
+        print(f"sharded over {args.workers} worker processes "
+              f"(shard sizes: {engine.plan.shard_sizes()})")
+    else:
+        workload = PaperWorkload(config)
+        engine = workload.build_engine(args.method,
+                                       engine_seed=args.seed + 1)
+        records = (engine.run_batch(args.auctions) if args.batch
+                   else engine.run(args.auctions))
+        accounts = engine.accounts
     print(summarize(records))
-    print(f"provider revenue: {engine.accounts.provider_revenue:.2f} "
-          f"over {engine.accounts.total_clicks()} clicks")
+    print(f"provider revenue: {accounts.provider_revenue:.2f} "
+          f"over {accounts.total_clicks()} clicks")
     if args.trace:
         count = write_trace(args.trace, records)
         print(f"wrote {count} records to {args.trace}")
@@ -80,21 +94,38 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     from repro.bench import compare_throughput, write_report_artifacts
     from repro.workloads import PaperWorkload, PaperWorkloadConfig
 
-    def fresh_engine():
-        workload = PaperWorkload(PaperWorkloadConfig(
-            num_advertisers=args.advertisers, num_slots=args.slots,
-            num_keywords=args.keywords, seed=args.seed))
-        return workload.build_engine(args.method,
-                                     engine_seed=args.seed + 1)
+    config = PaperWorkloadConfig(
+        num_advertisers=args.advertisers, num_slots=args.slots,
+        num_keywords=args.keywords, seed=args.seed)
 
-    report = compare_throughput(fresh_engine(), fresh_engine(),
-                                args.auctions,
-                                num_advertisers=args.advertisers,
-                                num_slots=args.slots,
-                                num_keywords=args.keywords)
+    def fresh_engine():
+        return PaperWorkload(config).build_engine(
+            args.method, engine_seed=args.seed + 1)
+
+    if args.workers:
+        from repro.runtime import ShardedAuctionRuntime
+
+        with ShardedAuctionRuntime(
+                config, method=args.method, workers=args.workers,
+                engine_seed=args.seed + 1) as runtime:
+            # Worker count reaches the sharded profile through its
+            # parallel_wd accounting (num_leaves); stamping it as a
+            # shared extra would mislabel the sequential profile too.
+            report = compare_throughput(
+                fresh_engine(), runtime, args.auctions,
+                labels=("sequential", f"sharded-{args.workers}w"),
+                num_advertisers=args.advertisers, num_slots=args.slots,
+                num_keywords=args.keywords)
+    else:
+        report = compare_throughput(fresh_engine(), fresh_engine(),
+                                    args.auctions,
+                                    num_advertisers=args.advertisers,
+                                    num_slots=args.slots,
+                                    num_keywords=args.keywords)
     print(f"bench-throughput: method={args.method} "
           f"n={args.advertisers} k={args.slots} "
-          f"keywords={args.keywords} auctions={args.auctions}")
+          f"keywords={args.keywords} auctions={args.auctions}"
+          + (f" workers={args.workers}" if args.workers else ""))
     for line in report.to_lines():
         print(line)
 
@@ -158,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write a JSONL auction trace here")
     simulate.add_argument("--batch", action="store_true",
                           help="run through the batched pipeline")
+    simulate.add_argument("--workers", type=int, default=0,
+                          help="shard the population over this many "
+                               "worker processes (0 = in-process)")
     simulate.set_defaults(func=_cmd_simulate)
 
     bench = commands.add_parser(
@@ -170,6 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--method", default="rh",
                        choices=["lp", "hungarian", "rh", "rhtalu"])
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--workers", type=int, default=0,
+                       help="compare against the sharded runtime with "
+                            "this many worker processes (0 = batched "
+                            "in-process pipeline)")
     bench.add_argument("--min-speedup", type=float, default=0.0,
                        help="fail below this speedup (0 = report only)")
     bench.add_argument("--profile-dir", default=None,

@@ -35,13 +35,19 @@ class ParallelWdResult:
 
 
 def solve_parallel(revenue: RevenueMatrix,
-                   num_leaves: int) -> ParallelWdResult:
+                   num_leaves: int,
+                   adjusted: np.ndarray | None = None
+                   ) -> ParallelWdResult:
     """Winner determination over a simulated tree of machines.
 
     Equivalent to ``solve(revenue, method="rh")`` in outcome; differs in
     how the candidate scan is organised (sharded leaves + O(k) merges).
+    ``adjusted``, when given, must equal ``revenue.adjusted()`` (the
+    engine's batched pipeline already holds it in a group buffer);
+    solvers treat it as read-only.
     """
-    adjusted = revenue.adjusted()
+    if adjusted is None:
+        adjusted = revenue.adjusted()
     aggregation = tree_aggregate(adjusted, num_leaves=num_leaves)
     candidates = list(aggregation.candidate_union())
 

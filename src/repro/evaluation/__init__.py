@@ -8,6 +8,12 @@ reference implementation (the semantic spec, unit-tested on its own)
 and the array-backed kernels the vectorized evaluator actually runs —
 ``ColumnArgsortIndex``, ``ArrayDeltaList``, ``DeadlineArray``,
 ``LazyPacerArrays``, and the fused ``product_top_k_all_slots``.
+
+The evaluator's auction splits into a shardable TA scan
+(:meth:`~repro.evaluation.evaluator.RhtaluEvaluator.scan_auction`,
+returning a :class:`~repro.evaluation.evaluator.RhtaluScanResult`) and
+the reduced matching; the multi-process runtime runs one scan per
+advertiser shard and merges at its coordinator.
 """
 
 from repro.evaluation.delta_list import (
@@ -16,7 +22,11 @@ from repro.evaluation.delta_list import (
     MergedDeltaSource,
     merged_descending,
 )
-from repro.evaluation.evaluator import RhtaluAuctionResult, RhtaluEvaluator
+from repro.evaluation.evaluator import (
+    RhtaluAuctionResult,
+    RhtaluEvaluator,
+    RhtaluScanResult,
+)
 from repro.evaluation.pacer_arrays import KeywordBidSource, LazyPacerArrays
 from repro.evaluation.pacer_state import LazyPacerState
 from repro.evaluation.sorted_index import ColumnArgsortIndex, SortedIndex
@@ -42,6 +52,7 @@ __all__ = [
     "MergedDeltaSource",
     "RhtaluAuctionResult",
     "RhtaluEvaluator",
+    "RhtaluScanResult",
     "SlotTopKResult",
     "SortedIndex",
     "TopKResult",

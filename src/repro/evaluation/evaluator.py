@@ -40,6 +40,31 @@ from repro.matching.types import MatchingResult
 
 
 @dataclass(frozen=True)
+class RhtaluScanResult:
+    """The candidate-selection half of an RHTALU auction.
+
+    What the threshold algorithm alone determines: the per-slot top
+    lists, the candidate union with its effective bids, and the access
+    accounting — *before* any matching is solved.  This is the unit of
+    work a shard worker performs in the multi-process runtime
+    (:mod:`repro.runtime`): shards scan, the coordinator merges slot
+    lists and matches.  ``candidate_bids`` aliases an evaluator-owned
+    buffer valid until the next scan.
+    """
+
+    keyword: str
+    time: float
+    slot_ids: tuple[np.ndarray, ...]
+    """Per slot, the top-``top_depth`` advertiser ids by bid x click
+    score (ties toward the lower id)."""
+    candidates: np.ndarray
+    """Ascending union of the per-slot lists."""
+    candidate_bids: np.ndarray
+    sequential_count: int
+    random_count: int
+
+
+@dataclass(frozen=True)
 class RhtaluAuctionResult:
     """One auction's outcome under RHTALU, with work accounting.
 
@@ -119,8 +144,16 @@ class RhtaluEvaluator:
         self._scratch = HungarianScratch(min(capacity, k),
                                          max(capacity, k))
 
-    def run_auction(self, keyword: str, time: float) -> RhtaluAuctionResult:
-        """Advance state, select candidates by TA, and match."""
+    def scan_auction(self, keyword: str, time: float) -> RhtaluScanResult:
+        """Advance state and select candidates by TA (no matching).
+
+        The shardable half of :meth:`run_auction`: everything that
+        depends only on this evaluator's advertiser population.  The
+        sharded runtime runs one of these per shard per auction and
+        merges the slot lists at the coordinator; :meth:`run_auction`
+        composes it with the reduced matching for the single-process
+        path.
+        """
         source = self.state.begin_auction(keyword, time)
         selection = product_top_k_all_slots(
             self.slot_index, source.ids_desc, source.values_desc,
@@ -132,12 +165,28 @@ class RhtaluEvaluator:
             mask[slot_winners] = True
         ordered = np.flatnonzero(mask)
         mask[ordered] = False
+
+        bids = self._bids[:len(ordered)]
+        np.take(source.eff, ordered, out=bids)
+        return RhtaluScanResult(
+            keyword=keyword,
+            time=time,
+            slot_ids=tuple(selection.slot_ids),
+            candidates=ordered,
+            candidate_bids=bids,
+            sequential_count=selection.sequential_count,
+            random_count=selection.random_count,
+        )
+
+    def run_auction(self, keyword: str, time: float) -> RhtaluAuctionResult:
+        """Advance state, select candidates by TA, and match."""
+        scan = self.scan_auction(keyword, time)
+        ordered = scan.candidates
         count = len(ordered)
 
         clicks = self._clicks[:count]
         np.take(self.click_matrix, ordered, axis=0, out=clicks)
-        bids = self._bids[:count]
-        np.take(source.eff, ordered, out=bids)
+        bids = scan.candidate_bids
         weights = self._weights[:count]
         np.multiply(clicks, bids[:, None], out=weights)
 
@@ -155,8 +204,8 @@ class RhtaluEvaluator:
             matching=global_matching,
             expected_revenue=matching.total_weight,
             candidates=tuple(int(advertiser) for advertiser in ordered),
-            sequential_count=selection.sequential_count,
-            random_count=selection.random_count,
+            sequential_count=scan.sequential_count,
+            random_count=scan.random_count,
             candidate_bids=bids,
             candidate_clicks=clicks,
             weights=weights,

@@ -39,6 +39,22 @@ class TreeAggregationStats:
     merge_work_total: int
     critical_path_work: int
 
+    def as_dict(self) -> dict:
+        """JSON-ready form: what ``AuctionRecord.wd_stats`` carries.
+
+        The same keys are produced by the multi-process sharded
+        runtime's coordinator, so phase profiles aggregate simulated
+        and real parallel runs identically.
+        """
+        return {
+            "num_leaves": self.num_leaves,
+            "height": self.height,
+            "messages": self.messages,
+            "leaf_work_max": self.leaf_work_max,
+            "merge_work_total": self.merge_work_total,
+            "critical_path_work": self.critical_path_work,
+        }
+
 
 @dataclass(frozen=True)
 class TreeAggregationResult:

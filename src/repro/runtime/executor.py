@@ -1,0 +1,485 @@
+"""The sharded coordinator: real processes behind the engine's facade.
+
+:class:`ShardedAuctionRuntime` runs the six-step auction protocol with
+program evaluation (and, for method ``rh``/``rhtalu``, the candidate
+scan) distributed over ``workers`` OS processes — the Section III-E
+tree network with actual machines instead of the simulation in
+:mod:`repro.core.parallel`.  The coordinator keeps everything global
+and sequential-identical:
+
+* the **decision RNG** (query draws, user clicks) — consumed in the
+  sequential engine's exact order;
+* winner determination's **merge + matching** over the shards' top
+  lists (method ``rh``: ``O(w·k²)`` merge + the reduced Hungarian; the
+  full-matrix methods re-assemble the bid vector instead);
+* **pricing, accounting, settlement** through the very same
+  :class:`~repro.auction.settlement.AuctionSettler` the engine uses.
+
+Each auction is one lockstep round — task out, reply in, per worker —
+because auction *t*'s winners must fold into pacer state before
+auction *t+1* evaluates.  Win notices therefore piggyback on the next
+round's task, keeping the protocol at exactly two messages per worker
+per auction.
+
+Under a fixed seed the merged records, prices, and account balances are
+bit-identical to the single-process engine's across ``rh``, ``lp`` (and
+the other full-matrix methods), and ``rhtalu`` —
+``tests/runtime/test_sharded_runtime.py`` asserts it for worker counts
+including uneven and empty shards.  Work accounting (``num_candidates``
+for RHTALU, TA access counts) is execution-shape dependent and is the
+one thing allowed to differ; see ``docs/runtime.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as time_module
+from typing import Sequence
+
+import numpy as np
+
+from repro.auction.accounts import AccountBook
+from repro.auction.batch import BatchStats
+from repro.auction.engine import EngineConfig
+from repro.auction.events import AuctionRecord
+from repro.auction.pricing import (
+    GeneralizedSecondPrice,
+    SlotListSecondPrice,
+)
+from repro.auction.settlement import AuctionSettler
+from repro.auction.user_model import UserModel
+from repro.core.revenue import click_bid_revenue_matrix
+from repro.core.winner_determination import (
+    allocation_from_matching,
+    solve,
+)
+from repro.matching.hungarian import max_weight_matching
+from repro.matching.types import MatchingResult
+from repro.runtime.messages import (
+    GatherReply,
+    RhtaluScanReply,
+    ScanReply,
+    ShardTask,
+    Shutdown,
+    WinNotice,
+    WorkerFailure,
+    WorkerReady,
+)
+from repro.runtime.sharding import ShardPlan
+from repro.runtime.worker import WorkerInit, worker_main
+from repro.strategies.base import Query
+from repro.workloads.paper_workload import (
+    PaperWorkload,
+    PaperWorkloadConfig,
+)
+
+SCAN_METHODS = frozenset({"rh"})
+"""Methods whose per-slot top-list scan distributes over shards."""
+
+
+class ShardedAuctionRuntime:
+    """A multi-process, engine-shaped auction runtime.
+
+    Drop-in for :class:`~repro.auction.engine.AuctionEngine` where the
+    benchmarks and CLI need it: ``run_batch(count)`` / ``run(count)``
+    return :class:`~repro.auction.events.AuctionRecord` lists,
+    ``accounts`` holds the merged (coordinator-settled) balances,
+    ``config`` / ``last_batch_stats`` feed
+    :func:`repro.bench.profiles.profile_run`.
+
+    Parameters
+    ----------
+    workload_config:
+        The Section V workload recipe.  Workers rebuild their shards
+        from it deterministically — construction ships a config, not
+        state.
+    method:
+        ``rh`` (sharded leaf scan), ``rhtalu`` (sharded TA scan), or a
+        full-matrix method (``lp``/``hungarian``/``separable``/
+        ``brute`` — evaluation shards, winner determination stays at
+        the coordinator, which those solvers require).
+    workers:
+        OS processes to shard the population over.  More workers than
+        advertisers leaves trailing shards empty (valid).
+    engine_seed:
+        The decision-stream seed; a sequential
+        ``build_engine(method, engine_seed)`` on the same workload
+        yields bit-identical records.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default;
+        ``"spawn"`` is safest, ``"fork"`` is fastest to start).
+
+    Use as a context manager, or call :meth:`close`; workers also shut
+    down when the runtime is garbage-collected.
+    """
+
+    def __init__(self, workload_config: PaperWorkloadConfig,
+                 method: str = "rh", workers: int = 2,
+                 engine_seed: int = 0,
+                 start_method: str | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workload = PaperWorkload(workload_config)
+        self.workload_config = workload_config
+        self.click_model = self.workload.click_model()
+        self.click_matrix = np.asarray(self.click_model.as_matrix(),
+                                       dtype=float)
+        self.purchase_model = self.workload.purchase_model()
+        self.query_source = self.workload.query_source()
+        self.config = EngineConfig(
+            num_slots=workload_config.num_slots, method=method,
+            seed=engine_seed)
+        self.num_advertisers = workload_config.num_advertisers
+        self.num_slots = workload_config.num_slots
+        self.top_depth = self.num_slots + 1
+        self.method = method
+        self.rng = np.random.default_rng(engine_seed)
+        self.user_model = UserModel(self.click_model,
+                                    self.purchase_model)
+        self.pricing = GeneralizedSecondPrice()
+        self.accounts = AccountBook()
+        self.settler = AuctionSettler(self.user_model, self.pricing,
+                                      self.accounts, self.num_slots,
+                                      self.rng)
+        self.plan = ShardPlan.plan(self.num_advertisers, workers)
+        self._owner = np.repeat(
+            np.arange(self.plan.num_shards, dtype=np.int64),
+            np.diff(self.plan.bounds))
+        self.start_method = start_method
+        self.auction_id = 0
+        self.last_batch_stats: BatchStats | None = None
+        self._pending: list[list[WinNotice]] = [
+            [] for _ in range(self.plan.num_shards)]
+        self._bids_buf = np.zeros(self.num_advertisers)
+        self._processes: list[multiprocessing.Process] | None = None
+        self._conns: list = []
+        self._closed = False
+
+    # -- worker lifecycle --------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return self.plan.num_shards
+
+    def _ensure_started(self) -> None:
+        if self._processes is not None:
+            return
+        if self._closed:
+            # Workers hold live pacer state the coordinator's stream
+            # has already advanced past; respawning them fresh would
+            # silently desynchronise.  A closed runtime stays closed.
+            raise RuntimeError(
+                "runtime is closed; build a new ShardedAuctionRuntime")
+        context = multiprocessing.get_context(self.start_method)
+        entropy = self.plan.seed_sequences(self.config.seed)
+        processes, conns = [], []
+        try:
+            for shard, (lo, hi) in enumerate(self.plan.spans()):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                init = WorkerInit(
+                    shard=shard, lo=lo, hi=hi, method=self.method,
+                    workload_config=self.workload_config,
+                    top_depth=self.top_depth,
+                    seed_sequence=entropy[shard])
+                process = context.Process(
+                    target=worker_main, args=(child_conn, init),
+                    daemon=True,
+                    name=f"repro-shard-{shard}")
+                process.start()
+                child_conn.close()
+                processes.append(process)
+                conns.append(parent_conn)
+            for shard, conn in enumerate(conns):
+                ready = conn.recv()
+                if isinstance(ready, WorkerFailure):
+                    raise RuntimeError(
+                        f"shard {ready.shard} failed to build:\n"
+                        f"{ready.traceback}")
+                assert isinstance(ready, WorkerReady)
+        except BaseException:
+            for conn in conns:
+                conn.close()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=5)
+            raise
+        self._processes = processes
+        self._conns = conns
+
+    def close(self) -> None:
+        """Shut the worker fleet down.
+
+        Idempotent, and final: shard state dies with the workers, so a
+        closed runtime refuses to run again (the coordinator's stream
+        cannot be replayed into fresh shards).
+        """
+        self._closed = True
+        if self._processes is None:
+            return
+        processes, conns = self._processes, self._conns
+        self._processes, self._conns = None, []
+        for shard, conn in enumerate(conns):
+            try:
+                conn.send(Shutdown())
+            except (BrokenPipeError, OSError):
+                pass
+            self._pending[shard].clear()
+            conn.close()
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+
+    def __enter__(self) -> "ShardedAuctionRuntime":
+        self._ensure_started()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _recv(self, shard: int):
+        reply = self._conns[shard].recv()
+        if isinstance(reply, WorkerFailure):
+            self.close()
+            raise RuntimeError(
+                f"shard {reply.shard} failed:\n{reply.traceback}")
+        return reply
+
+    # -- the engine-shaped API ---------------------------------------------
+
+    def run_batch(self, count: int) -> list[AuctionRecord]:
+        """Run ``count`` auctions across the worker fleet."""
+        self._ensure_started()
+        stats = BatchStats()
+        signatures: set[str] = set()
+        last_signature: str | None = None
+        records = []
+        for _ in range(count):
+            record = self._run_one()
+            keyword = record.keyword
+            if keyword not in signatures:
+                signatures.add(keyword)
+                stats.signatures += 1
+            if keyword != last_signature:
+                stats.groups += 1
+                last_signature = keyword
+            stats.auctions += 1
+            records.append(record)
+        self.last_batch_stats = stats
+        return records
+
+    def run(self, count: int) -> list[AuctionRecord]:
+        """Alias of :meth:`run_batch` (the runtime is always sharded)."""
+        return self.run_batch(count)
+
+    # -- one lockstep auction ----------------------------------------------
+
+    def _run_one(self) -> AuctionRecord:
+        self.auction_id += 1
+        now = float(self.auction_id)
+        query = self.query_source(self.rng)
+        for shard, conn in enumerate(self._conns):
+            conn.send(ShardTask(
+                auction_id=self.auction_id, keyword=query.text,
+                time=now, wins=tuple(self._pending[shard])))
+            self._pending[shard].clear()
+        replies = [self._recv(shard)
+                   for shard in range(len(self._conns))]
+        if self.method in SCAN_METHODS:
+            return self._merge_scan(query, now, replies)
+        if self.method == "rhtalu":
+            return self._merge_rhtalu(query, now, replies)
+        return self._merge_gather(query, now, replies)
+
+    def _route_notify(self, query: Query, now: float):
+        """A settle callback that routes wins to their owning shards."""
+
+        def notify(advertiser: int, slot: int | None, clicked: bool,
+                   purchased: bool, charge: float) -> None:
+            shard = int(self._owner[advertiser])
+            self._pending[shard].append(WinNotice(
+                advertiser=advertiser, keyword=query.text, time=now,
+                clicked=clicked, charge=charge))
+
+        return notify
+
+    def _merge_slot_lists(self, replies: Sequence,
+                          value_of) -> tuple[list[np.ndarray],
+                                             list[np.ndarray], int]:
+        """Merge per-shard slot lists into global descending top lists.
+
+        ``value_of(slots, ids)`` maps flat (slot, id) pairs to their
+        scores; the global order per slot is (score desc, id asc) — the
+        tie rule every selection backend in the repo uses, which is
+        what makes the merged prefix equal the single-process scan's
+        list.  Returns per-slot values, per-slot ids, and the merge
+        work (entries touched) for the parallel-WD accounting.
+        """
+        num_replies = len(replies)
+        flat_parts = [reply.slot_ids[slot] for slot in
+                      range(self.num_slots) for reply in replies]
+        counts = [len(part) for part in flat_parts]
+        slot_totals = [sum(counts[slot * num_replies:
+                               (slot + 1) * num_replies])
+                       for slot in range(self.num_slots)]
+        ids = np.concatenate(flat_parts)
+        slots = np.repeat(np.arange(self.num_slots, dtype=np.int64),
+                          slot_totals)
+        values = value_of(slots, ids)
+        # One lexsort for every slot at once: grouped by slot, then
+        # (score desc, id asc) within — the repo-wide selection order.
+        order = np.lexsort((ids, -values, slots))
+        ids = ids[order]
+        values = values[order]
+        slots = slots[order]
+        starts = np.searchsorted(slots,
+                                 np.arange(self.num_slots + 1))
+        merged_values: list[np.ndarray] = []
+        merged_ids: list[np.ndarray] = []
+        for slot in range(self.num_slots):
+            lo = starts[slot]
+            hi = min(starts[slot + 1], lo + self.top_depth)
+            merged_ids.append(ids[lo:hi])
+            merged_values.append(values[lo:hi])
+        return merged_values, merged_ids, len(order)
+
+    def _wd_stats(self, leaf_work_max: int, merge_work: int) -> dict:
+        return {
+            "num_leaves": self.plan.num_shards,
+            "height": 1,
+            "messages": 2 * self.plan.num_shards,
+            "leaf_work_max": leaf_work_max,
+            "merge_work_total": merge_work,
+            "critical_path_work": leaf_work_max + merge_work,
+        }
+
+    def _merge_scan(self, query: Query, now: float,
+                    replies: Sequence[ScanReply]) -> AuctionRecord:
+        """Method ``rh``: merge leaf top lists, match, price from lists."""
+        start = time_module.perf_counter()
+        ids_all = np.concatenate([reply.ids for reply in replies])
+        rows_all = np.vstack([reply.rows for reply in replies])
+        bids_all = np.concatenate([reply.bids for reply in replies])
+
+        def value_of(slots: np.ndarray, ids: np.ndarray) -> np.ndarray:
+            return rows_all[np.searchsorted(ids_all, ids), slots]
+
+        merged_values, merged_ids, merge_work = self._merge_slot_lists(
+            replies, value_of)
+        # Candidates are the union of the top-k prefixes (reduce_graph's
+        # rule); the k+1-deep lists exist for GSP's rival scans.
+        k = self.num_slots
+        candidates = np.unique(np.concatenate(
+            [ids[:k] for ids in merged_ids]))
+        sub = rows_all[np.searchsorted(ids_all, candidates)]
+        local = max_weight_matching(sub, allow_unmatched=True,
+                                    backend="auto")
+        pairs = tuple(sorted((int(candidates[row]), col)
+                             for row, col in local.pairs))
+        matching = MatchingResult(pairs=pairs,
+                                  total_weight=local.total_weight)
+        allocation = allocation_from_matching(matching, self.num_slots)
+        expected = 0.0 + matching.total_weight  # zero unassigned baseline
+
+        bids = self._bids_buf
+        bids[:] = 0.0
+        bids[ids_all] = bids_all
+
+        def quote_fn(global_matching: MatchingResult):
+            return SlotListSecondPrice.quote_from_lists(
+                merged_values, merged_ids, bids, self.click_matrix,
+                global_matching)
+
+        eval_seconds = max(reply.eval_seconds for reply in replies)
+        scan_seconds = max(reply.scan_seconds for reply in replies)
+        leaf_work_max = max(reply.leaf_work for reply in replies)
+        wd_seconds = (scan_seconds
+                      + time_module.perf_counter() - start)
+        return self.settler.settle(
+            self.auction_id, query, allocation.slot_of, matching,
+            expected, weights=sub, bids=bids,
+            eval_seconds=eval_seconds, wd_seconds=wd_seconds,
+            num_candidates=self.num_advertisers,
+            notify_fn=self._route_notify(query, now),
+            quote_fn=quote_fn,
+            wd_stats=self._wd_stats(leaf_work_max, merge_work))
+
+    def _merge_gather(self, query: Query, now: float,
+                      replies: Sequence[GatherReply]) -> AuctionRecord:
+        """Full-matrix methods: assemble bids, solve at the coordinator."""
+        start = time_module.perf_counter()
+        bids = np.concatenate([reply.bids for reply in replies])
+        revenue = click_bid_revenue_matrix(bids, self.click_model)
+        weights = revenue.adjusted()
+        result = solve(revenue, method=self.method, adjusted=weights)
+        wd_seconds = time_module.perf_counter() - start
+        eval_seconds = max(reply.eval_seconds for reply in replies)
+        leaf_work_max = max(reply.leaf_work for reply in replies)
+        coordinator_scan = self.num_advertisers * self.num_slots
+        return self.settler.settle(
+            self.auction_id, query, result.allocation.slot_of,
+            result.matching, result.expected_revenue, weights=weights,
+            bids=bids, eval_seconds=eval_seconds,
+            wd_seconds=wd_seconds,
+            num_candidates=weights.shape[0],
+            notify_fn=self._route_notify(query, now),
+            wd_stats=self._wd_stats(leaf_work_max, coordinator_scan))
+
+    def _merge_rhtalu(self, query: Query, now: float,
+                      replies: Sequence[RhtaluScanReply]
+                      ) -> AuctionRecord:
+        """Method ``rhtalu``: merge shard TA scans, match, price."""
+        start = time_module.perf_counter()
+        cand_ids_all = np.concatenate(
+            [reply.cand_ids for reply in replies])
+        cand_bids_all = np.concatenate(
+            [reply.cand_bids for reply in replies])
+
+        def value_of(slots: np.ndarray, ids: np.ndarray) -> np.ndarray:
+            bids = cand_bids_all[np.searchsorted(cand_ids_all, ids)]
+            return self.click_matrix[ids, slots] * bids
+
+        _, merged_ids, merge_work = self._merge_slot_lists(
+            replies, value_of)
+        candidates = np.unique(np.concatenate(merged_ids))
+        clicks = self.click_matrix[candidates, :]
+        bids = cand_bids_all[np.searchsorted(cand_ids_all, candidates)]
+        weights = np.multiply(clicks, bids[:, None])
+        local = max_weight_matching(weights, allow_unmatched=True,
+                                    backend="auto")
+        pairs = tuple(sorted((int(candidates[row]), col)
+                             for row, col in local.pairs))
+        global_matching = MatchingResult(
+            pairs=pairs, total_weight=local.total_weight)
+        allocation = allocation_from_matching(global_matching,
+                                              self.num_slots)
+        # Settlement prices candidate-aligned rows (the engine's RHTALU
+        # path does the same): translate pairs back to local rows.
+        local_index = {int(advertiser): row
+                       for row, advertiser in enumerate(candidates)}
+        local_pairs = tuple((local_index[advertiser], col)
+                            for advertiser, col in pairs)
+        local_matching = MatchingResult(
+            pairs=local_pairs, total_weight=local.total_weight)
+
+        scan_seconds = max(reply.scan_seconds for reply in replies)
+        leaf_work_max = max(reply.leaf_work for reply in replies)
+        wd_seconds = (scan_seconds
+                      + time_module.perf_counter() - start)
+        return self.settler.settle(
+            self.auction_id, query, allocation.slot_of, local_matching,
+            expected_revenue=global_matching.total_weight,
+            weights=weights, bids=bids, eval_seconds=0.0,
+            wd_seconds=wd_seconds, num_candidates=len(candidates),
+            id_map=[int(advertiser) for advertiser in candidates],
+            click_rows=clicks,
+            notify_fn=self._route_notify(query, now),
+            wd_stats=self._wd_stats(leaf_work_max, merge_work))

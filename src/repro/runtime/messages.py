@@ -1,0 +1,125 @@
+"""The wire protocol between the coordinator and shard workers.
+
+One lockstep round per auction: the coordinator sends every worker a
+:class:`ShardTask` carrying the new auction's keyword/time **plus the
+previous auction's wins routed to that shard** (piggybacked so a round
+is exactly one send and one receive per worker), and each worker
+answers with its protocol's reply.  All payloads are small — per-slot
+top lists, candidate rows, a bid slice — and advertiser ids on the wire
+are always **global**; workers translate with their shard offset.
+
+Messages are plain picklable dataclasses; NumPy arrays cross the pipe
+as-is (they are fresh shard-local copies, never views of live worker
+buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WinNotice:
+    """One past winner's settlement, routed to the owning shard.
+
+    ``keyword``/``time`` are the *winning* auction's (the fold and
+    ``record_win`` need them, and they differ from the task's when the
+    notice piggybacks on the next auction).
+    """
+
+    advertiser: int  # global id
+    keyword: str
+    time: float
+    clicked: bool
+    charge: float
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One auction's work order: fold these wins, then evaluate this."""
+
+    auction_id: int
+    keyword: str
+    time: float
+    wins: tuple[WinNotice, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScanReply:
+    """Eager leaf-scan protocol (method ``rh``): the shard's leaf data.
+
+    ``ids`` (ascending global), ``rows`` (the matching weight rows),
+    and ``bids`` cover every advertiser in any of the shard's per-slot
+    top-``top_depth`` lists; ``slot_ids[j]`` is slot ``j``'s shard-local
+    top list in descending-weight order.  ``leaf_work`` counts the
+    entries the shard's scan touched (``m x k``), feeding the records'
+    parallel-WD accounting.
+    """
+
+    auction_id: int
+    ids: np.ndarray
+    rows: np.ndarray
+    bids: np.ndarray
+    slot_ids: tuple[np.ndarray, ...]
+    eval_seconds: float
+    scan_seconds: float
+    leaf_work: int
+
+
+@dataclass(frozen=True)
+class GatherReply:
+    """Full-gather protocol (``lp``/``hungarian``/...): the bid slice."""
+
+    auction_id: int
+    bids: np.ndarray
+    eval_seconds: float
+    leaf_work: int
+
+
+@dataclass(frozen=True)
+class RhtaluScanReply:
+    """RHTALU protocol: the shard evaluator's TA scan.
+
+    ``cand_ids`` (ascending global) and ``cand_bids`` cover the shard's
+    candidate union; ``slot_ids[j]`` is slot ``j``'s top list.  Access
+    counts aggregate into the run's work accounting (they are
+    execution-shape dependent: a sharded TA stops each shard's walk
+    locally, so totals legitimately differ from the single-process
+    scan's).
+    """
+
+    auction_id: int
+    cand_ids: np.ndarray
+    cand_bids: np.ndarray
+    slot_ids: tuple[np.ndarray, ...]
+    scan_seconds: float
+    sequential_count: int
+    random_count: int
+    leaf_work: int
+
+
+@dataclass(frozen=True)
+class WorkerReady:
+    """Handshake: the shard built its state and is accepting tasks."""
+
+    shard: int
+    num_local: int
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """A worker's unhandled exception, with its formatted traceback."""
+
+    shard: int
+    traceback: str
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Coordinator → worker: exit cleanly.
+
+    A bare sentinel: shard state dies with the worker and a closed
+    runtime never runs again, so there is nothing to flush.
+    """

@@ -1,0 +1,104 @@
+"""Shard planning: who owns which advertisers, and which random streams.
+
+The sharded runtime partitions the advertiser population into
+contiguous spans, one per worker process — the same even split the
+simulated tree network uses for its leaves
+(:func:`repro.matching.tree_network.tree_aggregate`), so the real
+workers scan exactly the shards the Section III-E analysis models.
+Contiguity is load-bearing: concatenating per-shard arrays in shard
+order yields globally ascending advertiser ids, which is what lets the
+coordinator merge shard replies with ``searchsorted`` instead of hash
+maps.
+
+Randomness is split, not shared.  The *decision* stream — query draws
+and user click draws, the stream that defines a run's identity — stays
+at the coordinator and is byte-for-byte the sequential engine's
+``default_rng(engine_seed)``.  Each shard additionally receives its own
+:class:`numpy.random.SeedSequence` child (``spawn`` of the root seed),
+so anything a worker may ever need to sample locally draws from an
+independent, deterministic substream instead of contending over — and
+desynchronising — the decision stream.  In the lockstep protocol the
+shard substreams are never consumed for decisions (bit-identity forbids
+it); they exist so shard-local components have a principled source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def shard_bounds(num_advertisers: int, num_shards: int) -> tuple[int, ...]:
+    """Contiguous, maximally even shard boundaries.
+
+    ``bounds[s]..bounds[s+1]`` is shard ``s``'s half-open advertiser
+    span.  The formula is the tree network's leaf split (``linspace``
+    rounded down), so a runtime with ``w`` workers scans the same
+    shards ``tree_aggregate(..., num_leaves=w)`` simulates.  Unlike the
+    tree, shard counts above the population are allowed — the surplus
+    shards are simply empty (a case the determinism suite exercises).
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_advertisers < 0:
+        raise ValueError(
+            f"num_advertisers must be >= 0, got {num_advertisers}")
+    bounds = np.linspace(0, num_advertisers, num_shards + 1).astype(int)
+    return tuple(int(b) for b in bounds)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of one advertiser population over workers."""
+
+    num_advertisers: int
+    bounds: tuple[int, ...]
+
+    @classmethod
+    def plan(cls, num_advertisers: int, num_shards: int) -> "ShardPlan":
+        return cls(num_advertisers=num_advertisers,
+                   bounds=shard_bounds(num_advertisers, num_shards))
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds) - 1
+
+    def span(self, shard: int) -> tuple[int, int]:
+        """Shard ``shard``'s half-open ``(lo, hi)`` advertiser span."""
+        return self.bounds[shard], self.bounds[shard + 1]
+
+    def spans(self) -> list[tuple[int, int]]:
+        return [self.span(shard) for shard in range(self.num_shards)]
+
+    def shard_sizes(self) -> list[int]:
+        return [hi - lo for lo, hi in self.spans()]
+
+    def owner_of(self, advertiser: int) -> int:
+        """The shard owning ``advertiser`` (for routing notifications)."""
+        if not 0 <= advertiser < self.num_advertisers:
+            raise ValueError(
+                f"advertiser {advertiser} outside population "
+                f"0..{self.num_advertisers - 1}")
+        # bounds is ascending; the owner is the last shard starting at
+        # or before the advertiser.  Empty shards contribute repeated
+        # boundary values; "right" minus one lands on the non-empty
+        # owner either way.
+        index = int(np.searchsorted(self.bounds, advertiser,
+                                    side="right")) - 1
+        return min(index, self.num_shards - 1)
+
+    def seed_sequences(self, seed: int) -> list[np.random.SeedSequence]:
+        """One deterministic child :class:`~numpy.random.SeedSequence`
+        per shard, spawned from ``seed``.
+
+        Shard ``s`` always receives the same child regardless of how
+        many other shards exist consuming theirs — the spawn tree is a
+        pure function of ``(seed, s)``.
+        """
+        return np.random.SeedSequence(seed).spawn(self.num_shards)
+
+    def shard_rngs(self, seed: int) -> list[np.random.Generator]:
+        """Per-shard generators over :meth:`seed_sequences`."""
+        return [np.random.default_rng(sequence)
+                for sequence in self.seed_sequences(seed)]

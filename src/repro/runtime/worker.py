@@ -1,0 +1,244 @@
+"""Shard worker processes: build shard state, answer lockstep tasks.
+
+A worker owns one contiguous advertiser span and nothing else.  It
+rebuilds its shard state *deterministically from the workload seed*
+(every worker materialises the same :class:`~repro.workloads
+.paper_workload.PaperWorkload` and slices its rows), so process startup
+ships a small config instead of pickled populations.  Three shard
+kinds implement the three coordinator protocols:
+
+* :class:`EagerScanShard` (method ``rh``) — vectorized pacer evaluation
+  plus the shard-local per-slot top-list scan, i.e. one *leaf* of the
+  paper's Section III-E tree network, as a real process;
+* :class:`GatherShard` (``lp``/``hungarian``/``separable``/``brute``) —
+  pacer evaluation only; the full bid vector is assembled and solved at
+  the coordinator (those solvers need the whole matrix);
+* :class:`RhtaluShard` (method ``rhtalu``) — a shard-sized
+  :class:`~repro.evaluation.evaluator.RhtaluEvaluator` whose TA scan
+  runs over the shard's rows of the click matrix.
+
+Every shard kind folds routed :class:`~repro.runtime.messages
+.WinNotice` items *before* evaluating — the order the sequential engine
+interleaves settlement and the next evaluation — which is half of the
+runtime's bit-identity argument (the other half is the coordinator
+merge; see ``docs/runtime.md``).
+
+Phase timings reported by workers are **per-process CPU seconds**
+(``time.process_time``), not wall-clock: with more runnable workers
+than cores, wall spans would charge a shard for time the scheduler gave
+to its siblings.  CPU seconds measure each shard's actual work, which
+is what the coordinator's critical-path accounting (max over shards)
+models — on a host with >= ``workers`` free cores the two coincide.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+
+import numpy as np
+
+from repro.auction.batch import ShardEvalState
+from repro.runtime.messages import (
+    GatherReply,
+    RhtaluScanReply,
+    ScanReply,
+    ShardTask,
+    Shutdown,
+    WinNotice,
+    WorkerFailure,
+    WorkerReady,
+)
+from repro.workloads.paper_workload import (
+    PaperWorkload,
+    PaperWorkloadConfig,
+)
+
+import time as time_module
+
+
+@dataclass(frozen=True)
+class WorkerInit:
+    """Everything a worker needs to rebuild its shard: a recipe, not
+    state.  Shipped once at spawn; must stay cheap to pickle."""
+
+    shard: int
+    lo: int
+    hi: int
+    method: str
+    workload_config: PaperWorkloadConfig
+    top_depth: int
+    seed_sequence: np.random.SeedSequence | None = None
+    """The shard's spawned :class:`~numpy.random.SeedSequence` child
+    (see :meth:`repro.runtime.sharding.ShardPlan.seed_sequences`),
+    shipped whole so the spawn key survives pickling; carried for
+    shard-local sampling needs, never for decision draws."""
+
+
+class EagerScanShard:
+    """Method ``rh``: a leaf of the tree network as a process."""
+
+    def __init__(self, workload: PaperWorkload, init: WorkerInit):
+        self.offset = init.lo
+        self.num_local = init.hi - init.lo
+        self.state = ShardEvalState(
+            workload.build_shard_programs(init.lo, init.hi),
+            workload.click_matrix[init.lo:init.hi],
+            top_depth=init.top_depth)
+        self.num_slots = self.state.num_slots
+
+    def fold(self, win: WinNotice) -> None:
+        self.state.fold_win(win.advertiser - self.offset, win.keyword,
+                            win.clicked, win.charge)
+
+    def handle(self, task: ShardTask) -> ScanReply:
+        start = time_module.process_time()
+        for win in task.wins:
+            self.fold(win)
+        self.state.evaluate(task.keyword, task.time)
+        eval_done = time_module.process_time()
+        reduced = self.state.scan()
+        scan_done = time_module.process_time()
+        ids = np.asarray(reduced.candidates, dtype=np.int64)
+        bids = self.state.bid_out[ids]
+        return ScanReply(
+            auction_id=task.auction_id,
+            ids=ids + self.offset,
+            rows=reduced.weights,
+            bids=bids,
+            slot_ids=tuple(
+                np.asarray(per_slot, dtype=np.int64) + self.offset
+                for per_slot in reduced.per_slot),
+            eval_seconds=eval_done - start,
+            scan_seconds=scan_done - eval_done,
+            leaf_work=self.num_local * self.num_slots,
+        )
+
+
+class GatherShard:
+    """Full-matrix methods: evaluate the shard, ship the bid slice."""
+
+    def __init__(self, workload: PaperWorkload, init: WorkerInit):
+        self.offset = init.lo
+        self.num_local = init.hi - init.lo
+        self.state = ShardEvalState(
+            workload.build_shard_programs(init.lo, init.hi),
+            workload.click_matrix[init.lo:init.hi],
+            top_depth=init.top_depth)
+
+    def fold(self, win: WinNotice) -> None:
+        self.state.fold_win(win.advertiser - self.offset, win.keyword,
+                            win.clicked, win.charge)
+
+    def handle(self, task: ShardTask) -> GatherReply:
+        start = time_module.process_time()
+        for win in task.wins:
+            self.fold(win)
+        bids = self.state.evaluate(task.keyword, task.time)
+        return GatherReply(
+            auction_id=task.auction_id,
+            bids=bids.copy(),
+            eval_seconds=time_module.process_time() - start,
+            leaf_work=self.num_local,
+        )
+
+
+class RhtaluShard:
+    """Method ``rhtalu``: a shard-sized lazy evaluator."""
+
+    def __init__(self, workload: PaperWorkload, init: WorkerInit):
+        self.offset = init.lo
+        self.num_local = init.hi - init.lo
+        self.evaluator = workload.build_shard_rhtalu(init.lo, init.hi)
+
+    def fold(self, win: WinNotice) -> None:
+        self.evaluator.record_win(win.advertiser - self.offset,
+                                  win.charge, win.time)
+
+    def handle(self, task: ShardTask) -> RhtaluScanReply:
+        start = time_module.process_time()
+        for win in task.wins:
+            self.fold(win)
+        scan = self.evaluator.scan_auction(task.keyword, task.time)
+        return RhtaluScanReply(
+            auction_id=task.auction_id,
+            cand_ids=np.asarray(scan.candidates,
+                                dtype=np.int64) + self.offset,
+            cand_bids=scan.candidate_bids.copy(),
+            slot_ids=tuple(
+                np.asarray(per_slot, dtype=np.int64) + self.offset
+                for per_slot in scan.slot_ids),
+            scan_seconds=time_module.process_time() - start,
+            sequential_count=scan.sequential_count,
+            random_count=scan.random_count,
+            leaf_work=scan.sequential_count + scan.random_count,
+        )
+
+
+class EmptyShard:
+    """A shard with no advertisers: valid, answers with empty data.
+
+    Exists so worker counts above the population degrade gracefully
+    (the determinism suite pins the behaviour).
+    """
+
+    def __init__(self, num_slots: int, method: str):
+        self.num_slots = num_slots
+        self.method = method
+        self._empty_ids = np.empty(0, dtype=np.int64)
+        self._empty_rows = np.empty((0, num_slots))
+        self._empty_bids = np.empty(0)
+
+    def fold(self, win: WinNotice) -> None:  # pragma: no cover - routed
+        raise AssertionError("wins cannot route to an empty shard")
+
+    def handle(self, task: ShardTask):
+        slots = tuple(self._empty_ids for _ in range(self.num_slots))
+        if self.method == "rh":
+            return ScanReply(task.auction_id, self._empty_ids,
+                             self._empty_rows, self._empty_bids, slots,
+                             eval_seconds=0.0, scan_seconds=0.0,
+                             leaf_work=0)
+        if self.method == "rhtalu":
+            return RhtaluScanReply(task.auction_id, self._empty_ids,
+                                   self._empty_bids, slots,
+                                   scan_seconds=0.0, sequential_count=0,
+                                   random_count=0, leaf_work=0)
+        return GatherReply(task.auction_id, self._empty_bids,
+                           eval_seconds=0.0, leaf_work=0)
+
+
+def build_shard(init: WorkerInit):
+    """The right shard kind for ``init`` (deterministic reconstruction)."""
+    workload = PaperWorkload(init.workload_config)
+    if init.hi <= init.lo:
+        return EmptyShard(init.workload_config.num_slots, init.method)
+    if init.method == "rh":
+        return EagerScanShard(workload, init)
+    if init.method == "rhtalu":
+        return RhtaluShard(workload, init)
+    return GatherShard(workload, init)
+
+
+def worker_main(conn: Connection, init: WorkerInit) -> None:
+    """Worker process entrypoint: build, handshake, serve, shut down."""
+    try:
+        shard = build_shard(init)
+        conn.send(WorkerReady(shard=init.shard,
+                              num_local=max(init.hi - init.lo, 0)))
+        while True:
+            message = conn.recv()
+            if isinstance(message, Shutdown):
+                break
+            conn.send(shard.handle(message))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    except Exception:
+        try:
+            conn.send(WorkerFailure(shard=init.shard,
+                                    traceback=traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()

@@ -88,10 +88,22 @@ class PaperWorkload:
         return (self.config.initial_bid_fraction
                 * float(self.values[advertiser, keyword_index]))
 
-    def build_programs(self) -> list[SimpleROIPacer]:
-        """The eager ROI-pacer ensemble (methods LP / H / RH)."""
+    def build_shard_programs(self, lo: int, hi: int
+                             ) -> list[SimpleROIPacer]:
+        """Advertisers ``lo..hi-1`` as a pacer shard with *local* ids.
+
+        The multi-process runtime gives each worker a contiguous
+        advertiser span; inside the worker, rows are relabeled
+        ``0..hi-lo-1`` so the shard's arrays are dense (global id =
+        ``lo + local id``).  Every worker derives values, targets, and
+        initial bids from the one workload seed, so no state ever
+        crosses a process boundary at construction.  The full
+        :meth:`build_programs` ensemble is the ``(0, n)`` shard — one
+        construction path, so shard workers and the single-process
+        engine cannot drift apart.
+        """
         programs = []
-        for advertiser in range(self.config.num_advertisers):
+        for advertiser in range(lo, hi):
             records = [
                 KeywordRecord(
                     text=self.keywords[index],
@@ -105,22 +117,44 @@ class PaperWorkload:
             state = ProgramState(
                 target_spend_rate=float(self.targets[advertiser]),
                 keywords=records)
-            programs.append(SimpleROIPacer(advertiser, state,
+            programs.append(SimpleROIPacer(advertiser - lo, state,
                                            step=self.config.step))
         return programs
 
-    def build_lazy_state(self) -> LazyPacerState:
-        """The logical-update state (method RHTALU)."""
+    def build_programs(self) -> list[SimpleROIPacer]:
+        """The eager ROI-pacer ensemble (methods LP / H / RH)."""
+        return self.build_shard_programs(0, self.config.num_advertisers)
+
+    def build_shard_lazy_state(self, lo: int, hi: int) -> LazyPacerState:
+        """Advertisers ``lo..hi-1`` as a lazy-update shard (local ids).
+
+        Shares the id convention of :meth:`build_shard_programs`; the
+        full :meth:`build_lazy_state` is the ``(0, n)`` shard.
+        """
         state = LazyPacerState(step=self.config.step)
-        for advertiser in range(self.config.num_advertisers):
-            state.add_advertiser(advertiser,
+        for advertiser in range(lo, hi):
+            state.add_advertiser(advertiser - lo,
                                  float(self.targets[advertiser]))
             for index, keyword in enumerate(self.keywords):
                 state.add_keyword_bid(
-                    advertiser, keyword,
+                    advertiser - lo, keyword,
                     initial_bid=self.initial_bid(advertiser, index),
                     maxbid=float(self.values[advertiser, index]))
         return state
+
+    def build_lazy_state(self) -> LazyPacerState:
+        """The logical-update state (method RHTALU)."""
+        return self.build_shard_lazy_state(0, self.config.num_advertisers)
+
+    def build_shard_rhtalu(self, lo: int, hi: int) -> RhtaluEvaluator:
+        """A lazy evaluator over advertisers ``lo..hi-1`` (local ids).
+
+        The shard's click matrix is the corresponding row block of the
+        full matrix, so scores computed shard-locally are the very
+        floats the full evaluator would compute.
+        """
+        return RhtaluEvaluator(self.click_matrix[lo:hi],
+                               self.build_shard_lazy_state(lo, hi))
 
     def build_rhtalu(self) -> RhtaluEvaluator:
         return RhtaluEvaluator(self.click_matrix, self.build_lazy_state())

@@ -6,9 +6,11 @@ import pytest
 from repro.auction.pricing import (
     GeneralizedSecondPrice,
     PayYourBid,
+    SlotListSecondPrice,
     VickreyPricing,
 )
 from repro.matching.hungarian import max_weight_matching
+from repro.matching.reduction import top_k_for_slot
 
 
 def _setup(bids, click_probs):
@@ -57,6 +59,77 @@ class TestGsp:
             np.array([[1.0]]), np.array([2.0]), np.array([[0.0]]),
             max_weight_matching(np.array([[1.0]])))
         assert quotes[0].per_click == 0.0
+
+
+def _slot_lists(weights, depth):
+    """Per-slot descending (values, ids) top lists, repo tie rule."""
+    values, ids = [], []
+    for col in range(weights.shape[1]):
+        top = top_k_for_slot(weights[:, col], depth, backend="numpy")
+        ids.append(np.asarray(top, dtype=np.int64))
+        values.append(weights[top, col] if top else np.empty(0))
+    return values, ids
+
+
+class TestSlotListGsp:
+    """The distributed GSP must equal the full-matrix GSP exactly."""
+
+    def assert_quotes_equal(self, weights, bids, probs, matching):
+        full = GeneralizedSecondPrice().quote(weights, bids, probs,
+                                              matching)
+        values, ids = _slot_lists(weights,
+                                  depth=weights.shape[1] + 1)
+        listed = SlotListSecondPrice.quote_from_lists(
+            values, ids, bids, probs, matching)
+        assert listed == full  # dataclass equality: exact floats
+
+    def test_matches_on_random_instances(self, rng):
+        for _ in range(50):
+            n = int(rng.integers(1, 30))
+            k = int(rng.integers(1, 6))
+            bids = rng.uniform(0, 10, size=n)
+            probs = rng.uniform(0.1, 0.9, size=(n, k))
+            weights, bid_vec, probs, matching = _setup(bids, probs)
+            self.assert_quotes_equal(weights, bid_vec, probs, matching)
+
+    def test_matches_with_zero_bid_ties(self, rng):
+        # Zero bids produce whole tied-at-zero columns — the structural
+        # tie case sharded runs must price identically.
+        for _ in range(20):
+            n, k = int(rng.integers(2, 12)), int(rng.integers(1, 5))
+            bids = rng.uniform(0, 10, size=n)
+            bids[rng.random(n) < 0.6] = 0.0
+            probs = rng.uniform(0.1, 0.9, size=(n, k))
+            weights, bid_vec, probs, matching = _setup(bids, probs)
+            self.assert_quotes_equal(weights, bid_vec, probs, matching)
+
+    def test_population_smaller_than_depth(self):
+        # n < k + 1: lists cover everyone; exhausted rival scans mean
+        # a zero rival price, as in the full-matrix rule.
+        weights, bids, probs, matching = _setup(
+            [3.0, 2.0], [[0.5, 0.4, 0.3], [0.5, 0.4, 0.3]])
+        self.assert_quotes_equal(weights, bids, probs, matching)
+
+    def test_depth_k_plus_one_is_necessary(self):
+        # Why the runtime ships k+1-deep lists: with only k entries, a
+        # column whose top-k are all excluded winners loses its true
+        # rival (here k=1: the winner itself tops the list), while one
+        # extra entry always retains it.
+        weights = np.array([[10.0], [9.0], [1.0]])
+        bids = np.array([10.0, 9.0, 1.0])
+        probs = np.ones((3, 1))
+        matching = max_weight_matching(weights)
+        full = GeneralizedSecondPrice().quote(weights, bids, probs,
+                                              matching)
+        shallow_values, shallow_ids = _slot_lists(weights, depth=1)
+        shallow = SlotListSecondPrice.quote_from_lists(
+            shallow_values, shallow_ids, bids, probs, matching)
+        assert shallow[0].per_click == 0.0  # rival lost
+        assert full[0].per_click == 9.0
+        deep_values, deep_ids = _slot_lists(weights, depth=2)
+        deep = SlotListSecondPrice.quote_from_lists(
+            deep_values, deep_ids, bids, probs, matching)
+        assert deep == full
 
 
 class TestVcg:

@@ -1,0 +1,102 @@
+"""Settlement extraction and parallel-WD stats surfacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auction.engine import AuctionEngine, EngineConfig
+from repro.auction.settlement import AuctionSettler
+from repro.auction.trace import record_from_dict, record_to_dict
+from repro.bench import aggregate_wd_stats, records_identical
+from repro.workloads import PaperWorkload, PaperWorkloadConfig
+
+CONFIG = PaperWorkloadConfig(num_advertisers=30, num_slots=5,
+                             num_keywords=4, seed=3)
+
+
+def build_engine(method="rh", wd_leaves=None, engine_seed=7):
+    workload = PaperWorkload(CONFIG)
+    return AuctionEngine(
+        click_model=workload.click_model(),
+        purchase_model=workload.purchase_model(),
+        query_source=workload.query_source(),
+        programs=workload.build_programs(),
+        config=EngineConfig(num_slots=CONFIG.num_slots, method=method,
+                            seed=engine_seed, wd_leaves=wd_leaves))
+
+
+class TestSettlerSharing:
+    def test_engine_owns_one_settler(self):
+        engine = build_engine()
+        assert isinstance(engine.settler, AuctionSettler)
+        assert engine.settler.accounts is engine.accounts
+        assert engine.settler.rng is engine.rng
+        assert engine.settler.pricing is engine.pricing
+
+    def test_serial_records_have_no_wd_stats(self):
+        engine = build_engine()
+        assert all(r.wd_stats is None for r in engine.run(10))
+
+
+class TestWdLeaves:
+    def test_tree_wd_is_bit_identical_to_rh(self):
+        plain = build_engine().run(40)
+        tree = build_engine(wd_leaves=4).run(40)
+        assert records_identical(plain, tree)
+
+    def test_tree_wd_batched_matches_too(self):
+        plain = build_engine().run(40)
+        tree = build_engine(wd_leaves=4).run_batch(40)
+        assert records_identical(plain, tree)
+
+    def test_stats_reach_records_and_profiles(self):
+        records = build_engine(wd_leaves=4).run(12)
+        for record in records:
+            assert record.wd_stats is not None
+            assert record.wd_stats["num_leaves"] == 4
+            assert record.wd_stats["leaf_work_max"] > 0
+        aggregate = aggregate_wd_stats(records)
+        assert aggregate["auctions"] == 12
+        assert aggregate["num_leaves"] == 4
+        assert (aggregate["critical_path_max"]
+                >= aggregate["leaf_work_max"])
+
+    def test_aggregate_is_none_without_stats(self):
+        assert aggregate_wd_stats(build_engine().run(3)) is None
+
+    def test_wd_stats_round_trip_through_traces(self):
+        record = build_engine(wd_leaves=2).run(1)[0]
+        restored = record_from_dict(record_to_dict(record))
+        assert restored.wd_stats == record.wd_stats
+
+    def test_wd_leaves_rejected_for_other_methods(self):
+        # Silently ignoring the setting would hide the misconfiguration
+        # until someone notices wd_stats is absent from the artifacts.
+        with pytest.raises(ValueError, match="wd_leaves"):
+            build_engine(method="hungarian", wd_leaves=4)
+        with pytest.raises(ValueError, match="wd_leaves"):
+            build_engine(wd_leaves=0)
+
+
+class TestSettlerDirect:
+    def test_missing_winner_notifications_raise_nothing(self):
+        # The settler notifies exactly the quoted winners; an auction
+        # with no winners settles cleanly with empty prices.
+        import numpy as np
+
+        from repro.matching.types import MatchingResult
+        from repro.strategies.base import Query
+
+        engine = build_engine()
+        record = engine.settler.settle(
+            auction_id=99, query=Query(text="kw0", relevance={}),
+            slot_of={}, matching=MatchingResult(pairs=(),
+                                                total_weight=0.0),
+            expected_revenue=0.0,
+            weights=np.zeros((CONFIG.num_advertisers,
+                              CONFIG.num_slots)),
+            bids=np.zeros(CONFIG.num_advertisers),
+            eval_seconds=0.0, wd_seconds=0.0, num_candidates=0,
+            notify_fn=lambda *args: pytest.fail("no winners to notify"))
+        assert record.prices == {}
+        assert record.realized_revenue == 0.0

@@ -105,3 +105,48 @@ class TestValidation:
         from repro.evaluation.pacer_state import LazyPacerState
         with pytest.raises(ValueError):
             RhtaluEvaluator(np.ones(3), LazyPacerState())
+
+
+class TestScanAuction:
+    """The scan/match split the sharded runtime builds on."""
+
+    def test_scan_then_match_equals_run_auction(self):
+        workload = PaperWorkload(PaperWorkloadConfig(
+            num_advertisers=25, num_slots=4, num_keywords=3, seed=5))
+        scanning = workload.build_rhtalu()
+        running = workload.build_rhtalu()
+        for auction in range(1, 31):
+            keyword = f"kw{auction % 3}"
+            scan = scanning.scan_auction(keyword, float(auction))
+            full = running.run_auction(keyword, float(auction))
+            assert tuple(int(a) for a in scan.candidates) \
+                == full.candidates
+            np.testing.assert_array_equal(scan.candidate_bids,
+                                          full.candidate_bids)
+            assert scan.sequential_count == full.sequential_count
+            assert scan.random_count == full.random_count
+            # Union of the slot lists is exactly the candidate set.
+            union = set()
+            for per_slot in scan.slot_ids:
+                union.update(int(a) for a in per_slot)
+            assert union == set(full.candidates)
+            for advertiser, _ in full.matching.pairs:
+                if full.allocation.slot_of:
+                    running.record_win(advertiser, 0.5, float(auction))
+                    scanning.record_win(advertiser, 0.5, float(auction))
+
+    def test_slot_lists_are_top_depth_by_score(self):
+        workload = PaperWorkload(PaperWorkloadConfig(
+            num_advertisers=30, num_slots=4, num_keywords=2, seed=9))
+        evaluator = workload.build_rhtalu()
+        scan = evaluator.scan_auction("kw0", 1.0)
+        state = workload.build_lazy_state()
+        state.begin_auction("kw0", 1.0)
+        eff = np.array([state.effective_bid(a, "kw0")
+                        for a in range(30)])
+        for slot, per_slot in enumerate(scan.slot_ids):
+            scores = workload.click_matrix[:, slot] * eff
+            order = np.lexsort((np.arange(30), -scores))
+            expected = order[:evaluator.top_depth]
+            assert set(int(a) for a in per_slot) \
+                == set(int(a) for a in expected)

@@ -1,0 +1,90 @@
+"""Shard planning: spans, ownership, and RNG substreams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matching.tree_network import tree_aggregate
+from repro.runtime.sharding import ShardPlan, shard_bounds
+
+
+class TestShardBounds:
+    def test_even_split(self):
+        assert shard_bounds(12, 4) == (0, 3, 6, 9, 12)
+
+    def test_uneven_split_is_maximally_even(self):
+        bounds = shard_bounds(10, 3)
+        sizes = np.diff(bounds)
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_advertisers_leaves_empty_shards(self):
+        plan = ShardPlan.plan(3, 5)
+        assert sum(plan.shard_sizes()) == 3
+        assert 0 in plan.shard_sizes()
+
+    def test_matches_tree_network_leaf_split(self):
+        # The runtime's workers scan the shards the Section III-E tree
+        # simulation models, so its stats transfer.
+        weights = np.arange(28.0).reshape(14, 2)
+        for leaves in (1, 2, 3, 4, 7):
+            expected = np.linspace(0, 14, leaves + 1).astype(int)
+            assert shard_bounds(14, leaves) == tuple(expected)
+            tree_aggregate(weights, num_leaves=leaves)  # same formula inside
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 2)
+
+
+class TestOwnership:
+    @pytest.mark.parametrize("n,shards", [(10, 3), (3, 5), (7, 1),
+                                          (100, 8)])
+    def test_owner_matches_spans(self, n, shards):
+        plan = ShardPlan.plan(n, shards)
+        for shard, (lo, hi) in enumerate(plan.spans()):
+            for advertiser in range(lo, hi):
+                assert plan.owner_of(advertiser) == shard
+
+    def test_out_of_range_rejected(self):
+        plan = ShardPlan.plan(4, 2)
+        with pytest.raises(ValueError):
+            plan.owner_of(4)
+        with pytest.raises(ValueError):
+            plan.owner_of(-1)
+
+
+class TestSeedSequences:
+    def test_deterministic_per_shard(self):
+        plan = ShardPlan.plan(20, 4)
+        first = [rng.random(4) for rng in plan.shard_rngs(seed=9)]
+        second = [rng.random(4) for rng in plan.shard_rngs(seed=9)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_streams_differ_between_shards_and_seeds(self):
+        plan = ShardPlan.plan(20, 3)
+        streams = [rng.random(8) for rng in plan.shard_rngs(seed=1)]
+        assert not np.allclose(streams[0], streams[1])
+        other = plan.shard_rngs(seed=2)[0].random(8)
+        assert not np.allclose(streams[0], other)
+
+    def test_children_stable_under_shard_count(self):
+        # Shard s's substream must not depend on how many other shards
+        # exist (re-planning with more workers keeps old streams).
+        small = ShardPlan.plan(20, 2).seed_sequences(5)
+        large = ShardPlan.plan(20, 6).seed_sequences(5)
+        for a, b in zip(small, large):
+            assert a.spawn_key == b.spawn_key
+
+    def test_decision_stream_is_not_a_shard_stream(self):
+        # Bit-identity: the coordinator consumes default_rng(seed), the
+        # sequential engine's stream; shard substreams must all differ
+        # from it.
+        plan = ShardPlan.plan(10, 2)
+        decision = np.random.default_rng(3).random(8)
+        for rng in plan.shard_rngs(seed=3):
+            assert not np.allclose(rng.random(8), decision)

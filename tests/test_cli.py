@@ -36,6 +36,41 @@ class TestSimulate:
                 == batch_out.split("eval=")[0])
 
 
+class TestSimulateWorkers:
+    def test_sharded_matches_sequential(self, capsys):
+        base = ["simulate", "--advertisers", "21", "--auctions", "12",
+                "--slots", "3", "--keywords", "2"]
+        assert main(base) == 0
+        sequential_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert "sharded over 2 worker processes" in sharded_out
+        # Same decision totals; timing lines legitimately differ.
+        assert (sequential_out.split("eval=")[0]
+                in sharded_out)
+
+    def test_sharded_writes_traces(self, capsys, tmp_path):
+        trace = tmp_path / "sharded.jsonl"
+        code = main(["simulate", "--advertisers", "15",
+                     "--auctions", "8", "--slots", "3",
+                     "--keywords", "2", "--workers", "3",
+                     "--trace", str(trace)])
+        assert code == 0
+        assert len(trace.read_text().strip().splitlines()) == 8
+
+
+class TestBenchThroughputWorkers:
+    def test_sharded_comparison_is_identical(self, capsys):
+        code = main(["bench-throughput", "--advertisers", "40",
+                     "--auctions", "15", "--slots", "3",
+                     "--keywords", "2", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded-2w" in out
+        assert "critical-path" in out
+        assert "results identical: True" in out
+
+
 class TestSimulateBatch:
     def test_batch_matches_sequential(self, capsys):
         code = main(["simulate", "--advertisers", "20",
