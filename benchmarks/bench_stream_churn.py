@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Streaming churn: incremental maintenance vs rebuild-per-event.
+
+The acceptance benchmark for the online serving layer
+(:mod:`repro.stream`): on the Figure-12 workload (15 slots, 10
+keywords, ROI pacers, GSP) reinterpreted as an id universe, generate
+deterministic event streams at increasing churn rates (advertisers
+joining/leaving/editing programs while queries flow) and run each
+stream through two :class:`~repro.stream.service.OnlineAuctionService`
+instances that differ only in maintenance strategy:
+
+* ``incremental`` — control events surgically edit the live array
+  state (delta-list membership moves, argsort-index splices, pacer-row
+  grow/retire, deadline updates);
+* ``rebuild`` — every control event reconstructs the evaluation state
+  from its primary capture (all sorted structures re-derived).
+
+Per cell the driver asserts the two record streams are **bit-
+identical** (the oracle invariant the stream test suite also pins) and
+reports auctions/sec plus per-event-type timings.  The committed
+``BENCH_stream.json`` backs the claim that incremental maintenance
+beats rebuild-per-event under churn; ``tests/test_bench_artifacts.py``
+pins the artifact's structure and acceptance properties.
+
+Run::
+
+    python benchmarks/bench_stream_churn.py
+    python benchmarks/bench_stream_churn.py --size 2000 --events 400 \
+        --churn-rates 0,0.05,0.2 --min-speedup 1.1 --out BENCH_stream.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import ENGINE_SEED, WORKLOAD_SEED, build_workload  # noqa: E402
+from repro.bench import records_identical  # noqa: E402
+from repro.stream import OnlineAuctionService  # noqa: E402
+from repro.workloads import ChurnStreamConfig, generate_stream  # noqa: E402
+
+
+def run_service(config, method: str, maintenance: str, stream,
+                workers: int):
+    service = OnlineAuctionService(
+        config, method=method, maintenance=maintenance,
+        workers=workers, engine_seed=ENGINE_SEED)
+    try:
+        start = time.perf_counter()
+        records = service.run(stream)
+        wall = time.perf_counter() - start
+        return records, wall, service.stats.to_dict()
+    finally:
+        service.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=2000,
+                        help="advertiser universe capacity")
+    parser.add_argument("--events", type=int, default=400,
+                        help="post-genesis events per stream")
+    parser.add_argument("--churn-rates", default="0,0.05,0.2")
+    parser.add_argument("--slots", type=int, default=15)
+    parser.add_argument("--keywords", type=int, default=10)
+    parser.add_argument("--method", default="rhtalu",
+                        choices=["rh", "lp", "hungarian", "rhtalu"])
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail if incremental-over-rebuild at the "
+                             "highest churn rate falls below this "
+                             "(0 = report only)")
+    parser.add_argument("--out", default="BENCH_stream.json")
+    args = parser.parse_args(argv)
+
+    churn_rates = [float(rate)
+                   for rate in args.churn_rates.split(",")]
+    workload = build_workload(args.size, args.slots, args.keywords)
+    config = workload.config
+
+    print(f"stream churn: method={args.method} capacity={args.size} "
+          f"k={args.slots} keywords={args.keywords} "
+          f"events={args.events} churn={churn_rates}"
+          + (f" workers={args.workers}" if args.workers else ""))
+
+    cells = []
+    all_identical = True
+    for rate in churn_rates:
+        stream = generate_stream(workload, ChurnStreamConfig(
+            num_events=args.events, churn_rate=rate,
+            genesis=args.size // 2, min_active=args.slots + 1,
+            seed=WORKLOAD_SEED + 17))
+        counts = stream.counts_by_kind()
+        sides = {}
+        for maintenance in ("incremental", "rebuild"):
+            records, wall, stats = run_service(
+                config, args.method, maintenance, stream,
+                args.workers)
+            sides[maintenance] = (records, wall, stats)
+        identical = records_identical(sides["incremental"][0],
+                                      sides["rebuild"][0])
+        all_identical &= identical
+        auctions = len(sides["incremental"][0])
+        speedup = sides["rebuild"][1] / max(
+            sides["incremental"][1], 1e-12)
+        cell = {
+            "churn_rate": rate,
+            "events": counts,
+            "auctions": auctions,
+            "identical": identical,
+            "incremental": {
+                "wall_seconds": sides["incremental"][1],
+                "auctions_per_second":
+                    auctions / max(sides["incremental"][1], 1e-12),
+                "event_timings": sides["incremental"][2],
+            },
+            "rebuild": {
+                "wall_seconds": sides["rebuild"][1],
+                "auctions_per_second":
+                    auctions / max(sides["rebuild"][1], 1e-12),
+                "event_timings": sides["rebuild"][2],
+            },
+            "incremental_speedup": speedup,
+        }
+        cells.append(cell)
+        print(f"  churn={rate:5.2f}: "
+              f"{cell['incremental']['auctions_per_second']:8.1f}/s "
+              f"incremental vs "
+              f"{cell['rebuild']['auctions_per_second']:8.1f}/s "
+              f"rebuild ({speedup:.2f}x), identical={identical}")
+
+    top = cells[-1]["incremental_speedup"]
+    artifact = {
+        "workload": {
+            "figure": "12 (Section V workload as an id universe; "
+                      "churn rate swept)",
+            "method": args.method,
+            "num_advertisers": args.size,
+            "num_slots": args.slots,
+            "num_keywords": args.keywords,
+            "events": args.events,
+            "genesis": args.size // 2,
+            "workers": args.workers,
+            "workload_seed": WORKLOAD_SEED,
+            "engine_seed": ENGINE_SEED,
+        },
+        "note": ("each cell runs the SAME event stream through an "
+                 "incremental-maintenance service and a rebuild-per-"
+                 "control-event service; records must be bit-"
+                 "identical, and the speedup is rebuild wall over "
+                 "incremental wall"),
+        "cells": cells,
+        "summary": {
+            "max_churn_rate": churn_rates[-1],
+            "incremental_speedup_at_max_churn": top,
+            "all_identical": all_identical,
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True)
+                   + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    if not all_identical:
+        print("error: incremental maintenance diverged from rebuild",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and top < args.min_speedup:
+        print(f"error: incremental speedup {top:.2f}x below "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

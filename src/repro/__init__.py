@@ -31,9 +31,17 @@ Subpackages
 ``repro.auction``
     The end-to-end auction engine with GSP/VCG pricing and accounting.
 ``repro.workloads``
-    The Section V benchmark workload and random generators.
+    The Section V benchmark workload, churn streams, and random
+    generators.
+``repro.runtime``
+    The multi-process sharded runtime (coordinator + shard workers).
+``repro.stream``
+    The online serving layer: event streams, live advertiser churn,
+    incremental index maintenance, snapshot/restore.
+``repro.bench``
+    Phase profiling, throughput comparison, per-event-type timings.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.4.0"
 
 __all__ = ["__version__"]

@@ -213,6 +213,129 @@ class PacerArrays:
         self.spent[advertiser, col] += price
         self.gained[advertiser, col] += gained
 
+    # -- live advertiser churn (the online serving layer) ------------------
+
+    @classmethod
+    def for_universe(cls, num_advertisers: int,
+                     keywords: list[str]) -> "PacerArrays":
+        """An empty population over a fixed id/keyword universe.
+
+        The online serving layer starts every pacer mirror empty and
+        grows/retires rows as advertisers churn; the keyword universe
+        must be fixed up front because columns are keyword slots.
+        """
+        return cls([], num_advertisers, list(keywords))
+
+    def active_ids(self) -> np.ndarray:
+        """Ascending ids of rows currently holding a live program."""
+        return np.flatnonzero(self.present)
+
+    def grow_row(self, advertiser: int, target: float, step: float,
+                 bids: np.ndarray, maxbids: np.ndarray,
+                 values: np.ndarray) -> None:
+        """Bring a row to life with fresh pacing state (a join)."""
+        if not 0 <= advertiser < self.num_advertisers:
+            raise KeyError(f"advertiser {advertiser} outside capacity "
+                           f"0..{self.num_advertisers - 1}")
+        if self.present[advertiser]:
+            raise KeyError(f"advertiser {advertiser} already present")
+        if target <= 0:
+            raise ValueError(
+                f"target spend rate must be > 0, got {target}")
+        width = len(self.keywords)
+        bids = np.asarray(bids, dtype=float)
+        maxbids = np.asarray(maxbids, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if bids.shape != (width,) or maxbids.shape != (width,) \
+                or values.shape != (width,):
+            raise ValueError(
+                f"grow_row needs per-keyword bids/maxbids/values of "
+                f"length {width}")
+        self.present[advertiser] = True
+        self.step[advertiser] = step
+        self.target[advertiser] = target
+        self.amt_spent[advertiser] = 0.0
+        self.auctions_seen[advertiser] = 0
+        self.has_kw[advertiser, :] = True
+        self.bids[advertiser, :] = np.clip(bids, 0.0, maxbids)
+        self.maxbids[advertiser, :] = maxbids
+        self.value_per_click[advertiser, :] = values
+        self.gained[advertiser, :] = 0.0
+        self.spent[advertiser, :] = 0.0
+
+    def retire_row(self, advertiser: int) -> None:
+        """Zero a row out (a leave); the id may be re-grown later."""
+        if not self.present[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not present")
+        self.present[advertiser] = False
+        self.has_kw[advertiser, :] = False
+        self.bids[advertiser, :] = 0.0
+        self.maxbids[advertiser, :] = 0.0
+        self.value_per_click[advertiser, :] = 0.0
+        self.gained[advertiser, :] = 0.0
+        self.spent[advertiser, :] = 0.0
+        self.step[advertiser] = 0.0
+        self.target[advertiser] = 0.0
+        self.amt_spent[advertiser] = 0.0
+        self.auctions_seen[advertiser] = 0
+
+    def update_bid(self, advertiser: int, keyword: str, bid: float,
+                   maxbid: float) -> None:
+        """Edit one keyword record's bid and cap in place."""
+        if not self.present[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not present")
+        if maxbid < 0:
+            raise ValueError(f"maxbid must be >= 0, got {maxbid}")
+        col = self.kw_index.get(keyword)
+        if col is None:
+            raise KeyError(f"unknown keyword {keyword!r}")
+        self.maxbids[advertiser, col] = maxbid
+        self.bids[advertiser, col] = min(max(float(bid), 0.0), maxbid)
+
+    def capture(self) -> dict:
+        """Primary state of the live rows as flat arrays (copies).
+
+        The eager pipeline has no derived sorted structures, so the
+        capture *is* the whole population state; :meth:`from_capture`
+        re-materializes the mirror from it (the online service's
+        snapshot/restore and ``rebuild``-maintenance path).
+        """
+        ids = self.active_ids()
+        return {
+            "kind": "eager",
+            "num_advertisers": int(self.num_advertisers),
+            "keywords": list(self.keywords),
+            "ids": ids.copy(),
+            "target": self.target[ids].copy(),
+            "step": self.step[ids].copy(),
+            "amt_spent": self.amt_spent[ids].copy(),
+            "auctions_seen": self.auctions_seen[ids].copy(),
+            "bids": self.bids[ids].copy(),
+            "maxbids": self.maxbids[ids].copy(),
+            "values": self.value_per_click[ids].copy(),
+            "gained": self.gained[ids].copy(),
+            "spent": self.spent[ids].copy(),
+        }
+
+    @classmethod
+    def from_capture(cls, capture: dict) -> "PacerArrays":
+        """Rebuild a mirror from :meth:`capture` output, bit for bit."""
+        arrays = cls.for_universe(int(capture["num_advertisers"]),
+                                  list(capture["keywords"]))
+        ids = np.asarray(capture["ids"], dtype=np.int64)
+        arrays.present[ids] = True
+        arrays.target[ids] = capture["target"]
+        arrays.step[ids] = capture["step"]
+        arrays.amt_spent[ids] = capture["amt_spent"]
+        arrays.auctions_seen[ids] = capture["auctions_seen"]
+        arrays.has_kw[ids, :] = True
+        arrays.bids[ids] = capture["bids"]
+        arrays.maxbids[ids] = capture["maxbids"]
+        arrays.value_per_click[ids] = capture["values"]
+        arrays.gained[ids] = capture["gained"]
+        arrays.spent[ids] = capture["spent"]
+        return arrays
+
 
 class ShardEvalState:
     """One advertiser shard's eager evaluation state, self-contained.
@@ -235,17 +358,27 @@ class ShardEvalState:
     """
 
     def __init__(self, programs: list[SimpleROIPacer],
-                 click_rows: np.ndarray, top_depth: int):
+                 click_rows: np.ndarray, top_depth: int,
+                 keywords: list[str] | None = None):
         num_local = len(programs)
-        if click_rows.shape[0] != num_local:
-            raise ValueError(
-                f"{num_local} programs but {click_rows.shape[0]} click "
-                f"rows")
-        arrays = PacerArrays.from_programs(programs, num_local)
-        if arrays is None:
-            raise ValueError(
-                "shard population is not vectorizable (the sharded "
-                "runtime supports single-Click-bid pacer populations)")
+        if programs:
+            if click_rows.shape[0] != num_local:
+                raise ValueError(
+                    f"{num_local} programs but {click_rows.shape[0]} "
+                    f"click rows")
+            arrays = PacerArrays.from_programs(programs, num_local)
+            if arrays is None:
+                raise ValueError(
+                    "shard population is not vectorizable (the sharded "
+                    "runtime supports single-Click-bid pacer "
+                    "populations)")
+        elif keywords is not None:
+            # Streaming shard: an empty universe over the workload's
+            # keyword columns, grown row by row as advertisers join.
+            num_local = click_rows.shape[0]
+            arrays = PacerArrays.for_universe(num_local, keywords)
+        else:
+            raise ValueError("need programs or a keyword universe")
         self.arrays = arrays
         self.click_model = TabularClickModel(click_rows)
         self.num_slots = click_rows.shape[1]
@@ -266,6 +399,16 @@ class ShardEvalState:
         """The shard's slice of the population-wide bid vector."""
         return self.arrays.evaluate(keyword, time, out=self.bid_out)
 
+    def rebuild(self) -> None:
+        """Re-materialize the pacer mirror from its own capture.
+
+        The sharded service's ``rebuild`` maintenance strategy calls
+        this after every control event; results must match incremental
+        row edits bit for bit (the arrays are primary state, so this is
+        an identity-by-construction the stream oracle re-asserts).
+        """
+        self.arrays = PacerArrays.from_capture(self.arrays.capture())
+
     def scan(self) -> ReducedGraph:
         """Revenue rows plus the shard-local per-slot top-list scan.
 
@@ -274,12 +417,28 @@ class ShardEvalState:
         pick global top-k candidates and GSP-price from the merged
         lists); its ``weights`` rows are fresh copies safe to ship
         across a process boundary.
+
+        Rows whose program has left (streaming churn) are excluded
+        from the scan entirely — a departed advertiser must never be
+        allocated, and zero-weight edges *can* enter a maximum
+        matching — so ids in the result always refer to live rows.
         """
         click_bid_revenue_matrix(self.bid_out, self.click_model,
                                  out=self.revenue)
         self.revenue.adjusted(out=self.adjusted)
-        return reduce_graph(self.adjusted, backend="numpy",
-                            top_k=self.top_depth)
+        present = self.arrays.present
+        if present.all():
+            return reduce_graph(self.adjusted, backend="numpy",
+                                top_k=self.top_depth)
+        live = np.flatnonzero(present)
+        reduced = reduce_graph(self.adjusted[live], backend="numpy",
+                               top_k=self.top_depth)
+        return ReducedGraph(
+            candidates=tuple(int(live[row])
+                             for row in reduced.candidates),
+            weights=reduced.weights,
+            per_slot=tuple(tuple(int(live[row]) for row in slot_rows)
+                           for slot_rows in reduced.per_slot))
 
 
 @dataclass

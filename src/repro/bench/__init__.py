@@ -13,9 +13,11 @@ from repro.bench.profiles import (
 )
 from repro.bench.reporting import SpeedupReport, ordering_holds, speedup
 from repro.bench.series import FigureSeries
+from repro.bench.stream_stats import EventTimings
 from repro.bench.timing import TimingResult, time_auction_run, time_callable
 
 __all__ = [
+    "EventTimings",
     "FigureSeries",
     "PHASES",
     "PhaseProfile",

@@ -1,0 +1,69 @@
+"""Per-event-type accounting for the online serving layer.
+
+The phase profiler (:mod:`repro.bench.profiles`) splits an *auction*
+into eval/wd/price/settle; a streaming service additionally spends
+time on control events — joins, leaves, bid edits, top-ups — whose
+cost is exactly what the incremental-vs-rebuild maintenance comparison
+measures.  :class:`EventTimings` folds one wall-clock stamp per
+processed event into per-kind counts and totals, and renders the JSON
+cell ``benchmarks/bench_stream_churn.py`` commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EventTimings:
+    """Counts and summed wall-clock seconds, keyed by event kind."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def record(self, kind: str, elapsed: float) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.seconds[kind] = self.seconds.get(kind, 0.0) + elapsed
+
+    def absorb(self, other: "EventTimings") -> None:
+        """Fold another accumulator in (e.g. a pre-snapshot segment's
+        stats into the resumed service's, so a spliced run reports the
+        whole stream)."""
+        for kind, count in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + count
+        for kind, value in other.seconds.items():
+            self.seconds[kind] = self.seconds.get(kind, 0.0) + value
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def control_seconds(self) -> float:
+        """Summed cost of everything that is not a query arrival."""
+        return sum(value for kind, value in self.seconds.items()
+                   if kind != "query")
+
+    def mean_ms(self, kind: str) -> float:
+        count = self.counts.get(kind, 0)
+        if count == 0:
+            return 0.0
+        return 1e3 * self.seconds.get(kind, 0.0) / count
+
+    def to_dict(self) -> dict:
+        return {
+            "total_events": self.total_events,
+            "total_seconds": self.total_seconds,
+            "control_seconds": self.control_seconds(),
+            "by_kind": {
+                kind: {
+                    "count": self.counts[kind],
+                    "seconds": self.seconds.get(kind, 0.0),
+                    "mean_ms": self.mean_ms(kind),
+                }
+                for kind in sorted(self.counts)
+            },
+        }

@@ -11,7 +11,14 @@ Commands
 ``bench-throughput``
     Compare the sequential and batched pipelines on the Section V
     workload: auctions/sec, per-phase split, exact-equivalence verdict,
-    optional per-phase JSON profile artifacts.
+    optional per-phase JSON profile artifacts.  With ``--churn-rate``
+    the comparison becomes streaming: two online services (incremental
+    vs rebuild-per-event maintenance) consume the same churn stream.
+``stream``
+    Run the online serving layer: a deterministic event stream with
+    live advertiser churn through :class:`~repro.stream.service
+    .OnlineAuctionService`, in-process or sharded (``--workers``),
+    with optional snapshot/restore mid-stream.
 ``sql``
     Execute sqlmini statements from the command line or stdin — handy
     for exploring the bidding-program dialect.
@@ -90,6 +97,74 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import OnlineAuctionService
+    from repro.workloads import (
+        ChurnStreamConfig,
+        PaperWorkload,
+        PaperWorkloadConfig,
+        generate_stream,
+    )
+
+    config = PaperWorkloadConfig(
+        num_advertisers=args.advertisers, num_slots=args.slots,
+        num_keywords=args.keywords, seed=args.seed)
+    workload = PaperWorkload(config)
+    genesis = args.genesis if args.genesis is not None \
+        else max(args.advertisers // 2, 1)
+    stream = generate_stream(workload, ChurnStreamConfig(
+        num_events=args.events, churn_rate=args.churn_rate,
+        genesis=genesis, min_active=args.min_active,
+        seed=args.seed + 17))
+    counts = stream.counts_by_kind()
+    print(f"stream: {len(stream)} events "
+          + " ".join(f"{kind}={count}"
+                     for kind, count in sorted(counts.items())))
+
+    with OnlineAuctionService(
+            config, method=args.method, maintenance=args.maintenance,
+            workers=args.workers, engine_seed=args.seed + 1) as service:
+        if args.snapshot_at:
+            head = service.run(stream.prefix(args.snapshot_at))
+            snapshot = service.snapshot()
+            head_stats = service.stats
+            if args.snapshot_file:
+                snapshot.to_file(args.snapshot_file)
+                print(f"snapshot written to {args.snapshot_file} "
+                      f"after {args.snapshot_at} events")
+            service.close()
+            resumed = OnlineAuctionService.restore(snapshot)
+            try:
+                records = head + resumed.run(stream[args.snapshot_at:])
+                accounts = resumed.accounts
+                # Per-event timings of the whole spliced run, not just
+                # the post-restore tail.
+                stats = resumed.stats
+                stats.absorb(head_stats)
+                active = len(resumed.active_advertisers())
+            finally:
+                resumed.close()
+            print("resumed from snapshot mid-stream")
+        else:
+            records = service.run(stream)
+            accounts = service.accounts
+            stats = service.stats
+            active = len(service.active_advertisers())
+
+    print(f"auctions: {len(records)}  "
+          f"provider revenue: {accounts.provider_revenue:.2f} "
+          f"over {accounts.total_clicks()} clicks  "
+          f"active advertisers at end: {active}")
+    timing = stats.to_dict()
+    for kind, cell in timing["by_kind"].items():
+        print(f"  {kind:>6s}: {cell['count']:5d} events  "
+              f"{cell['mean_ms']:8.3f} ms/event")
+    mode = (f"{args.workers} workers" if args.workers
+            else "in-process")
+    print(f"maintenance={args.maintenance} ({mode})")
+    return 0
+
+
 def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     from repro.bench import compare_throughput, write_report_artifacts
     from repro.workloads import PaperWorkload, PaperWorkloadConfig
@@ -97,6 +172,9 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     config = PaperWorkloadConfig(
         num_advertisers=args.advertisers, num_slots=args.slots,
         num_keywords=args.keywords, seed=args.seed)
+
+    if args.churn_rate:
+        return _bench_churn(args, config)
 
     def fresh_engine():
         return PaperWorkload(config).build_engine(
@@ -140,6 +218,56 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
         return 1
     if args.min_speedup and report.speedup < args.min_speedup:
         print(f"error: speedup {report.speedup:.2f}x below "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_churn(args: argparse.Namespace, config) -> int:
+    """Streaming throughput: incremental vs rebuild-per-event."""
+    import time as time_module
+
+    from repro.bench import records_identical
+    from repro.stream import OnlineAuctionService
+    from repro.workloads import (
+        ChurnStreamConfig,
+        PaperWorkload,
+        generate_stream,
+    )
+
+    workload = PaperWorkload(config)
+    stream = generate_stream(workload, ChurnStreamConfig(
+        num_events=args.auctions, churn_rate=args.churn_rate,
+        genesis=max(args.advertisers // 2, 1),
+        min_active=args.slots + 1, seed=args.seed + 17))
+    results = {}
+    for maintenance in ("incremental", "rebuild"):
+        with OnlineAuctionService(
+                config, method=args.method, maintenance=maintenance,
+                workers=args.workers,
+                engine_seed=args.seed + 1) as service:
+            start = time_module.perf_counter()
+            records = service.run(stream)
+            wall = time_module.perf_counter() - start
+            results[maintenance] = (records, wall,
+                                    service.stats.to_dict())
+        rate = len(records) / wall if wall > 0 else 0.0
+        control_ms = 1e3 * results[maintenance][2]["control_seconds"]
+        print(f"{maintenance:>12s}: {rate:8.1f} auctions/s "
+              f"({len(records)} auctions, "
+              f"control events cost {control_ms:.1f} ms total)")
+    identical = records_identical(results["incremental"][0],
+                                  results["rebuild"][0])
+    speedup = (results["rebuild"][1]
+               / max(results["incremental"][1], 1e-12))
+    print(f"   incremental vs rebuild speedup: {speedup:.2f}x  "
+          f"(results identical: {identical})")
+    if not identical:
+        print("error: incremental maintenance diverged from "
+              "rebuild-per-event", file=sys.stderr)
+        return 1
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"error: speedup {speedup:.2f}x below "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
         return 1
     return 0
@@ -212,7 +340,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail below this speedup (0 = report only)")
     bench.add_argument("--profile-dir", default=None,
                        help="write per-phase JSON profiles here")
+    bench.add_argument("--churn-rate", type=float, default=0.0,
+                       help="stream this fraction of control events "
+                            "through two online services (incremental "
+                            "vs rebuild-per-event maintenance) instead "
+                            "of the batch comparison")
     bench.set_defaults(func=_cmd_bench_throughput)
+
+    stream = commands.add_parser(
+        "stream",
+        help="online serving: event stream with live advertiser churn")
+    stream.add_argument("--advertisers", type=int, default=200,
+                        help="universe capacity (ids join/leave "
+                             "within it)")
+    stream.add_argument("--events", type=int, default=400,
+                        help="post-genesis stream length")
+    stream.add_argument("--churn-rate", type=float, default=0.1)
+    stream.add_argument("--genesis", type=int, default=None,
+                        help="initial advertisers (default: half the "
+                             "universe)")
+    stream.add_argument("--min-active", type=int, default=2)
+    stream.add_argument("--slots", type=int, default=15)
+    stream.add_argument("--keywords", type=int, default=10)
+    stream.add_argument("--method", default="rh",
+                        choices=["lp", "hungarian", "rh", "rhtalu"])
+    stream.add_argument("--maintenance", default="incremental",
+                        choices=["incremental", "rebuild"])
+    stream.add_argument("--workers", type=int, default=0,
+                        help="shard the service over this many worker "
+                             "processes (0 = in-process)")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--snapshot-at", type=int, default=0,
+                        help="snapshot after this many events, then "
+                             "restore and finish the stream")
+    stream.add_argument("--snapshot-file", default=None,
+                        help="also write the snapshot JSON here")
+    stream.set_defaults(func=_cmd_stream)
 
     validate = commands.add_parser(
         "validate", help="cross-method agreement self-check")

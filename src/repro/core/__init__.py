@@ -37,10 +37,12 @@ from repro.core.validation import (
 from repro.core.winner_determination import (
     METHODS,
     Method,
+    SubsetWdResult,
     WdResult,
     allocation_from_matching,
     determine_winners,
     solve,
+    solve_on_subset,
 )
 
 __all__ = [
@@ -63,7 +65,9 @@ __all__ = [
     "exact_slot_only_wd",
     "expected_revenue_of_allocation",
     "parallel_speedup_model",
+    "SubsetWdResult",
     "results_agree",
+    "solve_on_subset",
     "solve_parallel",
     "slot_click_bid_revenue_matrix",
     "slot_only",

@@ -114,6 +114,66 @@ def determine_winners(tables: Mapping[AdvertiserId, BidsTable],
     return solve(revenue, method=method)
 
 
+@dataclass(frozen=True)
+class SubsetWdResult:
+    """Winner determination restricted to a live advertiser subset.
+
+    ``matching`` pairs are subset-local rows (aligned with ``weights``
+    / ``click_rows`` / ``candidate_bids``); ``slot_of`` and ``id_map``
+    carry the translation back to global advertiser ids — exactly the
+    candidate-local shape :meth:`repro.auction.settlement
+    .AuctionSettler.settle` consumes.
+    """
+
+    weights: np.ndarray
+    matching: MatchingResult
+    expected_revenue: float
+    slot_of: dict[int, int]
+    id_map: list[int]
+    candidate_bids: np.ndarray
+    click_rows: np.ndarray
+
+
+def solve_on_subset(click_matrix: np.ndarray, bids: np.ndarray,
+                    active: np.ndarray,
+                    method: Method = "rh") -> SubsetWdResult:
+    """Solve one click-bid auction on the surviving population only.
+
+    The online serving layer's winner-determination rule: departed
+    advertisers are *excluded* from the candidate space (zero-weight
+    edges can enter a maximum matching, so zeroing their bids is not
+    enough).  Both the in-process service and the sharded
+    coordinator's gather path route through this one function — their
+    bit-identity across execution modes depends on computing the
+    subset weights with the same float operations, so the logic lives
+    in exactly one place.  An empty subset yields an empty matching
+    without invoking a solver.
+    """
+    num_slots = click_matrix.shape[1]
+    if len(active) == 0:
+        return SubsetWdResult(
+            weights=np.zeros((0, num_slots)),
+            matching=MatchingResult(pairs=(), total_weight=0.0),
+            expected_revenue=0.0, slot_of={}, id_map=[],
+            candidate_bids=np.zeros(0),
+            click_rows=np.zeros((0, num_slots)))
+    # Same per-element ops as click_bid_revenue_matrix, on the subset.
+    weights = click_matrix[active] * bids[active][:, None]
+    revenue = RevenueMatrix(assigned=weights,
+                            unassigned=np.zeros(len(active)))
+    result = solve(revenue, method=method, adjusted=weights)
+    slot_of = {int(active[row]): col + 1
+               for row, col in result.matching.pairs}
+    return SubsetWdResult(
+        weights=weights,
+        matching=result.matching,
+        expected_revenue=result.expected_revenue,
+        slot_of=slot_of,
+        id_map=[int(advertiser) for advertiser in active],
+        candidate_bids=bids[active],
+        click_rows=click_matrix[active])
+
+
 def allocation_from_matching(matching: MatchingResult,
                              num_slots: int) -> Allocation:
     """Translate matcher output (0-based columns) into an Allocation."""

@@ -130,7 +130,12 @@ class RhtaluEvaluator:
         self.top_depth = (self.num_slots + 1 if top_depth is None
                           else top_depth)
         self.block_size = block_size
-        self.slot_index = ColumnArgsortIndex(matrix)
+        # The sorted index covers exactly the advertisers registered in
+        # the pacer state (for the classic fixed-population build that
+        # is every row).  Under live churn (:mod:`repro.stream`) the
+        # two stay in lockstep through apply_join / apply_leave.
+        self.slot_index = ColumnArgsortIndex(matrix,
+                                             members=state.active_ids())
         # Preallocated per-auction buffers: TA score histories, the
         # candidate mask, and the candidate-aligned matching inputs.
         n, k = matrix.shape
@@ -215,3 +220,41 @@ class RhtaluEvaluator:
                    time: float) -> None:
         """Forward a winner's charge to the lazy state."""
         self.state.record_win(advertiser, price, time)
+
+    # -- live advertiser churn (the online serving layer) ---------------
+
+    def apply_join(self, advertiser: int, target: float,
+                   bids: np.ndarray, maxbids: np.ndarray) -> None:
+        """Admit an advertiser mid-stream: pacer state + sorted index.
+
+        The pacer placement and the argsort-index splice are the two
+        incremental maintenance steps; both cost O(members) memmoves
+        instead of the O(m log m) re-sorts a rebuild pays.
+        """
+        self.state.join(advertiser, target, bids, maxbids)
+        self.slot_index.insert(advertiser)
+
+    def apply_leave(self, advertiser: int) -> None:
+        """Retire an advertiser from the pacer state and the index."""
+        self.state.leave(advertiser)
+        self.slot_index.remove(advertiser)
+
+    def apply_update(self, advertiser: int, keyword: str, bid: float,
+                     maxbid: float) -> None:
+        """Edit one keyword bid (the click index is bid-independent)."""
+        self.state.update_bid(advertiser, keyword, bid, maxbid)
+
+    def rebuilt(self) -> "RhtaluEvaluator":
+        """A from-scratch evaluator over the current primary state.
+
+        Captures the pacer state's primary scalars and re-derives every
+        sorted structure — delta-list orders, the argsort index, the
+        preallocated TA and matching buffers.  The online service's
+        ``rebuild`` maintenance strategy calls this after every control
+        event; the incremental strategy must match its auction outcomes
+        bit for bit (the stream test suite's oracle).
+        """
+        state = LazyPacerArrays.from_capture(self.state.capture())
+        return RhtaluEvaluator(self.click_matrix, state,
+                               top_depth=self.top_depth,
+                               block_size=self.block_size)

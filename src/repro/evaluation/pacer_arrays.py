@@ -109,6 +109,11 @@ class LazyPacerArrays:
         self.time_deadlines = DeadlineArray(n)
         self.lists = [[ArrayDeltaList() for _ in range(3)]
                       for _ in range(width)]
+        self.active = np.zeros(n, dtype=bool)
+        """Rows currently registered in the delta lists.  Everything the
+        per-auction protocol touches is membership-driven, so inactive
+        rows cost nothing; the online serving layer flips this mask
+        under advertiser churn (:meth:`join`, :meth:`leave`)."""
         self.physical_moves = 0  # list insert/removes, for the ablation
         # Per-auction scratch (aliased by KeywordBidSource views).
         self._eff = np.empty(n)
@@ -151,6 +156,7 @@ class LazyPacerArrays:
             mirror.time_deadlines.schedule(
                 dec_mask,
                 mirror.amt_spent[dec_mask] / mirror.target[dec_mask])
+        mirror.active[:] = True
         everyone = np.arange(num_advertisers)
         for col, text in enumerate(keywords):
             bids = state.bids_for_keyword(text)
@@ -208,20 +214,176 @@ class LazyPacerArrays:
             self.time_deadlines.schedule(
                 advertiser, spent / self.target[advertiser])
 
+    # -- live churn (the online serving layer) -------------------------------
+
+    def active_ids(self) -> np.ndarray:
+        """Ascending ids of the currently registered advertisers."""
+        return np.flatnonzero(self.active)
+
+    def join(self, advertiser: int, target: float, bids: np.ndarray,
+             maxbids: np.ndarray) -> None:
+        """Register an advertiser mid-stream with fresh pacing state.
+
+        ``bids`` / ``maxbids`` are per-keyword (the constructor's
+        keyword order).  The newcomer starts underspending (mode
+        ``inc``, nothing spent) and is placed into each keyword's delta
+        list by the same rules initial registration uses, scheduling
+        its bound-saturation count triggers against the keyword
+        counters *as they stand now* — joining late means joining the
+        lists mid-adjustment, which is exactly what the delta-list
+        representation makes O(1) per keyword.
+        """
+        if not 0 <= advertiser < self.num_advertisers:
+            raise KeyError(f"advertiser {advertiser} outside capacity "
+                           f"0..{self.num_advertisers - 1}")
+        if self.active[advertiser]:
+            raise KeyError(f"advertiser {advertiser} already active")
+        if target <= 0:
+            raise ValueError(f"target spend rate must be > 0, got {target}")
+        bids = np.asarray(bids, dtype=float)
+        maxbids = np.asarray(maxbids, dtype=float)
+        width = len(self.keywords)
+        if bids.shape != (width,) or maxbids.shape != (width,):
+            raise ValueError(
+                f"join needs one bid and one cap per keyword "
+                f"({width}), got {bids.shape} / {maxbids.shape}")
+        self.active[advertiser] = True
+        self.target[advertiser] = target
+        self.amt_spent[advertiser] = 0.0
+        self.mode[advertiser] = INC
+        self.time_deadlines.cancel(advertiser)
+        self.maxbid[advertiser, :] = maxbids
+        who = np.array([advertiser])
+        for col in range(width):
+            self._place_batch(who, col, bids[col:col + 1])
+
+    def leave(self, advertiser: int) -> None:
+        """Retire an advertiser: delta-list removal, trigger cancels."""
+        if not self.active[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not active")
+        mask = self._member_mask
+        mask[advertiser] = True
+        for lists in self.lists:
+            for lst in lists:
+                lst.remove_mask(mask)
+        mask[advertiser] = False
+        self.count_deadlines.cancel(advertiser)
+        self.time_deadlines.cancel(advertiser)
+        self.active[advertiser] = False
+        self.physical_moves += len(self.keywords)
+
+    def update_bid(self, advertiser: int, keyword: str, bid: float,
+                   maxbid: float) -> None:
+        """Re-place one keyword bid at an edited value and cap."""
+        if not self.active[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not active")
+        if maxbid < 0:
+            raise ValueError(f"maxbid must be >= 0, got {maxbid}")
+        col = self._column(keyword)
+        mask = self._member_mask
+        mask[advertiser] = True
+        for lst in self.lists[col]:
+            lst.remove_mask(mask)
+        mask[advertiser] = False
+        who = np.array([advertiser])
+        self.count_deadlines.cancel((who, col))
+        self.maxbid[advertiser, col] = maxbid
+        self.physical_moves += 1
+        self._place_batch(who, col, np.array([float(bid)]))
+
+    # -- capture / rebuild ---------------------------------------------------
+
+    def capture(self) -> dict:
+        """The primary pacing state as flat arrays (fresh copies).
+
+        Everything the lazily-maintained representation *means* —
+        stored bids plus membership classes, the per-keyword adjustment
+        scalars and auction counters, modes, spend, caps, and pending
+        trigger deadlines — without the derived sorted structures (the
+        delta lists' orders, the walk scratch).  :meth:`from_capture`
+        re-derives those from scratch, which is both the snapshot/
+        restore path of the online service and its ``rebuild``
+        maintenance strategy's per-event cost.
+        """
+        ids = self.active_ids()
+        return {
+            "kind": "rhtalu",
+            "num_advertisers": int(self.num_advertisers),
+            "keywords": list(self.keywords),
+            "step": float(self.step),
+            "ids": ids.copy(),
+            "target": self.target[ids].copy(),
+            "amt_spent": self.amt_spent[ids].copy(),
+            "mode": self.mode[ids].copy(),
+            "stored": self.stored[ids].copy(),
+            "cls": self.cls[ids].copy(),
+            "maxbid": self.maxbid[ids].copy(),
+            "count_critical": self.count_deadlines.critical[ids].copy(),
+            "time_critical": self.time_deadlines.critical[ids].copy(),
+            "counts": self.counts.copy(),
+            "adjust_inc": np.array([lists[INC].adjustment
+                                    for lists in self.lists]),
+            "adjust_dec": np.array([lists[DEC].adjustment
+                                    for lists in self.lists]),
+        }
+
+    @classmethod
+    def from_capture(cls, capture: dict) -> "LazyPacerArrays":
+        """Rebuild the full state from :meth:`capture` output.
+
+        The numeric state (stored bids, adjustments, deadlines) is
+        copied bit-for-bit; every *derived* structure — each keyword's
+        three sorted delta arrays, the trigger banks, the walk scratch —
+        is reconstructed from scratch.  A rebuilt state is therefore
+        observationally identical to the incrementally-maintained one:
+        same effective bids, same trigger firings, same TA walks up to
+        exact-tie order (which no selection in the repo depends on).
+        """
+        keywords = list(capture["keywords"])
+        n = int(capture["num_advertisers"])
+        state = cls(np.ones(n), keywords, step=float(capture["step"]))
+        ids = np.asarray(capture["ids"], dtype=np.int64)
+        state.active[ids] = True
+        state.target[ids] = capture["target"]
+        state.amt_spent[ids] = capture["amt_spent"]
+        state.mode[ids] = capture["mode"]
+        state.stored[ids] = capture["stored"]
+        state.cls[ids] = capture["cls"]
+        state.maxbid[ids] = capture["maxbid"]
+        state.count_deadlines.critical[ids] = capture["count_critical"]
+        state.time_deadlines.critical[ids] = capture["time_critical"]
+        state.counts[:] = capture["counts"]
+        stored = state.stored[ids]
+        membership = state.cls[ids]
+        for col in range(len(keywords)):
+            lists = state.lists[col]
+            lists[INC].adjustment = float(capture["adjust_inc"][col])
+            lists[DEC].adjustment = float(capture["adjust_dec"][col])
+            for which in (INC, DEC, CONST):
+                chosen = membership[:, col] == which
+                member_ids = ids[chosen]
+                member_stored = stored[chosen][:, col]
+                order = np.lexsort((member_ids, member_stored))
+                lists[which].ids = member_ids[order]
+                lists[which].stored = member_stored[order]
+        return state
+
     # -- accessors -----------------------------------------------------------
 
     def effective_bid(self, advertiser: int, keyword: str) -> float:
+        if not self.active[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not active")
         col = self._column(keyword)
         return float(self.stored[advertiser, col]
                      + self._adjustment(col, self.cls[advertiser, col]))
 
     def bids_for_keyword(self, keyword: str) -> dict[int, float]:
-        """Snapshot of every advertiser's effective bid on a keyword."""
+        """Snapshot of every active advertiser's effective bid."""
         col = self._column(keyword)
         effective = self.stored[:, col] + \
             self._adjustment_vector(col)[self.cls[:, col]]
-        return {advertiser: float(bid)
-                for advertiser, bid in enumerate(effective)}
+        return {int(advertiser): float(effective[advertiser])
+                for advertiser in self.active_ids()}
 
     def mode_of(self, advertiser: int) -> str:
         """The advertiser's current pacing mode ("inc" or "dec")."""

@@ -85,10 +85,10 @@ class ColumnArgsortIndex:
     """All columns' descending orders as slices of one shared argsort.
 
     The vectorized RHTALU path replaces the k per-slot
-    :class:`SortedIndex` objects with this structure: one ``(n, k)``
-    argsort of the click matrix, so every slot's sorted source is a
-    column view of a single allocation instead of its own dict-backed
-    index.  Three aligned arrays:
+    :class:`SortedIndex` objects with this structure: one ``(m, k)``
+    argsort of the click matrix rows that are currently *members*, so
+    every slot's sorted source is a column view of a single allocation
+    instead of its own dict-backed index.  Three aligned arrays:
 
     * ``order[r, j]`` — the id at descending rank ``r`` of column ``j``
       (ties between equal values fall to the higher id first, matching
@@ -96,31 +96,66 @@ class ColumnArgsortIndex:
     * ``sorted_values[r, j]`` — ``matrix[order[r, j], j]``, the value
       stream a sorted access at rank ``r`` would read;
     * ``rank[i, j]`` — the inverse permutation: the descending rank of
-      id ``i`` in column ``j``.  The threshold kernel uses it to decide
-      in O(1) whether an id surfaced by the other source already lies
-      inside a column's walked prefix.
+      id ``i`` in column ``j`` (non-members hold an out-of-range
+      sentinel).  The threshold kernel uses it to decide in O(1)
+      whether an id surfaced by the other source already lies inside a
+      column's walked prefix.
 
-    The matrix is static per evaluator (click probabilities do not move
-    between auctions), so the index is built once.
+    ``members`` defaults to every row of the matrix — the static
+    full-population index the batch pipeline builds once.  The online
+    serving layer (:mod:`repro.stream`) instead maintains the member
+    set *incrementally* under advertiser churn: :meth:`insert` and
+    :meth:`remove` splice one id in or out of every column's order in
+    O(m) memmoves, preserving exactly the order a fresh stable argsort
+    of the surviving members would produce (``tests/evaluation/
+    test_sorted_index.py`` pins the equivalence).
     """
 
-    def __init__(self, matrix: np.ndarray):
+    def __init__(self, matrix: np.ndarray,
+                 members: np.ndarray | None = None):
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2:
             raise ValueError(
                 f"matrix must be 2-D, got shape {matrix.shape}")
         self.matrix = matrix
-        num_ids, num_cols = matrix.shape
+        universe, num_cols = matrix.shape
+        if members is None:
+            sub = matrix
+            member_ids = np.arange(universe, dtype=np.int64)
+        else:
+            member_ids = np.asarray(members, dtype=np.int64)
+            if member_ids.ndim != 1:
+                raise ValueError("members must be a 1-D id array")
+            if len(member_ids) and (
+                    member_ids.min() < 0
+                    or member_ids.max() >= universe):
+                raise ValueError("members outside the matrix's rows")
+            if np.any(np.diff(member_ids) <= 0):
+                raise ValueError("members must be strictly ascending")
+            sub = (matrix if len(member_ids) == universe
+                   else matrix[member_ids])
         # Stable ascending argsort reversed: descending by value, ties
-        # descending by id — the SortedIndex iteration order.
-        ascending = np.argsort(matrix, axis=0, kind="stable")
-        self.order = np.ascontiguousarray(ascending[::-1, :])
-        self.sorted_values = np.take_along_axis(matrix, self.order,
-                                                axis=0)
-        self.rank = np.empty_like(self.order)
-        np.put_along_axis(
-            self.rank, self.order,
-            np.arange(num_ids)[:, None].repeat(num_cols, axis=1), axis=0)
+        # descending by id — the SortedIndex iteration order.  (Member
+        # positions ascend with ids, so position ties are id ties.)
+        ascending = np.argsort(sub, axis=0, kind="stable")
+        self.order = np.ascontiguousarray(
+            member_ids[ascending[::-1, :]])
+        self.sorted_values = np.take_along_axis(
+            matrix, self.order, axis=0)
+        self.rank = np.full((universe, num_cols), universe,
+                            dtype=np.int64)
+        self._refresh_rank()
+
+    def _refresh_rank(self) -> None:
+        """Recompute the inverse permutation from ``order``."""
+        universe, num_cols = self.matrix.shape
+        self.rank.fill(universe)
+        if len(self.order):
+            np.put_along_axis(
+                self.rank, self.order,
+                np.arange(len(self.order))[:, None].repeat(num_cols,
+                                                           axis=1),
+                axis=0)
 
     @property
     def num_ids(self) -> int:
@@ -129,6 +164,68 @@ class ColumnArgsortIndex:
     @property
     def num_columns(self) -> int:
         return self.order.shape[1]
+
+    def __contains__(self, item: int) -> bool:
+        return (0 <= item < self.matrix.shape[0]
+                and self.rank[item, 0] < len(self.order))
+
+    # -- incremental membership (live advertiser churn) -----------------
+
+    def insert(self, item: int) -> None:
+        """Splice a matrix row into every column's descending order.
+
+        The insertion point per column is exactly where a fresh stable
+        argsort would put the id: descending by value, ties descending
+        by id.  Cost is O(m) work per column — the order/value memmove
+        plus a rank bump for the entries the splice displaces — versus
+        O(m log m) per column for a full re-argsort, and independent of
+        the id universe's size.
+        """
+        if item in self:
+            raise KeyError(f"id {item} already indexed")
+        if not 0 <= item < self.matrix.shape[0]:
+            raise KeyError(f"id {item} outside the matrix's rows")
+        values = self.matrix[item]
+        greater = (self.sorted_values > values).sum(axis=0)
+        tied_above = ((self.sorted_values == values)
+                      & (self.order > item)).sum(axis=0)
+        positions = greater + tied_above
+        num_cols = self.order.shape[1]
+        grown_order = np.empty((len(self.order) + 1, num_cols),
+                               dtype=np.int64)
+        grown_values = np.empty_like(grown_order, dtype=float)
+        for col in range(num_cols):
+            split = positions[col]
+            grown_order[:split, col] = self.order[:split, col]
+            grown_order[split, col] = item
+            grown_order[split + 1:, col] = self.order[split:, col]
+            grown_values[:split, col] = self.sorted_values[:split, col]
+            grown_values[split, col] = values[col]
+            grown_values[split + 1:, col] = \
+                self.sorted_values[split:, col]
+            # Entries displaced by the splice move down one rank; the
+            # prefix is untouched.
+            self.rank[self.order[split:, col], col] += 1
+            self.rank[item, col] = split
+        self.order = grown_order
+        self.sorted_values = grown_values
+
+    def remove(self, item: int) -> None:
+        """Drop an id from every column's order (one memmove each,
+        plus a rank decrement for the entries that move up)."""
+        if item not in self:
+            raise KeyError(f"id {item} not indexed")
+        num_cols = self.order.shape[1]
+        for col in range(num_cols):
+            position = self.rank[item, col]
+            self.rank[self.order[position + 1:, col], col] -= 1
+        self.rank[item, :] = self.matrix.shape[0]
+        keep = self.order != item
+        num_rows = len(self.order) - 1
+        self.order = self.order.T[keep.T].reshape(
+            num_cols, num_rows).T.copy()
+        self.sorted_values = self.sorted_values.T[keep.T].reshape(
+            num_cols, num_rows).T.copy()
 
     def column(self, col: int) -> "_ColumnView":
         """A per-column :class:`RankedSource`-compatible view."""

@@ -52,21 +52,29 @@ from repro.core.revenue import click_bid_revenue_matrix
 from repro.core.winner_determination import (
     allocation_from_matching,
     solve,
+    solve_on_subset,
 )
 from repro.matching.hungarian import max_weight_matching
 from repro.matching.types import MatchingResult
 from repro.runtime.messages import (
+    ControlNotice,
     GatherReply,
     RhtaluScanReply,
     ScanReply,
     ShardTask,
     Shutdown,
+    SnapshotReply,
+    SnapshotRequest,
     WinNotice,
     WorkerFailure,
     WorkerReady,
 )
 from repro.runtime.sharding import ShardPlan
-from repro.runtime.worker import WorkerInit, worker_main
+from repro.runtime.worker import (
+    StreamShardConfig,
+    WorkerInit,
+    worker_main,
+)
 from repro.strategies.base import Query
 from repro.workloads.paper_workload import (
     PaperWorkload,
@@ -150,6 +158,8 @@ class ShardedAuctionRuntime:
         self.last_batch_stats: BatchStats | None = None
         self._pending: list[list[WinNotice]] = [
             [] for _ in range(self.plan.num_shards)]
+        self._pending_controls: list[list[ControlNotice]] = [
+            [] for _ in range(self.plan.num_shards)]
         self._bids_buf = np.zeros(self.num_advertisers)
         self._processes: list[multiprocessing.Process] | None = None
         self._conns: list = []
@@ -176,11 +186,8 @@ class ShardedAuctionRuntime:
         try:
             for shard, (lo, hi) in enumerate(self.plan.spans()):
                 parent_conn, child_conn = context.Pipe(duplex=True)
-                init = WorkerInit(
-                    shard=shard, lo=lo, hi=hi, method=self.method,
-                    workload_config=self.workload_config,
-                    top_depth=self.top_depth,
-                    seed_sequence=entropy[shard])
+                init = self._make_worker_init(shard, lo, hi,
+                                              entropy[shard])
                 process = context.Process(
                     target=worker_main, args=(child_conn, init),
                     daemon=True,
@@ -207,6 +214,15 @@ class ShardedAuctionRuntime:
         self._processes = processes
         self._conns = conns
 
+    def _make_worker_init(self, shard: int, lo: int, hi: int,
+                          seed_sequence) -> WorkerInit:
+        """The spawn recipe for one shard (streaming mode overrides)."""
+        return WorkerInit(
+            shard=shard, lo=lo, hi=hi, method=self.method,
+            workload_config=self.workload_config,
+            top_depth=self.top_depth,
+            seed_sequence=seed_sequence)
+
     def close(self) -> None:
         """Shut the worker fleet down.
 
@@ -225,6 +241,7 @@ class ShardedAuctionRuntime:
             except (BrokenPipeError, OSError):
                 pass
             self._pending[shard].clear()
+            self._pending_controls[shard].clear()
             conn.close()
         for process in processes:
             process.join(timeout=5)
@@ -282,15 +299,22 @@ class ShardedAuctionRuntime:
 
     # -- one lockstep auction ----------------------------------------------
 
+    def _draw_query(self) -> Query:
+        """The next query — drawn from the decision stream by default;
+        the streaming runtime overrides this to consume its event log."""
+        return self.query_source(self.rng)
+
     def _run_one(self) -> AuctionRecord:
         self.auction_id += 1
         now = float(self.auction_id)
-        query = self.query_source(self.rng)
+        query = self._draw_query()
         for shard, conn in enumerate(self._conns):
             conn.send(ShardTask(
                 auction_id=self.auction_id, keyword=query.text,
-                time=now, wins=tuple(self._pending[shard])))
+                time=now, wins=tuple(self._pending[shard]),
+                controls=tuple(self._pending_controls[shard])))
             self._pending[shard].clear()
+            self._pending_controls[shard].clear()
         replies = [self._recv(shard)
                    for shard in range(len(self._conns))]
         if self.method in SCAN_METHODS:
@@ -403,34 +427,69 @@ class ShardedAuctionRuntime:
         leaf_work_max = max(reply.leaf_work for reply in replies)
         wd_seconds = (scan_seconds
                       + time_module.perf_counter() - start)
+        active = self._active_ids()
+        population = (self.num_advertisers if active is None
+                      else len(active))
         return self.settler.settle(
             self.auction_id, query, allocation.slot_of, matching,
             expected, weights=sub, bids=bids,
             eval_seconds=eval_seconds, wd_seconds=wd_seconds,
-            num_candidates=self.num_advertisers,
+            num_candidates=population,
             notify_fn=self._route_notify(query, now),
             quote_fn=quote_fn,
             wd_stats=self._wd_stats(leaf_work_max, merge_work))
+
+    def _active_ids(self) -> np.ndarray | None:
+        """Ascending ids of live advertisers, or ``None`` for "all".
+
+        The fixed-population runtime serves its whole universe; the
+        streaming runtime overrides this with its churn-maintained
+        active set so winner determination never sees departed rows
+        (zero-weight edges *can* enter a maximum matching).
+        """
+        return None
 
     def _merge_gather(self, query: Query, now: float,
                       replies: Sequence[GatherReply]) -> AuctionRecord:
         """Full-matrix methods: assemble bids, solve at the coordinator."""
         start = time_module.perf_counter()
         bids = np.concatenate([reply.bids for reply in replies])
-        revenue = click_bid_revenue_matrix(bids, self.click_model)
-        weights = revenue.adjusted()
-        result = solve(revenue, method=self.method, adjusted=weights)
+        active = self._active_ids()
+        if active is None:
+            revenue = click_bid_revenue_matrix(bids, self.click_model)
+            weights = revenue.adjusted()
+            result = solve(revenue, method=self.method,
+                           adjusted=weights)
+            slot_of = result.allocation.slot_of
+            matching = result.matching
+            expected = result.expected_revenue
+            id_map = None
+            click_rows = None
+            candidate_bids = bids
+        else:
+            # Live-population subset, through the same helper the
+            # in-process service uses (float-identity across modes).
+            wd = solve_on_subset(self.click_matrix, bids, active,
+                                 method=self.method)
+            weights = wd.weights
+            matching = wd.matching
+            slot_of = wd.slot_of
+            expected = wd.expected_revenue
+            id_map = wd.id_map
+            click_rows = wd.click_rows
+            candidate_bids = wd.candidate_bids
         wd_seconds = time_module.perf_counter() - start
         eval_seconds = max(reply.eval_seconds for reply in replies)
         leaf_work_max = max(reply.leaf_work for reply in replies)
-        coordinator_scan = self.num_advertisers * self.num_slots
+        coordinator_scan = weights.shape[0] * self.num_slots
         return self.settler.settle(
-            self.auction_id, query, result.allocation.slot_of,
-            result.matching, result.expected_revenue, weights=weights,
-            bids=bids, eval_seconds=eval_seconds,
+            self.auction_id, query, slot_of,
+            matching, expected, weights=weights,
+            bids=candidate_bids, eval_seconds=eval_seconds,
             wd_seconds=wd_seconds,
             num_candidates=weights.shape[0],
             notify_fn=self._route_notify(query, now),
+            id_map=id_map, click_rows=click_rows,
             wd_stats=self._wd_stats(leaf_work_max, coordinator_scan))
 
     def _merge_rhtalu(self, query: Query, now: float,
@@ -483,3 +542,173 @@ class ShardedAuctionRuntime:
             click_rows=clicks,
             notify_fn=self._route_notify(query, now),
             wd_stats=self._wd_stats(leaf_work_max, merge_work))
+
+
+class StreamShardedRuntime(ShardedAuctionRuntime):
+    """The sharded runtime as an online service substrate.
+
+    Differences from the fixed-population parent, all driven by the
+    online serving layer (:mod:`repro.stream`):
+
+    * workers start **empty** — the event log's genesis joins populate
+      them through the same control path later churn uses (or from a
+      service snapshot's per-shard restore captures);
+    * queries come from the event stream (:meth:`submit_query`), not
+      from the decision RNG — the RNG is consumed for user clicks only;
+    * control events (:class:`~repro.runtime.messages.ControlNotice`)
+      are routed to the owning shard and piggyback on the next
+      :class:`~repro.runtime.messages.ShardTask` *after* that task's
+      win notices, preserving the sequential service's order
+      (settlement of auction *t*, then churn, then evaluation of
+      *t+1*);
+    * the coordinator keeps the global active set so full-matrix
+      winner determination runs on the surviving population only;
+    * :meth:`pull_shard_states` flushes pending wins/controls and
+      collects every shard's primary-state capture for service
+      snapshots.
+    """
+
+    def __init__(self, workload_config: PaperWorkloadConfig,
+                 method: str = "rh", workers: int = 2,
+                 engine_seed: int = 0,
+                 start_method: str | None = None,
+                 maintenance: str = "incremental",
+                 restore_shards: Sequence[dict] | None = None):
+        if maintenance not in ("incremental", "rebuild"):
+            raise ValueError(
+                f"maintenance must be 'incremental' or 'rebuild', "
+                f"got {maintenance!r}")
+        super().__init__(workload_config, method=method,
+                         workers=workers, engine_seed=engine_seed,
+                         start_method=start_method)
+        self.maintenance = maintenance
+        if restore_shards is not None \
+                and len(restore_shards) != self.plan.num_shards:
+            raise ValueError(
+                f"{len(restore_shards)} restore captures for "
+                f"{self.plan.num_shards} shards")
+        self._restore_shards = (list(restore_shards)
+                                if restore_shards is not None else None)
+        self._active = np.zeros(self.num_advertisers, dtype=bool)
+        if self._restore_shards is not None:
+            for (lo, hi), capture in zip(self.plan.spans(),
+                                         self._restore_shards):
+                if capture:
+                    self._active[np.asarray(capture["ids"],
+                                            dtype=np.int64) + lo] = True
+        self._queued_keyword: str | None = None
+
+    # -- spawn recipe ------------------------------------------------------
+
+    def _make_worker_init(self, shard: int, lo: int, hi: int,
+                          seed_sequence) -> WorkerInit:
+        restore = None
+        if self._restore_shards is not None and hi > lo:
+            restore = self._restore_shards[shard]
+        return WorkerInit(
+            shard=shard, lo=lo, hi=hi, method=self.method,
+            workload_config=self.workload_config,
+            top_depth=self.top_depth,
+            seed_sequence=seed_sequence,
+            stream=StreamShardConfig(maintenance=self.maintenance,
+                                     restore=restore))
+
+    # -- the event-facing API ----------------------------------------------
+
+    def _active_ids(self) -> np.ndarray | None:
+        return np.flatnonzero(self._active)
+
+    def _draw_query(self) -> Query:
+        keyword = self._queued_keyword
+        if keyword is None:
+            raise RuntimeError(
+                "streaming runtime runs auctions via submit_query")
+        self._queued_keyword = None
+        return Query(text=keyword, relevance={keyword: 1.0})
+
+    def submit_query(self, keyword: str) -> AuctionRecord:
+        """Run one auction for an event-stream query arrival."""
+        self._ensure_started()
+        self._queued_keyword = keyword
+        return self._run_one()
+
+    def run(self, count: int) -> list[AuctionRecord]:  # pragma: no cover
+        raise RuntimeError(
+            "streaming runtime consumes events; use submit_query")
+
+    run_batch = run
+
+    def apply_control(self, notice: ControlNotice) -> None:
+        """Queue a churn event for its owning shard (coordinator order:
+        events apply before the next auction's evaluation).
+
+        Payloads are validated *here*, not just at the shard: a notice
+        is applied asynchronously with the next task, and a worker
+        exception at that point kills the fleet (a closed runtime
+        stays closed), whereas the in-process service raises a
+        catchable error at event time.  Validating up front keeps the
+        two modes' failure behaviour symmetric.
+        """
+        advertiser = notice.advertiser
+        if not 0 <= advertiser < self.num_advertisers:
+            raise KeyError(
+                f"advertiser {advertiser} outside universe "
+                f"0..{self.num_advertisers - 1}")
+        if notice.kind == "join":
+            if self._active[advertiser]:
+                raise KeyError(
+                    f"advertiser {advertiser} already active")
+            if notice.target <= 0:
+                raise ValueError(
+                    f"target spend rate must be > 0, "
+                    f"got {notice.target}")
+            width = self.workload_config.num_keywords
+            for field_name in ("bids", "maxbids", "values"):
+                payload = getattr(notice, field_name)
+                if payload is None or np.shape(payload) != (width,):
+                    raise ValueError(
+                        f"join needs per-keyword {field_name} of "
+                        f"length {width}")
+            self._active[advertiser] = True
+        elif notice.kind in ("leave", "update"):
+            if not self._active[advertiser]:
+                raise KeyError(
+                    f"advertiser {advertiser} is not active")
+            if notice.kind == "update":
+                if notice.keyword not in self.workload.keywords:
+                    raise KeyError(
+                        f"unknown keyword {notice.keyword!r}")
+                if notice.maxbid < 0:
+                    raise ValueError(
+                        f"maxbid must be >= 0, got {notice.maxbid}")
+            else:
+                self._active[advertiser] = False
+        else:
+            raise ValueError(f"unknown control kind {notice.kind!r}")
+        shard = self.plan.owner_of(advertiser)
+        self._pending_controls[shard].append(notice)
+
+    # -- snapshot support --------------------------------------------------
+
+    def pull_shard_states(self) -> list[dict]:
+        """Flush pending notices and dump every shard's primary state.
+
+        Sends one :class:`~repro.runtime.messages.SnapshotRequest` per
+        shard carrying its pending wins/controls (folding them now
+        instead of with the next task is invisible — nothing reads
+        shard state in between), and returns the shards' captures with
+        global advertiser ids, in shard order.
+        """
+        self._ensure_started()
+        for shard, conn in enumerate(self._conns):
+            conn.send(SnapshotRequest(
+                wins=tuple(self._pending[shard]),
+                controls=tuple(self._pending_controls[shard])))
+            self._pending[shard].clear()
+            self._pending_controls[shard].clear()
+        states: list[dict] = []
+        for shard in range(len(self._conns)):
+            reply = self._recv(shard)
+            assert isinstance(reply, SnapshotReply)
+            states.append(reply.state)
+        return states

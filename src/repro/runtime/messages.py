@@ -37,13 +37,42 @@ class WinNotice:
 
 
 @dataclass(frozen=True)
+class ControlNotice:
+    """One advertiser-churn event, routed to the owning shard.
+
+    The online serving layer (:mod:`repro.stream`) turns stream control
+    events into these; like :class:`WinNotice` they piggyback on the
+    next :class:`ShardTask` so the lockstep protocol stays at two
+    messages per worker per auction.  ``advertiser`` is global; the
+    worker translates with its shard offset.  Payload fields are
+    kind-dependent: joins carry the full per-keyword bid program
+    (``bids`` / ``maxbids`` / ``values`` aligned with the workload's
+    keyword order, plus ``target``), updates carry one keyword's edited
+    ``bid`` / ``maxbid``; leaves carry nothing.
+    """
+
+    kind: str  # "join" | "leave" | "update"
+    advertiser: int  # global id
+    target: float = 0.0
+    bids: np.ndarray | None = None
+    maxbids: np.ndarray | None = None
+    values: np.ndarray | None = None
+    keyword: str | None = None
+    bid: float = 0.0
+    maxbid: float = 0.0
+
+
+@dataclass(frozen=True)
 class ShardTask:
-    """One auction's work order: fold these wins, then evaluate this."""
+    """One auction's work order: fold these wins, apply these control
+    events (in that order — settlement of auction *t* precedes any
+    churn that arrived between *t* and *t+1*), then evaluate this."""
 
     auction_id: int
     keyword: str
     time: float
     wins: tuple[WinNotice, ...] = ()
+    controls: tuple[ControlNotice, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -98,6 +127,29 @@ class RhtaluScanReply:
     sequential_count: int
     random_count: int
     leaf_work: int
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Coordinator → worker: flush and dump the shard's primary state.
+
+    Pending wins/controls that would normally piggyback on the next
+    task are carried here instead, so the dumped state reflects every
+    event the coordinator has already settled or accepted (applying
+    them now rather than with the next task is invisible — nothing
+    reads shard state in between).
+    """
+
+    wins: tuple[WinNotice, ...] = ()
+    controls: tuple[ControlNotice, ...] = ()
+
+
+@dataclass(frozen=True)
+class SnapshotReply:
+    """The shard's primary-state capture, advertiser ids globalized."""
+
+    shard: int
+    state: dict
 
 
 @dataclass(frozen=True)

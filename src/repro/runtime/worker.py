@@ -39,13 +39,16 @@ from multiprocessing.connection import Connection
 
 import numpy as np
 
-from repro.auction.batch import ShardEvalState
+from repro.auction.batch import PacerArrays, ShardEvalState
 from repro.runtime.messages import (
+    ControlNotice,
     GatherReply,
     RhtaluScanReply,
     ScanReply,
     ShardTask,
     Shutdown,
+    SnapshotReply,
+    SnapshotRequest,
     WinNotice,
     WorkerFailure,
     WorkerReady,
@@ -59,9 +62,27 @@ import time as time_module
 
 
 @dataclass(frozen=True)
+class StreamShardConfig:
+    """Streaming-mode knobs for a shard worker.
+
+    ``restore``, when set, is this shard's slice of a service
+    snapshot's primary-state capture (advertiser ids already local);
+    otherwise the shard starts *empty* and grows through routed
+    :class:`~repro.runtime.messages.ControlNotice` joins — the online
+    event log itself carries the genesis population.
+    """
+
+    maintenance: str = "incremental"  # or "rebuild"
+    restore: dict | None = None
+
+
+@dataclass(frozen=True)
 class WorkerInit:
     """Everything a worker needs to rebuild its shard: a recipe, not
-    state.  Shipped once at spawn; must stay cheap to pickle."""
+    state.  Shipped once at spawn; must stay cheap to pickle.  (The one
+    exception is a streaming restore, where ``stream.restore`` carries
+    the shard's evolved primary state from a service snapshot —
+    evolved state cannot be re-derived from the workload seed.)"""
 
     shard: int
     lo: int
@@ -74,18 +95,75 @@ class WorkerInit:
     (see :meth:`repro.runtime.sharding.ShardPlan.seed_sequences`),
     shipped whole so the spawn key survives pickling; carried for
     shard-local sampling needs, never for decision draws."""
+    stream: StreamShardConfig | None = None
+    """Present when the shard serves an online event stream (live
+    advertiser churn); ``None`` reproduces the fixed-population
+    runtime exactly."""
 
 
-class EagerScanShard:
+def _shift_capture_ids(capture: dict, delta: int) -> dict:
+    """A capture with advertiser ids shifted by ``delta`` (global ↔
+    local translation at the shard boundary)."""
+    shifted = dict(capture)
+    shifted["ids"] = np.asarray(capture["ids"], dtype=np.int64) + delta
+    return shifted
+
+
+def _build_eager_state(workload: PaperWorkload,
+                       init: WorkerInit) -> ShardEvalState:
+    """The shard's eager evaluation state, fixed-population or stream."""
+    click_rows = workload.click_matrix[init.lo:init.hi]
+    if init.stream is None:
+        return ShardEvalState(
+            workload.build_shard_programs(init.lo, init.hi),
+            click_rows, top_depth=init.top_depth)
+    state = ShardEvalState([], click_rows, top_depth=init.top_depth,
+                           keywords=workload.keywords)
+    if init.stream.restore is not None:
+        state.arrays = PacerArrays.from_capture(init.stream.restore)
+    return state
+
+
+class _EagerChurnMixin:
+    """Control-event application shared by the two eager shard kinds."""
+
+    def apply_control(self, notice: ControlNotice) -> None:
+        local = notice.advertiser - self.offset
+        arrays = self.state.arrays
+        if notice.kind == "join":
+            arrays.grow_row(local, notice.target, self.step,
+                            notice.bids, notice.maxbids, notice.values)
+        elif notice.kind == "leave":
+            arrays.retire_row(local)
+        elif notice.kind == "update":
+            arrays.update_bid(local, notice.keyword, notice.bid,
+                              notice.maxbid)
+        else:
+            raise ValueError(f"unknown control kind {notice.kind!r}")
+        if self.maintenance == "rebuild":
+            self.state.rebuild()
+
+    def snapshot(self, request: SnapshotRequest) -> SnapshotReply:
+        for win in request.wins:
+            self.fold(win)
+        for control in request.controls:
+            self.apply_control(control)
+        capture = _shift_capture_ids(self.state.arrays.capture(),
+                                     self.offset)
+        return SnapshotReply(shard=self.shard, state=capture)
+
+
+class EagerScanShard(_EagerChurnMixin):
     """Method ``rh``: a leaf of the tree network as a process."""
 
     def __init__(self, workload: PaperWorkload, init: WorkerInit):
+        self.shard = init.shard
         self.offset = init.lo
         self.num_local = init.hi - init.lo
-        self.state = ShardEvalState(
-            workload.build_shard_programs(init.lo, init.hi),
-            workload.click_matrix[init.lo:init.hi],
-            top_depth=init.top_depth)
+        self.step = workload.config.step
+        self.maintenance = (init.stream.maintenance if init.stream
+                            else "incremental")
+        self.state = _build_eager_state(workload, init)
         self.num_slots = self.state.num_slots
 
     def fold(self, win: WinNotice) -> None:
@@ -96,6 +174,8 @@ class EagerScanShard:
         start = time_module.process_time()
         for win in task.wins:
             self.fold(win)
+        for control in task.controls:
+            self.apply_control(control)
         self.state.evaluate(task.keyword, task.time)
         eval_done = time_module.process_time()
         reduced = self.state.scan()
@@ -116,16 +196,17 @@ class EagerScanShard:
         )
 
 
-class GatherShard:
+class GatherShard(_EagerChurnMixin):
     """Full-matrix methods: evaluate the shard, ship the bid slice."""
 
     def __init__(self, workload: PaperWorkload, init: WorkerInit):
+        self.shard = init.shard
         self.offset = init.lo
         self.num_local = init.hi - init.lo
-        self.state = ShardEvalState(
-            workload.build_shard_programs(init.lo, init.hi),
-            workload.click_matrix[init.lo:init.hi],
-            top_depth=init.top_depth)
+        self.step = workload.config.step
+        self.maintenance = (init.stream.maintenance if init.stream
+                            else "incremental")
+        self.state = _build_eager_state(workload, init)
 
     def fold(self, win: WinNotice) -> None:
         self.state.fold_win(win.advertiser - self.offset, win.keyword,
@@ -135,6 +216,8 @@ class GatherShard:
         start = time_module.process_time()
         for win in task.wins:
             self.fold(win)
+        for control in task.controls:
+            self.apply_control(control)
         bids = self.state.evaluate(task.keyword, task.time)
         return GatherReply(
             auction_id=task.auction_id,
@@ -148,18 +231,62 @@ class RhtaluShard:
     """Method ``rhtalu``: a shard-sized lazy evaluator."""
 
     def __init__(self, workload: PaperWorkload, init: WorkerInit):
+        self.shard = init.shard
         self.offset = init.lo
         self.num_local = init.hi - init.lo
-        self.evaluator = workload.build_shard_rhtalu(init.lo, init.hi)
+        self.maintenance = (init.stream.maintenance if init.stream
+                            else "incremental")
+        if init.stream is None:
+            self.evaluator = workload.build_shard_rhtalu(init.lo,
+                                                         init.hi)
+        else:
+            from repro.evaluation.evaluator import RhtaluEvaluator
+            from repro.evaluation.pacer_arrays import LazyPacerArrays
+
+            if init.stream.restore is not None:
+                arrays = LazyPacerArrays.from_capture(
+                    init.stream.restore)
+            else:
+                arrays = LazyPacerArrays(
+                    np.ones(self.num_local), workload.keywords,
+                    step=workload.config.step)
+            self.evaluator = RhtaluEvaluator(
+                workload.click_matrix[init.lo:init.hi], arrays)
 
     def fold(self, win: WinNotice) -> None:
         self.evaluator.record_win(win.advertiser - self.offset,
                                   win.charge, win.time)
 
+    def apply_control(self, notice: ControlNotice) -> None:
+        local = notice.advertiser - self.offset
+        if notice.kind == "join":
+            self.evaluator.apply_join(local, notice.target,
+                                      notice.bids, notice.maxbids)
+        elif notice.kind == "leave":
+            self.evaluator.apply_leave(local)
+        elif notice.kind == "update":
+            self.evaluator.apply_update(local, notice.keyword,
+                                        notice.bid, notice.maxbid)
+        else:
+            raise ValueError(f"unknown control kind {notice.kind!r}")
+        if self.maintenance == "rebuild":
+            self.evaluator = self.evaluator.rebuilt()
+
+    def snapshot(self, request: SnapshotRequest) -> SnapshotReply:
+        for win in request.wins:
+            self.fold(win)
+        for control in request.controls:
+            self.apply_control(control)
+        capture = _shift_capture_ids(
+            self.evaluator.state.capture(), self.offset)
+        return SnapshotReply(shard=self.shard, state=capture)
+
     def handle(self, task: ShardTask) -> RhtaluScanReply:
         start = time_module.process_time()
         for win in task.wins:
             self.fold(win)
+        for control in task.controls:
+            self.apply_control(control)
         scan = self.evaluator.scan_auction(task.keyword, task.time)
         return RhtaluScanReply(
             auction_id=task.auction_id,
@@ -183,7 +310,8 @@ class EmptyShard:
     (the determinism suite pins the behaviour).
     """
 
-    def __init__(self, num_slots: int, method: str):
+    def __init__(self, num_slots: int, method: str, shard: int = -1):
+        self.shard = shard
         self.num_slots = num_slots
         self.method = method
         self._empty_ids = np.empty(0, dtype=np.int64)
@@ -192,6 +320,13 @@ class EmptyShard:
 
     def fold(self, win: WinNotice) -> None:  # pragma: no cover - routed
         raise AssertionError("wins cannot route to an empty shard")
+
+    def apply_control(self, notice) -> None:  # pragma: no cover
+        raise AssertionError("churn cannot route to an empty shard")
+
+    def snapshot(self, request: SnapshotRequest) -> SnapshotReply:
+        assert not request.wins and not request.controls
+        return SnapshotReply(shard=self.shard, state={})
 
     def handle(self, task: ShardTask):
         slots = tuple(self._empty_ids for _ in range(self.num_slots))
@@ -213,7 +348,8 @@ def build_shard(init: WorkerInit):
     """The right shard kind for ``init`` (deterministic reconstruction)."""
     workload = PaperWorkload(init.workload_config)
     if init.hi <= init.lo:
-        return EmptyShard(init.workload_config.num_slots, init.method)
+        return EmptyShard(init.workload_config.num_slots, init.method,
+                          shard=init.shard)
     if init.method == "rh":
         return EagerScanShard(workload, init)
     if init.method == "rhtalu":
@@ -231,6 +367,9 @@ def worker_main(conn: Connection, init: WorkerInit) -> None:
             message = conn.recv()
             if isinstance(message, Shutdown):
                 break
+            if isinstance(message, SnapshotRequest):
+                conn.send(shard.snapshot(message))
+                continue
             conn.send(shard.handle(message))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
         pass

@@ -1,0 +1,172 @@
+"""The online event model: what a serving engine consumes.
+
+A long-lived sponsored-search engine does not run a fixed population
+through a fixed number of auctions — queries *arrive*, advertisers
+*join and leave*, bid programs get *edited*, budgets get *topped up*,
+all interleaved on one ordered stream.  This module defines that
+stream's vocabulary:
+
+* :class:`QueryArrival` — run one auction for a keyword (the only
+  event kind that advances auction time and consumes decision RNG);
+* :class:`AdvertiserJoin` / :class:`AdvertiserLeave` — population
+  churn.  A join carries the newcomer's full bid program (per-keyword
+  bids, caps, click values, spend-rate target) so the stream is
+  self-contained — even the genesis population enters through joins;
+* :class:`BidProgramUpdate` — edit one keyword's bid and cap in place;
+* :class:`BudgetTopUp` — credit an advertiser's budget ledger.
+
+:class:`EventLog` is the materialized form: an ordered, sliceable,
+JSONL-serializable sequence.  Any iterable of events (a generator, a
+socket reader) serves as a :data:`StreamSource` — the service consumes
+events one at a time and never looks ahead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """A user query for ``keyword``: run one auction."""
+
+    keyword: str
+
+
+@dataclass(frozen=True)
+class AdvertiserJoin:
+    """A new advertiser enters with a complete bid program.
+
+    ``bids`` / ``maxbids`` / ``values`` are per-keyword tuples aligned
+    with the workload's keyword order; ``target`` is the ROI pacer's
+    target spend rate and ``budget`` the initial ledger balance.
+    Rejoining after a leave is allowed and starts fresh (no spend
+    history carries over).
+    """
+
+    advertiser: int
+    target: float
+    bids: tuple[float, ...]
+    maxbids: tuple[float, ...]
+    values: tuple[float, ...]
+    budget: float = 0.0
+
+
+@dataclass(frozen=True)
+class AdvertiserLeave:
+    """An advertiser departs; it must never win an auction again."""
+
+    advertiser: int
+
+
+@dataclass(frozen=True)
+class BidProgramUpdate:
+    """Edit one keyword's bid and cap of a live advertiser."""
+
+    advertiser: int
+    keyword: str
+    bid: float
+    maxbid: float
+
+
+@dataclass(frozen=True)
+class BudgetTopUp:
+    """Credit an advertiser's budget ledger by ``amount``.
+
+    Budgets are tracked by the service registry (charges debit them);
+    evicting exhausted budgets is a roadmap follow-on, so a top-up
+    never changes auction outcomes today.
+    """
+
+    advertiser: int
+    amount: float
+
+
+Event = Union[QueryArrival, AdvertiserJoin, AdvertiserLeave,
+              BidProgramUpdate, BudgetTopUp]
+
+StreamSource = Iterable[Event]
+"""Anything that yields events in order — an :class:`EventLog`, a
+generator, a network reader."""
+
+_EVENT_TYPES: dict[str, type] = {
+    "query": QueryArrival,
+    "join": AdvertiserJoin,
+    "leave": AdvertiserLeave,
+    "update": BidProgramUpdate,
+    "topup": BudgetTopUp,
+}
+_KIND_OF = {cls: kind for kind, cls in _EVENT_TYPES.items()}
+
+
+def event_kind(event: Event) -> str:
+    """The event's wire/stats kind (``query``/``join``/``leave``/...)."""
+    return _KIND_OF[type(event)]
+
+
+@dataclass
+class EventLog:
+    """An ordered, sliceable, serializable event sequence."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EventLog(self.events[index])
+        return self.events[index]
+
+    def prefix(self, count: int) -> "EventLog":
+        """The first ``count`` events (the oracle tests replay these)."""
+        return EventLog(self.events[:count])
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts = {kind: 0 for kind in _EVENT_TYPES}
+        for event in self.events:
+            counts[event_kind(event)] += 1
+        return counts
+
+    def num_queries(self) -> int:
+        return sum(1 for event in self.events
+                   if isinstance(event, QueryArrival))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """One JSON object per line: ``{"kind": ..., **fields}``."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for event in self.events:
+                payload = {"kind": event_kind(event), **asdict(event)}
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "EventLog":
+        events: list[Event] = []
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = dict(json.loads(line))
+                kind = payload.pop("kind")
+                event_type = _EVENT_TYPES.get(kind)
+                if event_type is None:
+                    raise ValueError(f"unknown event kind {kind!r}")
+                for key in ("bids", "maxbids", "values"):
+                    if key in payload:
+                        payload[key] = tuple(payload[key])
+                events.append(event_type(**payload))
+        return cls(events)

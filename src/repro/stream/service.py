@@ -1,0 +1,559 @@
+"""The online auction service: one event loop, live advertiser churn.
+
+:class:`OnlineAuctionService` runs the auction engine as a long-lived
+server over an ordered event stream (:mod:`repro.stream.events`).
+Query arrivals run auctions; control events mutate the advertiser
+population *while queries flow*, by one of two maintenance strategies:
+
+``incremental`` (the default)
+    Control events surgically edit the live evaluation state — pacer
+    array rows grow and retire, delta-list memberships move, the
+    shared argsort click index splices single ids, trigger deadlines
+    are cancelled and rescheduled.  Cost per event is proportional to
+    the advertiser's footprint, not the population.
+
+``rebuild``
+    After every control event the whole evaluation state is
+    reconstructed from its primary capture — every sorted structure
+    re-derived from scratch.  This is the oracle: incremental
+    maintenance must produce **bit-identical auction records** to
+    rebuild-per-event after any event prefix
+    (``tests/stream/test_service.py``), and the committed
+    ``BENCH_stream.json`` shows what that per-event O(n log n) costs
+    under churn.
+
+The service runs in-process (``workers=0``, the vectorized PR-2
+kernels) or on the PR-3 multi-process sharded runtime (``workers>=1``,
+control events routed to owning shards through
+:class:`~repro.runtime.executor.StreamShardedRuntime`); both modes
+produce identical records from identical streams.  Identity hinges on
+one rule: **winner determination only ever sees the surviving
+population** (departed rows are excluded from the candidate space, not
+merely zeroed — zero-weight edges can enter a maximum matching).
+
+:meth:`snapshot` / :meth:`OnlineAuctionService.restore` checkpoint a
+service mid-stream and resume it deterministically — see
+:mod:`repro.stream.snapshot`.
+"""
+
+from __future__ import annotations
+
+import time as time_module
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.auction.accounts import AccountBook
+from repro.auction.batch import PacerArrays
+from repro.auction.engine import AuctionEngine, EngineConfig
+from repro.auction.events import AuctionRecord
+from repro.auction.pricing import GeneralizedSecondPrice
+from repro.auction.settlement import AuctionSettler
+from repro.auction.user_model import UserModel
+from repro.bench.stream_stats import EventTimings
+from repro.core.winner_determination import solve_on_subset
+from repro.evaluation.evaluator import RhtaluEvaluator
+from repro.evaluation.pacer_arrays import LazyPacerArrays
+from repro.runtime.executor import StreamShardedRuntime
+from repro.runtime.messages import ControlNotice
+from repro.runtime.sharding import ShardPlan
+from repro.stream.events import (
+    AdvertiserJoin,
+    AdvertiserLeave,
+    BidProgramUpdate,
+    BudgetTopUp,
+    Event,
+    QueryArrival,
+    event_kind,
+)
+from repro.stream.snapshot import (
+    ServiceSnapshot,
+    accounts_to_jsonable,
+    merge_captures,
+    restore_accounts,
+    slice_capture,
+)
+from repro.strategies.base import Query
+from repro.workloads.paper_workload import (
+    PaperWorkload,
+    PaperWorkloadConfig,
+)
+
+SERVICE_METHODS = ("rh", "lp", "hungarian", "rhtalu")
+MAINTENANCE_MODES = ("incremental", "rebuild")
+
+
+class _EagerBackend:
+    """Workers=0 serving for the eager methods (rh / lp / hungarian).
+
+    Owns a universe-sized :class:`~repro.auction.batch.PacerArrays`
+    (rows grow and retire under churn) plus the engine-identical
+    settlement stack.  Every auction evaluates the whole live
+    population with the PR-1/PR-2 masked kernels, then solves winner
+    determination on the *active row subset* and settles through the
+    shared :class:`~repro.auction.settlement.AuctionSettler` with an
+    id map — the same candidate-local pattern the RHTALU and sharded
+    paths use.
+    """
+
+    def __init__(self, workload: PaperWorkload, method: str,
+                 engine_seed: int, restore_capture: dict | None = None):
+        config = workload.config
+        self.method = method
+        self.step = config.step
+        self.click_matrix = workload.click_matrix
+        if restore_capture is not None:
+            self.arrays = PacerArrays.from_capture(restore_capture)
+        else:
+            self.arrays = PacerArrays.for_universe(
+                config.num_advertisers, workload.keywords)
+        click_model = workload.click_model()
+        self.user_model = UserModel(click_model,
+                                    workload.purchase_model())
+        self.pricing = GeneralizedSecondPrice()
+        self.accounts = AccountBook()
+        self.rng = np.random.default_rng(engine_seed)
+        self.settler = AuctionSettler(self.user_model, self.pricing,
+                                      self.accounts, config.num_slots,
+                                      self.rng)
+        self.num_slots = config.num_slots
+        self.auction_id = 0
+        self._bid_out = np.zeros(config.num_advertisers)
+
+    def run_query(self, keyword: str) -> AuctionRecord:
+        self.auction_id += 1
+        now = float(self.auction_id)
+        query = Query(text=keyword, relevance={keyword: 1.0})
+        start = time_module.perf_counter()
+        bids = self.arrays.evaluate(keyword, now, out=self._bid_out)
+        eval_seconds = time_module.perf_counter() - start
+
+        start = time_module.perf_counter()
+        wd = solve_on_subset(self.click_matrix, bids,
+                             self.arrays.active_ids(),
+                             method=self.method)
+        wd_seconds = time_module.perf_counter() - start
+
+        def notify(advertiser: int, slot: int | None, clicked: bool,
+                   purchased: bool, charge: float) -> None:
+            self.arrays.fold_notification(advertiser, keyword,
+                                          clicked, charge)
+
+        return self.settler.settle(
+            self.auction_id, query, wd.slot_of, wd.matching,
+            wd.expected_revenue, weights=wd.weights,
+            bids=wd.candidate_bids, eval_seconds=eval_seconds,
+            wd_seconds=wd_seconds, num_candidates=len(wd.id_map),
+            notify_fn=notify, id_map=wd.id_map,
+            click_rows=wd.click_rows)
+
+    def apply_join(self, event: AdvertiserJoin) -> None:
+        self.arrays.grow_row(event.advertiser, event.target, self.step,
+                             np.asarray(event.bids, dtype=float),
+                             np.asarray(event.maxbids, dtype=float),
+                             np.asarray(event.values, dtype=float))
+
+    def apply_leave(self, event: AdvertiserLeave) -> None:
+        self.arrays.retire_row(event.advertiser)
+
+    def apply_update(self, event: BidProgramUpdate) -> None:
+        self.arrays.update_bid(event.advertiser, event.keyword,
+                               event.bid, event.maxbid)
+
+    def rebuild(self) -> None:
+        self.arrays = PacerArrays.from_capture(self.arrays.capture())
+
+    def capture_state(self) -> dict:
+        return self.arrays.capture()
+
+    def close(self) -> None:
+        pass
+
+
+class _RhtaluBackend:
+    """Workers=0 RHTALU serving: the engine's lazy path, churn-aware.
+
+    The whole RHTALU pipeline is already candidate-local (delta-list
+    members in, id-mapped settlement out), so the plain
+    :class:`~repro.auction.engine.AuctionEngine` serves unchanged; the
+    backend feeds it stream queries and forwards churn to the
+    evaluator's incremental maintenance ops.
+    """
+
+    def __init__(self, workload: PaperWorkload, engine_seed: int,
+                 restore_capture: dict | None = None):
+        config = workload.config
+        if restore_capture is not None:
+            arrays = LazyPacerArrays.from_capture(restore_capture)
+        else:
+            arrays = LazyPacerArrays(
+                np.ones(config.num_advertisers), workload.keywords,
+                step=config.step)
+        evaluator = RhtaluEvaluator(workload.click_matrix, arrays)
+        self._keyword: str | None = None
+
+        def feeder(rng: np.random.Generator) -> Query:
+            assert self._keyword is not None
+            return Query(text=self._keyword,
+                         relevance={self._keyword: 1.0})
+
+        self.engine = AuctionEngine(
+            click_model=workload.click_model(),
+            purchase_model=workload.purchase_model(),
+            query_source=feeder,
+            config=EngineConfig(num_slots=config.num_slots,
+                                method="rhtalu", seed=engine_seed),
+            rhtalu=evaluator)
+
+    @property
+    def accounts(self) -> AccountBook:
+        return self.engine.accounts
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.engine.rng
+
+    @property
+    def auction_id(self) -> int:
+        return self.engine.auction_id
+
+    @auction_id.setter
+    def auction_id(self, value: int) -> None:
+        self.engine.auction_id = value
+
+    def run_query(self, keyword: str) -> AuctionRecord:
+        self._keyword = keyword
+        return self.engine.run_auction()
+
+    def apply_join(self, event: AdvertiserJoin) -> None:
+        self.engine.rhtalu.apply_join(
+            event.advertiser, event.target,
+            np.asarray(event.bids, dtype=float),
+            np.asarray(event.maxbids, dtype=float))
+
+    def apply_leave(self, event: AdvertiserLeave) -> None:
+        self.engine.rhtalu.apply_leave(event.advertiser)
+
+    def apply_update(self, event: BidProgramUpdate) -> None:
+        self.engine.rhtalu.apply_update(event.advertiser,
+                                        event.keyword, event.bid,
+                                        event.maxbid)
+
+    def rebuild(self) -> None:
+        self.engine.rhtalu = self.engine.rhtalu.rebuilt()
+
+    def capture_state(self) -> dict:
+        return self.engine.rhtalu.state.capture()
+
+    def close(self) -> None:
+        pass
+
+
+class _ShardedBackend:
+    """Workers>=1 serving on the multi-process runtime.
+
+    Thin adapter: queries go to the coordinator's lockstep round,
+    churn becomes routed :class:`~repro.runtime.messages
+    .ControlNotice` items (applied per shard, incremental or rebuild
+    per the maintenance flag shipped at spawn), snapshots pull and
+    merge per-shard captures.
+    """
+
+    def __init__(self, workload: PaperWorkload, method: str,
+                 workers: int, engine_seed: int,
+                 start_method: str | None, maintenance: str,
+                 restore_capture: dict | None = None):
+        config = workload.config
+        restore_shards = None
+        if restore_capture is not None:
+            plan = ShardPlan.plan(config.num_advertisers, workers)
+            restore_shards = [slice_capture(restore_capture, lo, hi)
+                              for lo, hi in plan.spans()]
+        self.runtime = StreamShardedRuntime(
+            config, method=method, workers=workers,
+            engine_seed=engine_seed, start_method=start_method,
+            maintenance=maintenance, restore_shards=restore_shards)
+
+    @property
+    def accounts(self) -> AccountBook:
+        return self.runtime.accounts
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.runtime.rng
+
+    @property
+    def auction_id(self) -> int:
+        return self.runtime.auction_id
+
+    @auction_id.setter
+    def auction_id(self, value: int) -> None:
+        self.runtime.auction_id = value
+
+    def run_query(self, keyword: str) -> AuctionRecord:
+        return self.runtime.submit_query(keyword)
+
+    def apply_join(self, event: AdvertiserJoin) -> None:
+        self.runtime.apply_control(ControlNotice(
+            kind="join", advertiser=event.advertiser,
+            target=event.target,
+            bids=np.asarray(event.bids, dtype=float),
+            maxbids=np.asarray(event.maxbids, dtype=float),
+            values=np.asarray(event.values, dtype=float)))
+
+    def apply_leave(self, event: AdvertiserLeave) -> None:
+        self.runtime.apply_control(ControlNotice(
+            kind="leave", advertiser=event.advertiser))
+
+    def apply_update(self, event: BidProgramUpdate) -> None:
+        self.runtime.apply_control(ControlNotice(
+            kind="update", advertiser=event.advertiser,
+            keyword=event.keyword, bid=event.bid,
+            maxbid=event.maxbid))
+
+    def rebuild(self) -> None:
+        pass  # per-shard, driven by the maintenance flag at spawn
+
+    def capture_state(self) -> dict:
+        states = self.runtime.pull_shard_states()
+        return merge_captures(states, self.runtime.plan.spans(),
+                              self.runtime.num_advertisers)
+
+    def close(self) -> None:
+        self.runtime.close()
+
+
+class OnlineAuctionService:
+    """A long-lived auction server over an ordered event stream.
+
+    Parameters
+    ----------
+    workload_config:
+        The Section V workload recipe, reinterpreted as the service's
+        *universe*: ``num_advertisers`` is the id capacity (advertisers
+        join and leave within it — stable ids are what let records,
+        budgets, and shard spans survive churn), and the keyword list
+        is the fixed bid-program vocabulary.
+    method:
+        ``rh`` / ``lp`` / ``hungarian`` (eager) or ``rhtalu`` (lazy).
+    maintenance:
+        ``incremental`` or ``rebuild`` — how control events reach the
+        evaluation state (see the module docstring).
+    workers:
+        0 = in-process; >=1 = the sharded runtime with that many
+        worker processes.
+    engine_seed:
+        Seeds the decision RNG (user clicks; queries come from the
+        stream itself, so the seed's draw order matches across worker
+        counts and maintenance strategies).
+    """
+
+    def __init__(self, workload_config: PaperWorkloadConfig,
+                 method: str = "rh",
+                 maintenance: str = "incremental",
+                 workers: int = 0, engine_seed: int = 0,
+                 start_method: str | None = None,
+                 _restore: ServiceSnapshot | None = None):
+        if method not in SERVICE_METHODS:
+            raise ValueError(
+                f"method must be one of {SERVICE_METHODS}, "
+                f"got {method!r}")
+        if maintenance not in MAINTENANCE_MODES:
+            raise ValueError(
+                f"maintenance must be one of {MAINTENANCE_MODES}, "
+                f"got {maintenance!r}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workload_config = workload_config
+        self.workload = PaperWorkload(workload_config)
+        self.method = method
+        self.maintenance = maintenance
+        self.workers = workers
+        self.engine_seed = engine_seed
+        self.keywords = list(self.workload.keywords)
+        self.registry: dict[int, dict] = {}
+        """Logical ledger per live advertiser: target, budget,
+        joined-at event index."""
+        self.stats = EventTimings()
+        self.events_processed = 0
+        restore_capture = (_restore.backend_state
+                           if _restore is not None else None)
+
+        if workers >= 1:
+            self.backend = _ShardedBackend(
+                self.workload, method, workers, engine_seed,
+                start_method, maintenance,
+                restore_capture=restore_capture)
+        elif method == "rhtalu":
+            self.backend = _RhtaluBackend(
+                self.workload, engine_seed,
+                restore_capture=restore_capture)
+        else:
+            self.backend = _EagerBackend(
+                self.workload, method, engine_seed,
+                restore_capture=restore_capture)
+
+        if _restore is not None:
+            self.registry = {int(advertiser): dict(entry)
+                             for advertiser, entry
+                             in _restore.registry.items()}
+            self.events_processed = _restore.events_processed
+            self.backend.auction_id = _restore.auction_id
+            self.backend.rng.bit_generator.state = _restore.rng_state
+            restore_accounts(self.backend.accounts, _restore.accounts)
+
+    # -- the event loop ----------------------------------------------------
+
+    def process(self, event: Event) -> AuctionRecord | None:
+        """Apply one event; returns the auction record for queries."""
+        start = time_module.perf_counter()
+        record: AuctionRecord | None = None
+        if isinstance(event, QueryArrival):
+            record = self.backend.run_query(event.keyword)
+            for advertiser, charge in record.prices.items():
+                entry = self.registry.get(advertiser)
+                if entry is not None:
+                    entry["budget"] -= charge
+        elif isinstance(event, AdvertiserJoin):
+            self._check_capacity(event.advertiser)
+            if event.advertiser in self.registry:
+                raise KeyError(
+                    f"advertiser {event.advertiser} already active")
+            self.backend.apply_join(event)
+            self.registry[event.advertiser] = {
+                "target": float(event.target),
+                "budget": float(event.budget),
+                "joined_at": self.events_processed,
+            }
+            self._maintain()
+        elif isinstance(event, AdvertiserLeave):
+            self._check_active(event.advertiser)
+            self.backend.apply_leave(event)
+            del self.registry[event.advertiser]
+            self._maintain()
+        elif isinstance(event, BidProgramUpdate):
+            self._check_active(event.advertiser)
+            self.backend.apply_update(event)
+            self._maintain()
+        elif isinstance(event, BudgetTopUp):
+            self._check_active(event.advertiser)
+            self.registry[event.advertiser]["budget"] += float(
+                event.amount)
+        else:
+            raise TypeError(f"not a stream event: {event!r}")
+        self.events_processed += 1
+        self.stats.record(event_kind(event),
+                          time_module.perf_counter() - start)
+        return record
+
+    def run(self, events: Iterable[Event]) -> list[AuctionRecord]:
+        """Consume a stream, returning the auction records in order."""
+        records = []
+        for event in events:
+            record = self.process(event)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def _maintain(self) -> None:
+        if self.maintenance == "rebuild":
+            self.backend.rebuild()
+
+    def _check_capacity(self, advertiser: int) -> None:
+        capacity = self.workload_config.num_advertisers
+        if not 0 <= advertiser < capacity:
+            raise KeyError(
+                f"advertiser {advertiser} outside universe "
+                f"0..{capacity - 1}")
+
+    def _check_active(self, advertiser: int) -> None:
+        if advertiser not in self.registry:
+            raise KeyError(f"advertiser {advertiser} is not active")
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def accounts(self) -> AccountBook:
+        return self.backend.accounts
+
+    @property
+    def auctions_run(self) -> int:
+        return self.backend.auction_id
+
+    def active_advertisers(self) -> list[int]:
+        return sorted(self.registry)
+
+    def budget_of(self, advertiser: int) -> float:
+        self._check_active(advertiser)
+        return float(self.registry[advertiser]["budget"])
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Freeze the service's full resumable state (pure data)."""
+        config = self.workload_config
+        return ServiceSnapshot(
+            config={
+                "num_advertisers": config.num_advertisers,
+                "num_slots": config.num_slots,
+                "num_keywords": config.num_keywords,
+                "value_high": config.value_high,
+                "initial_bid_fraction": config.initial_bid_fraction,
+                "step": config.step,
+                "workload_seed": config.seed,
+                "method": self.method,
+                "maintenance": self.maintenance,
+                "workers": self.workers,
+                "engine_seed": self.engine_seed,
+            },
+            auction_id=self.backend.auction_id,
+            events_processed=self.events_processed,
+            rng_state=self.backend.rng.bit_generator.state,
+            registry={advertiser: dict(entry) for advertiser, entry
+                      in self.registry.items()},
+            accounts=accounts_to_jsonable(self.backend.accounts),
+            backend_state=self.backend.capture_state(),
+        )
+
+    @classmethod
+    def restore(cls, snapshot: "ServiceSnapshot | str | Path",
+                workers: int | None = None,
+                start_method: str | None = None
+                ) -> "OnlineAuctionService":
+        """Resume a service from a snapshot (or a snapshot file).
+
+        ``workers`` may differ from the snapshotted count — captures
+        are global, so the restored population re-shards to any plan.
+        """
+        if not isinstance(snapshot, ServiceSnapshot):
+            snapshot = ServiceSnapshot.from_file(snapshot)
+        config = snapshot.config
+        workload_config = PaperWorkloadConfig(
+            num_advertisers=int(config["num_advertisers"]),
+            num_slots=int(config["num_slots"]),
+            num_keywords=int(config["num_keywords"]),
+            value_high=float(config["value_high"]),
+            initial_bid_fraction=float(config["initial_bid_fraction"]),
+            step=float(config["step"]),
+            seed=int(config["workload_seed"]))
+        return cls(
+            workload_config,
+            method=config["method"],
+            maintenance=config["maintenance"],
+            workers=(int(config["workers"]) if workers is None
+                     else workers),
+            engine_seed=int(config["engine_seed"]),
+            start_method=start_method,
+            _restore=snapshot)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "OnlineAuctionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

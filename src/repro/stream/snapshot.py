@@ -1,0 +1,211 @@
+"""Snapshot/restore: checkpoint a live service, resume it bit-for-bit.
+
+A :class:`ServiceSnapshot` freezes everything the online service needs
+to continue *deterministically*: the workload/service configuration,
+the population's **primary** evaluation state (the captures defined by
+:meth:`repro.auction.batch.PacerArrays.capture` and
+:meth:`repro.evaluation.pacer_arrays.LazyPacerArrays.capture` — stored
+bids, adjustments, modes, deadlines; never the derived sorted
+structures, which restore re-derives), the budget registry, the
+provider's account book, the auction counter, and the decision RNG's
+bit-generator state.  Restoring and replaying the remaining events
+produces records bit-identical to the uninterrupted run — the
+round-trip invariant ``tests/stream/test_snapshot.py`` asserts for
+every method and worker count.
+
+Snapshots serialize to a single JSON file.  Python's ``json`` writes
+floats via ``repr``, which round-trips every finite IEEE-754 double
+exactly, and its (non-standard but symmetric) ``Infinity`` literal
+carries the trigger banks' "never" sentinels; NumPy arrays travel as
+nested lists with dtypes recovered from a fixed per-field schema.
+
+The module also hosts the capture plumbing the sharded service uses:
+:func:`slice_capture` cuts a global capture into one shard's local
+rows (shipped in :class:`repro.runtime.worker.StreamShardConfig`), and
+:func:`merge_captures` reassembles the global capture from per-shard
+dumps (ids are already global on the wire).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.auction.accounts import AccountBook, AdvertiserAccount
+
+SNAPSHOT_FORMAT = "repro-stream-snapshot/1"
+
+_CAPTURE_DTYPES = {
+    "ids": np.int64,
+    "auctions_seen": np.int64,
+    "counts": np.int64,
+    "mode": np.int8,
+    "cls": np.int8,
+}
+_KEYWORD_LEVEL_KEYS = ("counts", "adjust_inc", "adjust_dec")
+_NON_ARRAY_KEYS = ("kind", "num_advertisers", "step", "keywords")
+
+
+def capture_to_jsonable(capture: dict) -> dict:
+    """A capture dict with every array as (exactly round-tripping)
+    nested lists."""
+    return {key: value.tolist() if isinstance(value, np.ndarray)
+            else value
+            for key, value in capture.items()}
+
+
+def capture_from_jsonable(payload: dict) -> dict:
+    """Inverse of :func:`capture_to_jsonable` (dtypes from the schema;
+    everything unlisted — including the eager capture's per-row
+    ``step`` array — is float)."""
+    capture = {}
+    for key, value in payload.items():
+        if key in _NON_ARRAY_KEYS and not isinstance(value, list):
+            capture[key] = value
+        elif key == "keywords":
+            capture[key] = list(value)
+        elif key == "step" and isinstance(value, list):
+            capture[key] = np.asarray(value, dtype=float)
+        else:
+            capture[key] = np.asarray(
+                value, dtype=_CAPTURE_DTYPES.get(key, float))
+    return capture
+
+
+def _row_keys(capture: dict) -> list[str]:
+    """The keys holding one row per captured advertiser."""
+    keys = []
+    for key, value in capture.items():
+        if key in _KEYWORD_LEVEL_KEYS or key == "keywords":
+            continue
+        if isinstance(value, np.ndarray):
+            keys.append(key)
+    return keys
+
+
+def slice_capture(capture: dict, lo: int, hi: int) -> dict:
+    """One shard's local-row slice of a global capture.
+
+    Selects the advertisers in ``[lo, hi)``, shifts their ids to the
+    shard-local frame, and narrows ``num_advertisers`` to the span —
+    the exact shape :class:`~repro.runtime.worker.WorkerInit` restores
+    a shard from.
+    """
+    ids = np.asarray(capture["ids"], dtype=np.int64)
+    chosen = (ids >= lo) & (ids < hi)
+    sliced = dict(capture)
+    sliced["num_advertisers"] = hi - lo
+    for key in _row_keys(capture):
+        sliced[key] = np.asarray(capture[key])[chosen]
+    sliced["ids"] = ids[chosen] - lo
+    return sliced
+
+
+def merge_captures(states: Sequence[dict], spans: Sequence[tuple[int,
+                   int]], num_advertisers: int) -> dict:
+    """Reassemble per-shard captures (global ids) into one capture.
+
+    Empty shards dump ``{}``; any non-empty shard provides the
+    keyword-level template (keyword counters and adjustments are
+    lockstep-identical across shards — every shard applies the same
+    ``begin_auction`` sequence).  Shard order is ascending-id order,
+    so plain concatenation keeps ``ids`` sorted.
+    """
+    filled = [state for state in states if state]
+    if not filled:
+        raise ValueError("no shard produced a capture")
+    template = filled[0]
+    merged = dict(template)
+    merged["num_advertisers"] = num_advertisers
+    for key in _row_keys(template):
+        parts = [np.asarray(state[key]) for state in filled]
+        merged[key] = np.concatenate(parts, axis=0)
+    return merged
+
+
+def accounts_to_jsonable(accounts: AccountBook) -> dict:
+    return {
+        "provider_revenue": accounts.provider_revenue,
+        "accounts": {
+            str(advertiser): {
+                "impressions": account.impressions,
+                "clicks": account.clicks,
+                "purchases": account.purchases,
+                "auctions_won": account.auctions_won,
+                "charged": account.charged,
+            }
+            for advertiser, account in sorted(accounts.accounts.items())
+        },
+    }
+
+
+def restore_accounts(accounts: AccountBook, payload: dict) -> None:
+    """Fill an existing (shared-by-reference) book from a snapshot."""
+    accounts.accounts.clear()
+    accounts.provider_revenue = float(payload["provider_revenue"])
+    for key, fields in payload["accounts"].items():
+        advertiser = int(key)
+        accounts.accounts[advertiser] = AdvertiserAccount(
+            advertiser=advertiser,
+            impressions=int(fields["impressions"]),
+            clicks=int(fields["clicks"]),
+            purchases=int(fields["purchases"]),
+            auctions_won=int(fields["auctions_won"]),
+            charged=float(fields["charged"]),
+        )
+
+
+@dataclass
+class ServiceSnapshot:
+    """A restorable checkpoint of an :class:`~repro.stream.service
+    .OnlineAuctionService`."""
+
+    config: dict
+    """Workload + service knobs: advertiser capacity, slots, keywords,
+    seeds, method, maintenance strategy, worker count."""
+    auction_id: int
+    events_processed: int
+    rng_state: dict
+    registry: dict
+    accounts: dict
+    backend_state: dict
+    """The population capture (global advertiser ids)."""
+
+    def to_file(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "config": self.config,
+            "auction_id": self.auction_id,
+            "events_processed": self.events_processed,
+            "rng_state": self.rng_state,
+            "registry": {str(advertiser): entry for advertiser, entry
+                         in sorted(self.registry.items())},
+            "accounts": self.accounts,
+            "backend_state": capture_to_jsonable(self.backend_state),
+        }
+        path.write_text(json.dumps(payload, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ServiceSnapshot":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"not a {SNAPSHOT_FORMAT} file: {path}")
+        return cls(
+            config=dict(payload["config"]),
+            auction_id=int(payload["auction_id"]),
+            events_processed=int(payload["events_processed"]),
+            rng_state=payload["rng_state"],
+            registry={int(advertiser): dict(entry) for advertiser,
+                      entry in payload["registry"].items()},
+            accounts=dict(payload["accounts"]),
+            backend_state=capture_from_jsonable(
+                payload["backend_state"]),
+        )

@@ -1,6 +1,12 @@
-"""Workload generators: the Section V benchmark workload and random
-instance builders for tests and ablations."""
+"""Workload generators: the Section V benchmark workload, deterministic
+churn streams for the online serving layer, and random instance
+builders for tests and ablations."""
 
+from repro.workloads.churn import (
+    ChurnStreamConfig,
+    generate_stream,
+    join_event,
+)
 from repro.workloads.distributions import (
     interval_click_matrix,
     keyword_click_values,
@@ -18,9 +24,12 @@ from repro.workloads.generators import (
 from repro.workloads.paper_workload import PaperWorkload, PaperWorkloadConfig
 
 __all__ = [
+    "ChurnStreamConfig",
     "PaperWorkload",
     "PaperWorkloadConfig",
+    "generate_stream",
     "interval_click_matrix",
+    "join_event",
     "keyword_click_values",
     "random_bid_population",
     "random_bids_table",

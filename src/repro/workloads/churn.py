@@ -1,0 +1,156 @@
+"""Deterministic churn workloads for the online serving layer.
+
+Layers seeded arrival/departure/update processes on top of the
+Section V :class:`~repro.workloads.paper_workload.PaperWorkload`: the
+workload's advertiser table becomes a fixed id *universe* (values,
+targets, click rows materialized for every id up front), and the
+generator emits an ordered :class:`~repro.stream.events.EventLog`
+drawn from one private RNG — genesis joins first, then a mix of query
+arrivals and control events governed by ``churn_rate``.
+
+Everything is a pure function of ``(workload seed, churn config)``, so
+two services fed the same config consume byte-identical streams — the
+determinism every stream-layer oracle test builds on.  The generator's
+RNG is *not* the service's decision RNG: the stream carries the query
+keywords, and the service's seed is spent on user clicks only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stream.events import (
+    AdvertiserJoin,
+    AdvertiserLeave,
+    BidProgramUpdate,
+    BudgetTopUp,
+    EventLog,
+    QueryArrival,
+)
+from repro.workloads.paper_workload import PaperWorkload
+
+_CONTROL_KINDS = ("join", "leave", "update", "topup")
+
+
+@dataclass(frozen=True)
+class ChurnStreamConfig:
+    """Knobs of the generated event stream.
+
+    ``num_events`` counts the post-genesis body; ``churn_rate`` is the
+    probability that a body event is a control event rather than a
+    query arrival.  ``genesis`` advertisers (ids ``0..genesis-1``)
+    join before any query; ``min_active`` floors the live population
+    (an infeasible leave — or an infeasible join, when the universe is
+    saturated — degrades to a query arrival so the stream length is
+    always exactly ``genesis + num_events``).
+    """
+
+    num_events: int
+    churn_rate: float = 0.1
+    genesis: int | None = None
+    min_active: int = 2
+    join_weight: float = 1.0
+    leave_weight: float = 1.0
+    update_weight: float = 1.0
+    topup_weight: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_events < 0:
+            raise ValueError("num_events must be >= 0")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError(
+                f"churn_rate must lie in [0, 1], got {self.churn_rate}")
+        if self.min_active < 0:
+            raise ValueError("min_active must be >= 0")
+        weights = (self.join_weight, self.leave_weight,
+                   self.update_weight, self.topup_weight)
+        if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+            raise ValueError("control weights must be non-negative "
+                             "and not all zero")
+
+
+def join_event(workload: PaperWorkload, advertiser: int,
+               budget: float = 0.0) -> AdvertiserJoin:
+    """The universe-defined join for one id: the paper workload's
+    values, caps, initial bids, and target spend rate."""
+    values = workload.values[advertiser]
+    bids = tuple(
+        workload.initial_bid(advertiser, index)
+        for index in range(workload.config.num_keywords))
+    return AdvertiserJoin(
+        advertiser=advertiser,
+        target=float(workload.targets[advertiser]),
+        bids=bids,
+        maxbids=tuple(float(value) for value in values),
+        values=tuple(float(value) for value in values),
+        budget=budget)
+
+
+def generate_stream(workload: PaperWorkload,
+                    config: ChurnStreamConfig) -> EventLog:
+    """A deterministic event stream over the workload's universe."""
+    rng = np.random.default_rng(config.seed)
+    capacity = workload.config.num_advertisers
+    keywords = workload.keywords
+    genesis = capacity if config.genesis is None else config.genesis
+    if not 0 <= genesis <= capacity:
+        raise ValueError(
+            f"genesis must lie in [0, {capacity}], got {genesis}")
+
+    weights = np.array([config.join_weight, config.leave_weight,
+                        config.update_weight, config.topup_weight])
+    weights = weights / weights.sum()
+
+    log = EventLog()
+    active: list[int] = []  # kept sorted (ids join in order below)
+    inactive: list[int] = list(range(genesis, capacity))
+    for advertiser in range(genesis):
+        log.append(join_event(workload, advertiser,
+                              budget=float(rng.uniform(50.0, 500.0))))
+        active.append(advertiser)
+
+    def pick(pool: list[int]) -> int:
+        return pool[int(rng.integers(len(pool)))]
+
+    def query() -> QueryArrival:
+        return QueryArrival(keywords[int(rng.integers(len(keywords)))])
+
+    for _ in range(config.num_events):
+        if rng.random() >= config.churn_rate:
+            log.append(query())
+            continue
+        kind = _CONTROL_KINDS[int(rng.choice(4, p=weights))]
+        if kind == "join" and inactive:
+            advertiser = pick(inactive)
+            inactive.remove(advertiser)
+            active.append(advertiser)
+            active.sort()
+            log.append(join_event(
+                workload, advertiser,
+                budget=float(rng.uniform(50.0, 500.0))))
+        elif kind == "leave" and len(active) > config.min_active:
+            advertiser = pick(active)
+            active.remove(advertiser)
+            inactive.append(advertiser)
+            inactive.sort()
+            log.append(AdvertiserLeave(advertiser))
+        elif kind == "update" and active:
+            advertiser = pick(active)
+            index = int(rng.integers(len(keywords)))
+            maxbid = float(workload.values[advertiser, index])
+            log.append(BidProgramUpdate(
+                advertiser=advertiser, keyword=keywords[index],
+                bid=float(rng.uniform(0.0, maxbid)), maxbid=maxbid))
+        elif kind == "topup" and active:
+            log.append(BudgetTopUp(
+                advertiser=pick(active),
+                amount=float(rng.uniform(10.0, 200.0))))
+        else:
+            # Infeasible control (saturated universe, floored
+            # population, or no one to touch): degrade to a query so
+            # stream length stays fixed.
+            log.append(query())
+    return log

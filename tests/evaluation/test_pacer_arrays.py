@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.evaluation.pacer_arrays import LazyPacerArrays
 from repro.evaluation.pacer_state import LazyPacerState
+from repro.evaluation.sorted_index import ColumnArgsortIndex
 
 
 def build_states(seed, n=15, n_keywords=3, initial_fraction=0.5):
@@ -146,6 +147,92 @@ class TestAccounting:
         assert pending == scheduled
 
 
+class TestChurnEqualsFreshBuild:
+    """Any interleaving of join/leave/update (and auctions, and wins)
+    leaves the incrementally-maintained state equal to a fresh build
+    from the surviving population — the online serving layer's
+    maintenance invariant, at the data-structure level."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_random_churn_interleavings(self, seed):
+        rng = np.random.default_rng(seed)
+        capacity, n_keywords = 20, 2
+        keywords = [f"kw{j}" for j in range(n_keywords)]
+        values = rng.uniform(0.5, 20.0, size=(capacity, n_keywords))
+        matrix = rng.uniform(0.1, 0.9, size=(capacity, 3))
+        state = LazyPacerArrays(np.ones(capacity), keywords)
+        index = ColumnArgsortIndex(matrix, members=state.active_ids())
+        active: list[int] = []
+        time = 0.0
+        for _ in range(120):
+            time += 1.0
+            action = rng.random()
+            if action < 0.25 and len(active) < capacity:
+                advertiser = int(rng.choice(
+                    [a for a in range(capacity) if a not in active]))
+                caps = values[advertiser]
+                state.join(advertiser, float(rng.uniform(0.5, 5.0)),
+                           bids=caps * 0.5, maxbids=caps)
+                index.insert(advertiser)
+                active.append(advertiser)
+            elif action < 0.4 and len(active) > 1:
+                advertiser = int(rng.choice(active))
+                state.leave(advertiser)
+                index.remove(advertiser)
+                active.remove(advertiser)
+            elif action < 0.55 and active:
+                advertiser = int(rng.choice(active))
+                col = int(rng.integers(n_keywords))
+                maxbid = float(values[advertiser, col])
+                state.update_bid(advertiser, keywords[col],
+                                 float(rng.uniform(0.0, maxbid)),
+                                 maxbid)
+            elif active:
+                text = keywords[int(rng.integers(n_keywords))]
+                state.begin_auction(text, time)
+                if rng.random() < 0.5:
+                    winner = int(rng.choice(active))
+                    state.record_win(winner,
+                                     float(rng.uniform(1.0, 10.0)),
+                                     time)
+
+        # The argsort index must equal a fresh stable argsort of the
+        # survivors, array for array.
+        survivors = np.array(sorted(active), dtype=np.int64)
+        fresh_index = ColumnArgsortIndex(matrix, members=survivors)
+        assert np.array_equal(index.order, fresh_index.order)
+        assert np.array_equal(index.sorted_values,
+                              fresh_index.sorted_values)
+        assert np.array_equal(index.rank, fresh_index.rank)
+
+        # The pacer state must equal a from-scratch rebuild of its
+        # primary capture: same population, same effective bids (to
+        # the bit), same modes, counters, and deadlines.
+        rebuilt = LazyPacerArrays.from_capture(state.capture())
+        assert np.array_equal(rebuilt.active_ids(), survivors)
+        assert np.array_equal(state.active_ids(), survivors)
+        for text in keywords:
+            assert rebuilt.bids_for_keyword(text) \
+                == state.bids_for_keyword(text)
+        for advertiser in survivors:
+            assert rebuilt.mode_of(advertiser) \
+                == state.mode_of(advertiser)
+        assert np.array_equal(rebuilt.counts, state.counts)
+        assert np.array_equal(rebuilt.count_deadlines.critical,
+                              state.count_deadlines.critical)
+        assert np.array_equal(rebuilt.time_deadlines.critical,
+                              state.time_deadlines.critical)
+        # Walk parity: the merged descending walks surface the same
+        # member sets at the same effective values.
+        if len(survivors):
+            time += 1.0
+            first = state.begin_auction(keywords[0], time)
+            second = rebuilt.begin_auction(keywords[0], time)
+            assert sorted(first.descending()) \
+                == sorted(second.descending())
+
+
 class TestValidation:
     def test_sparse_registration_rejected(self):
         state = LazyPacerState()
@@ -180,3 +267,26 @@ class TestValidation:
     def test_bad_step_rejected(self):
         with pytest.raises(ValueError):
             LazyPacerArrays(np.array([1.0]), ["kw"], step=0.0)
+
+    def test_churn_op_validation(self):
+        state = LazyPacerArrays(np.ones(3), ["kw"])
+        bid, cap = np.array([1.0]), np.array([2.0])
+        with pytest.raises(KeyError, match="outside capacity"):
+            state.join(5, 1.0, bid, cap)
+        with pytest.raises(KeyError, match="outside capacity"):
+            state.join(-1, 1.0, bid, cap)
+        state.join(0, 1.0, bid, cap)
+        with pytest.raises(KeyError, match="already active"):
+            state.join(0, 1.0, bid, cap)
+        with pytest.raises(ValueError):
+            state.join(1, 0.0, bid, cap)  # non-positive target
+        with pytest.raises(ValueError):
+            state.join(1, 1.0, np.ones(2), np.ones(2))  # wrong width
+        with pytest.raises(KeyError):
+            state.leave(2)  # never joined
+        with pytest.raises(KeyError):
+            state.update_bid(2, "kw", 1.0, 2.0)
+        with pytest.raises(ValueError):
+            state.update_bid(0, "kw", 1.0, -2.0)  # negative cap
+        with pytest.raises(KeyError):
+            state.effective_bid(2, "kw")  # inactive row

@@ -168,3 +168,69 @@ class TestColumnArgsortIndex:
     def test_non_2d_rejected(self):
         with pytest.raises(ValueError):
             ColumnArgsortIndex(np.ones(3))
+
+
+class TestColumnArgsortIndexChurn:
+    """Incremental membership maintenance (the online serving layer):
+    insert/remove must reproduce a fresh stable argsort of the
+    surviving member set exactly, including tie order."""
+
+    def assert_equal_to_fresh(self, index, matrix, members):
+        fresh = ColumnArgsortIndex(matrix,
+                                   members=np.asarray(members,
+                                                      dtype=np.int64))
+        np.testing.assert_array_equal(index.order, fresh.order)
+        np.testing.assert_array_equal(index.sorted_values,
+                                      fresh.sorted_values)
+        np.testing.assert_array_equal(index.rank, fresh.rank)
+
+    def test_incremental_equals_fresh_with_ties(self):
+        rng = np.random.default_rng(11)
+        matrix = rng.uniform(0.1, 0.9, size=(30, 3))
+        matrix[rng.random((30, 3)) < 0.3] = 0.4  # heavy tie classes
+        members = sorted(rng.choice(30, size=12,
+                                    replace=False).tolist())
+        index = ColumnArgsortIndex(
+            matrix, members=np.asarray(members[:5], dtype=np.int64))
+        for item in members[5:]:
+            index.insert(item)
+        for item in members[:3]:
+            index.remove(item)
+        self.assert_equal_to_fresh(index, matrix, members[3:])
+
+    def test_grow_from_empty_and_drain(self):
+        matrix = np.random.default_rng(12).uniform(size=(8, 2))
+        index = ColumnArgsortIndex(matrix,
+                                   members=np.empty(0, dtype=np.int64))
+        assert index.num_ids == 0
+        for item in (3, 0, 7, 5):
+            index.insert(item)
+        self.assert_equal_to_fresh(index, matrix, [0, 3, 5, 7])
+        for item in (0, 3, 5, 7):
+            index.remove(item)
+        assert index.num_ids == 0
+        assert not (0 in index)
+
+    def test_membership_and_errors(self):
+        matrix = np.random.default_rng(13).uniform(size=(6, 2))
+        index = ColumnArgsortIndex(matrix,
+                                   members=np.array([1, 4]))
+        assert 1 in index and 4 in index and 2 not in index
+        with pytest.raises(KeyError):
+            index.insert(4)
+        with pytest.raises(KeyError):
+            index.insert(17)
+        with pytest.raises(KeyError):
+            index.remove(2)
+        with pytest.raises(ValueError):
+            ColumnArgsortIndex(matrix, members=np.array([4, 1]))
+        with pytest.raises(ValueError):
+            ColumnArgsortIndex(matrix, members=np.array([5, 9]))
+
+    def test_full_membership_matches_default_build(self):
+        matrix = np.random.default_rng(14).uniform(size=(15, 4))
+        full = ColumnArgsortIndex(matrix)
+        explicit = ColumnArgsortIndex(matrix,
+                                      members=np.arange(15))
+        np.testing.assert_array_equal(full.order, explicit.order)
+        np.testing.assert_array_equal(full.rank, explicit.rank)

@@ -1,0 +1,132 @@
+"""The event model and the deterministic churn generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream import (
+    AdvertiserJoin,
+    AdvertiserLeave,
+    BidProgramUpdate,
+    BudgetTopUp,
+    EventLog,
+    QueryArrival,
+    event_kind,
+)
+from repro.workloads import (
+    ChurnStreamConfig,
+    PaperWorkload,
+    PaperWorkloadConfig,
+    generate_stream,
+)
+
+
+def build_workload(n=30, slots=4, keywords=3, seed=5):
+    return PaperWorkload(PaperWorkloadConfig(
+        num_advertisers=n, num_slots=slots, num_keywords=keywords,
+        seed=seed))
+
+
+class TestEventLog:
+    def test_jsonl_roundtrip_is_exact(self, tmp_path):
+        log = EventLog([
+            AdvertiserJoin(advertiser=3, target=1.5,
+                           bids=(1.0, 2.0), maxbids=(4.0, 5.0),
+                           values=(4.0, 5.0), budget=100.0),
+            QueryArrival("kw1"),
+            BidProgramUpdate(advertiser=3, keyword="kw0", bid=0.25,
+                             maxbid=3.0),
+            BudgetTopUp(advertiser=3, amount=12.5),
+            AdvertiserLeave(advertiser=3),
+        ])
+        path = tmp_path / "events.jsonl"
+        log.to_jsonl(path)
+        assert EventLog.from_jsonl(path).events == log.events
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "martian"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="martian"):
+            EventLog.from_jsonl(path)
+
+    def test_prefix_and_slice(self):
+        log = EventLog([QueryArrival("a"), QueryArrival("b"),
+                        QueryArrival("c")])
+        assert len(log.prefix(2)) == 2
+        tail = log[1:]
+        assert isinstance(tail, EventLog)
+        assert [event.keyword for event in tail] == ["b", "c"]
+
+    def test_event_kinds(self):
+        assert event_kind(QueryArrival("kw")) == "query"
+        assert event_kind(AdvertiserLeave(1)) == "leave"
+
+
+class TestChurnGenerator:
+    def test_deterministic(self):
+        workload = build_workload()
+        config = ChurnStreamConfig(num_events=120, churn_rate=0.3,
+                                   genesis=15, seed=9)
+        first = generate_stream(workload, config)
+        second = generate_stream(workload, config)
+        assert first.events == second.events
+
+    def test_genesis_joins_come_first(self):
+        workload = build_workload()
+        stream = generate_stream(workload, ChurnStreamConfig(
+            num_events=50, churn_rate=0.2, genesis=12, seed=1))
+        head = stream.events[:12]
+        assert all(isinstance(event, AdvertiserJoin)
+                   for event in head)
+        assert sorted(event.advertiser for event in head) \
+            == list(range(12))
+        assert len(stream) == 12 + 50
+
+    def test_stream_respects_population_invariants(self):
+        workload = build_workload()
+        config = ChurnStreamConfig(num_events=300, churn_rate=0.5,
+                                   genesis=10, min_active=4, seed=3)
+        stream = generate_stream(workload, config)
+        active: set[int] = set()
+        for event in stream:
+            if isinstance(event, AdvertiserJoin):
+                assert event.advertiser not in active
+                assert 0 <= event.advertiser < 30
+                active.add(event.advertiser)
+            elif isinstance(event, AdvertiserLeave):
+                assert event.advertiser in active
+                active.remove(event.advertiser)
+                assert len(active) >= config.min_active
+            elif isinstance(event, (BidProgramUpdate, BudgetTopUp)):
+                assert event.advertiser in active
+        counts = stream.counts_by_kind()
+        assert counts["leave"] > 0 and counts["join"] > 10
+        assert counts["update"] > 0
+
+    def test_join_carries_the_workload_program(self):
+        workload = build_workload()
+        stream = generate_stream(workload, ChurnStreamConfig(
+            num_events=0, genesis=5, seed=2))
+        join = stream[0]
+        assert join.maxbids == tuple(float(v)
+                                     for v in workload.values[0])
+        assert join.bids == tuple(
+            workload.initial_bid(0, j) for j in range(3))
+        assert join.target == float(workload.targets[0])
+
+    def test_zero_churn_is_all_queries_after_genesis(self):
+        workload = build_workload()
+        stream = generate_stream(workload, ChurnStreamConfig(
+            num_events=40, churn_rate=0.0, genesis=8, seed=4))
+        body = stream.events[8:]
+        assert all(isinstance(event, QueryArrival) for event in body)
+
+    def test_bad_configs_rejected(self):
+        workload = build_workload()
+        with pytest.raises(ValueError):
+            ChurnStreamConfig(num_events=10, churn_rate=1.5)
+        with pytest.raises(ValueError):
+            ChurnStreamConfig(num_events=-1)
+        with pytest.raises(ValueError):
+            generate_stream(workload, ChurnStreamConfig(
+                num_events=1, genesis=31))

@@ -1,0 +1,160 @@
+"""Snapshot/restore: checkpoint mid-stream, resume bit-identically."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import records_identical
+from repro.stream import OnlineAuctionService, ServiceSnapshot
+from repro.stream.snapshot import (
+    capture_from_jsonable,
+    capture_to_jsonable,
+    merge_captures,
+    slice_capture,
+)
+from repro.workloads import (
+    ChurnStreamConfig,
+    PaperWorkload,
+    PaperWorkloadConfig,
+    generate_stream,
+)
+
+CONFIG = PaperWorkloadConfig(num_advertisers=36, num_slots=4,
+                             num_keywords=3, seed=1)
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def stream():
+    workload = PaperWorkload(CONFIG)
+    return generate_stream(workload, ChurnStreamConfig(
+        num_events=140, churn_rate=0.3, genesis=22, min_active=6,
+        seed=7))
+
+
+def run_split(method, workers, stream, tmp_path, via_file=True,
+              restore_workers=None):
+    """Uninterrupted records vs snapshot-at-half then resume."""
+    full = OnlineAuctionService(CONFIG, method=method,
+                                workers=workers, engine_seed=SEED)
+    expected = full.run(stream)
+    full.close()
+
+    half = len(stream) // 2
+    head_service = OnlineAuctionService(CONFIG, method=method,
+                                        workers=workers,
+                                        engine_seed=SEED)
+    head = head_service.run(stream.prefix(half))
+    snapshot = head_service.snapshot()
+    if via_file:
+        path = tmp_path / f"{method}_{workers}.json"
+        snapshot.to_file(path)
+        snapshot = ServiceSnapshot.from_file(path)
+    head_service.close()
+
+    resumed = OnlineAuctionService.restore(
+        snapshot, workers=restore_workers)
+    tail = resumed.run(stream[half:])
+    resumed.close()
+    return expected, head + tail
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("method", ["rh", "lp", "rhtalu"])
+    def test_in_process(self, method, stream, tmp_path):
+        expected, actual = run_split(method, 0, stream, tmp_path)
+        assert records_identical(expected, actual)
+
+    @pytest.mark.parametrize("method", ["rh", "rhtalu"])
+    def test_sharded_two_workers(self, method, stream, tmp_path):
+        expected, actual = run_split(method, 2, stream, tmp_path)
+        assert records_identical(expected, actual)
+
+    def test_restore_to_different_worker_count(self, stream,
+                                               tmp_path):
+        # Captures are global: a 2-worker snapshot restores in-process
+        # (and vice versa) without changing a single record.
+        expected, actual = run_split("rh", 2, stream, tmp_path,
+                                     restore_workers=0)
+        assert records_identical(expected, actual)
+        expected, actual = run_split("rhtalu", 0, stream, tmp_path,
+                                     restore_workers=2)
+        assert records_identical(expected, actual)
+
+    def test_registry_and_accounts_survive(self, stream, tmp_path):
+        half = len(stream) // 2
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        service.run(stream.prefix(half))
+        path = tmp_path / "svc.json"
+        service.snapshot().to_file(path)
+        resumed = OnlineAuctionService.restore(path)
+        assert resumed.active_advertisers() \
+            == service.active_advertisers()
+        for advertiser in service.active_advertisers():
+            assert resumed.budget_of(advertiser) \
+                == service.budget_of(advertiser)
+        assert resumed.accounts.provider_revenue \
+            == service.accounts.provider_revenue
+        assert resumed.events_processed == service.events_processed
+
+
+class TestSnapshotFile:
+    def test_rejects_non_snapshot_files(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}',
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="snapshot"):
+            ServiceSnapshot.from_file(path)
+
+    def test_capture_json_roundtrip_is_exact(self, stream):
+        service = OnlineAuctionService(CONFIG, method="rhtalu",
+                                       engine_seed=SEED)
+        service.run(stream.prefix(len(stream) // 2))
+        capture = service.backend.capture_state()
+        back = capture_from_jsonable(capture_to_jsonable(capture))
+        assert set(back) == set(capture)
+        for key, value in capture.items():
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(back[key], value), key
+                assert back[key].dtype == value.dtype, key
+            else:
+                assert back[key] == value, key
+
+    def test_infinite_deadlines_survive_json(self, tmp_path, stream):
+        # DeadlineArray's "never" sentinel is +inf; Python json carries
+        # it as the (symmetric) Infinity literal.
+        service = OnlineAuctionService(CONFIG, method="rhtalu",
+                                       engine_seed=SEED)
+        service.run(stream.prefix(30))
+        capture = service.backend.capture_state()
+        assert np.isinf(capture["time_critical"]).any()
+        path = tmp_path / "inf.json"
+        service.snapshot().to_file(path)
+        restored = ServiceSnapshot.from_file(path)
+        assert np.array_equal(restored.backend_state["time_critical"],
+                              capture["time_critical"])
+
+
+class TestCapturePlumbing:
+    def test_slice_then_merge_is_identity(self, stream):
+        service = OnlineAuctionService(CONFIG, method="rhtalu",
+                                       engine_seed=SEED)
+        service.run(stream.prefix(len(stream) // 2))
+        capture = service.backend.capture_state()
+        spans = [(0, 12), (12, 30), (30, 36)]
+        slices = [slice_capture(capture, lo, hi) for lo, hi in spans]
+        rejoined = merge_captures(
+            [dict(part, ids=np.asarray(part["ids"]) + lo)
+             for (lo, _), part in zip(spans, slices)],
+            spans, CONFIG.num_advertisers)
+        for key, value in capture.items():
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(rejoined[key], value), key
+            else:
+                assert rejoined[key] == value, key
+
+    def test_merge_requires_a_populated_shard(self):
+        with pytest.raises(ValueError):
+            merge_captures([{}, {}], [(0, 0), (0, 0)], 0)

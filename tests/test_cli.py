@@ -160,6 +160,79 @@ class TestSql:
         assert "NULL" in capsys.readouterr().out
 
 
+class TestStream:
+    ARGS = ["stream", "--advertisers", "30", "--events", "80",
+            "--slots", "3", "--keywords", "2", "--churn-rate", "0.25",
+            "--min-active", "4"]
+
+    def test_runs_and_reports(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream:" in out
+        assert "provider revenue" in out
+        assert "active advertisers at end" in out
+        assert "query" in out
+
+    def test_sharded_stream(self, capsys):
+        code = main(self.ARGS + ["--workers", "2"])
+        assert code == 0
+        assert "2 workers" in capsys.readouterr().out
+
+    def test_rebuild_maintenance_matches_incremental(self, capsys):
+        main(self.ARGS + ["--method", "rhtalu"])
+        first = capsys.readouterr().out
+        main(self.ARGS + ["--method", "rhtalu",
+                          "--maintenance", "rebuild"])
+        second = capsys.readouterr().out
+        pick = [line for line in first.splitlines()
+                if line.startswith("auctions:")]
+        assert pick == [line for line in second.splitlines()
+                        if line.startswith("auctions:")]
+
+    def test_snapshot_resume(self, capsys, tmp_path):
+        snap = tmp_path / "snap.json"
+        code = main(self.ARGS + ["--snapshot-at", "40",
+                                 "--snapshot-file", str(snap)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from snapshot" in out
+        assert snap.exists()
+        # Uninterrupted run must report the same totals, and the
+        # per-event timing table must cover the whole spliced stream
+        # (head + tail), not just the post-restore segment.
+        main(self.ARGS)
+        uninterrupted = capsys.readouterr().out
+
+        def event_counts(text):
+            counts = {}
+            for line in text.splitlines():
+                parts = line.split()
+                if (line.startswith("  ") and len(parts) >= 3
+                        and parts[2] == "events"):
+                    counts[parts[0].rstrip(":")] = int(parts[1])
+            return counts
+
+        assert [line for line in out.splitlines()
+                if line.startswith("auctions:")] \
+            == [line for line in uninterrupted.splitlines()
+                if line.startswith("auctions:")]
+        assert event_counts(out) == event_counts(uninterrupted)
+        assert sum(event_counts(out).values()) == 80 + 15
+
+
+class TestBenchChurn:
+    def test_incremental_vs_rebuild_gate(self, capsys):
+        code = main(["bench-throughput", "--advertisers", "40",
+                     "--auctions", "60", "--slots", "3",
+                     "--keywords", "2", "--churn-rate", "0.3",
+                     "--method", "rhtalu"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out and "rebuild" in out
+        assert "results identical: True" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
