@@ -17,10 +17,16 @@ instances that differ only in maintenance strategy:
 
 Per cell the driver asserts the two record streams are **bit-
 identical** (the oracle invariant the stream test suite also pins) and
-reports auctions/sec plus per-event-type timings.  The committed
-``BENCH_stream.json`` backs the claim that incremental maintenance
-beats rebuild-per-event under churn; ``tests/test_bench_artifacts.py``
-pins the artifact's structure and acceptance properties.
+reports auctions/sec plus per-event-type timings.  The sweep ends with
+an **exhaustion-heavy** cell: the same maximum churn rate but with
+small join budgets (and top-ups weighted up), so the budget lifecycle
+fires constantly — advertisers pause as charges drain their ledgers
+and re-admit on top-ups — and the pause/resume maintenance paths are
+timed and oracle-checked under pressure, not just in unit tests.  The
+committed ``BENCH_stream.json`` backs the claim that incremental
+maintenance beats rebuild-per-event under churn;
+``tests/test_bench_artifacts.py`` pins the artifact's structure and
+acceptance properties.
 
 Run::
 
@@ -54,9 +60,24 @@ def run_service(config, method: str, maintenance: str, stream,
         start = time.perf_counter()
         records = service.run(stream)
         wall = time.perf_counter() - start
-        return records, wall, service.stats.to_dict()
+        # The lifecycle identity a cell gates on: the exact emission
+        # sequence and the final tracked balances, not just counts.
+        identity = (list(service.emitted),
+                    service.registry.balances())
+        return (records, wall, service.stats.to_dict(),
+                stream_events_counts(service), identity)
     finally:
         service.close()
+
+
+def stream_events_counts(service) -> dict:
+    """The budget lifecycle's footprint on one service run."""
+    kinds = service.emitted.counts_by_kind()
+    return {
+        "pauses": kinds.get("paused", 0),
+        "resumes": kinds.get("resumed", 0),
+        "paused_at_end": len(service.paused_advertisers()),
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,6 +96,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail if incremental-over-rebuild at the "
                              "highest churn rate falls below this "
                              "(0 = report only)")
+    parser.add_argument("--exhaustion-budgets", default="4,30",
+                        help="low,high join-budget bounds of the "
+                             "exhaustion-heavy cell (empty string "
+                             "skips the cell)")
     parser.add_argument("--out", default="BENCH_stream.json")
     args = parser.parse_args(argv)
 
@@ -88,31 +113,48 @@ def main(argv: list[str] | None = None) -> int:
           f"events={args.events} churn={churn_rates}"
           + (f" workers={args.workers}" if args.workers else ""))
 
+    plans = [("churn", rate, {}) for rate in churn_rates]
+    if args.exhaustion_budgets:
+        # The budget-lifecycle cell: max churn plus small ledgers and
+        # frequent top-ups, so exhaustion pauses and top-up
+        # re-admissions dominate the control mix.
+        low, high = (float(bound) for bound
+                     in args.exhaustion_budgets.split(","))
+        plans.append(("exhaustion", churn_rates[-1],
+                      {"budget_low": low, "budget_high": high,
+                       "topup_weight": 2.0}))
+
     cells = []
     all_identical = True
-    for rate in churn_rates:
+    for label, rate, overrides in plans:
         stream = generate_stream(workload, ChurnStreamConfig(
             num_events=args.events, churn_rate=rate,
             genesis=args.size // 2, min_active=args.slots + 1,
-            seed=WORKLOAD_SEED + 17))
+            seed=WORKLOAD_SEED + 17, **overrides))
         counts = stream.counts_by_kind()
         sides = {}
         for maintenance in ("incremental", "rebuild"):
-            records, wall, stats = run_service(
+            sides[maintenance] = run_service(
                 config, args.method, maintenance, stream,
                 args.workers)
-            sides[maintenance] = (records, wall, stats)
-        identical = records_identical(sides["incremental"][0],
-                                      sides["rebuild"][0])
+        identical = (records_identical(sides["incremental"][0],
+                                       sides["rebuild"][0])
+                     and sides["incremental"][4]
+                     == sides["rebuild"][4])
         all_identical &= identical
         auctions = len(sides["incremental"][0])
         speedup = sides["rebuild"][1] / max(
             sides["incremental"][1], 1e-12)
         cell = {
+            "label": label,
             "churn_rate": rate,
             "events": counts,
             "auctions": auctions,
             "identical": identical,
+            "budget_lifecycle": dict(
+                sides["incremental"][3],
+                **{key: overrides[key] for key in
+                   ("budget_low", "budget_high") if key in overrides}),
             "incremental": {
                 "wall_seconds": sides["incremental"][1],
                 "auctions_per_second":
@@ -128,13 +170,22 @@ def main(argv: list[str] | None = None) -> int:
             "incremental_speedup": speedup,
         }
         cells.append(cell)
-        print(f"  churn={rate:5.2f}: "
+        lifecycle = cell["budget_lifecycle"]
+        print(f"  {label:>10s} churn={rate:5.2f}: "
               f"{cell['incremental']['auctions_per_second']:8.1f}/s "
               f"incremental vs "
               f"{cell['rebuild']['auctions_per_second']:8.1f}/s "
-              f"rebuild ({speedup:.2f}x), identical={identical}")
+              f"rebuild ({speedup:.2f}x), identical={identical}, "
+              f"pauses={lifecycle['pauses']} "
+              f"resumes={lifecycle['resumes']}")
 
-    top = cells[-1]["incremental_speedup"]
+    # The --min-speedup gate (and the summary key named for it) reads
+    # the plain highest-churn cell; the exhaustion cell's speedup is
+    # reported under its own key.
+    top = [cell for cell in cells if cell["label"] == "churn"
+           ][-1]["incremental_speedup"]
+    exhaustion = (cells[-1] if cells[-1]["label"] == "exhaustion"
+                  else None)
     artifact = {
         "workload": {
             "figure": "12 (Section V workload as an id universe; "
@@ -151,14 +202,27 @@ def main(argv: list[str] | None = None) -> int:
         },
         "note": ("each cell runs the SAME event stream through an "
                  "incremental-maintenance service and a rebuild-per-"
-                 "control-event service; records must be bit-"
+                 "control-event service; records, final balances, and "
+                 "the pause/resume emission sequence must be bit-"
                  "identical, and the speedup is rebuild wall over "
-                 "incremental wall"),
+                 "incremental wall. The final cell is exhaustion-"
+                 "heavy: small join budgets put the budget lifecycle "
+                 "(pause on exhaustion, re-admit on top-up) under "
+                 "pressure."),
         "cells": cells,
         "summary": {
             "max_churn_rate": churn_rates[-1],
             "incremental_speedup_at_max_churn": top,
             "all_identical": all_identical,
+            "exhaustion_speedup": (
+                exhaustion["incremental_speedup"]
+                if exhaustion else None),
+            "exhaustion_pauses": (
+                exhaustion["budget_lifecycle"]["pauses"]
+                if exhaustion else 0),
+            "exhaustion_resumes": (
+                exhaustion["budget_lifecycle"]["resumes"]
+                if exhaustion else 0),
         },
     }
     out = Path(args.out)

@@ -96,6 +96,13 @@ class PacerArrays:
         self.amt_spent = np.zeros(n)
         self.auctions_seen = np.zeros(n, dtype=np.int64)
         self.present = np.zeros(n, dtype=bool)
+        self.paused: dict[int, dict] = {}
+        """Frozen row captures of budget-paused advertisers, keyed by
+        id.  A paused row is out of every live array (it cannot bid,
+        win, or advance ``auctions_seen``) but its primary state is
+        retained here verbatim so :meth:`resume_row` re-admits it
+        exactly where it stopped.  Maintained by the online serving
+        layer's budget lifecycle (:mod:`repro.stream`)."""
         self.sync_from_programs()
 
     # -- construction ------------------------------------------------------
@@ -239,6 +246,9 @@ class PacerArrays:
                            f"0..{self.num_advertisers - 1}")
         if self.present[advertiser]:
             raise KeyError(f"advertiser {advertiser} already present")
+        if advertiser in self.paused:
+            raise KeyError(f"advertiser {advertiser} is paused; "
+                           f"resume_row re-admits it")
         if target <= 0:
             raise ValueError(
                 f"target spend rate must be > 0, got {target}")
@@ -264,7 +274,14 @@ class PacerArrays:
         self.spent[advertiser, :] = 0.0
 
     def retire_row(self, advertiser: int) -> None:
-        """Zero a row out (a leave); the id may be re-grown later."""
+        """Zero a row out (a leave); the id may be re-grown later.
+
+        A budget-paused advertiser can leave too: its retained capture
+        is simply discarded (nothing of it remains in the live arrays).
+        """
+        if advertiser in self.paused:
+            del self.paused[advertiser]
+            return
         if not self.present[advertiser]:
             raise KeyError(f"advertiser {advertiser} is not present")
         self.present[advertiser] = False
@@ -281,16 +298,77 @@ class PacerArrays:
 
     def update_bid(self, advertiser: int, keyword: str, bid: float,
                    maxbid: float) -> None:
-        """Edit one keyword record's bid and cap in place."""
-        if not self.present[advertiser]:
-            raise KeyError(f"advertiser {advertiser} is not present")
+        """Edit one keyword record's bid and cap in place.
+
+        Paused advertisers accept edits too — the change lands in the
+        retained capture and takes effect on :meth:`resume_row` (churn
+        generators cannot know who the service has paused, so bid
+        edits must never depend on pause state).
+        """
         if maxbid < 0:
             raise ValueError(f"maxbid must be >= 0, got {maxbid}")
         col = self.kw_index.get(keyword)
         if col is None:
             raise KeyError(f"unknown keyword {keyword!r}")
+        row = self.paused.get(advertiser)
+        if row is not None:
+            row["maxbids"][col] = maxbid
+            row["bids"][col] = min(max(float(bid), 0.0), maxbid)
+            return
+        if not self.present[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not present")
         self.maxbids[advertiser, col] = maxbid
         self.bids[advertiser, col] = min(max(float(bid), 0.0), maxbid)
+
+    def pause_row(self, advertiser: int) -> None:
+        """Retire a row but retain its primary state for re-admission.
+
+        The budget lifecycle's exhaustion step: the advertiser leaves
+        every live structure through the same :meth:`retire_row` path
+        an ordinary leave uses, but its full pacing state — target,
+        spend, per-keyword bids/caps/values and ROI accounting — is
+        frozen in :attr:`paused` first.  While paused the row sees no
+        auctions (``auctions_seen`` does not advance) and its bids do
+        not move.
+        """
+        if not self.present[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not present")
+        row = {
+            "target": float(self.target[advertiser]),
+            "step": float(self.step[advertiser]),
+            "amt_spent": float(self.amt_spent[advertiser]),
+            "auctions_seen": int(self.auctions_seen[advertiser]),
+            "bids": self.bids[advertiser].copy(),
+            "maxbids": self.maxbids[advertiser].copy(),
+            "values": self.value_per_click[advertiser].copy(),
+            "gained": self.gained[advertiser].copy(),
+            "spent": self.spent[advertiser].copy(),
+        }
+        self.retire_row(advertiser)
+        self.paused[advertiser] = row
+
+    def resume_row(self, advertiser: int) -> None:
+        """Re-admit a paused row exactly where it stopped.
+
+        Inverse of :meth:`pause_row`: the retained capture is written
+        back bit-for-bit, so the advertiser rejoins with the bids,
+        spend, and ROI history it was frozen with (a budget top-up
+        re-admits, it does not reset — unlike a fresh join).
+        """
+        row = self.paused.pop(advertiser, None)
+        if row is None:
+            raise KeyError(f"advertiser {advertiser} is not paused")
+        self.present[advertiser] = True
+        self.target[advertiser] = row["target"]
+        self.step[advertiser] = row["step"]
+        self.amt_spent[advertiser] = row["amt_spent"]
+        self.auctions_seen[advertiser] = row["auctions_seen"]
+        self.has_kw[advertiser, :] = True
+        self.bids[advertiser, :] = row["bids"]
+        self.maxbids[advertiser, :] = row["maxbids"]
+        self.value_per_click[advertiser, :] = row["values"]
+        self.gained[advertiser, :] = row["gained"]
+        self.spent[advertiser, :] = row["spent"]
 
     def capture(self) -> dict:
         """Primary state of the live rows as flat arrays (copies).
@@ -298,10 +376,17 @@ class PacerArrays:
         The eager pipeline has no derived sorted structures, so the
         capture *is* the whole population state; :meth:`from_capture`
         re-materializes the mirror from it (the online service's
-        snapshot/restore and ``rebuild``-maintenance path).
+        snapshot/restore and ``rebuild``-maintenance path).  Paused
+        rows ride along as their retained per-row captures under
+        ``"paused"``.
         """
         ids = self.active_ids()
         return {
+            "paused": {advertiser: {key: (value.copy()
+                                          if isinstance(value, np.ndarray)
+                                          else value)
+                                    for key, value in row.items()}
+                       for advertiser, row in self.paused.items()},
             "kind": "eager",
             "num_advertisers": int(self.num_advertisers),
             "keywords": list(self.keywords),
@@ -334,6 +419,12 @@ class PacerArrays:
         arrays.value_per_click[ids] = capture["values"]
         arrays.gained[ids] = capture["gained"]
         arrays.spent[ids] = capture["spent"]
+        for advertiser, row in capture.get("paused", {}).items():
+            arrays.paused[int(advertiser)] = {
+                key: (np.asarray(value, dtype=float).copy()
+                      if isinstance(value, (list, np.ndarray))
+                      else value)
+                for key, value in row.items()}
         return arrays
 
 

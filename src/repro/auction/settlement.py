@@ -72,6 +72,17 @@ class AuctionSettler:
         self.accounts = accounts
         self.num_slots = num_slots
         self.rng = rng
+        self.charge_cap_fn: Callable[[int], float] | None = None
+        """Optional per-advertiser charge ceiling, consulted before a
+        quote is charged.  The online service's budget lifecycle
+        installs its ledger here (``cap = remaining balance``) so a
+        winner's final charge is clamped to what it can still pay —
+        the "partial final charge" half of the charge-then-pause
+        exhaustion policy.  The clamped amount is what flows
+        *everywhere*: provider revenue, the account book, the record's
+        prices, and the winner's own pacing-state notification.
+        ``None`` (the default, and every fixed-population engine)
+        charges quotes unclamped."""
 
     def settle(self, auction_id: int, query: Query,
                slot_of: Mapping[int, int], matching: MatchingResult,
@@ -130,6 +141,10 @@ class AuctionSettler:
                 charge += quote.per_click
             if purchased:
                 self.accounts.record_purchase(advertiser)
+            if charge > 0 and self.charge_cap_fn is not None:
+                cap = self.charge_cap_fn(advertiser)
+                if charge > cap:
+                    charge = cap if cap > 0 else 0.0
             if charge > 0:
                 self.accounts.charge(advertiser, charge)
                 realized += charge

@@ -16,9 +16,13 @@ Commands
     vs rebuild-per-event maintenance) consume the same churn stream.
 ``stream``
     Run the online serving layer: a deterministic event stream with
-    live advertiser churn through :class:`~repro.stream.service
-    .OnlineAuctionService`, in-process or sharded (``--workers``),
-    with optional snapshot/restore mid-stream.
+    live advertiser churn and budget-lifecycle enforcement through
+    :class:`~repro.stream.service.OnlineAuctionService`, in-process
+    or sharded (``--workers``), with optional snapshot/restore
+    mid-stream.  ``--record-events`` / ``--trace`` journal a run, and
+    ``--replay`` re-consumes a captured event log — the
+    replay-verified-accounting workflow (``tools/trace_diff.py``
+    diffs the traces; see ``docs/operations.md``).
 ``sql``
     Execute sqlmini statements from the command line or stdin — handy
     for exploring the bidding-program dialect.
@@ -98,7 +102,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.stream import OnlineAuctionService
+    from repro.auction.trace import write_trace
+    from repro.stream import EventLog, OnlineAuctionService
     from repro.workloads import (
         ChurnStreamConfig,
         PaperWorkload,
@@ -109,17 +114,31 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     config = PaperWorkloadConfig(
         num_advertisers=args.advertisers, num_slots=args.slots,
         num_keywords=args.keywords, seed=args.seed)
-    workload = PaperWorkload(config)
-    genesis = args.genesis if args.genesis is not None \
-        else max(args.advertisers // 2, 1)
-    stream = generate_stream(workload, ChurnStreamConfig(
-        num_events=args.events, churn_rate=args.churn_rate,
-        genesis=genesis, min_active=args.min_active,
-        seed=args.seed + 17))
+    if args.replay:
+        # Replay a captured event log instead of generating one: the
+        # replay-verified-accounting workflow (docs/operations.md).
+        # The stream is self-contained; the service knobs (method,
+        # workers, seeds) must match the recording for the traces to
+        # diff empty.
+        stream = EventLog.from_jsonl(args.replay)
+        print(f"replaying {len(stream)} events from {args.replay}")
+    else:
+        workload = PaperWorkload(config)
+        genesis = args.genesis if args.genesis is not None \
+            else max(args.advertisers // 2, 1)
+        stream = generate_stream(workload, ChurnStreamConfig(
+            num_events=args.events, churn_rate=args.churn_rate,
+            genesis=genesis, min_active=args.min_active,
+            budget_low=args.budget_low, budget_high=args.budget_high,
+            seed=args.seed + 17))
     counts = stream.counts_by_kind()
     print(f"stream: {len(stream)} events "
           + " ".join(f"{kind}={count}"
-                     for kind, count in sorted(counts.items())))
+                     for kind, count in sorted(counts.items())
+                     if count))
+    if args.record_events:
+        stream.to_jsonl(args.record_events)
+        print(f"event log written to {args.record_events}")
 
     with OnlineAuctionService(
             config, method=args.method, maintenance=args.maintenance,
@@ -128,6 +147,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             head = service.run(stream.prefix(args.snapshot_at))
             snapshot = service.snapshot()
             head_stats = service.stats
+            emitted = len(service.emitted)
             if args.snapshot_file:
                 snapshot.to_file(args.snapshot_file)
                 print(f"snapshot written to {args.snapshot_file} "
@@ -142,6 +162,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 stats = resumed.stats
                 stats.absorb(head_stats)
                 active = len(resumed.active_advertisers())
+                paused = len(resumed.paused_advertisers())
+                emitted += len(resumed.emitted)
             finally:
                 resumed.close()
             print("resumed from snapshot mid-stream")
@@ -150,11 +172,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             accounts = service.accounts
             stats = service.stats
             active = len(service.active_advertisers())
+            paused = len(service.paused_advertisers())
+            emitted = len(service.emitted)
 
     print(f"auctions: {len(records)}  "
           f"provider revenue: {accounts.provider_revenue:.2f} "
           f"over {accounts.total_clicks()} clicks  "
           f"active advertisers at end: {active}")
+    print(f"budget lifecycle: {emitted} pause/resume events emitted, "
+          f"{paused} advertisers paused at end")
     timing = stats.to_dict()
     for kind, cell in timing["by_kind"].items():
         print(f"  {kind:>6s}: {cell['count']:5d} events  "
@@ -162,6 +188,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     mode = (f"{args.workers} workers" if args.workers
             else "in-process")
     print(f"maintenance={args.maintenance} ({mode})")
+    if args.trace:
+        count = write_trace(args.trace, records)
+        print(f"wrote {count} records to {args.trace}")
     return 0
 
 
@@ -370,11 +399,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard the service over this many worker "
                              "processes (0 = in-process)")
     stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--budget-low", type=float, default=50.0,
+                        help="lower bound of generated join budgets "
+                             "(low budgets exercise exhaustion "
+                             "pausing; 0 0 disables tracking)")
+    stream.add_argument("--budget-high", type=float, default=500.0,
+                        help="upper bound of generated join budgets")
     stream.add_argument("--snapshot-at", type=int, default=0,
                         help="snapshot after this many events, then "
                              "restore and finish the stream")
     stream.add_argument("--snapshot-file", default=None,
                         help="also write the snapshot JSON here")
+    stream.add_argument("--replay", default=None, metavar="FILE",
+                        help="consume a captured JSONL event log "
+                             "instead of generating a stream (the "
+                             "replay-verification workflow; service "
+                             "knobs must match the recording)")
+    stream.add_argument("--record-events", default=None,
+                        metavar="FILE",
+                        help="write the consumed event stream as "
+                             "JSONL (replayable via --replay)")
+    stream.add_argument("--trace", default=None, metavar="FILE",
+                        help="write the auction records as a JSONL "
+                             "trace (diffable via "
+                             "tools/trace_diff.py)")
     stream.set_defaults(func=_cmd_stream)
 
     validate = commands.add_parser(

@@ -235,14 +235,31 @@ class RhtaluEvaluator:
         self.slot_index.insert(advertiser)
 
     def apply_leave(self, advertiser: int) -> None:
-        """Retire an advertiser from the pacer state and the index."""
+        """Retire an advertiser from the pacer state and the index.
+
+        A budget-paused advertiser left the index when it was paused;
+        its departure only discards the retained pacer capture.
+        """
+        paused = advertiser in self.state.paused
         self.state.leave(advertiser)
-        self.slot_index.remove(advertiser)
+        if not paused:
+            self.slot_index.remove(advertiser)
 
     def apply_update(self, advertiser: int, keyword: str, bid: float,
                      maxbid: float) -> None:
         """Edit one keyword bid (the click index is bid-independent)."""
         self.state.update_bid(advertiser, keyword, bid, maxbid)
+
+    def apply_pause(self, advertiser: int) -> None:
+        """Budget exhaustion: retire from pacer state + index, but
+        retain the pacer row's frozen capture for re-admission."""
+        self.state.pause(advertiser)
+        self.slot_index.remove(advertiser)
+
+    def apply_resume(self, advertiser: int) -> None:
+        """Budget top-up past zero: re-admit a paused advertiser."""
+        self.state.resume(advertiser)
+        self.slot_index.insert(advertiser)
 
     def rebuilt(self) -> "RhtaluEvaluator":
         """A from-scratch evaluator over the current primary state.

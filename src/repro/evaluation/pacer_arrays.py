@@ -114,6 +114,14 @@ class LazyPacerArrays:
         per-auction protocol touches is membership-driven, so inactive
         rows cost nothing; the online serving layer flips this mask
         under advertiser churn (:meth:`join`, :meth:`leave`)."""
+        self.paused: dict[int, dict] = {}
+        """Frozen row captures of budget-paused advertisers, keyed by
+        id.  A paused row is out of every delta list and trigger bank
+        (it cannot surface in a TA walk), but its primary state —
+        target, spend, mode, per-keyword *effective* bids and caps —
+        is retained here so :meth:`resume` re-places it.  Maintained by
+        the online serving layer's budget lifecycle
+        (:mod:`repro.stream`)."""
         self.physical_moves = 0  # list insert/removes, for the ablation
         # Per-auction scratch (aliased by KeywordBidSource views).
         self._eff = np.empty(n)
@@ -238,6 +246,9 @@ class LazyPacerArrays:
                            f"0..{self.num_advertisers - 1}")
         if self.active[advertiser]:
             raise KeyError(f"advertiser {advertiser} already active")
+        if advertiser in self.paused:
+            raise KeyError(f"advertiser {advertiser} is paused; "
+                           f"resume re-admits it")
         if target <= 0:
             raise ValueError(f"target spend rate must be > 0, got {target}")
         bids = np.asarray(bids, dtype=float)
@@ -258,7 +269,14 @@ class LazyPacerArrays:
             self._place_batch(who, col, bids[col:col + 1])
 
     def leave(self, advertiser: int) -> None:
-        """Retire an advertiser: delta-list removal, trigger cancels."""
+        """Retire an advertiser: delta-list removal, trigger cancels.
+
+        A budget-paused advertiser can leave too: its retained capture
+        is discarded (it holds no live memberships to remove).
+        """
+        if advertiser in self.paused:
+            del self.paused[advertiser]
+            return
         if not self.active[advertiser]:
             raise KeyError(f"advertiser {advertiser} is not active")
         mask = self._member_mask
@@ -274,11 +292,22 @@ class LazyPacerArrays:
 
     def update_bid(self, advertiser: int, keyword: str, bid: float,
                    maxbid: float) -> None:
-        """Re-place one keyword bid at an edited value and cap."""
-        if not self.active[advertiser]:
-            raise KeyError(f"advertiser {advertiser} is not active")
+        """Re-place one keyword bid at an edited value and cap.
+
+        Paused advertisers accept edits too — the change lands in the
+        retained capture's frozen effective bid and takes effect on
+        :meth:`resume`.
+        """
         if maxbid < 0:
             raise ValueError(f"maxbid must be >= 0, got {maxbid}")
+        row = self.paused.get(advertiser)
+        if row is not None:
+            col = self._column(keyword)
+            row["maxbid"][col] = maxbid
+            row["effective"][col] = min(max(float(bid), 0.0), maxbid)
+            return
+        if not self.active[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not active")
         col = self._column(keyword)
         mask = self._member_mask
         mask[advertiser] = True
@@ -290,6 +319,65 @@ class LazyPacerArrays:
         self.maxbid[advertiser, col] = maxbid
         self.physical_moves += 1
         self._place_batch(who, col, np.array([float(bid)]))
+
+    def pause(self, advertiser: int) -> None:
+        """Retire an advertiser but retain primary state for re-entry.
+
+        The budget lifecycle's exhaustion step.  The row's per-keyword
+        *effective* bids (``stored + adjustment``) are frozen at this
+        instant, then the advertiser leaves every derived structure
+        through the exact :meth:`leave` path — delta-list removals,
+        count/time trigger cancels.  While paused the bids do not move
+        with the lists' adjustments (the advertiser is not pacing) and
+        no trigger can fire for it.
+        """
+        if not self.active[advertiser]:
+            raise KeyError(f"advertiser {advertiser} is not active")
+        width = len(self.keywords)
+        cls_row = self.cls[advertiser]
+        effective = self.stored[advertiser].copy()
+        for col in range(width):
+            effective[col] += self._adjustment(col, cls_row[col])
+        row = {
+            "target": float(self.target[advertiser]),
+            "amt_spent": float(self.amt_spent[advertiser]),
+            "mode": int(self.mode[advertiser]),
+            "effective": effective,
+            "maxbid": self.maxbid[advertiser].copy(),
+        }
+        self.leave(advertiser)
+        self.paused[advertiser] = row
+
+    def resume(self, advertiser: int) -> None:
+        """Re-admit a paused advertiser at its frozen effective bids.
+
+        Inverse of :meth:`pause`, by *re-placement* rather than raw
+        copy-back: target, spend, and mode are restored verbatim, the
+        frozen effective bids are placed into each keyword's delta
+        lists by the same rules a join uses (scheduling fresh
+        bound-saturation count triggers against the keyword counters
+        *as they stand now*), and an overspender's decay-crossing time
+        trigger is rescheduled from its unchanged ``spent / target``
+        instant — so a long pause can legitimately resume straight
+        into a mode flip on the next auction.
+        """
+        row = self.paused.pop(advertiser, None)
+        if row is None:
+            raise KeyError(f"advertiser {advertiser} is not paused")
+        self.active[advertiser] = True
+        self.target[advertiser] = row["target"]
+        self.amt_spent[advertiser] = row["amt_spent"]
+        self.mode[advertiser] = row["mode"]
+        self.maxbid[advertiser, :] = row["maxbid"]
+        if row["mode"] == DEC:
+            self.time_deadlines.schedule(
+                advertiser, row["amt_spent"] / row["target"])
+        else:
+            self.time_deadlines.cancel(advertiser)
+        who = np.array([advertiser])
+        effective = np.asarray(row["effective"], dtype=float)
+        for col in range(len(self.keywords)):
+            self._place_batch(who, col, effective[col:col + 1])
 
     # -- capture / rebuild ---------------------------------------------------
 
@@ -303,10 +391,17 @@ class LazyPacerArrays:
         delta lists' orders, the walk scratch).  :meth:`from_capture`
         re-derives those from scratch, which is both the snapshot/
         restore path of the online service and its ``rebuild``
-        maintenance strategy's per-event cost.
+        maintenance strategy's per-event cost.  Budget-paused rows ride
+        along under ``"paused"`` as their frozen per-row captures (pure
+        data, copied verbatim both ways).
         """
         ids = self.active_ids()
         return {
+            "paused": {advertiser: {key: (value.copy()
+                                          if isinstance(value, np.ndarray)
+                                          else value)
+                                    for key, value in row.items()}
+                       for advertiser, row in self.paused.items()},
             "kind": "rhtalu",
             "num_advertisers": int(self.num_advertisers),
             "keywords": list(self.keywords),
@@ -366,6 +461,12 @@ class LazyPacerArrays:
                 order = np.lexsort((member_ids, member_stored))
                 lists[which].ids = member_ids[order]
                 lists[which].stored = member_stored[order]
+        for advertiser, row in capture.get("paused", {}).items():
+            state.paused[int(advertiser)] = {
+                key: (np.asarray(value, dtype=float).copy()
+                      if isinstance(value, (list, np.ndarray))
+                      else value)
+                for key, value in row.items()}
         return state
 
     # -- accessors -----------------------------------------------------------

@@ -590,12 +590,16 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
         self._restore_shards = (list(restore_shards)
                                 if restore_shards is not None else None)
         self._active = np.zeros(self.num_advertisers, dtype=bool)
+        self._paused: set[int] = set()
         if self._restore_shards is not None:
             for (lo, hi), capture in zip(self.plan.spans(),
                                          self._restore_shards):
                 if capture:
                     self._active[np.asarray(capture["ids"],
                                             dtype=np.int64) + lo] = True
+                    self._paused.update(
+                        int(advertiser) + lo for advertiser
+                        in capture.get("paused", {}))
         self._queued_keyword: str | None = None
 
     # -- spawn recipe ------------------------------------------------------
@@ -655,7 +659,8 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                 f"advertiser {advertiser} outside universe "
                 f"0..{self.num_advertisers - 1}")
         if notice.kind == "join":
-            if self._active[advertiser]:
+            if self._active[advertiser] \
+                    or advertiser in self._paused:
                 raise KeyError(
                     f"advertiser {advertiser} already active")
             if notice.target <= 0:
@@ -671,7 +676,11 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                         f"length {width}")
             self._active[advertiser] = True
         elif notice.kind in ("leave", "update"):
-            if not self._active[advertiser]:
+            # Budget-paused advertisers are still members: they may
+            # leave (discarding the retained capture) and their bid
+            # programs may be edited (landing in the capture).
+            if not self._active[advertiser] \
+                    and advertiser not in self._paused:
                 raise KeyError(
                     f"advertiser {advertiser} is not active")
             if notice.kind == "update":
@@ -683,6 +692,19 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                         f"maxbid must be >= 0, got {notice.maxbid}")
             else:
                 self._active[advertiser] = False
+                self._paused.discard(advertiser)
+        elif notice.kind == "pause":
+            if not self._active[advertiser]:
+                raise KeyError(
+                    f"advertiser {advertiser} is not active")
+            self._active[advertiser] = False
+            self._paused.add(advertiser)
+        elif notice.kind == "resume":
+            if advertiser not in self._paused:
+                raise KeyError(
+                    f"advertiser {advertiser} is not paused")
+            self._paused.discard(advertiser)
+            self._active[advertiser] = True
         else:
             raise ValueError(f"unknown control kind {notice.kind!r}")
         shard = self.plan.owner_of(advertiser)

@@ -48,10 +48,12 @@ class ControlNotice:
     kind-dependent: joins carry the full per-keyword bid program
     (``bids`` / ``maxbids`` / ``values`` aligned with the workload's
     keyword order, plus ``target``), updates carry one keyword's edited
-    ``bid`` / ``maxbid``; leaves carry nothing.
+    ``bid`` / ``maxbid``; leaves, pauses, and resumes carry nothing
+    (the budget lifecycle's pause/resume state lives in the shard's
+    pacer arrays — the notice only names the advertiser).
     """
 
-    kind: str  # "join" | "leave" | "update"
+    kind: str  # "join" | "leave" | "update" | "pause" | "resume"
     advertiser: int  # global id
     target: float = 0.0
     bids: np.ndarray | None = None

@@ -103,9 +103,14 @@ class WorkerInit:
 
 def _shift_capture_ids(capture: dict, delta: int) -> dict:
     """A capture with advertiser ids shifted by ``delta`` (global ↔
-    local translation at the shard boundary)."""
+    local translation at the shard boundary) — the budget-paused row
+    captures are keyed by id, so their keys shift too."""
     shifted = dict(capture)
     shifted["ids"] = np.asarray(capture["ids"], dtype=np.int64) + delta
+    if "paused" in capture:
+        shifted["paused"] = {int(advertiser) + delta: row
+                             for advertiser, row
+                             in capture["paused"].items()}
     return shifted
 
 
@@ -138,6 +143,10 @@ class _EagerChurnMixin:
         elif notice.kind == "update":
             arrays.update_bid(local, notice.keyword, notice.bid,
                               notice.maxbid)
+        elif notice.kind == "pause":
+            arrays.pause_row(local)
+        elif notice.kind == "resume":
+            arrays.resume_row(local)
         else:
             raise ValueError(f"unknown control kind {notice.kind!r}")
         if self.maintenance == "rebuild":
@@ -267,6 +276,10 @@ class RhtaluShard:
         elif notice.kind == "update":
             self.evaluator.apply_update(local, notice.keyword,
                                         notice.bid, notice.maxbid)
+        elif notice.kind == "pause":
+            self.evaluator.apply_pause(local)
+        elif notice.kind == "resume":
+            self.evaluator.apply_resume(local)
         else:
             raise ValueError(f"unknown control kind {notice.kind!r}")
         if self.maintenance == "rebuild":

@@ -1,0 +1,223 @@
+"""The budget lifecycle's ledger: balances that gate participation.
+
+Budget-limited advertisers are the heart of the paper — pacing exists
+precisely because spend must stop when the ledger runs dry.  The
+online service (:mod:`repro.stream.service`) tracks that ledger here
+and enforces three rules:
+
+* **charges clamp** — a winner's final charge is capped at its
+  remaining balance (:meth:`BudgetRegistry.charge_cap`, installed on
+  the :class:`~repro.auction.settlement.AuctionSettler`), so a
+  balance can reach zero but never go below it;
+* **exhaustion pauses** — the charge that drives a balance to zero
+  makes the service emit an :class:`~repro.stream.events
+  .AdvertiserPaused` control event, removing the advertiser from all
+  derived evaluation structures while its primary capture is retained;
+* **top-ups re-admit** — a :class:`~repro.stream.events.BudgetTopUp`
+  that lifts a paused balance above zero emits
+  :class:`~repro.stream.events.AdvertiserResumed` and re-places the
+  retained state.
+
+Advertisers that join with a non-positive budget (the event default)
+are **untracked**: their balance is the :data:`UNLIMITED` sentinel
+(``math.inf``), charges never clamp, and they are never paused — the
+pre-lifecycle behaviour, kept so budget enforcement is strictly
+opt-in per advertiser.  A top-up of an untracked advertiser leaves it
+untracked (``inf + x == inf``); budgets become real at join time.
+
+The registry is pure data (floats, bools, ints) and serializes into
+the service snapshot; see ``docs/operations.md`` for the operational
+story and the replay workflow that audits it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+UNLIMITED = math.inf
+"""Sentinel balance of an untracked advertiser (never clamped or
+paused).  ``inf`` keeps every ledger operation branch-free: debits and
+credits leave it unchanged, and any charge cap comparison passes."""
+
+
+@dataclass
+class BudgetEntry:
+    """One live advertiser's registry row (pure data)."""
+
+    target: float
+    """The ROI pacer's target spend rate (carried for introspection
+    and snapshots; the evaluation state holds the live copy)."""
+    budget: float
+    """Remaining balance; :data:`UNLIMITED` for untracked advertisers.
+    Invariant: never negative (charges clamp before they debit)."""
+    joined_at: int
+    """Index of the join in the service's event stream."""
+    paused: bool = False
+    """Whether the service has paused this advertiser (balance at
+    zero, primary capture retained by the evaluation state)."""
+
+    @property
+    def tracked(self) -> bool:
+        return self.budget != UNLIMITED
+
+
+class BudgetRegistry:
+    """Per-advertiser budget ledger with pause bookkeeping.
+
+    The service debits it from settled auction prices, credits it from
+    top-ups, and asks it which advertisers just crossed zero.  All
+    mutation is driven by the service event loop, so incremental and
+    rebuild maintenance see byte-identical ledgers by construction.
+    """
+
+    def __init__(self) -> None:
+        self.entries: dict[int, BudgetEntry] = {}
+
+    # -- membership ---------------------------------------------------------
+
+    def __contains__(self, advertiser: int) -> bool:
+        return advertiser in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def admit(self, advertiser: int, target: float, budget: float,
+              joined_at: int) -> None:
+        """Register a joining advertiser.  ``budget <= 0`` (the event
+        default) means untracked — see :data:`UNLIMITED`."""
+        if advertiser in self.entries:
+            raise KeyError(f"advertiser {advertiser} already active")
+        balance = float(budget) if budget > 0 else UNLIMITED
+        self.entries[advertiser] = BudgetEntry(
+            target=float(target), budget=balance, joined_at=joined_at)
+
+    def retire(self, advertiser: int) -> None:
+        del self.entries[advertiser]
+
+    def entry(self, advertiser: int) -> BudgetEntry:
+        entry = self.entries.get(advertiser)
+        if entry is None:
+            raise KeyError(f"advertiser {advertiser} is not active")
+        return entry
+
+    # -- the ledger ---------------------------------------------------------
+
+    def charge_cap(self, advertiser: int) -> float:
+        """The most a settlement may charge this advertiser right now.
+
+        Installed as the settler's ``charge_cap_fn``.  Unknown ids get
+        ``inf`` (the registry only caps advertisers it admitted — the
+        fixed-population engines never consult it at all).
+        """
+        entry = self.entries.get(advertiser)
+        if entry is None:
+            return UNLIMITED
+        return entry.budget
+
+    def settle_charges(self, prices: dict[int, float]) -> list[int]:
+        """Debit one auction's settled prices; return who exhausted.
+
+        ``prices`` are the (already clamped) charges off an
+        :class:`~repro.auction.events.AuctionRecord`.  Because the
+        settler clamps against :meth:`charge_cap`, a debit lands on
+        exactly zero when the advertiser pays out its last balance —
+        the returned ids (ascending, for deterministic pause order)
+        are the tracked, not-yet-paused advertisers whose balance the
+        debit drove to zero.
+        """
+        exhausted = []
+        for advertiser in sorted(prices):
+            entry = self.entries.get(advertiser)
+            if entry is None:
+                continue
+            entry.budget -= prices[advertiser]
+            if entry.tracked and not entry.paused \
+                    and entry.budget <= 0.0:
+                entry.budget = 0.0
+                exhausted.append(advertiser)
+        return exhausted
+
+    def credit(self, advertiser: int, amount: float) -> float:
+        """Apply a top-up (either sign); return the new balance.
+
+        Untracked advertisers stay untracked.  A negative amount (a
+        clawback) clamps the balance at zero, exactly like a charge.
+        """
+        entry = self.entry(advertiser)
+        entry.budget += float(amount)
+        if entry.tracked and entry.budget < 0.0:
+            entry.budget = 0.0
+        return entry.budget
+
+    def balance(self, advertiser: int) -> float:
+        return self.entry(advertiser).budget
+
+    # -- pause bookkeeping --------------------------------------------------
+
+    def is_paused(self, advertiser: int) -> bool:
+        return self.entry(advertiser).paused
+
+    def mark_paused(self, advertiser: int) -> None:
+        self.entry(advertiser).paused = True
+
+    def mark_resumed(self, advertiser: int) -> None:
+        self.entry(advertiser).paused = False
+
+    def active_ids(self) -> list[int]:
+        """Ascending ids of registered advertisers (paused included —
+        paused advertisers are still members, just not participants)."""
+        return sorted(self.entries)
+
+    def paused_ids(self) -> list[int]:
+        return sorted(advertiser for advertiser, entry
+                      in self.entries.items() if entry.paused)
+
+    def balances(self) -> dict[int, float]:
+        """Snapshot of every tracked balance (untracked excluded)."""
+        return {advertiser: entry.budget for advertiser, entry
+                in sorted(self.entries.items()) if entry.tracked}
+
+    # -- snapshot serialization ---------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Registry as a JSON-ready dict (``null`` = untracked)."""
+        return {
+            str(advertiser): {
+                "target": entry.target,
+                "budget": (None if not entry.tracked
+                           else entry.budget),
+                "joined_at": entry.joined_at,
+                "paused": entry.paused,
+            }
+            for advertiser, entry in sorted(self.entries.items())
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "BudgetRegistry":
+        """Inverse of :meth:`to_jsonable`.
+
+        Also reads format-1 snapshots (pre-lifecycle, recognizable per
+        entry by the missing ``paused`` flag).  *Every* format-1
+        budget restores as untracked — in the run that produced the
+        snapshot budgets never gated participation, so enforcing them
+        after restore would break the snapshot round-trip invariant
+        (restore + replay must reproduce the uninterrupted run's
+        records bit for bit).
+        """
+        registry = cls()
+        for key, fields in payload.items():
+            if "paused" in fields:
+                budget = fields["budget"]
+                balance = (UNLIMITED if budget is None
+                           else float(budget))
+                paused = bool(fields["paused"])
+            else:  # format-1 entry: the ledger was never enforced
+                balance = UNLIMITED
+                paused = False
+            registry.entries[int(key)] = BudgetEntry(
+                target=float(fields["target"]),
+                budget=balance,
+                joined_at=int(fields["joined_at"]),
+                paused=paused)
+        return registry

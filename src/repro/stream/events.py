@@ -13,7 +13,15 @@ stream's vocabulary:
   bids, caps, click values, spend-rate target) so the stream is
   self-contained — even the genesis population enters through joins;
 * :class:`BidProgramUpdate` — edit one keyword's bid and cap in place;
-* :class:`BudgetTopUp` — credit an advertiser's budget ledger.
+* :class:`BudgetTopUp` — credit an advertiser's budget ledger (and
+  re-admit it, if the credit lifts a paused balance above zero).
+
+Two further kinds are **service-originated**: the event loop emits
+:class:`AdvertiserPaused` when a charge exhausts a tracked budget and
+:class:`AdvertiserResumed` when a top-up re-admits the advertiser.
+They appear on the service's ``emitted`` journal (and in serialized
+logs of it), never on the input stream — replaying the input
+re-derives them deterministically.
 
 :class:`EventLog` is the materialized form: an ordered, sliceable,
 JSONL-serializable sequence.  Any iterable of events (a generator, a
@@ -76,17 +84,64 @@ class BidProgramUpdate:
 class BudgetTopUp:
     """Credit an advertiser's budget ledger by ``amount``.
 
-    Budgets are tracked by the service registry (charges debit them);
-    evicting exhausted budgets is a roadmap follow-on, so a top-up
-    never changes auction outcomes today.
+    Budgets gate participation (:mod:`repro.stream.budget`): charges
+    debit the ledger, exhaustion pauses the advertiser, and the top-up
+    that lifts a paused balance above zero re-admits it — the service
+    answers with an :class:`AdvertiserResumed` control event.
+    Advertisers that joined with a non-positive budget are untracked
+    and stay untracked through top-ups.
     """
 
     advertiser: int
     amount: float
 
 
+@dataclass(frozen=True)
+class AdvertiserPaused:
+    """Service-originated: a charge exhausted the advertiser's budget.
+
+    Emitted by :class:`~repro.stream.service.OnlineAuctionService`
+    when settlement drives a tracked balance to zero (the final charge
+    clamps to the remaining balance, so the ledger never goes
+    negative).  The advertiser leaves every derived evaluation
+    structure but its primary pacing capture is retained for
+    re-admission on :class:`BudgetTopUp`.  ``auction_id`` names the
+    auction whose settlement exhausted the ledger.
+
+    Pause events are *outputs* of the event loop, never inputs — a
+    replayed input stream re-derives them deterministically — so the
+    service rejects them on its input side but journals them on the
+    :class:`~repro.stream.service.OnlineAuctionService` ``emitted``
+    log.
+    """
+
+    advertiser: int
+    auction_id: int = 0
+
+
+@dataclass(frozen=True)
+class AdvertiserResumed:
+    """Service-originated: a top-up re-admitted a paused advertiser.
+
+    The counterpart of :class:`AdvertiserPaused`, emitted when a
+    :class:`BudgetTopUp` lifts a paused balance above zero.
+    ``auction_id`` is the id of the last auction run before the
+    re-admission (the advertiser participates again from the next
+    query on).
+    """
+
+    advertiser: int
+    auction_id: int = 0
+
+
 Event = Union[QueryArrival, AdvertiserJoin, AdvertiserLeave,
-              BidProgramUpdate, BudgetTopUp]
+              BidProgramUpdate, BudgetTopUp, AdvertiserPaused,
+              AdvertiserResumed]
+
+SERVICE_ORIGINATED = (AdvertiserPaused, AdvertiserResumed)
+"""Event types the service emits but refuses to consume: they are
+derived deterministically from the input stream, so feeding them back
+in would double-apply them."""
 
 StreamSource = Iterable[Event]
 """Anything that yields events in order — an :class:`EventLog`, a
@@ -98,6 +153,8 @@ _EVENT_TYPES: dict[str, type] = {
     "leave": AdvertiserLeave,
     "update": BidProgramUpdate,
     "topup": BudgetTopUp,
+    "paused": AdvertiserPaused,
+    "resumed": AdvertiserResumed,
 }
 _KIND_OF = {cls: kind for kind, cls in _EVENT_TYPES.items()}
 

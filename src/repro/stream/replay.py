@@ -1,0 +1,195 @@
+"""Replay-verified accounting: diff two auction traces, per advertiser.
+
+The audit loop ``docs/operations.md`` documents: a production stream
+is captured once (``repro stream --record-events``), its auction
+records journaled (``--trace``), and any candidate build is later held
+to the original by replaying the captured events (``repro stream
+--replay``) and diffing the two trace files — an empty report is the
+acceptance bar, and a non-empty one says *which advertiser's
+accounting drifted and by how much*, not merely that something
+differed.
+
+Two layers:
+
+* :func:`diff_traces` / :func:`diff_trace_files` compare record
+  streams on their **deterministic outcome fields** — keyword,
+  allocation, clicks, purchases, prices, expected and realized
+  revenue.  Timing fields (``eval_seconds`` ...) always differ between
+  runs and are ignored; work accounting (``num_candidates``,
+  ``wd_stats``) is execution-shape dependent (sharded scans stop
+  walks locally) and is ignored too, so a trace recorded in-process
+  can be verified against a sharded replay.
+* :class:`TraceDiff` aggregates the comparison: the first diverging
+  record (index, auction id, field, both values), the mismatch count,
+  and per-advertiser accounting drift — total charged, auctions won,
+  clicks — between the two streams.
+
+``tools/trace_diff.py`` is the command-line wrapper; the module is
+importable so tests and CI gates can assert ``diff.identical``
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.auction.events import AuctionRecord
+from repro.auction.trace import read_trace
+
+COMPARED_FIELDS = ("keyword", "slot_of", "clicked", "purchased",
+                   "prices", "expected_revenue", "realized_revenue")
+"""Record fields a replay must reproduce exactly (everything
+deterministic under a fixed seed; timings and execution-shape work
+accounting are excluded)."""
+
+
+def _comparable(record: AuctionRecord) -> dict:
+    return {
+        "keyword": record.keyword,
+        "slot_of": dict(record.allocation.slot_of),
+        "clicked": set(record.outcome.clicked),
+        "purchased": set(record.outcome.purchased),
+        "prices": dict(record.prices),
+        "expected_revenue": record.expected_revenue,
+        "realized_revenue": record.realized_revenue,
+    }
+
+
+@dataclass
+class AdvertiserTotals:
+    """One advertiser's accounting aggregate over a trace."""
+
+    charged: float = 0.0
+    wins: int = 0
+    clicks: int = 0
+
+    def as_tuple(self) -> tuple[float, int, int]:
+        return (self.charged, self.wins, self.clicks)
+
+
+def _aggregate(records: Iterable[AuctionRecord]
+               ) -> dict[int, AdvertiserTotals]:
+    totals: dict[int, AdvertiserTotals] = {}
+    for record in records:
+        for advertiser, charge in record.prices.items():
+            cell = totals.setdefault(advertiser, AdvertiserTotals())
+            cell.charged += charge
+            cell.wins += 1
+        for advertiser in record.outcome.clicked:
+            totals.setdefault(advertiser,
+                              AdvertiserTotals()).clicks += 1
+    return totals
+
+
+@dataclass
+class TraceDiff:
+    """The comparison of a baseline trace against a candidate trace."""
+
+    baseline_records: int
+    candidate_records: int
+    record_mismatches: int = 0
+    first_divergence: dict | None = None
+    """``{"index", "auction_id", "field", "baseline", "candidate"}``
+    of the earliest diverging record, or ``None``."""
+    advertiser_drift: dict[int, dict] = field(default_factory=dict)
+    """Per advertiser whose totals differ: ``{"field": {"baseline":
+    x, "candidate": y}}`` for charged/wins/clicks."""
+
+    @property
+    def identical(self) -> bool:
+        return (self.baseline_records == self.candidate_records
+                and self.record_mismatches == 0
+                and not self.advertiser_drift)
+
+    def to_dict(self) -> dict:
+        return {
+            "identical": self.identical,
+            "baseline_records": self.baseline_records,
+            "candidate_records": self.candidate_records,
+            "record_mismatches": self.record_mismatches,
+            "first_divergence": self.first_divergence,
+            "advertiser_drift": {
+                str(advertiser): drift for advertiser, drift
+                in sorted(self.advertiser_drift.items())},
+        }
+
+    def format_report(self) -> str:
+        """A human-readable verdict (empty drift = one OK line)."""
+        if self.identical:
+            return (f"traces identical: {self.baseline_records} "
+                    f"records, no accounting drift")
+        lines = [f"traces DIFFER: {self.record_mismatches} of "
+                 f"{self.baseline_records}/{self.candidate_records} "
+                 f"records mismatch"]
+        if self.first_divergence is not None:
+            first = self.first_divergence
+            lines.append(
+                f"  first divergence at record {first['index']} "
+                f"(auction {first['auction_id']}), field "
+                f"{first['field']!r}:")
+            lines.append(f"    baseline:  {first['baseline']!r}")
+            lines.append(f"    candidate: {first['candidate']!r}")
+        for advertiser, drift in sorted(
+                self.advertiser_drift.items()):
+            parts = ", ".join(
+                f"{name} {cell['baseline']:g} -> "
+                f"{cell['candidate']:g}"
+                for name, cell in drift.items())
+            lines.append(f"  advertiser {advertiser}: {parts}")
+        return "\n".join(lines)
+
+
+def diff_traces(baseline: Iterable[AuctionRecord],
+                candidate: Iterable[AuctionRecord]) -> TraceDiff:
+    """Compare two record streams; see the module docstring."""
+    baseline = list(baseline)
+    candidate = list(candidate)
+    diff = TraceDiff(baseline_records=len(baseline),
+                     candidate_records=len(candidate))
+    for index, (ours, theirs) in enumerate(zip(baseline, candidate)):
+        left = _comparable(ours)
+        right = _comparable(theirs)
+        if left == right:
+            continue
+        diff.record_mismatches += 1
+        if diff.first_divergence is None:
+            for name in COMPARED_FIELDS:
+                if left[name] != right[name]:
+                    diff.first_divergence = {
+                        "index": index,
+                        "auction_id": ours.auction_id,
+                        "field": name,
+                        "baseline": _jsonable(left[name]),
+                        "candidate": _jsonable(right[name]),
+                    }
+                    break
+    base_totals = _aggregate(baseline)
+    cand_totals = _aggregate(candidate)
+    for advertiser in sorted(set(base_totals) | set(cand_totals)):
+        ours = base_totals.get(advertiser, AdvertiserTotals())
+        theirs = cand_totals.get(advertiser, AdvertiserTotals())
+        if ours.as_tuple() == theirs.as_tuple():
+            continue
+        drift = {}
+        for name in ("charged", "wins", "clicks"):
+            left_value = getattr(ours, name)
+            right_value = getattr(theirs, name)
+            if left_value != right_value:
+                drift[name] = {"baseline": left_value,
+                               "candidate": right_value}
+        diff.advertiser_drift[advertiser] = drift
+    return diff
+
+
+def _jsonable(value):
+    if isinstance(value, set):
+        return sorted(value)
+    return value
+
+
+def diff_trace_files(baseline: str | Path,
+                     candidate: str | Path) -> TraceDiff:
+    """Diff two JSONL trace files (:mod:`repro.auction.trace`)."""
+    return diff_traces(read_trace(baseline), read_trace(candidate))

@@ -31,6 +31,19 @@ one rule: **winner determination only ever sees the surviving
 population** (departed rows are excluded from the candidate space, not
 merely zeroed — zero-weight edges can enter a maximum matching).
 
+Budgets gate participation (:mod:`repro.stream.budget`): the settler
+clamps every winner's final charge to its remaining balance, the
+charge that zeroes a tracked ledger pauses the advertiser — a
+service-originated :class:`~repro.stream.events.AdvertiserPaused`
+applied through the same maintenance path ordinary churn uses, with
+the pacer row's primary capture retained — and the
+:class:`~repro.stream.events.BudgetTopUp` that lifts the balance back
+above zero re-admits it
+(:class:`~repro.stream.events.AdvertiserResumed`).  The lifecycle is
+deterministic: identical emissions across maintenance strategies and
+worker counts (``tests/stream/test_budget.py``); the operational
+contract is documented in ``docs/operations.md``.
+
 :meth:`snapshot` / :meth:`OnlineAuctionService.restore` checkpoint a
 service mid-stream and resume it deterministically — see
 :mod:`repro.stream.snapshot`.
@@ -58,12 +71,17 @@ from repro.evaluation.pacer_arrays import LazyPacerArrays
 from repro.runtime.executor import StreamShardedRuntime
 from repro.runtime.messages import ControlNotice
 from repro.runtime.sharding import ShardPlan
+from repro.stream.budget import BudgetRegistry
 from repro.stream.events import (
+    SERVICE_ORIGINATED,
     AdvertiserJoin,
     AdvertiserLeave,
+    AdvertiserPaused,
+    AdvertiserResumed,
     BidProgramUpdate,
     BudgetTopUp,
     Event,
+    EventLog,
     QueryArrival,
     event_kind,
 )
@@ -161,6 +179,12 @@ class _EagerBackend:
         self.arrays.update_bid(event.advertiser, event.keyword,
                                event.bid, event.maxbid)
 
+    def apply_pause(self, advertiser: int) -> None:
+        self.arrays.pause_row(advertiser)
+
+    def apply_resume(self, advertiser: int) -> None:
+        self.arrays.resume_row(advertiser)
+
     def rebuild(self) -> None:
         self.arrays = PacerArrays.from_capture(self.arrays.capture())
 
@@ -240,6 +264,16 @@ class _RhtaluBackend:
                                         event.keyword, event.bid,
                                         event.maxbid)
 
+    def apply_pause(self, advertiser: int) -> None:
+        self.engine.rhtalu.apply_pause(advertiser)
+
+    def apply_resume(self, advertiser: int) -> None:
+        self.engine.rhtalu.apply_resume(advertiser)
+
+    @property
+    def settler(self):
+        return self.engine.settler
+
     def rebuild(self) -> None:
         self.engine.rhtalu = self.engine.rhtalu.rebuilt()
 
@@ -312,6 +346,18 @@ class _ShardedBackend:
             keyword=event.keyword, bid=event.bid,
             maxbid=event.maxbid))
 
+    def apply_pause(self, advertiser: int) -> None:
+        self.runtime.apply_control(ControlNotice(
+            kind="pause", advertiser=advertiser))
+
+    def apply_resume(self, advertiser: int) -> None:
+        self.runtime.apply_control(ControlNotice(
+            kind="resume", advertiser=advertiser))
+
+    @property
+    def settler(self):
+        return self.runtime.settler
+
     def rebuild(self) -> None:
         pass  # per-shard, driven by the maintenance flag at spawn
 
@@ -372,9 +418,16 @@ class OnlineAuctionService:
         self.workers = workers
         self.engine_seed = engine_seed
         self.keywords = list(self.workload.keywords)
-        self.registry: dict[int, dict] = {}
-        """Logical ledger per live advertiser: target, budget,
-        joined-at event index."""
+        self.registry = BudgetRegistry()
+        """The budget lifecycle's ledger: per-advertiser balance,
+        target, joined-at index, and pause flag
+        (:mod:`repro.stream.budget`)."""
+        self.emitted = EventLog()
+        """Journal of service-originated control events
+        (:class:`AdvertiserPaused` / :class:`AdvertiserResumed`), in
+        emission order.  Observability, not resumable state: a
+        restored service starts a fresh journal (pauses before the
+        snapshot are visible as registry flags)."""
         self.stats = EventTimings()
         self.events_processed = 0
         restore_capture = (_restore.backend_state
@@ -395,42 +448,54 @@ class OnlineAuctionService:
                 restore_capture=restore_capture)
 
         if _restore is not None:
-            self.registry = {int(advertiser): dict(entry)
-                             for advertiser, entry
-                             in _restore.registry.items()}
+            self.registry = BudgetRegistry.from_jsonable(
+                _restore.registry)
             self.events_processed = _restore.events_processed
             self.backend.auction_id = _restore.auction_id
             self.backend.rng.bit_generator.state = _restore.rng_state
             restore_accounts(self.backend.accounts, _restore.accounts)
 
+        # Budgets gate charges at the source: the settler consults the
+        # ledger before charging, so a winner's final charge clamps to
+        # its remaining balance (and that clamped amount is what every
+        # downstream consumer — accounts, records, pacer folds — sees).
+        self.backend.settler.charge_cap_fn = self.registry.charge_cap
+
     # -- the event loop ----------------------------------------------------
 
     def process(self, event: Event) -> AuctionRecord | None:
-        """Apply one event; returns the auction record for queries."""
+        """Apply one event; returns the auction record for queries.
+
+        Queries additionally drive the budget lifecycle: settled
+        charges debit the ledger (each winner's final charge was
+        already clamped to its remaining balance by the settler), and
+        any tracked advertiser whose balance the debit drove to zero
+        is paused *before the next event* — the service emits an
+        :class:`AdvertiserPaused` control event through the exact
+        incremental-maintenance (or rebuild) path ordinary churn uses.
+        A :class:`BudgetTopUp` that lifts a paused balance above zero
+        symmetrically emits :class:`AdvertiserResumed`.
+        """
         start = time_module.perf_counter()
         record: AuctionRecord | None = None
         if isinstance(event, QueryArrival):
             record = self.backend.run_query(event.keyword)
-            for advertiser, charge in record.prices.items():
-                entry = self.registry.get(advertiser)
-                if entry is not None:
-                    entry["budget"] -= charge
+            for advertiser in self.registry.settle_charges(
+                    record.prices):
+                self._pause(advertiser, record.auction_id)
         elif isinstance(event, AdvertiserJoin):
             self._check_capacity(event.advertiser)
             if event.advertiser in self.registry:
                 raise KeyError(
                     f"advertiser {event.advertiser} already active")
             self.backend.apply_join(event)
-            self.registry[event.advertiser] = {
-                "target": float(event.target),
-                "budget": float(event.budget),
-                "joined_at": self.events_processed,
-            }
+            self.registry.admit(event.advertiser, event.target,
+                                event.budget, self.events_processed)
             self._maintain()
         elif isinstance(event, AdvertiserLeave):
             self._check_active(event.advertiser)
             self.backend.apply_leave(event)
-            del self.registry[event.advertiser]
+            self.registry.retire(event.advertiser)
             self._maintain()
         elif isinstance(event, BidProgramUpdate):
             self._check_active(event.advertiser)
@@ -438,8 +503,22 @@ class OnlineAuctionService:
             self._maintain()
         elif isinstance(event, BudgetTopUp):
             self._check_active(event.advertiser)
-            self.registry[event.advertiser]["budget"] += float(
-                event.amount)
+            entry = self.registry.entry(event.advertiser)
+            balance = self.registry.credit(event.advertiser,
+                                           event.amount)
+            if entry.paused and balance > 0:
+                self._resume(event.advertiser)
+            elif not entry.paused and entry.tracked \
+                    and balance <= 0:
+                # A negative top-up (clawback) can exhaust a ledger
+                # just like a charge; same pause path.
+                self._pause(event.advertiser,
+                            self.backend.auction_id)
+        elif isinstance(event, SERVICE_ORIGINATED):
+            raise TypeError(
+                f"{type(event).__name__} is service-originated: the "
+                f"event loop emits it (see .emitted), replaying the "
+                f"input stream re-derives it")
         else:
             raise TypeError(f"not a stream event: {event!r}")
         self.events_processed += 1
@@ -459,6 +538,24 @@ class OnlineAuctionService:
     def _maintain(self) -> None:
         if self.maintenance == "rebuild":
             self.backend.rebuild()
+
+    def _pause(self, advertiser: int, auction_id: int) -> None:
+        """Exhaustion eviction: retire from every derived structure
+        (retaining the primary row capture) and journal the emission."""
+        self.backend.apply_pause(advertiser)
+        self.registry.mark_paused(advertiser)
+        self.emitted.append(AdvertiserPaused(advertiser=advertiser,
+                                             auction_id=auction_id))
+        self._maintain()
+
+    def _resume(self, advertiser: int) -> None:
+        """Top-up re-admission: re-place the retained row capture."""
+        self.backend.apply_resume(advertiser)
+        self.registry.mark_resumed(advertiser)
+        self.emitted.append(AdvertiserResumed(
+            advertiser=advertiser,
+            auction_id=self.backend.auction_id))
+        self._maintain()
 
     def _check_capacity(self, advertiser: int) -> None:
         capacity = self.workload_config.num_advertisers
@@ -482,11 +579,17 @@ class OnlineAuctionService:
         return self.backend.auction_id
 
     def active_advertisers(self) -> list[int]:
-        return sorted(self.registry)
+        """Registered advertiser ids, paused included (paused
+        advertisers are members awaiting re-admission)."""
+        return self.registry.active_ids()
+
+    def paused_advertisers(self) -> list[int]:
+        """Ids currently paused by budget exhaustion."""
+        return self.registry.paused_ids()
 
     def budget_of(self, advertiser: int) -> float:
-        self._check_active(advertiser)
-        return float(self.registry[advertiser]["budget"])
+        """Remaining balance (``math.inf`` for untracked budgets)."""
+        return float(self.registry.balance(advertiser))
 
     # -- snapshot / restore ------------------------------------------------
 
@@ -510,8 +613,8 @@ class OnlineAuctionService:
             auction_id=self.backend.auction_id,
             events_processed=self.events_processed,
             rng_state=self.backend.rng.bit_generator.state,
-            registry={advertiser: dict(entry) for advertiser, entry
-                      in self.registry.items()},
+            registry={int(advertiser): entry for advertiser, entry
+                      in self.registry.to_jsonable().items()},
             accounts=accounts_to_jsonable(self.backend.accounts),
             backend_state=self.backend.capture_state(),
         )

@@ -6,9 +6,13 @@ the population's **primary** evaluation state (the captures defined by
 :meth:`repro.auction.batch.PacerArrays.capture` and
 :meth:`repro.evaluation.pacer_arrays.LazyPacerArrays.capture` — stored
 bids, adjustments, modes, deadlines; never the derived sorted
-structures, which restore re-derives), the budget registry, the
-provider's account book, the auction counter, and the decision RNG's
-bit-generator state.  Restoring and replaying the remaining events
+structures, which restore re-derives), the budget registry (balances
+plus pause flags), the provider's account book, the auction counter,
+and the decision RNG's bit-generator state.  Budget-paused advertisers
+round-trip too: their retained per-row captures travel inside the
+backend capture under ``"paused"``, slice to the owning shard on a
+re-sharded restore, and re-admit bit-identically on a post-restore
+top-up.  Restoring and replaying the remaining events
 produces records bit-identical to the uninterrupted run — the
 round-trip invariant ``tests/stream/test_snapshot.py`` asserts for
 every method and worker count.
@@ -37,7 +41,16 @@ import numpy as np
 
 from repro.auction.accounts import AccountBook, AdvertiserAccount
 
-SNAPSHOT_FORMAT = "repro-stream-snapshot/1"
+SNAPSHOT_FORMAT = "repro-stream-snapshot/2"
+"""Format 2 adds the budget lifecycle: registry entries carry a
+``paused`` flag (``budget: null`` = untracked), and captures carry the
+paused rows' retained per-row state under ``"paused"``."""
+
+ACCEPTED_FORMATS = ("repro-stream-snapshot/1", SNAPSHOT_FORMAT)
+"""Format 1 (pre-lifecycle) still restores: no advertiser was paused
+and budgets never gated participation, so every format-1 budget maps
+to untracked — enforcing them post-restore would change the replayed
+records and break the round-trip invariant."""
 
 _CAPTURE_DTYPES = {
     "ids": np.int64,
@@ -50,11 +63,40 @@ _KEYWORD_LEVEL_KEYS = ("counts", "adjust_inc", "adjust_dec")
 _NON_ARRAY_KEYS = ("kind", "num_advertisers", "step", "keywords")
 
 
+_PAUSED_INT_FIELDS = ("mode", "auctions_seen")
+"""Scalar integer fields of a paused row capture (everything else in a
+row is a float scalar or a per-keyword float array)."""
+
+
+def _paused_to_jsonable(paused: dict) -> dict:
+    return {str(advertiser): {key: (value.tolist()
+                                    if isinstance(value, np.ndarray)
+                                    else value)
+                              for key, value in row.items()}
+            for advertiser, row in paused.items()}
+
+
+def _paused_from_jsonable(payload: dict) -> dict:
+    paused = {}
+    for advertiser, row in payload.items():
+        restored = {}
+        for key, value in row.items():
+            if isinstance(value, list):
+                restored[key] = np.asarray(value, dtype=float)
+            elif key in _PAUSED_INT_FIELDS:
+                restored[key] = int(value)
+            else:
+                restored[key] = float(value)
+        paused[int(advertiser)] = restored
+    return paused
+
+
 def capture_to_jsonable(capture: dict) -> dict:
     """A capture dict with every array as (exactly round-tripping)
-    nested lists."""
-    return {key: value.tolist() if isinstance(value, np.ndarray)
-            else value
+    nested lists; budget-paused row captures nest the same way."""
+    return {key: (_paused_to_jsonable(value) if key == "paused"
+                  else value.tolist() if isinstance(value, np.ndarray)
+                  else value)
             for key, value in capture.items()}
 
 
@@ -64,7 +106,9 @@ def capture_from_jsonable(payload: dict) -> dict:
     ``step`` array — is float)."""
     capture = {}
     for key, value in payload.items():
-        if key in _NON_ARRAY_KEYS and not isinstance(value, list):
+        if key == "paused":
+            capture[key] = _paused_from_jsonable(value)
+        elif key in _NON_ARRAY_KEYS and not isinstance(value, list):
             capture[key] = value
         elif key == "keywords":
             capture[key] = list(value)
@@ -102,6 +146,10 @@ def slice_capture(capture: dict, lo: int, hi: int) -> dict:
     for key in _row_keys(capture):
         sliced[key] = np.asarray(capture[key])[chosen]
     sliced["ids"] = ids[chosen] - lo
+    sliced["paused"] = {int(advertiser) - lo: row
+                        for advertiser, row
+                        in capture.get("paused", {}).items()
+                        if lo <= int(advertiser) < hi}
     return sliced
 
 
@@ -124,6 +172,10 @@ def merge_captures(states: Sequence[dict], spans: Sequence[tuple[int,
     for key in _row_keys(template):
         parts = [np.asarray(state[key]) for state in filled]
         merged[key] = np.concatenate(parts, axis=0)
+    merged["paused"] = {int(advertiser): row
+                        for state in filled
+                        for advertiser, row
+                        in state.get("paused", {}).items()}
     return merged
 
 
@@ -195,7 +247,7 @@ class ServiceSnapshot:
     @classmethod
     def from_file(cls, path: str | Path) -> "ServiceSnapshot":
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
-        if payload.get("format") != SNAPSHOT_FORMAT:
+        if payload.get("format") not in ACCEPTED_FORMATS:
             raise ValueError(
                 f"not a {SNAPSHOT_FORMAT} file: {path}")
         return cls(

@@ -45,6 +45,14 @@ class ChurnStreamConfig:
     (an infeasible leave — or an infeasible join, when the universe is
     saturated — degrades to a query arrival so the stream length is
     always exactly ``genesis + num_events``).
+
+    ``budget_low`` / ``budget_high`` bound the uniform draw of each
+    join's initial budget.  The defaults reproduce the pre-lifecycle
+    streams byte for byte; *low* budgets put the service under
+    exhaustion pressure (advertisers pause as charges drain ledgers
+    and re-admit on top-ups — the budget-lifecycle benchmark cell),
+    and ``budget_low == budget_high == 0`` joins everyone untracked
+    (budgets never gate).
     """
 
     num_events: int
@@ -55,6 +63,8 @@ class ChurnStreamConfig:
     leave_weight: float = 1.0
     update_weight: float = 1.0
     topup_weight: float = 0.5
+    budget_low: float = 50.0
+    budget_high: float = 500.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -70,6 +80,10 @@ class ChurnStreamConfig:
         if any(weight < 0 for weight in weights) or sum(weights) <= 0:
             raise ValueError("control weights must be non-negative "
                              "and not all zero")
+        if self.budget_low < 0 or self.budget_high < self.budget_low:
+            raise ValueError(
+                f"budget bounds must satisfy 0 <= low <= high, got "
+                f"[{self.budget_low}, {self.budget_high}]")
 
 
 def join_event(workload: PaperWorkload, advertiser: int,
@@ -104,12 +118,16 @@ def generate_stream(workload: PaperWorkload,
                         config.update_weight, config.topup_weight])
     weights = weights / weights.sum()
 
+    def draw_budget() -> float:
+        return float(rng.uniform(config.budget_low,
+                                 config.budget_high))
+
     log = EventLog()
     active: list[int] = []  # kept sorted (ids join in order below)
     inactive: list[int] = list(range(genesis, capacity))
     for advertiser in range(genesis):
         log.append(join_event(workload, advertiser,
-                              budget=float(rng.uniform(50.0, 500.0))))
+                              budget=draw_budget()))
         active.append(advertiser)
 
     def pick(pool: list[int]) -> int:
@@ -129,8 +147,7 @@ def generate_stream(workload: PaperWorkload,
             active.append(advertiser)
             active.sort()
             log.append(join_event(
-                workload, advertiser,
-                budget=float(rng.uniform(50.0, 500.0))))
+                workload, advertiser, budget=draw_budget()))
         elif kind == "leave" and len(active) > config.min_active:
             advertiser = pick(active)
             active.remove(advertiser)

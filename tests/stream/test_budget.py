@@ -1,0 +1,385 @@
+"""The budget lifecycle: exhaustion eviction, pause/re-admit, clamping.
+
+The load-bearing assertions of the lifecycle layer:
+
+* **Charges clamp** — a winner's final charge never exceeds its
+  remaining balance, the clamped amount is what lands in the record's
+  prices / the account book / provider revenue, and a ledger is never
+  negative.
+* **Exhaustion pauses** — the charge that zeroes a balance emits
+  `AdvertiserPaused`; from the next query on the advertiser is out of
+  every allocation until a `BudgetTopUp` re-admits it
+  (`AdvertiserResumed`) with its retained pacing state.
+* **Incremental == rebuild, in-process == sharded** — under
+  exhaustion/top-up interleavings the records, final balances, and
+  pause/resume emissions stay bit-identical for all four methods,
+  which is the PR's acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import records_identical
+from repro.stream import (
+    AdvertiserJoin,
+    AdvertiserLeave,
+    AdvertiserPaused,
+    AdvertiserResumed,
+    BidProgramUpdate,
+    BudgetTopUp,
+    OnlineAuctionService,
+    QueryArrival,
+)
+from repro.workloads import (
+    ChurnStreamConfig,
+    PaperWorkload,
+    PaperWorkloadConfig,
+    generate_stream,
+    join_event,
+)
+
+CONFIG = PaperWorkloadConfig(num_advertisers=12, num_slots=3,
+                             num_keywords=2, seed=1)
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return PaperWorkload(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def pressure_stream(workload):
+    """A generated stream under exhaustion pressure: small budgets,
+    frequent top-ups — the lifecycle must fire both ways."""
+    log = generate_stream(workload, ChurnStreamConfig(
+        num_events=160, churn_rate=0.25, genesis=8, min_active=4,
+        budget_low=3.0, budget_high=25.0, topup_weight=2.0, seed=11))
+    assert log.counts_by_kind()["topup"] >= 5
+    return log
+
+
+def exhaustion_events(workload, budget=8.0, queries=60, topup_to=0,
+                      topup_amount=50.0):
+    """Six small-budget joins, queries until ledgers drain, one
+    top-up, more queries."""
+    events = [join_event(workload, advertiser, budget=budget)
+              for advertiser in range(6)]
+    events += [QueryArrival(keyword) for _ in range(queries // 2)
+               for keyword in ("kw0", "kw1")]
+    events.append(BudgetTopUp(advertiser=topup_to,
+                              amount=topup_amount))
+    events += [QueryArrival(keyword) for _ in range(10)
+               for keyword in ("kw0", "kw1")]
+    return events
+
+
+class TestChargeClamping:
+    def test_final_charge_clamps_to_balance(self, workload):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        budget = 5.0
+        charged: dict[int, float] = {}
+        for event in exhaustion_events(workload, budget=budget):
+            record = service.process(event)
+            if record is None:
+                continue
+            for advertiser, charge in record.prices.items():
+                charged[advertiser] = charged.get(advertiser, 0.0) \
+                    + charge
+        # Nobody paid more than their ledger ever held (one top-up).
+        for advertiser, total in charged.items():
+            ceiling = budget + (50.0 if advertiser == 0 else 0.0)
+            assert total <= ceiling + 1e-9
+        # The exhausted ledgers landed on exactly zero, not below.
+        for advertiser in service.paused_advertisers():
+            assert service.budget_of(advertiser) == 0.0
+
+    def test_clamped_amount_flows_everywhere(self, workload):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        records = service.run(exhaustion_events(workload))
+        total_prices = sum(sum(record.prices.values())
+                           for record in records)
+        assert service.accounts.provider_revenue \
+            == pytest.approx(total_prices)
+        for advertiser, account in \
+                service.accounts.accounts.items():
+            assert account.charged == pytest.approx(
+                sum(record.prices.get(advertiser, 0.0)
+                    for record in records))
+        assert sum(record.realized_revenue for record in records) \
+            == pytest.approx(total_prices)
+
+    def test_untracked_budgets_never_clamp_or_pause(self, workload):
+        # budget=0.0 (the event default) means untracked: unlimited.
+        events = [join_event(workload, advertiser)
+                  for advertiser in range(6)]
+        events += [QueryArrival("kw0"), QueryArrival("kw1")] * 40
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        service.run(events)
+        assert service.paused_advertisers() == []
+        assert not service.emitted
+        assert service.budget_of(0) == math.inf
+
+
+class TestPauseResumeSemantics:
+    def test_exhaustion_pauses_and_topup_readmits(self, workload):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        paused_seen = False
+        for event in exhaustion_events(workload, topup_to=0):
+            pre_paused = set(service.paused_advertisers())
+            record = service.process(event)
+            if record is not None:
+                # Advertisers paused before this query are out of the
+                # allocation and pay nothing.
+                assert not pre_paused & set(record.allocation.slot_of)
+                assert not pre_paused & set(record.prices)
+            if isinstance(event, BudgetTopUp):
+                assert 0 not in service.paused_advertisers()
+                assert service.budget_of(0) > 0
+            paused_seen = paused_seen or bool(
+                service.paused_advertisers())
+        assert paused_seen
+        kinds = service.emitted.counts_by_kind()
+        assert kinds["paused"] >= 1 and kinds["resumed"] == 1
+        resumed = [event for event in service.emitted
+                   if isinstance(event, AdvertiserResumed)]
+        assert resumed[0].advertiser == 0
+
+    def test_emitted_journal_names_the_exhausting_auction(
+            self, workload):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        records = service.run(exhaustion_events(workload))
+        by_id = {record.auction_id: record for record in records}
+        for event in service.emitted:
+            if isinstance(event, AdvertiserPaused):
+                record = by_id[event.auction_id]
+                # The pausing auction is the one whose settlement
+                # charged the advertiser's last balance.
+                assert event.advertiser in record.prices
+
+    def test_resumed_advertiser_keeps_its_state(self, workload):
+        # After pause + resume the advertiser must still carry its
+        # pre-pause spend history (a top-up re-admits, never resets) —
+        # observable through the account book staying monotone and the
+        # service ledger: balance == topup - post-resume charges.
+        service = OnlineAuctionService(CONFIG, method="rhtalu",
+                                       engine_seed=SEED)
+        for event in exhaustion_events(workload)[:-21]:
+            service.process(event)
+        assert service.paused_advertisers()
+        who = service.paused_advertisers()[0]
+        spent_before = service.accounts.account(who).charged
+        assert spent_before > 0
+        service.process(BudgetTopUp(advertiser=who, amount=40.0))
+        assert who not in service.paused_advertisers()
+        post_charges = 0.0
+        for _ in range(10):
+            for keyword in ("kw0", "kw1"):
+                record = service.process(QueryArrival(keyword))
+                post_charges += record.prices.get(who, 0.0)
+        assert service.accounts.account(who).charged \
+            == pytest.approx(spent_before + post_charges)
+        if who not in service.paused_advertisers():
+            assert service.budget_of(who) == pytest.approx(
+                40.0 - post_charges)
+
+    def test_leave_while_paused(self, workload):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        for event in exhaustion_events(workload):
+            service.process(event)
+            if service.paused_advertisers():
+                break
+        paused = service.paused_advertisers()[0]
+        service.process(AdvertiserLeave(paused))
+        assert paused not in service.active_advertisers()
+        with pytest.raises(KeyError):
+            service.budget_of(paused)
+        # The id is free again: a fresh join works and serves.
+        service.process(join_event(workload, paused, budget=100.0))
+        record = service.process(QueryArrival("kw0"))
+        assert record is not None
+
+    def test_update_while_paused_applies_on_resume(self, workload):
+        for method in ("rh", "rhtalu"):
+            service = OnlineAuctionService(CONFIG, method=method,
+                                           engine_seed=SEED)
+            for event in exhaustion_events(workload, topup_to=1):
+                service.process(event)
+                if service.paused_advertisers():
+                    break
+            paused = service.paused_advertisers()[0]
+            service.process(BidProgramUpdate(
+                advertiser=paused, keyword="kw0", bid=0.25,
+                maxbid=0.5))
+            service.process(BudgetTopUp(advertiser=paused,
+                                        amount=30.0))
+            assert paused not in service.paused_advertisers()
+
+    def test_join_of_paused_id_is_rejected(self, workload):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        for event in exhaustion_events(workload):
+            service.process(event)
+            if service.paused_advertisers():
+                break
+        paused = service.paused_advertisers()[0]
+        with pytest.raises(KeyError):
+            service.process(join_event(workload, paused, budget=9.0))
+
+    def test_negative_topup_clawback_can_pause(self, workload):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        service.process(join_event(workload, 0, budget=100.0))
+        service.process(QueryArrival("kw0"))
+        service.process(BudgetTopUp(advertiser=0, amount=-500.0))
+        assert service.paused_advertisers() == [0]
+        assert service.budget_of(0) == 0.0
+
+    def test_service_rejects_service_originated_events(self):
+        service = OnlineAuctionService(CONFIG, engine_seed=SEED)
+        with pytest.raises(TypeError, match="service-originated"):
+            service.process(AdvertiserPaused(advertiser=1))
+        with pytest.raises(TypeError, match="service-originated"):
+            service.process(AdvertiserResumed(advertiser=1))
+
+
+def assert_services_agree(first: OnlineAuctionService,
+                          second: OnlineAuctionService,
+                          first_records, second_records) -> None:
+    assert records_identical(first_records, second_records)
+    assert first.registry.balances() == second.registry.balances()
+    assert first.paused_advertisers() == second.paused_advertisers()
+    assert list(first.emitted) == list(second.emitted)
+    assert first.accounts.provider_revenue \
+        == second.accounts.provider_revenue
+
+
+class TestIncrementalVsRebuildUnderExhaustion:
+    @pytest.mark.parametrize("method", ["rh", "lp", "hungarian",
+                                        "rhtalu"])
+    def test_bit_identical_on_pressure_stream(self, method,
+                                              pressure_stream):
+        incremental = OnlineAuctionService(CONFIG, method=method,
+                                           engine_seed=SEED)
+        rebuild = OnlineAuctionService(CONFIG, method=method,
+                                       maintenance="rebuild",
+                                       engine_seed=SEED)
+        first = incremental.run(pressure_stream)
+        second = rebuild.run(pressure_stream)
+        # The fixture must actually exercise both lifecycle arcs.
+        kinds = incremental.emitted.counts_by_kind()
+        assert kinds["paused"] >= 3 and kinds["resumed"] >= 1
+        assert_services_agree(incremental, rebuild, first, second)
+        assert all(balance >= 0 for balance
+                   in incremental.registry.balances().values())
+
+    @pytest.mark.parametrize("method", ["rh", "rhtalu"])
+    def test_every_prefix_agrees(self, method, pressure_stream):
+        incremental = OnlineAuctionService(CONFIG, method=method,
+                                           engine_seed=SEED)
+        rebuild = OnlineAuctionService(CONFIG, method=method,
+                                       maintenance="rebuild",
+                                       engine_seed=SEED)
+        for event in pressure_stream:
+            first = incremental.process(event)
+            second = rebuild.process(event)
+            assert (first is None) == (second is None)
+            if first is not None:
+                assert records_identical([first], [second])
+            assert incremental.paused_advertisers() \
+                == rebuild.paused_advertisers()
+
+
+class TestShardedUnderExhaustion:
+    @pytest.mark.parametrize("method", ["rh", "lp", "rhtalu"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_workers_match_in_process(self, method, workers,
+                                      pressure_stream):
+        base = OnlineAuctionService(CONFIG, method=method,
+                                    engine_seed=SEED)
+        expected = base.run(pressure_stream)
+        assert base.emitted  # pressure must reach the lifecycle
+        with OnlineAuctionService(CONFIG, method=method,
+                                  workers=workers,
+                                  engine_seed=SEED) as sharded:
+            actual = sharded.run(pressure_stream)
+            assert_services_agree(base, sharded, expected, actual)
+
+    def test_sharded_rebuild_maintenance(self, pressure_stream):
+        base = OnlineAuctionService(CONFIG, method="rhtalu",
+                                    engine_seed=SEED)
+        expected = base.run(pressure_stream)
+        with OnlineAuctionService(CONFIG, method="rhtalu", workers=2,
+                                  maintenance="rebuild",
+                                  engine_seed=SEED) as sharded:
+            actual = sharded.run(pressure_stream)
+            assert_services_agree(base, sharded, expected, actual)
+
+
+class TestBudgetProperty:
+    """Random exhaustion/top-up interleavings: the registry stays
+    non-negative and incremental equals rebuild — the satellite's
+    Hypothesis property."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_random_interleavings(self, seed):
+        workload = PaperWorkload(CONFIG)
+        rng = np.random.default_rng(seed)
+        events = [join_event(workload, advertiser,
+                             budget=float(rng.uniform(1.0, 20.0)))
+                  for advertiser in range(5)]
+        live = set(range(5))
+        parked = {5, 6, 7}
+        for _ in range(70):
+            roll = rng.random()
+            if roll < 0.55 or not live:
+                keyword = f"kw{int(rng.integers(CONFIG.num_keywords))}"
+                events.append(QueryArrival(keyword))
+            elif roll < 0.75:
+                advertiser = int(rng.choice(sorted(live)))
+                events.append(BudgetTopUp(
+                    advertiser=advertiser,
+                    amount=float(rng.uniform(-10.0, 30.0))))
+            elif roll < 0.85 and parked:
+                advertiser = parked.pop()
+                live.add(advertiser)
+                events.append(join_event(
+                    workload, advertiser,
+                    budget=float(rng.uniform(1.0, 20.0))))
+            elif len(live) > 2:
+                advertiser = int(rng.choice(sorted(live)))
+                live.discard(advertiser)
+                parked.add(advertiser)
+                events.append(AdvertiserLeave(advertiser))
+            else:
+                events.append(QueryArrival("kw0"))
+
+        incremental = OnlineAuctionService(CONFIG, method="rh",
+                                           engine_seed=SEED)
+        rebuild = OnlineAuctionService(CONFIG, method="rh",
+                                       maintenance="rebuild",
+                                       engine_seed=SEED)
+        for event in events:
+            first = incremental.process(event)
+            second = rebuild.process(event)
+            balances = incremental.registry.balances()
+            assert all(balance >= 0.0
+                       for balance in balances.values())
+            assert balances == rebuild.registry.balances()
+            if first is not None:
+                assert records_identical([first], [second])
+        assert incremental.paused_advertisers() \
+            == rebuild.paused_advertisers()

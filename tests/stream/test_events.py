@@ -7,6 +7,8 @@ import pytest
 from repro.stream import (
     AdvertiserJoin,
     AdvertiserLeave,
+    AdvertiserPaused,
+    AdvertiserResumed,
     BidProgramUpdate,
     BudgetTopUp,
     EventLog,
@@ -60,6 +62,19 @@ class TestEventLog:
     def test_event_kinds(self):
         assert event_kind(QueryArrival("kw")) == "query"
         assert event_kind(AdvertiserLeave(1)) == "leave"
+        assert event_kind(AdvertiserPaused(1)) == "paused"
+        assert event_kind(AdvertiserResumed(1)) == "resumed"
+
+    def test_service_originated_events_roundtrip_jsonl(self,
+                                                       tmp_path):
+        # The emitted journal serializes like any other log (audits
+        # persist it), even though it is never valid service input.
+        log = EventLog([AdvertiserPaused(advertiser=4, auction_id=17),
+                        AdvertiserResumed(advertiser=4,
+                                          auction_id=30)])
+        path = tmp_path / "emitted.jsonl"
+        log.to_jsonl(path)
+        assert EventLog.from_jsonl(path).events == log.events
 
 
 class TestChurnGenerator:

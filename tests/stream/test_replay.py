@@ -1,0 +1,155 @@
+"""Replay-verified accounting: event-log replay and the trace differ.
+
+The acceptance criterion: ``repro stream --replay`` on a recorded log
+reproduces the original trace with an *empty* ``trace_diff`` report —
+and when a candidate build does drift, the report names the drifting
+advertisers and the first diverging record instead of a bare boolean.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.auction.trace import read_trace, write_trace
+from repro.stream import (
+    OnlineAuctionService,
+    diff_trace_files,
+    diff_traces,
+)
+from repro.workloads import (
+    ChurnStreamConfig,
+    PaperWorkload,
+    PaperWorkloadConfig,
+    generate_stream,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+CONFIG = PaperWorkloadConfig(num_advertisers=24, num_slots=3,
+                             num_keywords=2, seed=1)
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def stream():
+    workload = PaperWorkload(CONFIG)
+    return generate_stream(workload, ChurnStreamConfig(
+        num_events=90, churn_rate=0.25, genesis=12, min_active=4,
+        budget_low=4.0, budget_high=30.0, seed=11))
+
+
+@pytest.fixture(scope="module")
+def baseline_records(stream):
+    service = OnlineAuctionService(CONFIG, method="rh",
+                                   engine_seed=SEED)
+    records = service.run(stream)
+    assert service.emitted  # the lifecycle is live in the fixture
+    return records
+
+
+class TestReplay:
+    def test_replayed_log_reproduces_the_trace(self, stream,
+                                               baseline_records,
+                                               tmp_path):
+        # Record the log, reload it, run a fresh service: empty diff.
+        path = tmp_path / "events.jsonl"
+        stream.to_jsonl(path)
+        from repro.stream import EventLog
+
+        replayed = OnlineAuctionService(CONFIG, method="rh",
+                                        engine_seed=SEED)
+        records = replayed.run(EventLog.from_jsonl(path))
+        diff = diff_traces(baseline_records, records)
+        assert diff.identical
+        assert diff.to_dict()["advertiser_drift"] == {}
+        assert "identical" in diff.format_report()
+
+    def test_sharded_replay_matches_in_process_recording(
+            self, stream, baseline_records):
+        with OnlineAuctionService(CONFIG, method="rh", workers=2,
+                                  engine_seed=SEED) as sharded:
+            records = sharded.run(stream)
+        assert diff_traces(baseline_records, records).identical
+
+    def test_trace_files_roundtrip_through_the_differ(
+            self, baseline_records, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        write_trace(first, baseline_records)
+        write_trace(second, read_trace(first))
+        diff = diff_trace_files(first, second)
+        assert diff.identical
+        assert diff.baseline_records == len(baseline_records)
+
+
+class TestDriftReporting:
+    def test_diverged_run_reports_per_advertiser_drift(
+            self, stream, baseline_records):
+        other = OnlineAuctionService(CONFIG, method="rh",
+                                     engine_seed=SEED + 1)
+        records = other.run(stream)
+        diff = diff_traces(baseline_records, records)
+        assert not diff.identical
+        assert diff.record_mismatches > 0
+        assert diff.first_divergence is not None
+        assert diff.first_divergence["field"] in (
+            "slot_of", "clicked", "purchased", "prices",
+            "expected_revenue", "realized_revenue", "keyword")
+        assert diff.advertiser_drift
+        report = diff.format_report()
+        assert "DIFFER" in report and "advertiser" in report
+
+    def test_length_mismatch_is_not_identical(self,
+                                              baseline_records):
+        diff = diff_traces(baseline_records, baseline_records[:-3])
+        assert not diff.identical
+        assert diff.candidate_records \
+            == diff.baseline_records - 3
+
+    def test_timings_are_ignored(self, baseline_records):
+        from dataclasses import replace
+
+        perturbed = [replace(record, eval_seconds=1e9,
+                             wd_seconds=1e9, num_candidates=0)
+                     for record in baseline_records]
+        assert diff_traces(baseline_records, perturbed).identical
+
+
+class TestTraceDiffCli:
+    def run_tool(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(REPO / "tools" / "trace_diff.py"),
+             *argv],
+            capture_output=True, text=True)
+
+    def test_identical_traces_exit_zero(self, baseline_records,
+                                        tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        write_trace(first, baseline_records)
+        write_trace(second, baseline_records)
+        result = self.run_tool(str(first), str(second))
+        assert result.returncode == 0, result.stderr
+        assert "identical" in result.stdout
+
+    def test_drifting_traces_exit_nonzero_with_report(
+            self, stream, baseline_records, tmp_path):
+        other = OnlineAuctionService(CONFIG, method="rh",
+                                     engine_seed=SEED + 1)
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        write_trace(first, baseline_records)
+        write_trace(second, other.run(stream))
+        result = self.run_tool(str(first), str(second))
+        assert result.returncode == 1
+        assert "DIFFER" in result.stdout
+        json_result = self.run_tool("--json", str(first), str(second))
+        assert json_result.returncode == 1
+        import json
+
+        payload = json.loads(json_result.stdout)
+        assert payload["identical"] is False
+        assert payload["advertiser_drift"]

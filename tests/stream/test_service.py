@@ -16,6 +16,8 @@ The load-bearing assertions of the streaming layer:
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -32,6 +34,7 @@ from repro.stream import (
     AdvertiserJoin,
     AdvertiserLeave,
     BudgetTopUp,
+    EventLog,
     OnlineAuctionService,
     QueryArrival,
 )
@@ -279,6 +282,19 @@ def _records_match(service_records, engine_records, survivors):
     return True
 
 
+def untracked(stream):
+    """The stream with budget tracking disabled on every join.
+
+    The surviving-population oracle transplants captured state into a
+    fresh fixed-population engine, which has no budget ledger — so the
+    service side must not gate participation either (budget lifecycle
+    oracles live in ``test_budget.py``).
+    """
+    return EventLog([replace(event, budget=0.0)
+                     if isinstance(event, AdvertiserJoin) else event
+                     for event in stream])
+
+
 class TestSurvivingPopulationOracle:
     """After any churn prefix, a from-scratch engine built on exactly
     the surviving advertisers (ids compacted to 0..m-1) continues the
@@ -294,6 +310,7 @@ class TestSurvivingPopulationOracle:
         return feeder
 
     def test_eager_engine_on_survivors(self, workload, stream):
+        stream = untracked(stream)
         prefix = len(stream) * 2 // 3
         service = OnlineAuctionService(CONFIG, method="rh",
                                        engine_seed=SEED)
@@ -341,6 +358,7 @@ class TestSurvivingPopulationOracle:
                               survivors)
 
     def test_rhtalu_engine_on_survivors(self, workload, stream):
+        stream = untracked(stream)
         prefix = len(stream) * 2 // 3
         service = OnlineAuctionService(CONFIG, method="rhtalu",
                                        engine_seed=SEED)

@@ -33,6 +33,19 @@ def stream():
         seed=7))
 
 
+def assert_paused_equal(actual: dict, expected: dict) -> None:
+    """Paused-row captures equal, array fields bit-for-bit."""
+    assert set(actual) == set(expected)
+    for advertiser, row in expected.items():
+        back = actual[advertiser]
+        assert set(back) == set(row)
+        for field, value in row.items():
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(back[field], value), field
+            else:
+                assert back[field] == value, field
+
+
 def run_split(method, workers, stream, tmp_path, via_file=True,
               restore_workers=None):
     """Uninterrupted records vs snapshot-at-half then resume."""
@@ -100,6 +113,76 @@ class TestRoundTrip:
         assert resumed.events_processed == service.events_processed
 
 
+@pytest.fixture(scope="module")
+def pressure_stream():
+    """Small join budgets: the lifecycle pauses (and re-admits)
+    advertisers, so snapshots here are taken *while paused*."""
+    workload = PaperWorkload(CONFIG)
+    return generate_stream(workload, ChurnStreamConfig(
+        num_events=140, churn_rate=0.25, genesis=22, min_active=6,
+        budget_low=3.0, budget_high=25.0, topup_weight=2.0, seed=11))
+
+
+class TestSnapshotWhilePaused:
+    """The satellite: checkpoints taken while advertisers are paused
+    restore bit-identically — to the same worker count and to a
+    different one (paused row captures re-shard with their owners)."""
+
+    @pytest.mark.parametrize("method", ["rh", "lp", "rhtalu"])
+    def test_same_worker_count(self, method, pressure_stream,
+                               tmp_path):
+        expected, actual = run_split(method, 0, pressure_stream,
+                                     tmp_path)
+        assert records_identical(expected, actual)
+
+    @pytest.mark.parametrize("method,workers,restore_workers",
+                             [("rh", 0, 2), ("rh", 2, 0),
+                              ("rhtalu", 2, 3), ("rhtalu", 2, 0),
+                              ("lp", 0, 2)])
+    def test_different_worker_count(self, method, workers,
+                                    restore_workers, pressure_stream,
+                                    tmp_path):
+        expected, actual = run_split(
+            method, workers, pressure_stream, tmp_path,
+            restore_workers=restore_workers)
+        assert records_identical(expected, actual)
+
+    def test_fixture_actually_pauses_at_the_snapshot_point(
+            self, pressure_stream):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        service.run(pressure_stream.prefix(len(pressure_stream) // 2))
+        assert service.paused_advertisers()
+        snapshot = service.snapshot()
+        assert snapshot.backend_state["paused"]
+        paused_flags = [advertiser for advertiser, entry
+                        in snapshot.registry.items()
+                        if entry["paused"]]
+        assert paused_flags == service.paused_advertisers()
+
+    def test_restored_service_resumes_paused_advertisers(
+            self, pressure_stream, tmp_path):
+        from repro.stream import BudgetTopUp, QueryArrival
+
+        service = OnlineAuctionService(CONFIG, method="rhtalu",
+                                       engine_seed=SEED)
+        service.run(pressure_stream.prefix(len(pressure_stream) // 2))
+        assert service.paused_advertisers()
+        path = tmp_path / "paused.json"
+        service.snapshot().to_file(path)
+        resumed = OnlineAuctionService.restore(path, workers=2)
+        try:
+            who = resumed.paused_advertisers()[0]
+            assert resumed.paused_advertisers() \
+                == service.paused_advertisers()
+            resumed.process(BudgetTopUp(advertiser=who, amount=90.0))
+            assert who not in resumed.paused_advertisers()
+            for _ in range(6):
+                resumed.process(QueryArrival("kw0"))
+        finally:
+            resumed.close()
+
+
 class TestSnapshotFile:
     def test_rejects_non_snapshot_files(self, tmp_path):
         path = tmp_path / "junk.json"
@@ -108,17 +191,62 @@ class TestSnapshotFile:
         with pytest.raises(ValueError, match="snapshot"):
             ServiceSnapshot.from_file(path)
 
+    def test_format_1_snapshots_still_restore(self, stream,
+                                              tmp_path):
+        # Pre-lifecycle snapshots: no pause flags, no paused captures,
+        # plain-float budgets that never gated participation.  Every
+        # format-1 budget must restore *untracked* — the snapshotted
+        # run never enforced it, so enforcing it after restore would
+        # change the replayed records and break the round-trip
+        # invariant.
+        import json
+        import math
+
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        service.run(stream.prefix(30))
+        path = tmp_path / "v1.json"
+        service.snapshot().to_file(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["format"] = "repro-stream-snapshot/1"
+        for entry in payload["registry"].values():
+            del entry["paused"]
+            if entry["budget"] is None:
+                entry["budget"] = 0.0
+        payload["backend_state"].pop("paused", None)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+        resumed = OnlineAuctionService.restore(path)
+        assert resumed.active_advertisers() \
+            == service.active_advertisers()
+        assert resumed.paused_advertisers() == []
+        for advertiser in service.active_advertisers():
+            assert resumed.budget_of(advertiser) == math.inf
+        # ... and queries against the untracked restore never pause
+        # anybody (new post-restore joins would gate normally).
+        from repro.stream import QueryArrival
+
+        resumed.run([event for event in stream[30:]
+                     if isinstance(event, QueryArrival)])
+        assert resumed.paused_advertisers() == []
+        assert not resumed.emitted
+
     def test_capture_json_roundtrip_is_exact(self, stream):
         service = OnlineAuctionService(CONFIG, method="rhtalu",
                                        engine_seed=SEED)
         service.run(stream.prefix(len(stream) // 2))
         capture = service.backend.capture_state()
+        # The budget lifecycle must be live in the fixture, so the
+        # round trip covers retained paused-row captures too.
+        assert capture["paused"]
         back = capture_from_jsonable(capture_to_jsonable(capture))
         assert set(back) == set(capture)
         for key, value in capture.items():
             if isinstance(value, np.ndarray):
                 assert np.array_equal(back[key], value), key
                 assert back[key].dtype == value.dtype, key
+            elif key == "paused":
+                assert_paused_equal(back[key], value)
             else:
                 assert back[key] == value, key
 
@@ -143,15 +271,21 @@ class TestCapturePlumbing:
                                        engine_seed=SEED)
         service.run(stream.prefix(len(stream) // 2))
         capture = service.backend.capture_state()
+        assert capture["paused"]  # the lifecycle must be live here
         spans = [(0, 12), (12, 30), (30, 36)]
         slices = [slice_capture(capture, lo, hi) for lo, hi in spans]
         rejoined = merge_captures(
-            [dict(part, ids=np.asarray(part["ids"]) + lo)
+            [dict(part,
+                  ids=np.asarray(part["ids"]) + lo,
+                  paused={advertiser + lo: row for advertiser, row
+                          in part["paused"].items()})
              for (lo, _), part in zip(spans, slices)],
             spans, CONFIG.num_advertisers)
         for key, value in capture.items():
             if isinstance(value, np.ndarray):
                 assert np.array_equal(rejoined[key], value), key
+            elif key == "paused":
+                assert_paused_equal(rejoined[key], value)
             else:
                 assert rejoined[key] == value, key
 

@@ -221,6 +221,49 @@ class TestStream:
         assert sum(event_counts(out).values()) == 80 + 15
 
 
+    def test_replay_reproduces_the_recorded_trace(self, capsys,
+                                                  tmp_path):
+        from repro.stream.replay import diff_trace_files
+
+        events = tmp_path / "events.jsonl"
+        first_trace = tmp_path / "first.jsonl"
+        second_trace = tmp_path / "second.jsonl"
+        args = self.ARGS + ["--budget-low", "4",
+                            "--budget-high", "25"]
+        code = main(args + ["--record-events", str(events),
+                            "--trace", str(first_trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget lifecycle:" in out
+        assert events.exists() and first_trace.exists()
+        # Replay the captured log (service knobs match) and hold the
+        # two traces to each other: the acceptance criterion is an
+        # empty diff, with the lifecycle active in the stream.
+        code = main(self.ARGS + ["--replay", str(events),
+                                 "--trace", str(second_trace)])
+        assert code == 0
+        assert "replaying" in capsys.readouterr().out
+        diff = diff_trace_files(first_trace, second_trace)
+        assert diff.identical, diff.format_report()
+
+    def test_replay_on_workers_matches_in_process(self, capsys,
+                                                  tmp_path):
+        events = tmp_path / "events.jsonl"
+        first_trace = tmp_path / "first.jsonl"
+        second_trace = tmp_path / "second.jsonl"
+        main(self.ARGS + ["--budget-low", "4", "--budget-high", "25",
+                          "--record-events", str(events),
+                          "--trace", str(first_trace)])
+        code = main(self.ARGS + ["--replay", str(events),
+                                 "--workers", "2",
+                                 "--trace", str(second_trace)])
+        capsys.readouterr()
+        assert code == 0
+        from repro.stream.replay import diff_trace_files
+
+        assert diff_trace_files(first_trace, second_trace).identical
+
+
 class TestBenchChurn:
     def test_incremental_vs_rebuild_gate(self, capsys):
         code = main(["bench-throughput", "--advertisers", "40",

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Diff two auction traces and report per-advertiser accounting drift.
+
+The verification half of the replay workflow (see
+``docs/operations.md``): record a stream's trace, replay the captured
+event log against a candidate build (``repro stream --replay``), and
+hold the two traces to each other::
+
+    python tools/trace_diff.py baseline_trace.jsonl candidate_trace.jsonl
+    python tools/trace_diff.py --json baseline.jsonl candidate.jsonl
+
+Exit status 0 when the traces are identical on every deterministic
+outcome field (allocations, clicks, prices, revenues), 1 when anything
+drifted; the report names each drifting advertiser with its charged /
+wins / clicks deltas and pinpoints the first diverging record.  Thin
+wrapper over :mod:`repro.stream.replay`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.stream.replay import diff_trace_files  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="recorded JSONL auction trace")
+    parser.add_argument("candidate",
+                        help="replayed JSONL auction trace to verify")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full diff as JSON instead of "
+                             "the human-readable report")
+    args = parser.parse_args(argv)
+
+    diff = diff_trace_files(args.baseline, args.candidate)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.format_report())
+    return 0 if diff.identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
