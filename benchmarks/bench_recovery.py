@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Durability: checkpoint-interval vs recovery-time trade-off.
+
+The acceptance benchmark for the durable serving layer
+(:mod:`repro.stream.journal` / :mod:`repro.stream.recovery`): run the
+same churn + budget-pressure stream through a
+:class:`~repro.stream.service.DurableAuctionService` at a sweep of
+checkpoint intervals (plus a journal-only cell), cut each run at a
+fixed event index — the simulated crash — and measure both sides of
+the trade:
+
+* **serving cost** — wall seconds with the write-ahead journal (and
+  checkpoints) on, against the same stream through a plain
+  :class:`~repro.stream.service.OnlineAuctionService`;
+* **recovery cost** — wall seconds for
+  :func:`~repro.stream.recovery.recover` (newest checkpoint restore +
+  journaled-suffix replay), and how many events that replay had to
+  re-apply.
+
+Frequent checkpoints buy cheap recovery with pricier serving;
+journal-only serving is cheapest but replays the whole history.  Every
+cell is oracle-checked: the recovered service resumes the remaining
+suffix and its trace must diff **empty** against the uninterrupted
+run (``align_traces`` + ``diff_traces``), with the end-state balances
+equal.  The committed ``BENCH_recovery.json`` backs the runbook's
+interval guidance; ``tests/test_bench_artifacts.py`` pins its
+structure.
+
+Run::
+
+    python benchmarks/bench_recovery.py
+    python benchmarks/bench_recovery.py --size 300 --events 240 \
+        --cut 290 --intervals 0,25,50,100 --out BENCH_recovery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import ENGINE_SEED, WORKLOAD_SEED, build_workload  # noqa: E402
+from repro.stream import (  # noqa: E402
+    DurableAuctionService,
+    OnlineAuctionService,
+    align_traces,
+    diff_traces,
+    recover,
+)
+from repro.workloads import ChurnStreamConfig, generate_stream  # noqa: E402
+
+
+def run_cell(config, stream, cut: int, method: str, every: int,
+             retain: int, baseline_records, baseline_balances):
+    """One sweep cell: durable serving to the cut, recovery, resume,
+    oracle check."""
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "journal.jsonl"
+        checkpoint_dir = Path(tmp) / "checkpoints"
+        durable = DurableAuctionService.open(
+            config, journal, method=method, engine_seed=ENGINE_SEED,
+            checkpoint_dir=checkpoint_dir if every else None,
+            checkpoint_every=every, checkpoint_retain=retain)
+        start = time.perf_counter()
+        durable.run(stream[:cut])
+        durable_wall = time.perf_counter() - start
+        durable.close()
+
+        retained = (durable.checkpoints.checkpoint_files()
+                    if durable.checkpoints else [])
+        checkpoint_bytes = sum(path.stat().st_size
+                               for path in retained)
+
+        start = time.perf_counter()
+        result = recover(
+            journal,
+            checkpoint_dir=checkpoint_dir if every else None)
+        recovery_wall = time.perf_counter() - start
+        try:
+            tail = result.service.run(stream[cut:])
+            recovered = result.records + tail
+            aligned, candidate = align_traces(baseline_records,
+                                              recovered)
+            identical = (
+                diff_traces(aligned, candidate).identical
+                and {advertiser: result.service.budget_of(advertiser)
+                     for advertiser
+                     in result.service.active_advertisers()}
+                == baseline_balances)
+        finally:
+            result.service.close()
+
+        return {
+            "checkpoint_every": every,
+            "label": f"every-{every}" if every else "journal-only",
+            "serving": {
+                "wall_seconds": durable_wall,
+                "journal_bytes": journal.stat().st_size,
+                "checkpoints_written": cut // every if every else 0,
+                "checkpoints_retained": len(retained),
+                "checkpoint_bytes_retained": checkpoint_bytes,
+            },
+            "recovery": {
+                "wall_seconds": recovery_wall,
+                "checkpoint_events": result.checkpoint_events,
+                "replayed_events": result.replayed_events,
+                "verified_emissions": result.verified_emissions,
+            },
+            "identical": identical,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=300,
+                        help="advertiser universe capacity")
+    parser.add_argument("--events", type=int, default=240,
+                        help="post-genesis events per stream")
+    parser.add_argument("--cut", type=int, default=290,
+                        help="event index of the simulated crash")
+    parser.add_argument("--intervals", default="0,25,50,100",
+                        help="checkpoint-every sweep "
+                             "(0 = journal-only)")
+    parser.add_argument("--slots", type=int, default=15)
+    parser.add_argument("--keywords", type=int, default=10)
+    parser.add_argument("--method", default="rh",
+                        choices=["rh", "lp", "hungarian", "rhtalu"])
+    parser.add_argument("--retain", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_recovery.json")
+    args = parser.parse_args(argv)
+
+    intervals = [int(value) for value in args.intervals.split(",")]
+    workload = build_workload(args.size, args.slots, args.keywords)
+    config = workload.config
+    stream = generate_stream(workload, ChurnStreamConfig(
+        num_events=args.events, churn_rate=0.2,
+        genesis=args.size // 2, min_active=args.slots + 1,
+        budget_low=4.0, budget_high=30.0, topup_weight=1.5,
+        seed=WORKLOAD_SEED + 17))
+    cut = min(args.cut, len(stream) - 1)
+
+    print(f"recovery sweep: method={args.method} "
+          f"capacity={args.size} events={len(stream)} cut={cut} "
+          f"intervals={intervals}")
+
+    baseline = OnlineAuctionService(config, method=args.method,
+                                    engine_seed=ENGINE_SEED)
+    start = time.perf_counter()
+    baseline_records = baseline.run(stream)
+    baseline_wall = time.perf_counter() - start
+    baseline_balances = {
+        advertiser: baseline.budget_of(advertiser)
+        for advertiser in baseline.active_advertisers()}
+    baseline.close()
+
+    cells = []
+    for every in sorted(intervals):
+        cell = run_cell(config, stream, cut, args.method, every,
+                        args.retain, baseline_records,
+                        baseline_balances)
+        cells.append(cell)
+        print(f"  {cell['label']:>12}: serve "
+              f"{cell['serving']['wall_seconds']:.2f}s, recover "
+              f"{cell['recovery']['wall_seconds']:.3f}s "
+              f"(replayed {cell['recovery']['replayed_events']}), "
+              f"identical={cell['identical']}")
+
+    artifact = {
+        "config": {
+            "size": args.size,
+            "slots": args.slots,
+            "keywords": args.keywords,
+            "method": args.method,
+            "events": len(stream),
+            "cut": cut,
+            "retain": args.retain,
+        },
+        "baseline_wall_seconds": baseline_wall,
+        "cells": cells,
+        "all_identical": all(cell["identical"] for cell in cells),
+    }
+    Path(args.out).write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0 if artifact["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,14 @@ Commands
     mid-stream.  ``--record-events`` / ``--trace`` journal a run, and
     ``--replay`` re-consumes a captured event log — the
     replay-verified-accounting workflow (``tools/trace_diff.py``
-    diffs the traces; see ``docs/operations.md``).
+    diffs the traces; see ``docs/operations.md``).  ``--journal`` adds
+    durability: every event is fsync'd to a write-ahead journal before
+    application, with ``--checkpoint-every`` continuous checkpoints.
+``recover``
+    Rebuild a crashed durable service from its journal and checkpoint
+    directory: newest valid checkpoint (torn files skipped) plus
+    journaled-suffix replay, optionally to a different ``--workers``
+    count — the crash-recovery runbook in ``docs/operations.md``.
 ``sql``
     Execute sqlmini statements from the command line or stdin — handy
     for exploring the bidding-program dialect.
@@ -140,6 +147,50 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         stream.to_jsonl(args.record_events)
         print(f"event log written to {args.record_events}")
 
+    if args.journal:
+        # Durable serving: journal-ahead every event, checkpoint on
+        # the --checkpoint-every schedule; crash recovery is
+        # `repro recover` (see the runbook in docs/operations.md).
+        if args.snapshot_at:
+            print("--snapshot-at and --journal are mutually "
+                  "exclusive (continuous checkpoints subsume the "
+                  "one-shot snapshot)", file=sys.stderr)
+            return 2
+        if args.checkpoint_every and not args.checkpoint_dir:
+            print("--checkpoint-every needs --checkpoint-dir",
+                  file=sys.stderr)
+            return 2
+        from repro.stream import DurableAuctionService
+
+        with DurableAuctionService.open(
+                config, args.journal, method=args.method,
+                maintenance=args.maintenance, workers=args.workers,
+                engine_seed=args.seed + 1,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_retain=args.checkpoint_retain) as durable:
+            records = durable.run(stream)
+            inner = durable.service
+            accounts = inner.accounts
+            stats = inner.stats
+            active = len(inner.active_advertisers())
+            paused = len(inner.paused_advertisers())
+            emitted = len(inner.emitted)
+            retained = (durable.checkpoints.checkpoint_files()
+                        if durable.checkpoints else [])
+        print(f"journal: {len(stream) + emitted} entries fsync'd "
+              f"to {args.journal}")
+        if args.checkpoint_every:
+            print(f"checkpoints: every {args.checkpoint_every} "
+                  f"events, {len(retained)} retained in "
+                  f"{args.checkpoint_dir}")
+        _print_stream_summary(args, records, accounts, active,
+                              paused, emitted, stats)
+        if args.trace:
+            count = write_trace(args.trace, records)
+            print(f"wrote {count} records to {args.trace}")
+        return 0
+
     with OnlineAuctionService(
             config, method=args.method, maintenance=args.maintenance,
             workers=args.workers, engine_seed=args.seed + 1) as service:
@@ -175,6 +226,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             paused = len(service.paused_advertisers())
             emitted = len(service.emitted)
 
+    _print_stream_summary(args, records, accounts, active, paused,
+                          emitted, stats)
+    if args.trace:
+        count = write_trace(args.trace, records)
+        print(f"wrote {count} records to {args.trace}")
+    return 0
+
+
+def _print_stream_summary(args, records, accounts, active, paused,
+                          emitted, stats) -> None:
     print(f"auctions: {len(records)}  "
           f"provider revenue: {accounts.provider_revenue:.2f} "
           f"over {accounts.total_clicks()} clicks  "
@@ -188,9 +249,54 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     mode = (f"{args.workers} workers" if args.workers
             else "in-process")
     print(f"maintenance={args.maintenance} ({mode})")
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.auction.trace import write_trace
+    from repro.stream import EventLog, RecoveryError, recover
+
+    try:
+        result = recover(args.journal,
+                         checkpoint_dir=args.checkpoint_dir,
+                         workers=args.workers)
+    except (RecoveryError, ValueError, OSError) as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+    if result.checkpoint_path is not None:
+        print(f"checkpoint: {result.checkpoint_path} "
+              f"(watermark {result.checkpoint_events})")
+    else:
+        print("checkpoint: none — rebuilt from the journal header's "
+              "genesis config")
+    if result.checkpoints_skipped:
+        print(f"skipped {result.checkpoints_skipped} torn/invalid "
+              f"checkpoint file(s): "
+              + ", ".join(path.name
+                          for path in result.skipped_paths))
+    print(f"journal: replayed {result.replayed_events} entries"
+          + (" (torn tail dropped)" if result.torn_tail else ""))
+    print(f"verified {result.verified_emissions} journaled "
+          f"service emissions against replay")
+    print(f"recovered watermark: {result.events_processed} events, "
+          f"{result.service.auctions_run} auctions, "
+          f"provider revenue "
+          f"{result.service.accounts.provider_revenue:.2f}")
+    records = list(result.records)
+    if args.resume_events:
+        # Finish the stream from a recorded event log: everything at
+        # or past the recovered watermark is still unapplied.
+        remaining = EventLog.from_jsonl(
+            args.resume_events)[result.events_processed:]
+        records += result.service.run(remaining)
+        print(f"resumed {len(remaining)} remaining events from "
+              f"{args.resume_events}")
+    result.service.close()
+    print(f"auctions recovered+resumed: {len(records)}")
     if args.trace:
         count = write_trace(args.trace, records)
-        print(f"wrote {count} records to {args.trace}")
+        print(f"wrote {count} records to {args.trace} "
+              f"(audit: tools/trace_diff.py --align against the "
+              f"uninterrupted trace)")
     return 0
 
 
@@ -423,7 +529,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the auction records as a JSONL "
                              "trace (diffable via "
                              "tools/trace_diff.py)")
+    stream.add_argument("--journal", default=None, metavar="FILE",
+                        help="serve durably: fsync every event to "
+                             "this write-ahead journal before "
+                             "applying it (recoverable via "
+                             "`repro recover`)")
+    stream.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="with --journal: write a checkpoint "
+                             "every N applied events (0 = journal "
+                             "only)")
+    stream.add_argument("--checkpoint-dir", default=None,
+                        metavar="DIR",
+                        help="directory for checkpoint files "
+                             "(required by --checkpoint-every)")
+    stream.add_argument("--checkpoint-retain", type=int, default=2,
+                        metavar="K",
+                        help="keep the newest K checkpoints "
+                             "(default 2: survives one torn file)")
     stream.set_defaults(func=_cmd_stream)
+
+    recover = commands.add_parser(
+        "recover",
+        help="rebuild a crashed durable stream service: newest valid "
+             "checkpoint + journaled-suffix replay")
+    recover.add_argument("--journal", required=True, metavar="FILE",
+                         help="the crashed run's write-ahead journal")
+    recover.add_argument("--checkpoint-dir", default=None,
+                         metavar="DIR",
+                         help="the crashed run's checkpoint "
+                              "directory (omit to replay the whole "
+                              "journal from genesis)")
+    recover.add_argument("--workers", type=int, default=None,
+                         help="worker count for the recovered "
+                              "service (default: the crashed run's; "
+                              "captures are global, any count "
+                              "replays identically)")
+    recover.add_argument("--resume-events", default=None,
+                         metavar="FILE",
+                         help="after recovery, finish the stream "
+                              "from this recorded event log "
+                              "(events at/past the recovered "
+                              "watermark)")
+    recover.add_argument("--trace", default=None, metavar="FILE",
+                         help="write recovered (+resumed) auction "
+                              "records as a JSONL trace for "
+                              "trace_diff auditing")
+    recover.set_defaults(func=_cmd_recover)
 
     validate = commands.add_parser(
         "validate", help="cross-method agreement self-check")

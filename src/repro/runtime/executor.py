@@ -75,6 +75,7 @@ from repro.runtime.worker import (
     WorkerInit,
     worker_main,
 )
+from repro.stream.crash import crash_hook
 from repro.strategies.base import Query
 from repro.workloads.paper_workload import (
     PaperWorkload,
@@ -315,6 +316,10 @@ class ShardedAuctionRuntime:
                 controls=tuple(self._pending_controls[shard])))
             self._pending[shard].clear()
             self._pending_controls[shard].clear()
+        # Fault-injection site: every shard holds this round's task,
+        # the coordinator holds no reply — a death here loses the
+        # in-flight auction entirely (tests/stream/fault_injection.py).
+        crash_hook("coordinator-mid-round")
         replies = [self._recv(shard)
                    for shard in range(len(self._conns))]
         if self.method in SCAN_METHODS:

@@ -53,6 +53,7 @@ from repro.runtime.messages import (
     WorkerFailure,
     WorkerReady,
 )
+from repro.stream.crash import crash_hook
 from repro.workloads.paper_workload import (
     PaperWorkload,
     PaperWorkloadConfig,
@@ -370,6 +371,30 @@ def build_shard(init: WorkerInit):
     return GatherShard(workload, init)
 
 
+_ORPHAN_POLL_SECONDS = 1.0
+
+
+def _recv_or_orphaned(conn: Connection):
+    """Receive the next message, or ``None`` if the coordinator died.
+
+    A worker must not outlive its coordinator — but a coordinator that
+    dies hard (``os._exit``, a kill, a crash-point firing) never sends
+    :class:`Shutdown`, and under the ``fork`` start method sibling
+    workers inherit each other's pipe ends, so the pipe never reads
+    EOF either.  Polling with a bounded wait and checking the parent's
+    liveness between polls turns an orphaned worker into a clean exit
+    instead of a leaked process (the fault-injection harness kills
+    coordinators mid-round on purpose).
+    """
+    import multiprocessing
+
+    while not conn.poll(_ORPHAN_POLL_SECONDS):
+        parent = multiprocessing.parent_process()
+        if parent is not None and not parent.is_alive():
+            return None
+    return conn.recv()
+
+
 def worker_main(conn: Connection, init: WorkerInit) -> None:
     """Worker process entrypoint: build, handshake, serve, shut down."""
     try:
@@ -377,13 +402,22 @@ def worker_main(conn: Connection, init: WorkerInit) -> None:
         conn.send(WorkerReady(shard=init.shard,
                               num_local=max(init.hi - init.lo, 0)))
         while True:
-            message = conn.recv()
+            message = _recv_or_orphaned(conn)
+            if message is None:
+                break
             if isinstance(message, Shutdown):
                 break
             if isinstance(message, SnapshotRequest):
                 conn.send(shard.snapshot(message))
                 continue
-            conn.send(shard.handle(message))
+            reply = shard.handle(message)
+            # Fault-injection site: the round's wins/controls are
+            # folded and the evaluation ran, but the coordinator never
+            # hears back — it dies on the dropped pipe, and the
+            # in-flight auction must be recovered from the journal
+            # (tests/stream/fault_injection.py).
+            crash_hook("worker-mid-round")
+            conn.send(reply)
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
         pass
     except Exception:

@@ -1,0 +1,137 @@
+"""Fault injection: deterministic process kills at named crash sites.
+
+The durability layer's correctness story is test-shaped: the only way
+to *prove* that the write-ahead journal + checkpoint machinery
+(:mod:`repro.stream.journal`, :mod:`repro.stream.recovery`) survives a
+process death is to actually die — mid-round, mid-checkpoint, between
+a checkpoint and the next journal flush — and recover.  This module is
+the kill switch the fault-injection harness
+(``tests/stream/fault_injection.py``) arms.
+
+A :class:`CrashPoint` names a **site** (a string the instrumented code
+passes to :func:`crash_hook`) and a **hit count**: the process dies —
+``os._exit``, no cleanup, no ``atexit``, no buffer flushing — on the
+``hit``-th time that site is reached.  Sites are threaded through the
+serving stack:
+
+``service-post-apply``
+    The durable event loop, after an event is applied (and its
+    service-originated emissions journaled) but before any checkpoint.
+``service-post-checkpoint``
+    Immediately after a checkpoint file lands, before the next event's
+    journal flush — the classic coordinator danger window.
+``coordinator-mid-round``
+    :meth:`~repro.runtime.executor.ShardedAuctionRuntime._run_one`,
+    after tasks were sent to every shard, before replies return.
+``worker-mid-round``
+    A shard worker's task handler, after folding win/control notices,
+    before evaluating — kills the *worker* process; the coordinator
+    dies on the broken pipe.
+``journal-mid-write`` / ``checkpoint-mid-write``
+    Inside a file write, after the first half of the payload was
+    flushed and fsynced — the crash leaves a **torn** (truncated)
+    record on disk, which recovery must detect and skip.
+
+Crash points arm through the :data:`ENV_VAR` environment variable
+(``"site@hit"``), so they survive ``multiprocessing`` spawn/fork into
+shard workers and reach CLI subprocesses; :func:`install` arms them
+programmatically for same-process drivers.  An unarmed hook is a
+near-free no-op (one ``dict`` read), so the instrumentation ships in
+production code paths.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+ENV_VAR = "REPRO_CRASH_POINT"
+"""Environment spelling of an armed crash point: ``"site@hit"``
+(``hit`` defaults to 1).  Inherited by worker processes at spawn."""
+
+EXIT_CODE = 73
+"""The exit status of a crash-point death (distinct from Python's
+generic 1 so harnesses can tell an injected crash from a real bug)."""
+
+CRASH_SITES = (
+    "service-post-apply",
+    "service-post-checkpoint",
+    "coordinator-mid-round",
+    "worker-mid-round",
+    "journal-mid-write",
+    "checkpoint-mid-write",
+)
+"""Every site the serving stack instruments, for harness validation."""
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Die at the ``hit``-th arrival at ``site``."""
+
+    site: str
+    hit: int = 1
+
+    def __post_init__(self) -> None:
+        if self.site not in CRASH_SITES:
+            raise ValueError(
+                f"unknown crash site {self.site!r}; "
+                f"instrumented sites: {CRASH_SITES}")
+        if self.hit < 1:
+            raise ValueError(f"hit must be >= 1, got {self.hit}")
+
+    def to_env(self) -> str:
+        """The :data:`ENV_VAR` spelling (``"site@hit"``)."""
+        return f"{self.site}@{self.hit}"
+
+    @classmethod
+    def from_env(cls, value: str) -> "CrashPoint":
+        site, _, hit = value.partition("@")
+        return cls(site=site, hit=int(hit) if hit else 1)
+
+
+_installed: CrashPoint | None = None
+_counters: dict[str, int] = {}
+
+
+def install(point: CrashPoint | None) -> None:
+    """Arm a crash point in this process (``None`` disarms).
+
+    Programmatic counterpart of :data:`ENV_VAR`; the env var, when
+    set, takes precedence (it is how spawned workers inherit the arm).
+    """
+    global _installed
+    _installed = point
+    _counters.clear()
+
+
+def _armed() -> CrashPoint | None:
+    value = os.environ.get(ENV_VAR)
+    if value:
+        return CrashPoint.from_env(value)
+    return _installed
+
+
+def armed(site: str) -> bool:
+    """Whether a crash point targets ``site`` in this process.
+
+    Lets the torn-write sites pay their extra flush+fsync only while a
+    harness is actually pointing a gun at them.
+    """
+    point = _armed()
+    return point is not None and point.site == site
+
+
+def crash_hook(site: str) -> None:
+    """Die here if an armed crash point says so (else: no-op).
+
+    The death is ``os._exit`` — no exception, no ``finally`` blocks,
+    no stream flushing — the closest a test can get to a power cut
+    without root.
+    """
+    point = _armed()
+    if point is None or point.site != site:
+        return
+    count = _counters.get(site, 0) + 1
+    _counters[site] = count
+    if count >= point.hit:
+        os._exit(EXIT_CODE)

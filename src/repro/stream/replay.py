@@ -193,3 +193,29 @@ def diff_trace_files(baseline: str | Path,
                      candidate: str | Path) -> TraceDiff:
     """Diff two JSONL trace files (:mod:`repro.auction.trace`)."""
     return diff_traces(read_trace(baseline), read_trace(candidate))
+
+
+def align_traces(baseline: Iterable[AuctionRecord],
+                 candidate: Iterable[AuctionRecord]
+                 ) -> tuple[list[AuctionRecord], list[AuctionRecord]]:
+    """Trim a full baseline trace to the candidate's auction-id span.
+
+    The recovery audit (``docs/operations.md``) compares a *suffix*: a
+    recovered service's trace starts at the checkpoint's auction
+    watermark, while the uninterrupted baseline covers the whole
+    stream.  Auction ids are global and strictly increasing, so
+    selecting the baseline records whose ids fall inside the
+    candidate's ``[first, last]`` id span yields the exactly comparable
+    window — :func:`diff_traces` on the aligned pair must then be
+    empty (``tools/trace_diff.py --align``).  An empty candidate
+    aligns to an empty baseline.
+    """
+    baseline = list(baseline)
+    candidate = list(candidate)
+    if not candidate:
+        return [], []
+    lo = candidate[0].auction_id
+    hi = candidate[-1].auction_id
+    aligned = [record for record in baseline
+               if lo <= record.auction_id <= hi]
+    return aligned, candidate

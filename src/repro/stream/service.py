@@ -593,23 +593,30 @@ class OnlineAuctionService:
 
     # -- snapshot / restore ------------------------------------------------
 
+    def config_payload(self) -> dict:
+        """The service's full configuration as plain JSON data — the
+        ``config`` block of a snapshot and of a journal header
+        (:mod:`repro.stream.journal`), sufficient to rebuild an
+        equivalent genesis service."""
+        config = self.workload_config
+        return {
+            "num_advertisers": config.num_advertisers,
+            "num_slots": config.num_slots,
+            "num_keywords": config.num_keywords,
+            "value_high": config.value_high,
+            "initial_bid_fraction": config.initial_bid_fraction,
+            "step": config.step,
+            "workload_seed": config.seed,
+            "method": self.method,
+            "maintenance": self.maintenance,
+            "workers": self.workers,
+            "engine_seed": self.engine_seed,
+        }
+
     def snapshot(self) -> ServiceSnapshot:
         """Freeze the service's full resumable state (pure data)."""
-        config = self.workload_config
         return ServiceSnapshot(
-            config={
-                "num_advertisers": config.num_advertisers,
-                "num_slots": config.num_slots,
-                "num_keywords": config.num_keywords,
-                "value_high": config.value_high,
-                "initial_bid_fraction": config.initial_bid_fraction,
-                "step": config.step,
-                "workload_seed": config.seed,
-                "method": self.method,
-                "maintenance": self.maintenance,
-                "workers": self.workers,
-                "engine_seed": self.engine_seed,
-            },
+            config=self.config_payload(),
             auction_id=self.backend.auction_id,
             events_processed=self.events_processed,
             rng_state=self.backend.rng.bit_generator.state,
@@ -618,6 +625,34 @@ class OnlineAuctionService:
             accounts=accounts_to_jsonable(self.backend.accounts),
             backend_state=self.backend.capture_state(),
         )
+
+    @staticmethod
+    def _workload_config_from(config: dict) -> PaperWorkloadConfig:
+        return PaperWorkloadConfig(
+            num_advertisers=int(config["num_advertisers"]),
+            num_slots=int(config["num_slots"]),
+            num_keywords=int(config["num_keywords"]),
+            value_high=float(config["value_high"]),
+            initial_bid_fraction=float(config["initial_bid_fraction"]),
+            step=float(config["step"]),
+            seed=int(config["workload_seed"]))
+
+    @classmethod
+    def from_config_payload(cls, config: dict,
+                            workers: int | None = None,
+                            start_method: str | None = None
+                            ) -> "OnlineAuctionService":
+        """A fresh (genesis) service from a :meth:`config_payload`
+        dict — how recovery rebuilds a service whose journal predates
+        the first checkpoint."""
+        return cls(
+            cls._workload_config_from(config),
+            method=config["method"],
+            maintenance=config["maintenance"],
+            workers=(int(config["workers"]) if workers is None
+                     else workers),
+            engine_seed=int(config["engine_seed"]),
+            start_method=start_method)
 
     @classmethod
     def restore(cls, snapshot: "ServiceSnapshot | str | Path",
@@ -632,16 +667,8 @@ class OnlineAuctionService:
         if not isinstance(snapshot, ServiceSnapshot):
             snapshot = ServiceSnapshot.from_file(snapshot)
         config = snapshot.config
-        workload_config = PaperWorkloadConfig(
-            num_advertisers=int(config["num_advertisers"]),
-            num_slots=int(config["num_slots"]),
-            num_keywords=int(config["num_keywords"]),
-            value_high=float(config["value_high"]),
-            initial_bid_fraction=float(config["initial_bid_fraction"]),
-            step=float(config["step"]),
-            seed=int(config["workload_seed"]))
         return cls(
-            workload_config,
+            cls._workload_config_from(config),
             method=config["method"],
             maintenance=config["maintenance"],
             workers=(int(config["workers"]) if workers is None
@@ -656,6 +683,123 @@ class OnlineAuctionService:
         self.backend.close()
 
     def __enter__(self) -> "OnlineAuctionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class DurableAuctionService:
+    """The durable event loop: journal first, apply second, checkpoint
+    on schedule.
+
+    Wraps an :class:`OnlineAuctionService` with the write-ahead
+    contract of :mod:`repro.stream.journal`: every input event is
+    fsync'd to the journal *before* it reaches the event loop, every
+    service-originated emission is journaled right after the event
+    that caused it (tagged ``origin="service"``, same seq), and —
+    when a :class:`~repro.stream.snapshot.CheckpointPolicy` is
+    attached — a checkpoint lands each time the applied-event
+    watermark crosses the interval.  After any crash,
+    :func:`repro.stream.recovery.recover` rebuilds a service whose
+    remaining-suffix replay is bit-identical to the uninterrupted run.
+
+    Two crash sites (:mod:`repro.stream.crash`) bracket the danger
+    windows the fault-injection harness targets:
+    ``service-post-apply`` (event applied + emissions journaled, no
+    checkpoint yet) and ``service-post-checkpoint`` (checkpoint
+    durable, next event's journal append not yet issued — the
+    "between checkpoint and journal flush" window).
+    """
+
+    def __init__(self, service: OnlineAuctionService,
+                 journal: "EventJournal",
+                 checkpoints: "CheckpointPolicy | None" = None):
+        self.service = service
+        self.journal = journal
+        self.checkpoints = checkpoints
+
+    @classmethod
+    def open(cls, workload_config: PaperWorkloadConfig,
+             journal_path: "str | Path",
+             method: str = "rh",
+             maintenance: str = "incremental",
+             workers: int = 0, engine_seed: int = 0,
+             start_method: str | None = None,
+             checkpoint_dir: "str | Path | None" = None,
+             checkpoint_every: int = 0,
+             checkpoint_retain: int = 2) -> "DurableAuctionService":
+        """Start a fresh durable service: genesis state, new journal
+        (header = the service's :meth:`~OnlineAuctionService
+        .config_payload`), optional checkpoint schedule."""
+        from repro.stream.journal import EventJournal
+        from repro.stream.snapshot import CheckpointPolicy
+
+        service = OnlineAuctionService(
+            workload_config, method=method, maintenance=maintenance,
+            workers=workers, engine_seed=engine_seed,
+            start_method=start_method)
+        journal = EventJournal.create(journal_path,
+                                      service.config_payload())
+        checkpoints = None
+        if checkpoint_every:
+            if checkpoint_dir is None:
+                raise ValueError(
+                    "checkpoint_every needs a checkpoint_dir")
+            checkpoints = CheckpointPolicy(
+                directory=Path(checkpoint_dir),
+                every=checkpoint_every, retain=checkpoint_retain)
+        return cls(service, journal, checkpoints)
+
+    def process(self, event: Event) -> AuctionRecord | None:
+        """Durably apply one event (journal -> apply -> checkpoint)."""
+        from repro.stream.crash import crash_hook
+
+        seq = self.service.events_processed
+        self.journal.append(seq, event, origin="input")
+        emitted_before = len(self.service.emitted)
+        record = self.service.process(event)
+        for emission in self.service.emitted[emitted_before:]:
+            self.journal.append(seq, emission, origin="service")
+        crash_hook("service-post-apply")
+        if self.checkpoints is not None \
+                and self.checkpoints.due(self.service.events_processed):
+            self.checkpoints.write(self.service.snapshot())
+            crash_hook("service-post-checkpoint")
+        return record
+
+    def run(self, events: Iterable[Event]) -> list[AuctionRecord]:
+        """Consume a stream durably, returning records in order."""
+        records = []
+        for event in events:
+            record = self.process(event)
+            if record is not None:
+                records.append(record)
+        return records
+
+    # Pass-throughs for the introspection surface callers actually
+    # use; everything else is reachable through ``.service``.
+
+    @property
+    def events_processed(self) -> int:
+        return self.service.events_processed
+
+    @property
+    def emitted(self) -> EventLog:
+        return self.service.emitted
+
+    @property
+    def accounts(self) -> AccountBook:
+        return self.service.accounts
+
+    def snapshot(self) -> ServiceSnapshot:
+        return self.service.snapshot()
+
+    def close(self) -> None:
+        self.journal.close()
+        self.service.close()
+
+    def __enter__(self) -> "DurableAuctionService":
         return self
 
     def __exit__(self, *exc_info) -> None:

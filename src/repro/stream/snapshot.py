@@ -23,6 +23,15 @@ exactly, and its (non-standard but symmetric) ``Infinity`` literal
 carries the trigger banks' "never" sentinels; NumPy arrays travel as
 nested lists with dtypes recovered from a fixed per-field schema.
 
+:class:`CheckpointPolicy` turns the one-shot snapshot into continuous
+checkpointing: every N applied events the durable service
+(:class:`~repro.stream.service.DurableAuctionService`) writes a
+watermark-named checkpoint file and prunes beyond a retention count.
+Checkpoints are deliberately written in place (no atomic rename) —
+recovery validates on read and falls back past a torn file, which is
+one of the fault-injection scenarios
+(``tests/stream/test_fault_injection.py``).
+
 The module also hosts the capture plumbing the sharded service uses:
 :func:`slice_capture` cuts a global capture into one shard's local
 rows (shipped in :class:`repro.runtime.worker.StreamShardConfig`), and
@@ -33,6 +42,7 @@ dumps (ids are already global on the wire).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -227,8 +237,8 @@ class ServiceSnapshot:
     backend_state: dict
     """The population capture (global advertiser ids)."""
 
-    def to_file(self, path: str | Path) -> Path:
-        path = Path(path)
+    def to_json(self) -> str:
+        """The serialized (single-line JSON) checkpoint payload."""
         payload = {
             "format": SNAPSHOT_FORMAT,
             "config": self.config,
@@ -240,8 +250,11 @@ class ServiceSnapshot:
             "accounts": self.accounts,
             "backend_state": capture_to_jsonable(self.backend_state),
         }
-        path.write_text(json.dumps(payload, sort_keys=True) + "\n",
-                        encoding="utf-8")
+        return json.dumps(payload, sort_keys=True) + "\n"
+
+    def to_file(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(), encoding="utf-8")
         return path
 
     @classmethod
@@ -261,3 +274,96 @@ class ServiceSnapshot:
             backend_state=capture_from_jsonable(
                 payload["backend_state"]),
         )
+
+
+CHECKPOINT_PREFIX = "checkpoint-"
+CHECKPOINT_SUFFIX = ".json"
+
+
+def checkpoint_name(events_processed: int) -> str:
+    """The on-disk name of the checkpoint at a stream watermark:
+    ``checkpoint-<events_processed:012d>.json`` (zero-padded so
+    lexicographic file order is watermark order)."""
+    return (f"{CHECKPOINT_PREFIX}{events_processed:012d}"
+            f"{CHECKPOINT_SUFFIX}")
+
+
+@dataclass
+class CheckpointPolicy:
+    """Continuous checkpointing: snapshot every N events, keep K.
+
+    The durable event loop (:class:`~repro.stream.service
+    .DurableAuctionService`) consults :meth:`due` after each applied
+    event and calls :meth:`write` when it fires.  Checkpoint files are
+    named by their applied-event watermark (:func:`checkpoint_name`)
+    and written **without** an atomic rename: recovery
+    (:mod:`repro.stream.recovery`) validates on read and falls back to
+    the previous checkpoint when the newest is torn, so a crash
+    mid-write costs at most one checkpoint interval of replay — the
+    exact trade-off ``benchmarks/bench_recovery.py`` measures.
+    Retention prunes all but the newest ``retain`` files *after* the
+    new checkpoint is fsync'd (never before: until the newcomer is
+    durable, the previous checkpoint is the recovery point).
+    """
+
+    directory: Path
+    every: int
+    retain: int = 2
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if self.every < 1:
+            raise ValueError(
+                f"checkpoint interval must be >= 1, got {self.every}")
+        if self.retain < 1:
+            raise ValueError(
+                f"retain must be >= 1, got {self.retain}")
+
+    def due(self, events_processed: int) -> bool:
+        """Whether a checkpoint should land at this watermark."""
+        return events_processed > 0 \
+            and events_processed % self.every == 0
+
+    def checkpoint_files(self) -> list[Path]:
+        """Existing checkpoint files, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            path for path in self.directory.iterdir()
+            if path.name.startswith(CHECKPOINT_PREFIX)
+            and path.name.endswith(CHECKPOINT_SUFFIX))
+
+    def write(self, snapshot: ServiceSnapshot) -> Path:
+        """Write one checkpoint file durably, then prune old ones.
+
+        When the ``checkpoint-mid-write`` crash site is armed
+        (:mod:`repro.stream.crash`), the first half of the payload is
+        flushed and fsync'd before the process dies — leaving the torn
+        snapshot file the fault-injection scenarios demand recovery
+        skip over.
+        """
+        from repro.stream.crash import armed, crash_hook
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / checkpoint_name(
+            snapshot.events_processed)
+        payload = snapshot.to_json()
+        with path.open("w", encoding="utf-8") as handle:
+            if armed("checkpoint-mid-write"):
+                half = max(1, len(payload) // 2)
+                handle.write(payload[:half])
+                handle.flush()
+                os.fsync(handle.fileno())
+                crash_hook("checkpoint-mid-write")
+                handle.write(payload[half:])
+            else:
+                handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        files = self.checkpoint_files()
+        for stale in files[:-self.retain]:
+            stale.unlink()

@@ -1,0 +1,150 @@
+"""Fault-injection harness for the durability layer.
+
+The tentpole's proof machinery: launch a *durable* replay run
+(``repro stream --replay --journal --checkpoint-every``) in a
+subprocess with :data:`repro.stream.crash.ENV_VAR` armed so the
+process kills itself at a chosen crash site, assert the process
+really died, then :func:`repro.stream.recovery.recover` from the
+surviving journal + checkpoint directory — optionally onto a
+**different worker count** — replay the not-yet-journaled remainder
+of the input stream, and diff the recovered trace against an
+uninterrupted baseline with :func:`~repro.stream.replay.align_traces`
++ :func:`~repro.stream.replay.diff_traces` (or the operator-facing
+``tools/trace_diff.py --align``, which must exit 0).
+
+Importable helpers only — the scenario matrix lives in
+``tests/stream/test_fault_injection.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.auction.events import AuctionRecord
+from repro.auction.trace import write_trace
+from repro.stream import EventLog, align_traces, diff_traces, recover
+from repro.stream.crash import ENV_VAR, EXIT_CODE, CrashPoint
+from repro.stream.recovery import RecoveryResult
+from repro.stream.replay import TraceDiff
+from repro.workloads import PaperWorkloadConfig
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src"
+
+
+@dataclass
+class CrashedRun:
+    """What a crashed durable run left behind (plus how it died)."""
+
+    proc: subprocess.CompletedProcess
+    journal: Path
+    checkpoint_dir: Path
+    config: PaperWorkloadConfig
+    seed: int
+
+    @property
+    def engine_seed(self) -> int:
+        """The CLI derives the decision seed as ``--seed`` + 1."""
+        return self.seed + 1
+
+
+def run_crashing_stream(tmp_path: Path, events_path: Path,
+                        crash: CrashPoint,
+                        config: PaperWorkloadConfig, *,
+                        method: str = "rh", workers: int = 0,
+                        seed: int = 0, checkpoint_every: int = 20,
+                        checkpoint_retain: int = 2,
+                        timeout: float = 240.0) -> CrashedRun:
+    """Run a durable CLI replay with a crash point armed.
+
+    The subprocess boundary is the point: ``os._exit`` mid-round is a
+    genuine process death (spawned shard workers included — they
+    inherit the armed environment), not an in-process exception, so
+    whatever the journal and checkpoint directory hold afterwards is
+    exactly what a real crash would leave.
+    """
+    journal = tmp_path / "journal.jsonl"
+    checkpoint_dir = tmp_path / "checkpoints"
+    cmd = [
+        sys.executable, "-m", "repro", "stream",
+        "--advertisers", str(config.num_advertisers),
+        "--slots", str(config.num_slots),
+        "--keywords", str(config.num_keywords),
+        "--method", method,
+        "--workers", str(workers),
+        "--seed", str(seed),
+        "--replay", str(events_path),
+        "--journal", str(journal),
+        "--checkpoint-every", str(checkpoint_every),
+        "--checkpoint-dir", str(checkpoint_dir),
+        "--checkpoint-retain", str(checkpoint_retain),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env[ENV_VAR] = crash.to_env()
+    proc = subprocess.run(cmd, cwd=REPO, env=env,
+                          capture_output=True, text=True,
+                          timeout=timeout)
+    return CrashedRun(proc=proc, journal=journal,
+                      checkpoint_dir=checkpoint_dir, config=config,
+                      seed=seed)
+
+
+def assert_crashed(run: CrashedRun) -> None:
+    """The run must have died, not completed.
+
+    A crash site reached in the driving process exits with the
+    dedicated :data:`~repro.stream.crash.EXIT_CODE`; killing a shard
+    *worker* instead takes the coordinator down through a broken pipe,
+    which surfaces as an ordinary non-zero exit.  Either way the
+    journal must exist — durability starts before the first event.
+    """
+    assert run.proc.returncode != 0, (
+        f"expected a crash, run completed:\n{run.proc.stdout}")
+    assert run.journal.exists()
+
+
+def recover_and_resume(run: CrashedRun, stream: EventLog, *,
+                       workers: int | None = None
+                       ) -> tuple[RecoveryResult, list[AuctionRecord]]:
+    """``recover()`` + remaining-suffix replay.
+
+    Returns the recovery result and the full recovered suffix trace:
+    the records replayed from the journal followed by the records from
+    feeding the service the input events it never journaled.
+    """
+    result = recover(run.journal, checkpoint_dir=run.checkpoint_dir,
+                     workers=workers)
+    try:
+        tail = result.service.run(stream[result.events_processed:])
+    finally:
+        result.service.close()
+    return result, result.records + tail
+
+
+def audit(baseline: list[AuctionRecord],
+          recovered: list[AuctionRecord]) -> TraceDiff:
+    """Align-and-diff: the recovered trace is a suffix, so the
+    baseline is first trimmed to its auction-id span."""
+    aligned, candidate = align_traces(baseline, recovered)
+    assert candidate, "recovered trace is empty — nothing audited"
+    return diff_traces(aligned, candidate)
+
+
+def audit_via_cli(tmp_path: Path, baseline: list[AuctionRecord],
+                  recovered: list[AuctionRecord]
+                  ) -> subprocess.CompletedProcess:
+    """The same audit through ``tools/trace_diff.py --align`` — the
+    operator path, which gates on exit status."""
+    baseline_path = tmp_path / "baseline_trace.jsonl"
+    recovered_path = tmp_path / "recovered_trace.jsonl"
+    write_trace(baseline_path, baseline)
+    write_trace(recovered_path, recovered)
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "trace_diff.py"),
+         "--align", str(baseline_path), str(recovered_path)],
+        cwd=REPO, capture_output=True, text=True, timeout=120)

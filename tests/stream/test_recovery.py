@@ -1,0 +1,476 @@
+"""Durability contract tests: journal, checkpoints, and recovery.
+
+Four layers of proof on top of the fault-injection matrix
+(``test_fault_injection.py``):
+
+* journal unit behaviour — header config, payload round-trips,
+  torn-tail truncation on resume, mid-file corruption rejection;
+* torn-write exhaustion — the journal tail and the newest checkpoint
+  each truncated at **every byte boundary** of the last record, with
+  recovery falling back to the last complete entry / previous valid
+  checkpoint;
+* format and worker-count portability — format-1 *and* format-2
+  checkpoints (the latter taken while advertisers are paused) each
+  restored onto 1, 2, and 4 workers with the journaled suffix
+  replayed on top;
+* a Hypothesis property — a random budget/churn stream cut at a
+  random index recovers (checkpointed or from genesis) to records,
+  balances, and emissions identical to the uninterrupted service,
+  for every method.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.stream import (
+    DurableAuctionService,
+    EventJournal,
+    OnlineAuctionService,
+    RecoveryError,
+    align_traces,
+    diff_traces,
+    recover,
+    scan_journal,
+)
+from repro.stream.journal import HEADER_KIND, JOURNAL_FORMAT
+from repro.stream.recovery import list_checkpoints, load_latest_valid
+from repro.stream.snapshot import CheckpointPolicy, checkpoint_name
+from repro.workloads import (
+    ChurnStreamConfig,
+    PaperWorkload,
+    PaperWorkloadConfig,
+    generate_stream,
+)
+
+CONFIG = PaperWorkloadConfig(num_advertisers=24, num_slots=3,
+                             num_keywords=2, seed=1)
+SEED = 3
+METHODS = ("rh", "lp", "hungarian", "rhtalu")
+
+
+def make_stream(num_events: int, *, budget_low: float = 4.0,
+                budget_high: float = 30.0, topup_weight: float = 0.5,
+                seed: int = 11):
+    workload = PaperWorkload(CONFIG)
+    return generate_stream(workload, ChurnStreamConfig(
+        num_events=num_events, churn_rate=0.25, genesis=12,
+        min_active=4, budget_low=budget_low, budget_high=budget_high,
+        topup_weight=topup_weight, seed=seed))
+
+
+@pytest.fixture(scope="module")
+def pressure_stream():
+    """Small join budgets + heavy top-ups: checkpoints land while
+    advertisers are paused, and many are later re-admitted."""
+    return make_stream(140, budget_low=3.0, budget_high=25.0,
+                       topup_weight=2.0)
+
+
+@pytest.fixture(scope="module")
+def untracked_stream():
+    """Zero-budget joins: nobody is budget-tracked (the format-1
+    world, where snapshots predate the lifecycle)."""
+    return make_stream(60, budget_low=0.0, budget_high=0.0)
+
+
+def durable_prefix(tmp_path: Path, stream, upto: int, *,
+                   method: str = "rh", every: int = 0,
+                   retain: int = 2) -> tuple[Path, Path]:
+    """Run a durable service over ``stream[:upto]`` and abandon it —
+    the in-process stand-in for a crash (every append was fsync'd, so
+    the artifacts are exactly what a death at that point leaves)."""
+    journal = tmp_path / "journal.jsonl"
+    checkpoint_dir = tmp_path / "checkpoints"
+    durable = DurableAuctionService.open(
+        CONFIG, journal, method=method, engine_seed=SEED,
+        checkpoint_dir=checkpoint_dir if every else None,
+        checkpoint_every=every, checkpoint_retain=retain)
+    durable.run(stream[:upto])
+    durable.close()
+    return journal, checkpoint_dir
+
+
+def end_state(service) -> dict:
+    return {
+        "active": service.active_advertisers(),
+        "paused": service.paused_advertisers(),
+        "balances": {advertiser: service.budget_of(advertiser)
+                     for advertiser in service.active_advertisers()},
+    }
+
+
+class TestJournal:
+    def test_header_carries_format_and_config(self, tmp_path):
+        service = OnlineAuctionService(CONFIG, engine_seed=SEED)
+        path = tmp_path / "journal.jsonl"
+        EventJournal.create(path, service.config_payload()).close()
+        service.close()
+
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == HEADER_KIND
+        assert header["format"] == JOURNAL_FORMAT
+        scanned = scan_journal(path)
+        assert scanned.config == service.config_payload()
+        assert scanned.entries == []
+        assert not scanned.torn_tail
+
+    def test_event_payloads_round_trip(self, tmp_path):
+        stream = make_stream(20)
+        path = tmp_path / "journal.jsonl"
+        with EventJournal.create(path, {"method": "rh"}) as journal:
+            for seq, event in enumerate(stream):
+                journal.append(seq, event)
+        scanned = scan_journal(path)
+        assert [entry.event for entry in scanned.entries] \
+            == list(stream)
+        assert [entry.seq for entry in scanned.entries] \
+            == list(range(len(stream)))
+        assert all(entry.origin == "input"
+                   for entry in scanned.entries)
+        assert scanned.max_seq == len(stream) - 1
+
+    def test_scan_rejects_bad_headers(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError, match="journal"):
+            scan_journal(path)
+        path.write_text(json.dumps({"kind": HEADER_KIND,
+                                    "format": "something-else",
+                                    "config": {}}) + "\n")
+        with pytest.raises(ValueError, match="journal"):
+            scan_journal(path)
+
+    def test_mid_file_corruption_is_not_a_tear(self, tmp_path):
+        stream = make_stream(20)
+        path = tmp_path / "journal.jsonl"
+        with EventJournal.create(path, {}) as journal:
+            for seq, event in enumerate(stream.prefix(6)):
+                journal.append(seq, event)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[3] = lines[3][: len(lines[3]) // 2] + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(ValueError):
+            scan_journal(path)
+
+    def test_resume_truncates_the_torn_tail(self, tmp_path):
+        stream = make_stream(20)
+        path = tmp_path / "journal.jsonl"
+        with EventJournal.create(path, {}) as journal:
+            for seq, event in enumerate(stream.prefix(5)):
+                journal.append(seq, event)
+        data = path.read_bytes()
+        last_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+        path.write_bytes(data[: last_start + 7])  # torn 5th entry
+        assert scan_journal(path).torn_tail
+
+        with EventJournal.resume(path) as journal:
+            journal.append(4, stream[4])
+        scanned = scan_journal(path)
+        assert not scanned.torn_tail
+        assert [entry.seq for entry in scanned.entries] \
+            == [0, 1, 2, 3, 4]
+        assert scanned.entries[-1].event == stream[4]
+
+
+class TestCheckpointPolicy:
+    def test_naming_orders_by_watermark(self):
+        names = [checkpoint_name(n) for n in (7, 40, 123, 4000)]
+        assert names == sorted(names)
+
+    def test_due_on_multiples_only(self, tmp_path):
+        policy = CheckpointPolicy(directory=tmp_path, every=25)
+        assert not policy.due(0)
+        assert policy.due(25) and policy.due(50)
+        assert not policy.due(26)
+
+    def test_retention_prunes_oldest(self, tmp_path, stream=None):
+        events = make_stream(40)
+        durable_prefix(tmp_path, events, len(events), every=10,
+                       retain=2)
+        files = list_checkpoints(tmp_path / "checkpoints")
+        assert len(files) == 2
+        watermarks = [int(path.stem.split("-")[1]) for path in files]
+        assert watermarks == sorted(watermarks)
+        assert watermarks[-1] - watermarks[0] == 10
+
+
+class TestTornWrites:
+    def test_journal_tail_torn_at_every_byte(self, tmp_path):
+        """Truncate the final journal record at every byte boundary:
+        scan always keeps exactly the complete prefix, and flags the
+        tear unless the cut removed the whole line."""
+        stream = make_stream(20)
+        journal, _ = durable_prefix(tmp_path, stream, len(stream))
+        data = journal.read_bytes()
+        complete = len(scan_journal(journal).entries)
+        last_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+
+        torn = tmp_path / "torn.jsonl"
+        for cut in range(last_start, len(data)):
+            torn.write_bytes(data[:cut])
+            scanned = scan_journal(torn)
+            assert len(scanned.entries) == complete - 1, cut
+            assert scanned.torn_tail == (cut > last_start), cut
+        torn.write_bytes(data)
+        assert len(scan_journal(torn).entries) == complete
+
+    def test_checkpoint_torn_at_every_byte_falls_back(self,
+                                                      tmp_path):
+        """Truncate the newest checkpoint at every byte boundary:
+        recovery always skips it and lands on the previous valid
+        checkpoint."""
+        stream = make_stream(30)
+        journal, checkpoint_dir = durable_prefix(
+            tmp_path, stream, len(stream), every=10)
+        previous, newest = list_checkpoints(checkpoint_dir)
+        data = newest.read_bytes()
+
+        # Cutting only the trailing newline leaves complete JSON —
+        # not a tear.  Every cut inside the record itself must fall
+        # back.
+        content = len(data.rstrip(b"\n"))
+        for cut in range(len(data)):
+            newest.write_bytes(data[:cut])
+            snapshot, path, skipped = load_latest_valid(
+                checkpoint_dir)
+            if cut < content:
+                assert path == previous, cut
+                assert skipped == [newest], cut
+            else:
+                assert path == newest, cut
+                assert skipped == [], cut
+        # Full recovery from a representative tear: replay resumes
+        # from the fallback watermark and reaches the stream's end
+        # state.
+        newest.write_bytes(data[: len(data) // 2])
+        baseline = OnlineAuctionService(CONFIG, engine_seed=SEED)
+        expected = baseline.run(stream)
+        result = recover(journal, checkpoint_dir=checkpoint_dir)
+        try:
+            assert result.checkpoints_skipped == 1
+            assert result.checkpoint_path == previous
+            aligned, candidate = align_traces(expected,
+                                              result.records)
+            assert diff_traces(aligned, candidate).identical
+            assert end_state(result.service) == end_state(baseline)
+        finally:
+            result.service.close()
+            baseline.close()
+
+
+class TestRecoveryAcrossFormatsAndWorkers:
+    CUT = 130  # leaves a journaled suffix past the last checkpoint
+    EVERY = 25
+
+    @pytest.fixture(scope="class")
+    def pressure_baseline(self, pressure_stream):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        records = service.run(pressure_stream)
+        state = end_state(service)
+        emitted = list(service.emitted)
+        service.close()
+        return records, state, emitted
+
+    @pytest.fixture(scope="class")
+    def pressure_artifacts(self, pressure_stream, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("format2")
+        return durable_prefix(tmp_path, pressure_stream, self.CUT,
+                              every=self.EVERY)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_format_2_restores_paused_state_to_any_worker_count(
+            self, pressure_stream, pressure_baseline,
+            pressure_artifacts, workers):
+        journal, checkpoint_dir = pressure_artifacts
+        records, state, emitted = pressure_baseline
+
+        # The satellite's precondition: the checkpoint being restored
+        # was taken *while advertisers were paused*.
+        snapshot, _, _ = load_latest_valid(checkpoint_dir)
+        paused_at_checkpoint = [
+            advertiser for advertiser, entry
+            in snapshot.registry.items() if entry["paused"]]
+        assert paused_at_checkpoint
+
+        result = recover(journal, checkpoint_dir=checkpoint_dir,
+                         workers=workers)
+        try:
+            assert result.checkpoint_events == 125
+            assert result.replayed_events == self.CUT - 125
+            tail = result.service.run(pressure_stream[self.CUT:])
+            recovered = result.records + tail
+            aligned, candidate = align_traces(records, recovered)
+            assert diff_traces(aligned, candidate).identical
+            assert end_state(result.service) == state
+            # Emissions re-derived from the watermark onward are the
+            # exact suffix of the uninterrupted run's emission log.
+            rederived = list(result.service.emitted)
+            assert rederived == emitted[len(emitted) - len(rederived):]
+            assert rederived  # the lifecycle was live in the span
+        finally:
+            result.service.close()
+
+    @pytest.fixture(scope="class")
+    def untracked_baseline(self, untracked_stream):
+        service = OnlineAuctionService(CONFIG, method="rh",
+                                       engine_seed=SEED)
+        records = service.run(untracked_stream)
+        state = end_state(service)
+        assert not service.emitted  # untracked: lifecycle inert
+        service.close()
+        return records, state
+
+    @pytest.fixture(scope="class")
+    def format_1_artifacts(self, untracked_stream, tmp_path_factory):
+        """Durable artifacts whose newest checkpoint is down-edited
+        to the format-1 (pre-lifecycle) schema."""
+        tmp_path = tmp_path_factory.mktemp("format1")
+        journal, checkpoint_dir = durable_prefix(
+            tmp_path, untracked_stream, 66, every=15)
+        newest = list_checkpoints(checkpoint_dir)[-1]
+        payload = json.loads(newest.read_text(encoding="utf-8"))
+        payload["format"] = "repro-stream-snapshot/1"
+        for entry in payload["registry"].values():
+            del entry["paused"]
+            if entry["budget"] is None:
+                entry["budget"] = 0.0
+        payload["backend_state"].pop("paused", None)
+        newest.write_text(json.dumps(payload), encoding="utf-8")
+        return journal, checkpoint_dir
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_format_1_checkpoint_recovers_to_any_worker_count(
+            self, untracked_stream, untracked_baseline,
+            format_1_artifacts, workers):
+        journal, checkpoint_dir = format_1_artifacts
+        records, state = untracked_baseline
+
+        result = recover(journal, checkpoint_dir=checkpoint_dir,
+                         workers=workers)
+        try:
+            assert result.checkpoint_events == 60
+            assert result.replayed_events == 66 - 60
+            tail = result.service.run(untracked_stream[66:])
+            recovered = result.records + tail
+            aligned, candidate = align_traces(records, recovered)
+            assert diff_traces(aligned, candidate).identical
+            # Format-1 restores untracked — and the stream really is.
+            for advertiser in result.service.active_advertisers():
+                assert result.service.budget_of(advertiser) \
+                    == math.inf
+            assert result.service.active_advertisers() \
+                == state["active"]
+            assert result.service.paused_advertisers() == []
+        finally:
+            result.service.close()
+
+
+class TestRecoveryEdges:
+    def test_genesis_recovery_without_checkpoints(self, tmp_path):
+        stream = make_stream(40)
+        journal, _ = durable_prefix(tmp_path, stream, len(stream))
+        baseline = OnlineAuctionService(CONFIG, engine_seed=SEED)
+        expected = baseline.run(stream)
+
+        result = recover(journal)
+        try:
+            assert result.checkpoint_path is None
+            assert result.checkpoint_events == 0
+            assert result.replayed_events == len(stream)
+            assert diff_traces(expected, result.records).identical
+            assert end_state(result.service) == end_state(baseline)
+        finally:
+            result.service.close()
+            baseline.close()
+
+    def test_recovery_needs_a_config_source(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        EventJournal.create(path, {}).close()
+        with pytest.raises(RecoveryError, match="config"):
+            recover(path)
+
+    def test_resume_durable_continues_the_same_journal(self,
+                                                       tmp_path):
+        stream = make_stream(40)
+        journal, checkpoint_dir = durable_prefix(
+            tmp_path, stream, 23, every=10)
+        result = recover(journal, checkpoint_dir=checkpoint_dir)
+        durable = result.resume_durable(checkpoint_every=10)
+        try:
+            durable.run(stream[result.events_processed:])
+        finally:
+            durable.close()
+
+        scanned = scan_journal(journal)
+        seqs = [entry.seq for entry in scanned.entries
+                if entry.origin == "input"]
+        assert seqs == list(range(len(stream)))
+        baseline = OnlineAuctionService(CONFIG, engine_seed=SEED)
+        baseline.run(stream)
+        assert end_state(durable.service) == end_state(baseline)
+        baseline.close()
+
+
+class TestCrashAnywhereProperty:
+    """Satellite 1: a random stream cut at a random index always
+    recovers — records, balances, and emissions — for every method."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.data_too_large])
+    @given(data=st.data())
+    def test_random_crash_index_recovers_identically(self, data):
+        method = data.draw(st.sampled_from(METHODS), label="method")
+        stream_seed = data.draw(st.integers(0, 3),
+                                label="stream_seed")
+        every = data.draw(st.sampled_from((0, 7, 20)),
+                          label="checkpoint_every")
+        stream = make_stream(40, budget_low=3.0, budget_high=25.0,
+                             topup_weight=1.5, seed=stream_seed)
+        crash_at = data.draw(
+            st.integers(1, len(stream) - 1), label="crash_at")
+
+        baseline = OnlineAuctionService(CONFIG, method=method,
+                                        engine_seed=SEED)
+        expected = baseline.run(stream)
+        expected_state = end_state(baseline)
+        expected_emitted = list(baseline.emitted)
+        baseline.close()
+
+        with tempfile.TemporaryDirectory() as tmp:
+            journal, checkpoint_dir = durable_prefix(
+                Path(tmp), stream, crash_at, method=method,
+                every=every)
+            result = recover(
+                journal,
+                checkpoint_dir=checkpoint_dir if every else None)
+            try:
+                tail = result.service.run(stream[crash_at:])
+                recovered = result.records + tail
+                if every == 0:
+                    # Genesis recovery replays everything: the whole
+                    # trace and emission log must match exactly.
+                    assert result.replayed_events == crash_at
+                    assert diff_traces(expected,
+                                       recovered).identical
+                    assert len(recovered) == len(expected)
+                    assert list(result.service.emitted) \
+                        == expected_emitted
+                else:
+                    aligned, candidate = align_traces(expected,
+                                                      recovered)
+                    assert diff_traces(aligned, candidate).identical
+                    rederived = list(result.service.emitted)
+                    assert rederived == expected_emitted[
+                        len(expected_emitted) - len(rederived):]
+                assert end_state(result.service) == expected_state
+            finally:
+                result.service.close()

@@ -264,6 +264,76 @@ class TestStream:
         assert diff_trace_files(first_trace, second_trace).identical
 
 
+class TestDurableStream:
+    ARGS = TestStream.ARGS + ["--budget-low", "4",
+                              "--budget-high", "25"]
+
+    def test_journal_checkpoint_recover_roundtrip(self, capsys,
+                                                  tmp_path):
+        """The runbook flow: record, serve durably, recover onto a
+        different worker count, audit the aligned traces."""
+        from repro.auction.trace import read_trace
+        from repro.stream.replay import align_traces, diff_traces
+
+        events = tmp_path / "events.jsonl"
+        baseline_trace = tmp_path / "baseline.jsonl"
+        recovered_trace = tmp_path / "recovered.jsonl"
+        journal = tmp_path / "journal.jsonl"
+        checkpoints = tmp_path / "checkpoints"
+
+        assert main(self.ARGS + ["--record-events", str(events),
+                                 "--trace", str(baseline_trace)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--replay", str(events),
+                                 "--journal", str(journal),
+                                 "--checkpoint-every", "20",
+                                 "--checkpoint-dir",
+                                 str(checkpoints)]) == 0
+        out = capsys.readouterr().out
+        assert "fsync'd" in out
+        assert "checkpoints: every 20" in out
+        assert journal.exists()
+        assert list(checkpoints.iterdir())
+
+        assert main(["recover", "--journal", str(journal),
+                     "--checkpoint-dir", str(checkpoints),
+                     "--workers", "2",
+                     "--resume-events", str(events),
+                     "--trace", str(recovered_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint:" in out
+        assert "recovered watermark:" in out
+        assert recovered_trace.exists()
+        aligned, candidate = align_traces(
+            read_trace(baseline_trace), read_trace(recovered_trace))
+        assert candidate
+        diff = diff_traces(aligned, candidate)
+        assert diff.identical, diff.format_report()
+
+    def test_journal_excludes_one_shot_snapshot(self, capsys,
+                                                tmp_path):
+        code = main(self.ARGS + ["--journal",
+                                 str(tmp_path / "j.jsonl"),
+                                 "--snapshot-at", "10"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_checkpoint_every_needs_a_directory(self, capsys,
+                                                tmp_path):
+        code = main(self.ARGS + ["--journal",
+                                 str(tmp_path / "j.jsonl"),
+                                 "--checkpoint-every", "10"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_recover_reports_failure_cleanly(self, capsys,
+                                             tmp_path):
+        code = main(["recover", "--journal",
+                     str(tmp_path / "missing.jsonl")])
+        assert code == 1
+        assert "recovery failed" in capsys.readouterr().err
+
+
 class TestBenchChurn:
     def test_incremental_vs_rebuild_gate(self, capsys):
         code = main(["bench-throughput", "--advertisers", "40",

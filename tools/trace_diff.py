@@ -8,12 +8,18 @@ hold the two traces to each other::
 
     python tools/trace_diff.py baseline_trace.jsonl candidate_trace.jsonl
     python tools/trace_diff.py --json baseline.jsonl candidate.jsonl
+    python tools/trace_diff.py --align full_baseline.jsonl recovered.jsonl
 
 Exit status 0 when the traces are identical on every deterministic
 outcome field (allocations, clicks, prices, revenues), 1 when anything
 drifted; the report names each drifting advertiser with its charged /
-wins / clicks deltas and pinpoints the first diverging record.  Thin
-wrapper over :mod:`repro.stream.replay`.
+wins / clicks deltas and pinpoints the first diverging record.  CI
+gates on the exit status.  ``--align`` first trims the baseline to the
+candidate's auction-id span — the crash-recovery audit, where the
+recovered trace (``repro recover --trace``) covers only the suffix
+from the restored checkpoint onward (see the runbook in
+``docs/operations.md``).  Thin wrapper over
+:mod:`repro.stream.replay`.
 """
 
 from __future__ import annotations
@@ -25,7 +31,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.stream.replay import diff_trace_files  # noqa: E402
+from repro.auction.trace import read_trace  # noqa: E402
+from repro.stream.replay import (  # noqa: E402
+    align_traces,
+    diff_trace_files,
+    diff_traces,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,9 +47,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit the full diff as JSON instead of "
                              "the human-readable report")
+    parser.add_argument("--align", action="store_true",
+                        help="trim the baseline to the candidate's "
+                             "auction-id span before diffing (the "
+                             "crash-recovery audit: the recovered "
+                             "trace is a suffix)")
     args = parser.parse_args(argv)
 
-    diff = diff_trace_files(args.baseline, args.candidate)
+    if args.align:
+        aligned, candidate = align_traces(read_trace(args.baseline),
+                                          read_trace(args.candidate))
+        diff = diff_traces(aligned, candidate)
+    else:
+        diff = diff_trace_files(args.baseline, args.candidate)
     if args.json:
         print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
     else:
