@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Self-healing: heal latency and the cost of surviving worker kills.
+
+The acceptance benchmark for the supervision layer
+(:mod:`repro.runtime.supervision`): drive the same churn stream
+through a supervised sharded :class:`~repro.stream.service
+.OnlineAuctionService` three times —
+
+* **baseline** — nobody dies; what supervision costs when idle;
+* **respawn** — a shard worker is SIGKILLed mid-stream (restart
+  budget available): the dead shard is rebuilt from the supervisor's
+  retained capture + replayed history in a fresh process;
+* **degraded** — the same kill with the restart budget exhausted:
+  every shard's state is reconstructed, merged, and re-split over one
+  fewer worker.
+
+Each cell reports wall seconds, end-to-end throughput, and the
+supervisor's heal accounting (mean/max heal seconds, respawns,
+re-shards).  Every cell is oracle-checked: its records must be
+bit-identical to an unfailed in-process run — healing must never cost
+correctness, only wall time.  The committed ``BENCH_supervision.json``
+backs the runbook's sizing guidance;
+``tests/test_bench_artifacts.py`` pins its structure.
+
+Run::
+
+    python benchmarks/bench_supervision.py
+    python benchmarks/bench_supervision.py --size 200 --events 240 \
+        --workers 2 --kill-at 120 --out BENCH_supervision.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import ENGINE_SEED, WORKLOAD_SEED, build_workload  # noqa: E402
+from repro.bench import records_identical  # noqa: E402
+from repro.stream import OnlineAuctionService  # noqa: E402
+from repro.workloads import ChurnStreamConfig, generate_stream  # noqa: E402
+
+
+def run_cell(config, stream, label: str, method: str, workers: int,
+             kill_at: list[int], max_worker_restarts: int,
+             oracle_records) -> dict:
+    """One supervised run, optionally SIGKILLing a worker just before
+    each event index in ``kill_at``; oracle-checked for bit-identity."""
+    with OnlineAuctionService(
+            config, method=method, workers=workers,
+            engine_seed=ENGINE_SEED, supervise=True,
+            round_timeout=120.0,
+            max_worker_restarts=max_worker_restarts) as service:
+        runtime = service.backend.runtime
+        runtime._ensure_started()
+        kills = sorted(kill_at)
+        records = []
+        start = time.perf_counter()
+        for index, event in enumerate(stream):
+            if kills and kills[0] == index:
+                kills.pop(0)
+                victim = runtime._processes[index
+                                            % len(runtime._processes)]
+                if victim.is_alive():
+                    os.kill(victim.pid, signal.SIGKILL)
+            record = service.process(event)
+            if record is not None:
+                records.append(record)
+        wall = time.perf_counter() - start
+        supervision = service.backend.supervision_snapshot()
+        end_workers = runtime.plan.num_shards
+    return {
+        "label": label,
+        "kills": len(kill_at),
+        "max_worker_restarts": max_worker_restarts,
+        "wall_seconds": wall,
+        "events_per_second": len(stream) / wall,
+        "workers_at_end": end_workers,
+        "supervision": supervision,
+        "identical": records_identical(oracle_records, records),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=200,
+                        help="advertiser universe capacity")
+    parser.add_argument("--events", type=int, default=240,
+                        help="post-genesis events per stream")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shard worker fleet size")
+    parser.add_argument("--kill-at", default="120",
+                        help="comma-separated event indices to "
+                             "SIGKILL a worker before")
+    parser.add_argument("--slots", type=int, default=15)
+    parser.add_argument("--keywords", type=int, default=10)
+    parser.add_argument("--method", default="rh",
+                        choices=["rh", "lp", "hungarian", "rhtalu"])
+    parser.add_argument("--out", default="BENCH_supervision.json")
+    args = parser.parse_args(argv)
+
+    kill_at = [int(value) for value in args.kill_at.split(",")]
+    workload = build_workload(args.size, args.slots, args.keywords)
+    config = workload.config
+    stream = generate_stream(workload, ChurnStreamConfig(
+        num_events=args.events, churn_rate=0.2,
+        genesis=args.size // 2, min_active=args.slots + 1,
+        budget_low=4.0, budget_high=30.0, topup_weight=1.5,
+        seed=WORKLOAD_SEED + 17))
+    stream = list(stream)
+
+    print(f"supervision sweep: method={args.method} "
+          f"capacity={args.size} events={len(stream)} "
+          f"workers={args.workers} kill_at={kill_at}")
+
+    oracle = OnlineAuctionService(config, method=args.method,
+                                  engine_seed=ENGINE_SEED)
+    start = time.perf_counter()
+    oracle_records = oracle.run(stream)
+    oracle_wall = time.perf_counter() - start
+    oracle.close()
+
+    cells = []
+    for label, kills, restarts in (
+            ("baseline", [], 1),
+            ("respawn", kill_at, max(1, len(kill_at))),
+            ("degraded", kill_at[:1], 0)):
+        cell = run_cell(config, stream, label, args.method,
+                        args.workers, kills, restarts, oracle_records)
+        cells.append(cell)
+        heal = cell["supervision"]
+        healed = (f", healed {heal['worker_failures']} "
+                  f"(mean {1e3 * heal['mean_heal_seconds']:.1f} ms)"
+                  if heal.get("worker_failures") else "")
+        print(f"  {label:>9}: {cell['wall_seconds']:.2f}s "
+              f"({cell['events_per_second']:.0f} ev/s){healed}, "
+              f"identical={cell['identical']}")
+
+    artifact = {
+        "config": {
+            "size": args.size,
+            "slots": args.slots,
+            "keywords": args.keywords,
+            "method": args.method,
+            "events": len(stream),
+            "workers": args.workers,
+            "kill_at": kill_at,
+        },
+        "oracle_wall_seconds": oracle_wall,
+        "cells": cells,
+        "all_identical": all(cell["identical"] for cell in cells),
+    }
+    Path(args.out).write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0 if artifact["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

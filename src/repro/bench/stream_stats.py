@@ -20,6 +20,11 @@ class EventTimings:
 
     counts: dict[str, int] = field(default_factory=dict)
     seconds: dict[str, float] = field(default_factory=dict)
+    supervision: dict = field(default_factory=dict)
+    """Worker-supervision counters (failures, respawns, reshards,
+    heal latency) from :class:`repro.runtime.supervision
+    .SupervisionStats` — empty unless the service runs supervised
+    shards and a counter moved."""
 
     def record(self, kind: str, elapsed: float) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
@@ -33,6 +38,22 @@ class EventTimings:
             self.counts[kind] = self.counts.get(kind, 0) + count
         for kind, value in other.seconds.items():
             self.seconds[kind] = self.seconds.get(kind, 0.0) + value
+        if other.supervision:
+            merged = dict(self.supervision)
+            for key, value in other.supervision.items():
+                if key == "max_heal_seconds":
+                    merged[key] = max(merged.get(key, 0.0), value)
+                elif key == "mean_heal_seconds":
+                    continue  # recomputed below
+                elif isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+                else:  # pragma: no cover - future non-numeric fields
+                    merged[key] = value
+            heals = merged.get("heals", 0)
+            if heals:
+                merged["mean_heal_seconds"] = (
+                    merged.get("heal_seconds", 0.0) / heals)
+            self.supervision = merged
 
     @property
     def total_events(self) -> int:
@@ -54,7 +75,7 @@ class EventTimings:
         return 1e3 * self.seconds.get(kind, 0.0) / count
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "total_events": self.total_events,
             "total_seconds": self.total_seconds,
             "control_seconds": self.control_seconds(),
@@ -67,3 +88,6 @@ class EventTimings:
                 for kind in sorted(self.counts)
             },
         }
+        if self.supervision:
+            payload["supervision"] = dict(self.supervision)
+        return payload

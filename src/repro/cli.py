@@ -25,6 +25,11 @@ Commands
     diffs the traces; see ``docs/operations.md``).  ``--journal`` adds
     durability: every event is fsync'd to a write-ahead journal before
     application, with ``--checkpoint-every`` continuous checkpoints.
+    ``--supervise`` arms worker supervision for sharded runs: a killed
+    or hung shard worker (``--round-timeout``) is healed in place —
+    respawned from the supervisor's retained capture, or, past
+    ``--max-worker-restarts``, the fleet degrades to one fewer worker
+    — with records bit-identical to an unfailed run.
 ``recover``
     Rebuild a crashed durable service from its journal and checkpoint
     directory: newest valid checkpoint (torn files skipped) plus
@@ -147,6 +152,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         stream.to_jsonl(args.record_events)
         print(f"event log written to {args.record_events}")
 
+    if args.supervise and not args.workers:
+        print("--supervise needs --workers >= 1 (the in-process "
+              "backend has no worker fleet to supervise)",
+              file=sys.stderr)
+        return 2
+
     if args.journal:
         # Durable serving: journal-ahead every event, checkpoint on
         # the --checkpoint-every schedule; crash recovery is
@@ -168,7 +179,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 engine_seed=args.seed + 1,
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_every=args.checkpoint_every,
-                checkpoint_retain=args.checkpoint_retain) as durable:
+                checkpoint_retain=args.checkpoint_retain,
+                supervise=args.supervise,
+                round_timeout=args.round_timeout,
+                max_worker_restarts=args.max_worker_restarts
+                ) as durable:
             records = durable.run(stream)
             inner = durable.service
             accounts = inner.accounts
@@ -193,7 +208,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     with OnlineAuctionService(
             config, method=args.method, maintenance=args.maintenance,
-            workers=args.workers, engine_seed=args.seed + 1) as service:
+            workers=args.workers, engine_seed=args.seed + 1,
+            supervise=args.supervise,
+            round_timeout=args.round_timeout,
+            max_worker_restarts=args.max_worker_restarts) as service:
         if args.snapshot_at:
             head = service.run(stream.prefix(args.snapshot_at))
             snapshot = service.snapshot()
@@ -249,6 +267,14 @@ def _print_stream_summary(args, records, accounts, active, paused,
     mode = (f"{args.workers} workers" if args.workers
             else "in-process")
     print(f"maintenance={args.maintenance} ({mode})")
+    supervision = timing.get("supervision")
+    if supervision:
+        print(f"supervision: {supervision['worker_failures']} worker "
+              f"failures healed ({supervision['respawns']} respawns, "
+              f"{supervision['reshards']} re-shards, "
+              f"{supervision['timeouts']} timeouts) "
+              f"mean heal {1e3 * supervision['mean_heal_seconds']:.1f} "
+              f"ms")
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -547,6 +573,22 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="K",
                         help="keep the newest K checkpoints "
                              "(default 2: survives one torn file)")
+    stream.add_argument("--supervise", action="store_true",
+                        help="with --workers: heal worker failures "
+                             "in place (respawn the shard from the "
+                             "supervisor's retained capture; after "
+                             "--max-worker-restarts, degrade to one "
+                             "fewer worker) instead of dying")
+    stream.add_argument("--round-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="treat a shard whose reply is this late "
+                             "as hung and heal it (default: wait "
+                             "forever on a live worker)")
+    stream.add_argument("--max-worker-restarts", type=int, default=1,
+                        metavar="N",
+                        help="per-shard respawn budget before the "
+                             "fleet degrades by re-sharding over one "
+                             "fewer worker (default 1)")
     stream.set_defaults(func=_cmd_stream)
 
     recover = commands.add_parser(

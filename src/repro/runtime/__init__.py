@@ -20,6 +20,10 @@ Layers
   full gather, RHTALU TA scan).
 * :mod:`repro.runtime.executor` — the coordinator: merge, matching,
   pricing, settlement, worker lifecycle.
+* :mod:`repro.runtime.supervision` — worker failure detection
+  (:class:`WorkerFailure`) and the retained-capture + replay state
+  (:class:`WorkerSupervisor`) that lets the streaming runtime heal a
+  dead or hung shard in place.
 
 See ``docs/runtime.md`` for the design and the bit-identity argument,
 and ``benchmarks/bench_shard_scaling.py`` for the worker-sweep
@@ -28,9 +32,17 @@ acceptance benchmark (``BENCH_shards.json``).
 
 from repro.runtime.executor import ShardedAuctionRuntime
 from repro.runtime.sharding import ShardPlan, shard_bounds
+from repro.runtime.supervision import (
+    SupervisionStats,
+    WorkerFailure,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "ShardPlan",
     "ShardedAuctionRuntime",
+    "SupervisionStats",
+    "WorkerFailure",
+    "WorkerSupervisor",
     "shard_bounds",
 ]

@@ -32,6 +32,7 @@ one thing allowed to differ; see ``docs/runtime.md``.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time as time_module
 from typing import Sequence
@@ -66,24 +67,34 @@ from repro.runtime.messages import (
     SnapshotReply,
     SnapshotRequest,
     WinNotice,
-    WorkerFailure,
     WorkerReady,
 )
+from repro.runtime.messages import WorkerFailure as WorkerFailureReply
 from repro.runtime.sharding import ShardPlan
+from repro.runtime.supervision import WorkerFailure, WorkerSupervisor
 from repro.runtime.worker import (
     StreamShardConfig,
     WorkerInit,
+    _shift_capture_ids,
     worker_main,
 )
 from repro.stream.crash import crash_hook
+from repro.stream.snapshot import merge_captures, slice_capture
 from repro.strategies.base import Query
 from repro.workloads.paper_workload import (
     PaperWorkload,
     PaperWorkloadConfig,
 )
 
+_LOG = logging.getLogger(__name__)
+
 SCAN_METHODS = frozenset({"rh"})
 """Methods whose per-slot top-list scan distributes over shards."""
+
+_POLL_TICK = 0.05
+"""Seconds between liveness checks while waiting on a worker pipe."""
+
+_ROUND_REPLIES = (ScanReply, GatherReply, RhtaluScanReply)
 
 
 class ShardedAuctionRuntime:
@@ -125,9 +136,13 @@ class ShardedAuctionRuntime:
     def __init__(self, workload_config: PaperWorkloadConfig,
                  method: str = "rh", workers: int = 2,
                  engine_seed: int = 0,
-                 start_method: str | None = None):
+                 start_method: str | None = None,
+                 round_timeout: float | None = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if round_timeout is not None and round_timeout <= 0:
+            raise ValueError(
+                f"round_timeout must be > 0, got {round_timeout}")
         self.workload = PaperWorkload(workload_config)
         self.workload_config = workload_config
         self.click_model = self.workload.click_model()
@@ -165,6 +180,11 @@ class ShardedAuctionRuntime:
         self._processes: list[multiprocessing.Process] | None = None
         self._conns: list = []
         self._closed = False
+        self.round_timeout = round_timeout
+        self.supervisor: WorkerSupervisor | None = None
+        self._generation = 0
+        self._last_sent = [""] * self.plan.num_shards
+        self._join_timeout = 5.0
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -198,12 +218,7 @@ class ShardedAuctionRuntime:
                 processes.append(process)
                 conns.append(parent_conn)
             for shard, conn in enumerate(conns):
-                ready = conn.recv()
-                if isinstance(ready, WorkerFailure):
-                    raise RuntimeError(
-                        f"shard {ready.shard} failed to build:\n"
-                        f"{ready.traceback}")
-                assert isinstance(ready, WorkerReady)
+                self._handshake(shard, processes[shard], conn)
         except BaseException:
             for conn in conns:
                 conn.close()
@@ -214,6 +229,32 @@ class ShardedAuctionRuntime:
             raise
         self._processes = processes
         self._conns = conns
+        self._last_sent = ["spawn"] * len(conns)
+
+    def _handshake(self, shard: int, process, conn) -> WorkerReady:
+        """Wait for a worker's ready message, watching for death.
+
+        A blocking ``recv`` here would hang forever if the worker was
+        OOM-killed (or crashed outside Python) during its build; poll
+        and check liveness instead.
+        """
+        try:
+            while not conn.poll(_POLL_TICK):
+                if not process.is_alive():
+                    raise WorkerFailure(
+                        shard,
+                        "died during startup "
+                        f"(exitcode {process.exitcode})", "spawn")
+            ready = conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise WorkerFailure(
+                shard, f"connection lost during startup ({exc!r})",
+                "spawn") from exc
+        if isinstance(ready, WorkerFailureReply):
+            raise WorkerFailure(shard, "failed to build", "spawn",
+                                traceback=ready.traceback)
+        assert isinstance(ready, WorkerReady)
+        return ready
 
     def _make_worker_init(self, shard: int, lo: int, hi: int,
                           seed_sequence) -> WorkerInit:
@@ -222,7 +263,8 @@ class ShardedAuctionRuntime:
             shard=shard, lo=lo, hi=hi, method=self.method,
             workload_config=self.workload_config,
             top_depth=self.top_depth,
-            seed_sequence=seed_sequence)
+            seed_sequence=seed_sequence,
+            generation=self._generation)
 
     def close(self) -> None:
         """Shut the worker fleet down.
@@ -244,11 +286,26 @@ class ShardedAuctionRuntime:
             self._pending[shard].clear()
             self._pending_controls[shard].clear()
             conn.close()
+        self._reap(processes)
+
+    def _reap(self, processes) -> None:
+        """Join workers, escalating join → terminate → kill.
+
+        A worker that ignores ``Shutdown`` and SIGTERM (wedged in a C
+        extension, or a test's deliberately stubborn worker) must not
+        leak past ``close()``: after ``_join_timeout`` seconds each,
+        the escalation ends at SIGKILL, which is not ignorable.
+        """
         for process in processes:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - hung worker
+            process.join(timeout=self._join_timeout)
+            if process.is_alive():
                 process.terminate()
-                process.join(timeout=5)
+                process.join(timeout=self._join_timeout)
+            if process.is_alive():
+                _LOG.warning(
+                    "worker %s ignored SIGTERM; killing", process.name)
+                process.kill()
+                process.join(timeout=self._join_timeout)
 
     def __enter__(self) -> "ShardedAuctionRuntime":
         self._ensure_started()
@@ -263,12 +320,62 @@ class ShardedAuctionRuntime:
         except Exception:
             pass
 
-    def _recv(self, shard: int):
-        reply = self._conns[shard].recv()
-        if isinstance(reply, WorkerFailure):
-            self.close()
-            raise RuntimeError(
-                f"shard {reply.shard} failed:\n{reply.traceback}")
+    # -- guarded wire primitives -------------------------------------------
+
+    def _send(self, shard: int, message) -> None:
+        """Send, raising :class:`WorkerFailure` on a dead pipe."""
+        self._last_sent[shard] = type(message).__name__
+        try:
+            self._conns[shard].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerFailure(
+                shard, f"send failed ({exc!r})",
+                self._last_sent[shard]) from exc
+
+    def _deadline(self) -> float | None:
+        if self.round_timeout is None:
+            return None
+        return time_module.monotonic() + self.round_timeout
+
+    def _recv_raw(self, shard: int, deadline: float | None):
+        """Receive with liveness checks and an optional deadline.
+
+        Polls instead of blocking: a dead worker leaves the pipe
+        silent forever (a buffered reply is still delivered first —
+        death surfaces only once the buffer drains, which is exactly
+        when the coordinator would otherwise hang).  A *hung* worker
+        trips the deadline instead.
+        """
+        conn = self._conns[shard]
+        process = (self._processes[shard]
+                   if self._processes is not None else None)
+        last = self._last_sent[shard]
+        try:
+            while not conn.poll(_POLL_TICK):
+                if process is not None and not process.is_alive():
+                    if conn.poll(0):  # reply raced the death
+                        break
+                    raise WorkerFailure(
+                        shard,
+                        f"process died (exitcode {process.exitcode})",
+                        last)
+                if deadline is not None \
+                        and time_module.monotonic() > deadline:
+                    raise WorkerFailure(
+                        shard,
+                        f"round timeout after {self.round_timeout}s",
+                        last, timed_out=True)
+            return conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise WorkerFailure(
+                shard, f"connection lost ({exc!r})", last) from exc
+
+    def _recv(self, shard: int, deadline: float | None = None):
+        reply = self._recv_raw(shard, deadline)
+        if isinstance(reply, WorkerFailureReply):
+            raise WorkerFailure(shard, "worker exception",
+                                self._last_sent[shard],
+                                traceback=reply.traceback)
         return reply
 
     # -- the engine-shaped API ---------------------------------------------
@@ -309,24 +416,99 @@ class ShardedAuctionRuntime:
         self.auction_id += 1
         now = float(self.auction_id)
         query = self._draw_query()
-        for shard, conn in enumerate(self._conns):
-            conn.send(ShardTask(
-                auction_id=self.auction_id, keyword=query.text,
-                time=now, wins=tuple(self._pending[shard]),
-                controls=tuple(self._pending_controls[shard])))
-            self._pending[shard].clear()
-            self._pending_controls[shard].clear()
-        # Fault-injection site: every shard holds this round's task,
-        # the coordinator holds no reply — a death here loses the
-        # in-flight auction entirely (tests/stream/fault_injection.py).
-        crash_hook("coordinator-mid-round")
-        replies = [self._recv(shard)
-                   for shard in range(len(self._conns))]
+        replies = self._lockstep_round(query.text, now)
         if self.method in SCAN_METHODS:
             return self._merge_scan(query, now, replies)
         if self.method == "rhtalu":
             return self._merge_rhtalu(query, now, replies)
         return self._merge_gather(query, now, replies)
+
+    def _lockstep_round(self, keyword: str, now: float) -> list:
+        """One auction's task-out/reply-in exchange, retry-safe.
+
+        Pending wins/controls become the round's payload up front (the
+        pending lists clear immediately — a retried round re-sends the
+        same payload, it never loses or doubles notices).  On a
+        :class:`WorkerFailure` the round is healed (:meth:`_heal`) and
+        **re-delivered under a bumped epoch**: workers that already ran
+        this ``auction_id`` recognise the duplicate and resend their
+        cached reply without re-applying anything, while the healed
+        shard — rebuilt to its pre-round state — evaluates it fresh.
+        Stale replies a failed attempt left in the pipes carry the old
+        epoch and are discarded; the pipes are FIFO, so by the time the
+        current epoch's reply arrives every older one has drained.
+        """
+        num_shards = self.plan.num_shards
+        wins = [tuple(self._pending[shard])
+                for shard in range(num_shards)]
+        controls = [tuple(self._pending_controls[shard])
+                    for shard in range(num_shards)]
+        for shard in range(num_shards):
+            self._pending[shard].clear()
+            self._pending_controls[shard].clear()
+        epoch = 0
+        while True:
+            tasks = [ShardTask(
+                auction_id=self.auction_id, keyword=keyword,
+                time=now, wins=wins[shard],
+                controls=controls[shard], epoch=epoch)
+                for shard in range(self.plan.num_shards)]
+            try:
+                for shard, task in enumerate(tasks):
+                    self._send(shard, task)
+                # Fault-injection site: every shard holds this round's
+                # task, the coordinator holds no reply — an
+                # unsupervised death here loses the in-flight auction
+                # entirely (tests/stream/fault_injection.py).
+                crash_hook("coordinator-mid-round")
+                deadline = self._deadline()
+                replies = [self._recv_round(shard, epoch, deadline)
+                           for shard in range(len(tasks))]
+            except WorkerFailure as failure:
+                outcome, _ = self._heal(failure)
+                if outcome == "reshard":
+                    wins = self._resplit(wins, WinNotice)
+                    controls = self._resplit(controls, ControlNotice)
+                epoch += 1
+                continue
+            if self.supervisor is not None:
+                self.supervisor.record_round(tasks)
+            return replies
+
+    def _recv_round(self, shard: int, epoch: int,
+                    deadline: float | None):
+        """The shard's reply for *this* auction and epoch; anything
+        else in the pipe is a failed attempt's leftover — drain it."""
+        while True:
+            reply = self._recv(shard, deadline)
+            if isinstance(reply, _ROUND_REPLIES) \
+                    and reply.auction_id == self.auction_id \
+                    and reply.epoch == epoch:
+                return reply
+
+    def _resplit(self, per_shard: list, _kind) -> list:
+        """Re-route a round payload after the shard map changed.
+
+        Flattening in old-shard order then re-bucketing by the new
+        owner preserves each advertiser's notice order (an advertiser
+        lives in exactly one shard before and after); cross-advertiser
+        order is immaterial — shard folds are per-advertiser.
+        """
+        routed: list[list] = [[] for _ in range(self.plan.num_shards)]
+        for notices in per_shard:
+            for notice in notices:
+                owner = int(self._owner[notice.advertiser])
+                routed[owner].append(notice)
+        return [tuple(bucket) for bucket in routed]
+
+    def _heal(self, failure: WorkerFailure) -> tuple[str, dict | None]:
+        """No supervision at this layer: tear down and re-raise.
+
+        :class:`StreamShardedRuntime` overrides this with the respawn /
+        degraded-re-shard paths when a supervisor is armed.
+        """
+        self.close()
+        raise failure
 
     def _route_notify(self, query: Query, now: float):
         """A settle callback that routes wins to their owning shards."""
@@ -578,15 +760,29 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                  engine_seed: int = 0,
                  start_method: str | None = None,
                  maintenance: str = "incremental",
-                 restore_shards: Sequence[dict] | None = None):
+                 restore_shards: Sequence[dict] | None = None,
+                 supervise: bool = False,
+                 round_timeout: float | None = None,
+                 max_worker_restarts: int = 1,
+                 capture_every: int = 50):
         if maintenance not in ("incremental", "rebuild"):
             raise ValueError(
                 f"maintenance must be 'incremental' or 'rebuild', "
                 f"got {maintenance!r}")
+        if max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, "
+                f"got {max_worker_restarts}")
         super().__init__(workload_config, method=method,
                          workers=workers, engine_seed=engine_seed,
-                         start_method=start_method)
+                         start_method=start_method,
+                         round_timeout=round_timeout)
         self.maintenance = maintenance
+        self.capture_every = capture_every
+        if supervise:
+            self.supervisor = WorkerSupervisor(
+                self.plan.num_shards,
+                max_worker_restarts=max_worker_restarts)
         if restore_shards is not None \
                 and len(restore_shards) != self.plan.num_shards:
             raise ValueError(
@@ -620,7 +816,161 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
             top_depth=self.top_depth,
             seed_sequence=seed_sequence,
             stream=StreamShardConfig(maintenance=self.maintenance,
-                                     restore=restore))
+                                     restore=restore),
+            generation=self._generation)
+
+    def _respawn_init(self, shard: int,
+                      capture: dict | None) -> WorkerInit:
+        """The spawn recipe for a *healed* shard: the supervisor's
+        retained capture when one exists, else the runtime's original
+        restore (also what :meth:`WorkerSupervisor.reconstruct` builds
+        its in-process replay shard from)."""
+        lo, hi = self.plan.spans()[shard]
+        if capture is None:
+            return self._make_worker_init(
+                shard, lo, hi,
+                self.plan.seed_sequences(self.config.seed)[shard])
+        return WorkerInit(
+            shard=shard, lo=lo, hi=hi, method=self.method,
+            workload_config=self.workload_config,
+            top_depth=self.top_depth,
+            seed_sequence=self.plan.seed_sequences(
+                self.config.seed)[shard],
+            stream=StreamShardConfig(maintenance=self.maintenance,
+                                     restore=capture),
+            generation=self._generation)
+
+    # -- healing -----------------------------------------------------------
+
+    def _heal(self, failure: WorkerFailure) -> tuple[str, dict | None]:
+        """Heal a failed shard; returns ``(path, payload)``.
+
+        ``("respawn", capture)`` — the shard was rebuilt in place; the
+        payload is its reconstructed global-id capture.
+        ``("reshard", merged)`` — restarts were exhausted, the fleet
+        degraded to one fewer worker; the payload is the merged global
+        capture the new fleet was spawned from (``None`` when no shard
+        held any state yet).
+        """
+        if self.supervisor is None:
+            return super()._heal(failure)
+        start = time_module.perf_counter()
+        stats = self.supervisor.stats
+        stats.worker_failures += 1
+        if failure.timed_out:
+            stats.timeouts += 1
+        shard = failure.shard
+        if self.supervisor.restarts[shard] \
+                >= self.supervisor.max_worker_restarts:
+            result = ("reshard", self._degrade(failure))
+        else:
+            result = ("respawn", self._respawn(shard))
+        stats.record_heal(time_module.perf_counter() - start)
+        return result
+
+    def _discard_worker(self, shard: int) -> None:
+        """Hard-remove one worker: close its pipe, kill the process.
+
+        SIGKILL, not SIGTERM: the process may be hung (it already blew
+        a round deadline) or stopped, and its state is unusable either
+        way — the replacement is rebuilt coordinator-side.
+        """
+        self._conns[shard].close()
+        process = self._processes[shard]
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=self._join_timeout)
+
+    def _respawn(self, shard: int) -> dict:
+        """Rebuild shard ``shard`` in a fresh process, caught up to its
+        last completed protocol step; returns the global capture the
+        replacement was spawned from."""
+        _LOG.warning("respawning shard %d (generation %d)", shard,
+                     self._generation + 1)
+        self.supervisor.stats.respawns += 1
+        self.supervisor.restarts[shard] += 1
+        state = self.supervisor.reconstruct_capture(self, shard)
+        self._discard_worker(shard)
+        lo, hi = self.plan.spans()[shard]
+        local = slice_capture(state, lo, hi) if state else None
+        self._generation += 1
+        init = self._respawn_init(shard, local)
+        context = multiprocessing.get_context(self.start_method)
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=worker_main, args=(child_conn, init), daemon=True,
+            name=f"repro-shard-{shard}")
+        process.start()
+        child_conn.close()
+        try:
+            self._handshake(shard, process, parent_conn)
+        except BaseException:
+            parent_conn.close()
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=self._join_timeout)
+            raise
+        self._processes[shard] = process
+        self._conns[shard] = parent_conn
+        # The replacement IS the reconstruction: it becomes the
+        # shard's retained baseline, with nothing to replay on top.
+        self.supervisor.captures[shard] = local
+        self.supervisor.histories[shard] = []
+        return state
+
+    def _degrade(self, failure: WorkerFailure) -> dict | None:
+        """Re-shard the population over one fewer worker.
+
+        Every shard is reconstructed coordinator-side to its pre-round
+        state (survivors' live state is *ahead* for shards that
+        already evaluated the in-flight round — unusable), merged, and
+        re-split over a ``w - 1``-shard plan; the old fleet dies
+        wholesale.  A single-worker fleet has nothing to degrade to:
+        the failure propagates and recovery falls back to
+        ``repro recover``'s journal replay.
+        """
+        if self.plan.num_shards <= 1:
+            self.close()
+            raise WorkerFailure(
+                failure.shard,
+                f"{failure.reason}; single-worker fleet cannot "
+                "degrade — recover from the journal instead",
+                failure.last_message) from failure
+        workers = self.plan.num_shards - 1
+        _LOG.warning("restarts exhausted for shard %d; degrading to "
+                     "%d workers", failure.shard, workers)
+        self.supervisor.stats.reshards += 1
+        states = [self.supervisor.reconstruct_capture(self, shard)
+                  for shard in range(self.plan.num_shards)]
+        merged = (merge_captures(states, self.plan.spans(),
+                                 self.num_advertisers)
+                  if any(states) else None)
+        processes, conns = self._processes, self._conns
+        self._processes, self._conns = None, []
+        for conn in conns:
+            conn.close()
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+        for process in processes:
+            process.join(timeout=self._join_timeout)
+        self.plan = ShardPlan.plan(self.num_advertisers, workers)
+        self._owner = np.repeat(
+            np.arange(self.plan.num_shards, dtype=np.int64),
+            np.diff(self.plan.bounds))
+        self._restore_shards = (
+            [slice_capture(merged, lo, hi)
+             for lo, hi in self.plan.spans()]
+            if merged is not None else None)
+        self._pending = [[] for _ in range(workers)]
+        self._pending_controls = [[] for _ in range(workers)]
+        self._generation += 1
+        self._ensure_started()
+        # Fresh supervisor slots sized to the new fleet; captures stay
+        # ``None`` — ``_restore_shards`` now carries the merged state,
+        # so reconstruction-from-spawn is already correct.
+        self.supervisor.reset(workers)
+        return merged
 
     # -- the event-facing API ----------------------------------------------
 
@@ -638,6 +988,14 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
     def submit_query(self, keyword: str) -> AuctionRecord:
         """Run one auction for an event-stream query arrival."""
         self._ensure_started()
+        if self.supervisor is not None and self.capture_every \
+                and max(map(len, self.supervisor.histories),
+                        default=0) >= self.capture_every:
+            # Refresh the retained captures on the supervisor's own
+            # cadence (service checkpoints also refresh, for free, via
+            # pull_shard_states) so reconstruction never replays more
+            # than ~capture_every rounds.
+            self.pull_shard_states()
         self._queued_keyword = keyword
         return self._run_one()
 
@@ -727,15 +1085,56 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
         global advertiser ids, in shard order.
         """
         self._ensure_started()
-        for shard, conn in enumerate(self._conns):
-            conn.send(SnapshotRequest(
-                wins=tuple(self._pending[shard]),
-                controls=tuple(self._pending_controls[shard])))
+        num_shards = self.plan.num_shards
+        requests = [SnapshotRequest(
+            wins=tuple(self._pending[shard]),
+            controls=tuple(self._pending_controls[shard]))
+            for shard in range(num_shards)]
+        for shard in range(num_shards):
             self._pending[shard].clear()
             self._pending_controls[shard].clear()
-        states: list[dict] = []
-        for shard in range(len(self._conns)):
-            reply = self._recv(shard)
-            assert isinstance(reply, SnapshotReply)
-            states.append(reply.state)
+        if self.supervisor is not None:
+            # Recorded for every shard BEFORE any wire send: the
+            # pending lists are already cleared, so reconstruction
+            # must include the flush whether or not the worker ever
+            # saw the request.
+            for shard in range(num_shards):
+                self.supervisor.record_flush(shard, requests[shard])
+        sent = [False] * num_shards
+        collected: dict[int, dict] = {}
+        while len(collected) < num_shards:
+            try:
+                for shard in range(num_shards):
+                    if not sent[shard]:
+                        self._send(shard, requests[shard])
+                        sent[shard] = True
+                deadline = self._deadline()
+                for shard in range(num_shards):
+                    if shard not in collected:
+                        reply = self._recv(shard, deadline)
+                        if not isinstance(reply, SnapshotReply):
+                            raise AssertionError(
+                                f"expected SnapshotReply, got "
+                                f"{type(reply).__name__}")
+                        collected[shard] = reply.state
+            except WorkerFailure as failure:
+                outcome, payload = self._heal(failure)
+                if outcome == "reshard":
+                    # The degraded fleet was spawned from the merged
+                    # post-flush reconstruction — that reconstruction
+                    # IS the pull; nothing more to exchange.
+                    return [_shift_capture_ids(
+                        slice_capture(payload, lo, hi), lo)
+                        if payload is not None else {}
+                        for lo, hi in self.plan.spans()]
+                # Respawn: the replacement was spawned from the
+                # post-flush reconstruction; its slot fills without
+                # another wire exchange (never re-send — the pipes
+                # must stay one-reply-per-request).
+                collected[failure.shard] = payload
+                sent[failure.shard] = True
+        states = [collected[shard] for shard in range(num_shards)]
+        if self.supervisor is not None:
+            for shard, (lo, hi) in enumerate(self.plan.spans()):
+                self.supervisor.refresh(shard, states[shard], lo, hi)
         return states

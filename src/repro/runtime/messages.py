@@ -75,6 +75,13 @@ class ShardTask:
     time: float
     wins: tuple[WinNotice, ...] = ()
     controls: tuple[ControlNotice, ...] = ()
+    epoch: int = 0
+    """Delivery attempt for this auction's round.  Worker supervision
+    (:mod:`repro.runtime.supervision`) re-runs an in-flight round after
+    healing a failed shard; retries bump the epoch so workers can
+    recognise a duplicate ``auction_id`` (apply nothing, resend the
+    cached reply) and the coordinator can discard replies a failed
+    attempt left in the pipes."""
 
 
 @dataclass(frozen=True)
@@ -97,6 +104,8 @@ class ScanReply:
     eval_seconds: float
     scan_seconds: float
     leaf_work: int
+    epoch: int = 0
+    """Echo of the task's epoch (stale replies are discarded)."""
 
 
 @dataclass(frozen=True)
@@ -107,6 +116,8 @@ class GatherReply:
     bids: np.ndarray
     eval_seconds: float
     leaf_work: int
+    epoch: int = 0
+    """Echo of the task's epoch (stale replies are discarded)."""
 
 
 @dataclass(frozen=True)
@@ -129,6 +140,8 @@ class RhtaluScanReply:
     sequential_count: int
     random_count: int
     leaf_work: int
+    epoch: int = 0
+    """Echo of the task's epoch (stale replies are discarded)."""
 
 
 @dataclass(frozen=True)

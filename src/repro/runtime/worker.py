@@ -33,6 +33,9 @@ models — on a host with >= ``workers`` free cores the two coincide.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import signal
 import traceback
 from dataclasses import dataclass
 from multiprocessing.connection import Connection
@@ -53,13 +56,20 @@ from repro.runtime.messages import (
     WorkerFailure,
     WorkerReady,
 )
-from repro.stream.crash import crash_hook
+from repro.stream.crash import crash_hook, set_scope
 from repro.workloads.paper_workload import (
     PaperWorkload,
     PaperWorkloadConfig,
 )
 
 import time as time_module
+
+STUBBORN_ENV = "REPRO_WORKER_STUBBORN"
+"""Test hook: when set in a worker's environment, the worker ignores
+``SIGTERM`` and refuses both :class:`~repro.runtime.messages.Shutdown`
+and pipe EOF — simulating a wedged worker that only ``SIGKILL`` can
+remove, which is what the coordinator's ``close()`` escalation
+(terminate → kill) exists for."""
 
 
 @dataclass(frozen=True)
@@ -100,6 +110,11 @@ class WorkerInit:
     """Present when the shard serves an online event stream (live
     advertiser churn); ``None`` reproduces the fixed-population
     runtime exactly."""
+    generation: int = 0
+    """How many times this shard slot has been (re)spawned.  Bumped by
+    worker supervision on every respawn and re-shard; declared as the
+    process's crash scope (:func:`repro.stream.crash.set_scope`) so
+    chaos tests can kill generation 0 and let the replacement live."""
 
 
 def _shift_capture_ids(capture: dict, delta: int) -> dict:
@@ -396,30 +411,63 @@ def _recv_or_orphaned(conn: Connection):
 
 
 def worker_main(conn: Connection, init: WorkerInit) -> None:
-    """Worker process entrypoint: build, handshake, serve, shut down."""
+    """Worker process entrypoint: build, handshake, serve, shut down.
+
+    Round deliveries are **idempotent**: the worker remembers the last
+    handled ``auction_id`` and its reply, and a re-delivered task for
+    the same auction (a supervised retry after another shard was
+    healed) applies nothing — the wins/controls were already folded
+    and the evaluation already advanced pacing state — and resends the
+    cached reply stamped with the retry's epoch.
+    """
+    set_scope(shard=init.shard, gen=init.generation)
+    stubborn = bool(os.environ.get(STUBBORN_ENV))
+    if stubborn:  # pragma: no cover - exercised via subprocess tests
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
     try:
         shard = build_shard(init)
         conn.send(WorkerReady(shard=init.shard,
                               num_local=max(init.hi - init.lo, 0)))
+        last_task_id: int | None = None
+        last_reply = None
         while True:
             message = _recv_or_orphaned(conn)
             if message is None:
                 break
             if isinstance(message, Shutdown):
+                if stubborn:  # pragma: no cover - subprocess tests
+                    continue
                 break
             if isinstance(message, SnapshotRequest):
                 conn.send(shard.snapshot(message))
                 continue
+            if message.auction_id == last_task_id:
+                # Duplicate round delivery: already applied; resend.
+                conn.send(dataclasses.replace(last_reply,
+                                              epoch=message.epoch))
+                continue
             reply = shard.handle(message)
+            if message.epoch:
+                reply = dataclasses.replace(reply,
+                                            epoch=message.epoch)
+            last_task_id, last_reply = message.auction_id, reply
             # Fault-injection site: the round's wins/controls are
             # folded and the evaluation ran, but the coordinator never
-            # hears back — it dies on the dropped pipe, and the
-            # in-flight auction must be recovered from the journal
-            # (tests/stream/fault_injection.py).
+            # hears back — unsupervised it dies on the dropped pipe
+            # (the in-flight auction must be recovered from the
+            # journal); supervised it heals the shard and re-runs the
+            # round (tests/stream/fault_injection.py).
             crash_hook("worker-mid-round")
             conn.send(reply)
+            # Fault-injection site: the worker dies *between* rounds;
+            # the coordinator only notices at the next exchange.
+            crash_hook("worker-idle")
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
-        pass
+        if stubborn:
+            # Simulate a wedged worker: survive the dropped pipe and
+            # SIGTERM; only the coordinator's kill() escalation ends us.
+            while True:
+                time_module.sleep(0.2)
     except Exception:
         try:
             conn.send(WorkerFailure(shard=init.shard,

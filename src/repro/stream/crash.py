@@ -24,20 +24,36 @@ serving stack:
     :meth:`~repro.runtime.executor.ShardedAuctionRuntime._run_one`,
     after tasks were sent to every shard, before replies return.
 ``worker-mid-round``
-    A shard worker's task handler, after folding win/control notices,
-    before evaluating — kills the *worker* process; the coordinator
-    dies on the broken pipe.
+    A shard worker's task handler, after folding win/control notices
+    and evaluating, before the reply is sent — kills the *worker*
+    process mid-round; an unsupervised coordinator dies on the broken
+    pipe, a supervised one heals the shard in place.
+``worker-idle``
+    A shard worker immediately after sending a round reply — the
+    worker dies *between* rounds, so the coordinator discovers the
+    death only when the next task's send or receive fails.
 ``journal-mid-write`` / ``checkpoint-mid-write``
     Inside a file write, after the first half of the payload was
     flushed and fsynced — the crash leaves a **torn** (truncated)
     record on disk, which recovery must detect and skip.
 
 Crash points arm through the :data:`ENV_VAR` environment variable
-(``"site@hit"``), so they survive ``multiprocessing`` spawn/fork into
-shard workers and reach CLI subprocesses; :func:`install` arms them
-programmatically for same-process drivers.  An unarmed hook is a
-near-free no-op (one ``dict`` read), so the instrumentation ships in
-production code paths.
+(``"site[:scope]@hit"``), so they survive ``multiprocessing``
+spawn/fork into shard workers and reach CLI subprocesses;
+:func:`install` arms them programmatically for same-process drivers.
+An unarmed hook is a near-free no-op (one ``dict`` read), so the
+instrumentation ships in production code paths.
+
+**Scopes** target one process out of a fleet.  A scope is a
+comma-separated list of ``key=value`` labels
+(``"worker-mid-round:shard=1,gen=0@5"``); each process declares its
+own labels via :func:`set_scope` (shard workers declare ``shard`` and
+``gen`` — their shard index and respawn generation), and a scoped
+point only fires in processes whose declared labels include every
+label in the scope.  This is how the supervision chaos tests kill
+exactly one generation-0 worker and let its generation-1 replacement
+live: the respawned process declares ``gen=1``, the scope says
+``gen=0``, the hook never fires again.
 """
 
 from __future__ import annotations
@@ -46,8 +62,9 @@ import os
 from dataclasses import dataclass
 
 ENV_VAR = "REPRO_CRASH_POINT"
-"""Environment spelling of an armed crash point: ``"site@hit"``
-(``hit`` defaults to 1).  Inherited by worker processes at spawn."""
+"""Environment spelling of an armed crash point:
+``"site[:scope]@hit"`` (``hit`` defaults to 1, ``scope`` to
+unscoped).  Inherited by worker processes at spawn."""
 
 EXIT_CODE = 73
 """The exit status of a crash-point death (distinct from Python's
@@ -58,6 +75,7 @@ CRASH_SITES = (
     "service-post-checkpoint",
     "coordinator-mid-round",
     "worker-mid-round",
+    "worker-idle",
     "journal-mid-write",
     "checkpoint-mid-write",
 )
@@ -66,10 +84,14 @@ CRASH_SITES = (
 
 @dataclass(frozen=True)
 class CrashPoint:
-    """Die at the ``hit``-th arrival at ``site``."""
+    """Die at the ``hit``-th arrival at ``site`` (in scope)."""
 
     site: str
     hit: int = 1
+    scope: str = ""
+    """Comma-separated ``key=value`` labels; empty = every process.
+    A point fires only in processes whose :func:`set_scope` labels
+    include every label listed here."""
 
     def __post_init__(self) -> None:
         if self.site not in CRASH_SITES:
@@ -78,19 +100,36 @@ class CrashPoint:
                 f"instrumented sites: {CRASH_SITES}")
         if self.hit < 1:
             raise ValueError(f"hit must be >= 1, got {self.hit}")
+        for label in self._labels():
+            if "=" not in label:
+                raise ValueError(
+                    f"scope labels are key=value, got {label!r}")
+
+    def _labels(self) -> tuple[str, ...]:
+        if not self.scope:
+            return ()
+        return tuple(label.strip()
+                     for label in self.scope.split(",") if label.strip())
+
+    def matches_scope(self, declared: frozenset[str]) -> bool:
+        """Whether this process's declared labels satisfy the scope."""
+        return all(label in declared for label in self._labels())
 
     def to_env(self) -> str:
-        """The :data:`ENV_VAR` spelling (``"site@hit"``)."""
-        return f"{self.site}@{self.hit}"
+        """The :data:`ENV_VAR` spelling (``"site[:scope]@hit"``)."""
+        site = f"{self.site}:{self.scope}" if self.scope else self.site
+        return f"{site}@{self.hit}"
 
     @classmethod
     def from_env(cls, value: str) -> "CrashPoint":
         site, _, hit = value.partition("@")
-        return cls(site=site, hit=int(hit) if hit else 1)
+        site, _, scope = site.partition(":")
+        return cls(site=site, hit=int(hit) if hit else 1, scope=scope)
 
 
 _installed: CrashPoint | None = None
 _counters: dict[str, int] = {}
+_scope: frozenset[str] = frozenset()
 
 
 def install(point: CrashPoint | None) -> None:
@@ -102,6 +141,15 @@ def install(point: CrashPoint | None) -> None:
     global _installed
     _installed = point
     _counters.clear()
+
+
+def set_scope(**labels) -> None:
+    """Declare this process's scope labels (``shard=1, gen=0`` →
+    matches points scoped to any subset of those labels).  Replaces
+    the previous declaration; values are stringified."""
+    global _scope
+    _scope = frozenset(f"{key}={value}"
+                       for key, value in labels.items())
 
 
 def _armed() -> CrashPoint | None:
@@ -118,7 +166,8 @@ def armed(site: str) -> bool:
     harness is actually pointing a gun at them.
     """
     point = _armed()
-    return point is not None and point.site == site
+    return (point is not None and point.site == site
+            and point.matches_scope(_scope))
 
 
 def crash_hook(site: str) -> None:
@@ -129,7 +178,8 @@ def crash_hook(site: str) -> None:
     without root.
     """
     point = _armed()
-    if point is None or point.site != site:
+    if point is None or point.site != site \
+            or not point.matches_scope(_scope):
         return
     count = _counters.get(site, 0) + 1
     _counters[site] = count

@@ -191,6 +191,9 @@ class _EagerBackend:
     def capture_state(self) -> dict:
         return self.arrays.capture()
 
+    def supervision_snapshot(self) -> dict:
+        return {}
+
     def close(self) -> None:
         pass
 
@@ -280,6 +283,9 @@ class _RhtaluBackend:
     def capture_state(self) -> dict:
         return self.engine.rhtalu.state.capture()
 
+    def supervision_snapshot(self) -> dict:
+        return {}
+
     def close(self) -> None:
         pass
 
@@ -297,7 +303,10 @@ class _ShardedBackend:
     def __init__(self, workload: PaperWorkload, method: str,
                  workers: int, engine_seed: int,
                  start_method: str | None, maintenance: str,
-                 restore_capture: dict | None = None):
+                 restore_capture: dict | None = None,
+                 supervise: bool = False,
+                 round_timeout: float | None = None,
+                 max_worker_restarts: int = 1):
         config = workload.config
         restore_shards = None
         if restore_capture is not None:
@@ -307,7 +316,9 @@ class _ShardedBackend:
         self.runtime = StreamShardedRuntime(
             config, method=method, workers=workers,
             engine_seed=engine_seed, start_method=start_method,
-            maintenance=maintenance, restore_shards=restore_shards)
+            maintenance=maintenance, restore_shards=restore_shards,
+            supervise=supervise, round_timeout=round_timeout,
+            max_worker_restarts=max_worker_restarts)
 
     @property
     def accounts(self) -> AccountBook:
@@ -366,6 +377,10 @@ class _ShardedBackend:
         return merge_captures(states, self.runtime.plan.spans(),
                               self.runtime.num_advertisers)
 
+    def supervision_snapshot(self) -> dict:
+        supervisor = self.runtime.supervisor
+        return supervisor.to_dict() if supervisor is not None else {}
+
     def close(self) -> None:
         self.runtime.close()
 
@@ -393,6 +408,20 @@ class OnlineAuctionService:
         Seeds the decision RNG (user clicks; queries come from the
         stream itself, so the seed's draw order matches across worker
         counts and maintenance strategies).
+    supervise:
+        Arm worker supervision (workers >= 1 only): a failed shard
+        worker is detected, rebuilt from the supervisor's retained
+        capture + replay, and the in-flight auction re-runs — records
+        stay bit-identical to an unfailed run.  After
+        ``max_worker_restarts`` respawns of one shard, the fleet
+        instead degrades to one fewer worker (see
+        :mod:`repro.runtime.supervision` and ``docs/operations.md``).
+    round_timeout:
+        Seconds the coordinator waits on a shard's reply before
+        treating the worker as hung (``None`` = wait forever on a
+        live process; death is always detected).
+    max_worker_restarts:
+        Per-shard respawn budget before degrading to a smaller fleet.
     """
 
     def __init__(self, workload_config: PaperWorkloadConfig,
@@ -400,6 +429,9 @@ class OnlineAuctionService:
                  maintenance: str = "incremental",
                  workers: int = 0, engine_seed: int = 0,
                  start_method: str | None = None,
+                 supervise: bool = False,
+                 round_timeout: float | None = None,
+                 max_worker_restarts: int = 1,
                  _restore: ServiceSnapshot | None = None):
         if method not in SERVICE_METHODS:
             raise ValueError(
@@ -411,6 +443,10 @@ class OnlineAuctionService:
                 f"got {maintenance!r}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if supervise and workers < 1:
+            raise ValueError(
+                "supervision needs worker processes (workers >= 1); "
+                "the in-process backend has no fleet to supervise")
         self.workload_config = workload_config
         self.workload = PaperWorkload(workload_config)
         self.method = method
@@ -437,7 +473,9 @@ class OnlineAuctionService:
             self.backend = _ShardedBackend(
                 self.workload, method, workers, engine_seed,
                 start_method, maintenance,
-                restore_capture=restore_capture)
+                restore_capture=restore_capture,
+                supervise=supervise, round_timeout=round_timeout,
+                max_worker_restarts=max_worker_restarts)
         elif method == "rhtalu":
             self.backend = _RhtaluBackend(
                 self.workload, engine_seed,
@@ -524,6 +562,12 @@ class OnlineAuctionService:
         self.events_processed += 1
         self.stats.record(event_kind(event),
                           time_module.perf_counter() - start)
+        supervision = self.backend.supervision_snapshot()
+        if supervision.get("worker_failures"):
+            # Cumulative counters: the latest snapshot supersedes the
+            # previous one wholesale.  A supervised run with zero
+            # failures keeps its stats payload unchanged.
+            self.stats.supervision = supervision
         return record
 
     def run(self, events: Iterable[Event]) -> list[AuctionRecord]:
@@ -728,7 +772,10 @@ class DurableAuctionService:
              start_method: str | None = None,
              checkpoint_dir: "str | Path | None" = None,
              checkpoint_every: int = 0,
-             checkpoint_retain: int = 2) -> "DurableAuctionService":
+             checkpoint_retain: int = 2,
+             supervise: bool = False,
+             round_timeout: float | None = None,
+             max_worker_restarts: int = 1) -> "DurableAuctionService":
         """Start a fresh durable service: genesis state, new journal
         (header = the service's :meth:`~OnlineAuctionService
         .config_payload`), optional checkpoint schedule."""
@@ -738,7 +785,9 @@ class DurableAuctionService:
         service = OnlineAuctionService(
             workload_config, method=method, maintenance=maintenance,
             workers=workers, engine_seed=engine_seed,
-            start_method=start_method)
+            start_method=start_method, supervise=supervise,
+            round_timeout=round_timeout,
+            max_worker_restarts=max_worker_restarts)
         journal = EventJournal.create(journal_path,
                                       service.config_payload())
         checkpoints = None

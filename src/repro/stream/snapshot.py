@@ -360,10 +360,28 @@ class CheckpointPolicy:
                 handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
+        # fsync the *directory* too: the file's data being durable
+        # does not make its directory entry durable — a crash between
+        # the two can leave a fully-written checkpoint unreachable.
+        self._fsync_directory()
         self._prune()
         return path
 
+    def _fsync_directory(self) -> None:
+        if os.name != "posix":  # pragma: no cover - windows
+            return
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def _prune(self) -> None:
         files = self.checkpoint_files()
+        pruned = False
         for stale in files[:-self.retain]:
             stale.unlink()
+            pruned = True
+        if pruned:
+            # The unlinks are directory mutations as well.
+            self._fsync_directory()

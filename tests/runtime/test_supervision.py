@@ -1,0 +1,215 @@
+"""Worker failure detection and fleet lifecycle, at the runtime level.
+
+The structured-failure contract: a dead worker raises
+:class:`~repro.runtime.supervision.WorkerFailure` (naming the shard,
+the reason, and the last message kind sent) instead of hanging the
+coordinator or leaking a raw ``EOFError``; a *hung* worker trips the
+``round_timeout``; ``close()`` escalates join → terminate → kill so
+even a SIGTERM-ignoring worker cannot leak past it; and workers
+orphaned by a coordinator that died without cleanup notice and exit on
+their own.  The healing paths themselves are exercised end-to-end in
+``tests/stream/test_supervision.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.runtime import (
+    ShardedAuctionRuntime,
+    SupervisionStats,
+    WorkerFailure,
+)
+from repro.runtime.worker import STUBBORN_ENV
+from repro.workloads import PaperWorkloadConfig
+
+CONFIG = PaperWorkloadConfig(num_advertisers=12, num_slots=3,
+                             num_keywords=3, seed=11)
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+
+def wait_until(predicate, timeout=20.0, tick=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(tick)
+    return False
+
+
+class TestFailureDetection:
+    def test_dead_worker_raises_structured_failure(self):
+        runtime = ShardedAuctionRuntime(CONFIG, method="rh",
+                                        workers=2, engine_seed=5)
+        with runtime:
+            runtime.run_batch(2)
+            victim = runtime._processes[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            with pytest.raises(WorkerFailure) as excinfo:
+                # Possibly several auctions: the kill can land after
+                # a send already buffered.
+                runtime.run_batch(5)
+        failure = excinfo.value
+        assert failure.shard == 1
+        assert failure.last_message in ("ShardTask", "spawn")
+        assert "shard 1 failed" in str(failure)
+        # Unsupervised failure is fatal: the runtime closed itself.
+        assert runtime._processes is None
+        with pytest.raises(RuntimeError, match="closed"):
+            runtime.run_batch(1)
+
+    def test_worker_failure_is_a_runtime_error(self):
+        # Back-compat: callers catching RuntimeError keep working.
+        assert issubclass(WorkerFailure, RuntimeError)
+        failure = WorkerFailure(3, "process died (exitcode -9)",
+                                "ShardTask")
+        assert failure.shard == 3
+        assert not failure.timed_out
+        assert "last message sent: ShardTask" in str(failure)
+
+    def test_hung_worker_trips_round_timeout(self):
+        with ShardedAuctionRuntime(CONFIG, method="rh", workers=2,
+                                   engine_seed=5,
+                                   round_timeout=1.0) as runtime:
+            runtime._join_timeout = 0.5
+            runtime.run_batch(2)
+            victim = runtime._processes[0]
+            os.kill(victim.pid, signal.SIGSTOP)
+            try:
+                start = time.monotonic()
+                with pytest.raises(WorkerFailure) as excinfo:
+                    runtime.run_batch(1)
+                elapsed = time.monotonic() - start
+            finally:
+                try:
+                    # The failure path's close() normally reaps the
+                    # stopped worker (SIGKILL works on stopped
+                    # processes); this is belt-and-braces.
+                    os.kill(victim.pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            assert excinfo.value.timed_out
+            assert excinfo.value.shard == 0
+            assert "timeout" in excinfo.value.reason
+            # Within the configured deadline plus scheduling slack.
+            assert elapsed < 10.0
+
+    def test_round_timeout_validation(self):
+        with pytest.raises(ValueError, match="round_timeout"):
+            ShardedAuctionRuntime(CONFIG, round_timeout=0.0)
+
+
+class TestCloseEscalation:
+    def test_close_kills_sigterm_ignoring_worker(self, monkeypatch):
+        monkeypatch.setenv(STUBBORN_ENV, "1")
+        runtime = ShardedAuctionRuntime(CONFIG, method="rh",
+                                        workers=2, engine_seed=5)
+        runtime._join_timeout = 0.5
+        with runtime:
+            runtime.run_batch(1)
+            processes = list(runtime._processes)
+            assert all(process.is_alive() for process in processes)
+        # Shutdown is ignored, SIGTERM is ignored; only the final
+        # SIGKILL escalation can have ended these.
+        for process in processes:
+            assert not process.is_alive()
+            assert process.exitcode == -signal.SIGKILL
+
+    def test_close_swallows_dead_worker_pipes(self):
+        # close() must succeed (not raise BrokenPipeError) when the
+        # fleet is already dead.
+        runtime = ShardedAuctionRuntime(CONFIG, method="rh",
+                                        workers=2, engine_seed=5)
+        with runtime:
+            runtime.run_batch(1)
+            for process in runtime._processes:
+                os.kill(process.pid, signal.SIGKILL)
+            for process in runtime._processes:
+                process.join(timeout=10)
+        assert runtime._processes is None  # close() completed
+
+
+ORPHAN_SCRIPT = textwrap.dedent("""
+    import os, sys
+    sys.path.insert(0, {src!r})
+    from repro.runtime import ShardedAuctionRuntime
+    from repro.runtime.messages import ShardTask
+    from repro.workloads import PaperWorkloadConfig
+
+    config = PaperWorkloadConfig(num_advertisers=12, num_slots=3,
+                                 num_keywords=3, seed=11)
+    runtime = ShardedAuctionRuntime(config, method="rh", workers=2,
+                                    engine_seed=5)
+    runtime._ensure_started()
+    if {mid_round}:
+        # Leave a round in flight: tasks sent, replies never read.
+        runtime.auction_id += 1
+        query = runtime._draw_query()
+        for shard in range(runtime.plan.num_shards):
+            runtime._send(shard, ShardTask(
+                auction_id=runtime.auction_id, keyword=query.text,
+                time=1.0))
+    print(" ".join(str(p.pid) for p in runtime._processes),
+          flush=True)
+    os._exit(0)  # die without any cleanup: workers are now orphans
+""")
+
+
+class TestOrphanedWorkers:
+    @pytest.mark.parametrize("mid_round", [False, True],
+                             ids=["idle", "mid-round"])
+    def test_workers_exit_after_coordinator_dies(self, mid_round):
+        """Workers poll their parent's liveness and exit on their own
+        when the coordinator vanishes without running close() — both
+        while idle between rounds and while a round is in flight."""
+        script = ORPHAN_SCRIPT.format(src=SRC, mid_round=mid_round)
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        pids = [int(token) for token in result.stdout.split()]
+        assert len(pids) == 2
+
+        def all_gone():
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    continue
+                return False
+            return True
+
+        assert wait_until(all_gone, timeout=30.0), \
+            f"orphaned workers still alive: {pids}"
+
+
+class TestSupervisionStats:
+    def test_to_dict_shape(self):
+        stats = SupervisionStats()
+        stats.worker_failures = 2
+        stats.respawns = 1
+        stats.reshards = 1
+        stats.record_heal(0.25)
+        stats.record_heal(0.75)
+        payload = stats.to_dict()
+        assert payload["worker_failures"] == 2
+        assert payload["heals"] == 2
+        assert payload["heal_seconds"] == 1.0
+        assert payload["mean_heal_seconds"] == 0.5
+        assert payload["max_heal_seconds"] == 0.75
+
+    def test_empty_stats(self):
+        payload = SupervisionStats().to_dict()
+        assert payload["mean_heal_seconds"] == 0.0
+        assert payload["max_heal_seconds"] == 0.0

@@ -94,6 +94,49 @@ def run_crashing_stream(tmp_path: Path, events_path: Path,
                       seed=seed)
 
 
+def run_supervised_stream(tmp_path: Path, events_path: Path,
+                          crash: CrashPoint,
+                          config: PaperWorkloadConfig, *,
+                          method: str = "rh", workers: int = 2,
+                          seed: int = 0,
+                          max_worker_restarts: int = 1,
+                          round_timeout: float = 60.0,
+                          timeout: float = 240.0
+                          ) -> tuple[subprocess.CompletedProcess,
+                                     Path]:
+    """Run a *supervised* CLI replay with a worker-kill site armed.
+
+    The inverse of :func:`run_crashing_stream`'s contract: the armed
+    crash point kills a shard **worker** (scope it with ``gen=0`` so
+    the healed replacement, which declares a higher generation,
+    survives), and the run is expected to *complete* — the supervisor
+    heals the shard and the trace written to the returned path must
+    diff empty against an unfailed run.
+    """
+    trace = tmp_path / "supervised_trace.jsonl"
+    cmd = [
+        sys.executable, "-m", "repro", "stream",
+        "--advertisers", str(config.num_advertisers),
+        "--slots", str(config.num_slots),
+        "--keywords", str(config.num_keywords),
+        "--method", method,
+        "--workers", str(workers),
+        "--seed", str(seed),
+        "--replay", str(events_path),
+        "--supervise",
+        "--round-timeout", str(round_timeout),
+        "--max-worker-restarts", str(max_worker_restarts),
+        "--trace", str(trace),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env[ENV_VAR] = crash.to_env()
+    proc = subprocess.run(cmd, cwd=REPO, env=env,
+                          capture_output=True, text=True,
+                          timeout=timeout)
+    return proc, trace
+
+
 def assert_crashed(run: CrashedRun) -> None:
     """The run must have died, not completed.
 
@@ -140,11 +183,19 @@ def audit_via_cli(tmp_path: Path, baseline: list[AuctionRecord],
                   ) -> subprocess.CompletedProcess:
     """The same audit through ``tools/trace_diff.py --align`` — the
     operator path, which gates on exit status."""
-    baseline_path = tmp_path / "baseline_trace.jsonl"
     recovered_path = tmp_path / "recovered_trace.jsonl"
-    write_trace(baseline_path, baseline)
     write_trace(recovered_path, recovered)
+    return audit_trace_file(tmp_path, baseline, recovered_path)
+
+
+def audit_trace_file(tmp_path: Path, baseline: list[AuctionRecord],
+                     trace_path: Path
+                     ) -> subprocess.CompletedProcess:
+    """``tools/trace_diff.py --align`` against an on-disk trace (e.g.
+    the one a supervised CLI run wrote)."""
+    baseline_path = tmp_path / "baseline_trace.jsonl"
+    write_trace(baseline_path, baseline)
     return subprocess.run(
         [sys.executable, str(REPO / "tools" / "trace_diff.py"),
-         "--align", str(baseline_path), str(recovered_path)],
+         "--align", str(baseline_path), str(trace_path)],
         cwd=REPO, capture_output=True, text=True, timeout=120)

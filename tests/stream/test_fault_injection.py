@@ -18,6 +18,13 @@ Scenarios (for each of ``rh`` / ``lp`` / ``hungarian`` / ``rhtalu``):
   snapshot file; recovery must skip it and fall back.
 * ``torn-journal-tail`` — death mid-journal-append leaves a torn
   final entry; recovery must drop it (it was never applied).
+
+The supervised flavor (:class:`TestSupervisedChaos`) flips the
+contract: the same worker-kill sites, scoped to one generation-0
+worker, armed against ``repro stream --supervise`` — and the run must
+**complete** with exit 0 (the supervisor heals the shard in place),
+its trace diffing empty against an unfailed baseline through the
+operator's ``tools/trace_diff.py --align``.
 """
 
 from __future__ import annotations
@@ -35,9 +42,11 @@ from repro.workloads import (
 from tests.stream.fault_injection import (
     assert_crashed,
     audit,
+    audit_trace_file,
     audit_via_cli,
     recover_and_resume,
     run_crashing_stream,
+    run_supervised_stream,
 )
 
 SEED = 4
@@ -127,6 +136,59 @@ class TestCrashRecoveryMatrix:
         # Fully resumed: the recovered suffix reaches the same final
         # auction as the uninterrupted run.
         assert recovered[-1].auction_id == baseline[-1].auction_id
+
+
+class TestSupervisedChaos:
+    """The same worker kills, but with ``--supervise`` on: completion,
+    not a crash, is the passing outcome.
+
+    Each crash point is scoped to ``gen=0`` so the replacement worker
+    (which declares a higher generation after a respawn, and so does
+    the re-planned fleet after a degrade) survives the still-armed
+    environment it inherits.
+    """
+
+    SUPERVISED = [
+        # (site spec, max restarts, counter that must move)
+        pytest.param("worker-mid-round:shard=1,gen=0@5", 1,
+                     "respawns", id="mid-round-respawn"),
+        pytest.param("worker-idle:shard=1,gen=0@5", 1,
+                     "respawns", id="idle-respawn"),
+        pytest.param("worker-mid-round:shard=0,gen=0@5", 0,
+                     "reshards", id="mid-round-degraded"),
+    ]
+
+    @pytest.mark.parametrize("site, restarts, counter", SUPERVISED)
+    def test_supervised_run_completes_and_diffs_empty(
+            self, tmp_path, events_path, baseline, method, site,
+            restarts, counter):
+        proc, trace = run_supervised_stream(
+            tmp_path, events_path, CrashPoint.from_env(site), CONFIG,
+            method=method, workers=2, seed=SEED,
+            max_worker_restarts=restarts)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        # The summary proves the kill actually landed and was healed
+        # (rather than the site never firing).
+        assert "supervision:" in proc.stdout, proc.stdout
+        healed_nothing = ("0 respawns" if counter == "respawns"
+                          else "0 re-shards")
+        assert healed_nothing not in proc.stdout, proc.stdout
+
+        audit_proc = audit_trace_file(tmp_path, baseline, trace)
+        assert audit_proc.returncode == 0, \
+            audit_proc.stdout + audit_proc.stderr
+        assert "identical" in audit_proc.stdout
+
+    def test_unsupervised_same_site_still_crashes(
+            self, tmp_path, events_path):
+        """Control: without ``--supervise`` the identical scoped kill
+        is fatal (the matrix covers the unscoped case per method)."""
+        run = run_crashing_stream(
+            tmp_path, events_path,
+            CrashPoint.from_env("worker-mid-round:shard=1,gen=0@5"),
+            CONFIG, method="rh", workers=2, seed=SEED,
+            checkpoint_every=CHECKPOINT_EVERY)
+        assert_crashed(run)
 
 
 class TestOperatorAudit:

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import stat
 import tempfile
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -200,6 +203,45 @@ class TestCheckpointPolicy:
         watermarks = [int(path.stem.split("-")[1]) for path in files]
         assert watermarks == sorted(watermarks)
         assert watermarks[-1] - watermarks[0] == 10
+
+    def test_write_fsyncs_the_directory_entry(self, tmp_path,
+                                              monkeypatch):
+        """File durability alone is not enough: ``write()`` must fsync
+        the checkpoint *directory* too, or a crash after the file
+        fsync can leave a fully-written checkpoint with no durable
+        directory entry — and prune's unlinks are directory mutations
+        that need the same treatment."""
+        service = OnlineAuctionService(CONFIG, engine_seed=SEED)
+        try:
+            service.run(make_stream(10))
+            snapshot = service.snapshot()
+        finally:
+            service.close()
+
+        real_fsync = os.fsync
+        synced_dir_inodes = []
+
+        def recording_fsync(fd):
+            status = os.fstat(fd)
+            if stat.S_ISDIR(status.st_mode):
+                synced_dir_inodes.append(status.st_ino)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        policy = CheckpointPolicy(directory=tmp_path / "checkpoints",
+                                  every=5, retain=1)
+        policy.write(snapshot)
+        directory_inode = (tmp_path / "checkpoints").stat().st_ino
+        assert synced_dir_inodes == [directory_inode]
+
+        # A second checkpoint at a later watermark prunes the first
+        # (retain=1): one dir fsync for the new entry, one for the
+        # unlink.
+        policy.write(replace(snapshot,
+                             events_processed=snapshot.events_processed
+                             + 5))
+        assert synced_dir_inodes == [directory_inode] * 3
+        assert len(list_checkpoints(policy.directory)) == 1
 
 
 class TestTornWrites:

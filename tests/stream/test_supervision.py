@@ -1,0 +1,245 @@
+"""Self-healing under chaos: kill workers, demand bit-identity.
+
+The supervision acceptance criterion from the robustness PR: killing
+any single worker at any point mid-stream — for every serving method —
+yields a *completed* run whose records are bit-identical to an
+unfailed run, for both heal paths:
+
+* **respawn** (restarts remain): the dead shard is rebuilt from the
+  supervisor's retained capture + replayed history in a fresh process;
+* **degraded re-shard** (restarts exhausted): every shard's pre-round
+  state is reconstructed coordinator-side, merged, and re-split over
+  one fewer worker.
+
+Determinism rests on the stateful-evaluation replay argument in
+:mod:`repro.runtime.supervision`; these tests are the proof by
+execution, including a Hypothesis property that draws random kill
+schedules.  The CLI/crash-site flavor of the same scenario lives in
+``tests/stream/test_fault_injection.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench import records_identical
+from repro.stream import OnlineAuctionService
+from repro.workloads import (
+    ChurnStreamConfig,
+    PaperWorkload,
+    PaperWorkloadConfig,
+    generate_stream,
+)
+
+CONFIG = PaperWorkloadConfig(num_advertisers=24, num_slots=3,
+                             num_keywords=3, seed=1)
+SEED = 3
+METHODS = ("rh", "lp", "hungarian", "rhtalu")
+
+
+@pytest.fixture(scope="module")
+def stream():
+    log = generate_stream(PaperWorkload(CONFIG), ChurnStreamConfig(
+        num_events=90, churn_rate=0.3, genesis=14, min_active=5,
+        seed=7))
+    counts = log.counts_by_kind()
+    assert counts["leave"] >= 2 and counts["query"] >= 40
+    return list(log)
+
+
+@pytest.fixture(scope="module")
+def baselines(stream):
+    """Unfailed workers=0 oracle records, one run per method."""
+    oracle = {}
+    for method in METHODS:
+        service = OnlineAuctionService(CONFIG, method=method,
+                                       engine_seed=SEED)
+        oracle[method] = (service.run(stream),
+                          service.accounts.provider_revenue)
+    return oracle
+
+
+def run_with_kills(stream, method, kill_at, max_worker_restarts,
+                   workers=2, capture_every=50):
+    """Drive a supervised service, SIGKILLing one live worker just
+    before each event index in ``kill_at``; returns (records, svc
+    stats dict, workers at end)."""
+    with OnlineAuctionService(
+            CONFIG, method=method, workers=workers, engine_seed=SEED,
+            supervise=True, round_timeout=60.0,
+            max_worker_restarts=max_worker_restarts) as service:
+        runtime = service.backend.runtime
+        runtime.capture_every = capture_every
+        runtime._ensure_started()  # the fleet spawns lazily; kills
+        # before the first query need live processes to target
+        records = []
+        kills = sorted(kill_at)
+        for index, event in enumerate(stream):
+            while kills and kills[0] == index:
+                kills.pop(0)
+                processes = runtime._processes
+                if processes:
+                    victim = processes[index % len(processes)]
+                    if victim.is_alive():
+                        os.kill(victim.pid, signal.SIGKILL)
+            record = service.process(event)
+            if record is not None:
+                records.append(record)
+        stats = service.backend.supervision_snapshot()
+        return (records, stats, runtime.plan.num_shards,
+                service.accounts.provider_revenue)
+
+
+class TestRespawnPath:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_single_kill_heals_bit_identically(self, method, stream,
+                                               baselines):
+        expected, revenue = baselines[method]
+        records, stats, workers, got_revenue = run_with_kills(
+            stream, method, kill_at=[30], max_worker_restarts=5)
+        assert stats["respawns"] >= 1
+        assert stats["reshards"] == 0
+        assert workers == 2  # fleet size preserved
+        assert records_identical(expected, records)
+        assert got_revenue == revenue
+
+    def test_repeated_kills_heal(self, stream, baselines):
+        expected, revenue = baselines["rh"]
+        records, stats, workers, got_revenue = run_with_kills(
+            stream, "rh", kill_at=[15, 40, 70],
+            max_worker_restarts=10)
+        assert stats["respawns"] >= 3
+        assert records_identical(expected, records)
+        assert got_revenue == revenue
+
+    def test_kill_with_short_capture_cadence(self, stream, baselines):
+        # A tight capture_every forces mid-stream refreshes, so the
+        # heal replays from a *refreshed* capture, not genesis.
+        expected = baselines["rh"][0]
+        records, stats, _, _ = run_with_kills(
+            stream, "rh", kill_at=[60], max_worker_restarts=5,
+            capture_every=10)
+        assert stats["respawns"] >= 1
+        assert records_identical(expected, records)
+
+
+class TestDegradedPath:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_exhausted_restarts_reshard_bit_identically(
+            self, method, stream, baselines):
+        expected, revenue = baselines[method]
+        records, stats, workers, got_revenue = run_with_kills(
+            stream, method, kill_at=[30], max_worker_restarts=0)
+        assert stats["reshards"] == 1
+        assert stats["respawns"] == 0
+        assert workers == 1  # degraded: one fewer shard
+        assert records_identical(expected, records)
+        assert got_revenue == revenue
+
+    def test_mixed_respawn_then_degrade(self, stream, baselines):
+        # First kill respawns (budget 1); the second kill of the
+        # *same* shard would degrade — killing by rotating index, at
+        # least one path of each kind should fire across three kills.
+        expected, revenue = baselines["rh"]
+        records, stats, workers, got_revenue = run_with_kills(
+            stream, "rh", kill_at=[20, 45, 70],
+            max_worker_restarts=1, workers=3)
+        assert stats["worker_failures"] >= 3
+        assert records_identical(expected, records)
+        assert got_revenue == revenue
+
+    def test_single_worker_fleet_cannot_degrade(self, stream):
+        from repro.runtime import WorkerFailure
+
+        with pytest.raises(WorkerFailure, match="cannot"):
+            run_with_kills(stream, "rh", kill_at=[30],
+                           max_worker_restarts=0, workers=1)
+
+
+class TestSupervisionSurface:
+    def test_supervise_requires_workers(self):
+        with pytest.raises(ValueError, match="supervis"):
+            OnlineAuctionService(CONFIG, supervise=True, workers=0)
+
+    def test_stats_flow_into_event_timings(self, stream):
+        records, stats, _, _ = run_with_kills(
+            stream, "rh", kill_at=[30], max_worker_restarts=5)
+        assert stats["worker_failures"] >= 1
+        assert stats["heals"] == stats["worker_failures"]
+        assert stats["mean_heal_seconds"] > 0
+        assert stats["max_heal_seconds"] >= stats["mean_heal_seconds"]
+
+    def test_unfailed_supervised_run_matches_and_reports_zero(
+            self, stream, baselines):
+        expected, _ = baselines["lp"]
+        with OnlineAuctionService(CONFIG, method="lp", workers=2,
+                                  engine_seed=SEED,
+                                  supervise=True) as service:
+            records = service.run(stream)
+            stats = service.backend.supervision_snapshot()
+        assert records_identical(expected, records)
+        assert stats["worker_failures"] == 0
+        # Zero-failure supervision stays out of the stats payload.
+        assert "supervision" not in service.stats.to_dict()
+
+    def test_snapshot_after_heal_restores(self, stream, baselines):
+        # A service that healed mid-stream still snapshots, and the
+        # restored service (fresh, unsupervised fleet) continues the
+        # stream bit-identically to the oracle.
+        expected, _ = baselines["rh"]
+        with OnlineAuctionService(CONFIG, method="rh", workers=2,
+                                  engine_seed=SEED, supervise=True,
+                                  max_worker_restarts=0) as service:
+            runtime = service.backend.runtime
+            records = []
+            for index, event in enumerate(stream[:60]):
+                if index == 30:
+                    os.kill(runtime._processes[0].pid,
+                            signal.SIGKILL)
+                record = service.process(event)
+                if record is not None:
+                    records.append(record)
+            assert service.backend.supervision_snapshot()[
+                "reshards"] == 1
+            snapshot = service.snapshot()
+        resumed = OnlineAuctionService.restore(snapshot, workers=2)
+        try:
+            records += resumed.run(stream[60:])
+        finally:
+            resumed.close()
+        assert records_identical(expected, records)
+
+
+class TestRandomKillSchedules:
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_any_kill_schedule_is_bit_identical(self, data):
+        method = data.draw(st.sampled_from(METHODS))
+        restarts = data.draw(st.integers(0, 2))
+        stream = generate_stream(
+            PaperWorkload(CONFIG), ChurnStreamConfig(
+                num_events=50, churn_rate=0.3, genesis=12,
+                min_active=4, seed=7))
+        stream = list(stream)
+        # A zero restart budget degrades 2 -> 1 worker on the first
+        # kill; a second kill would (correctly) be unhealable, so
+        # bound the schedule by the heal capacity.
+        max_kills = 1 if restarts == 0 else 2
+        kill_at = data.draw(st.lists(
+            st.integers(1, len(stream) - 1), min_size=1,
+            max_size=max_kills, unique=True))
+        baseline = OnlineAuctionService(CONFIG, method=method,
+                                        engine_seed=SEED)
+        expected = baseline.run(stream)
+        records, stats, _, revenue = run_with_kills(
+            stream, method, kill_at=kill_at,
+            max_worker_restarts=restarts, workers=2)
+        assert stats["worker_failures"] >= 1
+        assert records_identical(expected, records)
+        assert revenue == baseline.accounts.provider_revenue

@@ -179,6 +179,21 @@ class TestStream:
         assert code == 0
         assert "2 workers" in capsys.readouterr().out
 
+    def test_supervise_needs_workers(self, capsys):
+        code = main(self.ARGS + ["--supervise"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_supervised_unfailed_run_reports_no_heals(self, capsys):
+        code = main(self.ARGS + ["--workers", "2", "--supervise",
+                                 "--round-timeout", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        # The supervision summary line only appears when a worker
+        # actually failed.
+        assert "supervision:" not in out
+
     def test_rebuild_maintenance_matches_incremental(self, capsys):
         main(self.ARGS + ["--method", "rhtalu"])
         first = capsys.readouterr().out
