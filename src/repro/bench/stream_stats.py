@@ -26,9 +26,40 @@ class EventTimings:
     .SupervisionStats` — empty unless the service runs supervised
     shards and a counter moved."""
 
+    batching: dict = field(default_factory=dict)
+    """Micro-batch window accounting (``windows``, ``batched_events``,
+    ``window_seconds``, ``max_window``, and a per-kind ``shed`` map
+    under shed backpressure) — empty unless the service ran with a
+    batch window."""
+
     def record(self, kind: str, elapsed: float) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         self.seconds[kind] = self.seconds.get(kind, 0.0) + elapsed
+
+    def record_window(self, kind: str, count: int,
+                      elapsed: float) -> None:
+        """Fold one dispatched window of ``count`` events.
+
+        The wall time amortizes into the per-kind buckets — ``count``
+        events, ``elapsed`` seconds — so per-event means (and any
+        percentile derived from them) describe events, not windows;
+        attributing a whole window's wall time to its last event is
+        exactly the skew this method exists to avoid.  The window
+        itself lands in the batch-level :attr:`batching` counters.
+        """
+        self.counts[kind] = self.counts.get(kind, 0) + count
+        self.seconds[kind] = self.seconds.get(kind, 0.0) + elapsed
+        block = self.batching
+        block["windows"] = block.get("windows", 0) + 1
+        block["batched_events"] = block.get("batched_events", 0) + count
+        block["window_seconds"] = (block.get("window_seconds", 0.0)
+                                   + elapsed)
+        block["max_window"] = max(block.get("max_window", 0), count)
+
+    def record_shed(self, kind: str) -> None:
+        """Count one event dropped by shed backpressure."""
+        shed = self.batching.setdefault("shed", {})
+        shed[kind] = shed.get(kind, 0) + 1
 
     def absorb(self, other: "EventTimings") -> None:
         """Fold another accumulator in (e.g. a pre-snapshot segment's
@@ -54,6 +85,19 @@ class EventTimings:
                 merged["mean_heal_seconds"] = (
                     merged.get("heal_seconds", 0.0) / heals)
             self.supervision = merged
+        if other.batching:
+            merged = dict(self.batching)
+            for key, value in other.batching.items():
+                if key == "max_window":
+                    merged[key] = max(merged.get(key, 0), value)
+                elif key == "shed":
+                    shed = dict(merged.get("shed", {}))
+                    for kind, count in value.items():
+                        shed[kind] = shed.get(kind, 0) + count
+                    merged["shed"] = shed
+                else:
+                    merged[key] = merged.get(key, 0) + value
+            self.batching = merged
 
     @property
     def total_events(self) -> int:
@@ -90,4 +134,11 @@ class EventTimings:
         }
         if self.supervision:
             payload["supervision"] = dict(self.supervision)
+        if self.batching:
+            block = dict(self.batching)
+            windows = block.get("windows", 0)
+            if windows:
+                block["mean_window"] = (
+                    block.get("batched_events", 0) / windows)
+            payload["batching"] = block
         return payload

@@ -158,6 +158,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    batching = None
+    if args.batch_window:
+        from repro.stream import BatchingConfig
+
+        batching = BatchingConfig(
+            window=args.batch_window,
+            ingress_capacity=args.ingress_capacity,
+            backpressure=args.backpressure,
+            arrival_rate=args.arrival_rate)
+
     if args.journal:
         # Durable serving: journal-ahead every event, checkpoint on
         # the --checkpoint-every schedule; crash recovery is
@@ -182,8 +192,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 checkpoint_retain=args.checkpoint_retain,
                 supervise=args.supervise,
                 round_timeout=args.round_timeout,
-                max_worker_restarts=args.max_worker_restarts
-                ) as durable:
+                max_worker_restarts=args.max_worker_restarts,
+                batching=batching) as durable:
             records = durable.run(stream)
             inner = durable.service
             accounts = inner.accounts
@@ -211,7 +221,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             workers=args.workers, engine_seed=args.seed + 1,
             supervise=args.supervise,
             round_timeout=args.round_timeout,
-            max_worker_restarts=args.max_worker_restarts) as service:
+            max_worker_restarts=args.max_worker_restarts,
+            batching=batching) as service:
         if args.snapshot_at:
             head = service.run(stream.prefix(args.snapshot_at))
             snapshot = service.snapshot()
@@ -223,6 +234,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                       f"after {args.snapshot_at} events")
             service.close()
             resumed = OnlineAuctionService.restore(snapshot)
+            # Batching is a dispatch knob, not resumable state: the
+            # snapshot doesn't carry it, so re-arm the resumed side.
+            resumed.batching = batching
             try:
                 records = head + resumed.run(stream[args.snapshot_at:])
                 accounts = resumed.accounts
@@ -267,6 +281,13 @@ def _print_stream_summary(args, records, accounts, active, paused,
     mode = (f"{args.workers} workers" if args.workers
             else "in-process")
     print(f"maintenance={args.maintenance} ({mode})")
+    batching = timing.get("batching")
+    if batching:
+        shed_total = sum(batching.get("shed", {}).values())
+        print(f"batching: {batching.get('windows', 0)} windows, "
+              f"mean {batching.get('mean_window', 0.0):.1f} "
+              f"max {batching.get('max_window', 0)} queries/window, "
+              f"{shed_total} events shed")
     supervision = timing.get("supervision")
     if supervision:
         print(f"supervision: {supervision['worker_failures']} worker "
@@ -589,6 +610,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-shard respawn budget before the "
                              "fleet degrades by re-sharding over one "
                              "fewer worker (default 1)")
+    stream.add_argument("--batch-window", type=int, default=0,
+                        metavar="N",
+                        help="micro-batch up to N consecutive query "
+                             "arrivals per dispatch (control events "
+                             "flush the window; 0 = unbatched). "
+                             "Records stay bit-identical to the "
+                             "unbatched service under the default "
+                             "delay backpressure")
+    stream.add_argument("--ingress-capacity", type=int, default=64,
+                        metavar="N",
+                        help="with --batch-window: bound on the "
+                             "ingress queue (default 64); admission "
+                             "beyond it applies --backpressure")
+    stream.add_argument("--backpressure", default="delay",
+                        choices=["delay", "shed"],
+                        help="full-queue policy: delay (arrivals "
+                             "wait upstream; lossless) or shed "
+                             "(drop queries, never control events; "
+                             "sheds are counted in the timing stats)")
+    stream.add_argument("--arrival-rate", type=float, default=1.0,
+                        metavar="R",
+                        help="with --backpressure shed: simulated "
+                             "arrivals per serviced event (> 1 "
+                             "saturates the queue and sheds)")
     stream.set_defaults(func=_cmd_stream)
 
     recover = commands.add_parser(

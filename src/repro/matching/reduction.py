@@ -153,3 +153,84 @@ def reduced_matching(weights: Sequence[Sequence[float]] | np.ndarray,
     pairs = tuple(sorted((reduced.candidates[row], col)
                          for row, col in local.pairs))
     return MatchingResult(pairs=pairs, total_weight=local.total_weight)
+
+
+def _top_k_of_row(row: np.ndarray, k_eff: int) -> tuple[int, ...]:
+    """Top-``k_eff`` indices of one *contiguous* weight row, in the
+    numpy backend's exact order (descending weight, ties toward the
+    lower index).  Partitioning at ``k_eff`` (not ``k_eff - 1``) puts
+    the first *excluded* value at the boundary position, so whether a
+    tie group straddles the cut is a single comparison — the full-row
+    fixup scan only runs when it actually does."""
+    if k_eff >= row.size:
+        chosen = range(row.size)
+    else:
+        part = np.argpartition(-row, k_eff)
+        selected = part[:k_eff]
+        kth_value = float(row[selected].min())
+        if float(row[part[k_eff]]) == kth_value:
+            # Ties at the k-th value straddle the partition boundary
+            # and argpartition chose arbitrarily among them; resolve
+            # toward lower indices exactly as top_k_for_slot does.
+            above = np.flatnonzero(row > kth_value).tolist()
+            ties = sorted(np.flatnonzero(row == kth_value).tolist())
+            chosen = above + ties[:k_eff - len(above)]
+        else:
+            chosen = selected.tolist()
+    return tuple(sorted(chosen, key=lambda i: (-row[i], i)))
+
+
+def reduce_graph_columns(weights_t: np.ndarray,
+                         top_k: int | None = None) -> ReducedGraph:
+    """The top-k reduction on a **slot-major** ``(k, n)`` weight matrix.
+
+    Identical output to ``reduce_graph(weights_t.T, backend="numpy")``
+    — same candidates, same per-slot order (descending weight, ties
+    toward the lower advertiser id), same sub-matrix values — but each
+    slot's scan runs over a contiguous row instead of a strided
+    column, which is what makes the streaming micro-batch path's
+    per-query selection cheap at large populations.  Callers that hold
+    the transposed weights (``weights_t[j, i] = weight of advertiser i
+    in slot j``) avoid the layout copy entirely.
+    """
+    matrix_t = np.asarray(weights_t, dtype=float)
+    if matrix_t.ndim != 2:
+        raise ValueError(
+            f"weights_t must be 2-D, got shape {matrix_t.shape}")
+    num_slots, num_advertisers = matrix_t.shape
+    k = num_slots if top_k is None else top_k
+    k_eff = min(k, num_advertisers)
+
+    per_slot: list[tuple[int, ...]] = []
+    survivors: set[int] = set()
+    if k_eff <= 0:
+        per_slot = [() for _ in range(num_slots)]
+    else:
+        for j in range(num_slots):
+            ids = _top_k_of_row(matrix_t[j], k_eff)
+            per_slot.append(ids)
+            survivors.update(ids)
+
+    candidates = tuple(sorted(survivors))
+    reduced = matrix_t.T[list(candidates), :] if candidates else \
+        np.empty((0, num_slots))
+    return ReducedGraph(candidates=candidates, weights=reduced,
+                        per_slot=tuple(per_slot))
+
+
+def reduced_matching_columns(weights_t: np.ndarray,
+                             hungarian_backend: Backend = "python"
+                             ) -> MatchingResult:
+    """Method RH from a slot-major ``(k, n)`` weight matrix.
+
+    Bit-identical to ``reduced_matching(weights_t.T,
+    select_backend="numpy", ...)``: the reduction yields the same
+    sub-matrix values, so the Hungarian sees the same instance and the
+    translated pairs sort identically.
+    """
+    reduced = reduce_graph_columns(weights_t)
+    local = max_weight_matching(reduced.weights, allow_unmatched=True,
+                                backend=hungarian_backend)
+    pairs = tuple(sorted((reduced.candidates[row], col)
+                         for row, col in local.pairs))
+    return MatchingResult(pairs=pairs, total_weight=local.total_weight)

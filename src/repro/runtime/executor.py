@@ -802,6 +802,7 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                         int(advertiser) + lo for advertiser
                         in capture.get("paused", {}))
         self._queued_keyword: str | None = None
+        self._in_window = False
 
     # -- spawn recipe ------------------------------------------------------
 
@@ -988,6 +989,12 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
     def submit_query(self, keyword: str) -> AuctionRecord:
         """Run one auction for an event-stream query arrival."""
         self._ensure_started()
+        if not self._in_window:
+            self._refresh_captures_if_due()
+        self._queued_keyword = keyword
+        return self._run_one()
+
+    def _refresh_captures_if_due(self) -> None:
         if self.supervisor is not None and self.capture_every \
                 and max(map(len, self.supervisor.histories),
                         default=0) >= self.capture_every:
@@ -996,8 +1003,23 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
             # pull_shard_states) so reconstruction never replays more
             # than ~capture_every rounds.
             self.pull_shard_states()
-        self._queued_keyword = keyword
-        return self._run_one()
+
+    def begin_query_window(self) -> None:
+        """Open a micro-batch of consecutive stream queries.
+
+        The supervisor capture-refresh check runs once here instead
+        of per query; each query still runs its own lockstep round,
+        so the epoch/heal protocol is untouched (a worker death
+        mid-window heals exactly as it would mid-stream).  Refresh
+        cadence does not touch auction state, so records stay
+        bit-identical to per-query checks.
+        """
+        self._ensure_started()
+        self._refresh_captures_if_due()
+        self._in_window = True
+
+    def end_query_window(self) -> None:
+        self._in_window = False
 
     def run(self, count: int) -> list[AuctionRecord]:  # pragma: no cover
         raise RuntimeError(

@@ -36,6 +36,15 @@ serving stack:
     Inside a file write, after the first half of the payload was
     flushed and fsynced — the crash leaves a **torn** (truncated)
     record on disk, which recovery must detect and skip.
+``batch-post-flush``
+    The durable micro-batch loop, after a whole query window was
+    journaled behind one fsync barrier but before *any* of it was
+    applied — recovery must replay the journaled-but-unapplied
+    window.
+``batch-mid-window``
+    After an in-window query was applied (and its emissions
+    journaled) with the rest of the window still pending — the
+    mid-batch kill; the ``hit`` count selects the position.
 
 Crash points arm through the :data:`ENV_VAR` environment variable
 (``"site[:scope]@hit"``), so they survive ``multiprocessing``
@@ -78,6 +87,8 @@ CRASH_SITES = (
     "worker-idle",
     "journal-mid-write",
     "checkpoint-mid-write",
+    "batch-post-flush",
+    "batch-mid-window",
 )
 """Every site the serving stack instruments, for harness validation."""
 

@@ -163,6 +163,28 @@ class EventJournal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
+    def append_batch(self, entries: "list[tuple[int, Event]]",
+                     origin: str = "input") -> None:
+        """Durably record many events behind **one** fsync barrier.
+
+        The streaming micro-batcher's write-ahead path: a whole query
+        window is journaled — every line written, then a single
+        flush+fsync — before any of it is applied, so a crash after
+        the barrier (the ``batch-post-flush`` site) leaves a journal
+        whose replay includes the entire admitted window.  Falls back
+        to per-entry :meth:`append` while the ``journal-mid-write``
+        crash site is armed, so fault injection can still manufacture
+        a torn tail inside a batch.
+        """
+        if armed("journal-mid-write"):
+            for seq, event in entries:
+                self.append(seq, event, origin=origin)
+            return
+        for seq, event in entries:
+            self._handle.write(_entry_to_line(seq, origin, event))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()

@@ -65,12 +65,16 @@ from repro.auction.pricing import GeneralizedSecondPrice
 from repro.auction.settlement import AuctionSettler
 from repro.auction.user_model import UserModel
 from repro.bench.stream_stats import EventTimings
-from repro.core.winner_determination import solve_on_subset
+from repro.core.winner_determination import (
+    SubsetWindowSolver,
+    solve_on_subset,
+)
 from repro.evaluation.evaluator import RhtaluEvaluator
 from repro.evaluation.pacer_arrays import LazyPacerArrays
 from repro.runtime.executor import StreamShardedRuntime
 from repro.runtime.messages import ControlNotice
 from repro.runtime.sharding import ShardPlan
+from repro.stream.batching import BatchingConfig, MicroBatcher
 from repro.stream.budget import BudgetRegistry
 from repro.stream.events import (
     SERVICE_ORIGINATED,
@@ -138,6 +142,8 @@ class _EagerBackend:
         self.num_slots = config.num_slots
         self.auction_id = 0
         self._bid_out = np.zeros(config.num_advertisers)
+        self._windowed = False
+        self._window_solver: SubsetWindowSolver | None = None
 
     def run_query(self, keyword: str) -> AuctionRecord:
         self.auction_id += 1
@@ -148,9 +154,23 @@ class _EagerBackend:
         eval_seconds = time_module.perf_counter() - start
 
         start = time_module.perf_counter()
-        wd = solve_on_subset(self.click_matrix, bids,
-                             self.arrays.active_ids(),
-                             method=self.method)
+        if self._windowed:
+            # Inside a micro-batch window the active subset cannot
+            # change between queries (control events flush windows;
+            # a mid-window pause invalidates the solver), so the
+            # subset extraction and weight buffers amortize across
+            # the window.  Same float ops, bit-identical results.
+            solver = self._window_solver
+            if solver is None:
+                solver = SubsetWindowSolver(self.click_matrix,
+                                            self.arrays.active_ids(),
+                                            method=self.method)
+                self._window_solver = solver
+            wd = solver.solve(bids)
+        else:
+            wd = solve_on_subset(self.click_matrix, bids,
+                                 self.arrays.active_ids(),
+                                 method=self.method)
         wd_seconds = time_module.perf_counter() - start
 
         def notify(advertiser: int, slot: int | None, clicked: bool,
@@ -166,13 +186,27 @@ class _EagerBackend:
             notify_fn=notify, id_map=wd.id_map,
             click_rows=wd.click_rows)
 
+    def begin_window(self, size: int) -> None:
+        self._windowed = True
+
+    def end_window(self) -> None:
+        # The solver outlives the window: it is keyed on membership,
+        # and every membership move (join/leave/pause/resume, rebuild)
+        # invalidates it — a control event that merely flushed the
+        # window (a top-up, a bid edit) leaves the active set intact,
+        # so the next window reuses the buffers instead of re-slicing
+        # the click matrix.
+        self._windowed = False
+
     def apply_join(self, event: AdvertiserJoin) -> None:
+        self._window_solver = None
         self.arrays.grow_row(event.advertiser, event.target, self.step,
                              np.asarray(event.bids, dtype=float),
                              np.asarray(event.maxbids, dtype=float),
                              np.asarray(event.values, dtype=float))
 
     def apply_leave(self, event: AdvertiserLeave) -> None:
+        self._window_solver = None
         self.arrays.retire_row(event.advertiser)
 
     def apply_update(self, event: BidProgramUpdate) -> None:
@@ -180,12 +214,18 @@ class _EagerBackend:
                                event.bid, event.maxbid)
 
     def apply_pause(self, advertiser: int) -> None:
+        # Exhaustion can land *mid-window* (the settled charge that
+        # zeroes a ledger pauses before the next query); the cached
+        # window solver's active subset is stale the moment it does.
+        self._window_solver = None
         self.arrays.pause_row(advertiser)
 
     def apply_resume(self, advertiser: int) -> None:
+        self._window_solver = None
         self.arrays.resume_row(advertiser)
 
     def rebuild(self) -> None:
+        self._window_solver = None
         self.arrays = PacerArrays.from_capture(self.arrays.capture())
 
     def capture_state(self) -> dict:
@@ -232,6 +272,8 @@ class _RhtaluBackend:
             config=EngineConfig(num_slots=config.num_slots,
                                 method="rhtalu", seed=engine_seed),
             rhtalu=evaluator)
+        self._windowed = False
+        self._planner = None
 
     @property
     def accounts(self) -> AccountBook:
@@ -249,8 +291,23 @@ class _RhtaluBackend:
     def auction_id(self, value: int) -> None:
         self.engine.auction_id = value
 
+    def begin_window(self, size: int) -> None:
+        # The RHTALU planner is stats-only (the evaluator's array
+        # state already serves sequential and batched runs alike), so
+        # one planner persists across windows, mirroring what a
+        # run_batch over the same stretch would report.
+        if self._planner is None:
+            from repro.auction.batch import planner_for_engine
+            self._planner = planner_for_engine(self.engine)
+        self._windowed = True
+
+    def end_window(self) -> None:
+        self._windowed = False
+
     def run_query(self, keyword: str) -> AuctionRecord:
         self._keyword = keyword
+        if self._windowed and self._planner is not None:
+            return self.engine.run_planned_auction(self._planner)
         return self.engine.run_auction()
 
     def apply_join(self, event: AdvertiserJoin) -> None:
@@ -335,6 +392,12 @@ class _ShardedBackend:
     @auction_id.setter
     def auction_id(self, value: int) -> None:
         self.runtime.auction_id = value
+
+    def begin_window(self, size: int) -> None:
+        self.runtime.begin_query_window()
+
+    def end_window(self) -> None:
+        self.runtime.end_query_window()
 
     def run_query(self, keyword: str) -> AuctionRecord:
         return self.runtime.submit_query(keyword)
@@ -422,6 +485,17 @@ class OnlineAuctionService:
         live process; death is always detected).
     max_worker_restarts:
         Per-shard respawn budget before degrading to a smaller fleet.
+    batching:
+        A :class:`~repro.stream.batching.BatchingConfig` arms the
+        adaptive micro-batcher: :meth:`run` coalesces maximal runs of
+        consecutive query arrivals into windows dispatched through
+        :meth:`process_window` (control events flush the window), with
+        a bounded ingress queue and the config's backpressure policy.
+        Under ``delay`` backpressure the serviced stream is the input
+        stream event for event, so records, balances, and emissions
+        stay bit-identical to the unbatched service — the oracle
+        suites assert exactly this.  ``None`` (the default) keeps the
+        one-event-at-a-time loop.
     """
 
     def __init__(self, workload_config: PaperWorkloadConfig,
@@ -432,6 +506,7 @@ class OnlineAuctionService:
                  supervise: bool = False,
                  round_timeout: float | None = None,
                  max_worker_restarts: int = 1,
+                 batching: BatchingConfig | None = None,
                  _restore: ServiceSnapshot | None = None):
         if method not in SERVICE_METHODS:
             raise ValueError(
@@ -466,6 +541,11 @@ class OnlineAuctionService:
         snapshot are visible as registry flags)."""
         self.stats = EventTimings()
         self.events_processed = 0
+        self.batching = batching
+        self.last_batcher: MicroBatcher | None = None
+        """The :class:`~repro.stream.batching.MicroBatcher` of the
+        most recent batched :meth:`run` — its window counters and
+        shed log are the operator's audit surface."""
         restore_capture = (_restore.backend_state
                            if _restore is not None else None)
 
@@ -570,13 +650,75 @@ class OnlineAuctionService:
             self.stats.supervision = supervision
         return record
 
+    def process_window(self, queries: "list[QueryArrival]",
+                       after_each=None) -> list[AuctionRecord]:
+        """Apply one micro-batch window of consecutive query arrivals.
+
+        Each query still runs, settles, and drives the budget
+        lifecycle individually and in order (an exhaustion pause
+        lands *before the next query*, exactly as in :meth:`process`);
+        what amortizes across the window is per-dispatch overhead —
+        the backends hook :meth:`begin_window`/:meth:`end_window` to
+        reuse membership-scoped solver state, the sharded runtime's
+        capture-refresh check, or the RHTALU planner.  ``after_each``
+        (the durable wrapper's journaling callback) fires after each
+        event is applied and counted.  The window's wall time is
+        amortized per event in :class:`~repro.bench.stream_stats
+        .EventTimings` with a batch-level entry alongside.
+        """
+        if not queries:
+            return []
+        start = time_module.perf_counter()
+        records = []
+        self.backend.begin_window(len(queries))
+        try:
+            for event in queries:
+                record = self.backend.run_query(event.keyword)
+                for advertiser in self.registry.settle_charges(
+                        record.prices):
+                    self._pause(advertiser, record.auction_id)
+                self.events_processed += 1
+                records.append(record)
+                if after_each is not None:
+                    after_each(event, record)
+        finally:
+            self.backend.end_window()
+        self.stats.record_window("query", len(records),
+                                 time_module.perf_counter() - start)
+        supervision = self.backend.supervision_snapshot()
+        if supervision.get("worker_failures"):
+            self.stats.supervision = supervision
+        return records
+
     def run(self, events: Iterable[Event]) -> list[AuctionRecord]:
-        """Consume a stream, returning the auction records in order."""
+        """Consume a stream, returning the auction records in order.
+
+        With :attr:`batching` armed the stream routes through the
+        micro-batcher: query windows dispatch via
+        :meth:`process_window`, control events via :meth:`process`,
+        in arrival order.
+        """
+        if self.batching is not None:
+            return self._run_batched(events)
         records = []
         for event in events:
             record = self.process(event)
             if record is not None:
                 records.append(record)
+        return records
+
+    def _run_batched(self, events: Iterable[Event]
+                     ) -> list[AuctionRecord]:
+        batcher = MicroBatcher(self.batching, stats=self.stats)
+        self.last_batcher = batcher
+        records = []
+        for unit in batcher.units(events):
+            if isinstance(unit, list):
+                records.extend(self.process_window(unit))
+            else:
+                record = self.process(unit)
+                if record is not None:  # pragma: no cover - controls
+                    records.append(record)
         return records
 
     def _maintain(self) -> None:
@@ -775,7 +917,9 @@ class DurableAuctionService:
              checkpoint_retain: int = 2,
              supervise: bool = False,
              round_timeout: float | None = None,
-             max_worker_restarts: int = 1) -> "DurableAuctionService":
+             max_worker_restarts: int = 1,
+             batching: BatchingConfig | None = None
+             ) -> "DurableAuctionService":
         """Start a fresh durable service: genesis state, new journal
         (header = the service's :meth:`~OnlineAuctionService
         .config_payload`), optional checkpoint schedule."""
@@ -787,7 +931,8 @@ class DurableAuctionService:
             workers=workers, engine_seed=engine_seed,
             start_method=start_method, supervise=supervise,
             round_timeout=round_timeout,
-            max_worker_restarts=max_worker_restarts)
+            max_worker_restarts=max_worker_restarts,
+            batching=batching)
         journal = EventJournal.create(journal_path,
                                       service.config_payload())
         checkpoints = None
@@ -817,8 +962,75 @@ class DurableAuctionService:
             crash_hook("service-post-checkpoint")
         return record
 
+    def process_window(self, queries: "list[QueryArrival]"
+                       ) -> list[AuctionRecord]:
+        """Durably apply one micro-batch window of query arrivals.
+
+        The write-ahead contract holds at window granularity: every
+        event of the window is journaled — behind **one** fsync
+        barrier (:meth:`~repro.stream.journal.EventJournal
+        .append_batch`) — before *any* of it is applied, then each
+        query applies in order with its emissions journaled at its
+        own seq and the checkpoint schedule consulted per event,
+        exactly as the unbatched loop does.  Batch boundaries
+        therefore never leak into the recorded event order: per
+        origin — the ``input`` sequence and the ``service`` emission
+        sequence — the journal is entry for entry the one an
+        unbatched run writes (only the interleaving *between* the two
+        origins shifts, since a window's inputs land ahead of its
+        emissions), and recovery replays each origin independently,
+        so it needs no batching awareness at all.  A crash after the barrier
+        (``batch-post-flush``) leaves journaled-but-unapplied events
+        that recovery replays; a crash between in-window applies
+        (``batch-mid-window``) is the classic mid-batch kill.
+        """
+        from repro.stream.crash import crash_hook
+
+        if not queries:
+            return []
+        base_seq = self.service.events_processed
+        self.journal.append_batch(
+            [(base_seq + offset, event)
+             for offset, event in enumerate(queries)])
+        crash_hook("batch-post-flush")
+        emitted_seen = len(self.service.emitted)
+
+        def after_each(event: Event, record: AuctionRecord) -> None:
+            nonlocal emitted_seen
+            seq = self.service.events_processed - 1
+            for emission in self.service.emitted[emitted_seen:]:
+                self.journal.append(seq, emission, origin="service")
+            emitted_seen = len(self.service.emitted)
+            crash_hook("batch-mid-window")
+            if self.checkpoints is not None and self.checkpoints.due(
+                    self.service.events_processed):
+                self.checkpoints.write(self.service.snapshot())
+                crash_hook("service-post-checkpoint")
+
+        return self.service.process_window(queries,
+                                           after_each=after_each)
+
     def run(self, events: Iterable[Event]) -> list[AuctionRecord]:
-        """Consume a stream durably, returning records in order."""
+        """Consume a stream durably, returning records in order.
+
+        With the wrapped service's :attr:`~OnlineAuctionService
+        .batching` armed, the stream routes through the micro-batcher
+        — query windows via :meth:`process_window`, control events
+        via :meth:`process` — in arrival order.
+        """
+        if self.service.batching is not None:
+            batcher = MicroBatcher(self.service.batching,
+                                   stats=self.service.stats)
+            self.service.last_batcher = batcher
+            records = []
+            for unit in batcher.units(events):
+                if isinstance(unit, list):
+                    records.extend(self.process_window(unit))
+                else:
+                    record = self.process(unit)
+                    if record is not None:  # pragma: no cover
+                        records.append(record)
+            return records
         records = []
         for event in events:
             record = self.process(event)

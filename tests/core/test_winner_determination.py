@@ -9,8 +9,10 @@ from repro.core.revenue import RevenueMatrix, build_revenue_matrix
 from repro.core.validation import WdInvariantError, check_result, results_agree
 from repro.core.winner_determination import (
     METHODS,
+    SubsetWindowSolver,
     determine_winners,
     solve,
+    solve_on_subset,
 )
 from repro.lang.dependence import NotOneDependentError
 from repro.lang.bids import BidsTable
@@ -147,3 +149,52 @@ class TestValidationHelpers:
                                 method=result.method)
         with pytest.raises(WdInvariantError):
             check_result(tampered, revenue)
+
+
+class TestSubsetWindowSolver:
+    """The micro-batch window cache must be bit-identical to
+    :func:`solve_on_subset` — same pairs, same floats, same
+    translation maps — for every method and membership."""
+
+    def _assert_exact(self, cached, uncached):
+        assert cached.matching.pairs == uncached.matching.pairs
+        assert cached.matching.total_weight \
+            == uncached.matching.total_weight
+        assert cached.expected_revenue == uncached.expected_revenue
+        assert cached.slot_of == uncached.slot_of
+        assert cached.id_map == uncached.id_map
+        assert np.array_equal(cached.weights, uncached.weights)
+        assert np.array_equal(cached.candidate_bids,
+                              uncached.candidate_bids)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1),
+           st.sampled_from(["rh", "lp", "hungarian"]))
+    def test_bit_identical_to_solve_on_subset(self, seed, method):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 12))
+        k = int(rng.integers(1, 4))
+        click = rng.random((n, k))
+        size = int(rng.integers(0, n + 1))
+        active = np.sort(rng.choice(n, size=size, replace=False))
+        solver = SubsetWindowSolver(click, active, method=method)
+        for _ in range(3):  # reused caches across in-window queries
+            bids = rng.random(n) * 10.0
+            self._assert_exact(solver.solve(bids),
+                               solve_on_subset(click, bids, active,
+                                               method=method))
+
+    def test_empty_membership(self):
+        click = np.random.default_rng(0).random((4, 2))
+        solver = SubsetWindowSolver(click, np.array([], dtype=int))
+        result = solver.solve(np.ones(4))
+        assert result.matching.pairs == ()
+        assert result.expected_revenue == 0.0
+        assert result.id_map == []
+
+    def test_unsupported_method_raises(self):
+        click = np.ones((2, 1))
+        solver = SubsetWindowSolver(click, np.array([0, 1]),
+                                    method="separable")
+        with pytest.raises(ValueError, match="window method"):
+            solver.solve(np.ones(2))

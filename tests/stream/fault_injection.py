@@ -58,6 +58,7 @@ def run_crashing_stream(tmp_path: Path, events_path: Path,
                         method: str = "rh", workers: int = 0,
                         seed: int = 0, checkpoint_every: int = 20,
                         checkpoint_retain: int = 2,
+                        batch_window: int = 0,
                         timeout: float = 240.0) -> CrashedRun:
     """Run a durable CLI replay with a crash point armed.
 
@@ -83,6 +84,8 @@ def run_crashing_stream(tmp_path: Path, events_path: Path,
         "--checkpoint-dir", str(checkpoint_dir),
         "--checkpoint-retain", str(checkpoint_retain),
     ]
+    if batch_window:
+        cmd += ["--batch-window", str(batch_window)]
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC)
     env[ENV_VAR] = crash.to_env()

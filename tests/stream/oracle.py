@@ -1,0 +1,75 @@
+"""The shared service-equivalence harness of the oracle suites.
+
+Every streaming correctness story in this repo reduces to the same
+move: run two differently-configured services over the *same* event
+stream and demand that everything observable agrees — auction records
+(via :func:`repro.bench.records_identical`, which compares the
+deterministic outcome fields and ignores timing stamps), final ledger
+balances, the paused set, the service-originated emission log, and
+provider revenue.  ``test_budget.py``, ``test_service.py``,
+``test_supervision.py``, and the batching suites all phrase their
+oracles through this module instead of re-growing ad-hoc copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import records_identical
+from repro.stream import OnlineAuctionService
+
+
+@dataclass
+class ServiceOutcome:
+    """Everything observable about one service run, as plain data —
+    comparable after the service itself is closed."""
+
+    records: list
+    balances: dict
+    paused: list
+    emitted: list
+    provider_revenue: float
+    events_processed: int
+
+
+def capture_outcome(service: OnlineAuctionService,
+                    records) -> ServiceOutcome:
+    """Freeze a live service's observable outputs."""
+    return ServiceOutcome(
+        records=list(records),
+        balances=dict(service.registry.balances()),
+        paused=list(service.paused_advertisers()),
+        emitted=list(service.emitted),
+        provider_revenue=service.accounts.provider_revenue,
+        events_processed=service.events_processed)
+
+
+def run_service(config, stream, **service_kwargs) -> ServiceOutcome:
+    """Run a fresh service over ``stream`` and return its outcome.
+
+    The service is always closed (sharded fleets must not leak worker
+    processes out of a test), so the outcome carries everything a
+    comparison needs.
+    """
+    with OnlineAuctionService(config, **service_kwargs) as service:
+        records = service.run(stream)
+        return capture_outcome(service, records)
+
+
+def assert_outcomes_agree(first: ServiceOutcome,
+                          second: ServiceOutcome) -> None:
+    """The full equivalence oracle: records, balances, pause set,
+    emissions, and provider revenue all bit-identical."""
+    assert records_identical(first.records, second.records)
+    assert first.balances == second.balances
+    assert first.paused == second.paused
+    assert first.emitted == second.emitted
+    assert first.provider_revenue == second.provider_revenue
+
+
+def assert_services_agree(first: OnlineAuctionService,
+                          second: OnlineAuctionService,
+                          first_records, second_records) -> None:
+    """Equivalence oracle over two still-live services."""
+    assert_outcomes_agree(capture_outcome(first, first_records),
+                          capture_outcome(second, second_records))

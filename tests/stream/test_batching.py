@@ -1,0 +1,409 @@
+"""Micro-batching oracle suite: batched serving is bit-identical.
+
+The adaptive micro-batcher (:mod:`repro.stream.batching`) is a pure
+dispatch transform — it may only change *when* work is amortized,
+never any observable outcome.  This suite is the proof:
+
+* unit semantics of :class:`~repro.stream.batching.MicroBatcher` —
+  window capping, control-event flushes, adaptive unit sizing, delay
+  vs shed backpressure, and the shed audit log;
+* the service-level oracle — batched runs equal unbatched runs equal
+  rebuild-maintenance runs (records, balances, pause set, emissions,
+  provider revenue) for every method, window size, and the sharded
+  runtime, over a budget-pressure stream that pauses and re-admits
+  advertisers mid-window;
+* the durable path — a batched journal is per-origin entry-identical
+  to the unbatched journal, and :func:`repro.stream.recover` replays
+  it to the same state with zero batching awareness;
+* shed mode — dropping is confined to queries, and the serviced
+  stream equals the input stream minus exactly the shed log, proven
+  by replaying that filtered stream unbatched;
+* :class:`~repro.bench.stream_stats.EventTimings` batch attribution —
+  window wall time amortizes per event, windows land in the
+  ``batching`` block, and :meth:`absorb` merges spliced runs;
+* a Hypothesis property — any generated churn/budget stream under any
+  drawn window/capacity schedule stays bit-identical for any method.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench import records_identical
+from repro.bench.stream_stats import EventTimings
+from repro.stream import (
+    BACKPRESSURE_MODES,
+    BatchingConfig,
+    DurableAuctionService,
+    MicroBatcher,
+    OnlineAuctionService,
+    recover,
+    scan_journal,
+)
+from repro.stream.events import (
+    AdvertiserLeave,
+    BudgetTopUp,
+    QueryArrival,
+)
+from repro.workloads import (
+    ChurnStreamConfig,
+    PaperWorkload,
+    PaperWorkloadConfig,
+    generate_stream,
+)
+from tests.stream.oracle import assert_outcomes_agree, run_service
+
+CONFIG = PaperWorkloadConfig(num_advertisers=24, num_slots=3,
+                             num_keywords=2, seed=1)
+SEED = 3
+METHODS = ("rh", "lp", "hungarian", "rhtalu")
+WINDOWS = (1, 4, 16)
+
+
+def make_stream(num_events: int, *, seed: int = 11):
+    """Budget-pressure churn stream: pauses and re-admissions land
+    inside query windows, which is exactly what the window-cache
+    invalidation has to survive."""
+    return generate_stream(PaperWorkload(CONFIG), ChurnStreamConfig(
+        num_events=num_events, churn_rate=0.25, genesis=12,
+        min_active=4, budget_low=3.0, budget_high=25.0,
+        topup_weight=2.0, seed=seed))
+
+
+@pytest.fixture(scope="module")
+def pressure_stream():
+    log = make_stream(160)
+    counts = log.counts_by_kind()
+    assert counts["query"] >= 80 and counts["topup"] >= 5
+    return log
+
+
+@pytest.fixture(scope="module")
+def unbatched(pressure_stream):
+    """Per-method unbatched oracle outcomes, computed once."""
+    return {method: run_service(CONFIG, pressure_stream,
+                                method=method, engine_seed=SEED)
+            for method in METHODS}
+
+
+class TestBatchingConfig:
+    def test_defaults_are_valid(self):
+        config = BatchingConfig()
+        assert config.window == 16
+        assert config.backpressure in BACKPRESSURE_MODES
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 0},
+        {"ingress_capacity": 0},
+        {"backpressure": "drop"},
+        {"arrival_rate": 0.0},
+        {"arrival_rate": -1.0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchingConfig(**kwargs)
+
+
+class TestMicroBatcher:
+    def queries(self, count):
+        return [QueryArrival(keyword=f"kw{i}") for i in range(count)]
+
+    def test_run_capped_at_window(self):
+        events = self.queries(10)
+        batcher = MicroBatcher(BatchingConfig(window=4,
+                                              ingress_capacity=64))
+        units = list(batcher.units(events))
+        assert [len(unit) for unit in units] == [4, 4, 2]
+        assert [e for unit in units for e in unit] == events
+        assert batcher.windows == 3
+        assert batcher.batched_queries == 10
+        assert batcher.max_window == 4
+
+    def test_control_event_flushes_window(self):
+        events = (self.queries(3) + [AdvertiserLeave(advertiser=1)]
+                  + self.queries(2) + [BudgetTopUp(advertiser=2,
+                                                   amount=5.0)])
+        batcher = MicroBatcher(BatchingConfig(window=16))
+        units = list(batcher.units(events))
+        assert len(units[0]) == 3
+        assert units[1] == events[3]  # control: bare event, not list
+        assert len(units[2]) == 2
+        assert units[3] == events[6]
+        assert batcher.max_window == 3
+
+    def test_shallow_queue_dispatches_immediately(self):
+        # Capacity 2 keeps the queue shallower than the window: the
+        # adaptive policy dispatches what is present instead of
+        # idling until the window fills.
+        batcher = MicroBatcher(BatchingConfig(window=16,
+                                              ingress_capacity=2))
+        units = list(batcher.units(self.queries(6)))
+        assert all(isinstance(unit, list) for unit in units)
+        assert all(len(unit) <= 2 for unit in units)
+        assert sum(len(unit) for unit in units) == 6
+        assert batcher.shed_count == 0  # delay mode never drops
+
+    def test_delay_mode_is_lossless_in_order(self):
+        events = (self.queries(5) + [AdvertiserLeave(advertiser=1)]
+                  + self.queries(7))
+        batcher = MicroBatcher(BatchingConfig(window=3,
+                                              ingress_capacity=4))
+        flat = []
+        for unit in batcher.units(events):
+            flat.extend(unit if isinstance(unit, list) else [unit])
+        assert flat == events
+        assert batcher.shed_count == 0
+
+    def test_shed_drops_only_queries(self):
+        # Rate 3 admissions per serviced event against capacity 2:
+        # the queue saturates and overflow queries drop, but the
+        # control event threaded through the middle always enters.
+        events = (self.queries(10) + [BudgetTopUp(advertiser=2,
+                                                  amount=5.0)]
+                  + self.queries(10))
+        stats = EventTimings()
+        batcher = MicroBatcher(
+            BatchingConfig(window=2, ingress_capacity=2,
+                           backpressure="shed", arrival_rate=3.0),
+            stats=stats)
+        flat = []
+        for unit in batcher.units(events):
+            flat.extend(unit if isinstance(unit, list) else [unit])
+        assert batcher.shed_count > 0
+        assert all(isinstance(e, QueryArrival) for e in batcher.shed)
+        assert events[10] in flat  # the top-up was admitted
+        serviced_ids = {id(e) for e in flat}
+        shed_ids = {id(e) for e in batcher.shed}
+        assert serviced_ids.isdisjoint(shed_ids)
+        assert serviced_ids | shed_ids == {id(e) for e in events}
+        assert stats.batching["shed"] == {
+            "query": batcher.shed_count}
+
+
+class TestBatchedOracle:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_batched_equals_unbatched(self, method, window,
+                                      pressure_stream, unbatched):
+        batched = run_service(
+            CONFIG, pressure_stream, method=method, engine_seed=SEED,
+            batching=BatchingConfig(window=window,
+                                    ingress_capacity=32))
+        assert_outcomes_agree(unbatched[method], batched)
+
+    @pytest.mark.parametrize("method", ["rh", "rhtalu"])
+    def test_batched_equals_rebuild(self, method, pressure_stream,
+                                    unbatched):
+        rebuild = run_service(CONFIG, pressure_stream, method=method,
+                              maintenance="rebuild", engine_seed=SEED)
+        batched = run_service(CONFIG, pressure_stream, method=method,
+                              engine_seed=SEED,
+                              batching=BatchingConfig(window=8))
+        assert_outcomes_agree(rebuild, batched)
+
+    def test_batched_rebuild_maintenance(self, pressure_stream,
+                                         unbatched):
+        # Batching composes with rebuild maintenance too.
+        batched = run_service(CONFIG, pressure_stream, method="rh",
+                              maintenance="rebuild", engine_seed=SEED,
+                              batching=BatchingConfig(window=8))
+        assert_outcomes_agree(unbatched["rh"], batched)
+
+    def test_window_stats_surface(self, pressure_stream):
+        with OnlineAuctionService(
+                CONFIG, method="rh", engine_seed=SEED,
+                batching=BatchingConfig(window=8)) as service:
+            service.run(pressure_stream)
+            batcher = service.last_batcher
+            payload = service.stats.to_dict()["batching"]
+        assert batcher is not None and batcher.windows > 0
+        assert payload["windows"] == batcher.windows
+        assert payload["batched_events"] == batcher.batched_queries
+        assert payload["max_window"] == batcher.max_window <= 8
+        assert payload["mean_window"] == pytest.approx(
+            batcher.batched_queries / batcher.windows)
+        num_queries = pressure_stream.counts_by_kind()["query"]
+        assert batcher.batched_queries == num_queries
+
+
+class TestShardedBatched:
+    @pytest.mark.parametrize("method", ["rh", "lp", "rhtalu"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sharded_batched_equals_unbatched(
+            self, method, workers, pressure_stream, unbatched):
+        batched = run_service(
+            CONFIG, pressure_stream, method=method, engine_seed=SEED,
+            workers=workers, batching=BatchingConfig(window=8))
+        assert_outcomes_agree(unbatched[method], batched)
+
+
+class TestDurableBatched:
+    def run_durable(self, tmp_path, stream, name, *, batching=None,
+                    checkpoint_every=0):
+        journal = tmp_path / f"{name}.jsonl"
+        kwargs = {"batching": batching}
+        if checkpoint_every:
+            kwargs.update(checkpoint_every=checkpoint_every,
+                          checkpoint_dir=tmp_path / f"{name}-ckpt")
+        durable = DurableAuctionService.open(
+            CONFIG, journal, method="rh", engine_seed=SEED, **kwargs)
+        try:
+            records = durable.run(stream)
+            balances = dict(durable.service.registry.balances())
+            emitted = list(durable.emitted)
+        finally:
+            durable.close()
+        return journal, records, balances, emitted
+
+    def test_journal_per_origin_identical(self, tmp_path,
+                                          pressure_stream):
+        plain_path, plain_records, _, _ = self.run_durable(
+            tmp_path, pressure_stream, "plain")
+        batch_path, batch_records, _, _ = self.run_durable(
+            tmp_path, pressure_stream, "batched",
+            batching=BatchingConfig(window=8))
+        assert records_identical(plain_records, batch_records)
+        plain = scan_journal(plain_path)
+        batched = scan_journal(batch_path)
+        for origin in ("input", "service"):
+            assert [
+                (e.seq, e.event) for e in plain.entries
+                if e.origin == origin
+            ] == [
+                (e.seq, e.event) for e in batched.entries
+                if e.origin == origin
+            ]
+
+    def test_recovery_needs_no_batching_awareness(self, tmp_path,
+                                                  pressure_stream,
+                                                  unbatched):
+        journal, records, balances, emitted = self.run_durable(
+            tmp_path, pressure_stream, "recoverable",
+            batching=BatchingConfig(window=8),
+            checkpoint_every=0)
+        result = recover(journal)
+        try:
+            recovered = result.service
+            assert records_identical(unbatched["rh"].records,
+                                     records)
+            assert dict(recovered.registry.balances()) == balances
+            assert list(recovered.emitted) == emitted
+            assert recovered.events_processed \
+                == len(pressure_stream)
+        finally:
+            recovered.close()
+
+    def test_batched_checkpoints_recover(self, tmp_path,
+                                         pressure_stream, unbatched):
+        # Checkpoints taken mid-window-schedule restore and replay
+        # the journaled suffix to the same final state.
+        journal, records, balances, _ = self.run_durable(
+            tmp_path, pressure_stream, "ckpt",
+            batching=BatchingConfig(window=8), checkpoint_every=40)
+        result = recover(journal,
+                         checkpoint_dir=tmp_path / "ckpt-ckpt")
+        try:
+            assert result.checkpoint_path is not None
+            assert records_identical(unbatched["rh"].records,
+                                     records)
+            assert dict(result.service.registry.balances()) \
+                == balances
+        finally:
+            result.service.close()
+
+
+class TestShedMode:
+    def test_shed_run_equals_filtered_stream(self, pressure_stream):
+        # The shed run's observable state must equal an unbatched run
+        # over the input stream minus exactly the shed queries — the
+        # shed log is a faithful account of what was dropped.
+        events = list(pressure_stream)
+        with OnlineAuctionService(
+                CONFIG, method="rh", engine_seed=SEED,
+                batching=BatchingConfig(
+                    window=4, ingress_capacity=4,
+                    backpressure="shed",
+                    arrival_rate=3.0)) as service:
+            records = service.run(events)
+            batcher = service.last_batcher
+            from tests.stream.oracle import capture_outcome
+            shed_outcome = capture_outcome(service, records)
+            payload = service.stats.to_dict()["batching"]
+        assert batcher.shed_count > 0
+        assert all(isinstance(e, QueryArrival) for e in batcher.shed)
+        assert payload["shed"] == {"query": batcher.shed_count}
+        shed_ids = {id(e) for e in batcher.shed}
+        survived = [e for e in events if id(e) not in shed_ids]
+        replayed = run_service(CONFIG, survived, method="rh",
+                               engine_seed=SEED)
+        assert_outcomes_agree(replayed, shed_outcome)
+
+    def test_delay_is_the_default_and_sheds_nothing(
+            self, pressure_stream, unbatched):
+        batched = run_service(
+            CONFIG, pressure_stream, method="rh", engine_seed=SEED,
+            batching=BatchingConfig(window=4, ingress_capacity=4))
+        assert_outcomes_agree(unbatched["rh"], batched)
+
+
+class TestEventTimingsBatching:
+    def test_record_window_amortizes_per_event(self):
+        stats = EventTimings()
+        stats.record_window("query", 4, 0.8)
+        stats.record_window("query", 2, 0.1)
+        assert stats.counts["query"] == 6
+        assert stats.seconds["query"] == pytest.approx(0.9)
+        assert stats.mean_ms("query") == pytest.approx(150.0)
+        block = stats.to_dict()["batching"]
+        assert block["windows"] == 2
+        assert block["batched_events"] == 6
+        assert block["max_window"] == 4
+        assert block["mean_window"] == pytest.approx(3.0)
+
+    def test_absorb_merges_batching(self):
+        first = EventTimings()
+        first.record_window("query", 4, 0.4)
+        first.record_shed("query")
+        second = EventTimings()
+        second.record_window("query", 6, 0.2)
+        second.record_shed("query")
+        second.record_shed("query")
+        first.absorb(second)
+        block = first.batching
+        assert block["windows"] == 2
+        assert block["batched_events"] == 10
+        assert block["max_window"] == 6  # max, not sum
+        assert block["shed"] == {"query": 3}
+
+    def test_unbatched_payload_stays_clean(self):
+        stats = EventTimings()
+        stats.record("query", 0.1)
+        assert "batching" not in stats.to_dict()
+
+
+class TestBatchingProperty:
+    """Satellite property: any stream x any batching schedule is
+    bit-identical to unbatched and to the rebuild oracle."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_any_window_schedule_is_bit_identical(self, data):
+        method = data.draw(st.sampled_from(METHODS))
+        window = data.draw(st.integers(1, 24))
+        capacity = data.draw(st.integers(1, 48))
+        num_events = data.draw(st.integers(30, 90))
+        stream_seed = data.draw(st.integers(0, 50))
+        stream = list(make_stream(num_events, seed=stream_seed))
+        baseline = run_service(CONFIG, stream, method=method,
+                               engine_seed=SEED)
+        batched = run_service(
+            CONFIG, stream, method=method, engine_seed=SEED,
+            batching=BatchingConfig(window=window,
+                                    ingress_capacity=capacity))
+        assert_outcomes_agree(baseline, batched)
+        rebuild = run_service(CONFIG, stream, method=method,
+                              maintenance="rebuild", engine_seed=SEED)
+        assert_outcomes_agree(rebuild, batched)

@@ -43,6 +43,7 @@ from repro.workloads import (
     generate_stream,
     join_event,
 )
+from tests.stream.oracle import assert_services_agree
 
 CONFIG = PaperWorkloadConfig(num_advertisers=12, num_slots=3,
                              num_keywords=2, seed=1)
@@ -253,17 +254,6 @@ class TestPauseResumeSemantics:
             service.process(AdvertiserPaused(advertiser=1))
         with pytest.raises(TypeError, match="service-originated"):
             service.process(AdvertiserResumed(advertiser=1))
-
-
-def assert_services_agree(first: OnlineAuctionService,
-                          second: OnlineAuctionService,
-                          first_records, second_records) -> None:
-    assert records_identical(first_records, second_records)
-    assert first.registry.balances() == second.registry.balances()
-    assert first.paused_advertisers() == second.paused_advertisers()
-    assert list(first.emitted) == list(second.emitted)
-    assert first.accounts.provider_revenue \
-        == second.accounts.provider_revenue
 
 
 class TestIncrementalVsRebuildUnderExhaustion:

@@ -19,6 +19,11 @@ Scenarios (for each of ``rh`` / ``lp`` / ``hungarian`` / ``rhtalu``):
 * ``torn-journal-tail`` — death mid-journal-append leaves a torn
   final entry; recovery must drop it (it was never applied).
 
+:class:`TestBatchedCrashRecovery` runs the micro-batching flavor of
+the same contract — ``batch-post-flush`` (a whole window journaled,
+none of it applied) and ``batch-mid-window`` (death between in-window
+applies) with ``--batch-window`` armed, recovered *unbatched*.
+
 The supervised flavor (:class:`TestSupervisedChaos`) flips the
 contract: the same worker-kill sites, scoped to one generation-0
 worker, armed against ``repro stream --supervise`` — and the run must
@@ -135,6 +140,55 @@ class TestCrashRecoveryMatrix:
         assert diff.identical, diff.format_report()
         # Fully resumed: the recovered suffix reaches the same final
         # auction as the uninterrupted run.
+        assert recovered[-1].auction_id == baseline[-1].auction_id
+
+
+class TestBatchedCrashRecovery:
+    """The micro-batching danger windows (``--batch-window`` armed).
+
+    ``batch-post-flush`` dies right after a whole window's inputs hit
+    the journal behind the fsync barrier but before *any* of them is
+    applied — the maximal journaled-but-unapplied gap batching can
+    create.  ``batch-mid-window`` dies between in-window applies, the
+    classic mid-batch kill.  Recovery is always *unbatched* (and at a
+    different worker count): the journal must carry no batch
+    boundaries for recovery to care about.
+    """
+
+    BATCHED = [
+        pytest.param("batch-post-flush@2", 0, 1,
+                     id="batch-post-flush"),
+        pytest.param("batch-mid-window@5", 0, 1,
+                     id="batch-mid-window"),
+        pytest.param("batch-mid-window@3", 2, 0,
+                     id="batch-mid-window-sharded"),
+    ]
+
+    @pytest.mark.parametrize(
+        "site, crashed_workers, recovery_workers", BATCHED)
+    def test_recovered_trace_diffs_empty(self, tmp_path, events_path,
+                                         stream, baseline, method,
+                                         site, crashed_workers,
+                                         recovery_workers):
+        run = run_crashing_stream(
+            tmp_path, events_path, CrashPoint.from_env(site), CONFIG,
+            method=method, workers=crashed_workers, seed=SEED,
+            checkpoint_every=CHECKPOINT_EVERY, batch_window=8)
+        assert_crashed(run)
+        # Batch crash sites fire in the coordinator, worker count
+        # notwithstanding.
+        assert run.proc.returncode == EXIT_CODE
+
+        result, recovered = recover_and_resume(
+            run, stream, workers=recovery_workers)
+        if site.startswith("batch-post-flush"):
+            # The barrier made the whole window durable before the
+            # crash: recovery must replay journaled-but-unapplied
+            # input entries.
+            assert result.replayed_events > 0
+
+        diff = audit(baseline, recovered)
+        assert diff.identical, diff.format_report()
         assert recovered[-1].auction_id == baseline[-1].auction_id
 
 

@@ -45,6 +45,7 @@ from repro.workloads import (
     generate_stream,
     join_event,
 )
+from tests.stream.oracle import assert_outcomes_agree, run_service
 
 CONFIG = PaperWorkloadConfig(num_advertisers=36, num_slots=4,
                              num_keywords=3, seed=1)
@@ -72,17 +73,13 @@ class TestIncrementalVsRebuildOracle:
     @pytest.mark.parametrize("method", ["rh", "lp", "hungarian",
                                         "rhtalu"])
     def test_bit_identical_records(self, method, stream):
-        incremental = OnlineAuctionService(CONFIG, method=method,
-                                           engine_seed=SEED)
-        rebuild = OnlineAuctionService(CONFIG, method=method,
-                                       maintenance="rebuild",
-                                       engine_seed=SEED)
-        first = incremental.run(stream)
-        second = rebuild.run(stream)
-        assert records_identical(first, second)
-        assert incremental.accounts.provider_revenue \
-            == rebuild.accounts.provider_revenue
-        assert len(first) == stream.num_queries()
+        incremental = run_service(CONFIG, stream, method=method,
+                                  engine_seed=SEED)
+        rebuild = run_service(CONFIG, stream, method=method,
+                              maintenance="rebuild",
+                              engine_seed=SEED)
+        assert_outcomes_agree(incremental, rebuild)
+        assert len(incremental.records) == stream.num_queries()
 
     @pytest.mark.parametrize("method", ["rh", "rhtalu"])
     def test_every_prefix_agrees(self, method, stream):
@@ -105,25 +102,19 @@ class TestShardedService:
     @pytest.mark.parametrize("method", ["rh", "lp", "rhtalu"])
     @pytest.mark.parametrize("workers", [1, 2])
     def test_workers_match_in_process(self, method, workers, stream):
-        base = OnlineAuctionService(CONFIG, method=method,
-                                    engine_seed=SEED)
-        expected = base.run(stream)
-        with OnlineAuctionService(CONFIG, method=method,
-                                  workers=workers,
-                                  engine_seed=SEED) as sharded:
-            actual = sharded.run(stream)
-            assert records_identical(expected, actual)
-            assert sharded.accounts.provider_revenue \
-                == base.accounts.provider_revenue
+        base = run_service(CONFIG, stream, method=method,
+                           engine_seed=SEED)
+        sharded = run_service(CONFIG, stream, method=method,
+                              workers=workers, engine_seed=SEED)
+        assert_outcomes_agree(base, sharded)
 
     def test_rebuild_maintenance_under_workers(self, stream):
-        base = OnlineAuctionService(CONFIG, method="rhtalu",
-                                    engine_seed=SEED)
-        expected = base.run(stream)
-        with OnlineAuctionService(CONFIG, method="rhtalu", workers=2,
-                                  maintenance="rebuild",
-                                  engine_seed=SEED) as sharded:
-            assert records_identical(expected, sharded.run(stream))
+        base = run_service(CONFIG, stream, method="rhtalu",
+                           engine_seed=SEED)
+        sharded = run_service(CONFIG, stream, method="rhtalu",
+                              workers=2, maintenance="rebuild",
+                              engine_seed=SEED)
+        assert_outcomes_agree(base, sharded)
 
 
 class TestChurnSemantics:

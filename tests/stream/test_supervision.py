@@ -35,6 +35,7 @@ from repro.workloads import (
     PaperWorkloadConfig,
     generate_stream,
 )
+from tests.stream.oracle import run_service
 
 CONFIG = PaperWorkloadConfig(num_advertisers=24, num_slots=3,
                              num_keywords=3, seed=1)
@@ -54,14 +55,10 @@ def stream():
 
 @pytest.fixture(scope="module")
 def baselines(stream):
-    """Unfailed workers=0 oracle records, one run per method."""
-    oracle = {}
-    for method in METHODS:
-        service = OnlineAuctionService(CONFIG, method=method,
-                                       engine_seed=SEED)
-        oracle[method] = (service.run(stream),
-                          service.accounts.provider_revenue)
-    return oracle
+    """Unfailed workers=0 oracle outcomes, one run per method."""
+    return {method: run_service(CONFIG, stream, method=method,
+                                engine_seed=SEED)
+            for method in METHODS}
 
 
 def run_with_kills(stream, method, kill_at, max_worker_restarts,
@@ -99,28 +96,28 @@ class TestRespawnPath:
     @pytest.mark.parametrize("method", METHODS)
     def test_single_kill_heals_bit_identically(self, method, stream,
                                                baselines):
-        expected, revenue = baselines[method]
+        baseline = baselines[method]
         records, stats, workers, got_revenue = run_with_kills(
             stream, method, kill_at=[30], max_worker_restarts=5)
         assert stats["respawns"] >= 1
         assert stats["reshards"] == 0
         assert workers == 2  # fleet size preserved
-        assert records_identical(expected, records)
-        assert got_revenue == revenue
+        assert records_identical(baseline.records, records)
+        assert got_revenue == baseline.provider_revenue
 
     def test_repeated_kills_heal(self, stream, baselines):
-        expected, revenue = baselines["rh"]
+        baseline = baselines["rh"]
         records, stats, workers, got_revenue = run_with_kills(
             stream, "rh", kill_at=[15, 40, 70],
             max_worker_restarts=10)
         assert stats["respawns"] >= 3
-        assert records_identical(expected, records)
-        assert got_revenue == revenue
+        assert records_identical(baseline.records, records)
+        assert got_revenue == baseline.provider_revenue
 
     def test_kill_with_short_capture_cadence(self, stream, baselines):
         # A tight capture_every forces mid-stream refreshes, so the
         # heal replays from a *refreshed* capture, not genesis.
-        expected = baselines["rh"][0]
+        expected = baselines["rh"].records
         records, stats, _, _ = run_with_kills(
             stream, "rh", kill_at=[60], max_worker_restarts=5,
             capture_every=10)
@@ -132,26 +129,26 @@ class TestDegradedPath:
     @pytest.mark.parametrize("method", METHODS)
     def test_exhausted_restarts_reshard_bit_identically(
             self, method, stream, baselines):
-        expected, revenue = baselines[method]
+        baseline = baselines[method]
         records, stats, workers, got_revenue = run_with_kills(
             stream, method, kill_at=[30], max_worker_restarts=0)
         assert stats["reshards"] == 1
         assert stats["respawns"] == 0
         assert workers == 1  # degraded: one fewer shard
-        assert records_identical(expected, records)
-        assert got_revenue == revenue
+        assert records_identical(baseline.records, records)
+        assert got_revenue == baseline.provider_revenue
 
     def test_mixed_respawn_then_degrade(self, stream, baselines):
         # First kill respawns (budget 1); the second kill of the
         # *same* shard would degrade — killing by rotating index, at
         # least one path of each kind should fire across three kills.
-        expected, revenue = baselines["rh"]
+        baseline = baselines["rh"]
         records, stats, workers, got_revenue = run_with_kills(
             stream, "rh", kill_at=[20, 45, 70],
             max_worker_restarts=1, workers=3)
         assert stats["worker_failures"] >= 3
-        assert records_identical(expected, records)
-        assert got_revenue == revenue
+        assert records_identical(baseline.records, records)
+        assert got_revenue == baseline.provider_revenue
 
     def test_single_worker_fleet_cannot_degrade(self, stream):
         from repro.runtime import WorkerFailure
@@ -176,7 +173,7 @@ class TestSupervisionSurface:
 
     def test_unfailed_supervised_run_matches_and_reports_zero(
             self, stream, baselines):
-        expected, _ = baselines["lp"]
+        expected = baselines["lp"].records
         with OnlineAuctionService(CONFIG, method="lp", workers=2,
                                   engine_seed=SEED,
                                   supervise=True) as service:
@@ -191,7 +188,7 @@ class TestSupervisionSurface:
         # A service that healed mid-stream still snapshots, and the
         # restored service (fresh, unsupervised fleet) continues the
         # stream bit-identically to the oracle.
-        expected, _ = baselines["rh"]
+        expected = baselines["rh"].records
         with OnlineAuctionService(CONFIG, method="rh", workers=2,
                                   engine_seed=SEED, supervise=True,
                                   max_worker_restarts=0) as service:
