@@ -14,17 +14,39 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def zero_supervision() -> dict:
+    """The supervision block's stable all-zero schema.
+
+    Keys mirror :meth:`repro.runtime.supervision.SupervisionStats
+    .to_dict` exactly (hardcoded here so the bench layer never imports
+    the runtime).  Surfacing zeros unconditionally gives dashboards
+    and the observability summary a fixed shape instead of a block
+    that pops into existence at the first failure.
+    """
+    return {
+        "worker_failures": 0,
+        "respawns": 0,
+        "reshards": 0,
+        "timeouts": 0,
+        "heals": 0,
+        "heal_seconds": 0.0,
+        "mean_heal_seconds": 0.0,
+        "max_heal_seconds": 0.0,
+    }
+
+
 @dataclass
 class EventTimings:
     """Counts and summed wall-clock seconds, keyed by event kind."""
 
     counts: dict[str, int] = field(default_factory=dict)
     seconds: dict[str, float] = field(default_factory=dict)
-    supervision: dict = field(default_factory=dict)
+    supervision: dict = field(default_factory=zero_supervision)
     """Worker-supervision counters (failures, respawns, reshards,
     heal latency) from :class:`repro.runtime.supervision
-    .SupervisionStats` — empty unless the service runs supervised
-    shards and a counter moved."""
+    .SupervisionStats` — always present with a stable schema, all
+    zeros unless the service ran supervised shards and a counter
+    moved."""
 
     batching: dict = field(default_factory=dict)
     """Micro-batch window accounting (``windows``, ``batched_events``,
@@ -46,7 +68,13 @@ class EventTimings:
         attributing a whole window's wall time to its last event is
         exactly the skew this method exists to avoid.  The window
         itself lands in the batch-level :attr:`batching` counters.
+
+        An empty window (``count == 0``) records nothing: no events
+        were served, so neither the per-kind buckets nor the window
+        counters should move.
         """
+        if count == 0:
+            return
         self.counts[kind] = self.counts.get(kind, 0) + count
         self.seconds[kind] = self.seconds.get(kind, 0.0) + elapsed
         block = self.batching
@@ -131,9 +159,8 @@ class EventTimings:
                 }
                 for kind in sorted(self.counts)
             },
+            "supervision": dict(self.supervision),
         }
-        if self.supervision:
-            payload["supervision"] = dict(self.supervision)
         if self.batching:
             block = dict(self.batching)
             windows = block.get("windows", 0)

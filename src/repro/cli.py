@@ -168,6 +168,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             backpressure=args.backpressure,
             arrival_rate=args.arrival_rate)
 
+    observability = None
+    if args.metrics_out or args.trace_spans:
+        if args.snapshot_at:
+            # The snapshot/restore splice runs two services; their
+            # sidecar files would overwrite each other and the span
+            # seqs would restart mid-stream.
+            print("--metrics-out/--trace-spans and --snapshot-at are "
+                  "mutually exclusive (the snapshot splice runs two "
+                  "services over one stream)", file=sys.stderr)
+            return 2
+        from repro.obs import ObservabilityConfig
+
+        observability = ObservabilityConfig(
+            metrics_out=args.metrics_out,
+            trace_spans=args.trace_spans,
+            snapshot_every=args.metrics_every)
+
     if args.journal:
         # Durable serving: journal-ahead every event, checkpoint on
         # the --checkpoint-every schedule; crash recovery is
@@ -193,7 +210,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 supervise=args.supervise,
                 round_timeout=args.round_timeout,
                 max_worker_restarts=args.max_worker_restarts,
-                batching=batching) as durable:
+                batching=batching,
+                observability=observability) as durable:
             records = durable.run(stream)
             inner = durable.service
             accounts = inner.accounts
@@ -222,7 +240,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             supervise=args.supervise,
             round_timeout=args.round_timeout,
             max_worker_restarts=args.max_worker_restarts,
-            batching=batching) as service:
+            batching=batching,
+            observability=observability) as service:
         if args.snapshot_at:
             head = service.run(stream.prefix(args.snapshot_at))
             snapshot = service.snapshot()
@@ -289,13 +308,42 @@ def _print_stream_summary(args, records, accounts, active, paused,
               f"max {batching.get('max_window', 0)} queries/window, "
               f"{shed_total} events shed")
     supervision = timing.get("supervision")
-    if supervision:
+    # The supervision block is always present (stable schema, zeros
+    # when nothing failed); only print it when a worker actually
+    # failed — a healthy run has no healing story to tell.
+    if supervision and supervision.get("worker_failures"):
         print(f"supervision: {supervision['worker_failures']} worker "
               f"failures healed ({supervision['respawns']} respawns, "
               f"{supervision['reshards']} re-shards, "
               f"{supervision['timeouts']} timeouts) "
               f"mean heal {1e3 * supervision['mean_heal_seconds']:.1f} "
               f"ms")
+    if getattr(args, "metrics_out", None):
+        print(f"metrics written to {args.metrics_out} "
+              f"(inspect: repro obs report --metrics "
+              f"{args.metrics_out})")
+    if getattr(args, "trace_spans", None):
+        print(f"span trace written to {args.trace_spans} "
+              f"(inspect: repro obs report --trace "
+              f"{args.trace_spans})")
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import render_report
+
+    if not args.metrics and not args.trace:
+        print("obs report needs --metrics and/or --trace",
+              file=sys.stderr)
+        return 2
+    try:
+        lines = render_report(metrics_path=args.metrics,
+                              trace_path=args.trace, top=args.top)
+    except (OSError, ValueError) as error:
+        print(f"obs report failed: {error}", file=sys.stderr)
+        return 1
+    for line in lines:
+        print(line)
+    return 0
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -484,6 +532,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Expressive and scalable sponsored-search auctions "
                     "(Martin, Gehrke & Halpern, ICDE 2008)")
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="attach a structured handler to the "
+                             "repro.* logging namespace at this level "
+                             "(place before the subcommand)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     simulate = commands.add_parser(
@@ -634,6 +687,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --backpressure shed: simulated "
                              "arrivals per serviced event (> 1 "
                              "saturates the queue and sheds)")
+    stream.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write a JSONL metrics sidecar here "
+                             "(periodic snapshots + a final summary; "
+                             "inspect with `repro obs report`). "
+                             "Observability is sidecar-only: the "
+                             "auction trace stays bit-identical")
+    stream.add_argument("--trace-spans", default=None, metavar="FILE",
+                        help="write a JSONL span trace here (one "
+                             "span tree per applied event, ids "
+                             "derived from event seq)")
+    stream.add_argument("--metrics-every", type=int, default=100,
+                        metavar="N",
+                        help="with --metrics-out: snapshot the "
+                             "metrics every N applied events "
+                             "(0 = summary only; default 100)")
     stream.set_defaults(func=_cmd_stream)
 
     recover = commands.add_parser(
@@ -676,9 +744,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="SQL text; omit to read stdin")
     sql.set_defaults(func=_cmd_sql)
 
+    obs = commands.add_parser(
+        "obs",
+        help="inspect observability sidecars written by "
+             "`repro stream`")
+    obs_commands = obs.add_subparsers(dest="obs_command",
+                                      required=True)
+    report = obs_commands.add_parser(
+        "report",
+        help="render a human-readable report from a metrics and/or "
+             "span-trace sidecar")
+    report.add_argument("--metrics", default=None, metavar="FILE",
+                        help="a --metrics-out JSONL sidecar")
+    report.add_argument("--trace", default=None, metavar="FILE",
+                        help="a --trace-spans JSONL sidecar")
+    report.add_argument("--top", type=int, default=5, metavar="N",
+                        help="how many slowest events to list "
+                             "(default 5)")
+    report.set_defaults(func=_cmd_obs_report)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     return args.func(args)

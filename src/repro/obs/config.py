@@ -1,0 +1,43 @@
+"""Observability switchboard: what to record and where.
+
+One frozen config object carried by
+:class:`~repro.stream.service.OnlineAuctionService`.  Its presence
+turns the metrics registry on; the two output paths independently arm
+the metrics sidecar and the span trace.  ``None`` (the default
+everywhere) means *fully disabled*: no registry, no tracer, and every
+instrumented call site short-circuits on a ``None`` check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Switches for the observability layer.
+
+    Constructing the config (even with both paths ``None``) gives the
+    service an in-memory :class:`~repro.obs.metrics.MetricsRegistry`
+    — useful programmatically; the CLI only builds one when an output
+    path is requested.
+    """
+
+    metrics_out: str | Path | None = None
+    """JSONL file for periodic metrics snapshots + the final summary
+    (``--metrics-out``).  ``None`` disables the writer (the registry
+    still accumulates)."""
+
+    trace_spans: str | Path | None = None
+    """JSONL file for per-event span trees (``--trace-spans``).
+    ``None`` disables span tracing entirely."""
+
+    snapshot_every: int = 100
+    """Events between periodic metrics snapshot lines; ``0`` writes
+    only the final summary."""
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0, got "
+                             f"{self.snapshot_every}")

@@ -1,0 +1,61 @@
+"""The ``repro.*`` logging namespace with structured extras.
+
+Every module in the package logs through ``logging.getLogger(
+__name__)``, which roots the hierarchy at ``repro`` — one knob
+(``--log-level``) controls the whole stack.  Audit-worthy records
+(shed queries, worker respawns, degradations) attach structured
+``extra`` fields; :class:`StructuredFormatter` renders the whitelisted
+ones as trailing ``key=value`` pairs so a grep-able line carries the
+seq/shard/generation context without custom parsing::
+
+    WARNING repro.runtime.executor: respawning shard 1 (generation 1) shard=1 generation=1
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: ``extra`` keys rendered as ``key=value`` suffixes, in this order.
+STRUCTURED_FIELDS: tuple[str, ...] = (
+    "seq", "shard", "generation", "kind", "auction_id",
+    "advertiser", "queue_depth", "shed_total", "window",
+)
+
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+class StructuredFormatter(logging.Formatter):
+    """Appends whitelisted ``extra`` fields as ``key=value`` pairs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        text = super().format(record)
+        pairs = [f"{field}={getattr(record, field)}"
+                 for field in STRUCTURED_FIELDS
+                 if hasattr(record, field)]
+        if pairs:
+            text = f"{text} {' '.join(pairs)}"
+        return text
+
+
+def configure_logging(level: str | int = "warning") -> logging.Logger:
+    """Attach a structured stderr handler to the ``repro`` logger.
+
+    Idempotent: re-invocation adjusts the level of the existing
+    handler instead of stacking a second one.  Returns the ``repro``
+    root logger.
+    """
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            handler.setLevel(level)
+            return logger
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(StructuredFormatter(
+        "%(levelname)s %(name)s: %(message)s"))
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    return logger

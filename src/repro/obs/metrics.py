@@ -1,0 +1,223 @@
+"""Counters, gauges, and fixed-bucket latency histograms.
+
+The registry is deliberately primitive — plain Python objects, lazy
+get-or-create by dotted name, no locks (every writer lives on the
+coordinator thread; worker processes keep their own plain ``dict`` of
+counters and ship it piggybacked on reply messages, see
+:mod:`repro.runtime.worker`).  What matters is the contract with the
+identity machinery: recording a metric draws no randomness and touches
+no decision state, so a metered run stays bit-identical to a bare one.
+
+Histograms use **fixed log-spaced buckets** (1µs doubling up to ~2min)
+so percentile queries are O(buckets) with zero per-observation
+allocation; p50/p90/p99 are reported as the upper bound of the bucket
+containing that quantile, alongside the exact ``max`` and ``sum``.
+
+:class:`MetricsWriter` turns a registry into a JSONL sidecar: a header
+line, a snapshot line every N events, and one final ``summary`` line
+carrying the full registry plus the service's
+:class:`~repro.bench.stream_stats.EventTimings` payload and the merged
+worker counters.
+"""
+
+from __future__ import annotations
+
+import json
+import time as time_module
+from pathlib import Path
+
+METRICS_FORMAT = "repro-obs-metrics/1"
+"""Format marker on the metrics sidecar's header line."""
+
+#: Histogram bucket upper bounds in seconds: 1µs doubling, 28 buckets
+#: (~134s ceiling); observations beyond the last bound land in an
+#: implicit overflow bucket whose percentile reports the exact max.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2 ** k
+                                         for k in range(28))
+
+
+class Counter:
+    """A monotonically increasing integer (or float) counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value (queue depth, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with p50/p90/p99/max.
+
+    ``observe`` is a binary-search bucket increment plus three scalar
+    updates; no allocation, no sorting.  Percentiles resolve to the
+    upper bound of the covering bucket (overflow resolves to the exact
+    observed max), which is the usual monitoring trade: cheap, stable,
+    and within one bucket width of the truth.
+    """
+
+    __slots__ = ("counts", "overflow", "count", "sum", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(BUCKET_BOUNDS)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.sum += seconds
+        if seconds > self.max:
+            self.max = seconds
+        lo, hi = 0, len(BUCKET_BOUNDS)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= BUCKET_BOUNDS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo < len(BUCKET_BOUNDS):
+            self.counts[lo] += 1
+        else:
+            self.overflow += 1
+
+    def percentile(self, quantile: float) -> float:
+        """Upper bound of the bucket holding the ``quantile`` point
+        (0 < quantile <= 1); 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        threshold = quantile * self.count
+        cumulative = 0
+        for bound, bucket in zip(BUCKET_BOUNDS, self.counts):
+            cumulative += bucket
+            if cumulative >= threshold:
+                return min(bound, self.max)
+        return self.max
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum_seconds": self.sum,
+            "max_seconds": self.max,
+            "mean_seconds": self.sum / self.count if self.count
+                            else 0.0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Lazy get-or-create home for every metric in one service run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyHistogram()
+        return histogram
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {name: c.value for name, c
+                         in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g
+                       in sorted(self._gauges.items())},
+            "histograms": {name: h.to_dict() for name, h
+                           in sorted(self._histograms.items())},
+        }
+
+
+def merge_counter_dicts(per_source: dict[int, dict]) -> dict:
+    """Sum plain counter dicts (one per worker shard) key-wise.
+
+    The coordinator keeps the *latest* piggybacked counter dict per
+    shard (workers send cumulative counts, so latest == total since
+    that worker's spawn) and merges here for the summary block.
+    """
+    merged: dict[str, float] = {}
+    for counters in per_source.values():
+        for key, value in counters.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+class MetricsWriter:
+    """The metrics JSONL sidecar: header, snapshots, final summary.
+
+    Wall-clock appears only in this file (``elapsed_seconds`` since the
+    writer opened, via ``time.monotonic``) — it is sidecar data, never
+    read back into the deterministic path.
+    """
+
+    def __init__(self, path: str | Path, *,
+                 snapshot_every: int = 100) -> None:
+        self.path = Path(path)
+        self.snapshot_every = snapshot_every
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._started = time_module.monotonic()
+        self._last_snapshot = 0
+        self.closed = False
+        self._write({"kind": "header", "format": METRICS_FORMAT,
+                     "snapshot_every": snapshot_every})
+
+    def _write(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def due(self, events_processed: int) -> bool:
+        return (self.snapshot_every > 0
+                and events_processed - self._last_snapshot
+                >= self.snapshot_every)
+
+    def write_snapshot(self, events_processed: int,
+                       registry: MetricsRegistry) -> None:
+        self._last_snapshot = events_processed
+        self._write({
+            "kind": "snapshot",
+            "events_processed": events_processed,
+            "elapsed_seconds": time_module.monotonic() - self._started,
+            "metrics": registry.to_dict(),
+        })
+
+    def write_summary(self, payload: dict) -> None:
+        self._write({
+            "kind": "summary",
+            "elapsed_seconds": time_module.monotonic() - self._started,
+            **payload,
+        })
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._handle.close()

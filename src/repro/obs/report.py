@@ -1,0 +1,156 @@
+"""Human-readable rendering of the observability sidecar files.
+
+``repro obs report`` and ``tools/obs_report.py`` both land here:
+:func:`load_metrics`/:func:`load_trace` parse the JSONL files (header
+checked, everything else tolerated loosely — a report should render
+even from a partially-written file), and :func:`render_report` turns
+them into aligned text lines: counters, latency percentiles, per-stage
+span totals, and the slowest individual events.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import METRICS_FORMAT
+from repro.obs.tracer import TRACE_FORMAT
+
+
+def _read_jsonl(path: str | Path, expected_format: str) -> list[dict]:
+    lines = []
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        if raw.strip():
+            lines.append(json.loads(raw))
+    if not lines or lines[0].get("kind") != "header":
+        raise ValueError(f"{path}: missing header line")
+    if lines[0].get("format") != expected_format:
+        raise ValueError(f"{path}: format "
+                         f"{lines[0].get('format')!r}, expected "
+                         f"{expected_format!r}")
+    return lines[1:]
+
+
+def load_metrics(path: str | Path) -> dict:
+    """Return ``{"snapshots": [...], "summary": dict | None}``."""
+    snapshots, summary = [], None
+    for payload in _read_jsonl(path, METRICS_FORMAT):
+        if payload.get("kind") == "snapshot":
+            snapshots.append(payload)
+        elif payload.get("kind") == "summary":
+            summary = payload
+    return {"snapshots": snapshots, "summary": summary}
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Return the root span payloads, in file (= stream) order."""
+    return [payload for payload
+            in _read_jsonl(path, TRACE_FORMAT)
+            if payload.get("kind") == "span"]
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:10.3f}ms"
+
+
+def _walk(span: dict):
+    for child in span.get("children", []):
+        yield child
+        yield from _walk(child)
+
+
+def _metrics_lines(metrics_path: str | Path) -> list[str]:
+    data = load_metrics(metrics_path)
+    summary = data["summary"]
+    lines = [f"== metrics: {metrics_path}",
+             f"   snapshots: {len(data['snapshots'])}"]
+    if summary is None:
+        lines.append("   (no summary line — run still in flight?)")
+        return lines
+    lines.append(f"   events_processed: "
+                 f"{summary.get('events_processed', '?')}")
+    metrics = summary.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("   counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"     {name:<{width}}  {value}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("   gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"     {name:<{width}}  {value:g}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("   latency histograms "
+                     "(p50 / p90 / p99 / max, count):")
+        width = max(len(name) for name in histograms)
+        for name, hist in histograms.items():
+            lines.append(
+                f"     {name:<{width}} {_ms(hist['p50'])} /"
+                f"{_ms(hist['p90'])} /{_ms(hist['p99'])} /"
+                f"{_ms(hist['max_seconds'])}  "
+                f"(n={hist['count']})")
+    worker = summary.get("worker_metrics") or {}
+    merged = worker.get("merged", {})
+    if merged:
+        lines.append("   worker metrics (merged over "
+                     f"{len(worker.get('per_shard', {}))} shards):")
+        width = max(len(name) for name in merged)
+        for name, value in sorted(merged.items()):
+            lines.append(f"     {name:<{width}}  {value:g}")
+    return lines
+
+
+def _trace_lines(trace_path: str | Path, top: int) -> list[str]:
+    spans = load_trace(trace_path)
+    lines = [f"== trace: {trace_path}",
+             f"   root spans: {len(spans)}"]
+    if not spans:
+        return lines
+    by_event: dict[str, list[float]] = {}
+    by_stage: dict[str, list[float]] = {}
+    for span in spans:
+        by_event.setdefault(span.get("event", "?"), []).append(
+            span.get("seconds") or 0.0)
+        for child in _walk(span):
+            by_stage.setdefault(child["name"], []).append(
+                child.get("seconds") or 0.0)
+    lines.append("   by event kind (count, total, mean):")
+    for kind, values in sorted(by_event.items()):
+        lines.append(f"     {kind:<12} {len(values):6d} "
+                     f"{_ms(sum(values))} {_ms(sum(values) / len(values))}")
+    lines.append("   by stage (count, total, mean):")
+    for name, values in sorted(by_stage.items()):
+        lines.append(f"     {name:<13} {len(values):6d} "
+                     f"{_ms(sum(values))} {_ms(sum(values) / len(values))}")
+    slowest = sorted(spans, key=lambda s: s.get("seconds") or 0.0,
+                     reverse=True)[:top]
+    lines.append(f"   slowest {len(slowest)} events:")
+    for span in slowest:
+        stages = ", ".join(
+            f"{child['name']}={child.get('seconds', 0) * 1e3:.3f}ms"
+            for child in span.get("children", []))
+        lines.append(f"     seq {span['seq']:>6} "
+                     f"{span.get('event', '?'):<8}"
+                     f"{_ms(span.get('seconds') or 0.0)}  [{stages}]")
+    return lines
+
+
+def render_report(metrics_path: str | Path | None = None,
+                  trace_path: str | Path | None = None,
+                  top: int = 5) -> list[str]:
+    """Render report lines for whichever files were provided."""
+    lines: list[str] = []
+    if metrics_path is not None:
+        lines.extend(_metrics_lines(metrics_path))
+    if trace_path is not None:
+        if lines:
+            lines.append("")
+        lines.extend(_trace_lines(trace_path, top))
+    if not lines:
+        raise ValueError("nothing to report: no metrics or trace "
+                         "file given")
+    return lines

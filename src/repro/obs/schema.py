@@ -1,0 +1,199 @@
+"""Schema validation for the observability sidecar files.
+
+Both validators return a (possibly empty) list of human-readable
+problem strings instead of raising: CI's ``tools/validate_obs.py``
+prints them all and exits non-zero on any, and the identity tests
+assert the list is empty.  The trace validator also enforces the
+acceptance property that matters most: **every applied event sequence
+appears as exactly one root span** — no gaps, no duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import METRICS_FORMAT
+from repro.obs.tracer import SPAN_KINDS, TRACE_FORMAT
+
+_NUMERIC = (int, float)
+_HISTOGRAM_KEYS = ("count", "sum_seconds", "max_seconds",
+                   "mean_seconds", "p50", "p90", "p99")
+
+
+def _load_lines(path: str | Path,
+                problems: list[str]) -> list[tuple[int, dict]]:
+    lines = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        problems.append(f"unreadable: {exc}")
+        return lines
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            problems.append(f"line {number}: not valid JSON")
+            continue
+        if not isinstance(payload, dict):
+            problems.append(f"line {number}: not a JSON object")
+            continue
+        lines.append((number, payload))
+    return lines
+
+
+def _check_children(children, where: str, parent_id: str,
+                    problems: list[str]) -> None:
+    if not isinstance(children, list):
+        problems.append(f"{where}: children is not a list")
+        return
+    for index, child in enumerate(children, start=1):
+        if not isinstance(child, dict):
+            problems.append(f"{where}: child {index} not an object")
+            continue
+        name = child.get("name")
+        if name not in SPAN_KINDS:
+            problems.append(f"{where}: child {index} has unknown "
+                            f"span name {name!r}")
+        expected_id = f"{parent_id}.{index}"
+        if child.get("span_id") != expected_id:
+            problems.append(f"{where}: child {index} span_id "
+                            f"{child.get('span_id')!r} != "
+                            f"{expected_id!r}")
+        seconds = child.get("seconds")
+        if not isinstance(seconds, _NUMERIC) or seconds < 0:
+            problems.append(f"{where}: child {index} ({name}) has "
+                            f"bad seconds {seconds!r}")
+        if "children" in child:
+            _check_children(child["children"], where, expected_id,
+                            problems)
+
+
+def validate_trace_file(path: str | Path,
+                        expected_events: int | None = None
+                        ) -> list[str]:
+    """Validate a ``--trace-spans`` file; return problem strings.
+
+    With ``expected_events`` the root seqs must be exactly
+    ``0..expected_events-1``; without it they must be contiguous from
+    0 (and duplicates are always rejected).
+    """
+    problems: list[str] = []
+    lines = _load_lines(path, problems)
+    if not lines:
+        problems.append("no content lines")
+        return problems
+    number, header = lines[0]
+    if header.get("kind") != "header":
+        problems.append(f"line {number}: first line is not a header")
+    elif header.get("format") != TRACE_FORMAT:
+        problems.append(f"line {number}: format "
+                        f"{header.get('format')!r} != {TRACE_FORMAT!r}")
+    seen: dict[int, int] = {}
+    for number, payload in lines[1:]:
+        where = f"line {number}"
+        if payload.get("kind") != "span":
+            problems.append(f"{where}: unexpected kind "
+                            f"{payload.get('kind')!r}")
+            continue
+        seq = payload.get("seq")
+        if not isinstance(seq, int) or seq < 0:
+            problems.append(f"{where}: bad seq {seq!r}")
+            continue
+        if seq in seen:
+            problems.append(f"{where}: duplicate root span for seq "
+                            f"{seq} (first at line {seen[seq]})")
+        seen[seq] = number
+        if payload.get("span_id") != str(seq):
+            problems.append(f"{where}: span_id "
+                            f"{payload.get('span_id')!r} != '{seq}'")
+        event = payload.get("event")
+        if not isinstance(event, str) or not event:
+            problems.append(f"{where}: bad event kind {event!r}")
+        seconds = payload.get("seconds")
+        if seconds is not None and (not isinstance(seconds, _NUMERIC)
+                                    or seconds < 0):
+            problems.append(f"{where}: bad root seconds {seconds!r}")
+        _check_children(payload.get("children", []), where, str(seq),
+                        problems)
+    expected = (set(range(expected_events))
+                if expected_events is not None
+                else set(range(max(seen) + 1)) if seen else set())
+    missing = sorted(expected - set(seen))
+    if missing:
+        problems.append(f"missing root spans for seqs {missing[:10]}"
+                        + (" ..." if len(missing) > 10 else ""))
+    extra = sorted(set(seen) - expected)
+    if extra:
+        problems.append(f"unexpected root spans for seqs {extra[:10]}"
+                        + (" ..." if len(extra) > 10 else ""))
+    return problems
+
+
+def _check_metrics_block(metrics, where: str,
+                         problems: list[str]) -> None:
+    if not isinstance(metrics, dict):
+        problems.append(f"{where}: metrics is not an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            problems.append(f"{where}: metrics missing {section!r}")
+    for name, value in metrics.get("counters", {}).items():
+        if not isinstance(value, _NUMERIC) or value < 0:
+            problems.append(f"{where}: counter {name} has bad value "
+                            f"{value!r}")
+    for name, histogram in metrics.get("histograms", {}).items():
+        if not isinstance(histogram, dict):
+            problems.append(f"{where}: histogram {name} not an object")
+            continue
+        for key in _HISTOGRAM_KEYS:
+            if not isinstance(histogram.get(key), _NUMERIC):
+                problems.append(f"{where}: histogram {name} missing "
+                                f"numeric {key!r}")
+
+
+def validate_metrics_file(path: str | Path) -> list[str]:
+    """Validate a ``--metrics-out`` file; return problem strings."""
+    problems: list[str] = []
+    lines = _load_lines(path, problems)
+    if not lines:
+        problems.append("no content lines")
+        return problems
+    number, header = lines[0]
+    if header.get("kind") != "header":
+        problems.append(f"line {number}: first line is not a header")
+    elif header.get("format") != METRICS_FORMAT:
+        problems.append(f"line {number}: format "
+                        f"{header.get('format')!r} != "
+                        f"{METRICS_FORMAT!r}")
+    summaries = 0
+    last_events = -1
+    for number, payload in lines[1:]:
+        where = f"line {number}"
+        kind = payload.get("kind")
+        if kind == "snapshot":
+            if summaries:
+                problems.append(f"{where}: snapshot after summary")
+            events = payload.get("events_processed")
+            if not isinstance(events, int) or events <= last_events:
+                problems.append(f"{where}: events_processed "
+                                f"{events!r} not increasing")
+            else:
+                last_events = events
+            _check_metrics_block(payload.get("metrics"), where,
+                                 problems)
+        elif kind == "summary":
+            summaries += 1
+            _check_metrics_block(payload.get("metrics"), where,
+                                 problems)
+            if "event_timings" not in payload:
+                problems.append(f"{where}: summary missing "
+                                "event_timings")
+        else:
+            problems.append(f"{where}: unexpected kind {kind!r}")
+    if summaries != 1:
+        problems.append(f"expected exactly one summary line, found "
+                        f"{summaries}")
+    return problems

@@ -182,6 +182,13 @@ class ShardedAuctionRuntime:
         self._closed = False
         self.round_timeout = round_timeout
         self.supervisor: WorkerSupervisor | None = None
+        self.metrics = None
+        """Optional :class:`~repro.obs.MetricsRegistry` — set by the
+        streaming subclass when observability is armed.  Sidecar only:
+        nothing on the decision path reads it."""
+        self._worker_metrics: dict[int, dict] = {}
+        """Latest piggybacked counters per shard (workers attach them
+        to replies when spawned with ``observe_metrics``)."""
         self._generation = 0
         self._last_sent = [""] * self.plan.num_shards
         self._join_timeout = 5.0
@@ -446,6 +453,9 @@ class ShardedAuctionRuntime:
         for shard in range(num_shards):
             self._pending[shard].clear()
             self._pending_controls[shard].clear()
+        metrics = self.metrics
+        round_start = (time_module.perf_counter()
+                       if metrics is not None else 0.0)
         epoch = 0
         while True:
             tasks = [ShardTask(
@@ -473,6 +483,12 @@ class ShardedAuctionRuntime:
                 continue
             if self.supervisor is not None:
                 self.supervisor.record_round(tasks)
+            if metrics is not None:
+                metrics.counter("runtime.rounds").inc()
+                if epoch:
+                    metrics.counter("runtime.round_retries").inc(epoch)
+                metrics.histogram("latency.shard_round").observe(
+                    time_module.perf_counter() - round_start)
             return replies
 
     def _recv_round(self, shard: int, epoch: int,
@@ -484,7 +500,28 @@ class ShardedAuctionRuntime:
             if isinstance(reply, _ROUND_REPLIES) \
                     and reply.auction_id == self.auction_id \
                     and reply.epoch == epoch:
+                if reply.metrics is not None:
+                    self._worker_metrics[shard] = reply.metrics
                 return reply
+
+    def worker_metrics(self) -> dict:
+        """The fleet's piggybacked counters: per shard plus a merge.
+
+        Empty when no worker ever attached metrics (observability off,
+        or no round has completed).  ``per_shard`` keys are stringified
+        shard indices (JSON-stable); ``merged`` sums each counter
+        key-wise across shards.
+        """
+        if not self._worker_metrics:
+            return {}
+        per_shard = {str(shard): dict(counters)
+                     for shard, counters
+                     in sorted(self._worker_metrics.items())}
+        merged: dict[str, float] = {}
+        for counters in self._worker_metrics.values():
+            for key, value in counters.items():
+                merged[key] = merged.get(key, 0) + value
+        return {"per_shard": per_shard, "merged": merged}
 
     def _resplit(self, per_shard: list, _kind) -> list:
         """Re-route a round payload after the shard map changed.
@@ -764,7 +801,8 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                  supervise: bool = False,
                  round_timeout: float | None = None,
                  max_worker_restarts: int = 1,
-                 capture_every: int = 50):
+                 capture_every: int = 50,
+                 metrics=None):
         if maintenance not in ("incremental", "rebuild"):
             raise ValueError(
                 f"maintenance must be 'incremental' or 'rebuild', "
@@ -779,6 +817,7 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                          round_timeout=round_timeout)
         self.maintenance = maintenance
         self.capture_every = capture_every
+        self.metrics = metrics
         if supervise:
             self.supervisor = WorkerSupervisor(
                 self.plan.num_shards,
@@ -818,7 +857,8 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
             seed_sequence=seed_sequence,
             stream=StreamShardConfig(maintenance=self.maintenance,
                                      restore=restore),
-            generation=self._generation)
+            generation=self._generation,
+            observe_metrics=self.metrics is not None)
 
     def _respawn_init(self, shard: int,
                       capture: dict | None) -> WorkerInit:
@@ -839,7 +879,8 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                 self.config.seed)[shard],
             stream=StreamShardConfig(maintenance=self.maintenance,
                                      restore=capture),
-            generation=self._generation)
+            generation=self._generation,
+            observe_metrics=self.metrics is not None)
 
     # -- healing -----------------------------------------------------------
 
@@ -860,13 +901,18 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
         stats.worker_failures += 1
         if failure.timed_out:
             stats.timeouts += 1
+        if self.metrics is not None:
+            self.metrics.counter("supervision.worker_failures").inc()
         shard = failure.shard
         if self.supervisor.restarts[shard] \
                 >= self.supervisor.max_worker_restarts:
             result = ("reshard", self._degrade(failure))
         else:
             result = ("respawn", self._respawn(shard))
-        stats.record_heal(time_module.perf_counter() - start)
+        elapsed = time_module.perf_counter() - start
+        stats.record_heal(elapsed)
+        if self.metrics is not None:
+            self.metrics.histogram("latency.heal").observe(elapsed)
         return result
 
     def _discard_worker(self, shard: int) -> None:
@@ -887,8 +933,12 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
         last completed protocol step; returns the global capture the
         replacement was spawned from."""
         _LOG.warning("respawning shard %d (generation %d)", shard,
-                     self._generation + 1)
+                     self._generation + 1,
+                     extra={"shard": shard,
+                            "generation": self._generation + 1})
         self.supervisor.stats.respawns += 1
+        if self.metrics is not None:
+            self.metrics.counter("supervision.respawns").inc()
         self.supervisor.restarts[shard] += 1
         state = self.supervisor.reconstruct_capture(self, shard)
         self._discard_worker(shard)
@@ -939,8 +989,15 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                 failure.last_message) from failure
         workers = self.plan.num_shards - 1
         _LOG.warning("restarts exhausted for shard %d; degrading to "
-                     "%d workers", failure.shard, workers)
+                     "%d workers", failure.shard, workers,
+                     extra={"shard": failure.shard,
+                            "generation": self._generation + 1})
         self.supervisor.stats.reshards += 1
+        if self.metrics is not None:
+            self.metrics.counter("supervision.reshards").inc()
+        # Shard indices are renumbered by the re-split; stale
+        # piggybacked counters keyed by old shards would mislead.
+        self._worker_metrics = {}
         states = [self.supervisor.reconstruct_capture(self, shard)
                   for shard in range(self.plan.num_shards)]
         merged = (merge_captures(states, self.plan.spans(),
@@ -1138,6 +1195,8 @@ class StreamShardedRuntime(ShardedAuctionRuntime):
                             raise AssertionError(
                                 f"expected SnapshotReply, got "
                                 f"{type(reply).__name__}")
+                        if reply.metrics is not None:
+                            self._worker_metrics[shard] = reply.metrics
                         collected[shard] = reply.state
             except WorkerFailure as failure:
                 outcome, payload = self._heal(failure)

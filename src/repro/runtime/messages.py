@@ -106,6 +106,10 @@ class ScanReply:
     leaf_work: int
     epoch: int = 0
     """Echo of the task's epoch (stale replies are discarded)."""
+    metrics: dict | None = None
+    """Piggybacked worker-side observability counters (cumulative
+    since this worker's spawn) — attached only when the worker was
+    spawned with ``observe_metrics``; the merge path never reads it."""
 
 
 @dataclass(frozen=True)
@@ -118,6 +122,9 @@ class GatherReply:
     leaf_work: int
     epoch: int = 0
     """Echo of the task's epoch (stale replies are discarded)."""
+    metrics: dict | None = None
+    """Piggybacked worker-side observability counters (see
+    :class:`ScanReply`)."""
 
 
 @dataclass(frozen=True)
@@ -142,6 +149,9 @@ class RhtaluScanReply:
     leaf_work: int
     epoch: int = 0
     """Echo of the task's epoch (stale replies are discarded)."""
+    metrics: dict | None = None
+    """Piggybacked worker-side observability counters (see
+    :class:`ScanReply`)."""
 
 
 @dataclass(frozen=True)
@@ -165,6 +175,10 @@ class SnapshotReply:
 
     shard: int
     state: dict
+    metrics: dict | None = None
+    """Piggybacked worker-side observability counters (see
+    :class:`ScanReply`) — snapshot flushes refresh them too, so the
+    coordinator's view stays current between query rounds."""
 
 
 @dataclass(frozen=True)

@@ -115,6 +115,13 @@ class WorkerInit:
     worker supervision on every respawn and re-shard; declared as the
     process's crash scope (:func:`repro.stream.crash.set_scope`) so
     chaos tests can kill generation 0 and let the replacement live."""
+    observe_metrics: bool = False
+    """When set, the worker keeps a plain dict of counters (tasks
+    handled, wins folded, controls applied, snapshots, CPU seconds)
+    and piggybacks it on every reply's ``metrics`` field for the
+    coordinator to merge (:mod:`repro.obs`).  Counting reads only
+    message sizes — decision state and the wire protocol's semantics
+    are untouched."""
 
 
 def _shift_capture_ids(capture: dict, delta: int) -> dict:
@@ -424,6 +431,21 @@ def worker_main(conn: Connection, init: WorkerInit) -> None:
     stubborn = bool(os.environ.get(STUBBORN_ENV))
     if stubborn:  # pragma: no cover - exercised via subprocess tests
         signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    observe = init.observe_metrics
+    counters = {"tasks_handled": 0, "wins_folded": 0,
+                "controls_applied": 0, "snapshots": 0,
+                "duplicate_rounds": 0}
+    cpu_base = time_module.process_time()
+
+    def stamped(reply):
+        # Cumulative counters ride every reply; the coordinator keeps
+        # the latest per shard.  CPU seconds are this process's
+        # process_time since spawn — sidecar data, like every timing.
+        return dataclasses.replace(
+            reply, metrics=dict(
+                counters,
+                cpu_seconds=time_module.process_time() - cpu_base))
+
     try:
         shard = build_shard(init)
         conn.send(WorkerReady(shard=init.shard,
@@ -439,18 +461,34 @@ def worker_main(conn: Connection, init: WorkerInit) -> None:
                     continue
                 break
             if isinstance(message, SnapshotRequest):
-                conn.send(shard.snapshot(message))
+                reply = shard.snapshot(message)
+                if observe:
+                    counters["snapshots"] += 1
+                    counters["wins_folded"] += len(message.wins)
+                    counters["controls_applied"] += \
+                        len(message.controls)
+                    reply = stamped(reply)
+                conn.send(reply)
                 continue
             if message.auction_id == last_task_id:
                 # Duplicate round delivery: already applied; resend.
-                conn.send(dataclasses.replace(last_reply,
-                                              epoch=message.epoch))
+                resend = dataclasses.replace(last_reply,
+                                             epoch=message.epoch)
+                if observe:
+                    counters["duplicate_rounds"] += 1
+                    resend = stamped(resend)
+                conn.send(resend)
                 continue
             reply = shard.handle(message)
             if message.epoch:
                 reply = dataclasses.replace(reply,
                                             epoch=message.epoch)
             last_task_id, last_reply = message.auction_id, reply
+            if observe:
+                counters["tasks_handled"] += 1
+                counters["wins_folded"] += len(message.wins)
+                counters["controls_applied"] += len(message.controls)
+                reply = stamped(reply)
             # Fault-injection site: the round's wins/controls are
             # folded and the evaluation ran, but the coordinator never
             # hears back — unsupervised it dies on the dropped pipe

@@ -47,6 +47,8 @@ boundaries never leak into the recorded event order either (see
 
 from __future__ import annotations
 
+import logging
+import time as time_module
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Union
@@ -60,8 +62,11 @@ from repro.stream.events import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.stream_stats import EventTimings
+    from repro.obs import MetricsRegistry
 
 BACKPRESSURE_MODES = ("delay", "shed")
+
+_LOG = logging.getLogger(__name__)
 
 QueryWindow = List[QueryArrival]
 """One dispatch unit of consecutive query arrivals (len >= 1)."""
@@ -124,9 +129,12 @@ class MicroBatcher:
     """
 
     def __init__(self, config: BatchingConfig,
-                 stats: "EventTimings | None" = None):
+                 stats: "EventTimings | None" = None,
+                 metrics: "MetricsRegistry | None" = None,
+                 track_waits: bool = False):
         self.config = config
         self.stats = stats
+        self.metrics = metrics
         self.shed = EventLog()
         """Every event dropped by ``shed`` backpressure, in arrival
         order — the operator's audit trail for what the trace will
@@ -136,10 +144,22 @@ class MicroBatcher:
         self.max_window = 0
         self._queue: deque[Event] = deque()
         self._credit = 0.0
+        self._track = metrics is not None or track_waits
+        self._admit_times: deque[float] = deque()
+        self.last_waits: list[float] = []
+        """Monotonic queue-wait seconds for the members of the most
+        recently yielded unit, in unit order — populated only when a
+        metrics registry is attached or ``track_waits`` is set (the
+        span tracer stages them as ``ingress`` children).  Sidecar
+        timing: never read back into dispatch decisions."""
 
     @property
     def shed_count(self) -> int:
         return len(self.shed)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
 
     def units(self, events: Iterable[Event]) -> Iterator[DispatchUnit]:
         """Yield dispatch units over ``events`` in arrival order."""
@@ -175,16 +195,38 @@ class MicroBatcher:
                 exhausted = self._admit(source, arrivals)
 
     def _next_unit(self) -> DispatchUnit:
+        track = self._track
+        now = time_module.monotonic() if track else 0.0
         if not isinstance(self._queue[0], QueryArrival):
-            return self._queue.popleft()
+            event = self._queue.popleft()
+            if track:
+                self.last_waits = [now - self._admit_times.popleft()]
+                self._record_unit(1)
+            return event
         run: QueryWindow = []
         while self._queue and len(run) < self.config.window \
                 and isinstance(self._queue[0], QueryArrival):
             run.append(self._queue.popleft())
+        if track:
+            self.last_waits = [now - self._admit_times.popleft()
+                               for _ in run]
         self.windows += 1
         self.batched_queries += len(run)
         self.max_window = max(self.max_window, len(run))
+        if self.metrics is not None:
+            self.metrics.counter("batch.windows").inc()
+            self.metrics.counter("batch.batched_queries").inc(len(run))
+            self._record_unit(len(run))
         return run
+
+    def _record_unit(self, size: int) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.gauge("batch.queue_depth").set(len(self._queue))
+        histogram = metrics.histogram("latency.ingress_wait")
+        for wait in self.last_waits:
+            histogram.observe(wait)
 
     def _admit(self, source: Iterator[Event], count: int) -> bool:
         """Pull up to ``count`` events; True when the source is dry.
@@ -205,6 +247,21 @@ class MicroBatcher:
                 self.shed.append(event)
                 if self.stats is not None:
                     self.stats.record_shed(event_kind(event))
+                if self.metrics is not None:
+                    self.metrics.counter("batch.shed").inc()
+                # First shed is the operator's signal the queue bound
+                # is binding; the rest would drown it, so they demote
+                # to debug (the shed log and counters keep the total).
+                _LOG.log(
+                    logging.WARNING if len(self.shed) == 1
+                    else logging.DEBUG,
+                    "ingress queue full: shed %s (total shed %d)",
+                    event_kind(event), len(self.shed),
+                    extra={"kind": event_kind(event),
+                           "queue_depth": len(self._queue),
+                           "shed_total": len(self.shed)})
                 continue
             self._queue.append(event)
+            if self._track:
+                self._admit_times.append(time_module.monotonic())
         return False

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -117,6 +118,11 @@ class EventJournal:
         self.path = path
         self._handle = handle
         self.config = config
+        self.metrics = None
+        """Optional :class:`~repro.obs.MetricsRegistry` — attached by
+        the durable wrapper when observability is armed; appends then
+        count and time the fsync barrier (sidecar only, the write path
+        is byte-identical)."""
 
     @classmethod
     def create(cls, path: str | Path, config: dict) -> "EventJournal":
@@ -150,6 +156,8 @@ class EventJournal:
         half of the line is flushed and fsync'd before the process
         dies — manufacturing the torn tail a real power cut leaves.
         """
+        start = (time.perf_counter() if self.metrics is not None
+                 else 0.0)
         line = _entry_to_line(seq, origin, event)
         if armed("journal-mid-write"):
             half = max(1, len(line) // 2)
@@ -162,6 +170,10 @@ class EventJournal:
             self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        if self.metrics is not None:
+            self.metrics.counter("journal.appends").inc()
+            self.metrics.histogram("latency.journal_fsync").observe(
+                time.perf_counter() - start)
 
     def append_batch(self, entries: "list[tuple[int, Event]]",
                      origin: str = "input") -> None:
@@ -180,10 +192,17 @@ class EventJournal:
             for seq, event in entries:
                 self.append(seq, event, origin=origin)
             return
+        start = (time.perf_counter() if self.metrics is not None
+                 else 0.0)
         for seq, event in entries:
             self._handle.write(_entry_to_line(seq, origin, event))
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        if self.metrics is not None:
+            self.metrics.counter("journal.batch_appends").inc()
+            self.metrics.counter("journal.appends").inc(len(entries))
+            self.metrics.histogram("latency.journal_fsync").observe(
+                time.perf_counter() - start)
 
     def close(self) -> None:
         if not self._handle.closed:

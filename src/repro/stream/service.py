@@ -51,6 +51,7 @@ service mid-stream and resume it deterministically — see
 
 from __future__ import annotations
 
+import logging
 import time as time_module
 from pathlib import Path
 from typing import Iterable
@@ -71,6 +72,12 @@ from repro.core.winner_determination import (
 )
 from repro.evaluation.evaluator import RhtaluEvaluator
 from repro.evaluation.pacer_arrays import LazyPacerArrays
+from repro.obs import (
+    MetricsRegistry,
+    MetricsWriter,
+    ObservabilityConfig,
+    SpanTracer,
+)
 from repro.runtime.executor import StreamShardedRuntime
 from repro.runtime.messages import ControlNotice
 from repro.runtime.sharding import ShardPlan
@@ -104,6 +111,8 @@ from repro.workloads.paper_workload import (
 
 SERVICE_METHODS = ("rh", "lp", "hungarian", "rhtalu")
 MAINTENANCE_MODES = ("incremental", "rebuild")
+
+_LOG = logging.getLogger(__name__)
 
 
 class _EagerBackend:
@@ -234,6 +243,9 @@ class _EagerBackend:
     def supervision_snapshot(self) -> dict:
         return {}
 
+    def worker_metrics(self) -> dict:
+        return {}
+
     def close(self) -> None:
         pass
 
@@ -343,6 +355,9 @@ class _RhtaluBackend:
     def supervision_snapshot(self) -> dict:
         return {}
 
+    def worker_metrics(self) -> dict:
+        return {}
+
     def close(self) -> None:
         pass
 
@@ -363,7 +378,8 @@ class _ShardedBackend:
                  restore_capture: dict | None = None,
                  supervise: bool = False,
                  round_timeout: float | None = None,
-                 max_worker_restarts: int = 1):
+                 max_worker_restarts: int = 1,
+                 metrics: MetricsRegistry | None = None):
         config = workload.config
         restore_shards = None
         if restore_capture is not None:
@@ -375,7 +391,8 @@ class _ShardedBackend:
             engine_seed=engine_seed, start_method=start_method,
             maintenance=maintenance, restore_shards=restore_shards,
             supervise=supervise, round_timeout=round_timeout,
-            max_worker_restarts=max_worker_restarts)
+            max_worker_restarts=max_worker_restarts,
+            metrics=metrics)
 
     @property
     def accounts(self) -> AccountBook:
@@ -444,6 +461,9 @@ class _ShardedBackend:
         supervisor = self.runtime.supervisor
         return supervisor.to_dict() if supervisor is not None else {}
 
+    def worker_metrics(self) -> dict:
+        return self.runtime.worker_metrics()
+
     def close(self) -> None:
         self.runtime.close()
 
@@ -496,6 +516,14 @@ class OnlineAuctionService:
         stay bit-identical to the unbatched service — the oracle
         suites assert exactly this.  ``None`` (the default) keeps the
         one-event-at-a-time loop.
+    observability:
+        An :class:`~repro.obs.ObservabilityConfig` arms the metrics
+        registry and (per its paths) the per-event span tracer and the
+        periodic metrics sidecar (:mod:`repro.obs`).  Instrumentation
+        is strictly sidecar: no RNG draws, no decision state — a
+        metered run stays bit-identical to a bare one, and ``None``
+        (the default) leaves every guarded call site on the
+        pre-existing path.
     """
 
     def __init__(self, workload_config: PaperWorkloadConfig,
@@ -507,6 +535,7 @@ class OnlineAuctionService:
                  round_timeout: float | None = None,
                  max_worker_restarts: int = 1,
                  batching: BatchingConfig | None = None,
+                 observability: ObservabilityConfig | None = None,
                  _restore: ServiceSnapshot | None = None):
         if method not in SERVICE_METHODS:
             raise ValueError(
@@ -546,6 +575,25 @@ class OnlineAuctionService:
         """The :class:`~repro.stream.batching.MicroBatcher` of the
         most recent batched :meth:`run` — its window counters and
         shed log are the operator's audit surface."""
+        self.observability = observability
+        self.metrics: MetricsRegistry | None = None
+        """Live metric registry — ``None`` unless ``observability``
+        was given; every instrumented call site in the stack guards on
+        exactly this, so a bare service runs the pre-existing code."""
+        self.tracer: SpanTracer | None = None
+        self._metrics_writer: MetricsWriter | None = None
+        self.worker_metrics: dict = {}
+        """Per-shard + merged worker-process counters, harvested from
+        the piggybacked reply metrics when the service closes."""
+        self._obs_finalized = False
+        if observability is not None:
+            self.metrics = MetricsRegistry()
+            if observability.trace_spans is not None:
+                self.tracer = SpanTracer(observability.trace_spans)
+            if observability.metrics_out is not None:
+                self._metrics_writer = MetricsWriter(
+                    observability.metrics_out,
+                    snapshot_every=observability.snapshot_every)
         restore_capture = (_restore.backend_state
                            if _restore is not None else None)
 
@@ -555,7 +603,8 @@ class OnlineAuctionService:
                 start_method, maintenance,
                 restore_capture=restore_capture,
                 supervise=supervise, round_timeout=round_timeout,
-                max_worker_restarts=max_worker_restarts)
+                max_worker_restarts=max_worker_restarts,
+                metrics=self.metrics)
         elif method == "rhtalu":
             self.backend = _RhtaluBackend(
                 self.workload, engine_seed,
@@ -594,13 +643,21 @@ class OnlineAuctionService:
         A :class:`BudgetTopUp` that lifts a paused balance above zero
         symmetrically emits :class:`AdvertiserResumed`.
         """
+        tracer = self.tracer
+        metrics = self.metrics
+        seq = self.events_processed
+        if tracer is not None:
+            tracer.flush_upto(seq)
         start = time_module.perf_counter()
         record: AuctionRecord | None = None
         if isinstance(event, QueryArrival):
-            record = self.backend.run_query(event.keyword)
-            for advertiser in self.registry.settle_charges(
-                    record.prices):
-                self._pause(advertiser, record.auction_id)
+            if tracer is None and metrics is None:
+                record = self.backend.run_query(event.keyword)
+                for advertiser in self.registry.settle_charges(
+                        record.prices):
+                    self._pause(advertiser, record.auction_id)
+            else:
+                record = self._observed_query(event)
         elif isinstance(event, AdvertiserJoin):
             self._check_capacity(event.advertiser)
             if event.advertiser in self.registry:
@@ -640,14 +697,31 @@ class OnlineAuctionService:
         else:
             raise TypeError(f"not a stream event: {event!r}")
         self.events_processed += 1
-        self.stats.record(event_kind(event),
-                          time_module.perf_counter() - start)
+        kind = event_kind(event)
+        elapsed = time_module.perf_counter() - start
+        self.stats.record(kind, elapsed)
+        if metrics is not None:
+            metrics.counter(f"service.events.{kind}").inc()
+            metrics.histogram(f"latency.event.{kind}").observe(elapsed)
+        if tracer is not None:
+            # The root opens *after* the apply so invalid events still
+            # raise before any tracing state lands; children recorded
+            # mid-apply (dispatch/emit, the durable wrapper's staged
+            # journal-fsync) are adopted here, and late children
+            # (checkpoint, batch-window) attach until the next apply's
+            # flush_upto.
+            tracer.open(seq, kind)
+            tracer.set_duration(seq, elapsed)
         supervision = self.backend.supervision_snapshot()
-        if supervision.get("worker_failures"):
+        if supervision:
             # Cumulative counters: the latest snapshot supersedes the
-            # previous one wholesale.  A supervised run with zero
-            # failures keeps its stats payload unchanged.
+            # previous one wholesale (zeros included — the stats block
+            # keeps its stable schema whether or not anything failed).
             self.stats.supervision = supervision
+        if self._metrics_writer is not None \
+                and self._metrics_writer.due(self.events_processed):
+            self._metrics_writer.write_snapshot(self.events_processed,
+                                                metrics)
         return record
 
     def process_window(self, queries: "list[QueryArrival]",
@@ -668,26 +742,65 @@ class OnlineAuctionService:
         """
         if not queries:
             return []
+        tracer = self.tracer
+        metrics = self.metrics
+        if tracer is not None:
+            tracer.flush_upto(self.events_processed)
         start = time_module.perf_counter()
         records = []
+        window_seqs: list[int] = []
         self.backend.begin_window(len(queries))
         try:
             for event in queries:
-                record = self.backend.run_query(event.keyword)
-                for advertiser in self.registry.settle_charges(
-                        record.prices):
-                    self._pause(advertiser, record.auction_id)
+                if tracer is None and metrics is None:
+                    record = self.backend.run_query(event.keyword)
+                    for advertiser in self.registry.settle_charges(
+                            record.prices):
+                        self._pause(advertiser, record.auction_id)
+                    self.events_processed += 1
+                    records.append(record)
+                    if after_each is not None:
+                        after_each(event, record)
+                    continue
+                seq = self.events_processed
+                event_start = time_module.perf_counter()
+                record = self._observed_query(event)
                 self.events_processed += 1
                 records.append(record)
+                event_elapsed = (time_module.perf_counter()
+                                 - event_start)
+                if metrics is not None:
+                    metrics.counter("service.events.query").inc()
+                    metrics.histogram("latency.event.query").observe(
+                        event_elapsed)
+                if tracer is not None:
+                    # Open before after_each so the durable wrapper's
+                    # checkpoint child attaches to a live root; window
+                    # roots stay open together until the next apply's
+                    # flush_upto, collecting the shared batch-window
+                    # child below.
+                    tracer.open(seq, "query")
+                    tracer.set_duration(seq, event_elapsed)
+                    window_seqs.append(seq)
                 if after_each is not None:
                     after_each(event, record)
         finally:
             self.backend.end_window()
-        self.stats.record_window("query", len(records),
-                                 time_module.perf_counter() - start)
+        elapsed = time_module.perf_counter() - start
+        self.stats.record_window("query", len(records), elapsed)
+        if tracer is not None:
+            for seq in window_seqs:
+                tracer.child(seq, "batch-window", elapsed,
+                             attrs={"window": len(records)})
+        if metrics is not None:
+            metrics.histogram("latency.window").observe(elapsed)
         supervision = self.backend.supervision_snapshot()
-        if supervision.get("worker_failures"):
+        if supervision:
             self.stats.supervision = supervision
+        if self._metrics_writer is not None \
+                and self._metrics_writer.due(self.events_processed):
+            self._metrics_writer.write_snapshot(self.events_processed,
+                                                metrics)
         return records
 
     def run(self, events: Iterable[Event]) -> list[AuctionRecord]:
@@ -709,10 +822,13 @@ class OnlineAuctionService:
 
     def _run_batched(self, events: Iterable[Event]
                      ) -> list[AuctionRecord]:
-        batcher = MicroBatcher(self.batching, stats=self.stats)
+        batcher = MicroBatcher(self.batching, stats=self.stats,
+                               metrics=self.metrics,
+                               track_waits=self.tracer is not None)
         self.last_batcher = batcher
         records = []
         for unit in batcher.units(events):
+            self._stage_ingress(batcher)
             if isinstance(unit, list):
                 records.extend(self.process_window(unit))
             else:
@@ -720,6 +836,59 @@ class OnlineAuctionService:
                 if record is not None:  # pragma: no cover - controls
                     records.append(record)
         return records
+
+    def _observed_query(self, event: QueryArrival) -> AuctionRecord:
+        """The query branch of :meth:`process` under observation:
+        the identical calls in the identical order, bracketed by
+        ``perf_counter`` reads.  Timings are sidecar data — no RNG,
+        no decision state — so the record stream stays bit-identical
+        to the unobserved branch."""
+        tracer = self.tracer
+        metrics = self.metrics
+        seq = self.events_processed
+        start = time_module.perf_counter()
+        record = self.backend.run_query(event.keyword)
+        dispatch_seconds = time_module.perf_counter() - start
+        start = time_module.perf_counter()
+        paused = 0
+        for advertiser in self.registry.settle_charges(record.prices):
+            self._pause(advertiser, record.auction_id)
+            paused += 1
+        emit_seconds = time_module.perf_counter() - start
+        if tracer is not None:
+            tracer.child(
+                seq, "dispatch", dispatch_seconds,
+                attrs={"auction_id": record.auction_id,
+                       "keyword": event.keyword},
+                children=[("wd", record.wd_seconds, None),
+                          ("price", record.price_seconds, None),
+                          ("settle", record.settle_seconds, None)])
+            tracer.child(seq, "emit", emit_seconds,
+                         attrs={"paused": paused} if paused else None)
+        if metrics is not None:
+            metrics.histogram("latency.dispatch").observe(
+                dispatch_seconds)
+            metrics.histogram("latency.wd").observe(record.wd_seconds)
+            metrics.histogram("latency.price").observe(
+                record.price_seconds)
+            metrics.histogram("latency.settle").observe(
+                record.settle_seconds)
+            metrics.histogram("latency.emit").observe(emit_seconds)
+        return record
+
+    def _stage_ingress(self, batcher: MicroBatcher) -> None:
+        """Park each unit member's ingress queue-wait as a staged
+        ``ingress`` child: seqs are assigned in apply order, so the
+        unit's waits map onto consecutive seqs from the current
+        watermark, and the roots opened during the apply adopt them."""
+        tracer = self.tracer
+        if tracer is None or not batcher.last_waits:
+            return
+        base = self.events_processed
+        depth = batcher.queue_depth
+        for offset, wait in enumerate(batcher.last_waits):
+            tracer.stage(base + offset, "ingress", wait,
+                         attrs={"queue_depth": depth})
 
     def _maintain(self) -> None:
         if self.maintenance == "rebuild":
@@ -732,6 +901,13 @@ class OnlineAuctionService:
         self.registry.mark_paused(advertiser)
         self.emitted.append(AdvertiserPaused(advertiser=advertiser,
                                              auction_id=auction_id))
+        if self.metrics is not None:
+            self.metrics.counter("service.emitted.paused").inc()
+        _LOG.debug("paused advertiser %d (budget exhausted)",
+                   advertiser,
+                   extra={"advertiser": advertiser,
+                          "seq": self.events_processed,
+                          "auction_id": auction_id})
         self._maintain()
 
     def _resume(self, advertiser: int) -> None:
@@ -741,6 +917,11 @@ class OnlineAuctionService:
         self.emitted.append(AdvertiserResumed(
             advertiser=advertiser,
             auction_id=self.backend.auction_id))
+        if self.metrics is not None:
+            self.metrics.counter("service.emitted.resumed").inc()
+        _LOG.debug("resumed advertiser %d (topped up)", advertiser,
+                   extra={"advertiser": advertiser,
+                          "seq": self.events_processed})
         self._maintain()
 
     def _check_capacity(self, advertiser: int) -> None:
@@ -865,7 +1046,34 @@ class OnlineAuctionService:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _finalize_observability(self) -> None:
+        """Drain the observability sidecars: harvest the workers'
+        latest piggybacked counters (the backend must still be alive),
+        write the final summary line, close the files.  Idempotent —
+        ``close()`` may run more than once."""
+        if self._obs_finalized:
+            return
+        self._obs_finalized = True
+        metrics = self.metrics
+        if metrics is not None:
+            self.worker_metrics = self.backend.worker_metrics()
+            for key, value in sorted(
+                    self.worker_metrics.get("merged", {}).items()):
+                metrics.gauge(f"workers.{key}").set(value)
+        if self._metrics_writer is not None:
+            self._metrics_writer.write_summary({
+                "events_processed": self.events_processed,
+                "auctions": self.backend.auction_id,
+                "metrics": metrics.to_dict(),
+                "event_timings": self.stats.to_dict(),
+                "worker_metrics": self.worker_metrics,
+            })
+            self._metrics_writer.close()
+        if self.tracer is not None:
+            self.tracer.close()
+
     def close(self) -> None:
+        self._finalize_observability()
         self.backend.close()
 
     def __enter__(self) -> "OnlineAuctionService":
@@ -904,6 +1112,13 @@ class DurableAuctionService:
         self.service = service
         self.journal = journal
         self.checkpoints = checkpoints
+        if service.metrics is not None:
+            # The journal and the checkpoint policy record into the
+            # wrapped service's registry (append counters, fsync and
+            # checkpoint-write latency histograms).
+            journal.metrics = service.metrics
+            if checkpoints is not None:
+                checkpoints.metrics = service.metrics
 
     @classmethod
     def open(cls, workload_config: PaperWorkloadConfig,
@@ -918,7 +1133,8 @@ class DurableAuctionService:
              supervise: bool = False,
              round_timeout: float | None = None,
              max_worker_restarts: int = 1,
-             batching: BatchingConfig | None = None
+             batching: BatchingConfig | None = None,
+             observability: ObservabilityConfig | None = None
              ) -> "DurableAuctionService":
         """Start a fresh durable service: genesis state, new journal
         (header = the service's :meth:`~OnlineAuctionService
@@ -932,7 +1148,7 @@ class DurableAuctionService:
             start_method=start_method, supervise=supervise,
             round_timeout=round_timeout,
             max_worker_restarts=max_worker_restarts,
-            batching=batching)
+            batching=batching, observability=observability)
         journal = EventJournal.create(journal_path,
                                       service.config_payload())
         checkpoints = None
@@ -949,8 +1165,16 @@ class DurableAuctionService:
         """Durably apply one event (journal -> apply -> checkpoint)."""
         from repro.stream.crash import crash_hook
 
+        tracer = self.service.tracer
         seq = self.service.events_processed
-        self.journal.append(seq, event, origin="input")
+        if tracer is not None:
+            fsync_start = time_module.perf_counter()
+            self.journal.append(seq, event, origin="input")
+            tracer.stage(seq, "journal-fsync",
+                         time_module.perf_counter() - fsync_start,
+                         attrs={"origin": "input"})
+        else:
+            self.journal.append(seq, event, origin="input")
         emitted_before = len(self.service.emitted)
         record = self.service.process(event)
         for emission in self.service.emitted[emitted_before:]:
@@ -958,9 +1182,24 @@ class DurableAuctionService:
         crash_hook("service-post-apply")
         if self.checkpoints is not None \
                 and self.checkpoints.due(self.service.events_processed):
-            self.checkpoints.write(self.service.snapshot())
+            self._write_checkpoint(seq)
             crash_hook("service-post-checkpoint")
         return record
+
+    def _write_checkpoint(self, seq: int) -> None:
+        """Write a due checkpoint, attaching a ``checkpoint`` child to
+        the (still-open) root span of the event that crossed the
+        interval when tracing is on."""
+        tracer = self.service.tracer
+        if tracer is not None:
+            write_start = time_module.perf_counter()
+            self.checkpoints.write(self.service.snapshot())
+            tracer.child(seq, "checkpoint",
+                         time_module.perf_counter() - write_start,
+                         attrs={"events_processed":
+                                self.service.events_processed})
+        else:
+            self.checkpoints.write(self.service.snapshot())
 
     def process_window(self, queries: "list[QueryArrival]"
                        ) -> list[AuctionRecord]:
@@ -988,10 +1227,21 @@ class DurableAuctionService:
 
         if not queries:
             return []
+        tracer = self.service.tracer
         base_seq = self.service.events_processed
-        self.journal.append_batch(
-            [(base_seq + offset, event)
-             for offset, event in enumerate(queries)])
+        entries = [(base_seq + offset, event)
+                   for offset, event in enumerate(queries)]
+        if tracer is not None:
+            # One fsync barrier covers the window; the span lands on
+            # the window's first event with the batch size attached.
+            fsync_start = time_module.perf_counter()
+            self.journal.append_batch(entries)
+            tracer.stage(base_seq, "journal-fsync",
+                         time_module.perf_counter() - fsync_start,
+                         attrs={"origin": "input",
+                                "entries": len(entries)})
+        else:
+            self.journal.append_batch(entries)
         crash_hook("batch-post-flush")
         emitted_seen = len(self.service.emitted)
 
@@ -1004,7 +1254,7 @@ class DurableAuctionService:
             crash_hook("batch-mid-window")
             if self.checkpoints is not None and self.checkpoints.due(
                     self.service.events_processed):
-                self.checkpoints.write(self.service.snapshot())
+                self._write_checkpoint(seq)
                 crash_hook("service-post-checkpoint")
 
         return self.service.process_window(queries,
@@ -1019,11 +1269,14 @@ class DurableAuctionService:
         via :meth:`process` — in arrival order.
         """
         if self.service.batching is not None:
-            batcher = MicroBatcher(self.service.batching,
-                                   stats=self.service.stats)
+            batcher = MicroBatcher(
+                self.service.batching, stats=self.service.stats,
+                metrics=self.service.metrics,
+                track_waits=self.service.tracer is not None)
             self.service.last_batcher = batcher
             records = []
             for unit in batcher.units(events):
+                self.service._stage_ingress(batcher)
                 if isinstance(unit, list):
                     records.extend(self.process_window(unit))
                 else:

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -318,6 +319,10 @@ class CheckpointPolicy:
         if self.retain < 1:
             raise ValueError(
                 f"retain must be >= 1, got {self.retain}")
+        # Optional MetricsRegistry (repro.obs), attached by the
+        # durable wrapper when observability is armed; not a dataclass
+        # field so equality/repr stay about the policy itself.
+        self.metrics = None
 
     def due(self, events_processed: int) -> bool:
         """Whether a checkpoint should land at this watermark."""
@@ -344,6 +349,8 @@ class CheckpointPolicy:
         """
         from repro.stream.crash import armed, crash_hook
 
+        start = (time.perf_counter() if self.metrics is not None
+                 else 0.0)
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.directory / checkpoint_name(
             snapshot.events_processed)
@@ -365,6 +372,10 @@ class CheckpointPolicy:
         # the two can leave a fully-written checkpoint unreachable.
         self._fsync_directory()
         self._prune()
+        if self.metrics is not None:
+            self.metrics.counter("checkpoint.writes").inc()
+            self.metrics.histogram("latency.checkpoint").observe(
+                time.perf_counter() - start)
         return path
 
     def _fsync_directory(self) -> None:

@@ -1,0 +1,2 @@
+"""Observability suite: metrics, span traces, and the
+observe-without-perturbing oracle (:mod:`repro.obs`)."""

@@ -1,0 +1,134 @@
+"""Unit coverage for the metrics half of :mod:`repro.obs`.
+
+Counters, gauges, the fixed-bucket latency histogram (percentiles are
+bucket upper bounds, clamped by the exact max), the registry's lazy
+instrument creation and stable serialization, the JSONL writer's
+snapshot schedule, and the schema validator that CI gates on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsWriter,
+    ObservabilityConfig,
+    merge_counter_dicts,
+    validate_metrics_file,
+)
+from repro.obs.metrics import BUCKET_BOUNDS, LatencyHistogram
+
+
+class TestInstruments:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(4)
+        registry.gauge("depth").set(7)
+        registry.gauge("depth").set(3)
+        payload = registry.to_dict()
+        assert payload["counters"]["events"] == 5
+        assert payload["gauges"]["depth"] == 3
+
+    def test_histogram_percentiles_are_bucket_upper_bounds(self):
+        histogram = LatencyHistogram()
+        for _ in range(50):
+            histogram.observe(0.0009)
+        for _ in range(40):
+            histogram.observe(0.010)
+        for _ in range(10):
+            histogram.observe(0.100)
+        cell = histogram.to_dict()
+        assert cell["count"] == 100
+        assert cell["max_seconds"] == pytest.approx(0.100)
+        # The covering bucket's upper bound: within one 2x bucket
+        # width above the true quantile, never below it.
+        assert 0.0009 <= cell["p50"] <= 0.0018
+        assert 0.010 <= cell["p90"] <= 0.020
+        # p99 lands in the overflow-free top bucket but is clamped by
+        # the exact max.
+        assert cell["p99"] <= cell["max_seconds"] * 2
+        assert cell["mean_seconds"] == pytest.approx(
+            (50 * 0.0009 + 40 * 0.010 + 10 * 0.100) / 100)
+
+    def test_histogram_overflow_clamps_to_max(self):
+        histogram = LatencyHistogram()
+        huge = BUCKET_BOUNDS[-1] * 10
+        histogram.observe(huge)
+        cell = histogram.to_dict()
+        assert cell["count"] == 1
+        assert cell["max_seconds"] == pytest.approx(huge)
+        assert cell["p99"] == pytest.approx(huge)
+
+    def test_empty_histogram_serializes_zeros(self):
+        cell = LatencyHistogram().to_dict()
+        assert cell["count"] == 0
+        assert cell["p50"] == 0.0
+        assert cell["max_seconds"] == 0.0
+
+    def test_registry_is_lazy_and_stable(self):
+        registry = MetricsRegistry()
+        assert registry.to_dict() == {"counters": {}, "gauges": {},
+                                      "histograms": {}}
+        first = registry.histogram("latency.x")
+        assert registry.histogram("latency.x") is first
+
+    def test_merge_counter_dicts(self):
+        merged = merge_counter_dicts({
+            0: {"a": 1, "b": 2.5}, 1: {"a": 3, "c": 1}})
+        assert merged == {"a": 4, "b": 2.5, "c": 1}
+        assert merge_counter_dicts({}) == {}
+
+
+class TestWriterAndSchema:
+    def test_snapshot_schedule_and_summary(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = MetricsRegistry()
+        writer = MetricsWriter(path, snapshot_every=10)
+        for seq in range(25):
+            registry.counter("events").inc()
+            if writer.due(seq + 1):
+                writer.write_snapshot(seq + 1, registry)
+        writer.write_summary({"events_processed": 25,
+                              "metrics": registry.to_dict(),
+                              "event_timings": {"total_events": 25}})
+        writer.close()
+        lines = [json.loads(line) for line
+                 in path.read_text().splitlines()]
+        kinds = [line["kind"] for line in lines]
+        assert kinds[0] == "header"
+        assert kinds.count("snapshot") == 2  # at 10 and 20
+        assert kinds[-1] == "summary"
+        assert validate_metrics_file(path) == []
+
+    def test_snapshot_every_zero_means_summary_only(self, tmp_path):
+        writer = MetricsWriter(tmp_path / "m.jsonl", snapshot_every=0)
+        assert not writer.due(10)
+        assert not writer.due(10_000)
+        writer.write_summary({"events_processed": 1,
+                              "metrics": MetricsRegistry().to_dict(),
+                              "event_timings": {}})
+        writer.close()
+        assert validate_metrics_file(tmp_path / "m.jsonl") == []
+
+    def test_validator_rejects_missing_summary(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        writer = MetricsWriter(path, snapshot_every=1)
+        writer.write_snapshot(1, MetricsRegistry())
+        writer.close()
+        problems = validate_metrics_file(path)
+        assert any("summary" in problem for problem in problems)
+
+    def test_validator_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"kind": "header", "format": "nope/9"}\n')
+        problems = validate_metrics_file(path)
+        assert problems
+
+    def test_config_validates_snapshot_every(self):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            ObservabilityConfig(metrics_out="m.jsonl",
+                                snapshot_every=-1)

@@ -1,0 +1,220 @@
+"""The observe-without-perturbing oracle (:mod:`repro.obs`).
+
+The tentpole promise: arming the full observability stack — metrics
+registry, periodic snapshots, and a span trace — must not move a
+single deterministic outcome.  For every method, an instrumented run
+(in-process and sharded, batched and unbatched) is held bit-identical
+to a dark baseline via the shared service-equivalence harness, while
+its span trace must cover every applied event seq exactly once and its
+metrics sidecar must pass the schema validator.
+
+Also here: the durable wrapper's journal-fsync/checkpoint spans, the
+worker-counter piggyback merge, and the zero-cost-when-disabled
+contract (a dark service holds no registry, no tracer, no writer).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ObservabilityConfig,
+    validate_metrics_file,
+    validate_trace_file,
+)
+from repro.stream import (
+    BatchingConfig,
+    DurableAuctionService,
+    OnlineAuctionService,
+)
+from repro.workloads import (
+    ChurnStreamConfig,
+    PaperWorkload,
+    PaperWorkloadConfig,
+    generate_stream,
+)
+from tests.stream.oracle import (
+    assert_outcomes_agree,
+    capture_outcome,
+    run_service,
+)
+
+CONFIG = PaperWorkloadConfig(num_advertisers=24, num_slots=3,
+                             num_keywords=2, seed=1)
+SEED = 3
+METHODS = ("rh", "lp", "hungarian", "rhtalu")
+
+
+@pytest.fixture(scope="module")
+def stream():
+    log = generate_stream(PaperWorkload(CONFIG), ChurnStreamConfig(
+        num_events=60, churn_rate=0.25, genesis=12, min_active=4,
+        budget_low=3.0, budget_high=25.0, topup_weight=2.0, seed=11))
+    counts = log.counts_by_kind()
+    assert counts["query"] >= 30
+    return log
+
+
+@pytest.fixture(scope="module")
+def baselines(stream):
+    """Per-method dark outcomes, computed once."""
+    return {method: run_service(CONFIG, stream, method=method,
+                                engine_seed=SEED)
+            for method in METHODS}
+
+
+def run_observed(stream, tmp_path, *, method="rh", workers=0,
+                 window=0, tag=""):
+    observability = ObservabilityConfig(
+        metrics_out=tmp_path / f"m{tag}.jsonl",
+        trace_spans=tmp_path / f"t{tag}.jsonl",
+        snapshot_every=20)
+    batching = BatchingConfig(window=window) if window else None
+    with OnlineAuctionService(CONFIG, method=method, workers=workers,
+                              engine_seed=SEED, batching=batching,
+                              observability=observability) as service:
+        records = service.run(stream)
+        outcome = capture_outcome(service, records)
+    # Worker counters are harvested (and the summary written) at
+    # close, so read them after the context exits.
+    return outcome, observability, service.worker_metrics
+
+
+class TestObservedRunsAreBitIdentical:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("workers,window",
+                             [(0, 0), (0, 4), (2, 0), (2, 4)])
+    def test_full_matrix(self, stream, baselines, tmp_path, method,
+                         workers, window):
+        outcome, observability, _ = run_observed(
+            stream, tmp_path, method=method, workers=workers,
+            window=window, tag=f"{method}{workers}{window}")
+        assert_outcomes_agree(baselines[method], outcome)
+        # Every applied event seq has exactly one root span; the
+        # metrics sidecar is schema-clean with a single summary.
+        assert validate_trace_file(
+            observability.trace_spans,
+            expected_events=len(stream)) == []
+        assert validate_metrics_file(observability.metrics_out) == []
+
+    def test_summary_carries_timings_and_counters(self, stream,
+                                                  tmp_path):
+        _, observability, _ = run_observed(stream, tmp_path,
+                                           window=4, tag="summary")
+        lines = [json.loads(line) for line in
+                 observability.metrics_out.read_text().splitlines()]
+        summary = lines[-1]
+        assert summary["kind"] == "summary"
+        assert summary["events_processed"] == len(stream)
+        counters = summary["metrics"]["counters"]
+        timing = summary["event_timings"]
+        assert counters["service.events.query"] \
+            == timing["by_kind"]["query"]["count"]
+        assert counters["batch.windows"] >= 1
+        # Satellite: the supervision block is always present.
+        assert timing["supervision"]["worker_failures"] == 0
+        histograms = summary["metrics"]["histograms"]
+        assert histograms["latency.dispatch"]["count"] \
+            == counters["service.events.query"]
+
+
+class TestWorkerMetricsPiggyback:
+    def test_merged_in_coordinator_summary(self, stream, tmp_path):
+        _, observability, worker_metrics = run_observed(
+            stream, tmp_path, workers=2, tag="piggy")
+        assert set(worker_metrics) == {"per_shard", "merged"}
+        assert set(worker_metrics["per_shard"]) == {"0", "1"}
+        merged = worker_metrics["merged"]
+        per_shard = worker_metrics["per_shard"]
+        for key in ("tasks_handled", "wins_folded",
+                    "controls_applied"):
+            assert merged[key] == sum(shard[key] for shard
+                                      in per_shard.values())
+        assert merged["tasks_handled"] > 0
+        # The summary line carries the same block.
+        lines = [json.loads(line) for line in
+                 observability.metrics_out.read_text().splitlines()]
+        assert lines[-1]["worker_metrics"]["merged"]["tasks_handled"] \
+            == merged["tasks_handled"]
+
+    def test_inprocess_backend_has_no_worker_block(self, stream,
+                                                   tmp_path):
+        _, _, worker_metrics = run_observed(stream, tmp_path,
+                                            workers=0, tag="solo")
+        assert worker_metrics == {}
+
+
+class TestDurableSpans:
+    def test_journal_and_checkpoint_children(self, stream, tmp_path,
+                                             baselines):
+        observability = ObservabilityConfig(
+            metrics_out=tmp_path / "dm.jsonl",
+            trace_spans=tmp_path / "dt.jsonl")
+        with DurableAuctionService.open(
+                CONFIG, tmp_path / "journal.jsonl", method="rh",
+                engine_seed=SEED,
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every=16,
+                observability=observability) as durable:
+            records = durable.run(stream)
+            outcome = capture_outcome(durable.service, records)
+        assert_outcomes_agree(baselines["rh"], outcome)
+        assert validate_trace_file(observability.trace_spans,
+                                   expected_events=len(stream)) == []
+        spans = [json.loads(line) for line in
+                 observability.trace_spans.read_text().splitlines()
+                 if '"span"' in line]
+        spans = [s for s in spans if s.get("kind") == "span"]
+        names = [c["name"] for span in spans
+                 for c in span["children"]]
+        # Every applied event was journaled ahead of the apply...
+        assert names.count("journal-fsync") == len(stream)
+        # ...and the checkpoint schedule produced checkpoint children.
+        assert names.count("checkpoint") \
+            == len(stream) // 16
+        counters = json.loads(
+            observability.metrics_out.read_text()
+            .splitlines()[-1])["metrics"]["counters"]
+        assert counters["journal.appends"] >= len(stream)
+        assert counters["checkpoint.writes"] == len(stream) // 16
+
+    def test_batched_durable_stays_identical(self, stream, tmp_path,
+                                             baselines):
+        observability = ObservabilityConfig(
+            trace_spans=tmp_path / "bt.jsonl")
+        with DurableAuctionService.open(
+                CONFIG, tmp_path / "bjournal.jsonl", method="rh",
+                engine_seed=SEED,
+                batching=BatchingConfig(window=4),
+                observability=observability) as durable:
+            records = durable.run(stream)
+            outcome = capture_outcome(durable.service, records)
+        assert_outcomes_agree(baselines["rh"], outcome)
+        assert validate_trace_file(observability.trace_spans,
+                                   expected_events=len(stream)) == []
+
+
+class TestZeroCostWhenDisabled:
+    def test_dark_service_holds_no_observability_state(self):
+        with OnlineAuctionService(CONFIG, method="rh",
+                                  engine_seed=SEED) as service:
+            assert service.observability is None
+            assert service.metrics is None
+            assert service.tracer is None
+            assert service._metrics_writer is None
+
+    def test_registry_without_sidecars(self, stream, baselines):
+        # A config with no output paths still arms the in-memory
+        # registry (programmatic use) without touching disk.
+        with OnlineAuctionService(
+                CONFIG, method="rh", engine_seed=SEED,
+                observability=ObservabilityConfig()) as service:
+            records = service.run(stream)
+            outcome = capture_outcome(service, records)
+            counters = service.metrics.to_dict()["counters"]
+            assert service.tracer is None
+            assert service._metrics_writer is None
+        assert_outcomes_agree(baselines["rh"], outcome)
+        assert counters["service.events.query"] == len(outcome.records)

@@ -1,0 +1,131 @@
+"""Unit coverage for the span tracer (:mod:`repro.obs.tracer`).
+
+Deterministic seq-derived ids, the stage/open/child lifecycle (pre-root
+staging, post-return late children), flush ordering, reset-on-reopen
+(failed-apply retry), and the trace schema validator.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import SPAN_KINDS, SpanTracer, validate_trace_file
+
+
+def read_spans(path):
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["kind"] == "header"
+    return [line for line in lines[1:] if line["kind"] == "span"]
+
+
+class TestSpanLifecycle:
+    def test_ids_derive_from_seq_dfs_order(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(path)
+        tracer.open(0, "query")
+        tracer.child(0, "dispatch", 0.5,
+                     children=[("wd", 0.3, None), ("price", 0.1, None),
+                               ("settle", 0.1, None)])
+        tracer.child(0, "emit", 0.01)
+        tracer.set_duration(0, 0.6)
+        tracer.close()
+        spans = read_spans(path)
+        assert len(spans) == 1
+        root = spans[0]
+        assert root["span_id"] == "0"
+        assert root["seq"] == 0
+        assert root["seconds"] == 0.6
+        dispatch, emit = root["children"]
+        assert dispatch["span_id"] == "0.1"
+        assert [g["span_id"] for g in dispatch["children"]] \
+            == ["0.1.1", "0.1.2", "0.1.3"]
+        assert emit["span_id"] == "0.2"
+        assert validate_trace_file(path) == []
+
+    def test_staged_children_adopted_on_open(self, tmp_path):
+        # The durable wrapper fsyncs BEFORE applying: the child is
+        # staged while no root exists and adopted as the first child.
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(path)
+        tracer.stage(3, "journal-fsync", 0.002,
+                     attrs={"origin": "input"})
+        tracer.open(3, "join")
+        tracer.child(3, "emit", 0.001)
+        tracer.close()
+        (root,) = read_spans(path)
+        assert [c["name"] for c in root["children"]] \
+            == ["journal-fsync", "emit"]
+        assert root["children"][0]["attrs"] == {"origin": "input"}
+
+    def test_late_children_land_until_next_flush(self, tmp_path):
+        # Checkpoint/batch-window children attach after the apply
+        # returns; flush_upto at the NEXT apply is the cutoff.
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(path)
+        tracer.open(0, "query")
+        tracer.child(0, "checkpoint", 0.004)  # post-return child
+        tracer.flush_upto(1)
+        tracer.open(1, "query")
+        tracer.close()
+        spans = read_spans(path)
+        assert [s["seq"] for s in spans] == [0, 1]
+        assert spans[0]["children"][0]["name"] == "checkpoint"
+
+    def test_flush_writes_in_seq_order(self, tmp_path):
+        # A batch window keeps all member roots open together; the
+        # flush must still write them in stream order.
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(path)
+        for seq in (2, 0, 1):
+            tracer.open(seq, "query")
+        tracer.flush_upto(3)
+        tracer.close()
+        assert [s["seq"] for s in read_spans(path)] == [0, 1, 2]
+
+    def test_reopen_resets_failed_attempt(self, tmp_path):
+        # A failed apply retried at the same watermark must not leak
+        # the dead attempt's stages into the successful root.
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(path)
+        tracer.open(5, "query")
+        tracer.child(5, "dispatch", 0.9)
+        tracer.open(5, "query")  # retry
+        tracer.child(5, "emit", 0.001)
+        tracer.close()
+        (root,) = read_spans(path)
+        assert [c["name"] for c in root["children"]] == ["emit"]
+
+    def test_taxonomy_is_the_documented_one(self):
+        assert set(SPAN_KINDS) == {
+            "ingress", "batch-window", "journal-fsync", "dispatch",
+            "wd", "price", "settle", "emit", "checkpoint"}
+
+
+class TestTraceValidator:
+    def test_coverage_gap_is_reported(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(path)
+        tracer.open(0, "query")
+        tracer.open(2, "query")  # seq 1 missing
+        tracer.close()
+        problems = validate_trace_file(path, expected_events=3)
+        assert any("1" in problem for problem in problems)
+
+    def test_duplicate_seq_is_reported(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(path)
+        tracer.open(0, "query")
+        tracer.flush_upto(1)
+        tracer.open(0, "query")  # duplicate root
+        tracer.close()
+        problems = validate_trace_file(path)
+        assert any("duplicate" in problem for problem in problems)
+
+    def test_unknown_child_name_is_reported(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(path)
+        tracer.open(0, "query")
+        tracer.child(0, "mystery-stage", 0.1)
+        tracer.close()
+        problems = validate_trace_file(path)
+        assert any("mystery-stage" in problem for problem in problems)

@@ -382,6 +382,45 @@ class TestEventTimingsBatching:
         stats.record("query", 0.1)
         assert "batching" not in stats.to_dict()
 
+    def test_empty_window_records_nothing(self):
+        # A zero-event window served nothing: neither the per-kind
+        # buckets nor the window counters may move, and the payload
+        # stays free of a batching block entirely.
+        stats = EventTimings()
+        stats.record_window("query", 0, 0.25)
+        assert stats.counts == {}
+        assert stats.seconds == {}
+        assert stats.batching == {}
+        assert "batching" not in stats.to_dict()
+
+    def test_control_only_flush_counts_controls_not_windows(self):
+        # A control event flushing the batcher is a single-event
+        # dispatch through record(), never a window: the batching
+        # block tracks query windows only.
+        stats = EventTimings()
+        stats.record("join", 0.01)
+        stats.record_window("query", 3, 0.3)
+        stats.record("leave", 0.02)
+        payload = stats.to_dict()
+        assert payload["by_kind"]["join"]["count"] == 1
+        assert payload["by_kind"]["leave"]["count"] == 1
+        assert payload["batching"]["windows"] == 1
+        assert payload["batching"]["batched_events"] == 3
+
+    def test_shed_while_batching_keeps_window_accounting(self):
+        # Sheds land in their own sub-map and never contaminate the
+        # window counters; an empty window after a shed still
+        # records nothing.
+        stats = EventTimings()
+        stats.record_window("query", 2, 0.2)
+        stats.record_shed("query")
+        stats.record_window("query", 0, 0.0)
+        block = stats.to_dict()["batching"]
+        assert block["windows"] == 1
+        assert block["batched_events"] == 2
+        assert block["shed"] == {"query": 1}
+        assert stats.counts["query"] == 2  # shed events never served
+
 
 class TestBatchingProperty:
     """Satellite property: any stream x any batching schedule is

@@ -181,8 +181,14 @@ class TestSupervisionSurface:
             stats = service.backend.supervision_snapshot()
         assert records_identical(expected, records)
         assert stats["worker_failures"] == 0
-        # Zero-failure supervision stays out of the stats payload.
-        assert "supervision" not in service.stats.to_dict()
+        # The supervision block is schema-stable: always present,
+        # all-zero when nothing failed (dashboards key on it without
+        # probing for its existence).
+        supervision = service.stats.to_dict()["supervision"]
+        assert supervision["worker_failures"] == 0
+        assert supervision["respawns"] == 0
+        assert supervision["reshards"] == 0
+        assert supervision["heals"] == 0
 
     def test_snapshot_after_heal_restores(self, stream, baselines):
         # A service that healed mid-stream still snapshots, and the

@@ -194,6 +194,41 @@ class TestStream:
         # actually failed.
         assert "supervision:" not in out
 
+    def test_observability_sidecars_and_report(self, capsys,
+                                               tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        spans = tmp_path / "spans.jsonl"
+        code = main(self.ARGS + ["--batch-window", "4",
+                                 "--metrics-out", str(metrics),
+                                 "--trace-spans", str(spans),
+                                 "--metrics-every", "25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics written to" in out
+        assert "span trace written to" in out
+        from repro.obs import validate_metrics_file, validate_trace_file
+        assert validate_metrics_file(metrics) == []
+        assert validate_trace_file(spans) == []
+        code = main(["obs", "report", "--metrics", str(metrics),
+                     "--trace", str(spans), "--top", "3"])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "counters" in report
+        assert "root spans" in report
+        assert "slowest" in report
+
+    def test_obs_report_needs_an_input(self, capsys):
+        code = main(["obs", "report"])
+        assert code == 2
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_obs_flags_exclude_snapshot_at(self, capsys, tmp_path):
+        code = main(self.ARGS + ["--snapshot-at", "10",
+                                 "--metrics-out",
+                                 str(tmp_path / "m.jsonl")])
+        assert code == 2
+        assert "--snapshot-at" in capsys.readouterr().err
+
     def test_rebuild_maintenance_matches_incremental(self, capsys):
         main(self.ARGS + ["--method", "rhtalu"])
         first = capsys.readouterr().out

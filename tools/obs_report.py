@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Render a human-readable report from observability sidecars.
+
+The standalone twin of ``repro obs report`` (same renderer), for
+pipelines that have the sidecar files but not the package on path::
+
+    python tools/obs_report.py --metrics metrics.jsonl
+    python tools/obs_report.py --trace spans.jsonl --top 10
+    python tools/obs_report.py --metrics m.jsonl --trace t.jsonl
+
+Sections: counter/gauge tables and latency percentiles from the
+metrics summary, merged worker counters when the run was sharded, and
+per-event-kind / per-stage totals plus the slowest-N events from the
+span trace.  Thin wrapper over :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import render_report  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="a --metrics-out JSONL sidecar")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="a --trace-spans JSONL sidecar")
+    parser.add_argument("--top", type=int, default=5, metavar="N",
+                        help="how many slowest events to list "
+                             "(default 5)")
+    args = parser.parse_args(argv)
+
+    if not args.metrics and not args.trace:
+        parser.error("nothing to report: give --metrics and/or "
+                     "--trace")
+    for line in render_report(metrics_path=args.metrics,
+                              trace_path=args.trace, top=args.top):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

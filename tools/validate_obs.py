@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Validate observability sidecars written by ``repro stream``.
+
+The CI gate for the metrics/span-trace schemas (see
+``docs/observability.md``): run a stream with ``--metrics-out`` /
+``--trace-spans`` and hold the sidecars to their formats::
+
+    python tools/validate_obs.py --metrics metrics.jsonl
+    python tools/validate_obs.py --trace spans.jsonl --events 400
+    python tools/validate_obs.py --metrics m.jsonl --trace t.jsonl
+
+``--events`` additionally asserts span coverage: every event seq in
+``range(events)`` has exactly one root span (the "every applied event
+exactly once" guarantee).  Exit status 0 when every given sidecar is
+clean, 1 when anything is malformed; each problem prints on its own
+line.  Thin wrapper over :mod:`repro.obs.schema`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import (  # noqa: E402
+    validate_metrics_file,
+    validate_trace_file,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="a --metrics-out JSONL sidecar")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="a --trace-spans JSONL sidecar")
+    parser.add_argument("--events", type=int, default=None,
+                        metavar="N",
+                        help="with --trace: assert one root span per "
+                             "seq in range(N)")
+    args = parser.parse_args(argv)
+
+    if not args.metrics and not args.trace:
+        parser.error("nothing to validate: give --metrics "
+                     "and/or --trace")
+
+    problems: list[str] = []
+    if args.metrics:
+        problems += [f"{args.metrics}: {problem}" for problem
+                     in validate_metrics_file(args.metrics)]
+    if args.trace:
+        problems += [f"{args.trace}: {problem}" for problem
+                     in validate_trace_file(
+                         args.trace, expected_events=args.events)]
+    for problem in problems:
+        print(problem)
+    if not problems:
+        checked = [path for path in (args.metrics, args.trace) if path]
+        print(f"ok: {', '.join(checked)}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
