@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Serving: end-to-end wire latency and replayable-throughput sweep.
+
+The acceptance benchmark for the network front end
+(:mod:`repro.serve`): for each auction method, boot a real
+``repro serve`` subprocess, drive it with the deterministic loadgen
+fleet (:func:`repro.workloads.run_fleet` — genesis bootstrap, console
+connections, round-robin query connections), SIGTERM it, and then
+prove the run by replaying the recorded event stream offline
+(``repro stream --replay``) and diffing the two auction traces with
+``tools/trace_diff.py``.
+
+Each cell reports the fleet's round-trip p50/p99 latency, sustained
+events/second over the wire, and the replay verdict.  The committed
+``BENCH_serve.json`` backs the serving runbook's capacity guidance;
+``tests/test_bench_artifacts.py`` pins its structure (methods,
+verdicts, latency ordering — never wall-clock magnitudes).
+
+Run::
+
+    python benchmarks/bench_serve.py
+    python benchmarks/bench_serve.py --quick --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import WORKLOAD_SEED  # noqa: E402
+from repro.workloads import LoadgenConfig, plan_fleet, run_fleet  # noqa: E402
+from repro.workloads.paper_workload import PaperWorkloadConfig  # noqa: E402
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+METHODS = ("rh", "lp", "hungarian", "rhtalu")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return env
+
+
+def _start_server(workdir: Path, config: PaperWorkloadConfig,
+                  method: str, workers: int, batch_window: int
+                  ) -> tuple[subprocess.Popen, int, Path]:
+    """Boot ``repro serve`` and wait for its port file."""
+    port_file = workdir / f"{method}.port"
+    record = workdir / f"{method}.events.jsonl"
+    trace = workdir / f"{method}.live.jsonl"
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", "127.0.0.1", "--port", "0",
+        "--port-file", str(port_file),
+        "--advertisers", str(config.num_advertisers),
+        "--slots", str(config.num_slots),
+        "--keywords", str(config.num_keywords),
+        "--method", method,
+        "--seed", str(config.seed),
+        "--record-events", str(record),
+        "--trace", str(trace),
+    ]
+    if workers:
+        cmd += ["--workers", str(workers)]
+    if batch_window:
+        cmd += ["--batch-window", str(batch_window)]
+    proc = subprocess.Popen(cmd, cwd=REPO, env=_env(), text=True,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError("serve died on boot: "
+                               + proc.communicate()[1])
+        try:
+            text = port_file.read_text().strip()
+        except FileNotFoundError:
+            text = ""
+        if text:
+            return proc, int(text), record
+        time.sleep(0.02)
+    proc.kill()
+    raise RuntimeError("serve published no port within 30s")
+
+
+def _offline_replay(workdir: Path, config: PaperWorkloadConfig,
+                    method: str, record: Path) -> Path:
+    """Replay the recorded stream offline; returns its trace path."""
+    trace = workdir / f"{method}.offline.jsonl"
+    subprocess.run(
+        [sys.executable, "-m", "repro", "stream",
+         "--advertisers", str(config.num_advertisers),
+         "--slots", str(config.num_slots),
+         "--keywords", str(config.num_keywords),
+         "--method", method,
+         "--seed", str(config.seed),
+         "--replay", str(record),
+         "--trace", str(trace)],
+        cwd=REPO, env=_env(), check=True, capture_output=True,
+        text=True, timeout=600)
+    return trace
+
+
+def run_cell(workdir: Path, config: PaperWorkloadConfig, method: str,
+             loadgen: LoadgenConfig, workers: int,
+             batch_window: int) -> dict:
+    """One method's serve → loadgen → SIGTERM → offline-audit cycle."""
+    plan = plan_fleet(config, loadgen)
+    proc, port, record = _start_server(workdir, config, method,
+                                       workers, batch_window)
+    try:
+        report = run_fleet("127.0.0.1", port, plan,
+                           processes=loadgen.processes, timeout=120.0)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+    if proc.returncode != 0:
+        raise RuntimeError(f"serve[{method}] exited "
+                           f"{proc.returncode}: {err}")
+    offline = _offline_replay(workdir, config, method, record)
+    live_trace = workdir / f"{method}.live.jsonl"
+    audit = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "trace_diff.py"),
+         str(live_trace), str(offline)],
+        cwd=REPO, env=_env(), capture_output=True, text=True,
+        timeout=300)
+    return {
+        "method": method,
+        "workers": workers,
+        "batch_window": batch_window,
+        "planned_events": plan.total_events,
+        "submitted": report.submitted,
+        "results": report.results,
+        "oks": report.oks,
+        "errors": report.errors,
+        "wall_seconds": report.wall_seconds,
+        "events_per_second": report.events_per_second,
+        "p50_ms": report.percentile_ms(50),
+        "p99_ms": report.percentile_ms(99),
+        "identical": audit.returncode == 0,
+        "audit": audit.stdout.strip(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=40,
+                        help="advertiser universe capacity")
+    parser.add_argument("--slots", type=int, default=5)
+    parser.add_argument("--keywords", type=int, default=5)
+    parser.add_argument("--events", type=int, default=240,
+                        help="post-genesis events per method")
+    parser.add_argument("--processes", type=int, default=2,
+                        help="loadgen worker processes")
+    parser.add_argument("--connections", type=int, default=2,
+                        help="query connections per process")
+    parser.add_argument("--consoles", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="server-side shard workers")
+    parser.add_argument("--batch-window", type=int, default=0)
+    parser.add_argument("--methods", default=",".join(METHODS))
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 60 events per method")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+    events = 60 if args.quick else args.events
+    methods = [m for m in args.methods.split(",") if m]
+
+    config = PaperWorkloadConfig(
+        num_advertisers=args.size, num_slots=args.slots,
+        num_keywords=args.keywords, seed=WORKLOAD_SEED)
+    loadgen = LoadgenConfig(
+        events=events, seed=WORKLOAD_SEED,
+        processes=args.processes, connections=args.connections,
+        consoles=args.consoles)
+
+    workdir = Path(args.out).resolve().parent / ".bench_serve_tmp"
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    print(f"serve sweep: capacity={args.size} events={events} "
+          f"fleet={args.processes}x{args.connections}q"
+          f"+{args.consoles}c workers={args.workers} "
+          f"batch_window={args.batch_window}")
+    cells = []
+    for method in methods:
+        cell = run_cell(workdir, config, method, loadgen,
+                        args.workers, args.batch_window)
+        cells.append(cell)
+        print(f"  {method:>9}: p50 {cell['p50_ms']:.2f} ms  "
+              f"p99 {cell['p99_ms']:.2f} ms  "
+              f"{cell['events_per_second']:.0f} ev/s  "
+              f"errors={cell['errors']}  "
+              f"identical={cell['identical']}")
+
+    artifact = {
+        "config": {
+            "size": args.size,
+            "slots": args.slots,
+            "keywords": args.keywords,
+            "events": events,
+            "processes": args.processes,
+            "connections": args.connections,
+            "consoles": args.consoles,
+            "workers": args.workers,
+            "batch_window": args.batch_window,
+            "methods": methods,
+        },
+        "cells": cells,
+        "all_identical": all(cell["identical"] for cell in cells),
+        "total_errors": sum(cell["errors"] for cell in cells),
+    }
+    Path(args.out).write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0 if artifact["all_identical"] \
+        and artifact["total_errors"] == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,23 @@ Commands
     directory: newest valid checkpoint (torn files skipped) plus
     journaled-suffix replay, optionally to a different ``--workers``
     count — the crash-recovery runbook in ``docs/operations.md``.
+``serve``
+    Put the online service on a TCP port (:mod:`repro.serve`): many
+    concurrent client connections, an ingress sequencer stamping a
+    total arrival order, auction results pushed back to the
+    originating client.  Takes the same durability and observability
+    knobs as ``stream`` (``--journal``, ``--checkpoint-every``,
+    ``--metrics-out``, ...); ``--record-events`` writes the applied
+    stream, which replays bit-identically offline through
+    ``repro stream --replay`` (gate with ``tools/trace_diff.py``).
+    SIGTERM drains in-flight connections, flushes everything, writes
+    a final checkpoint, and exits 0.
+``loadgen``
+    Drive a live ``repro serve`` instance with the deterministic
+    client fleet (:mod:`repro.workloads.loadgen`): N processes × M
+    connections replaying a churn workload, round-trip latency
+    percentiles and sustained events/sec reported (and optionally
+    written as JSON).
 ``sql``
     Execute sqlmini statements from the command line or stdin — handy
     for exploring the bidding-program dialect.
@@ -395,6 +412,95 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every needs --checkpoint-dir",
+              file=sys.stderr)
+        return 2
+    if (args.checkpoint_every or args.checkpoint_dir) \
+            and not args.journal:
+        print("checkpoints need --journal (recovery replays the "
+              "journaled suffix)", file=sys.stderr)
+        return 2
+    return run_server(ServeConfig(
+        host=args.host, port=args.port,
+        advertisers=args.advertisers, slots=args.slots,
+        keywords=args.keywords, seed=args.seed, method=args.method,
+        maintenance=args.maintenance, workers=args.workers,
+        batch_window=args.batch_window,
+        ingress_capacity=args.ingress_capacity,
+        journal=args.journal,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_retain=args.checkpoint_retain,
+        record_events=args.record_events, trace=args.trace,
+        metrics_out=args.metrics_out, trace_spans=args.trace_spans,
+        metrics_every=args.metrics_every,
+        port_file=args.port_file))
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as json_module
+    import time as time_module
+
+    from repro.workloads import (
+        LoadgenConfig,
+        PaperWorkloadConfig,
+        plan_fleet,
+        run_fleet,
+    )
+
+    port = args.port
+    if args.port_file:
+        deadline = time_module.monotonic() + args.wait
+        while time_module.monotonic() < deadline:
+            try:
+                text = open(args.port_file).read().strip()
+            except OSError:
+                text = ""
+            if text:
+                port = int(text)
+                break
+            time_module.sleep(0.05)
+    if not port:
+        print("loadgen needs --port or a --port-file that appears "
+              "within --wait seconds", file=sys.stderr)
+        return 2
+    workload_config = PaperWorkloadConfig(
+        num_advertisers=args.advertisers, num_slots=args.slots,
+        num_keywords=args.keywords, seed=args.seed)
+    plan = plan_fleet(workload_config, LoadgenConfig(
+        events=args.events, churn_rate=args.churn_rate,
+        genesis=args.genesis, min_active=args.min_active,
+        budget_low=args.budget_low, budget_high=args.budget_high,
+        seed=args.seed, processes=args.processes,
+        connections=args.connections, consoles=args.consoles))
+    print(f"loadgen: {plan.total_events} events "
+          f"({len(plan.genesis)} genesis) over "
+          f"{args.processes} processes x {args.connections} query "
+          f"connections + {args.consoles} consoles "
+          f"-> {args.host}:{port}")
+    report = run_fleet(args.host, port, plan,
+                       processes=args.processes, timeout=args.wait)
+    summary = report.to_dict()
+    print(f"loadgen: {summary['submitted']} submitted, "
+          f"{summary['results']} results, {summary['oks']} acks, "
+          f"{summary['errors']} errors in "
+          f"{summary['wall_seconds']:.2f}s "
+          f"({summary['events_per_second']:.1f} events/s)")
+    print(f"loadgen: round-trip p50 {summary['p50_ms']:.2f} ms  "
+          f"p99 {summary['p99_ms']:.2f} ms")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json_module.dump(summary, handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    return 1 if summary["errors"] else 0
+
+
 def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     from repro.bench import compare_throughput, write_report_artifacts
     from repro.workloads import PaperWorkload, PaperWorkloadConfig
@@ -731,6 +837,113 @@ def build_parser() -> argparse.ArgumentParser:
                               "records as a JSONL trace for "
                               "trace_diff auditing")
     recover.set_defaults(func=_cmd_recover)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the online auction service on a TCP port "
+             "(length-prefixed JSON wire protocol; SIGTERM drains "
+             "and exits 0)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 = let the OS pick (see --port-file)")
+    serve.add_argument("--port-file", default=None, metavar="FILE",
+                       help="write the bound port here once "
+                            "listening (how scripted clients find "
+                            "an --port 0 server)")
+    serve.add_argument("--advertisers", type=int, default=200,
+                       help="universe capacity (ids join/leave "
+                            "within it)")
+    serve.add_argument("--slots", type=int, default=15)
+    serve.add_argument("--keywords", type=int, default=10)
+    serve.add_argument("--method", default="rh",
+                       choices=["lp", "hungarian", "rh", "rhtalu"])
+    serve.add_argument("--maintenance", default="incremental",
+                       choices=["incremental", "rebuild"])
+    serve.add_argument("--workers", type=int, default=0,
+                       help="shard the service over this many worker "
+                            "processes (0 = in-process)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="engine seed is seed+1 (the stream CLI "
+                            "convention, so offline replays match)")
+    serve.add_argument("--batch-window", type=int, default=0,
+                       metavar="N",
+                       help="coalesce up to N already-queued query "
+                            "arrivals per dispatch (adaptive: never "
+                            "waits; control events flush; 0/1 = "
+                            "unbatched)")
+    serve.add_argument("--ingress-capacity", type=int, default=256,
+                       metavar="N",
+                       help="bound on the sequencer queue; a full "
+                            "queue blocks the submitting "
+                            "connection's reads (TCP backpressure)")
+    serve.add_argument("--record-events", default=None,
+                       metavar="FILE",
+                       help="write the applied event stream as JSONL "
+                            "at shutdown (replayable via `repro "
+                            "stream --replay`)")
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="write the auction records as a JSONL "
+                            "trace at shutdown")
+    serve.add_argument("--journal", default=None, metavar="FILE",
+                       help="serve durably: fsync every applied "
+                            "event to this write-ahead journal "
+                            "before applying it")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="with --journal: checkpoint every N "
+                            "applied events (a final checkpoint "
+                            "always lands at shutdown)")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       metavar="DIR")
+    serve.add_argument("--checkpoint-retain", type=int, default=2,
+                       metavar="K")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="JSONL metrics sidecar (connection/"
+                            "ingress counters + e2e latency ride "
+                            "alongside the service metrics)")
+    serve.add_argument("--trace-spans", default=None, metavar="FILE")
+    serve.add_argument("--metrics-every", type=int, default=100,
+                       metavar="N")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a live `repro serve` with the deterministic "
+             "client fleet (N processes x M connections of churn)")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=0)
+    loadgen.add_argument("--port-file", default=None, metavar="FILE",
+                         help="poll this file for the server's port "
+                              "(written by `repro serve "
+                              "--port-file`)")
+    loadgen.add_argument("--wait", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="how long to wait for the port file "
+                              "and for replies (default 30)")
+    loadgen.add_argument("--advertisers", type=int, default=200,
+                         help="must match the server's universe")
+    loadgen.add_argument("--slots", type=int, default=15)
+    loadgen.add_argument("--keywords", type=int, default=10)
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="fixed seed -> identical fleet scripts "
+                              "(the plan is deterministic)")
+    loadgen.add_argument("--events", type=int, default=400,
+                         help="post-genesis stream length")
+    loadgen.add_argument("--churn-rate", type=float, default=0.2)
+    loadgen.add_argument("--genesis", type=int, default=None)
+    loadgen.add_argument("--min-active", type=int, default=2)
+    loadgen.add_argument("--budget-low", type=float, default=50.0)
+    loadgen.add_argument("--budget-high", type=float, default=500.0)
+    loadgen.add_argument("--processes", type=int, default=2,
+                         help="fleet worker processes")
+    loadgen.add_argument("--connections", type=int, default=2,
+                         help="query connections per process")
+    loadgen.add_argument("--consoles", type=int, default=2,
+                         help="advertiser-console connections")
+    loadgen.add_argument("--out", default=None, metavar="FILE",
+                         help="write the latency/throughput report "
+                              "as JSON")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     validate = commands.add_parser(
         "validate", help="cross-method agreement self-check")

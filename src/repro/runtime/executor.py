@@ -199,6 +199,19 @@ class ShardedAuctionRuntime:
     def num_workers(self) -> int:
         return self.plan.num_shards
 
+    def start(self) -> None:
+        """Spawn the worker fleet now instead of on first use.
+
+        Workers normally fork lazily on the first query, which means
+        they inherit whatever file descriptors the coordinator holds
+        at that moment.  Long-lived hosts with descriptors that must
+        not leak into children — the serving front end's accepted
+        sockets, for one — call this right after construction, while
+        the process still holds nothing but its own plumbing.
+        Idempotent.
+        """
+        self._ensure_started()
+
     def _ensure_started(self) -> None:
         if self._processes is not None:
             return

@@ -1,0 +1,64 @@
+"""Network-native serving: the auction engine behind a real wire.
+
+The package puts :class:`~repro.stream.service.OnlineAuctionService`
+on a TCP port without giving up the property the whole repro stands
+on — that a run's output is a pure function of (ordered event stream,
+engine seed).  Concurrent clients produce no inherent order, so the
+**ingress sequencer** (:mod:`repro.serve.sequencer`) manufactures
+one: a total arrival order stamped under a lock, feeding the single
+ordered stream the service, its write-ahead journal, micro-batcher,
+and observability sidecar already consume.  A live run recorded with
+``--record-events`` therefore replays bit-identically offline through
+``repro stream --replay`` and ``tools/trace_diff.py``.
+
+Modules
+-------
+:mod:`repro.serve.protocol`
+    Length-prefixed JSON framing, the payload↔event mapping, the
+    error taxonomy, and the reply builders.
+:mod:`repro.serve.sequencer`
+    The stamp-and-enqueue pinch point between reader tasks and the
+    apply thread.
+:mod:`repro.serve.server`
+    The asyncio front end + single-threaded service consumer, with
+    graceful SIGTERM drain and the ``serve-mid-frame`` chaos site.
+:mod:`repro.serve.client`
+    The blocking client the load generator and tests speak.
+
+See ``docs/serving.md`` for the wire format and the sequencing
+guarantee, and ``docs/operations.md`` for running the server under
+load.
+"""
+
+from repro.serve.client import WireClient
+from repro.serve.protocol import (
+    MAX_FRAME,
+    WIRE_FORMAT,
+    ProtocolError,
+    encode_frame,
+    event_from_payload,
+    event_to_payload,
+    read_frame_blocking,
+)
+from repro.serve.sequencer import IngressSequencer, SequencedEvent
+from repro.serve.server import (
+    AuctionWireServer,
+    ServeConfig,
+    run_server,
+)
+
+__all__ = [
+    "MAX_FRAME",
+    "WIRE_FORMAT",
+    "ProtocolError",
+    "AuctionWireServer",
+    "IngressSequencer",
+    "SequencedEvent",
+    "ServeConfig",
+    "WireClient",
+    "encode_frame",
+    "event_from_payload",
+    "event_to_payload",
+    "read_frame_blocking",
+    "run_server",
+]

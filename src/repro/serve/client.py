@@ -1,0 +1,129 @@
+"""A synchronous wire client: what load generators and tests speak.
+
+:class:`WireClient` is deliberately dumb — a socket, the
+length-prefixed framing from :mod:`repro.serve.protocol`, and a
+round-trip discipline (send one ``event`` frame, read frames until
+the reply that echoes its tag arrives).  Sequential round-trips per
+connection are exactly what the ingress sequencer's per-connection
+FIFO guarantee is built on; concurrency comes from running many
+clients, not from pipelining one.
+
+``send_raw`` exists for the conformance tests: it writes arbitrary
+bytes — half a frame, an oversized header, garbage JSON — so the
+protocol suite can prove the server answers malformed input with
+structured errors (or a clean close) without perturbing the
+sequenced stream.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+from typing import Any
+
+from repro.serve import protocol
+from repro.stream.events import Event
+
+
+class WireClient:
+    """One blocking connection to an :class:`~repro.serve.server
+    .AuctionWireServer`."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 30.0,
+                 max_frame: int = protocol.MAX_FRAME) -> None:
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout)
+        self.stream = self.sock.makefile("rb")
+        self.max_frame = max_frame
+        self._tag = 0
+        self.welcome = self.read_frame()
+        """The server's ``welcome`` payload, consumed at connect."""
+
+    # -- frame level -------------------------------------------------------
+
+    def send_payload(self, payload: dict) -> None:
+        self.sock.sendall(protocol.encode_frame(
+            payload, max_frame=self.max_frame))
+
+    def send_raw(self, data: bytes) -> None:
+        """Write arbitrary bytes (conformance tests only)."""
+        self.sock.sendall(data)
+
+    def read_frame(self) -> dict | None:
+        """The next server frame (``None`` on a clean close)."""
+        return protocol.read_frame_blocking(self.stream,
+                                            max_frame=self.max_frame)
+
+    # -- protocol level ----------------------------------------------------
+
+    def hello(self, role: str, name: str | None = None) -> dict:
+        payload: dict = {"type": "hello", "role": role}
+        if name is not None:
+            payload["name"] = name
+        self.send_payload(payload)
+        return self._await_type(("hello-ok",))
+
+    def submit(self, event: Event, *, tag: Any = None) -> dict:
+        """Round-trip one stream event: returns the ``result`` /
+        ``ok`` / ``error`` reply bearing this submission's tag."""
+        if tag is None:
+            self._tag += 1
+            tag = self._tag
+        self.send_payload(protocol.event_to_payload(event, tag=tag))
+        while True:
+            reply = self.read_frame()
+            if reply is None:
+                raise ConnectionError(
+                    "server closed before replying")
+            if reply.get("type") in ("result", "ok", "error") \
+                    and reply.get("tag") == tag:
+                return reply
+
+    def submit_payload(self, payload: dict, *, tag: Any) -> dict:
+        """Round-trip a hand-built ``event`` payload (tests use this
+        to probe validation); waits for the tagged reply."""
+        payload = {**payload, "tag": tag}
+        self.send_payload(payload)
+        while True:
+            reply = self.read_frame()
+            if reply is None:
+                raise ConnectionError("server closed before replying")
+            if reply.get("tag") == tag:
+                return reply
+
+    def _await_type(self, types: tuple[str, ...]) -> dict:
+        while True:
+            reply = self.read_frame()
+            if reply is None:
+                raise ConnectionError("server closed before replying")
+            if reply.get("type") in types:
+                return reply
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bye(self) -> dict | None:
+        """Polite close: send ``bye``, read to the ``goodbye``.
+
+        Stops at the goodbye frame rather than waiting for EOF — the
+        server tears the connection down right after sending it, and a
+        respawned shard worker may briefly hold an inherited dup of
+        the socket that would delay the FIN.
+        """
+        self.send_payload({"type": "bye"})
+        while True:
+            frame = self.read_frame()
+            if frame is None or frame.get("type") == "goodbye":
+                return frame
+
+    def close(self) -> None:
+        with contextlib.suppress(OSError):
+            self.stream.close()
+        with contextlib.suppress(OSError):
+            self.sock.close()
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,262 @@
+"""The wire protocol: length-prefixed JSON frames over a stream.
+
+Everything a client exchanges with the serving front end
+(:mod:`repro.serve.server`) is a **frame**: a 4-byte big-endian
+unsigned length followed by exactly that many bytes of UTF-8 JSON
+encoding one object.  Framing keeps the protocol trivially
+self-synchronizing on a healthy connection — a reader always knows
+where the next message starts — and makes "partial read" a detectable,
+testable condition rather than a silent corruption: EOF between a
+header and its body is a *truncated* frame, distinct from the clean
+close that EOF at a frame boundary signals.
+
+Client→server payloads::
+
+    {"type": "hello", "role": "query"|"console", "name": ...}
+    {"type": "event", "kind": "query"|"join"|"leave"|"update"|"topup",
+     "tag": <any JSON value, echoed back>, ...event fields...}
+    {"type": "bye"}
+
+Server→client payloads::
+
+    {"type": "welcome", "conn": <id>, "wire": "repro-serve-wire/1", ...}
+    {"type": "hello-ok", "conn": <id>, "role": ...}
+    {"type": "result", "tag": ..., "seq": ..., "record": {...}}   # query
+    {"type": "ok", "tag": ..., "seq": ..., "kind": ...}           # control
+    {"type": "error", "code": ..., "detail": ..., "tag": ...}
+    {"type": "goodbye", "reason": ...}
+
+``seq`` is the position the ingress sequencer stamped — the index the
+event occupies in the recorded :class:`~repro.stream.events.EventLog`,
+which is exactly the order an offline ``--replay`` of the recorded
+trace will re-apply it in.
+
+Error handling follows one rule: a *recoverable* malformation (bad
+JSON in a well-framed body, an unknown type or kind, a field the event
+constructor rejects) earns a structured ``error`` reply and the
+connection lives on; an *unrecoverable* one (oversized length header,
+EOF mid-frame) closes the connection, because the byte stream can no
+longer be trusted to re-synchronize.  Neither ever reaches the
+ingress sequencer, so a misbehaving client cannot perturb the
+sequenced stream other clients are being recorded into.
+
+The frame reader is instrumented with the ``serve-mid-frame`` crash
+site (:mod:`repro.stream.crash`) between header and body — the chaos
+tests kill the server while it holds half a message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import asdict
+from typing import Any, BinaryIO
+
+from repro.auction.trace import record_to_dict
+from repro.stream.crash import crash_hook
+from repro.stream.events import (
+    _EVENT_TYPES,
+    SERVICE_ORIGINATED,
+    Event,
+    event_kind,
+)
+
+WIRE_FORMAT = "repro-serve-wire/1"
+"""Protocol identity string, carried in every ``welcome`` frame."""
+
+HEADER = struct.Struct(">I")
+"""4-byte big-endian unsigned frame length (body bytes, not counting
+the header itself)."""
+
+MAX_FRAME = 1 << 20
+"""Default ceiling on a frame body (1 MiB) — far above any legitimate
+event payload; a larger header is treated as a protocol violation, not
+an allocation request."""
+
+INPUT_KINDS = tuple(sorted(
+    kind for kind, cls in _EVENT_TYPES.items()
+    if cls not in SERVICE_ORIGINATED))
+"""Event kinds a client may submit (service-originated kinds are
+outputs of the event loop and are rejected on the wire)."""
+
+
+class ProtocolError(Exception):
+    """A wire-protocol violation.
+
+    ``code`` is the stable machine-readable taxonomy entry echoed in
+    ``error`` replies; ``fatal`` marks violations after which the byte
+    stream cannot re-synchronize (the server closes the connection
+    instead of replying and carrying on).
+    """
+
+    def __init__(self, code: str, detail: str, *,
+                 fatal: bool = False) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+        self.fatal = fatal
+
+
+def encode_frame(payload: dict, *, max_frame: int = MAX_FRAME) -> bytes:
+    """Serialize one payload object into a length-prefixed frame."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > max_frame:
+        raise ProtocolError(
+            "oversized", f"frame body {len(body)} bytes exceeds "
+            f"limit {max_frame}", fatal=True)
+    return HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse a frame body into a payload object.
+
+    Raises :class:`ProtocolError` (recoverable) on malformed JSON or a
+    non-object top level — the framing already told us where the next
+    message starts, so the connection survives.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed-json", str(exc)) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "not-an-object",
+            f"frame body is {type(payload).__name__}, expected object")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader, *,
+                     max_frame: int = MAX_FRAME) -> dict | None:
+    """Read one frame from an asyncio stream (the server side).
+
+    Returns ``None`` on a clean EOF at a frame boundary.  Raises a
+    *fatal* :class:`ProtocolError` on an oversized header or an EOF
+    mid-frame (truncated), and a recoverable one on a body that frames
+    correctly but does not parse.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError(
+            "truncated", f"EOF after {len(exc.partial)} header bytes",
+            fatal=True) from exc
+    (length,) = HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            "oversized", f"declared frame length {length} exceeds "
+            f"limit {max_frame}", fatal=True)
+    crash_hook("serve-mid-frame")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            "truncated", f"EOF {len(exc.partial)}/{length} bytes into "
+            "a frame body", fatal=True) from exc
+    return decode_body(body)
+
+
+def read_frame_blocking(stream: BinaryIO, *,
+                        max_frame: int = MAX_FRAME) -> dict | None:
+    """Blocking twin of :func:`read_frame` for synchronous clients."""
+    header = stream.read(HEADER.size)
+    if not header:
+        return None
+    if len(header) < HEADER.size:
+        raise ProtocolError(
+            "truncated", f"EOF after {len(header)} header bytes",
+            fatal=True)
+    (length,) = HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            "oversized", f"declared frame length {length} exceeds "
+            f"limit {max_frame}", fatal=True)
+    body = b""
+    while len(body) < length:
+        chunk = stream.read(length - len(body))
+        if not chunk:
+            raise ProtocolError(
+                "truncated", f"EOF {len(body)}/{length} bytes into "
+                "a frame body", fatal=True)
+        body += chunk
+    return decode_body(body)
+
+
+# -- event payloads --------------------------------------------------------
+
+_TUPLE_FIELDS = ("bids", "maxbids", "values")
+
+
+def event_to_payload(event: Event, *, tag: Any = None) -> dict:
+    """Encode an event as a client→server ``event`` payload."""
+    payload = {"type": "event", "kind": event_kind(event),
+               **asdict(event)}
+    if tag is not None:
+        payload["tag"] = tag
+    return payload
+
+
+def event_from_payload(payload: dict) -> Event:
+    """Decode an ``event`` payload into a stream event.
+
+    Raises recoverable :class:`ProtocolError`\\ s for unknown kinds
+    (including the service-originated ``paused``/``resumed``, which
+    are outputs, not inputs) and for field sets the event constructor
+    rejects.
+    """
+    kind = payload.get("kind")
+    event_type = _EVENT_TYPES.get(kind) if isinstance(kind, str) else None
+    if event_type is None or event_type in SERVICE_ORIGINATED:
+        raise ProtocolError(
+            "unknown-kind",
+            f"event kind {kind!r} is not submittable; input kinds: "
+            f"{', '.join(INPUT_KINDS)}")
+    fields = {key: value for key, value in payload.items()
+              if key not in ("type", "kind", "tag")}
+    for key in _TUPLE_FIELDS:
+        if key in fields:
+            if not isinstance(fields[key], (list, tuple)):
+                raise ProtocolError(
+                    "bad-event", f"field {key!r} must be an array")
+            fields[key] = tuple(fields[key])
+    try:
+        return event_type(**fields)
+    except TypeError as exc:
+        raise ProtocolError("bad-event", str(exc)) from exc
+
+
+# -- server reply builders -------------------------------------------------
+
+def welcome_payload(conn_id: int, *, methods: tuple[str, ...],
+                    max_frame: int) -> dict:
+    return {"type": "welcome", "conn": conn_id, "wire": WIRE_FORMAT,
+            "kinds": list(INPUT_KINDS), "methods": list(methods),
+            "max_frame": max_frame}
+
+
+def hello_ok_payload(conn_id: int, role: str) -> dict:
+    return {"type": "hello-ok", "conn": conn_id, "role": role}
+
+
+def result_payload(tag: Any, seq: int, record) -> dict:
+    """The auction outcome for a ``query`` event, routed to its
+    submitter — the same dict :func:`repro.auction.trace.write_trace`
+    persists, so a client can audit its replies against the server's
+    recorded trace byte-for-byte."""
+    return {"type": "result", "tag": tag, "seq": seq,
+            "record": record_to_dict(record)}
+
+
+def ok_payload(tag: Any, seq: int, kind: str) -> dict:
+    """Acknowledgement for a sequenced-and-applied control event."""
+    return {"type": "ok", "tag": tag, "seq": seq, "kind": kind}
+
+
+def error_payload(code: str, detail: str, tag: Any = None) -> dict:
+    return {"type": "error", "code": code, "detail": detail, "tag": tag}
+
+
+def goodbye_payload(reason: str) -> dict:
+    return {"type": "goodbye", "reason": reason}

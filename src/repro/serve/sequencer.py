@@ -1,0 +1,138 @@
+"""The ingress sequencer: a total arrival order for concurrent frames.
+
+The entire replay/oracle machinery downstream of the wire rests on one
+invariant: the service consumes a *single ordered stream*, and its
+output is a pure function of (that stream, the engine seed).  Client
+frames, though, arrive concurrently — many connections, many reader
+tasks, no inherent order.  The sequencer is the pinch point that
+manufactures the order: under one lock it stamps each event with the
+next sequence number **and** enqueues it, so the stamp and the queue
+position can never disagree.  Whatever interleaving the network
+produced, the stream the service sees — and the
+:class:`~repro.stream.events.EventLog` a ``--record-events`` run
+writes — is the total order the stamps describe, which is why a live
+run's trace replays bit-identically offline.
+
+Two orderings are guaranteed:
+
+* **Totality** — stamps are contiguous from 0 and queue order equals
+  stamp order (the lock covers both).
+* **Per-connection FIFO** — a connection's reader submits its frames
+  one at a time in arrival order, so each client's own events keep
+  their relative order in the total order.  Cross-connection order is
+  whatever the race produced; it is *an* order, made durable.
+
+The queue is bounded: :meth:`submit` blocks when the service lags,
+which (through the per-connection reader tasks) becomes TCP
+backpressure on the offending clients — the same admission-control
+story as :class:`~repro.stream.batching.MicroBatcher`'s ingress
+queue, applied at the wire.  Blocking inside the lock is safe because
+the only consumer (:meth:`take`) never acquires the lock.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any
+
+from repro.stream.events import Event
+
+_CLOSED = object()  # queue sentinel: no more events will be submitted
+
+
+@dataclass
+class SequencedEvent:
+    """One stamped ingress event, en route to the service loop."""
+
+    seq: int
+    event: Event
+    conn_id: int
+    tag: Any = None
+    arrival: float = field(default_factory=perf_counter)
+    """``perf_counter`` at stamping — the start of the end-to-end
+    latency the serve bench reports (reply enqueue is the end)."""
+
+
+class IngressSequencer:
+    """Stamp-and-enqueue pinch point between reader tasks and the
+    service loop."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._queue: queue.Queue = queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._next_seq = 0
+        self._closed = False
+        self._drained = False
+
+    @property
+    def submitted(self) -> int:
+        """How many events have been stamped so far."""
+        with self._lock:
+            return self._next_seq
+
+    @property
+    def drained(self) -> bool:
+        """Whether the close sentinel has been consumed (no event will
+        ever be produced again)."""
+        return self._drained
+
+    def depth(self) -> int:
+        """Events stamped but not yet taken (approximate, racy)."""
+        return self._queue.qsize()
+
+    def submit(self, event: Event, *, conn_id: int = 0,
+               tag: Any = None) -> SequencedEvent:
+        """Stamp ``event`` with the next sequence number and enqueue it.
+
+        Blocks while the queue is full (ingress backpressure).  The
+        stamp and the enqueue happen under one lock, so concurrent
+        submitters always produce stamps that agree with queue order.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("sequencer is closed")
+            item = SequencedEvent(seq=self._next_seq, event=event,
+                                  conn_id=conn_id, tag=tag)
+            self._next_seq += 1
+            self._queue.put(item)  # may block: backpressure
+        return item
+
+    def close(self) -> None:
+        """No more submissions; :meth:`take` returns ``None`` once the
+        queue drains.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_CLOSED)
+
+    def take(self) -> SequencedEvent | None:
+        """Blocking: the next event in total order, or ``None`` once
+        closed and fully drained."""
+        if self._drained:
+            return None
+        item = self._queue.get()
+        if item is _CLOSED:
+            self._drained = True
+            return None
+        return item
+
+    def try_take(self) -> SequencedEvent | None:
+        """Non-blocking :meth:`take`: ``None`` when the queue is
+        momentarily empty *or* fully drained (check :attr:`drained`
+        to tell the two apart)."""
+        if self._drained:
+            return None
+        try:
+            item = self._queue.get_nowait()
+        except queue.Empty:
+            return None
+        if item is _CLOSED:
+            self._drained = True
+            return None
+        return item

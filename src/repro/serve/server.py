@@ -1,0 +1,592 @@
+"""The network front end: many concurrent connections, one ordered
+stream.
+
+:class:`AuctionWireServer` puts
+:class:`~repro.stream.service.OnlineAuctionService` behind a real
+wire.  The shape is two worlds bridged by the ingress sequencer:
+
+* **The asyncio world** — an ``asyncio`` server with one reader task
+  and one writer task per connection.  Readers parse length-prefixed
+  JSON frames (:mod:`repro.serve.protocol`), answer protocol errors
+  inline, and hand well-formed events to the sequencer through an
+  executor (so a full ingress queue blocks *that connection's* reads
+  — TCP backpressure — without stalling the event loop).  Writers
+  drain a per-connection outbound queue, because multiple threads may
+  route replies to the same connection and ``StreamWriter`` is not
+  thread-safe.
+
+* **The service world** — a single ``serve-apply`` thread consuming
+  the sequencer's total order.  It validates each event against live
+  service state (capacity, registry membership, keyword vocabulary,
+  bid-program arity) *before* the event touches the journal or the
+  recorded log: an invalid event earns a structured ``error`` reply
+  and vanishes — it is never journaled, never recorded, never
+  applied — so the recorded :class:`~repro.stream.events.EventLog` is
+  exactly the applied stream and replays bit-identically offline
+  (``repro stream --replay`` + ``tools/trace_diff.py``).  Valid
+  events apply through the same :class:`OnlineAuctionService` /
+  :class:`~repro.stream.service.DurableAuctionService` loops the
+  offline CLI uses; replies (auction results for queries, acks for
+  controls) route back to the originating connection via
+  ``call_soon_threadsafe``.
+
+With ``batch_window > 1`` the apply thread opportunistically coalesces
+runs of already-queued query arrivals into
+:meth:`~repro.stream.service.OnlineAuctionService.process_window`
+dispatches — adaptive exactly like
+:class:`~repro.stream.batching.MicroBatcher`: it never waits for a
+window to fill, and control events flush it.
+
+Graceful shutdown (SIGTERM/SIGINT or :meth:`AuctionWireServer
+.shutdown`) runs the drain ladder: stop accepting → cancel readers →
+close the sequencer → join the apply thread (every already-sequenced
+event still applies and answers) → goodbye-and-flush every connection
+→ write the recorded event log / trace / final checkpoint → close the
+journal → exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+
+from repro.serve import protocol
+from repro.serve.sequencer import IngressSequencer, SequencedEvent
+from repro.stream.events import (
+    AdvertiserJoin,
+    AdvertiserLeave,
+    BidProgramUpdate,
+    BudgetTopUp,
+    Event,
+    EventLog,
+    QueryArrival,
+    event_kind,
+)
+from repro.stream.service import (
+    SERVICE_METHODS,
+    DurableAuctionService,
+    OnlineAuctionService,
+)
+from repro.workloads.paper_workload import PaperWorkloadConfig
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` can tune, as one plain record."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """0 = let the OS pick; the chosen port lands in ``port_file``."""
+    advertisers: int = 200
+    slots: int = 15
+    keywords: int = 10
+    seed: int = 0
+    """Engine seed follows the CLI convention: ``seed + 1`` — an
+    offline ``repro stream --replay --seed <same seed>`` rebuilds the
+    identical engine."""
+    method: str = "rh"
+    maintenance: str = "incremental"
+    workers: int = 0
+    batch_window: int = 0
+    ingress_capacity: int = 256
+    max_frame: int = protocol.MAX_FRAME
+    journal: str | None = None
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
+    checkpoint_retain: int = 2
+    record_events: str | None = None
+    trace: str | None = None
+    metrics_out: str | None = None
+    trace_spans: str | None = None
+    metrics_every: int = 100
+    port_file: str | None = None
+
+
+class _Connection:
+    """Per-connection bookkeeping shared by the reader, the writer
+    task, and the apply thread's reply routing."""
+
+    __slots__ = ("conn_id", "writer", "outq", "open", "role",
+                 "writer_task")
+
+    def __init__(self, conn_id: int,
+                 writer: asyncio.StreamWriter) -> None:
+        self.conn_id = conn_id
+        self.writer = writer
+        self.outq: asyncio.Queue = asyncio.Queue()
+        self.open = True
+        self.role = "client"
+        self.writer_task: asyncio.Task | None = None
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) \
+        and not isinstance(value, bool)
+
+
+class AuctionWireServer:
+    """A live auction service on a TCP port.  See the module
+    docstring for the architecture; :meth:`run` is the blocking entry
+    point the CLI and the test harnesses call."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        if config.batch_window and config.batch_window < 2:
+            raise ValueError("batch_window is a window size: 0/1 = "
+                             "unbatched, >= 2 = coalesce")
+        self.config = config
+        self.workload_config = PaperWorkloadConfig(
+            num_advertisers=config.advertisers,
+            num_slots=config.slots, num_keywords=config.keywords,
+            seed=config.seed)
+        self.sequencer = IngressSequencer(config.ingress_capacity)
+        self.applied = EventLog()
+        """The stream the service actually consumed, in sequencer
+        order — what ``record_events`` persists and what an offline
+        replay re-applies bit-identically."""
+        self.records: list = []
+        self.latencies: list[float] = []
+        """End-to-end seconds per applied event: sequencer stamp →
+        reply enqueued toward the client."""
+        self.port: int | None = None
+        self.started = threading.Event()
+        """Set once the socket is bound and the port is known."""
+        self.frames = 0
+        self.errors = 0
+        self.rejected = 0
+        self.connections_total = 0
+        self._served = None  # OnlineAuctionService or durable wrapper
+        self._service: OnlineAuctionService | None = None
+        self._conns: dict[int, _Connection] = {}
+        self._next_conn_id = 0
+        self._reader_tasks: set = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._shutdown_reason: str | None = None
+        self._draining = False
+        self._service_error: BaseException | None = None
+        self._apply_thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until shutdown; returns a process exit code."""
+        asyncio.run(self._amain())
+        if self._service_error is not None:
+            print(f"serve: service loop failed: "
+                  f"{self._service_error!r}")
+            return 1
+        reason = self._shutdown_reason or "requested"
+        print(f"serve: {self.connections_total} connections, "
+              f"{self.frames} frames, {len(self.applied)} events "
+              f"applied ({len(self.records)} auctions), "
+              f"{self.rejected} rejected, {self.errors} protocol "
+              f"errors")
+        print(f"serve: clean shutdown ({reason})")
+        return 0
+
+    def shutdown(self, reason: str = "requested") -> None:
+        """Begin the graceful drain.  Thread-safe and idempotent —
+        signal handlers, tests, and the apply thread all call this."""
+        if self._shutdown_reason is None:
+            self._shutdown_reason = reason
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None:
+            return
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(event.set)
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._build_service()
+        self._apply_thread = threading.Thread(
+            target=self._apply_loop, name="serve-apply", daemon=True)
+        self._apply_thread.start()
+        server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        self.port = server.sockets[0].getsockname()[1]
+        if self.config.port_file:
+            Path(self.config.port_file).write_text(
+                f"{self.port}\n", encoding="utf-8")
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            # Only available on the main thread; the in-process test
+            # harness drives shutdown() directly instead.
+            with contextlib.suppress(NotImplementedError,
+                                     RuntimeError, ValueError):
+                self._loop.add_signal_handler(
+                    signum, self.shutdown, signal.Signals(signum).name)
+        print(f"serve: listening on {self.config.host}:{self.port} "
+              f"method={self.config.method} "
+              f"workers={self.config.workers}", flush=True)
+        self.started.set()
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            await self._drain(server)
+
+    async def _drain(self, server: asyncio.base_events.Server) -> None:
+        """The shutdown ladder (see the module docstring)."""
+        self._draining = True
+        server.close()
+        await server.wait_closed()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks,
+                                 return_exceptions=True)
+        self.sequencer.close()
+        if self._apply_thread is not None:
+            await self._loop.run_in_executor(
+                None, self._apply_thread.join)
+        # The apply thread's last replies were posted through
+        # call_soon_threadsafe before join() returned; yield once so
+        # they land in the outbound queues ahead of the goodbyes.
+        await asyncio.sleep(0)
+        reason = self._shutdown_reason or "shutdown"
+        for conn in list(self._conns.values()):
+            await self._close_conn(conn, reason=reason)
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Persist run artifacts and close the service stack."""
+        from repro.auction.trace import write_trace
+
+        config = self.config
+        if config.record_events:
+            self.applied.to_jsonl(config.record_events)
+            print(f"event log written to {config.record_events}",
+                  flush=True)
+        if config.trace:
+            count = write_trace(config.trace, self.records)
+            print(f"wrote {count} records to {config.trace}",
+                  flush=True)
+        served = self._served
+        if isinstance(served, DurableAuctionService):
+            if served.checkpoints is not None:
+                # The drain contract: a final checkpoint at the exact
+                # applied watermark, whether or not the interval is
+                # due — recovery then needs no journal-suffix replay.
+                path = served.checkpoints.write(served.snapshot())
+                print(f"final checkpoint written to {path}",
+                      flush=True)
+            print(f"journal closed at {served.events_processed} "
+                  f"events", flush=True)
+        if served is not None:
+            served.close()
+
+    # -- service construction + the apply thread ---------------------------
+
+    def _build_service(self) -> None:
+        config = self.config
+        observability = None
+        if config.metrics_out or config.trace_spans:
+            from repro.obs import ObservabilityConfig
+
+            observability = ObservabilityConfig(
+                metrics_out=config.metrics_out,
+                trace_spans=config.trace_spans,
+                snapshot_every=config.metrics_every)
+        if config.journal:
+            self._served = DurableAuctionService.open(
+                self.workload_config, config.journal,
+                method=config.method,
+                maintenance=config.maintenance,
+                workers=config.workers,
+                engine_seed=config.seed + 1,
+                checkpoint_dir=config.checkpoint_dir,
+                checkpoint_every=config.checkpoint_every,
+                checkpoint_retain=config.checkpoint_retain,
+                observability=observability)
+            self._service = self._served.service
+        else:
+            self._service = OnlineAuctionService(
+                self.workload_config, method=config.method,
+                maintenance=config.maintenance,
+                workers=config.workers,
+                engine_seed=config.seed + 1,
+                observability=observability)
+            self._served = self._service
+        self._keywords = set(self._service.keywords)
+        # Sharded workers normally fork lazily on the first query —
+        # which would be after clients connected, so every child would
+        # inherit dups of the accepted sockets and the server's close()
+        # could never deliver EOF.  Spawn the fleet now, while the
+        # process holds no connection descriptors.
+        runtime = getattr(self._service.backend, "runtime", None)
+        if runtime is not None:
+            runtime.start()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        metrics = self._service.metrics if self._service else None
+        if metrics is not None:
+            metrics.counter(name).inc(amount)
+
+    def _apply_loop(self) -> None:
+        """The single service consumer: take events in total order,
+        validate, apply, reply.  Runs on the ``serve-apply`` thread —
+        the only thread that ever touches the service."""
+        window = max(self.config.batch_window, 1)
+        carry: SequencedEvent | None = None
+        try:
+            while True:
+                item = carry if carry is not None \
+                    else self.sequencer.take()
+                carry = None
+                if item is None:
+                    break
+                if not self._admit(item):
+                    continue
+                if window > 1 and isinstance(item.event, QueryArrival):
+                    batch = [item]
+                    while len(batch) < window:
+                        nxt = self.sequencer.try_take()
+                        if nxt is None:
+                            break  # empty or closed: dispatch now
+                        if not isinstance(nxt.event, QueryArrival):
+                            carry = nxt  # control flushes the window
+                            break
+                        if self._admit(nxt):
+                            batch.append(nxt)
+                    self._apply_window(batch)
+                else:
+                    self._apply_one(item)
+        except BaseException as exc:  # the drain must still run
+            self._service_error = exc
+            self.shutdown("service-error")
+
+    def _admit(self, item: SequencedEvent) -> bool:
+        """Validate against live service state; reply-and-drop
+        invalid events before they can reach the journal or the
+        recorded stream."""
+        detail = self._validation_error(item.event)
+        if detail is None:
+            return True
+        self.rejected += 1
+        self._count("serve.rejected")
+        self._post(item.conn_id, protocol.error_payload(
+            "rejected", detail, item.tag))
+        return False
+
+    def _validation_error(self, event: Event) -> str | None:
+        """Why ``event`` cannot be applied right now (``None`` = it
+        can).  Mirrors the service's own raise conditions plus basic
+        payload hygiene, evaluated in stamp order on the apply thread
+        so the answer is deterministic."""
+        service = self._service
+        if isinstance(event, QueryArrival):
+            if not isinstance(event.keyword, str) \
+                    or event.keyword not in self._keywords:
+                return f"unknown keyword {event.keyword!r}"
+            return None
+        advertiser = getattr(event, "advertiser", None)
+        if not isinstance(advertiser, int) \
+                or isinstance(advertiser, bool):
+            return "advertiser must be an integer id"
+        if isinstance(event, AdvertiserJoin):
+            capacity = self.workload_config.num_advertisers
+            if not 0 <= advertiser < capacity:
+                return (f"advertiser {advertiser} outside universe "
+                        f"0..{capacity - 1}")
+            if advertiser in service.registry:
+                return f"advertiser {advertiser} already active"
+            if not _numeric(event.target) \
+                    or not _numeric(event.budget):
+                return "target and budget must be numbers"
+            arity = len(self._keywords)
+            for name in ("bids", "maxbids", "values"):
+                column = getattr(event, name)
+                if len(column) != arity:
+                    return (f"{name} must list {arity} values "
+                            f"(one per keyword), got {len(column)}")
+                if not all(_numeric(value) for value in column):
+                    return f"{name} must be all numbers"
+            return None
+        if advertiser not in service.registry:
+            return f"advertiser {advertiser} is not active"
+        if isinstance(event, AdvertiserLeave):
+            return None
+        if isinstance(event, BidProgramUpdate):
+            if not isinstance(event.keyword, str) \
+                    or event.keyword not in self._keywords:
+                return f"unknown keyword {event.keyword!r}"
+            if not _numeric(event.bid) or not _numeric(event.maxbid):
+                return "bid and maxbid must be numbers"
+            return None
+        if isinstance(event, BudgetTopUp):
+            if not _numeric(event.amount):
+                return "amount must be a number"
+            return None
+        return f"unsupported event {type(event).__name__}"
+
+    def _apply_one(self, item: SequencedEvent) -> None:
+        record = self._served.process(item.event)
+        self.applied.append(item.event)
+        seq = self._service.events_processed - 1
+        if record is not None:
+            self.records.append(record)
+            reply = protocol.result_payload(item.tag, seq, record)
+        else:
+            reply = protocol.ok_payload(item.tag, seq,
+                                        event_kind(item.event))
+        self._reply(item, reply)
+
+    def _apply_window(self, batch: list[SequencedEvent]) -> None:
+        events = [item.event for item in batch]
+        records = self._served.process_window(events)
+        base = self._service.events_processed - len(batch)
+        for offset, (item, record) in enumerate(zip(batch, records)):
+            self.applied.append(item.event)
+            self.records.append(record)
+            self._reply(item, protocol.result_payload(
+                item.tag, base + offset, record))
+
+    def _reply(self, item: SequencedEvent, payload: dict) -> None:
+        elapsed = perf_counter() - item.arrival
+        self.latencies.append(elapsed)
+        metrics = self._service.metrics
+        if metrics is not None:
+            metrics.counter("serve.applied").inc()
+            metrics.histogram("latency.serve_e2e").observe(elapsed)
+        self._post(item.conn_id, payload)
+
+    def _post(self, conn_id: int, payload: dict) -> None:
+        """Route a reply to a connection from the apply thread."""
+        conn = self._conns.get(conn_id)
+        if conn is None:
+            return  # client disconnected before its reply
+        data = protocol.encode_frame(payload)
+        with contextlib.suppress(RuntimeError):  # loop already closed
+            self._loop.call_soon_threadsafe(self._offer, conn, data)
+
+    def _offer(self, conn: _Connection, data: bytes) -> None:
+        if conn.open:
+            conn.outq.put_nowait(data)
+
+    # -- the asyncio side --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        if self._draining:
+            writer.close()
+            return
+        self._next_conn_id += 1
+        conn = _Connection(self._next_conn_id, writer)
+        self._conns[conn.conn_id] = conn
+        self.connections_total += 1
+        self._count("serve.connections.opened")
+        conn.writer_task = asyncio.ensure_future(
+            self._write_loop(conn))
+        self._offer(conn, protocol.encode_frame(
+            protocol.welcome_payload(
+                conn.conn_id, methods=tuple(SERVICE_METHODS),
+                max_frame=self.config.max_frame)))
+        task = asyncio.current_task()
+        self._reader_tasks.add(task)
+        try:
+            await self._read_loop(conn, reader)
+        except asyncio.CancelledError:
+            return  # drain owns the goodbye + close from here
+        finally:
+            self._reader_tasks.discard(task)
+        await self._close_conn(conn, reason="bye")
+
+    async def _read_loop(self, conn: _Connection,
+                         reader: asyncio.StreamReader) -> None:
+        while True:
+            try:
+                payload = await protocol.read_frame(
+                    reader, max_frame=self.config.max_frame)
+            except protocol.ProtocolError as error:
+                self.errors += 1
+                self._count(f"serve.errors.{error.code}")
+                self._offer(conn, protocol.encode_frame(
+                    protocol.error_payload(error.code, error.detail)))
+                if error.fatal:
+                    return  # the byte stream cannot re-synchronize
+                continue
+            except ConnectionError:
+                return
+            if payload is None:
+                return  # clean close at a frame boundary
+            self.frames += 1
+            if not await self._dispatch(conn, payload):
+                return
+
+    async def _dispatch(self, conn: _Connection,
+                        payload: dict) -> bool:
+        """Handle one well-framed payload; False ends the read loop."""
+        ptype = payload.get("type")
+        if ptype == "event":
+            tag = payload.get("tag")
+            try:
+                event = protocol.event_from_payload(payload)
+            except protocol.ProtocolError as error:
+                self.errors += 1
+                self._count(f"serve.errors.{error.code}")
+                self._offer(conn, protocol.encode_frame(
+                    protocol.error_payload(error.code, error.detail,
+                                           tag)))
+                return True
+            try:
+                # Blocking bounded-queue put off the event loop: a
+                # full ingress queue stalls this connection's reads
+                # (TCP backpressure), never the other connections.
+                await self._loop.run_in_executor(
+                    None, lambda: self.sequencer.submit(
+                        event, conn_id=conn.conn_id, tag=tag))
+            except RuntimeError:
+                return False  # sequencer closed: drain has begun
+            return True
+        if ptype == "hello":
+            role = payload.get("role")
+            conn.role = role if isinstance(role, str) else "client"
+            self._offer(conn, protocol.encode_frame(
+                protocol.hello_ok_payload(conn.conn_id, conn.role)))
+            return True
+        if ptype == "bye":
+            return False
+        self.errors += 1
+        self._count("serve.errors.unknown-type")
+        self._offer(conn, protocol.encode_frame(protocol.error_payload(
+            "unknown-type", f"unsupported frame type {ptype!r}",
+            payload.get("tag"))))
+        return True
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                data = await conn.outq.get()
+                if data is None:
+                    break
+                conn.writer.write(data)
+                await conn.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            conn.open = False
+            with contextlib.suppress(Exception):
+                conn.writer.close()
+                await conn.writer.wait_closed()
+
+    async def _close_conn(self, conn: _Connection,
+                          reason: str) -> None:
+        if self._conns.pop(conn.conn_id, None) is None:
+            return  # already closed
+        self._count("serve.connections.closed")
+        self._offer(conn, protocol.encode_frame(
+            protocol.goodbye_payload(reason)))
+        conn.open = False
+        conn.outq.put_nowait(None)  # flush sentinel, after goodbye
+        if conn.writer_task is not None:
+            with contextlib.suppress(Exception):
+                await asyncio.wait_for(conn.writer_task, timeout=5)
+
+
+def run_server(config: ServeConfig) -> int:
+    """Build and run a server; the ``repro serve`` entry point."""
+    return AuctionWireServer(config).run()

@@ -45,6 +45,14 @@ serving stack:
     After an in-window query was applied (and its emissions
     journaled) with the rest of the window still pending — the
     mid-batch kill; the ``hit`` count selects the position.
+``serve-mid-frame``
+    The wire server's frame reader (:mod:`repro.serve.protocol`),
+    after a frame's length header was consumed but before its body —
+    the server dies holding a half-received message while other
+    connections have fully-sequenced events in flight.  Recovery must
+    replay the journal to exactly the applied prefix; the torn frame
+    was never sequenced, so it is simply gone (the client sees a
+    dropped connection and re-submits).
 
 Crash points arm through the :data:`ENV_VAR` environment variable
 (``"site[:scope]@hit"``), so they survive ``multiprocessing``
@@ -89,6 +97,7 @@ CRASH_SITES = (
     "checkpoint-mid-write",
     "batch-post-flush",
     "batch-mid-window",
+    "serve-mid-frame",
 )
 """Every site the serving stack instruments, for harness validation."""
 

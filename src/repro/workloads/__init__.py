@@ -7,6 +7,21 @@ from repro.workloads.churn import (
     generate_stream,
     join_event,
 )
+# The loadgen fleet sits above the serving stack (it speaks the wire
+# client), which itself consumes this package — so its names resolve
+# lazily to keep `repro.workloads` importable from anywhere in the
+# stream/serve stack without a cycle.
+_LOADGEN_EXPORTS = ("FleetPlan", "FleetReport", "LoadgenConfig",
+                    "plan_fleet", "run_fleet")
+
+
+def __getattr__(name: str):
+    if name in _LOADGEN_EXPORTS:
+        from repro.workloads import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 from repro.workloads.distributions import (
     interval_click_matrix,
     keyword_click_values,
@@ -25,9 +40,14 @@ from repro.workloads.paper_workload import PaperWorkload, PaperWorkloadConfig
 
 __all__ = [
     "ChurnStreamConfig",
+    "FleetPlan",
+    "FleetReport",
+    "LoadgenConfig",
     "PaperWorkload",
     "PaperWorkloadConfig",
     "generate_stream",
+    "plan_fleet",
+    "run_fleet",
     "interval_click_matrix",
     "join_event",
     "keyword_click_values",

@@ -1,0 +1,266 @@
+"""The load-generator fleet: N processes × M connections of churn.
+
+The generator reuses the deterministic churn stream
+(:mod:`repro.workloads.churn`) and splits it into per-connection
+**scripts** whose concurrent replay is valid under *any* network
+interleaving:
+
+* The leading run of genesis :class:`~repro.stream.events
+  .AdvertiserJoin`\\ s becomes the **bootstrap** — the driver submits
+  it sequentially (and waits for every ack) before the fleet starts,
+  so the population exists whatever arrives first afterwards.
+* Control events partition by ``advertiser % consoles``: every event
+  about one advertiser rides one connection, whose sequential
+  round-trips preserve that advertiser's join/leave/update/top-up
+  order — and control-event validity only ever depends on the
+  advertiser's own history, so no interleaving of *different*
+  advertisers' consoles can invalidate anything.
+* Query arrivals round-robin over the query connections; they are
+  order-free (any population answers any keyword).
+
+:func:`plan_fleet` is a pure function of its configs — same seed,
+same scripts, byte for byte — which is what makes the serve bench
+cells reproducible (``tests/serve/test_loadgen.py`` pins this).
+:func:`run_fleet` replays a plan against a live server from
+``processes`` worker processes, each running its share of the
+connections in threads, and reports round-trip latencies and
+sustained throughput.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.serve.client import WireClient
+from repro.serve.protocol import event_to_payload
+from repro.stream.events import AdvertiserJoin, QueryArrival
+from repro.workloads.churn import ChurnStreamConfig, generate_stream
+from repro.workloads.paper_workload import (
+    PaperWorkload,
+    PaperWorkloadConfig,
+)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Fleet shape + churn recipe (the workload config rides
+    separately so server and loadgen can share one)."""
+
+    events: int = 400
+    """Post-genesis stream length to split across the fleet."""
+    churn_rate: float = 0.2
+    genesis: int | None = None
+    """Initial advertisers (default: half the universe, matching the
+    ``repro stream`` default)."""
+    min_active: int = 2
+    budget_low: float = 50.0
+    budget_high: float = 500.0
+    seed: int = 0
+    """Stream seed follows the CLI convention: the churn generator is
+    seeded with ``seed + 17``."""
+    processes: int = 2
+    connections: int = 2
+    """Query connections per process."""
+    consoles: int = 2
+    """Advertiser-console connections (driver-side threads)."""
+
+
+@dataclass
+class FleetPlan:
+    """Deterministic per-connection scripts (plain payload dicts, so
+    plans pickle across process boundaries and compare with ``==``)."""
+
+    genesis: list = field(default_factory=list)
+    consoles: list = field(default_factory=list)
+    queries: list = field(default_factory=list)
+
+    @property
+    def total_events(self) -> int:
+        return (len(self.genesis)
+                + sum(len(s) for s in self.consoles)
+                + sum(len(s) for s in self.queries))
+
+    def scripts(self) -> list:
+        """Every concurrent script (consoles first, then queries)."""
+        return list(self.consoles) + list(self.queries)
+
+
+@dataclass
+class FleetReport:
+    """What a fleet run measured."""
+
+    submitted: int = 0
+    results: int = 0
+    oks: int = 0
+    errors: int = 0
+    latencies: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        replies = self.results + self.oks
+        return replies / self.wall_seconds if self.wall_seconds else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return 1e3 * float(np.percentile(
+            np.asarray(self.latencies, dtype=float), q))
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "results": self.results,
+            "oks": self.oks,
+            "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "events_per_second": self.events_per_second,
+            "p50_ms": self.percentile_ms(50),
+            "p99_ms": self.percentile_ms(99),
+        }
+
+
+def plan_fleet(workload_config: PaperWorkloadConfig,
+               config: LoadgenConfig) -> FleetPlan:
+    """Split one deterministic churn stream into fleet scripts."""
+    workload = PaperWorkload(workload_config)
+    genesis = config.genesis if config.genesis is not None \
+        else max(workload_config.num_advertisers // 2, 1)
+    stream = generate_stream(workload, ChurnStreamConfig(
+        num_events=config.events, churn_rate=config.churn_rate,
+        genesis=genesis, min_active=config.min_active,
+        budget_low=config.budget_low, budget_high=config.budget_high,
+        seed=config.seed + 17))
+    events = list(stream)
+    bootstrap = 0
+    while bootstrap < len(events) \
+            and isinstance(events[bootstrap], AdvertiserJoin):
+        bootstrap += 1
+    num_queries = max(config.processes * config.connections, 1)
+    num_consoles = max(config.consoles, 1)
+    plan = FleetPlan(
+        genesis=[event_to_payload(e) for e in events[:bootstrap]],
+        consoles=[[] for _ in range(num_consoles)],
+        queries=[[] for _ in range(num_queries)])
+    query_index = 0
+    for event in events[bootstrap:]:
+        payload = event_to_payload(event)
+        if isinstance(event, QueryArrival):
+            plan.queries[query_index % num_queries].append(payload)
+            query_index += 1
+        else:
+            console = event.advertiser % num_consoles
+            plan.consoles[console].append(payload)
+    return plan
+
+
+# -- replay ----------------------------------------------------------------
+
+def _replay_script(host: str, port: int, role: str, name: str,
+                   script: list, timeout: float) -> dict:
+    """One connection's sequential round-trips; returns its tally."""
+    latencies = []
+    counts = {"result": 0, "ok": 0, "error": 0}
+    with WireClient(host, port, timeout=timeout) as client:
+        client.hello(role, name)
+        for index, payload in enumerate(script):
+            start = perf_counter()
+            reply = client.submit_payload(payload,
+                                          tag=f"{name}:{index}")
+            latencies.append(perf_counter() - start)
+            counts[reply.get("type", "error")] = \
+                counts.get(reply.get("type", "error"), 0) + 1
+        client.bye()
+    return {"latencies": latencies, "counts": counts,
+            "submitted": len(script)}
+
+
+def _worker_main(host: str, port: int, jobs: list, timeout: float,
+                 out_queue) -> None:
+    """A fleet worker process: its connections run as threads."""
+    tallies: list = [None] * len(jobs)
+
+    def target(slot: int, job: tuple) -> None:
+        role, name, script = job
+        try:
+            tallies[slot] = _replay_script(host, port, role, name,
+                                           script, timeout)
+        except Exception as exc:  # surfaced by the driver
+            tallies[slot] = {"failed": f"{name}: {exc!r}"}
+
+    threads = [threading.Thread(target=target, args=(slot, job))
+               for slot, job in enumerate(jobs)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    out_queue.put(tallies)
+
+
+def run_fleet(host: str, port: int, plan: FleetPlan, *,
+              processes: int = 2, timeout: float = 60.0
+              ) -> FleetReport:
+    """Replay a plan against a live server.
+
+    The driver submits the genesis bootstrap first (sequentially,
+    fully acked), then fans the console + query scripts out over
+    ``processes`` worker processes.  Raises if any connection failed
+    outright; protocol-level ``error`` replies are counted, not
+    raised (the conformance suite asserts they stay at zero for a
+    generated plan).
+    """
+    report = FleetReport()
+    start = perf_counter()
+    with WireClient(host, port, timeout=timeout) as driver:
+        driver.hello("console", "genesis")
+        for index, payload in enumerate(plan.genesis):
+            reply = driver.submit_payload(payload,
+                                          tag=f"genesis:{index}")
+            report.submitted += 1
+            if reply.get("type") == "ok":
+                report.oks += 1
+            else:
+                report.errors += 1
+        driver.bye()
+
+    jobs = []
+    for index, script in enumerate(plan.consoles):
+        jobs.append(("console", f"console-{index}", script))
+    for index, script in enumerate(plan.queries):
+        jobs.append(("query", f"query-{index}", script))
+    num_processes = max(1, min(processes, len(jobs)))
+    shares: list[list] = [[] for _ in range(num_processes)]
+    for index, job in enumerate(jobs):
+        shares[index % num_processes].append(job)
+
+    context = multiprocessing.get_context()
+    out_queue = context.Queue()
+    workers = [context.Process(target=_worker_main,
+                               args=(host, port, share, timeout,
+                                     out_queue))
+               for share in shares if share]
+    for worker in workers:
+        worker.start()
+    failures = []
+    for _ in workers:
+        for tally in out_queue.get():
+            if tally is None or "failed" in tally:
+                failures.append(tally and tally["failed"])
+                continue
+            report.submitted += tally["submitted"]
+            report.results += tally["counts"].get("result", 0)
+            report.oks += tally["counts"].get("ok", 0)
+            report.errors += tally["counts"].get("error", 0)
+            report.latencies.extend(tally["latencies"])
+    for worker in workers:
+        worker.join()
+    report.wall_seconds = perf_counter() - start
+    if failures:
+        raise RuntimeError(f"{len(failures)} fleet connections "
+                           f"failed: {failures[:3]}")
+    return report

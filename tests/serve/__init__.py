@@ -1,0 +1,3 @@
+"""The serving suite: wire-protocol conformance, ingress-sequencer
+ordering properties, live record/replay bit-identity, graceful
+shutdown, and load-generator determinism."""

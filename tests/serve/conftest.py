@@ -1,0 +1,32 @@
+"""Fixtures for the serving suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig
+
+from .harness import LiveServer
+
+SMALL = dict(advertisers=24, slots=3, keywords=3, seed=5)
+"""The suite's default tiny universe — big enough for churn, small
+enough that every live test stays sub-second."""
+
+
+@pytest.fixture
+def serve_factory():
+    """Start in-process servers; everything started is drained at
+    teardown even when the test failed mid-conversation."""
+    servers: list[LiveServer] = []
+
+    def factory(**overrides) -> LiveServer:
+        settings = dict(SMALL)
+        settings.update(overrides)
+        live = LiveServer(ServeConfig(**settings))
+        servers.append(live)
+        return live
+
+    yield factory
+    for live in servers:
+        if live.thread.is_alive():
+            live.stop("teardown")

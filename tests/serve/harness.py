@@ -1,0 +1,61 @@
+"""Shared plumbing for the serving suite.
+
+:class:`LiveServer` runs an :class:`~repro.serve.server
+.AuctionWireServer` on a background thread of the test process — the
+in-process twin of the ``repro serve`` subprocess — so tests can poke
+the server object directly (``server.applied``, counters) while real
+TCP clients talk to it.  :func:`churn_events` builds the small
+deterministic churn scripts every test here replays.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve import AuctionWireServer, ServeConfig, WireClient
+from repro.workloads import ChurnStreamConfig, generate_stream
+from repro.workloads.paper_workload import (
+    PaperWorkload,
+    PaperWorkloadConfig,
+)
+
+
+class LiveServer:
+    """One in-process server with guaranteed drain on ``stop()``."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.server = AuctionWireServer(config)
+        self.exit_code: int | None = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        if not self.server.started.wait(30):
+            raise RuntimeError("server did not start within 30s")
+
+    def _run(self) -> None:
+        self.exit_code = self.server.run()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, **kwargs) -> WireClient:
+        kwargs.setdefault("timeout", 30.0)
+        return WireClient("127.0.0.1", self.port, **kwargs)
+
+    def stop(self, reason: str = "test") -> int:
+        self.server.shutdown(reason)
+        self.thread.join(60)
+        if self.thread.is_alive():
+            raise RuntimeError("server failed to drain within 60s")
+        return self.exit_code
+
+
+def churn_events(config: PaperWorkloadConfig, *, events: int = 30,
+                 seed: int = 17, genesis: int | None = None) -> list:
+    """A small deterministic churn stream for ``config``."""
+    workload = PaperWorkload(config)
+    if genesis is None:
+        genesis = max(config.num_advertisers // 2, 1)
+    return list(generate_stream(workload, ChurnStreamConfig(
+        num_events=events, churn_rate=0.25, genesis=genesis,
+        min_active=config.num_slots + 1, seed=seed)))

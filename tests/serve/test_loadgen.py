@@ -1,0 +1,118 @@
+"""Satellite 6: the load-generator fleet is deterministic.
+
+A fixed seed must produce an identical fleet plan — byte for byte —
+so a bench cell names its offered load completely, and a live fleet
+run submits exactly the planned events.
+"""
+
+from __future__ import annotations
+
+from repro.serve.protocol import event_from_payload
+from repro.stream.events import AdvertiserJoin, QueryArrival
+from repro.workloads import (
+    ChurnStreamConfig,
+    LoadgenConfig,
+    generate_stream,
+    plan_fleet,
+    run_fleet,
+)
+from repro.workloads.paper_workload import (
+    PaperWorkload,
+    PaperWorkloadConfig,
+)
+
+from .conftest import SMALL
+
+_CONFIG = PaperWorkloadConfig(
+    num_advertisers=SMALL["advertisers"], num_slots=SMALL["slots"],
+    num_keywords=SMALL["keywords"], seed=SMALL["seed"])
+_LOADGEN = LoadgenConfig(events=40, seed=SMALL["seed"], processes=2,
+                         connections=2, consoles=2)
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan_byte_for_byte(self):
+        first = plan_fleet(_CONFIG, _LOADGEN)
+        second = plan_fleet(_CONFIG, _LOADGEN)
+        assert first == second
+
+    def test_different_seed_different_plan(self):
+        other = LoadgenConfig(events=40, seed=SMALL["seed"] + 1,
+                              processes=2, connections=2, consoles=2)
+        assert plan_fleet(_CONFIG, _LOADGEN) \
+            != plan_fleet(_CONFIG, other)
+
+    def test_plan_is_the_churn_stream_split_losslessly(self):
+        plan = plan_fleet(_CONFIG, _LOADGEN)
+        workload = PaperWorkload(_CONFIG)
+        stream = list(generate_stream(workload, ChurnStreamConfig(
+            num_events=_LOADGEN.events,
+            churn_rate=_LOADGEN.churn_rate,
+            genesis=_CONFIG.num_advertisers // 2,
+            min_active=_LOADGEN.min_active,
+            budget_low=_LOADGEN.budget_low,
+            budget_high=_LOADGEN.budget_high,
+            seed=_LOADGEN.seed + 17)))
+        assert plan.total_events == len(stream)
+        # Genesis = the stream's leading join run, in order.
+        genesis = [event_from_payload(p) for p in plan.genesis]
+        assert genesis == stream[:len(genesis)]
+        assert all(isinstance(e, AdvertiserJoin) for e in genesis)
+        # Every post-genesis event lands on exactly one script, and
+        # the partition is interleaving-safe: queries round-robin,
+        # controls ride their advertiser's console.
+        tail = stream[len(genesis):]
+        planned = [event_from_payload(p)
+                   for script in plan.scripts() for p in script]
+        assert sorted(map(repr, planned)) == sorted(map(repr, tail))
+        for index, script in enumerate(plan.consoles):
+            for payload in script:
+                event = event_from_payload(payload)
+                assert not isinstance(event, QueryArrival)
+                assert event.advertiser % len(plan.consoles) == index
+        for script in plan.queries:
+            assert all(event_from_payload(p).keyword.startswith("kw")
+                       for p in script)
+
+    def test_per_advertiser_order_is_preserved_on_its_console(self):
+        plan = plan_fleet(_CONFIG, _LOADGEN)
+        workload = PaperWorkload(_CONFIG)
+        stream = list(generate_stream(workload, ChurnStreamConfig(
+            num_events=_LOADGEN.events,
+            churn_rate=_LOADGEN.churn_rate,
+            genesis=_CONFIG.num_advertisers // 2,
+            min_active=_LOADGEN.min_active,
+            budget_low=_LOADGEN.budget_low,
+            budget_high=_LOADGEN.budget_high,
+            seed=_LOADGEN.seed + 17)))
+        tail = [e for e in stream[len(plan.genesis):]
+                if not isinstance(e, QueryArrival)]
+        for console in plan.consoles:
+            events = [event_from_payload(p) for p in console]
+            expected = [e for e in tail
+                        if e.advertiser % len(plan.consoles)
+                        == events[0].advertiser % len(plan.consoles)] \
+                if events else []
+            assert events == expected
+
+
+class TestLiveFleet:
+    def test_fleet_submits_the_whole_plan_with_zero_errors(
+            self, serve_factory):
+        live = serve_factory()
+        plan = plan_fleet(_CONFIG, LoadgenConfig(
+            events=30, seed=SMALL["seed"], processes=1,
+            connections=2, consoles=2))
+        report = run_fleet("127.0.0.1", live.port, plan,
+                           processes=1, timeout=60.0)
+        live.stop()
+        assert live.exit_code == 0
+        assert report.errors == 0
+        assert report.submitted == plan.total_events
+        assert report.results + report.oks == plan.total_events
+        assert len(live.server.applied) == plan.total_events
+        assert report.events_per_second > 0
+        assert report.percentile_ms(50) <= report.percentile_ms(99)
+        payload = report.to_dict()
+        assert payload["errors"] == 0
+        assert payload["p50_ms"] <= payload["p99_ms"]

@@ -1,0 +1,209 @@
+"""Satellite 1: the wire-protocol conformance suite.
+
+Every way a client can misbehave on the wire — malformed JSON in a
+well-framed body, oversized length headers, partial frames, unknown
+event kinds, disconnecting mid-message — must earn a structured
+``error`` reply or a clean close, and must never perturb the
+sequenced stream other clients are being recorded into.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.serve import protocol
+from repro.stream.events import (
+    AdvertiserJoin,
+    AdvertiserLeave,
+    AdvertiserPaused,
+    BidProgramUpdate,
+    BudgetTopUp,
+    QueryArrival,
+)
+
+JOIN = AdvertiserJoin(advertiser=3, target=0.5, bids=(1.0, 2.0, 3.0),
+                      maxbids=(2.0, 3.0, 4.0), values=(3.0, 4.0, 5.0),
+                      budget=80.0)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"type": "event", "kind": "query", "keyword": "k0"}
+        frame = protocol.encode_frame(payload)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert protocol.decode_body(frame[4:]) == payload
+
+    def test_encode_refuses_oversized_bodies(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.encode_frame({"blob": "x" * 64}, max_frame=32)
+        assert excinfo.value.code == "oversized"
+        assert excinfo.value.fatal
+
+    def test_malformed_json_is_recoverable(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.decode_body(b"{nope")
+        assert excinfo.value.code == "malformed-json"
+        assert not excinfo.value.fatal
+
+    def test_non_object_top_level_is_recoverable(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.decode_body(b"[1, 2]")
+        assert excinfo.value.code == "not-an-object"
+        assert not excinfo.value.fatal
+
+
+class TestEventPayloads:
+    @pytest.mark.parametrize("event", [
+        QueryArrival(keyword="k1"),
+        JOIN,
+        AdvertiserLeave(advertiser=3),
+        BidProgramUpdate(advertiser=3, keyword="k2", bid=1.5,
+                         maxbid=2.5),
+        BudgetTopUp(advertiser=3, amount=25.0),
+    ])
+    def test_roundtrip_every_input_kind(self, event):
+        payload = protocol.event_to_payload(event, tag="t")
+        # Through JSON, as the wire would carry it.
+        payload = json.loads(json.dumps(payload))
+        assert protocol.event_from_payload(payload) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.event_from_payload(
+                {"type": "event", "kind": "bribe"})
+        assert excinfo.value.code == "unknown-kind"
+
+    def test_service_originated_kinds_are_not_inputs(self):
+        payload = protocol.event_to_payload(
+            AdvertiserPaused(advertiser=1, auction_id=7))
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.event_from_payload(payload)
+        assert excinfo.value.code == "unknown-kind"
+        assert "paused" not in protocol.INPUT_KINDS
+
+    def test_missing_fields_reject_as_bad_event(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.event_from_payload(
+                {"type": "event", "kind": "join", "advertiser": 1})
+        assert excinfo.value.code == "bad-event"
+
+    def test_non_array_bid_columns_reject(self):
+        payload = protocol.event_to_payload(JOIN)
+        payload["bids"] = "1,2,3"
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.event_from_payload(payload)
+        assert excinfo.value.code == "bad-event"
+
+
+class TestLiveConformance:
+    """Abuse a live server and prove the taxonomy holds."""
+
+    def _submit_one_query(self, client, tag="probe"):
+        reply = client.submit(QueryArrival(keyword="kw0"), tag=tag)
+        assert reply["type"] == "result"
+        return reply
+
+    def test_malformed_json_earns_error_and_connection_lives(
+            self, serve_factory):
+        live = serve_factory()
+        with live.client() as client:
+            client.send_raw(struct.pack(">I", 5) + b"{nope")
+            reply = client.read_frame()
+            assert reply["type"] == "error"
+            assert reply["code"] == "malformed-json"
+            self._submit_one_query(client)
+
+    def test_non_object_body_earns_error_and_connection_lives(
+            self, serve_factory):
+        live = serve_factory()
+        with live.client() as client:
+            client.send_raw(struct.pack(">I", 2) + b"[]")
+            reply = client.read_frame()
+            assert reply["code"] == "not-an-object"
+            self._submit_one_query(client)
+
+    def test_unknown_kind_earns_error_and_connection_lives(
+            self, serve_factory):
+        live = serve_factory()
+        with live.client() as client:
+            client.send_payload({"type": "event", "kind": "bribe",
+                                 "tag": 9})
+            reply = client.read_frame()
+            assert reply["code"] == "unknown-kind"
+            assert reply["tag"] == 9
+            self._submit_one_query(client)
+
+    def test_unknown_frame_type_earns_error_and_connection_lives(
+            self, serve_factory):
+        live = serve_factory()
+        with live.client() as client:
+            client.send_payload({"type": "dance"})
+            reply = client.read_frame()
+            assert reply["code"] == "unknown-type"
+            self._submit_one_query(client)
+
+    def test_oversized_header_is_fatal(self, serve_factory):
+        live = serve_factory()
+        with live.client() as client:
+            client.send_raw(struct.pack(">I", protocol.MAX_FRAME + 1))
+            reply = client.read_frame()
+            assert reply["type"] == "error"
+            assert reply["code"] == "oversized"
+            # The stream cannot re-synchronize: the server says
+            # goodbye and closes instead of reading on.
+            farewell = client.read_frame()
+            assert farewell is None or farewell["type"] == "goodbye"
+            assert client.read_frame() is None
+
+    def test_mid_message_disconnect_is_a_clean_close(
+            self, serve_factory):
+        live = serve_factory()
+        client = live.client()
+        # Declare a 100-byte body, send 3 bytes, vanish.
+        client.send_raw(struct.pack(">I", 100) + b"{\"t")
+        client.close()
+        # The server survives: a fresh connection works immediately.
+        with live.client() as fresh:
+            self._submit_one_query(fresh)
+        assert live.server._service_error is None
+
+    def test_abuse_never_perturbs_the_sequenced_stream(
+            self, serve_factory):
+        live = serve_factory()
+        with live.client() as good:
+            self._submit_one_query(good, tag="before")
+            with live.client() as bad:
+                bad.send_raw(struct.pack(">I", 4) + b"junk")
+                assert bad.read_frame()["type"] == "error"
+                bad.send_payload({"type": "event", "kind": "bribe"})
+                assert bad.read_frame()["code"] == "unknown-kind"
+                bad.send_raw(struct.pack(">I", 50) + b"half")
+                bad.close()
+            self._submit_one_query(good, tag="after")
+        live.stop()
+        # Only the two well-formed queries ever reached the sequencer
+        # or the recorded stream.
+        assert [type(e).__name__ for e in live.server.applied] \
+            == ["QueryArrival", "QueryArrival"]
+        assert live.server.errors >= 3
+        assert live.server.rejected == 0
+
+    def test_welcome_advertises_the_wire_contract(self, serve_factory):
+        live = serve_factory()
+        with live.client() as client:
+            welcome = client.welcome
+        assert welcome["type"] == "welcome"
+        assert welcome["wire"] == protocol.WIRE_FORMAT
+        assert set(welcome["kinds"]) == set(protocol.INPUT_KINDS)
+        assert welcome["max_frame"] == protocol.MAX_FRAME
+
+    def test_hello_roundtrip(self, serve_factory):
+        live = serve_factory()
+        with live.client() as client:
+            ack = client.hello("console", "test-console")
+            assert ack["type"] == "hello-ok"
+            assert ack["role"] == "console"

@@ -1,0 +1,177 @@
+"""The serving tentpole's core claim, in-process: a live run recorded
+over the wire replays bit-identically offline, and invalid events are
+rejected *before* they can perturb the recorded stream.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.auction.trace import record_to_dict
+from repro.bench import records_identical
+from repro.serve.protocol import event_to_payload
+from repro.stream.events import AdvertiserJoin, QueryArrival
+from repro.workloads.paper_workload import PaperWorkloadConfig
+
+from ..stream.oracle import assert_outcomes_agree, run_service
+from .conftest import SMALL
+from .harness import churn_events
+
+_CONFIG = PaperWorkloadConfig(
+    num_advertisers=SMALL["advertisers"], num_slots=SMALL["slots"],
+    num_keywords=SMALL["keywords"], seed=SMALL["seed"])
+_ENGINE_SEED = SMALL["seed"] + 1  # the serve CLI convention
+
+
+def _drive(live, events):
+    """Replay ``events`` through one wire connection; returns the
+    tagged replies in submission order."""
+    replies = []
+    with live.client() as client:
+        for index, event in enumerate(events):
+            replies.append(client.submit(event, tag=index))
+        client.bye()
+    return replies
+
+
+class TestLiveReplayBitIdentity:
+    @pytest.mark.parametrize("overrides", [
+        {},                     # plain in-process apply
+        {"batch_window": 4},    # adaptive window coalescing
+    ], ids=["unbatched", "batched"])
+    def test_recorded_stream_replays_bit_identically(
+            self, serve_factory, overrides):
+        events = churn_events(_CONFIG, events=40)
+        live = serve_factory(**overrides)
+        replies = _drive(live, events)
+        live.stop()
+        assert live.exit_code == 0
+        applied = list(live.server.applied)
+        assert applied == events  # nothing dropped, nothing reordered
+        offline = run_service(_CONFIG, applied, method="rh",
+                              engine_seed=_ENGINE_SEED)
+        assert records_identical(live.server.records, offline.records)
+        # Replies carry the applied-stream position and the exact
+        # record the offline replay regenerates (timing stamps are
+        # wall-clock and legitimately differ between runs).
+        def decisions(record: dict) -> dict:
+            return {key: value for key, value in record.items()
+                    if not key.endswith("_seconds")}
+
+        results = [reply for reply in replies
+                   if reply["type"] == "result"]
+        assert [decisions(reply["record"]) for reply in results] \
+            == [decisions(record_to_dict(record))
+                for record in offline.records]
+        seqs = [reply["seq"] for reply in replies]
+        assert seqs == list(range(len(events)))
+
+    def test_sharded_serving_round_trips_and_replays(
+            self, serve_factory):
+        # The workers >= 1 path: shard workers must be spawned before
+        # the listener opens (a lazily-forked worker would inherit
+        # connection sockets and swallow their EOF).
+        events = churn_events(_CONFIG, events=24)
+        live = serve_factory(workers=2, batch_window=4)
+        _drive(live, events)
+        live.stop()
+        assert live.exit_code == 0
+        offline = run_service(_CONFIG, list(live.server.applied),
+                              method="rh", engine_seed=_ENGINE_SEED)
+        assert records_identical(live.server.records, offline.records)
+
+    def test_concurrent_connections_record_one_replayable_order(
+            self, serve_factory, tmp_path):
+        # Real racing connections; whatever order the sequencer
+        # stamps must replay bit-identically from its JSONL record.
+        live = serve_factory()
+        genesis = [event for event in churn_events(_CONFIG, events=0)
+                   if isinstance(event, AdvertiserJoin)]
+        with live.client() as boot:
+            for index, event in enumerate(genesis):
+                boot.submit(event, tag=index)
+            boot.bye()
+        keywords = [f"kw{i}" for i in range(SMALL["keywords"])]
+
+        def query_script(conn: int) -> None:
+            with live.client() as client:
+                for index in range(10):
+                    keyword = keywords[(conn + index) % len(keywords)]
+                    client.submit(QueryArrival(keyword=keyword),
+                                  tag=index)
+                client.bye()
+
+        pool = [threading.Thread(target=query_script, args=(conn,))
+                for conn in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        live.stop()
+        path = tmp_path / "events.jsonl"
+        live.server.applied.to_jsonl(path)
+        from repro.stream.events import EventLog
+        replayed = list(EventLog.from_jsonl(path))
+        assert replayed == list(live.server.applied)
+        assert len(replayed) == len(genesis) + 40
+        offline = run_service(_CONFIG, replayed, method="rh",
+                              engine_seed=_ENGINE_SEED)
+        assert records_identical(live.server.records, offline.records)
+
+
+class TestRejection:
+    """State-aware validation happens on the apply thread, in stamp
+    order, before journal/record/apply — so a rejected event simply
+    never existed as far as replay is concerned."""
+
+    def _join(self, advertiser: int) -> AdvertiserJoin:
+        arity = SMALL["keywords"]
+        return AdvertiserJoin(
+            advertiser=advertiser, target=0.5,
+            bids=tuple(1.0 + i for i in range(arity)),
+            maxbids=tuple(2.0 + i for i in range(arity)),
+            values=tuple(3.0 + i for i in range(arity)), budget=50.0)
+
+    def test_invalid_events_reply_rejected_and_leave_no_trace(
+            self, serve_factory):
+        live = serve_factory()
+        with live.client() as client:
+            cases = [
+                (QueryArrival(keyword="nope"), "unknown keyword"),
+                (self._join(SMALL["advertisers"]), "outside universe"),
+                (event_to_payload(self._join(0)), None),  # valid join
+                (self._join(0), "already active"),
+            ]
+            rejected = 0
+            for index, (item, detail) in enumerate(cases):
+                if isinstance(item, dict):
+                    reply = client.submit_payload(item, tag=index)
+                else:
+                    reply = client.submit(item, tag=index)
+                if detail is None:
+                    assert reply["type"] == "ok"
+                else:
+                    assert reply["type"] == "error"
+                    assert reply["code"] == "rejected"
+                    assert detail in reply["detail"]
+                    rejected += 1
+            client.bye()
+        live.stop()
+        assert live.server.rejected == rejected
+        # Only the valid join was sequenced into the recorded stream.
+        assert list(live.server.applied) == [self._join(0)]
+
+    def test_control_for_inactive_advertiser_rejects(
+            self, serve_factory):
+        from repro.stream.events import BudgetTopUp
+        live = serve_factory()
+        with live.client() as client:
+            reply = client.submit(BudgetTopUp(advertiser=7,
+                                              amount=10.0), tag=0)
+            assert reply["type"] == "error"
+            assert "not active" in reply["detail"]
+            client.bye()
+        live.stop()
+        assert len(live.server.applied) == 0

@@ -1,0 +1,192 @@
+"""Satellite 3: graceful shutdown and the ``serve-mid-frame`` chaos
+site.
+
+SIGTERM against a live ``repro serve`` subprocess must drain in-flight
+connections, flush the batcher and journal, land a final checkpoint,
+and exit 0 — and an armed :data:`repro.stream.crash.ENV_VAR` crash at
+``serve-mid-frame`` (between a frame's length header and its body)
+must die with the fault-injection exit code and leave a journal +
+checkpoint pair that ``repro recover`` restores cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import WireClient
+from repro.stream.crash import ENV_VAR, EXIT_CODE
+from repro.stream.events import EventLog
+from repro.stream.snapshot import CHECKPOINT_PREFIX
+from repro.workloads.paper_workload import PaperWorkloadConfig
+
+from .conftest import SMALL
+from .harness import churn_events
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src"
+
+_CONFIG = PaperWorkloadConfig(
+    num_advertisers=SMALL["advertisers"], num_slots=SMALL["slots"],
+    num_keywords=SMALL["keywords"], seed=SMALL["seed"])
+
+
+class ServeProcess:
+    """A real ``repro serve`` subprocess with durable artifacts."""
+
+    def __init__(self, tmp_path: Path, *, crash: str | None = None,
+                 checkpoint_every: int = 10) -> None:
+        self.port_file = tmp_path / "port"
+        self.journal = tmp_path / "journal.jsonl"
+        self.checkpoint_dir = tmp_path / "checkpoints"
+        self.record = tmp_path / "events.jsonl"
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--port-file", str(self.port_file),
+            "--advertisers", str(SMALL["advertisers"]),
+            "--slots", str(SMALL["slots"]),
+            "--keywords", str(SMALL["keywords"]),
+            "--seed", str(SMALL["seed"]),
+            "--journal", str(self.journal),
+            "--checkpoint-every", str(checkpoint_every),
+            "--checkpoint-dir", str(self.checkpoint_dir),
+            "--record-events", str(self.record),
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        if crash is not None:
+            env[ENV_VAR] = crash
+        self.proc = subprocess.Popen(
+            cmd, cwd=REPO, env=env, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        self.port = self._await_port()
+
+    def _await_port(self, timeout: float = 30.0) -> int:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    "serve died before publishing its port: "
+                    + self.proc.communicate()[1])
+            try:
+                text = self.port_file.read_text().strip()
+            except FileNotFoundError:
+                text = ""
+            if text:
+                return int(text)
+            time.sleep(0.02)
+        raise RuntimeError("no port file within 30s")
+
+    def finish(self, timeout: float = 60.0) -> tuple[int, str, str]:
+        out, err = self.proc.communicate(timeout=timeout)
+        return self.proc.returncode, out, err
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.communicate(timeout=10)
+
+    def checkpoints(self) -> list[Path]:
+        return sorted(self.checkpoint_dir.glob(
+            CHECKPOINT_PREFIX + "*.json"))
+
+
+@pytest.fixture
+def serve_proc(tmp_path):
+    started: list[ServeProcess] = []
+
+    def factory(**kwargs) -> ServeProcess:
+        proc = ServeProcess(tmp_path, **kwargs)
+        started.append(proc)
+        return proc
+
+    yield factory
+    for proc in started:
+        proc.kill()
+
+
+def _recover(proc: ServeProcess, trace: Path) -> \
+        subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env.pop(ENV_VAR, None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "recover",
+         "--journal", str(proc.journal),
+         "--checkpoint-dir", str(proc.checkpoint_dir),
+         "--workers", "0",
+         "--trace", str(trace)],
+        cwd=REPO, env=env, capture_output=True, text=True,
+        timeout=240)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_flushes_and_exits_zero(self, serve_proc,
+                                                   tmp_path):
+        server = serve_proc()
+        events = churn_events(_CONFIG, events=25)
+        with WireClient("127.0.0.1", server.port,
+                        timeout=30.0) as client:
+            for index, event in enumerate(events):
+                client.submit(event, tag=index)
+            client.bye()
+        server.proc.send_signal(signal.SIGTERM)
+        code, out, err = server.finish()
+        assert code == 0, err
+        assert "clean shutdown (SIGTERM)" in out
+        # Every applied event reached the journal and the record…
+        recorded = list(EventLog.from_jsonl(server.record))
+        assert recorded == events
+        # …and the drain landed a *final* checkpoint at the full
+        # watermark, beyond the periodic cadence.
+        checkpoints = server.checkpoints()
+        assert checkpoints, "no final checkpoint written"
+        watermark = int(
+            checkpoints[-1].stem[len(CHECKPOINT_PREFIX):])
+        assert watermark == len(events)
+        # The journal + checkpoints restore without complaint.
+        result = _recover(server, tmp_path / "recovered.jsonl")
+        assert result.returncode == 0, result.stderr
+
+    def test_sigterm_with_no_traffic_still_exits_zero(self,
+                                                      serve_proc):
+        server = serve_proc()
+        server.proc.send_signal(signal.SIGTERM)
+        code, out, err = server.finish()
+        assert code == 0, err
+        assert "clean shutdown (SIGTERM)" in out
+
+
+class TestServeMidFrameChaos:
+    def test_crash_mid_frame_dies_hard_then_recovers(self, serve_proc,
+                                                     tmp_path):
+        # Die between the 30th frame's header and body — mid-ingest,
+        # with journal entries and periodic checkpoints on disk.
+        server = serve_proc(crash="serve-mid-frame@30")
+        events = churn_events(_CONFIG, events=40)
+        submitted = 0
+        try:
+            with WireClient("127.0.0.1", server.port,
+                            timeout=30.0) as client:
+                for index, event in enumerate(events):
+                    client.submit(event, tag=index)
+                    submitted += 1
+                client.bye()
+        except (OSError, ValueError, RuntimeError):
+            pass  # the server died under us — that is the point
+        code, _, err = server.finish()
+        assert code == EXIT_CODE, err
+        assert submitted < len(events)  # it really died mid-stream
+        # The wreckage restores: journaled prefix + checkpoint agree.
+        assert server.journal.exists()
+        result = _recover(server, tmp_path / "recovered.jsonl")
+        assert result.returncode == 0, result.stderr
+        assert "checkpoint:" in result.stdout
+        assert (tmp_path / "recovered.jsonl").exists()
